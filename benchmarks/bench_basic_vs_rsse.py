@@ -1,0 +1,103 @@
+"""Ablation — the Section III-C trade-off table: basic vs efficient.
+
+Measures, for the same corpus and keyword, what each retrieval protocol
+costs: round trips, bytes moved, and estimated wall time under a
+100 Mbit / 50 ms RTT link model — the quantitative version of the
+paper's argument that the basic scheme either ships everything (one
+round) or pays an extra round trip (two rounds), while RSSE does
+server-ranked top-k in one round.
+"""
+
+import pytest
+
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser, LinkModel
+from repro.core import BasicRankedSSE, EfficientRSSE, PAPER_PARAMETERS
+
+from conftest import write_result
+
+TOP_K = 10
+
+
+@pytest.fixture(scope="module")
+def deployments(bench_corpus):
+    corpus = bench_corpus[: min(len(bench_corpus), 200)]
+
+    rsse = EfficientRSSE(PAPER_PARAMETERS)
+    rsse_owner = DataOwner(rsse)
+    rsse_out = rsse_owner.setup(corpus)
+    rsse_server = CloudServer(
+        rsse_out.secure_index, rsse_out.blob_store, can_rank=True
+    )
+    rsse_channel = Channel(rsse_server.handle)
+    rsse_user = DataUser(
+        rsse, rsse_owner.authorize_user(), rsse_channel, rsse_owner.analyzer
+    )
+
+    basic = BasicRankedSSE(PAPER_PARAMETERS)
+    basic_owner = DataOwner(basic)
+    basic_out = basic_owner.setup(corpus)
+    basic_server = CloudServer(
+        basic_out.secure_index, basic_out.blob_store, can_rank=False
+    )
+    basic_channel = Channel(basic_server.handle)
+    basic_user = DataUser(
+        basic, basic_owner.authorize_user(), basic_channel,
+        basic_owner.analyzer,
+    )
+    return (rsse_channel, rsse_user), (basic_channel, basic_user)
+
+
+def test_protocol_tradeoff(benchmark, deployments):
+    """Benchmark RSSE top-k retrieval; tabulate all three protocols."""
+    (rsse_channel, rsse_user), (basic_channel, basic_user) = deployments
+    link = LinkModel()
+
+    benchmark.pedantic(
+        rsse_user.search_ranked_topk, args=("network", TOP_K),
+        rounds=3, iterations=1,
+    )
+    rsse_channel.stats.reset()
+    rsse_user.search_ranked_topk("network", TOP_K)
+    rsse_stats = (
+        rsse_channel.stats.round_trips,
+        rsse_channel.stats.total_bytes,
+        link.estimate_seconds(rsse_channel.stats),
+    )
+
+    basic_channel.stats.reset()
+    basic_user.search_all_and_rank("network")
+    one_round_stats = (
+        basic_channel.stats.round_trips,
+        basic_channel.stats.total_bytes,
+        link.estimate_seconds(basic_channel.stats),
+    )
+
+    basic_channel.stats.reset()
+    basic_user.search_two_round_topk("network", TOP_K)
+    two_round_stats = (
+        basic_channel.stats.round_trips,
+        basic_channel.stats.total_bytes,
+        link.estimate_seconds(basic_channel.stats),
+    )
+
+    lines = [
+        "Section III-C trade-off: retrieval protocols, top-k = "
+        f"{TOP_K}, keyword 'network'",
+        "",
+        f"{'protocol':<24} {'round trips':>12} {'bytes':>12} "
+        f"{'est. link time':>15}",
+    ]
+    for name, stats in [
+        ("rsse one-round top-k", rsse_stats),
+        ("basic one-round (all)", one_round_stats),
+        ("basic two-round top-k", two_round_stats),
+    ]:
+        lines.append(
+            f"{name:<24} {stats[0]:>12} {stats[1]:>12} {stats[2]:>14.3f}s"
+        )
+    write_result("ablation_basic_vs_rsse.txt", "\n".join(lines))
+
+    # Paper's qualitative table, asserted:
+    assert rsse_stats[0] == 1 and two_round_stats[0] == 2
+    assert one_round_stats[1] > 3 * rsse_stats[1]
+    assert two_round_stats[1] < one_round_stats[1]

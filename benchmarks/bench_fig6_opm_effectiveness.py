@@ -1,0 +1,88 @@
+"""Fig. 6 — effectiveness of the one-to-many order-preserving mapping.
+
+Paper: the same 'network' relevance score set mapped with |R| = 2**46
+under two different random keys, histogrammed into 128 equally spaced
+containers: both mappings come out flat, mutually different, and with
+zero ciphertext duplicates.
+
+Regenerates: both encrypted-value histograms plus flatness metrics, and
+contrasts them against the skewed Fig. 4 input.
+"""
+
+from repro.analysis.flatness import flatness_report
+from repro.analysis.histogram import equal_width_histogram, histogram_summary
+from repro.crypto.opm import OneToManyOpm
+
+from conftest import write_result
+
+RANGE_SIZE = 1 << 46
+KEY_A = b"fig6-random-key-A"
+KEY_B = b"fig6-random-key-B"
+
+
+def map_scores(key: bytes, items: list[tuple[str, int]]) -> list[int]:
+    opm = OneToManyOpm(key, 128, RANGE_SIZE)
+    return [opm.map_score(level, file_id) for file_id, level in items]
+
+
+def test_fig6_opm_effectiveness(benchmark, network_scores, paper_quantizer):
+    """Benchmark OPM-mapping the 'network' list; regenerate Fig. 6."""
+    items = [
+        (file_id, paper_quantizer.quantize(score))
+        for file_id, score in network_scores.items()
+    ]
+    values_a = benchmark(map_scores, KEY_A, items)
+    values_b = map_scores(KEY_B, items)
+
+    # The paper histograms encrypted values over their observed range
+    # ("putting encrypted values into 128 equally spaced containers");
+    # we measure flatness the same way, and measure the *input* skew
+    # identically for the comparison the figure makes against Fig. 4.
+    raw_levels = [level for _, level in items]
+    raw_report = flatness_report(raw_levels, min(raw_levels),
+                                 max(raw_levels), bins=128)
+    report_a = flatness_report(values_a, min(values_a), max(values_a),
+                               bins=128)
+    report_b = flatness_report(values_b, min(values_b), max(values_b),
+                               bins=128)
+    histogram_a = equal_width_histogram(values_a, bins=128,
+                                        low=min(values_a), high=max(values_a))
+    histogram_b = equal_width_histogram(values_b, bins=128,
+                                        low=min(values_b), high=max(values_b))
+
+    lines = [
+        "Fig. 6 — OPM-encrypted score distribution, keyword 'network', "
+        "|R| = 2^46, two random keys",
+        f"scores mapped: {report_a.count}",
+        f"raw input (Fig. 4) skew: KS-to-uniform="
+        f"{raw_report.ks_to_uniform:.3f}, "
+        f"normalized entropy={raw_report.normalized_entropy:.3f}",
+        "",
+        f"key A: duplicate values={report_a.count - report_a.distinct} "
+        f"(paper: 0), KS-to-uniform={report_a.ks_to_uniform:.3f}, "
+        f"normalized entropy={report_a.normalized_entropy:.3f}",
+        f"key B: duplicate values={report_b.count - report_b.distinct} "
+        f"(paper: 0), KS-to-uniform={report_b.ks_to_uniform:.3f}, "
+        f"normalized entropy={report_b.normalized_entropy:.3f}",
+        "",
+        f"peak container count key A: {max(histogram_a)} "
+        f"(raw Fig. 4 peak was far above the ~{report_a.count // 128} "
+        "per-container average)",
+        f"peak container count key B: {max(histogram_b)}",
+        f"container histograms differ between keys: "
+        f"{histogram_a != histogram_b}",
+    ]
+    write_result("fig6_opm_effectiveness.txt", "\n".join(lines))
+
+    # Paper's claims: no duplicates at |R| = 2^46; distributions
+    # flattened relative to the Fig. 4 input, and key-dependent.
+    assert not report_a.has_duplicates
+    assert not report_b.has_duplicates
+    assert report_a.ks_to_uniform < raw_report.ks_to_uniform
+    assert report_b.ks_to_uniform < raw_report.ks_to_uniform
+    # The attack-relevant flattening: the raw levels carry a duplicate
+    # (multiplicity) structure, the mapped values carry none.
+    assert raw_report.max_duplicates > 1
+    assert report_a.max_duplicates == report_b.max_duplicates == 1
+    assert values_a != values_b
+    assert histogram_a != histogram_b

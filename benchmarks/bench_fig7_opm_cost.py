@@ -1,0 +1,78 @@
+"""Fig. 7 — time cost of a single one-to-many mapping operation.
+
+Paper: mean of 100 trials, domain size M swept over [60, 260], range
+|R| in {2**40, 2**46, ...}; the cost grows faster than logarithmic in M
+(more binary-search rounds *and* costlier HGD calls) and grows with
+|R|; at M = 128, |R| = 2**46 the paper's C+MATLAB code needs < 70 ms.
+
+Regenerates: the (M, |R|) -> mean mapping time surface.  Buckets are
+deliberately uncached so each call pays the full binary-search descent,
+exactly what the paper times.
+"""
+
+import time
+
+import pytest
+
+from repro.crypto.opm import OneToManyOpm
+
+from conftest import write_result
+
+DOMAIN_SIZES = (64, 96, 128, 160, 192, 224, 256)
+RANGE_BITS = (40, 46, 52)
+
+_collected: dict[tuple[int, int], float] = {}
+
+
+def single_mapping(opm: OneToManyOpm, level: int, trial: int) -> int:
+    return opm.map_score(level, b"fig7-file-%d" % trial)
+
+
+@pytest.mark.parametrize("range_bits", RANGE_BITS)
+@pytest.mark.parametrize("domain_size", DOMAIN_SIZES)
+def test_fig7_single_opm_mapping(benchmark, domain_size, range_bits):
+    """One uncached OPM mapping at each (M, |R|) of the Fig. 7 sweep."""
+    opm = OneToManyOpm(
+        b"fig7-key-%d-%d" % (domain_size, range_bits),
+        domain_size,
+        1 << range_bits,
+        cache_buckets=False,
+    )
+    counter = iter(range(10**9))
+
+    def mapping():
+        trial = next(counter)
+        return single_mapping(opm, (trial % domain_size) + 1, trial)
+
+    benchmark.pedantic(mapping, rounds=30, iterations=1, warmup_rounds=2)
+    _collected[(domain_size, range_bits)] = benchmark.stats["mean"]
+
+
+def test_fig7_report(benchmark):
+    """Aggregate the sweep into the Fig. 7 series file."""
+    # A trivial timed op keeps this collector inside --benchmark-only runs.
+    benchmark.pedantic(time.perf_counter, rounds=1, iterations=1)
+    if not _collected:
+        pytest.skip("per-point benchmarks did not run")
+
+    lines = [
+        "Fig. 7 — single one-to-many mapping cost (mean seconds)",
+        "paper shape: super-logarithmic growth in M; larger |R| costlier;",
+        "paper absolute: <70 ms at M=128, |R|=2^46 (C+MATLAB)",
+        "",
+        "        " + "".join(f"|R|=2^{bits:<10}" for bits in RANGE_BITS),
+    ]
+    for domain_size in DOMAIN_SIZES:
+        row = [f"M={domain_size:<5}"]
+        for bits in RANGE_BITS:
+            mean = _collected.get((domain_size, bits))
+            row.append(f"{mean * 1000:>10.3f} ms " if mean else "      n/a ")
+        lines.append(" ".join(row))
+
+    write_result("fig7_opm_cost.txt", "\n".join(lines))
+
+    # Shape assertion on the collected sweep, aggregated across range
+    # sizes to damp per-point timer noise: cost grows clearly with M.
+    small_total = sum(_collected[(DOMAIN_SIZES[0], bits)] for bits in RANGE_BITS)
+    large_total = sum(_collected[(DOMAIN_SIZES[-1], bits)] for bits in RANGE_BITS)
+    assert large_total > small_total * 1.5

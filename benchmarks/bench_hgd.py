@@ -1,0 +1,61 @@
+"""Ablation — the HGD sampler, the OPM's inner-loop cost driver.
+
+Fig. 7's super-logarithmic growth comes from here: each binary-search
+round draws one hypergeometric quantile whose exact inversion costs
+O(min(successes, draws)) log-space PMF terms.  Sweeps the quantile cost
+over domain (successes) and range (population) sizes, validating the
+cost model the paper inherits from Boldyreva et al.
+"""
+
+import pytest
+
+from repro.crypto.hgd import hgd_quantile
+
+from conftest import write_result
+
+_collected: dict[tuple[int, int], float] = {}
+
+SUCCESSES = (32, 128, 512, 2048)
+POPULATION_BITS = (24, 40, 46, 52)
+
+
+@pytest.mark.parametrize("population_bits", POPULATION_BITS)
+@pytest.mark.parametrize("successes", SUCCESSES)
+def test_hgd_quantile_cost(benchmark, successes, population_bits):
+    population = 1 << population_bits
+    draws = population // 2
+    quantiles = iter(
+        (i * 0.6180339887498949) % 1.0 for i in range(1, 10**9)
+    )
+
+    def sample():
+        return hgd_quantile(next(quantiles), population, successes, draws)
+
+    benchmark.pedantic(sample, rounds=20, iterations=1, warmup_rounds=2)
+    _collected[(successes, population_bits)] = benchmark.stats["mean"]
+
+
+def test_hgd_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _collected:
+        pytest.skip("per-point benchmarks did not run")
+    lines = [
+        "HGD quantile cost (mean ms): rows = successes (domain size M), "
+        "columns = population (range size |R|)",
+        "",
+        "          " + "".join(f"2^{bits:<10}" for bits in POPULATION_BITS),
+    ]
+    for successes in SUCCESSES:
+        row = [f"S={successes:<6}"]
+        for bits in POPULATION_BITS:
+            mean = _collected.get((successes, bits))
+            row.append(f"{mean * 1000:>9.3f} ms" if mean else "     n/a")
+        lines.append(" ".join(row))
+    write_result("ablation_hgd_cost.txt", "\n".join(lines))
+
+    # Cost is linear-ish in successes (the support size), nearly flat
+    # in the population size — the property that makes huge |R| viable.
+    for bits in POPULATION_BITS:
+        assert (
+            _collected[(2048, bits)] > _collected[(32, bits)] * 4
+        )

@@ -1,0 +1,106 @@
+"""Ablation — the future-work extension, measured.
+
+Section VIII: summing per-keyword scores under an order-preserving
+mapping does not exactly preserve the order of the summed true scores
+(and the server cannot apply IDF weights).  This bench quantifies the
+approximation: Kendall tau and top-k overlap between the server-side
+OPM-sum ranking and the true equation-1 ranking, as the query grows
+from 1 to 4 keywords.
+"""
+
+import pytest
+
+from repro.core import BasicRankedSSE, EfficientRSSE, PAPER_PARAMETERS
+from repro.core.multi_keyword import (
+    ExactMultiKeywordClient,
+    MultiKeywordSearcher,
+    rank_correlation,
+    top_k_overlap,
+    true_conjunctive_ranking,
+)
+from repro.ir import stem
+
+from conftest import write_result
+
+QUERIES = (
+    ["network"],
+    ["network", "protocol"],
+    ["network", "protocol", "packet"],
+    ["network", "protocol", "packet", "server"],
+)
+
+
+@pytest.fixture(scope="module")
+def searchable(bench_index):
+    scheme = EfficientRSSE(PAPER_PARAMETERS)
+    key = scheme.keygen()
+    terms = {stem(word) for query in QUERIES for word in query}
+    built = scheme.build_index(key, bench_index, terms=terms)
+    return scheme, key, built
+
+
+def test_multi_keyword_ranking_quality(benchmark, bench_index, searchable):
+    scheme, key, built = searchable
+    searcher = MultiKeywordSearcher(scheme)
+
+    rows = []
+    for query_words in QUERIES:
+        terms = [stem(word) for word in query_words]
+        query = searcher.make_query(key, terms)
+        if len(terms) == 2:
+            approx = benchmark.pedantic(
+                searcher.search_ranked,
+                args=(built.secure_index, query),
+                rounds=3,
+                iterations=1,
+            )
+        else:
+            approx = searcher.search_ranked(built.secure_index, query)
+        truth = true_conjunctive_ranking(bench_index, terms)
+        tau = rank_correlation(approx, truth)
+        overlap10 = top_k_overlap(truth, approx, 10)
+        rows.append((len(terms), len(approx), tau, overlap10))
+
+    lines = [
+        "Multi-keyword ranked search: server-side OPM-sum ranking vs "
+        "true equation-1 ranking",
+        "",
+        f"{'terms':>6} {'matches':>8} {'kendall tau':>12} "
+        f"{'top-10 overlap':>15}",
+    ]
+    for terms_count, matches, tau, overlap in rows:
+        lines.append(
+            f"{terms_count:>6} {matches:>8} {tau:>12.3f} {overlap:>15.2f}"
+        )
+    # Contrast: the exact client over the basic scheme recovers the
+    # true equation-1 order perfectly (at basic-scheme cost).
+    basic = BasicRankedSSE(PAPER_PARAMETERS)
+    basic_key = basic.keygen()
+    two_terms = [stem(word) for word in QUERIES[1]]
+    basic_secure = basic.build_index(
+        basic_key, bench_index, terms=set(two_terms)
+    )
+    exact_client = ExactMultiKeywordClient(basic, bench_index.num_files)
+    exact = exact_client.search_ranked(basic_key, basic_secure, two_terms)
+    exact_truth = true_conjunctive_ranking(bench_index, two_terms)
+    exact_tau = rank_correlation(exact, exact_truth)
+
+    lines += [
+        "",
+        f"exact client (basic scheme, 2 terms): tau = {exact_tau:.3f} "
+        "(per-keyword round trips + client-side eq-1 recombination)",
+        "",
+        "paper: 'new approaches still need to be designed to completely",
+        "preserve the order when summing up scores' — the tau < 1 rows",
+        "quantify exactly that gap; the exact client shows what it costs",
+        "to close it.",
+    ]
+    write_result("ablation_multi_keyword.txt", "\n".join(lines))
+
+    assert exact_tau == pytest.approx(1.0)
+
+    single_tau = rows[0][2]
+    assert single_tau > 0.95  # single keyword: order preserved exactly
+    for _, matches, tau, _ in rows[1:]:
+        if matches >= 10:
+            assert tau > 0.3  # correlated but imperfect: the open problem

@@ -1,0 +1,84 @@
+"""Ablation — window one-wayness of the one-to-many mapping.
+
+Boldyreva et al.'s security yardstick for order-preserving encryption:
+an order-preserving ciphertext necessarily reveals approximate
+plaintext *position*, so the question is how much better than the
+order-implied baseline an adversary can do.  This bench runs the
+interpolation adversary (guess ``m ≈ c/N * M`` from the ciphertext
+alone) against the OPM at the paper's parameters and reports success
+rates across window sizes, next to the blind-guessing baseline and the
+always-1.0 ordered-pair floor.
+"""
+
+import pytest
+
+from repro.analysis.onewayness import (
+    ordered_pair_advantage,
+    window_onewayness_experiment,
+)
+from repro.crypto.opm import OneToManyOpm
+
+from conftest import write_result
+
+DOMAIN = 128
+RANGE = 1 << 46
+WINDOWS = (0, 1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def opm():
+    return OneToManyOpm(b"onewayness-key00", DOMAIN, RANGE)
+
+
+def test_window_onewayness(benchmark, opm):
+    plaintexts = list(range(1, DOMAIN + 1)) * 4
+
+    def encryptor(level, file_id):
+        return opm.map_score(level, file_id)
+
+    result_w4 = benchmark.pedantic(
+        window_onewayness_experiment,
+        args=(encryptor, plaintexts, DOMAIN, RANGE, 4),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for window in WINDOWS:
+        outcome = window_onewayness_experiment(
+            encryptor, plaintexts, DOMAIN, RANGE, window
+        )
+        rows.append((window, outcome.success_rate, outcome.baseline,
+                     outcome.advantage))
+
+    pair_floor = ordered_pair_advantage(encryptor, 32, 96)
+
+    lines = [
+        "Window one-wayness of the OPM (interpolation adversary), "
+        f"M = {DOMAIN}, |R| = 2^46",
+        "",
+        f"{'window':>7} {'success':>9} {'blind baseline':>15} "
+        f"{'advantage':>10}",
+    ]
+    for window, success, baseline, advantage in rows:
+        lines.append(
+            f"{window:>7} {success:>9.3f} {baseline:>15.3f} "
+            f"{advantage:>10.3f}"
+        )
+    lines += [
+        "",
+        f"ordered-pair visibility (by construction): {pair_floor:.2f}",
+        "reading: the adversary locates plaintexts only to the coarse",
+        "precision order-preservation inherently reveals; exact recovery",
+        "stays rare because bucket boundaries are key-pseudo-random.",
+    ]
+    write_result("ablation_onewayness.txt", "\n".join(lines))
+
+    exact = rows[0]
+    assert exact[1] < 0.5          # exact recovery far from certain
+    assert pair_floor == 1.0        # order always visible (by design)
+    assert result_w4.advantage > 0  # position does leak — honestly reported
+    # Success must be monotone in the window and reach 1.0 well before
+    # the window covers the whole domain.
+    successes = [row[1] for row in rows]
+    assert successes == sorted(successes)

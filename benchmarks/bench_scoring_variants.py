@@ -1,0 +1,88 @@
+"""Ablation — sensitivity of the ranking to the scoring formula.
+
+The paper chooses equation 2 "without loss of generality", citing
+Zobel & Moffat's finding that no TF x IDF variant dominates.  This
+bench quantifies the claim on our corpus: how much does the top-k
+actually change when the formula changes?  (The scheme itself is
+agnostic — any monotone score quantizes and OPM-maps identically.)
+"""
+
+import pytest
+
+from repro.core.multi_keyword import rank_correlation, top_k_overlap
+from repro.core.results import as_ranking
+from repro.ir import stem
+from repro.ir.scoring_variants import SCORER_REGISTRY, bm25_tf_score
+from repro.ir.topk import rank_all
+
+from conftest import NETWORK, write_result
+
+
+def ranking_under(scorer, index, term):
+    scored = [
+        (
+            posting.file_id,
+            scorer(posting.term_frequency, index.file_length(posting.file_id)),
+        )
+        for posting in index.posting_list(term)
+    ]
+    return as_ranking(rank_all(scored, key=lambda pair: pair[1]))
+
+
+def test_scoring_variant_sensitivity(benchmark, bench_index):
+    average_length = sum(
+        bench_index.file_length(f) for f in bench_index.file_ids()
+    ) / bench_index.num_files
+
+    scorers = dict(SCORER_REGISTRY)
+    scorers["bm25-tf"] = lambda tf, length: bm25_tf_score(
+        tf, length, average_file_length=average_length
+    )
+
+    reference = benchmark(
+        ranking_under, scorers["paper-eq2"], bench_index, NETWORK
+    )
+
+    rows = []
+    for name, scorer in scorers.items():
+        candidate = ranking_under(scorer, bench_index, NETWORK)
+        rows.append(
+            (
+                name,
+                rank_correlation(candidate, reference),
+                top_k_overlap(reference, candidate, 10),
+                top_k_overlap(reference, candidate, 50),
+            )
+        )
+
+    lines = [
+        "Scoring-formula sensitivity vs the paper's equation 2 "
+        f"(keyword 'network', {len(reference)} matches)",
+        "",
+        f"{'formula':<14} {'tau vs eq2':>11} {'top-10 overlap':>15} "
+        f"{'top-50 overlap':>15}",
+    ]
+    for name, tau, p10, p50 in rows:
+        lines.append(f"{name:<14} {tau:>11.3f} {p10:>15.2f} {p50:>15.2f}")
+    lines += [
+        "",
+        "reading: on this corpus term frequency grows with document",
+        "length, so unnormalized TF (raw/log) ranks long documents",
+        "first while the paper's density-style eq. 2 ranks them last —",
+        "the formulas produce *very* different rankings.  Zobel &",
+        "Moffat's 'no variant dominates' is about retrieval",
+        "effectiveness, not rank agreement; since this scheme bakes the",
+        "scores into the index at build time, the formula is a real,",
+        "committed design choice, and eq. 2's length normalization is",
+        "its substantive content.",
+    ]
+    write_result("ablation_scoring_variants.txt", "\n".join(lines))
+
+    by_name = {name: tau for name, tau, _, _ in rows}
+    assert by_name["paper-eq2"] == pytest.approx(1.0)
+    # raw and log TF are the same monotone transform of tf: identical
+    # rankings, hence identical agreement with eq. 2.
+    assert by_name["raw-tf"] == pytest.approx(by_name["log-tf"])
+    # Unnormalized TF diverges sharply from the paper's normalized
+    # formula on a length-correlated corpus.
+    assert by_name["raw-tf"] < 0.5

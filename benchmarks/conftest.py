@@ -1,0 +1,82 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Scale control
+-------------
+The paper's experiments use a 1000-file RFC subset.  By default the
+harness reproduces that scale; set ``REPRO_BENCH_DOCS`` to a smaller
+number for a quick pass (the *shapes* hold at any scale, only the
+absolute posting-list lengths change).
+
+Every bench writes its figure/table series to
+``benchmarks/results/<experiment>.txt`` so the regenerated data is
+inspectable after a captured-output pytest run; EXPERIMENTS.md records
+the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import EfficientRSSE, PAPER_PARAMETERS
+from repro.corpus import generate_corpus
+from repro.ir import Analyzer, InvertedIndex, ScoreQuantizer, stem
+from repro.ir.scoring import score_posting_list
+
+#: Documents in the benchmark corpus (paper: 1000).
+BENCH_DOCS = int(os.environ.get("REPRO_BENCH_DOCS", "1000"))
+
+#: The paper's worked-example keyword.
+NETWORK = stem("network")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches write their regenerated figures/tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's regenerated series."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text)
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The paper-scale synthetic RFC corpus."""
+    return generate_corpus(BENCH_DOCS, seed=2010, vocabulary_size=2000)
+
+
+@pytest.fixture(scope="session")
+def bench_index(bench_corpus):
+    """Plaintext inverted index over the benchmark corpus."""
+    analyzer = Analyzer()
+    index = InvertedIndex()
+    for document in bench_corpus:
+        index.add_document(document.doc_id, analyzer.analyze(document.text))
+    return index
+
+
+@pytest.fixture(scope="session")
+def network_scores(bench_index):
+    """Equation-2 scores of the 'network' posting list (Fig. 4 input)."""
+    return score_posting_list(bench_index, NETWORK)
+
+
+@pytest.fixture(scope="session")
+def paper_quantizer(network_scores) -> ScoreQuantizer:
+    """128-level quantizer fitted to the 'network' scores (paper's M)."""
+    return ScoreQuantizer.fit(network_scores.values(), levels=128,
+                              headroom=1.05)
+
+
+@pytest.fixture(scope="session")
+def rsse_scheme() -> EfficientRSSE:
+    """The efficient scheme at full paper parameters (|R| = 2**46)."""
+    return EfficientRSSE(PAPER_PARAMETERS)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Multi-keyword ranked search: the paper's future work, implemented.
+
+Conjunctive queries over the efficient scheme: one trapdoor per
+keyword, the server intersects posting lists and ranks by the *sum* of
+per-keyword OPM values.  Because OPM is order-preserving but
+non-linear, the summed ranking only approximates the true equation-1
+ranking — this example measures the gap (Kendall tau and top-k
+overlap), making Section VIII's open problem concrete.
+
+Run:  python3 examples/multi_keyword_search.py
+"""
+
+from repro import EfficientRSSE, MultiKeywordSearcher
+from repro.core.multi_keyword import (
+    rank_correlation,
+    top_k_overlap,
+    true_conjunctive_ranking,
+)
+from repro.corpus import generate_corpus
+from repro.ir import Analyzer, InvertedIndex, stem
+
+QUERIES = [
+    ["network"],
+    ["network", "protocol"],
+    ["network", "protocol", "security"],
+    ["network", "protocol", "security", "routing"],
+]
+
+
+def main() -> None:
+    documents = generate_corpus(num_documents=400, seed=17)
+    analyzer = Analyzer()
+    index = InvertedIndex()
+    for document in documents:
+        index.add_document(document.doc_id, analyzer.analyze(document.text))
+
+    scheme = EfficientRSSE()
+    key = scheme.keygen()
+    built = scheme.build_index(key, index)
+    searcher = MultiKeywordSearcher(scheme)
+
+    print(f"collection: {len(documents)} documents\n")
+    print(f"{'query':<45} {'matches':>8} {'tau':>7} {'top-10':>7}")
+    for words in QUERIES:
+        terms = [stem(word) for word in words]
+        query = searcher.make_query(key, terms)
+        approx = searcher.search_ranked(built.secure_index, query)
+        truth = true_conjunctive_ranking(index, terms)
+        tau = rank_correlation(approx, truth)
+        overlap = top_k_overlap(truth, approx, 10)
+        print(f"{' AND '.join(words):<45} {len(approx):>8} "
+              f"{tau:>7.3f} {overlap:>7.2f}")
+
+    print(
+        "\nsingle-keyword tau = 1.000: OPM preserves order exactly.\n"
+        "multi-keyword tau < 1: summing order-preserved values does not\n"
+        "preserve the order of the summed scores, and the server cannot\n"
+        "apply IDF weights — the exact open problem of Section VIII."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: outsource an encrypted collection, search it ranked.
+
+The minimal end-to-end flow of the paper's efficient RSSE scheme:
+
+1. the data owner indexes and encrypts a document collection locally,
+   then uploads the secure index + encrypted files to the cloud server;
+2. an authorized user sends a one-round top-k search request (a
+   trapdoor plus k);
+3. the server ranks the matching files by their order-preserving
+   encrypted relevance scores — without learning the scores — and
+   returns the top-k encrypted files;
+4. the user decrypts and reads them.
+
+Run:  python3 examples/quickstart.py
+"""
+
+from repro import Channel, CloudServer, DataOwner, DataUser, EfficientRSSE
+from repro.corpus import generate_corpus
+
+
+def main() -> None:
+    # A synthetic RFC-style collection stands in for the paper's RFC
+    # corpus (see DESIGN.md); swap in repro.corpus.load_directory(...)
+    # to search your own plaintext files.
+    documents = generate_corpus(num_documents=200, seed=42)
+    print(f"collection: {len(documents)} documents, "
+          f"{sum(d.size_bytes for d in documents) // 1024} KB")
+
+    # --- Setup phase (data owner) ------------------------------------
+    scheme = EfficientRSSE()  # paper parameters: M=128, |R|=2^46
+    owner = DataOwner(scheme)
+    outsourcing = owner.setup(documents)
+    print(f"secure index: {outsourcing.secure_index.num_lists} posting "
+          f"lists, {outsourcing.secure_index.size_bytes() // 1024} KB")
+
+    # --- The cloud side ------------------------------------------------
+    server = CloudServer(
+        outsourcing.secure_index, outsourcing.blob_store, can_rank=True
+    )
+    channel = Channel(server.handle)
+
+    # --- Retrieval phase (authorized user) ------------------------------
+    user = DataUser(scheme, owner.authorize_user(), channel, owner.analyzer)
+    keyword, k = "network", 5
+    hits = user.search_ranked_topk(keyword, k)
+
+    print(f"\ntop-{k} files for keyword {keyword!r} "
+          f"(1 round trip, {channel.stats.total_bytes // 1024} KB moved):")
+    for hit in hits:
+        title = hit.text.splitlines()[0].strip()
+        print(f"  #{hit.rank}  {hit.file_id}  ({title[:60]})")
+
+    # What did the server learn? Only the access pattern, the search
+    # pattern, and the relevance *order* — never the scores.
+    observation = server.log.observations[-1]
+    print(f"\nserver saw: {len(observation.matched_file_ids)} matching "
+          f"file ids and their encrypted (order-preserved) scores; "
+          f"returned {len(observation.returned_file_ids)}")
+
+
+if __name__ == "__main__":
+    main()

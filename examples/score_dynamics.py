@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Score dynamics: updating the index without touching old entries.
+
+The paper's Section VII advantage over [16]/[18]: because the OPM's
+plaintext-to-bucket assignment depends only on the key, inserting or
+removing documents never remaps previously outsourced scores.  This
+example builds an index, inserts and removes documents, and verifies
+byte-identity of untouched entries, then shows both baselines being
+forced to rebuild under the same workload.
+
+Run:  python3 examples/score_dynamics.py
+"""
+
+from repro import EfficientRSSE, IndexMaintainer
+from repro.baselines import BucketOpeMapper, SampledOpeMapper
+from repro.corpus import generate_corpus
+from repro.crypto import generate_key
+from repro.ir import Analyzer, stem
+from repro.ir.scoring import single_keyword_score
+
+
+def network_levels(maintainer):
+    index = maintainer.plain_index
+    term = stem("network")
+    return [
+        maintainer.quantizer.quantize(
+            single_keyword_score(
+                posting.term_frequency, index.file_length(posting.file_id)
+            )
+        )
+        for posting in index.posting_list(term)
+    ]
+
+
+def main() -> None:
+    documents = generate_corpus(num_documents=160, seed=5)
+    initial, incoming = documents[:120], documents[120:]
+    analyzer = Analyzer()
+
+    scheme = EfficientRSSE()
+    maintainer = IndexMaintainer(scheme, scheme.keygen())
+    for document in initial:
+        maintainer.add_document(document.doc_id,
+                                analyzer.analyze(document.text))
+    maintainer.build()
+    print(f"built index over {len(initial)} documents "
+          f"({maintainer.secure_index.num_lists} posting lists)")
+
+    trained_levels = network_levels(maintainer)
+    snapshot = {
+        address: list(entries)
+        for address, entries in maintainer.secure_index.items()
+    }
+
+    # --- incremental inserts -------------------------------------------
+    total_written = 0
+    for document in incoming:
+        report = maintainer.insert_document(
+            document.doc_id, analyzer.analyze(document.text)
+        )
+        total_written += report.entries_written
+        assert report.entries_remapped == 0
+    untouched = all(
+        maintainer.secure_index.lookup(address)[: len(entries)] == entries
+        for address, entries in snapshot.items()
+    )
+    print(f"inserted {len(incoming)} documents: {total_written} new "
+          f"entries written, 0 remapped; "
+          f"pre-existing entries byte-identical: {untouched}")
+
+    # --- removal ---------------------------------------------------------
+    victim = initial[0].doc_id
+    report = maintainer.remove_document(victim)
+    print(f"removed {victim}: {report.entries_removed} entries deleted, "
+          f"{report.entries_remapped} remapped")
+
+    # --- the baselines under the same workload ----------------------------
+    updated_levels = network_levels(maintainer)
+
+    bucket = BucketOpeMapper.fit(generate_key(), trained_levels, 1 << 46)
+    print(f"\nbucket OPE [18]: trained on {len(trained_levels)} scores; "
+          f"needs rebuild after inserts: "
+          f"{bucket.needs_rebuild(updated_levels)} "
+          f"(rebuild = remap all {len(updated_levels)} entries)")
+
+    sampled = SampledOpeMapper.fit(
+        generate_key(), trained_levels, 128, 1 << 46
+    )
+    drift = sampled.distribution_drift(updated_levels)
+    print(f"sampled OPE [16]: distribution drift {drift:.3f}; "
+          f"needs retrain: {sampled.needs_rebuild(updated_levels)}")
+    print("\nrsse (this paper): 0 entries remapped under any insertion "
+          "— the OPM never depends on other scores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — Secure Ranked Keyword Search over Encrypted Cloud Data.
+
+A from-scratch Python reproduction of Wang, Cao, Li, Ren, Lou (ICDCS
+2010): ranked searchable symmetric encryption (RSSE) with a one-to-many
+order-preserving mapping built on Boldyreva-style OPSE.
+
+Quickstart
+----------
+>>> from repro import EfficientRSSE, DataOwner, CloudServer, DataUser, Channel
+>>> from repro.corpus import generate_corpus
+>>> scheme = EfficientRSSE()
+>>> owner = DataOwner(scheme)
+>>> outsourcing = owner.setup(generate_corpus(50))
+>>> server = CloudServer(outsourcing.secure_index, outsourcing.blob_store,
+...                      can_rank=True)
+>>> user = DataUser(scheme, owner.authorize_user(), Channel(server.handle),
+...                 owner.analyzer)
+>>> hits = user.search_ranked_topk("network", k=5)
+
+Package layout
+--------------
+* :mod:`repro.crypto` — PRF/hash, TapeGen, HGD, OPSE, the one-to-many
+  OPM (Algorithm 1), authenticated symmetric encryption, PRP, keys;
+* :mod:`repro.ir` — analyzer, Porter stemmer, inverted index, TF x IDF
+  scoring, top-k;
+* :mod:`repro.core` — the basic scheme (Fig. 3), the efficient RSSE
+  (Section IV), range sizing (Section IV-C), score dynamics,
+  multi-keyword extension;
+* :mod:`repro.cloud` — data owner / cloud server / data user over an
+  accounted channel (Fig. 1);
+* :mod:`repro.corpus` — synthetic RFC-style corpus + real-corpus loader;
+* :mod:`repro.analysis` — min-entropy, histograms, flatness, the
+  frequency-analysis attack, leakage accounting;
+* :mod:`repro.baselines` — plaintext search, deterministic OPSE,
+  bucket OPE [18], sampling-trained OPE [16].
+"""
+
+from repro.analysis import run_identification_experiment
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser
+from repro.core import (
+    PAPER_PARAMETERS,
+    BasicRankedSSE,
+    EfficientRSSE,
+    IndexMaintainer,
+    MultiKeywordSearcher,
+    SchemeParameters,
+    minimal_range_bits,
+)
+from repro.corpus import Document, generate_corpus, load_directory
+from repro.crypto import (
+    OneToManyOpm,
+    OrderPreservingEncryption,
+    SchemeKey,
+    keygen,
+)
+from repro.errors import ReproError
+from repro.ir import Analyzer, InvertedIndex, ScoreQuantizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyzer",
+    "BasicRankedSSE",
+    "Channel",
+    "CloudServer",
+    "DataOwner",
+    "DataUser",
+    "Document",
+    "EfficientRSSE",
+    "IndexMaintainer",
+    "InvertedIndex",
+    "MultiKeywordSearcher",
+    "OneToManyOpm",
+    "OrderPreservingEncryption",
+    "PAPER_PARAMETERS",
+    "ReproError",
+    "SchemeKey",
+    "SchemeParameters",
+    "ScoreQuantizer",
+    "__version__",
+    "generate_corpus",
+    "keygen",
+    "load_directory",
+    "minimal_range_bits",
+    "run_identification_experiment",
+]

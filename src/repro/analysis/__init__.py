@@ -1,0 +1,84 @@
+"""Security analysis tooling: entropy, histograms, flatness, attacks, leakage.
+
+Implements the quantitative side of the paper's Sections IV-C and V:
+min-entropy range sizing, the Fig. 4/6 histogram methodology, the
+reverse-engineering adversary, and per-protocol leakage accounting.
+"""
+
+from repro.analysis.attacks import (
+    AttackResult,
+    FrequencyAttacker,
+    multiplicity_profile,
+    profile_distance,
+    run_identification_experiment,
+)
+from repro.analysis.entropy import (
+    has_high_min_entropy,
+    high_min_entropy_threshold,
+    min_entropy,
+    min_entropy_of_values,
+    shannon_entropy,
+)
+from repro.analysis.flatness import (
+    FlatnessReport,
+    duplicate_profile,
+    flatness_report,
+    ks_distance_to_uniform,
+)
+from repro.analysis.histogram import (
+    equal_width_histogram,
+    histogram_summary,
+    render_histogram,
+)
+from repro.analysis.leakage import (
+    LeakageProfile,
+    ordered_pairs_full,
+    ordered_pairs_topk,
+    profile_search,
+)
+from repro.analysis.onewayness import (
+    OnewaynessResult,
+    ciphertext_position_estimate,
+    ordered_pair_advantage,
+    window_onewayness_experiment,
+)
+from repro.analysis.retrieval_quality import (
+    QualityReport,
+    WorkloadQuality,
+    precision_at_k,
+    quality_over_keywords,
+    quantized_ranking_quality,
+)
+
+__all__ = [
+    "AttackResult",
+    "FlatnessReport",
+    "FrequencyAttacker",
+    "LeakageProfile",
+    "OnewaynessResult",
+    "QualityReport",
+    "WorkloadQuality",
+    "ciphertext_position_estimate",
+    "duplicate_profile",
+    "equal_width_histogram",
+    "flatness_report",
+    "has_high_min_entropy",
+    "high_min_entropy_threshold",
+    "histogram_summary",
+    "ks_distance_to_uniform",
+    "min_entropy",
+    "min_entropy_of_values",
+    "multiplicity_profile",
+    "ordered_pair_advantage",
+    "ordered_pairs_full",
+    "ordered_pairs_topk",
+    "precision_at_k",
+    "profile_distance",
+    "profile_search",
+    "quality_over_keywords",
+    "quantized_ranking_quality",
+    "render_histogram",
+    "run_identification_experiment",
+    "shannon_entropy",
+    "window_onewayness_experiment",
+]

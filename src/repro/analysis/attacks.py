@@ -1,0 +1,165 @@
+"""The reverse-engineering adversary of Section IV-A.
+
+The paper motivates the one-to-many mapping with an attack: a curious
+server with background knowledge of keyword-specific score
+distributions (e.g. Fig. 4's skewed "network" profile) can match an
+*encrypted* posting list's score distribution against known keyword
+profiles and re-identify the keyword — without breaking the trapdoor
+or the OPSE — because deterministic OPSE preserves the multiplicity
+structure of the plaintext distribution exactly.
+
+:class:`FrequencyAttacker` implements that adversary.  Its invariant
+signal is the **multiplicity profile**: the sorted vector of duplicate
+counts of the observed values.  Under deterministic encryption the
+profile of the ciphertexts equals the profile of the plaintext levels;
+under the one-to-many mapping (with an adequately sized range) every
+ciphertext is distinct and the profile degenerates to all-ones,
+carrying no keyword signal.
+
+``run_identification_experiment`` measures identification accuracy for
+any score-protection function, with all candidate posting lists
+subsampled to equal length so that list length (inherent SSE leakage,
+orthogonal to score protection) cannot act as a side channel.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ParameterError
+
+#: A score-protection function: (keyword, level, file_id) -> value.
+ScoreEncryptor = Callable[[str, int, str], int]
+
+
+def multiplicity_profile(values: Sequence[int]) -> tuple[int, ...]:
+    """Sorted duplicate-count vector — the attack's invariant signal."""
+    if not values:
+        raise ParameterError("values must be non-empty")
+    return tuple(sorted(Counter(values).values(), reverse=True))
+
+
+def profile_distance(
+    profile_a: tuple[int, ...], profile_b: tuple[int, ...]
+) -> int:
+    """L1 distance between multiplicity profiles (zero-padded)."""
+    length = max(len(profile_a), len(profile_b))
+    padded_a = profile_a + (0,) * (length - len(profile_a))
+    padded_b = profile_b + (0,) * (length - len(profile_b))
+    return sum(abs(a - b) for a, b in zip(padded_a, padded_b))
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one identification experiment.
+
+    Attributes
+    ----------
+    correct:
+        Keywords identified correctly.
+    total:
+        Keywords attacked.
+    chance:
+        Random-guessing baseline (``1 / total``).
+    """
+
+    correct: int
+    total: int
+
+    @property
+    def accuracy(self) -> float:
+        """Identification accuracy."""
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def chance(self) -> float:
+        """Random-guess accuracy over the candidate set."""
+        return 1.0 / self.total if self.total else 0.0
+
+
+class FrequencyAttacker:
+    """A curious server with background score-distribution knowledge.
+
+    Parameters
+    ----------
+    background:
+        keyword -> plaintext score levels of its posting list.  This is
+        the strongest variant (exact knowledge); accuracy with it upper
+        bounds any weaker background.
+    """
+
+    def __init__(self, background: Mapping[str, Sequence[int]]):
+        if not background:
+            raise ParameterError("background knowledge must be non-empty")
+        self._profiles = {
+            keyword: multiplicity_profile(levels)
+            for keyword, levels in background.items()
+        }
+
+    def guess(self, observed_values: Sequence[int]) -> str:
+        """Name the keyword whose profile best matches the observation.
+
+        Ties break alphabetically (deterministic, and pessimistic for
+        the attacker no more than chance).
+        """
+        observed = multiplicity_profile(observed_values)
+        best_keyword = None
+        best_distance = None
+        for keyword in sorted(self._profiles):
+            distance = profile_distance(observed, self._profiles[keyword])
+            if best_distance is None or distance < best_distance:
+                best_keyword = keyword
+                best_distance = distance
+        assert best_keyword is not None
+        return best_keyword
+
+
+def run_identification_experiment(
+    keyword_levels: Mapping[str, Sequence[int]],
+    encryptor: ScoreEncryptor,
+    sample_length: int | None = None,
+    seed: int = 0,
+) -> AttackResult:
+    """Measure keyword re-identification accuracy against ``encryptor``.
+
+    Parameters
+    ----------
+    keyword_levels:
+        keyword -> plaintext score levels of its posting list.
+    encryptor:
+        The score protection under attack.  ``lambda kw, level, fid:
+        level`` models no protection; a per-keyword deterministic OPSE
+        ignores ``fid``; the paper's OPM uses all three arguments.
+    sample_length:
+        All lists are subsampled (seeded) to this common length so the
+        attacker cannot key on list length; defaults to the shortest
+        list.
+    seed:
+        Subsampling seed.
+    """
+    if not keyword_levels:
+        raise ParameterError("keyword_levels must be non-empty")
+    rng = random.Random(seed)
+    shortest = min(len(levels) for levels in keyword_levels.values())
+    if shortest == 0:
+        raise ParameterError("every keyword needs at least one score")
+    length = shortest if sample_length is None else min(sample_length, shortest)
+
+    sampled = {
+        keyword: rng.sample(list(levels), length)
+        for keyword, levels in keyword_levels.items()
+    }
+    attacker = FrequencyAttacker(sampled)
+
+    correct = 0
+    for keyword, levels in sampled.items():
+        observed = [
+            encryptor(keyword, level, f"{keyword}-doc-{position}")
+            for position, level in enumerate(levels)
+        ]
+        if attacker.guess(observed) == keyword:
+            correct += 1
+    return AttackResult(correct=correct, total=len(sampled))

@@ -1,0 +1,75 @@
+"""Min-entropy tools (paper Section IV-C).
+
+The range-size argument is phrased in min-entropy: after the
+one-to-many mapping, the ciphertext distribution restricted to any
+posting list must have *high* min-entropy — ``H_inf(X) in omega(log k)``
+where ``k`` is the bit length describing the states of ``X`` — so that
+no single encrypted value (hence no single score) is predictable.  The
+paper operationalizes "high" as ``H_inf >= (log k)^c`` with ``c > 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping
+
+from repro.errors import ParameterError
+
+
+def min_entropy(distribution: Mapping[object, int] | Counter) -> float:
+    """``H_inf(X) = -log2 max_a Pr[X = a]`` from observed counts."""
+    total = sum(distribution.values())
+    if total <= 0:
+        raise ParameterError("distribution must contain at least one sample")
+    if any(count < 0 for count in distribution.values()):
+        raise ParameterError("counts must be non-negative")
+    peak = max(distribution.values())
+    return -math.log2(peak / total)
+
+
+def min_entropy_of_values(values: Iterable[object]) -> float:
+    """Convenience: min-entropy of a raw sample list."""
+    counter = Counter(values)
+    if not counter:
+        raise ParameterError("values must be non-empty")
+    return min_entropy(counter)
+
+
+def high_min_entropy_threshold(state_bits: int, c: float = 1.1) -> float:
+    """The ``(log2 k)^c`` threshold for "high" min-entropy.
+
+    ``state_bits`` is ``k``, the bit width describing the states of the
+    variable (``log2 |R|`` for OPM ciphertexts).
+    """
+    if state_bits < 2:
+        raise ParameterError(f"state_bits must be >= 2, got {state_bits}")
+    if not c > 1:
+        raise ParameterError(f"c must be > 1, got {c}")
+    return math.log2(state_bits) ** c
+
+
+def has_high_min_entropy(
+    distribution: Mapping[object, int] | Counter,
+    state_bits: int,
+    c: float = 1.1,
+) -> bool:
+    """Does the observed distribution meet the high-min-entropy bar?"""
+    return min_entropy(distribution) >= high_min_entropy_threshold(
+        state_bits, c
+    )
+
+
+def shannon_entropy(distribution: Mapping[object, int] | Counter) -> float:
+    """Shannon entropy in bits (supplementary flatness metric)."""
+    total = sum(distribution.values())
+    if total <= 0:
+        raise ParameterError("distribution must contain at least one sample")
+    entropy = 0.0
+    for count in distribution.values():
+        if count < 0:
+            raise ParameterError("counts must be non-negative")
+        if count:
+            p = count / total
+            entropy -= p * math.log2(p)
+    return entropy

@@ -1,0 +1,83 @@
+"""Equally spaced container histograms (Figs. 4 and 6 methodology).
+
+The paper visualizes both raw score distributions (Fig. 4) and
+OPM-encrypted value distributions (Fig. 6) by counting points in 128
+equally spaced containers over the value range.  This module provides
+exactly that binning, plus a text rendering used by the benches to
+print the figure series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError
+
+
+def equal_width_histogram(
+    values: Iterable[int | float],
+    bins: int = 128,
+    low: float | None = None,
+    high: float | None = None,
+) -> list[int]:
+    """Count ``values`` into ``bins`` equally spaced containers.
+
+    ``low``/``high`` default to the observed min/max; the top edge is
+    inclusive (the paper's containers cover the full value range).
+    """
+    if bins < 1:
+        raise ParameterError(f"bins must be >= 1, got {bins}")
+    materialized = list(values)
+    if not materialized:
+        raise ParameterError("cannot histogram an empty value set")
+    lo = float(min(materialized)) if low is None else float(low)
+    hi = float(max(materialized)) if high is None else float(high)
+    if hi < lo:
+        raise ParameterError(f"empty range [{lo}, {hi}]")
+    counts = [0] * bins
+    if hi == lo:
+        counts[0] = len(materialized)
+        return counts
+    width = (hi - lo) / bins
+    for value in materialized:
+        if value < lo or value > hi:
+            raise ParameterError(
+                f"value {value} outside histogram range [{lo}, {hi}]"
+            )
+        position = int((value - lo) / width)
+        if position == bins:  # top edge inclusive
+            position -= 1
+        counts[position] += 1
+    return counts
+
+
+def render_histogram(
+    counts: Sequence[int],
+    max_width: int = 60,
+    label_every: int = 16,
+) -> str:
+    """Render a histogram as fixed-width text rows (bench output)."""
+    if not counts:
+        raise ParameterError("cannot render an empty histogram")
+    peak = max(counts) or 1
+    lines = []
+    for position, count in enumerate(counts):
+        bar = "#" * max(0, round(count / peak * max_width))
+        label = f"{position:>4}" if position % label_every == 0 else "    "
+        lines.append(f"{label} |{bar} {count}" if count else f"{label} |")
+    return "\n".join(lines)
+
+
+def histogram_summary(counts: Sequence[int]) -> dict[str, float]:
+    """Summary statistics of a histogram (bench reporting)."""
+    if not counts:
+        raise ParameterError("cannot summarize an empty histogram")
+    total = sum(counts)
+    nonzero = [count for count in counts if count]
+    return {
+        "bins": float(len(counts)),
+        "total": float(total),
+        "peak": float(max(counts)),
+        "nonzero_bins": float(len(nonzero)),
+        "peak_fraction": max(counts) / total if total else 0.0,
+    }

@@ -1,0 +1,116 @@
+"""Leakage profiles: what each protocol reveals to the server.
+
+Section III-A fixes the baseline SSE leakage (access pattern + search
+pattern); Section III-C notes the basic two-round protocol additionally
+reveals that the requested files outrank the rest; Section IV trades
+the *full relevance order* for one-round efficiency.  This module turns
+those qualitative statements into a countable quantity — the number of
+ordered file pairs the server learns per search — so the schemes'
+leakage can sit next to their performance in one table:
+
+* basic one-round: server learns **0** ordered pairs;
+* basic two-round top-k over ``n`` matches: the ``k`` requested files
+  each outrank the ``n - k`` others — ``k * (n - k)`` pairs;
+* efficient RSSE over ``n`` matches: the full order — ``n(n-1)/2``
+  pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.server import ServerLog
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class LeakageProfile:
+    """Quantified leakage of one search protocol execution.
+
+    Attributes
+    ----------
+    access_pattern:
+        Matched file ids the server saw.
+    search_pattern_hits:
+        How many times this address was queried before (equality
+        pattern across searches).
+    ordered_pairs_learned:
+        Relevance-order pairs the server can now write down.
+    score_values_seen:
+        Distinct protected score values observed (OPM values leak
+        order; ``E_z`` ciphertexts leak nothing and count as 0).
+    """
+
+    access_pattern: tuple[str, ...]
+    search_pattern_hits: int
+    ordered_pairs_learned: int
+    score_values_seen: int
+
+
+def ordered_pairs_full(n: int) -> int:
+    """Pairs learned when the full ranking of ``n`` files is visible."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    return n * (n - 1) // 2
+
+
+def ordered_pairs_topk(n: int, k: int) -> int:
+    """Pairs learned when only "top-k beats the rest" is visible."""
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+    if k < 0:
+        raise ParameterError(f"k must be >= 0, got {k}")
+    k = min(k, n)
+    return k * (n - k)
+
+
+def profile_search(
+    log: ServerLog,
+    observation_index: int,
+    scheme: str,
+    top_k: int | None = None,
+) -> LeakageProfile:
+    """Build the leakage profile of one logged search.
+
+    Parameters
+    ----------
+    log:
+        The curious server's log.
+    observation_index:
+        Which observation to profile.
+    scheme:
+        ``"basic-one-round"``, ``"basic-two-round"`` or ``"rsse"``.
+    top_k:
+        The ``k`` of a top-k request where applicable.
+    """
+    try:
+        observation = log.observations[observation_index]
+    except IndexError:
+        raise ParameterError(
+            f"no observation at index {observation_index}"
+        ) from None
+    n = len(observation.matched_file_ids)
+    if scheme == "basic-one-round":
+        pairs = 0
+        score_values = 0
+    elif scheme == "basic-two-round":
+        if top_k is None:
+            raise ParameterError("basic-two-round requires top_k")
+        pairs = ordered_pairs_topk(n, top_k)
+        score_values = 0
+    elif scheme == "rsse":
+        pairs = ordered_pairs_full(n)
+        score_values = len(set(observation.score_fields))
+    else:
+        raise ParameterError(f"unknown scheme {scheme!r}")
+    earlier_hits = sum(
+        1
+        for earlier in log.observations[:observation_index]
+        if earlier.address == observation.address and earlier.address
+    )
+    return LeakageProfile(
+        access_pattern=observation.matched_file_ids,
+        search_pattern_hits=earlier_hits,
+        ordered_pairs_learned=pairs,
+        score_values_seen=score_values,
+    )

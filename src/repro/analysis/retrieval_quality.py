@@ -1,0 +1,148 @@
+"""Retrieval-quality metrics: what score quantization costs.
+
+The efficient scheme cannot rank by exact scores — it ranks by scores
+quantized to ``M`` levels (then OPM-mapped).  Coarser quantization
+merges near-ties, so the server's ranking can deviate from the exact
+equation-2 ranking within level boundaries.  The paper fixes
+``M = 128`` without analyzing this trade-off; these metrics make it
+measurable (see ``benchmarks/bench_quantization_ablation.py``):
+
+* :func:`precision_at_k` — fraction of the true top-k retrieved;
+* :func:`quantized_ranking_quality` — P@k and Kendall tau of the
+  quantized ranking against the exact ranking for one keyword;
+* :func:`quality_over_keywords` — averages over a keyword workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.multi_keyword import rank_correlation
+from repro.core.results import RankedFile, as_ranking
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer, single_keyword_score
+from repro.ir.topk import rank_all
+
+
+def precision_at_k(
+    true_ranking: Sequence[RankedFile],
+    observed_ranking: Sequence[RankedFile],
+    k: int,
+) -> float:
+    """|true top-k  ∩  observed top-k| / k (capped by list length)."""
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    effective = min(k, len(true_ranking))
+    if effective == 0:
+        return 1.0
+    true_top = {entry.file_id for entry in true_ranking[:effective]}
+    observed_top = {entry.file_id for entry in observed_ranking[:effective]}
+    return len(true_top & observed_top) / effective
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quantization-quality numbers for one keyword."""
+
+    keyword: str
+    matches: int
+    kendall_tau: float
+    precision_at_5: float
+    precision_at_10: float
+    precision_at_50: float
+
+
+def _exact_ranking(index: InvertedIndex, term: str) -> list[RankedFile]:
+    scored = [
+        (
+            posting.file_id,
+            single_keyword_score(
+                posting.term_frequency, index.file_length(posting.file_id)
+            ),
+        )
+        for posting in index.posting_list(term)
+    ]
+    return as_ranking(rank_all(scored, key=lambda pair: pair[1]))
+
+
+def _quantized_ranking(
+    index: InvertedIndex, term: str, quantizer: ScoreQuantizer
+) -> list[RankedFile]:
+    scored = [
+        (
+            posting.file_id,
+            quantizer.quantize(
+                single_keyword_score(
+                    posting.term_frequency,
+                    index.file_length(posting.file_id),
+                )
+            ),
+        )
+        for posting in index.posting_list(term)
+    ]
+    return as_ranking(rank_all(scored, key=lambda pair: pair[1]))
+
+
+def quantized_ranking_quality(
+    index: InvertedIndex, term: str, quantizer: ScoreQuantizer
+) -> QualityReport:
+    """Compare the M-level ranking against the exact ranking."""
+    exact = _exact_ranking(index, term)
+    if not exact:
+        raise ParameterError(f"term {term!r} has no postings")
+    quantized = _quantized_ranking(index, term, quantizer)
+    return QualityReport(
+        keyword=term,
+        matches=len(exact),
+        kendall_tau=rank_correlation(quantized, exact),
+        precision_at_5=precision_at_k(exact, quantized, 5),
+        precision_at_10=precision_at_k(exact, quantized, 10),
+        precision_at_50=precision_at_k(exact, quantized, 50),
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadQuality:
+    """Averages of :class:`QualityReport` over a keyword workload."""
+
+    levels: int
+    keywords: int
+    mean_tau: float
+    mean_precision_at_10: float
+    worst_precision_at_10: float
+
+
+def quality_over_keywords(
+    index: InvertedIndex,
+    terms: Sequence[str],
+    levels: int,
+    headroom: float = 1.05,
+) -> WorkloadQuality:
+    """Fit an M-level quantizer collection-wide; average quality."""
+    if not terms:
+        raise ParameterError("terms must be non-empty")
+    scores = [
+        single_keyword_score(
+            posting.term_frequency, index.file_length(posting.file_id)
+        )
+        for _, postings in index.items()
+        for posting in postings
+    ]
+    quantizer = ScoreQuantizer.fit(scores, levels=levels, headroom=headroom)
+    reports = [
+        quantized_ranking_quality(index, term, quantizer) for term in terms
+    ]
+    return WorkloadQuality(
+        levels=levels,
+        keywords=len(reports),
+        mean_tau=sum(report.kendall_tau for report in reports) / len(reports),
+        mean_precision_at_10=sum(
+            report.precision_at_10 for report in reports
+        )
+        / len(reports),
+        worst_precision_at_10=min(
+            report.precision_at_10 for report in reports
+        ),
+    )

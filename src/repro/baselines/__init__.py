@@ -1,0 +1,24 @@
+"""Baselines the paper compares against (Sections IV-A, VI-B, VII).
+
+* :mod:`repro.baselines.plaintext` — unencrypted ranked search
+  (efficiency upper bound);
+* :mod:`repro.baselines.det_opse` — deterministic OPSE scoring (the
+  Section IV-A strawman the frequency attack defeats);
+* :mod:`repro.baselines.bucket_ope` — Swaminathan et al. [18]-style
+  pre-built buckets (no score dynamics);
+* :mod:`repro.baselines.sampled_ope` — Zerr et al. [16]-style
+  sampling-trained transform (rebuilds on distribution drift).
+"""
+
+from repro.baselines.bucket_ope import BucketOpeMapper, LevelBucket
+from repro.baselines.det_opse import DeterministicOpseScoring
+from repro.baselines.plaintext import PlaintextRankedSearch
+from repro.baselines.sampled_ope import SampledOpeMapper
+
+__all__ = [
+    "BucketOpeMapper",
+    "DeterministicOpseScoring",
+    "LevelBucket",
+    "PlaintextRankedSearch",
+    "SampledOpeMapper",
+]

@@ -1,0 +1,152 @@
+"""Bucket-based order-preserving mapping (Swaminathan et al. [18] style).
+
+The storage-security workshop scheme the paper compares against: the
+data owner studies the score distribution up front and partitions the
+ciphertext range into per-level buckets whose widths are proportional
+to each level's observed frequency.  Mapping a score then means drawing
+a pseudo-random point in its level's interval — the mapped values come
+out near-uniform over the range ("uniformly distributing posting
+elements"), which is the scheme's security goal.
+
+The decisive weakness the paper highlights (Section VII): the bucket
+geometry is *fitted to the score distribution*.  Inserting or updating
+scores shifts the distribution; once it drifts, uniformity is lost and
+the owner must recompute the buckets and **remap every posting element**
+(the index is "completely rebuilt").  :meth:`BucketOpeMapper.needs_rebuild`
+implements the drift test and ``benchmarks/bench_score_dynamics.py``
+counts the remapping cost against the OPM's zero.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.tape import CoinStream
+from repro.errors import DomainError, ParameterError
+
+
+@dataclass(frozen=True)
+class LevelBucket:
+    """The ciphertext interval assigned to one score level."""
+
+    level: int
+    low: int
+    high: int
+
+    @property
+    def width(self) -> int:
+        """Number of ciphertext points in the bucket."""
+        return self.high - self.low + 1
+
+
+class BucketOpeMapper:
+    """Distribution-fitted bucket order-preserving mapping.
+
+    Build with :meth:`fit`; the mapper is immutable afterwards — by
+    design, because that is the baseline's limitation under study.
+    """
+
+    def __init__(self, key: bytes, buckets: Sequence[LevelBucket], range_size: int):
+        if not key:
+            raise ParameterError("mapper key must be non-empty")
+        if not buckets:
+            raise ParameterError("bucket list must be non-empty")
+        self._key = bytes(key)
+        self._buckets = {bucket.level: bucket for bucket in buckets}
+        self._range_size = range_size
+        self._trained_distribution = Counter(
+            {bucket.level: bucket.width for bucket in buckets}
+        )
+
+    @classmethod
+    def fit(
+        cls,
+        key: bytes,
+        levels: Iterable[int],
+        range_size: int,
+    ) -> "BucketOpeMapper":
+        """Fit buckets to the observed level distribution.
+
+        Each observed level receives a contiguous interval whose width
+        is proportional to its frequency (plus one point of floor so
+        every observed level is mappable); intervals are laid out in
+        level order, so the mapping is order-preserving across levels.
+        """
+        counts = Counter(levels)
+        if not counts:
+            raise ParameterError("cannot fit to an empty score set")
+        total = sum(counts.values())
+        if range_size < len(counts):
+            raise ParameterError(
+                f"range size {range_size} below distinct level count "
+                f"{len(counts)}"
+            )
+        buckets = []
+        cursor = 1
+        remaining = range_size
+        ordered_levels = sorted(counts)
+        for position, level in enumerate(ordered_levels):
+            if position == len(ordered_levels) - 1:
+                width = remaining
+            else:
+                width = max(1, round(counts[level] / total * range_size))
+                levels_after = len(ordered_levels) - position - 1
+                width = min(width, remaining - levels_after)
+            buckets.append(
+                LevelBucket(level=level, low=cursor, high=cursor + width - 1)
+            )
+            cursor += width
+            remaining -= width
+        return cls(key, buckets, range_size)
+
+    @property
+    def trained_levels(self) -> set[int]:
+        """Levels the mapper was fitted on (the only mappable ones)."""
+        return set(self._buckets)
+
+    def bucket(self, level: int) -> LevelBucket:
+        """The interval fitted for ``level``; unseen levels are errors."""
+        try:
+            return self._buckets[level]
+        except KeyError:
+            raise DomainError(
+                f"level {level} was not in the training distribution; the "
+                "bucket mapping must be rebuilt"
+            ) from None
+
+    def map_score(self, level: int, file_id: bytes | str) -> int:
+        """Map a level to a pseudo-random point of its fitted interval."""
+        if isinstance(file_id, str):
+            file_id = file_id.encode("utf-8")
+        bucket = self.bucket(level)
+        coins = CoinStream(
+            self._key, (bucket.low, bucket.high, level, bytes(file_id))
+        )
+        return coins.choice(bucket.low, bucket.high)
+
+    def needs_rebuild(
+        self, updated_levels: Iterable[int], tolerance: float = 0.10
+    ) -> bool:
+        """Has the level distribution drifted beyond the fitted geometry?
+
+        True when any level is new (it has no bucket at all), or when
+        the total-variation distance between the observed level shares
+        and the fitted bucket shares exceeds ``tolerance`` — at which
+        point the mapped values are no longer near-uniform and [18]
+        must rebuild (remap every posting element).
+        """
+        counts = Counter(updated_levels)
+        if not counts:
+            raise ParameterError("updated level set must be non-empty")
+        if any(level not in self._buckets for level in counts):
+            return True
+        total = sum(counts.values())
+        trained_total = sum(self._trained_distribution.values())
+        drift = 0.0
+        for level in self._buckets:
+            observed_share = counts.get(level, 0) / total
+            fitted_share = self._trained_distribution[level] / trained_total
+            drift += abs(observed_share - fitted_share)
+        return drift / 2.0 > tolerance

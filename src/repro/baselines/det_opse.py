@@ -1,0 +1,55 @@
+"""Deterministic-OPSE scoring — the strawman of Section IV-A.
+
+Encrypt each quantized score with plain (one-to-one) OPSE under a
+per-keyword key.  Ranking works exactly as in the efficient scheme, but
+every duplicate score maps to the *same* ciphertext, so the encrypted
+value distribution inherits the plaintext distribution's multiplicity
+structure — the property the Fig. 4 reverse-engineering attack
+exploits, and the reason the paper replaces this design with the
+one-to-many mapping.
+
+This baseline exists to make the attack comparison concrete:
+``benchmarks/bench_attack_resistance.py`` re-identifies keywords with
+high accuracy here and at chance level against the OPM.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.opse import OrderPreservingEncryption
+from repro.crypto.prf import Prf
+from repro.errors import ParameterError
+
+
+class DeterministicOpseScoring:
+    """Per-keyword deterministic OPSE over quantized score levels.
+
+    Mirrors :meth:`repro.core.rsse.EfficientRSSE.opm_for_term` with the
+    one-to-many randomization removed.
+    """
+
+    def __init__(self, master_key: bytes, domain_size: int, range_size: int):
+        if not master_key:
+            raise ParameterError("master key must be non-empty")
+        self._prf = Prf(master_key)
+        self._domain_size = domain_size
+        self._range_size = range_size
+        self._per_term: dict[str, OrderPreservingEncryption] = {}
+
+    def _opse_for(self, term: str) -> OrderPreservingEncryption:
+        opse = self._per_term.get(term)
+        if opse is None:
+            key = self._prf.derive_key(b"det-opse|" + term.encode("utf-8"))
+            opse = OrderPreservingEncryption(
+                key, self._domain_size, self._range_size
+            )
+            self._per_term[term] = opse
+        return opse
+
+    def map_score(self, term: str, level: int, file_id: str) -> int:
+        """Encrypt a level; the file id is ignored (deterministic)."""
+        del file_id  # the strawman's defining weakness
+        return self._opse_for(term).encrypt(level)
+
+    def invert(self, term: str, ciphertext: int) -> int:
+        """Decrypt a ciphertext back to its level."""
+        return self._opse_for(term).decrypt(ciphertext)

@@ -1,0 +1,43 @@
+"""Plaintext ranked search — the efficiency upper bound.
+
+No encryption anywhere: scores are computed from the plaintext inverted
+index and ranked directly.  Every efficiency figure of the encrypted
+schemes is reported relative to this baseline (the paper's claim is
+that RSSE top-k is "almost as fast as in the plaintext domain").
+"""
+
+from __future__ import annotations
+
+from repro.core.results import RankedFile, as_ranking
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import single_keyword_score
+from repro.ir.topk import rank_all, top_k
+
+
+class PlaintextRankedSearch:
+    """Unprotected single-keyword ranked retrieval."""
+
+    def __init__(self, index: InvertedIndex):
+        self._index = index
+
+    def _scored(self, term: str) -> list[tuple[str, float]]:
+        return [
+            (
+                posting.file_id,
+                single_keyword_score(
+                    posting.term_frequency,
+                    self._index.file_length(posting.file_id),
+                ),
+            )
+            for posting in self._index.posting_list(term)
+        ]
+
+    def search_ranked(self, term: str) -> list[RankedFile]:
+        """Full ranking by true equation-2 scores."""
+        ordered = rank_all(self._scored(term), key=lambda pair: pair[1])
+        return as_ranking(ordered)
+
+    def search_top_k(self, term: str, k: int) -> list[RankedFile]:
+        """Top-k by true equation-2 scores."""
+        best = top_k(self._scored(term), k, key=lambda pair: pair[1])
+        return as_ranking(best)

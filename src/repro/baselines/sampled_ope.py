@@ -1,0 +1,139 @@
+"""Sampling-trained order-preserving transform (Zerber+r [16] style).
+
+The EDBT'09 approach the paper compares against: before outsourcing,
+the owner *samples* the relevance scores and trains a monotone
+transform — the empirical CDF scaled to the ciphertext range — so that
+transformed scores are approximately uniform.  Mapping a score means
+looking up its CDF interval and drawing a pseudo-random point inside.
+
+Two weaknesses relative to the paper's OPM, both modelled here:
+
+* training requires a representative **pre-sample** of the scores to be
+  outsourced (the OPM only needs keys);
+* when scores following a *different distribution* are inserted, the
+  trained transform no longer uniformizes and must be rebuilt
+  (:meth:`SampledOpeMapper.distribution_drift` /
+  :meth:`~SampledOpeMapper.needs_rebuild`), remapping everything.
+
+Unlike :mod:`repro.baselines.bucket_ope`, the trained transform is
+defined on *all* levels of the domain (by CDF interpolation), so
+inserting an unseen level is representable — just increasingly
+non-uniform, which is the failure mode [16] documents.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.crypto.tape import CoinStream
+from repro.errors import ParameterError
+
+
+class SampledOpeMapper:
+    """Empirical-CDF order-preserving transform trained on a sample."""
+
+    def __init__(
+        self,
+        key: bytes,
+        domain_size: int,
+        range_size: int,
+        cdf_edges: list[int],
+        sample_distribution: Counter,
+    ):
+        if not key:
+            raise ParameterError("mapper key must be non-empty")
+        self._key = bytes(key)
+        self._domain_size = domain_size
+        self._range_size = range_size
+        # cdf_edges[i] = exclusive upper range point for level i+1.
+        self._edges = cdf_edges
+        self._sample_distribution = sample_distribution
+
+    @classmethod
+    def fit(
+        cls,
+        key: bytes,
+        sample_levels: Iterable[int],
+        domain_size: int,
+        range_size: int,
+        smoothing: float = 1.0,
+    ) -> "SampledOpeMapper":
+        """Train the transform from pre-sampled score levels.
+
+        Laplace smoothing guarantees every level of the domain gets a
+        non-empty interval even if absent from the sample (those
+        intervals are small, reflecting the sample's belief that the
+        level is rare).
+        """
+        if domain_size < 1:
+            raise ParameterError(f"domain_size must be >= 1, got {domain_size}")
+        if range_size < domain_size:
+            raise ParameterError(
+                f"range size {range_size} below domain size {domain_size}"
+            )
+        counts = Counter(sample_levels)
+        if not counts:
+            raise ParameterError("cannot train on an empty sample")
+        if any(not 1 <= level <= domain_size for level in counts):
+            raise ParameterError("sample contains levels outside the domain")
+        if smoothing <= 0:
+            raise ParameterError(f"smoothing must be > 0, got {smoothing}")
+        total = sum(counts.values()) + smoothing * domain_size
+        edges = []
+        cumulative = 0.0
+        for level in range(1, domain_size + 1):
+            cumulative += (counts.get(level, 0) + smoothing) / total
+            edge = min(range_size, max(level, round(cumulative * range_size)))
+            if edges and edge <= edges[-1]:
+                edge = edges[-1] + 1
+            edges.append(edge)
+        if edges[-1] > range_size:
+            raise ParameterError(
+                "range too small for the smoothed CDF; enlarge range_size"
+            )
+        edges[-1] = range_size
+        return cls(key, domain_size, range_size, edges, counts)
+
+    def interval(self, level: int) -> tuple[int, int]:
+        """The trained range interval ``[low, high]`` of ``level``."""
+        if not 1 <= level <= self._domain_size:
+            raise ParameterError(
+                f"level must be in [1, {self._domain_size}], got {level}"
+            )
+        low = 1 if level == 1 else self._edges[level - 2] + 1
+        high = self._edges[level - 1]
+        return low, high
+
+    def map_score(self, level: int, file_id: bytes | str) -> int:
+        """Map a level through the trained transform."""
+        if isinstance(file_id, str):
+            file_id = file_id.encode("utf-8")
+        low, high = self.interval(level)
+        coins = CoinStream(self._key, (low, high, level, bytes(file_id)))
+        return coins.choice(low, high)
+
+    def distribution_drift(self, updated_levels: Iterable[int]) -> float:
+        """Total-variation distance between trained and current shares."""
+        counts = Counter(updated_levels)
+        if not counts:
+            raise ParameterError("updated level set must be non-empty")
+        total = sum(counts.values())
+        trained_total = sum(self._sample_distribution.values())
+        drift = 0.0
+        for level in range(1, self._domain_size + 1):
+            observed = counts.get(level, 0) / total
+            trained = self._sample_distribution.get(level, 0) / trained_total
+            drift += abs(observed - trained)
+        return drift / 2.0
+
+    def needs_rebuild(
+        self, updated_levels: Iterable[int], tolerance: float = 0.10
+    ) -> bool:
+        """True once the score distribution drifts past ``tolerance``.
+
+        [16]'s transform only uniformizes scores drawn from (close to)
+        the training distribution; past the tolerance the owner must
+        retrain and remap the full index.
+        """
+        return self.distribution_drift(updated_levels) > tolerance

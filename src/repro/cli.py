@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A deployment workflow on disk, mirroring the paper's entities:
+
+* ``gen-corpus``  — write a synthetic RFC-style corpus (or bring your
+  own directory of ``.txt`` files);
+* ``setup``       — data owner: index, encrypt, and package a corpus
+  into a deployment directory, saving user credentials separately;
+* ``search``      — user + server: load the deployment, run a ranked
+  top-k search, print the results;
+* ``stats``       — collection statistics and the Section IV-C range
+  recommendation for a corpus.
+
+Example session::
+
+    python -m repro gen-corpus --docs 200 --out /tmp/corpus
+    python -m repro setup --corpus /tmp/corpus --out /tmp/cloud \
+        --credentials /tmp/user.cred
+    python -m repro search --deployment /tmp/cloud \
+        --credentials /tmp/user.cred --keyword network -k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser
+from repro.cloud.persistence import (
+    load_credentials,
+    load_outsourcing,
+    save_credentials,
+    save_outsourcing,
+)
+from repro.core import BasicRankedSSE, EfficientRSSE, minimal_range_bits
+from repro.corpus import generate_corpus, load_directory
+from repro.errors import ReproError
+from repro.ir import Analyzer, InvertedIndex, ScoreQuantizer
+from repro.ir.stats import collection_stats, duplicate_stats
+
+
+def _cmd_gen_corpus(args: argparse.Namespace) -> int:
+    documents = generate_corpus(args.docs, seed=args.seed)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for document in documents:
+        (out / f"{document.doc_id}.txt").write_text(document.text)
+    print(f"wrote {len(documents)} documents to {out}")
+    return 0
+
+
+def _load_corpus(path: str):
+    return load_directory(path, pattern="*.txt")
+
+
+def _scheme_for(kind: str):
+    if kind == "rsse":
+        return EfficientRSSE()
+    if kind == "basic":
+        return BasicRankedSSE()
+    raise ReproError(f"unknown scheme kind {kind!r}")
+
+
+def _cmd_setup(args: argparse.Namespace) -> int:
+    documents = _load_corpus(args.corpus)
+    scheme = _scheme_for(args.scheme)
+    owner = DataOwner(scheme)
+    started = time.perf_counter()
+    outsourcing = owner.setup(documents)
+    elapsed = time.perf_counter() - started
+    save_outsourcing(args.out, outsourcing, args.scheme)
+    save_credentials(args.credentials, owner.authorize_user())
+    print(
+        f"indexed {len(documents)} documents in {elapsed:.1f}s: "
+        f"{outsourcing.secure_index.num_lists} posting lists, "
+        f"{outsourcing.secure_index.size_bytes() // 1024} KB index, "
+        f"{outsourcing.blob_store.total_bytes() // 1024} KB encrypted files"
+    )
+    print(f"deployment: {args.out}")
+    print(f"user credentials: {args.credentials}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    outsourcing, kind = load_outsourcing(args.deployment)
+    scheme = _scheme_for(kind)
+    credentials = load_credentials(args.credentials)
+    server = CloudServer(
+        outsourcing.secure_index,
+        outsourcing.blob_store,
+        can_rank=kind == "rsse",
+    )
+    channel = Channel(server.handle)
+    user = DataUser(scheme, credentials, channel, Analyzer())
+    started = time.perf_counter()
+    if kind == "rsse":
+        hits = user.search_ranked_topk(args.keyword, args.top_k)
+    else:
+        hits = user.search_two_round_topk(args.keyword, args.top_k)
+    elapsed = time.perf_counter() - started
+    if not hits:
+        print(f"no files match {args.keyword!r}")
+        return 1
+    print(
+        f"top-{len(hits)} for {args.keyword!r} "
+        f"({channel.stats.round_trips} round trip(s), "
+        f"{channel.stats.total_bytes // 1024} KB, {elapsed * 1000:.0f} ms):"
+    )
+    for hit in hits:
+        first_line = next(
+            (line.strip() for line in hit.text.splitlines() if line.strip()),
+            "",
+        )
+        print(f"  #{hit.rank:<3} {hit.file_id:<12} {first_line[:60]}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    documents = _load_corpus(args.corpus)
+    analyzer = Analyzer()
+    index = InvertedIndex()
+    for document in documents:
+        index.add_document(document.doc_id, analyzer.analyze(document.text))
+    stats = collection_stats(index)
+    print(f"files:                {stats.num_files}")
+    print(f"distinct keywords:    {stats.vocabulary_size}")
+    print(f"total postings:       {stats.total_postings}")
+    print(f"max posting length:   {stats.max_posting_length}")
+    print(f"avg posting length:   {stats.average_posting_length:.1f}")
+    print(f"avg file length:      {stats.average_file_length:.1f} terms")
+
+    from repro.ir.scoring import single_keyword_score
+
+    scores = [
+        single_keyword_score(
+            posting.term_frequency, index.file_length(posting.file_id)
+        )
+        for _, postings in index.items()
+        for posting in postings
+    ]
+    quantizer = ScoreQuantizer.fit(scores, levels=args.levels)
+    duplicates = duplicate_stats(index, quantizer)
+    print(f"score levels M:       {args.levels}")
+    print(f"max duplicates:       {duplicates.max_duplicates}")
+    print(f"max/lambda ratio:     {duplicates.ratio:.3f}")
+    bits = minimal_range_bits(duplicates.ratio, args.levels)
+    print(f"recommended |R|:      2^{bits}  (Section IV-C, eq. 4)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure ranked keyword search over encrypted cloud "
+        "data (ICDCS 2010 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser(
+        "gen-corpus", help="write a synthetic RFC-style corpus"
+    )
+    gen.add_argument("--docs", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=2010)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(handler=_cmd_gen_corpus)
+
+    setup = commands.add_parser(
+        "setup", help="owner: index + encrypt + package a corpus"
+    )
+    setup.add_argument("--corpus", required=True)
+    setup.add_argument("--out", required=True)
+    setup.add_argument("--credentials", required=True)
+    setup.add_argument(
+        "--scheme", choices=("rsse", "basic"), default="rsse"
+    )
+    setup.set_defaults(handler=_cmd_setup)
+
+    search = commands.add_parser(
+        "search", help="user: ranked top-k search against a deployment"
+    )
+    search.add_argument("--deployment", required=True)
+    search.add_argument("--credentials", required=True)
+    search.add_argument("--keyword", required=True)
+    search.add_argument("-k", "--top-k", type=int, default=10)
+    search.set_defaults(handler=_cmd_search)
+
+    stats = commands.add_parser(
+        "stats", help="collection statistics + range recommendation"
+    )
+    stats.add_argument("--corpus", required=True)
+    stats.add_argument("--levels", type=int, default=128)
+    stats.set_defaults(handler=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Cloud-hosting simulation: the three entities of the paper's Fig. 1.
+
+* :class:`~repro.cloud.owner.DataOwner` — Setup phase;
+* :class:`~repro.cloud.server.CloudServer` — honest-but-curious host;
+* :class:`~repro.cloud.user.DataUser` — Retrieval phase;
+* :class:`~repro.cloud.network.Channel` — accounted transport.
+"""
+
+from repro.cloud.abac import (
+    Attribute,
+    AttributeAuthority,
+    PolicyCiphertext,
+    PolicyDecryptor,
+    Threshold,
+    and_of,
+    k_of,
+    or_of,
+)
+from repro.cloud.authorization import (
+    AuthorizationManager,
+    AuthorizationTicket,
+)
+from repro.cloud.broadcast import (
+    BroadcastCiphertext,
+    BroadcastEncryption,
+    UserKeySet,
+)
+from repro.cloud.network import Channel, ChannelStats, LinkModel
+from repro.cloud.owner import DataOwner, Outsourcing, UserCredentials
+from repro.cloud.protocol import (
+    FileRequest,
+    RankedFilesResponse,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.cloud.server import CloudServer, SearchObservation, ServerLog
+from repro.cloud.storage import BlobStore
+from repro.cloud.updates import (
+    AckResponse,
+    PutBlobRequest,
+    RemoteIndexMaintainer,
+    RemoveBlobRequest,
+    UpdateListRequest,
+)
+from repro.cloud.user import DataUser, RetrievedFile
+
+__all__ = [
+    "AckResponse",
+    "Attribute",
+    "AttributeAuthority",
+    "AuthorizationManager",
+    "AuthorizationTicket",
+    "BlobStore",
+    "BroadcastCiphertext",
+    "BroadcastEncryption",
+    "Channel",
+    "ChannelStats",
+    "CloudServer",
+    "DataOwner",
+    "DataUser",
+    "FileRequest",
+    "LinkModel",
+    "Outsourcing",
+    "PolicyCiphertext",
+    "PolicyDecryptor",
+    "PutBlobRequest",
+    "RankedFilesResponse",
+    "RemoteIndexMaintainer",
+    "RemoveBlobRequest",
+    "RetrievedFile",
+    "SearchObservation",
+    "SearchRequest",
+    "SearchResponse",
+    "ServerLog",
+    "Threshold",
+    "UpdateListRequest",
+    "UserCredentials",
+    "UserKeySet",
+    "and_of",
+    "k_of",
+    "or_of",
+]

@@ -1,0 +1,252 @@
+"""Attribute-based access control for credential distribution.
+
+The paper's second future-work direction (Section VIII): "integrate
+advanced crypto techniques, such as attribute-based encryption to
+enable fine-grained access control in our multi-user settings."
+
+True ciphertext-policy ABE needs bilinear pairings; per the
+reproduction's substitution rule (DESIGN.md), this module delivers the
+same *functionality* with symmetric primitives and a trusted issuer
+(the data owner, who already issues all keys in this system):
+
+* the owner derives one symmetric key per **attribute** from a master
+  secret;
+* a credential bundle is encrypted under a **policy tree** — AND / OR /
+  k-of-n THRESHOLD gates over attribute leaves — by secret-sharing a
+  session key down the tree (AND = n-of-n, OR = 1-of-n) and wrapping
+  each leaf's share under its attribute key;
+* a user holding a set of attribute keys decrypts iff its attributes
+  *satisfy* the policy — the standard ABE access semantics.
+
+Relative to real CP-ABE the trust model differs (the owner can decrypt
+everything — which it trivially can here anyway, being the data
+source), and collusion resistance is inherited from the fact that
+attribute keys are identical across users (ABE's per-user key
+randomization is unnecessary when the issuer is the encryptor).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from repro.crypto.shamir import (
+    PRIME,
+    Share,
+    random_secret,
+    reconstruct_int,
+    split_int,
+)
+from repro.crypto.symmetric import SymmetricCipher
+from repro.errors import CryptoError, ParameterError
+
+#: Field elements travel as fixed-width byte strings of this length.
+_FIELD_BYTES = 66
+
+
+def _attribute_key(master: bytes, attribute: str) -> bytes:
+    return hmac.new(
+        master, b"abac|attr|" + attribute.encode("utf-8"), hashlib.sha256
+    ).digest()
+
+
+# -- policy trees --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A leaf: satisfied when the user holds this attribute."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("attribute name must be non-empty")
+
+    def satisfied_by(self, attributes: set[str]) -> bool:
+        return self.name in attributes
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """An internal gate: satisfied when >= k children are satisfied.
+
+    ``AND`` and ``OR`` are the n-of-n and 1-of-n specializations; use
+    the :func:`and_of` / :func:`or_of` helpers for readability.
+    """
+
+    k: int
+    children: tuple["PolicyNode", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ParameterError("threshold gate needs children")
+        if not 1 <= self.k <= len(self.children):
+            raise ParameterError(
+                f"threshold k={self.k} invalid for "
+                f"{len(self.children)} children"
+            )
+
+    def satisfied_by(self, attributes: set[str]) -> bool:
+        satisfied = sum(
+            1 for child in self.children if child.satisfied_by(attributes)
+        )
+        return satisfied >= self.k
+
+
+PolicyNode = Attribute | Threshold
+
+
+def and_of(*children: PolicyNode) -> Threshold:
+    """All children required."""
+    return Threshold(k=len(children), children=tuple(children))
+
+
+def or_of(*children: PolicyNode) -> Threshold:
+    """Any child suffices."""
+    return Threshold(k=1, children=tuple(children))
+
+
+def k_of(k: int, *children: PolicyNode) -> Threshold:
+    """At least ``k`` children required."""
+    return Threshold(k=k, children=tuple(children))
+
+
+# -- ciphertexts ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _LeafCiphertext:
+    attribute: str
+    wrapped_share: bytes  # Share y-value encrypted under the attribute key
+    x: int
+
+
+@dataclass(frozen=True)
+class _GateCiphertext:
+    k: int
+    children: tuple["NodeCiphertext", ...]
+    x: int
+
+
+NodeCiphertext = _LeafCiphertext | _GateCiphertext
+
+
+@dataclass(frozen=True)
+class PolicyCiphertext:
+    """A payload encrypted under a policy tree."""
+
+    root: NodeCiphertext
+    payload: bytes  # encrypted under the session key
+
+
+class AttributeAuthority:
+    """The owner-side issuer of attribute keys and policy ciphertexts."""
+
+    def __init__(self, master_key: bytes):
+        if not master_key:
+            raise ParameterError("master key must be non-empty")
+        self._master = bytes(master_key)
+
+    # -- key issuance -----------------------------------------------------
+
+    def issue_attribute_keys(self, attributes: set[str]) -> dict[str, bytes]:
+        """Hand a user the keys for its attribute set."""
+        if not attributes:
+            raise ParameterError("attribute set must be non-empty")
+        return {
+            attribute: _attribute_key(self._master, attribute)
+            for attribute in attributes
+        }
+
+    # -- encryption -------------------------------------------------------------
+
+    def encrypt(self, payload: bytes, policy: PolicyNode) -> PolicyCiphertext:
+        """Encrypt ``payload`` so that ``policy``-satisfying users decrypt.
+
+        The session key (a field element) is secret-shared down the
+        policy tree: each gate splits its secret k-of-n among its
+        children; each leaf wraps its secret under the attribute key.
+        """
+        session_key = random_secret()
+        root = self._share_node(
+            policy, int.from_bytes(session_key, "big"), x=1
+        )
+        sealed = SymmetricCipher(session_key).encrypt(payload)
+        return PolicyCiphertext(root=root, payload=sealed)
+
+    def _share_node(
+        self, node: PolicyNode, secret: int, x: int
+    ) -> NodeCiphertext:
+        if isinstance(node, Attribute):
+            key = _attribute_key(self._master, node.name)
+            return _LeafCiphertext(
+                attribute=node.name,
+                wrapped_share=SymmetricCipher(key).encrypt(
+                    secret.to_bytes(_FIELD_BYTES, "big")
+                ),
+                x=x,
+            )
+        shares = split_int(secret, node.k, len(node.children))
+        children = tuple(
+            self._share_node(child, share.y, share.x)
+            for child, share in zip(node.children, shares)
+        )
+        return _GateCiphertext(k=node.k, children=children, x=x)
+
+
+class PolicyDecryptor:
+    """User-side decryption with an attribute-key set."""
+
+    def __init__(self, attribute_keys: dict[str, bytes]):
+        if not attribute_keys:
+            raise ParameterError("attribute key set must be non-empty")
+        self._keys = dict(attribute_keys)
+
+    @property
+    def attributes(self) -> set[str]:
+        """Attributes this user holds."""
+        return set(self._keys)
+
+    def decrypt(self, ciphertext: PolicyCiphertext) -> bytes:
+        """Recover the payload; raises :class:`CryptoError` otherwise."""
+        session_value = self._recover_node(ciphertext.root)
+        if session_value is None or session_value >= 1 << 256:
+            # The genuine session key fits in 32 bytes; anything else
+            # means the policy was not satisfied (or shares were
+            # inconsistent) — and the authenticated payload decryption
+            # below would reject a wrong key regardless.
+            raise CryptoError(
+                "attribute set does not satisfy the ciphertext policy"
+            )
+        session_key = session_value.to_bytes(32, "big")
+        return SymmetricCipher(session_key).decrypt(ciphertext.payload)
+
+    def _recover_node(self, node: NodeCiphertext) -> int | None:
+        if isinstance(node, _LeafCiphertext):
+            key = self._keys.get(node.attribute)
+            if key is None:
+                return None
+            try:
+                raw = SymmetricCipher(key).decrypt(node.wrapped_share)
+            except CryptoError:
+                return None
+            value = int.from_bytes(raw, "big")
+            return value if value < PRIME else None
+        recovered: list[Share] = []
+        for child in node.children:
+            secret = self._recover_node(child)
+            if secret is not None:
+                recovered.append(Share(x=child.x, y=secret))
+            if len(recovered) >= node.k:
+                break
+        if len(recovered) < node.k:
+            return None
+        try:
+            # Internal secrets are arbitrary field elements (a parent
+            # gate's share); only the root is additionally bounded, and
+            # decrypt() enforces that.
+            return reconstruct_int(recovered, node.k)
+        except CryptoError:
+            return None

@@ -1,0 +1,143 @@
+"""User authorization and revocation over broadcast encryption.
+
+Completes the paper's Setup-phase key-distribution story: the data
+owner wraps the credential bundle (trapdoor keys + file key) in a
+broadcast ciphertext addressed to all currently authorized users.
+Authorizing a user hands out its slot's path keys; revoking a user
+re-broadcasts the (re-keyed) credentials under a cover that excludes
+the revoked slot, so the revoked user cannot read any *future*
+credential epoch.
+
+Forward secrecy caveat, faithfully modelled: revocation cannot erase
+keys a user already holds — the owner must rotate the scheme keys and
+re-encrypt/re-index for full revocation, which is exactly why the
+epoch counter exists.  :meth:`AuthorizationManager.rotate_credentials`
+performs that rotation given fresh credentials.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.cloud.broadcast import (
+    BroadcastCiphertext,
+    BroadcastEncryption,
+    UserKeySet,
+)
+from repro.cloud.owner import UserCredentials
+from repro.crypto.keys import SchemeKey
+from repro.errors import CryptoError, ParameterError
+
+
+def _encode_credentials(credentials: UserCredentials, epoch: int) -> bytes:
+    payload = {
+        "epoch": epoch,
+        "scheme_key": credentials.scheme_key.serialize().hex(),
+        "file_key": credentials.file_key.hex(),
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _decode_credentials(data: bytes) -> tuple[UserCredentials, int]:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+        credentials = UserCredentials(
+            scheme_key=SchemeKey.deserialize(
+                bytes.fromhex(payload["scheme_key"])
+            ),
+            file_key=bytes.fromhex(payload["file_key"]),
+        )
+        return credentials, int(payload["epoch"])
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise CryptoError(f"malformed credential payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class AuthorizationTicket:
+    """What a newly authorized user receives out of band."""
+
+    key_set: UserKeySet
+
+
+class AuthorizationManager:
+    """Owner-side group management for credential distribution.
+
+    Parameters
+    ----------
+    master_key:
+        Secret seeding the broadcast key tree.
+    capacity:
+        Maximum concurrently assignable user slots (power of two).
+    """
+
+    def __init__(self, master_key: bytes, capacity: int = 64):
+        self._broadcast = BroadcastEncryption(master_key, capacity)
+        self._next_slot = 0
+        self._revoked: set[int] = set()
+        self._epoch = 0
+        self._current: BroadcastCiphertext | None = None
+
+    @property
+    def epoch(self) -> int:
+        """Current credential epoch (bumped on rotation)."""
+        return self._epoch
+
+    @property
+    def revoked_slots(self) -> set[int]:
+        """Currently revoked slots (copy)."""
+        return set(self._revoked)
+
+    def authorize_user(self) -> AuthorizationTicket:
+        """Assign the next slot and issue its path keys."""
+        if self._next_slot >= self._broadcast.capacity:
+            raise ParameterError(
+                f"user capacity {self._broadcast.capacity} exhausted"
+            )
+        slot = self._next_slot
+        self._next_slot += 1
+        return AuthorizationTicket(
+            key_set=self._broadcast.user_key_set(slot)
+        )
+
+    def revoke_user(self, user_index: int) -> None:
+        """Exclude a slot from all future credential broadcasts."""
+        if not 0 <= user_index < self._next_slot:
+            raise ParameterError(f"unknown user slot {user_index}")
+        self._revoked.add(user_index)
+        self._current = None  # force a re-broadcast
+
+    def publish_credentials(
+        self, credentials: UserCredentials
+    ) -> BroadcastCiphertext:
+        """Broadcast the current credential bundle to non-revoked users."""
+        self._current = self._broadcast.encrypt(
+            _encode_credentials(credentials, self._epoch), self._revoked
+        )
+        return self._current
+
+    def rotate_credentials(
+        self, fresh_credentials: UserCredentials
+    ) -> BroadcastCiphertext:
+        """Bump the epoch and broadcast freshly rotated credentials.
+
+        Call after revocation with *re-keyed* scheme credentials; the
+        revoked user holds the old epoch's keys but cannot read this
+        broadcast, so it is locked out of the re-keyed index.
+        """
+        self._epoch += 1
+        return self.publish_credentials(fresh_credentials)
+
+    # -- user side ----------------------------------------------------
+
+    @staticmethod
+    def redeem(
+        ticket: AuthorizationTicket, broadcast: BroadcastCiphertext
+    ) -> tuple[UserCredentials, int]:
+        """User-side: unwrap the credential broadcast with path keys.
+
+        Returns the credentials and their epoch; raises
+        :class:`CryptoError` for revoked (uncovered) users.
+        """
+        payload = BroadcastEncryption.decrypt(ticket.key_set, broadcast)
+        return _decode_credentials(payload)

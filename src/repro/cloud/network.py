@@ -1,0 +1,101 @@
+"""Simulated network channel with bandwidth and round-trip accounting.
+
+The paper's efficiency case for RSSE is stated in communication terms:
+the basic scheme either ships every matching file (one round, huge
+bandwidth) or pays two round trips per search.  This channel counts
+both quantities exactly and can convert them into estimated wall time
+under a configurable latency/bandwidth model, which is how
+``benchmarks/bench_basic_vs_rsse.py`` reports the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ParameterError
+
+
+@dataclass
+class ChannelStats:
+    """Mutable traffic counters for one channel."""
+
+    round_trips: int = 0
+    bytes_to_server: int = 0
+    bytes_to_user: int = 0
+    requests: list[int] = field(default_factory=list)
+    responses: list[int] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved in both directions."""
+        return self.bytes_to_server + self.bytes_to_user
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between benchmark phases)."""
+        self.round_trips = 0
+        self.bytes_to_server = 0
+        self.bytes_to_user = 0
+        self.requests.clear()
+        self.responses.clear()
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A simple latency/bandwidth model for time estimates.
+
+    Attributes
+    ----------
+    rtt_seconds:
+        Round-trip latency per request/response exchange.
+    bandwidth_bytes_per_second:
+        Symmetric link throughput.
+    """
+
+    rtt_seconds: float = 0.05
+    bandwidth_bytes_per_second: float = 12_500_000.0  # 100 Mbit/s
+
+    def __post_init__(self) -> None:
+        if self.rtt_seconds < 0:
+            raise ParameterError(
+                f"rtt_seconds must be >= 0, got {self.rtt_seconds}"
+            )
+        if not self.bandwidth_bytes_per_second > 0:
+            raise ParameterError(
+                "bandwidth_bytes_per_second must be positive, got "
+                f"{self.bandwidth_bytes_per_second}"
+            )
+
+    def estimate_seconds(self, stats: ChannelStats) -> float:
+        """Estimated transfer time for the recorded traffic."""
+        return (
+            stats.round_trips * self.rtt_seconds
+            + stats.total_bytes / self.bandwidth_bytes_per_second
+        )
+
+
+class Channel:
+    """A request/response channel from user to server.
+
+    The server side registers a handler (bytes in, bytes out); each
+    :meth:`call` is one round trip and is fully accounted.
+    """
+
+    def __init__(self, handler: Callable[[bytes], bytes]):
+        self._handler = handler
+        self._stats = ChannelStats()
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Traffic counters since construction or last reset."""
+        return self._stats
+
+    def call(self, request: bytes) -> bytes:
+        """Send ``request``, return the server's response (one RTT)."""
+        self._stats.round_trips += 1
+        self._stats.bytes_to_server += len(request)
+        self._stats.requests.append(len(request))
+        response = self._handler(request)
+        self._stats.bytes_to_user += len(response)
+        self._stats.responses.append(len(response))
+        return response

@@ -1,0 +1,143 @@
+"""The data owner ``O`` (Fig. 1): Setup phase orchestration.
+
+The owner holds the master key material, analyzes and indexes the
+collection locally, encrypts files, builds the secure index, and
+uploads both to the cloud.  Afterwards it can authorize users by
+handing them the trapdoor-generation keys and the file-decryption key
+(the paper delegates this distribution to off-the-shelf public-key or
+broadcast encryption; we model the result — the credential bundle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.storage import BlobStore
+from repro.core.basic_scheme import BasicRankedSSE
+from repro.core.rsse import EfficientRSSE
+from repro.core.secure_index import SecureIndex
+from repro.corpus.loader import Document
+from repro.crypto.keys import SchemeKey
+from repro.crypto.prf import generate_key
+from repro.crypto.symmetric import SymmetricCipher
+from repro.errors import ParameterError
+from repro.ir.analyzer import Analyzer
+from repro.ir.inverted_index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class UserCredentials:
+    """What an authorized user receives from the owner.
+
+    Attributes
+    ----------
+    scheme_key:
+        Key bundle for trapdoor generation.  For the efficient scheme
+        this *excludes* ``z`` (users never decrypt scores); for the
+        basic scheme it includes ``z`` (users rank client-side).
+    file_key:
+        The file-collection encryption key, required to read retrieved
+        files in either scheme.
+    """
+
+    scheme_key: SchemeKey
+    file_key: bytes
+
+
+@dataclass(frozen=True)
+class Outsourcing:
+    """The owner's upload: index + encrypted collection."""
+
+    secure_index: SecureIndex
+    blob_store: BlobStore
+
+
+class DataOwner:
+    """Runs Setup for either scheme over a document collection.
+
+    Parameters
+    ----------
+    scheme:
+        A :class:`BasicRankedSSE` or :class:`EfficientRSSE` instance.
+    analyzer:
+        The text pipeline; the same instance (configuration) must be
+        used by users when normalizing query keywords.
+    """
+
+    def __init__(
+        self,
+        scheme: BasicRankedSSE | EfficientRSSE,
+        analyzer: Analyzer | None = None,
+    ):
+        self._scheme = scheme
+        self._analyzer = analyzer if analyzer is not None else Analyzer()
+        self._key = scheme.keygen()
+        self._file_key = generate_key()
+        self._plain_index = InvertedIndex()
+        self._quantizer = None
+
+    @property
+    def analyzer(self) -> Analyzer:
+        """The owner's analysis pipeline (shared with users)."""
+        return self._analyzer
+
+    @property
+    def key(self) -> SchemeKey:
+        """The owner's full key bundle (never leaves the owner)."""
+        return self._key
+
+    @property
+    def plain_index(self) -> InvertedIndex:
+        """The owner's local plaintext index."""
+        return self._plain_index
+
+    @property
+    def quantizer(self):
+        """The fitted score quantizer (efficient scheme, post-setup).
+
+        Retained because incremental updates must quantize new scores
+        with the original scale; None before :meth:`setup` or for the
+        basic scheme.
+        """
+        return self._quantizer
+
+    @property
+    def file_key(self) -> bytes:
+        """The file-collection encryption key (owner + authorized users)."""
+        return self._file_key
+
+    def setup(self, documents: list[Document]) -> Outsourcing:
+        """Run the full Setup phase: index, encrypt, package for upload."""
+        if not documents:
+            raise ParameterError("cannot outsource an empty collection")
+        for document in documents:
+            self._plain_index.add_document(
+                document.doc_id, self._analyzer.analyze(document.text)
+            )
+        if isinstance(self._scheme, EfficientRSSE):
+            built = self._scheme.build_index(self._key, self._plain_index)
+            secure_index = built.secure_index
+            self._quantizer = built.quantizer
+        else:
+            secure_index = self._scheme.build_index(self._key, self._plain_index)
+        blob_store = BlobStore()
+        file_cipher = SymmetricCipher(self._file_key)
+        for document in documents:
+            blob_store.put(
+                document.doc_id,
+                file_cipher.encrypt(document.text.encode("utf-8")),
+            )
+        return Outsourcing(secure_index=secure_index, blob_store=blob_store)
+
+    def authorize_user(self) -> UserCredentials:
+        """Issue credentials for one authorized user.
+
+        The efficient scheme's users do not receive ``z`` — server-side
+        ranking means clients never touch scores.  Basic-scheme users
+        need ``z`` to decrypt ``E_z(S)`` and rank locally.
+        """
+        if isinstance(self._scheme, EfficientRSSE):
+            scheme_key = self._key.trapdoor_only()
+        else:
+            scheme_key = self._key
+        return UserCredentials(scheme_key=scheme_key, file_key=self._file_key)

@@ -1,0 +1,126 @@
+"""On-disk persistence for deployments.
+
+A real outsourcing is not an in-memory object: the owner uploads bytes
+and the server stores bytes.  This module lays a deployment out on
+disk so it can be built once and searched across process restarts (the
+CLI uses it):
+
+    <root>/
+      manifest.json      scheme kind + parameters + counts
+      index.bin          serialized SecureIndex
+      blobs/<doc_id>     encrypted file payloads
+
+Keys are *not* stored in the deployment directory (they belong to the
+owner/users, not the server); :func:`save_key` / :func:`load_key`
+handle them separately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cloud.owner import Outsourcing, UserCredentials
+from repro.cloud.storage import BlobStore
+from repro.core.secure_index import SecureIndex
+from repro.crypto.keys import SchemeKey
+from repro.errors import ProtocolError
+
+_MANIFEST = "manifest.json"
+_INDEX = "index.bin"
+_BLOBS = "blobs"
+
+
+def _safe_blob_name(doc_id: str) -> str:
+    """Filesystem-safe encoding of a document id."""
+    return doc_id.encode("utf-8").hex()
+
+
+def _blob_id_from_name(name: str) -> str:
+    return bytes.fromhex(name).decode("utf-8")
+
+
+def save_outsourcing(
+    root: str | Path, outsourcing: Outsourcing, scheme_kind: str
+) -> None:
+    """Write a deployment directory (overwrites existing contents)."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    (root / _INDEX).write_bytes(outsourcing.secure_index.serialize())
+    blob_dir = root / _BLOBS
+    blob_dir.mkdir(exist_ok=True)
+    for doc_id in outsourcing.blob_store.ids():
+        (blob_dir / _safe_blob_name(doc_id)).write_bytes(
+            outsourcing.blob_store.get(doc_id)
+        )
+    manifest = {
+        "scheme": scheme_kind,
+        "num_lists": outsourcing.secure_index.num_lists,
+        "num_blobs": len(outsourcing.blob_store),
+        "index_bytes": outsourcing.secure_index.size_bytes(),
+    }
+    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def load_outsourcing(root: str | Path) -> tuple[Outsourcing, str]:
+    """Load a deployment directory; returns (outsourcing, scheme kind)."""
+    root = Path(root)
+    manifest_path = root / _MANIFEST
+    if not manifest_path.is_file():
+        raise ProtocolError(f"no deployment manifest under {root}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"corrupt manifest: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ProtocolError("manifest is not a JSON object")
+    secure_index = SecureIndex.deserialize((root / _INDEX).read_bytes())
+    blob_store = BlobStore()
+    blob_dir = root / _BLOBS
+    if blob_dir.is_dir():
+        for blob_path in sorted(blob_dir.iterdir()):
+            blob_store.put(
+                _blob_id_from_name(blob_path.name), blob_path.read_bytes()
+            )
+    expected = manifest.get("num_blobs")
+    if expected is not None and expected != len(blob_store):
+        raise ProtocolError(
+            f"manifest expects {expected} blobs, found {len(blob_store)}"
+        )
+    return (
+        Outsourcing(secure_index=secure_index, blob_store=blob_store),
+        str(manifest.get("scheme", "rsse")),
+    )
+
+
+def save_key(path: str | Path, key: SchemeKey) -> None:
+    """Write a key bundle (owner- or user-side) to a file."""
+    Path(path).write_bytes(key.serialize())
+
+
+def load_key(path: str | Path) -> SchemeKey:
+    """Read a key bundle from a file."""
+    return SchemeKey.deserialize(Path(path).read_bytes())
+
+
+def save_credentials(path: str | Path, credentials: UserCredentials) -> None:
+    """Write a user credential bundle (trapdoor keys + file key)."""
+    payload = {
+        "scheme_key": credentials.scheme_key.serialize().hex(),
+        "file_key": credentials.file_key.hex(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_credentials(path: str | Path) -> UserCredentials:
+    """Read a user credential bundle."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        return UserCredentials(
+            scheme_key=SchemeKey.deserialize(
+                bytes.fromhex(payload["scheme_key"])
+            ),
+            file_key=bytes.fromhex(payload["file_key"]),
+        )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed credential file: {exc}") from exc

@@ -1,0 +1,155 @@
+"""Wire protocol between user and cloud server.
+
+Typed messages with explicit byte encodings, so the simulated network
+(:mod:`repro.cloud.network`) can account bandwidth exactly — the
+paper's Section III-C argument against the basic scheme is a bandwidth
+and round-trip argument, and ``benchmarks/bench_basic_vs_rsse.py``
+measures it on these encodings.
+
+Encoding is deliberately simple (JSON with hex for binary fields);
+sizes are dominated by payloads (entries, files), which JSON overhead
+does not distort materially.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+
+def _encode(kind: str, payload: dict) -> bytes:
+    return json.dumps({"kind": kind, **payload}, sort_keys=True).encode("utf-8")
+
+
+def _decode(data: bytes, expected_kind: str) -> dict:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message is not a JSON object")
+    if payload.get("kind") != expected_kind:
+        raise ProtocolError(
+            f"expected {expected_kind!r} message, got {payload.get('kind')!r}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """A search: the trapdoor, optionally with a top-k bound.
+
+    ``top_k=None`` asks for all matches (basic one-round flavour);
+    ``entries_only=True`` asks for the entry list without file payloads
+    (first round of the basic two-round protocol).
+    """
+
+    trapdoor_bytes: bytes
+    top_k: int | None = None
+    entries_only: bool = False
+
+    def to_bytes(self) -> bytes:
+        return _encode(
+            "search",
+            {
+                "trapdoor": self.trapdoor_bytes.hex(),
+                "top_k": self.top_k,
+                "entries_only": self.entries_only,
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SearchRequest":
+        payload = _decode(data, "search")
+        return cls(
+            trapdoor_bytes=bytes.fromhex(payload["trapdoor"]),
+            top_k=payload["top_k"],
+            entries_only=payload["entries_only"],
+        )
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """Server -> user: matched entries, optionally with file payloads.
+
+    ``matches`` carries ``(file_id, score_field)`` pairs — the score
+    field is ``E_z(S)`` (basic scheme) or the OPM value bytes
+    (efficient scheme).  ``files`` carries encrypted blobs when the
+    request asked for them, in the order the server ranked them (index
+    order when the server cannot rank).
+    """
+
+    matches: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
+    files: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
+
+    def to_bytes(self) -> bytes:
+        return _encode(
+            "search-response",
+            {
+                "matches": [
+                    [file_id, score_field.hex()]
+                    for file_id, score_field in self.matches
+                ],
+                "files": [
+                    [file_id, blob.hex()] for file_id, blob in self.files
+                ],
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SearchResponse":
+        payload = _decode(data, "search-response")
+        return cls(
+            matches=tuple(
+                (file_id, bytes.fromhex(score_hex))
+                for file_id, score_hex in payload["matches"]
+            ),
+            files=tuple(
+                (file_id, bytes.fromhex(blob_hex))
+                for file_id, blob_hex in payload["files"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FileRequest:
+    """User -> server: fetch these files (second round, basic scheme)."""
+
+    file_ids: tuple[str, ...]
+
+    def to_bytes(self) -> bytes:
+        return _encode("fetch", {"file_ids": list(self.file_ids)})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FileRequest":
+        payload = _decode(data, "fetch")
+        return cls(file_ids=tuple(payload["file_ids"]))
+
+
+@dataclass(frozen=True)
+class RankedFilesResponse:
+    """Server -> user: encrypted files in rank order."""
+
+    files: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
+
+    def to_bytes(self) -> bytes:
+        return _encode(
+            "files",
+            {
+                "files": [
+                    [file_id, blob.hex()] for file_id, blob in self.files
+                ]
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RankedFilesResponse":
+        payload = _decode(data, "files")
+        return cls(
+            files=tuple(
+                (file_id, bytes.fromhex(blob_hex))
+                for file_id, blob_hex in payload["files"]
+            )
+        )

@@ -1,0 +1,305 @@
+"""The honest-but-curious cloud server.
+
+Hosts the secure index and the encrypted file collection, and executes
+searches exactly as the protocol prescribes (honest) while recording
+everything it observes (curious): which index address was queried, how
+often, which files matched, and the protected score fields — the raw
+material for the leakage analysis in :mod:`repro.analysis.leakage` and
+the reverse-engineering attack of :mod:`repro.analysis.attacks`.
+
+The server never holds any key except the per-list keys ``f_y(w)``
+embedded in trapdoors it receives, so its capabilities are exactly the
+paper's threat model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.cloud.protocol import (
+    FileRequest,
+    RankedFilesResponse,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.cloud.storage import BlobStore
+from repro.core.results import ServerMatch
+from repro.core.secure_index import SecureIndex, decrypt_posting_list
+from repro.core.trapdoor import Trapdoor
+from repro.errors import ProtocolError
+from repro.ir.topk import rank_all, top_k
+
+
+@dataclass(frozen=True)
+class SearchObservation:
+    """Everything the curious server wrote down about one search.
+
+    Attributes
+    ----------
+    address:
+        The queried index address (search pattern: equal addresses mean
+        equal keywords).
+    matched_file_ids:
+        The access pattern — which files were touched.
+    score_fields:
+        The protected score field of every match (OPM values in the
+        efficient scheme: the attack surface of Fig. 4 / Fig. 6).
+    returned_file_ids:
+        What was actually sent back (for top-k, a strict subset — the
+        extra "requested files outrank the rest" leakage of the basic
+        two-round protocol shows up here too).
+    """
+
+    address: bytes
+    matched_file_ids: tuple[str, ...]
+    score_fields: tuple[bytes, ...]
+    returned_file_ids: tuple[str, ...]
+
+
+@dataclass
+class ServerLog:
+    """The curious server's accumulating notebook."""
+
+    observations: list[SearchObservation] = field(default_factory=list)
+
+    def search_pattern(self) -> dict[bytes, int]:
+        """Address -> times queried (the search pattern)."""
+        pattern: dict[bytes, int] = {}
+        for observation in self.observations:
+            pattern[observation.address] = (
+                pattern.get(observation.address, 0) + 1
+            )
+        return pattern
+
+    def access_pattern(self) -> dict[bytes, tuple[str, ...]]:
+        """Address -> matched files (the access pattern)."""
+        return {
+            observation.address: observation.matched_file_ids
+            for observation in self.observations
+        }
+
+
+class CloudServer:
+    """The cloud server ``CS`` of Fig. 1.
+
+    Parameters
+    ----------
+    secure_index:
+        The outsourced index ``I``.
+    blob_store:
+        The encrypted collection ``C``.
+    can_rank:
+        True for the efficient scheme (score fields are OPM values and
+        numeric order is relevance order); False for the basic scheme,
+        where the server returns matches in index order because score
+        fields are semantically secure ciphertexts.
+    """
+
+    def __init__(
+        self,
+        secure_index: SecureIndex,
+        blob_store: BlobStore,
+        can_rank: bool,
+        cache_searches: bool = False,
+        update_token: bytes | None = None,
+    ):
+        self._index = secure_index
+        self._blobs = blob_store
+        self._can_rank = can_rank
+        self._log = ServerLog()
+        self._cache: dict[bytes, list[ServerMatch]] | None = (
+            {} if cache_searches else None
+        )
+        self._cache_hits = 0
+        self._update_token = update_token
+
+    @property
+    def log(self) -> ServerLog:
+        """The curious server's observation log."""
+        return self._log
+
+    @property
+    def secure_index(self) -> SecureIndex:
+        """The hosted index (the server owns this data)."""
+        return self._index
+
+    @property
+    def blob_store(self) -> BlobStore:
+        """The hosted encrypted collection."""
+        return self._blobs
+
+    # -- protocol handling -------------------------------------------------
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        """Transport entry point: dispatch one request, return response."""
+        kind = self._peek_kind(request_bytes)
+        if kind == "search":
+            return self._handle_search(
+                SearchRequest.from_bytes(request_bytes)
+            ).to_bytes()
+        if kind == "fetch":
+            return self._handle_fetch(
+                FileRequest.from_bytes(request_bytes)
+            ).to_bytes()
+        if kind in ("update-list", "put-blob", "remove-blob"):
+            return self._handle_update(kind, request_bytes).to_bytes()
+        raise ProtocolError(f"unknown request kind {kind!r}")
+
+    def _handle_update(self, kind: str, request_bytes: bytes):
+        from repro.cloud.updates import (
+            AckResponse,
+            PutBlobRequest,
+            RemoveBlobRequest,
+            UpdateListRequest,
+            check_token,
+        )
+
+        if kind == "update-list":
+            request = UpdateListRequest.from_bytes(request_bytes)
+            check_token(self._update_token, request.token)
+            existing = self._index.lookup(request.address)
+            if request.mode == "append":
+                if existing is None:
+                    self._index.add_list(
+                        request.address, list(request.entries)
+                    )
+                else:
+                    self._index.replace_list(
+                        request.address, existing + list(request.entries)
+                    )
+            else:  # replace
+                if existing is None:
+                    raise ProtocolError(
+                        "cannot replace a posting list that does not exist"
+                    )
+                self._index.replace_list(
+                    request.address, list(request.entries)
+                )
+            self.invalidate_cache(request.address)
+            return AckResponse(ok=True)
+        if kind == "put-blob":
+            put = PutBlobRequest.from_bytes(request_bytes)
+            check_token(self._update_token, put.token)
+            self._blobs.put(put.file_id, put.blob)
+            return AckResponse(ok=True)
+        remove = RemoveBlobRequest.from_bytes(request_bytes)
+        check_token(self._update_token, remove.token)
+        self._blobs.delete(remove.file_id)
+        return AckResponse(ok=True)
+
+    @staticmethod
+    def _peek_kind(request_bytes: bytes) -> str:
+        try:
+            payload = json.loads(request_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed request: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("request is not a JSON object")
+        return payload.get("kind", "")
+
+    @property
+    def cache_hits(self) -> int:
+        """Searches answered from the decrypted-list cache."""
+        return self._cache_hits
+
+    def invalidate_cache(self, address: bytes | None = None) -> None:
+        """Drop cached decrypted lists (all, or one address).
+
+        An owner pushing index updates must call this (or deploy with
+        ``cache_searches=False``); the simulated deployment gives the
+        owner a direct handle to do so.
+        """
+        if self._cache is None:
+            return
+        if address is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(address, None)
+
+    def _matches_for(self, trapdoor: Trapdoor) -> list[ServerMatch]:
+        """``SearchIndex``: locate, decrypt, drop dummies.
+
+        With caching enabled, repeated trapdoors (the *search pattern*
+        the scheme already reveals) reuse the decrypted list: the
+        per-entry decryption work is paid once per keyword, not once
+        per query — a legitimate optimization because it consumes only
+        information the protocol leaks anyway.
+        """
+        if self._cache is not None:
+            cached = self._cache.get(trapdoor.address)
+            if cached is not None:
+                self._cache_hits += 1
+                return cached
+        entries = self._index.lookup(trapdoor.address)
+        if entries is None:
+            matches: list[ServerMatch] = []
+        else:
+            matches = [
+                ServerMatch(file_id=file_id, score_field=score_field)
+                for file_id, score_field in decrypt_posting_list(
+                    self._index.layout, trapdoor.list_key, entries
+                )
+            ]
+        if self._cache is not None:
+            self._cache[trapdoor.address] = matches
+        return matches
+
+    def _handle_search(self, request: SearchRequest) -> SearchResponse:
+        trapdoor = Trapdoor.deserialize(request.trapdoor_bytes)
+        matches = self._matches_for(trapdoor)
+
+        if self._can_rank:
+            ordered = rank_all(matches, key=lambda match: match.opm_value())
+            if request.top_k is not None:
+                ordered = top_k(
+                    matches, request.top_k, key=lambda match: match.opm_value()
+                )
+        else:
+            # Semantically secure score fields: no server-side ranking
+            # possible; a top-k bound cannot be honoured meaningfully.
+            ordered = list(matches)
+
+        if request.entries_only:
+            returned: list[ServerMatch] = []
+            files: tuple[tuple[str, bytes], ...] = ()
+        else:
+            returned = ordered
+            files = tuple(
+                (match.file_id, self._blobs.get(match.file_id))
+                for match in returned
+            )
+
+        self._log.observations.append(
+            SearchObservation(
+                address=trapdoor.address,
+                matched_file_ids=tuple(match.file_id for match in matches),
+                score_fields=tuple(match.score_field for match in matches),
+                returned_file_ids=tuple(match.file_id for match in returned),
+            )
+        )
+        response_matches = tuple(
+            (match.file_id, match.score_field) for match in ordered
+        )
+        return SearchResponse(matches=response_matches, files=files)
+
+    def _handle_fetch(self, request: FileRequest) -> RankedFilesResponse:
+        """Second round of the basic top-k protocol.
+
+        The server learns that the requested files outrank the
+        unrequested ones — the extra leakage Section III-C points out;
+        it lands in the log as ``returned_file_ids`` of a fresh
+        observation tied to no address.
+        """
+        files = tuple(
+            (file_id, self._blobs.get(file_id)) for file_id in request.file_ids
+        )
+        self._log.observations.append(
+            SearchObservation(
+                address=b"",
+                matched_file_ids=(),
+                score_fields=(),
+                returned_file_ids=tuple(request.file_ids),
+            )
+        )
+        return RankedFilesResponse(files=files)

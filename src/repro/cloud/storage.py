@@ -1,0 +1,52 @@
+"""Encrypted blob storage at the cloud server.
+
+Stores the encrypted file collection ``C`` keyed by file identifier.
+The server can enumerate ids and sizes (it hosts the data) but blob
+contents are ciphertext under the owner's file key.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ProtocolError
+
+
+class BlobStore:
+    """A flat store of encrypted file blobs."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __contains__(self, file_id: str) -> bool:
+        return file_id in self._blobs
+
+    def put(self, file_id: str, blob: bytes) -> None:
+        """Store a blob; overwriting an id is an error (ids are unique)."""
+        if file_id in self._blobs:
+            raise ProtocolError(f"blob {file_id!r} already stored")
+        self._blobs[file_id] = bytes(blob)
+
+    def get(self, file_id: str) -> bytes:
+        """Fetch a blob; unknown ids are a protocol error."""
+        try:
+            return self._blobs[file_id]
+        except KeyError:
+            raise ProtocolError(f"no blob stored for {file_id!r}") from None
+
+    def delete(self, file_id: str) -> None:
+        """Remove a blob (file-removal dynamics)."""
+        if file_id not in self._blobs:
+            raise ProtocolError(f"no blob stored for {file_id!r}")
+        del self._blobs[file_id]
+
+    def ids(self) -> Iterator[str]:
+        """Iterate stored file ids (server-visible metadata)."""
+        return iter(self._blobs)
+
+    def total_bytes(self) -> int:
+        """Total stored ciphertext bytes."""
+        return sum(len(blob) for blob in self._blobs.values())

@@ -1,0 +1,309 @@
+"""The index-update protocol: score dynamics over the wire.
+
+:mod:`repro.core.dynamics` exercises the OPM's update-friendliness on
+an in-memory index.  In a deployment, the owner and the server are
+separated by a network; this module carries the updates across it:
+
+* typed update messages (append/replace a posting list, put/remove a
+  file blob), authenticated by an **update token** shared between
+  owner and server at provisioning — search trapdoors must not grant
+  write access;
+* server-side handling that applies updates and invalidates the
+  affected search-cache lines;
+* :class:`RemoteIndexMaintainer`, the owner-side driver that turns
+  "insert/remove this document" into the minimal message sequence —
+  still **zero remapped entries** for insertions, now end to end.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+from dataclasses import dataclass
+
+from repro.cloud.network import Channel
+from repro.cloud.owner import DataOwner
+from repro.core.dynamics import UpdateReport, build_entry
+from repro.core.rsse import EfficientRSSE
+from repro.corpus.loader import Document
+from repro.crypto.symmetric import SymmetricCipher
+from repro.errors import ParameterError, ProtocolError
+
+#: Update-list application modes.
+UPDATE_MODES = ("append", "replace")
+
+
+def _encode(kind: str, payload: dict) -> bytes:
+    return json.dumps({"kind": kind, **payload}, sort_keys=True).encode(
+        "utf-8"
+    )
+
+
+def _decode(data: bytes, expected_kind: str) -> dict:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed update message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("update message is not a JSON object")
+    if payload.get("kind") != expected_kind:
+        raise ProtocolError(
+            f"expected {expected_kind!r}, got {payload.get('kind')!r}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class UpdateListRequest:
+    """Owner -> server: modify one posting list."""
+
+    token: bytes
+    address: bytes
+    entries: tuple[bytes, ...]
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.mode not in UPDATE_MODES:
+            raise ParameterError(
+                f"mode must be one of {UPDATE_MODES}, got {self.mode!r}"
+            )
+
+    def to_bytes(self) -> bytes:
+        return _encode(
+            "update-list",
+            {
+                "token": self.token.hex(),
+                "address": self.address.hex(),
+                "entries": [entry.hex() for entry in self.entries],
+                "mode": self.mode,
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UpdateListRequest":
+        payload = _decode(data, "update-list")
+        try:
+            return cls(
+                token=bytes.fromhex(payload["token"]),
+                address=bytes.fromhex(payload["address"]),
+                entries=tuple(
+                    bytes.fromhex(entry) for entry in payload["entries"]
+                ),
+                mode=payload["mode"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed update-list fields: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class PutBlobRequest:
+    """Owner -> server: store an encrypted file."""
+
+    token: bytes
+    file_id: str
+    blob: bytes
+
+    def to_bytes(self) -> bytes:
+        return _encode(
+            "put-blob",
+            {
+                "token": self.token.hex(),
+                "file_id": self.file_id,
+                "blob": self.blob.hex(),
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PutBlobRequest":
+        payload = _decode(data, "put-blob")
+        try:
+            return cls(
+                token=bytes.fromhex(payload["token"]),
+                file_id=payload["file_id"],
+                blob=bytes.fromhex(payload["blob"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed put-blob fields: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RemoveBlobRequest:
+    """Owner -> server: delete an encrypted file."""
+
+    token: bytes
+    file_id: str
+
+    def to_bytes(self) -> bytes:
+        return _encode(
+            "remove-blob",
+            {"token": self.token.hex(), "file_id": self.file_id},
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RemoveBlobRequest":
+        payload = _decode(data, "remove-blob")
+        try:
+            return cls(
+                token=bytes.fromhex(payload["token"]),
+                file_id=payload["file_id"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed remove-blob fields: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class AckResponse:
+    """Server -> owner: update applied."""
+
+    ok: bool
+    detail: str = ""
+
+    def to_bytes(self) -> bytes:
+        return _encode("ack", {"ok": self.ok, "detail": self.detail})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AckResponse":
+        payload = _decode(data, "ack")
+        return cls(ok=bool(payload.get("ok")), detail=str(payload.get(
+            "detail", "")))
+
+
+def check_token(expected: bytes | None, presented: bytes) -> None:
+    """Constant-time update-token verification."""
+    if expected is None:
+        raise ProtocolError("this server does not accept updates")
+    if not hmac.compare_digest(expected, presented):
+        raise ProtocolError("invalid update token")
+
+
+class RemoteIndexMaintainer:
+    """Owner-side driver for over-the-wire index updates.
+
+    Parameters
+    ----------
+    owner:
+        The :class:`DataOwner` whose collection was already outsourced
+        (must use the efficient scheme; setup must have run, so the
+        quantizer scale is fixed).
+    channel:
+        Channel to the update-accepting server.
+    update_token:
+        The write-authorization secret shared with the server.
+    """
+
+    def __init__(
+        self, owner: DataOwner, channel: Channel, update_token: bytes
+    ):
+        if not isinstance(owner._scheme, EfficientRSSE):
+            raise ParameterError(
+                "remote updates require the efficient scheme"
+            )
+        if owner.quantizer is None:
+            raise ParameterError(
+                "owner has not run setup yet (no quantizer scale)"
+            )
+        if not update_token:
+            raise ParameterError("update token must be non-empty")
+        self._owner = owner
+        self._scheme: EfficientRSSE = owner._scheme
+        self._channel = channel
+        self._token = bytes(update_token)
+        self._file_cipher = SymmetricCipher(owner.file_key)
+
+    def _call(self, request_bytes: bytes) -> AckResponse:
+        ack = AckResponse.from_bytes(self._channel.call(request_bytes))
+        if not ack.ok:
+            raise ProtocolError(f"server rejected update: {ack.detail}")
+        return ack
+
+    def insert_document(self, document: Document) -> UpdateReport:
+        """Insert a document: blob upload + per-keyword appends."""
+        owner = self._owner
+        index = owner.plain_index
+        index.add_document(
+            document.doc_id, owner.analyzer.analyze(document.text)
+        )
+        terms = sorted(
+            term
+            for term in index.vocabulary
+            if index.term_frequency(term, document.doc_id) > 0
+        )
+        self._call(
+            PutBlobRequest(
+                token=self._token,
+                file_id=document.doc_id,
+                blob=self._file_cipher.encrypt(
+                    document.text.encode("utf-8")
+                ),
+            ).to_bytes()
+        )
+        entries_written = 0
+        for term in terms:
+            trapdoor = self._scheme.trapdoor(owner.key, term)
+            entry = build_entry(
+                self._scheme, owner.key, index, owner.quantizer, term,
+                document.doc_id,
+            )
+            self._call(
+                UpdateListRequest(
+                    token=self._token,
+                    address=trapdoor.address,
+                    entries=(entry,),
+                    mode="append",
+                ).to_bytes()
+            )
+            entries_written += 1
+        return UpdateReport(
+            lists_touched=len(terms),
+            entries_written=entries_written,
+            entries_remapped=0,
+        )
+
+    def remove_document(self, doc_id: str) -> UpdateReport:
+        """Remove a document: per-keyword list rewrites + blob delete.
+
+        The owner recomputes each affected list from its plaintext
+        index (minus the removed file) and replaces it wholesale; other
+        files' entries are regenerated deterministically, so their OPM
+        values are unchanged (no remapping in the paper's sense).
+        """
+        owner = self._owner
+        index = owner.plain_index
+        terms = sorted(
+            term
+            for term in index.vocabulary
+            if index.term_frequency(term, doc_id) > 0
+        )
+        if not terms:
+            raise ParameterError(f"document {doc_id!r} is not indexed")
+        index.remove_document(doc_id)
+        entries_removed = 0
+        for term in terms:
+            trapdoor = self._scheme.trapdoor(owner.key, term)
+            replacement = tuple(
+                build_entry(
+                    self._scheme, owner.key, index, owner.quantizer, term,
+                    posting.file_id,
+                )
+                for posting in index.posting_list(term)
+            )
+            self._call(
+                UpdateListRequest(
+                    token=self._token,
+                    address=trapdoor.address,
+                    entries=replacement,
+                    mode="replace",
+                ).to_bytes()
+            )
+            entries_removed += 1
+        self._call(
+            RemoveBlobRequest(token=self._token, file_id=doc_id).to_bytes()
+        )
+        return UpdateReport(
+            lists_touched=len(terms),
+            entries_written=0,
+            entries_remapped=0,
+            entries_removed=entries_removed,
+        )

@@ -1,0 +1,174 @@
+"""The data user ``U`` (Fig. 1): Retrieval-phase client.
+
+Implements all three retrieval protocols over the accounted channel:
+
+* :meth:`DataUser.search_ranked_topk` — the efficient scheme's
+  one-round top-k (trapdoor out, ranked encrypted files back);
+* :meth:`DataUser.search_all_and_rank` — the basic one-round protocol
+  (everything back, client decrypts scores and ranks);
+* :meth:`DataUser.search_two_round_topk` — the basic two-round top-k
+  (entries first, then fetch exactly the chosen k files).
+
+Every method returns decrypted documents in final rank order together
+with the ranking, so callers can verify correctness against plaintext
+search.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.cloud.network import Channel
+from repro.cloud.owner import UserCredentials
+from repro.cloud.protocol import (
+    FileRequest,
+    RankedFilesResponse,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.core.basic_scheme import BasicRankedSSE
+from repro.core.rsse import EfficientRSSE
+from repro.core.results import RankedFile, as_ranking
+from repro.crypto.symmetric import SymmetricCipher
+from repro.errors import ParameterError
+from repro.ir.analyzer import Analyzer
+from repro.ir.topk import rank_all, top_k
+
+
+@dataclass(frozen=True)
+class RetrievedFile:
+    """A decrypted search hit in rank order."""
+
+    rank: int
+    file_id: str
+    text: str
+
+
+class DataUser:
+    """An authorized user holding credentials from the owner."""
+
+    def __init__(
+        self,
+        scheme: BasicRankedSSE | EfficientRSSE,
+        credentials: UserCredentials,
+        channel: Channel,
+        analyzer: Analyzer | None = None,
+    ):
+        self._scheme = scheme
+        self._credentials = credentials
+        self._channel = channel
+        self._analyzer = analyzer if analyzer is not None else Analyzer()
+        self._file_cipher = SymmetricCipher(credentials.file_key)
+
+    def _trapdoor_bytes(self, keyword: str) -> bytes:
+        term = self._analyzer.analyze_query(keyword)
+        trapdoor = self._scheme.trapdoor(self._credentials.scheme_key, term)
+        return trapdoor.serialize()
+
+    def _decrypt_files(
+        self, files: tuple[tuple[str, bytes], ...]
+    ) -> list[RetrievedFile]:
+        return [
+            RetrievedFile(
+                rank=position,
+                file_id=file_id,
+                text=self._file_cipher.decrypt(blob).decode("utf-8"),
+            )
+            for position, (file_id, blob) in enumerate(files, start=1)
+        ]
+
+    # -- efficient scheme: one-round server-ranked retrieval ---------------
+
+    def search_ranked_topk(self, keyword: str, k: int) -> list[RetrievedFile]:
+        """One-round top-k: the paper's headline retrieval protocol."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if not isinstance(self._scheme, EfficientRSSE):
+            raise ParameterError(
+                "server-side ranking requires the efficient scheme; use "
+                "search_all_and_rank or search_two_round_topk instead"
+            )
+        request = SearchRequest(
+            trapdoor_bytes=self._trapdoor_bytes(keyword), top_k=k
+        )
+        response = SearchResponse.from_bytes(
+            self._channel.call(request.to_bytes())
+        )
+        return self._decrypt_files(response.files)
+
+    # -- basic scheme: one-round, client ranks everything ---------------------
+
+    def search_all_and_rank(self, keyword: str) -> list[RetrievedFile]:
+        """Basic one-round protocol: all files back, rank client-side."""
+        if not isinstance(self._scheme, BasicRankedSSE):
+            raise ParameterError(
+                "client-side ranking is the basic scheme's protocol"
+            )
+        request = SearchRequest(trapdoor_bytes=self._trapdoor_bytes(keyword))
+        response = SearchResponse.from_bytes(
+            self._channel.call(request.to_bytes())
+        )
+        scores = {
+            file_id: self._decode_score(score_field)
+            for file_id, score_field in response.matches
+        }
+        blobs = dict(response.files)
+        ordered = rank_all(list(scores), key=lambda file_id: scores[file_id])
+        return [
+            RetrievedFile(
+                rank=position,
+                file_id=file_id,
+                text=self._file_cipher.decrypt(blobs[file_id]).decode("utf-8"),
+            )
+            for position, file_id in enumerate(ordered, start=1)
+        ]
+
+    # -- basic scheme: two rounds, entries then chosen files -------------------
+
+    def search_two_round_topk(
+        self, keyword: str, k: int
+    ) -> list[RetrievedFile]:
+        """Basic two-round top-k (the bandwidth-saving variant).
+
+        Round 1 fetches entries only; the client decrypts scores,
+        selects the top-k ids, and round 2 fetches exactly those files.
+        Costs an extra RTT and tells the server which files outrank the
+        rest.
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if not isinstance(self._scheme, BasicRankedSSE):
+            raise ParameterError(
+                "the two-round protocol belongs to the basic scheme"
+            )
+        request = SearchRequest(
+            trapdoor_bytes=self._trapdoor_bytes(keyword), entries_only=True
+        )
+        response = SearchResponse.from_bytes(
+            self._channel.call(request.to_bytes())
+        )
+        scores = {
+            file_id: self._decode_score(score_field)
+            for file_id, score_field in response.matches
+        }
+        chosen = top_k(list(scores), k, key=lambda file_id: scores[file_id])
+        fetch = FileRequest(file_ids=tuple(chosen))
+        files_response = RankedFilesResponse.from_bytes(
+            self._channel.call(fetch.to_bytes())
+        )
+        return self._decrypt_files(files_response.files)
+
+    # -- score handling (basic scheme only) -------------------------------------
+
+    def _decode_score(self, score_field: bytes) -> float:
+        key_z = self._credentials.scheme_key.require_z()
+        cipher = SymmetricCipher(key_z)
+        (score,) = struct.unpack(">d", cipher.decrypt(score_field))
+        return score
+
+    def ranking_of(self, retrieved: list[RetrievedFile]) -> list[RankedFile]:
+        """Project retrieved files onto a :class:`RankedFile` list."""
+        return as_ranking(
+            [(item.file_id, float(-item.rank)) for item in retrieved]
+        )

@@ -1,0 +1,91 @@
+"""Core RSSE constructions: the paper's primary contribution.
+
+* :mod:`repro.core.basic_scheme` — the SSE-security basic scheme
+  (Section III-C, Fig. 3);
+* :mod:`repro.core.rsse` — the efficient OPM-based scheme (Section IV);
+* :mod:`repro.core.range_selection` — range sizing (Section IV-C);
+* :mod:`repro.core.dynamics` — incremental updates (Section VII claim);
+* :mod:`repro.core.multi_keyword` — the future-work extension,
+  implemented and measured.
+"""
+
+from repro.core.basic_scheme import BasicRankedSSE
+from repro.core.dynamics import IndexMaintainer, UpdateReport
+from repro.core.fuzzy import (
+    FuzzyRankedSSE,
+    edit_distance_at_most_one,
+    fuzzy_set,
+)
+from repro.core.multi_keyword import (
+    ExactMultiKeywordClient,
+    MultiKeywordQuery,
+    MultiKeywordSearcher,
+    rank_correlation,
+    top_k_overlap,
+    true_conjunctive_ranking,
+)
+from repro.core.params import (
+    PAPER_PARAMETERS,
+    TEST_PARAMETERS,
+    SchemeParameters,
+)
+from repro.core.range_selection import (
+    BOUND_VARIANTS,
+    RangeSelectionPoint,
+    hgd_round_bound,
+    lhs,
+    minimal_range_bits,
+    rhs,
+    satisfies,
+    selection_series,
+)
+from repro.core.results import RankedFile, ServerMatch, as_ranking
+from repro.core.rsse import BuiltIndex, EfficientRSSE
+from repro.core.secure_index import (
+    AddressTree,
+    EntryLayout,
+    SecureIndex,
+    decrypt_posting_list,
+    encrypt_entry,
+    try_decrypt_entry,
+)
+from repro.core.trapdoor import Trapdoor, generate_trapdoor
+
+__all__ = [
+    "AddressTree",
+    "BOUND_VARIANTS",
+    "BasicRankedSSE",
+    "BuiltIndex",
+    "EfficientRSSE",
+    "EntryLayout",
+    "ExactMultiKeywordClient",
+    "FuzzyRankedSSE",
+    "IndexMaintainer",
+    "MultiKeywordQuery",
+    "MultiKeywordSearcher",
+    "PAPER_PARAMETERS",
+    "RangeSelectionPoint",
+    "RankedFile",
+    "SchemeParameters",
+    "SecureIndex",
+    "ServerMatch",
+    "TEST_PARAMETERS",
+    "Trapdoor",
+    "UpdateReport",
+    "as_ranking",
+    "decrypt_posting_list",
+    "edit_distance_at_most_one",
+    "encrypt_entry",
+    "fuzzy_set",
+    "generate_trapdoor",
+    "hgd_round_bound",
+    "lhs",
+    "minimal_range_bits",
+    "rank_correlation",
+    "rhs",
+    "satisfies",
+    "selection_series",
+    "top_k_overlap",
+    "true_conjunctive_ranking",
+    "try_decrypt_entry",
+]

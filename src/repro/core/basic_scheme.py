@@ -1,0 +1,182 @@
+"""The basic scheme (paper Section III-C, Fig. 3).
+
+A ranked searchable encryption whose security equals standard SSE: the
+server learns only the access pattern and search pattern.  Each posting
+entry stores the file id together with the relevance score encrypted
+under the *semantically secure* cipher ``E_z``, so the server cannot
+rank — ranking happens client-side, at the cost the paper criticizes:
+
+* **one-round protocol**: the server returns *all* matching files and
+  their encrypted scores; the user decrypts and ranks locally (large
+  bandwidth, user post-processing);
+* **two-round protocol**: the server first returns only the entry list
+  (ids + encrypted scores); the user decrypts scores, picks the top-k,
+  and requests exactly those files (saves bandwidth, costs an extra
+  round trip, and reveals to the server that the requested files
+  outrank the rest).
+
+Both protocols are implemented here (and wired over the simulated
+network in :mod:`repro.cloud`) so the Section III-C trade-off is
+measurable — see ``benchmarks/bench_basic_vs_rsse.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.params import PAPER_PARAMETERS, SchemeParameters
+from repro.core.results import RankedFile, ServerMatch, as_ranking
+from repro.core.secure_index import (
+    EntryLayout,
+    SecureIndex,
+    decrypt_posting_list,
+    encrypt_entry,
+)
+from repro.core.trapdoor import Trapdoor, generate_trapdoor
+from repro.crypto.keys import SchemeKey, keygen
+from repro.crypto.symmetric import SymmetricCipher
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import single_keyword_score
+from repro.ir.topk import rank_all, top_k
+
+#: Relevance scores travel as IEEE-754 doubles inside ``E_z``.
+_SCORE_PLAINTEXT_BYTES = 8
+
+
+class BasicRankedSSE:
+    """The four-algorithm tuple of the basic scheme.
+
+    ``KeyGen`` -> :meth:`keygen`, ``BuildIndex`` -> :meth:`build_index`,
+    ``TrapdoorGen`` -> :meth:`trapdoor`, ``SearchIndex`` ->
+    :meth:`search` (server side), plus the client-side ranking the
+    scheme requires (:meth:`rank_matches`, :meth:`user_top_k`).
+    """
+
+    def __init__(self, params: SchemeParameters = PAPER_PARAMETERS):
+        self._params = params
+        self._layout = EntryLayout(
+            zero_pad_bytes=params.zero_pad_bytes,
+            file_id_bytes=params.file_id_bytes,
+            score_bytes=_SCORE_PLAINTEXT_BYTES + SymmetricCipher.overhead_bytes,
+        )
+
+    @property
+    def params(self) -> SchemeParameters:
+        """The scheme parameters."""
+        return self._params
+
+    @property
+    def layout(self) -> EntryLayout:
+        """The posting-entry geometry."""
+        return self._layout
+
+    # -- Setup phase ------------------------------------------------------
+
+    def keygen(self) -> SchemeKey:
+        """``KeyGen``: draw the key bundle ``K = {x, y, z}``."""
+        return keygen(
+            security_bytes=self._params.key_bytes,
+            domain_size=self._params.score_levels,
+            range_size=self._params.range_size,
+        )
+
+    def build_index(
+        self,
+        key: SchemeKey,
+        index: InvertedIndex,
+        terms: set[str] | None = None,
+    ) -> SecureIndex:
+        """``BuildIndex(K, C)`` exactly as Fig. 3.
+
+        For each keyword: compute equation-2 scores, encrypt each with
+        ``E_z``, wrap into ``0^l || id || E_z(S)`` entries encrypted
+        under ``f_y(w)``, pad the list to ``nu`` with random dummies,
+        and file it under address ``pi_x(w)``.  Pass ``terms`` to build
+        only those keywords' posting lists (partial builds for
+        experiments); padding still uses the collection-wide ``nu``.
+        """
+        score_cipher = SymmetricCipher(key.require_z())
+        padded_length = index.max_posting_length()
+        if padded_length == 0:
+            raise ParameterError("cannot build an index from an empty collection")
+        secure = SecureIndex(self._layout, padded_length=padded_length)
+        for term, postings in index.items():
+            if terms is not None and term not in terms:
+                continue
+            trapdoor = generate_trapdoor(
+                key, term, self._params.address_bits
+            )
+            entries = []
+            for posting in postings:
+                score = single_keyword_score(
+                    posting.term_frequency, index.file_length(posting.file_id)
+                )
+                encrypted_score = score_cipher.encrypt(
+                    struct.pack(">d", score)
+                )
+                entries.append(
+                    encrypt_entry(
+                        self._layout,
+                        trapdoor.list_key,
+                        posting.file_id,
+                        encrypted_score,
+                    )
+                )
+            secure.add_list(trapdoor.address, entries)
+        return secure
+
+    # -- Retrieval phase -----------------------------------------------------
+
+    def trapdoor(self, key: SchemeKey, term: str) -> Trapdoor:
+        """``TrapdoorGen(w)`` for an analyzer-normalized keyword."""
+        return generate_trapdoor(key, term, self._params.address_bits)
+
+    def search(
+        self, secure_index: SecureIndex, trapdoor: Trapdoor
+    ) -> list[ServerMatch]:
+        """``SearchIndex(I, T_w)``: the server's view of the matches.
+
+        Locates the list via the trapdoor address, decrypts entries
+        with ``f_y(w)``, and drops dummies.  The resulting file ids and
+        *still-encrypted* scores are everything the server learns.
+        """
+        entries = secure_index.lookup(trapdoor.address)
+        if entries is None:
+            return []
+        return [
+            ServerMatch(file_id=file_id, score_field=score_field)
+            for file_id, score_field in decrypt_posting_list(
+                secure_index.layout, trapdoor.list_key, entries
+            )
+        ]
+
+    # -- client-side ranking -------------------------------------------------
+
+    def decrypt_score(self, key: SchemeKey, match: ServerMatch) -> float:
+        """Recover the true relevance score from ``E_z(S)``."""
+        cipher = SymmetricCipher(key.require_z())
+        (score,) = struct.unpack(">d", cipher.decrypt(match.score_field))
+        return score
+
+    def rank_matches(
+        self, key: SchemeKey, matches: list[ServerMatch]
+    ) -> list[RankedFile]:
+        """Full client-side ranking (the one-round protocol's epilogue)."""
+        scored = [
+            (match.file_id, self.decrypt_score(key, match))
+            for match in matches
+        ]
+        ordered = rank_all(scored, key=lambda pair: pair[1])
+        return as_ranking(ordered)
+
+    def user_top_k(
+        self, key: SchemeKey, matches: list[ServerMatch], k: int
+    ) -> list[RankedFile]:
+        """Client-side top-k selection (the two-round protocol's step 2)."""
+        scored = [
+            (match.file_id, self.decrypt_score(key, match))
+            for match in matches
+        ]
+        best = top_k(scored, k, key=lambda pair: pair[1])
+        return as_ranking(best)

@@ -1,0 +1,222 @@
+"""Score dynamics: incremental index maintenance (paper Section VII).
+
+A "significant advantage" the paper claims over the database-community
+baselines [16, 18]: because the OPM's plaintext-to-bucket assignment
+depends only on the key (``BinarySearch`` coins never involve other
+scores), *previously mapped values stay valid when scores are inserted
+or changed* — no rebuild, unlike bucketized or sampling-trained
+order-preserving transforms whose mapping is fitted to the score
+distribution.
+
+Why updates are cheap under equation 2: a file's score for keyword
+``w`` is ``(1 + ln f_{d,w}) / |F_d|`` — it involves only that file's
+own term frequency and length.  Adding or removing a document therefore
+only adds/removes *that document's* entries; no other file's score (or
+mapped value) changes.
+
+:class:`IndexMaintainer` is the data-owner-side component that owns the
+plaintext index, quantizer and keys, builds the secure index, and
+applies incremental updates while counting touched entries — the cost
+model compared against rebuild-style baselines in
+``benchmarks/bench_score_dynamics.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.rsse import EfficientRSSE
+from repro.core.secure_index import SecureIndex, encrypt_entry, try_decrypt_entry
+from repro.crypto.keys import SchemeKey
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer, single_keyword_score
+
+
+def build_entry(
+    scheme: EfficientRSSE,
+    key: SchemeKey,
+    plain_index: InvertedIndex,
+    quantizer: ScoreQuantizer,
+    term: str,
+    file_id: str,
+) -> bytes:
+    """Produce the encrypted posting entry of (term, file) at current state.
+
+    Shared by the in-memory :class:`IndexMaintainer` and the remote
+    update protocol (:mod:`repro.cloud.updates`).
+    """
+    trapdoor = scheme.trapdoor(key, term)
+    opm = scheme.opm_for_term(key, term)
+    score = single_keyword_score(
+        plain_index.term_frequency(term, file_id),
+        plain_index.file_length(file_id),
+    )
+    level = quantizer.quantize(score)
+    opm_value = opm.map_score(level, file_id)
+    return encrypt_entry(
+        scheme.layout,
+        trapdoor.list_key,
+        file_id,
+        scheme.encode_score_field(opm_value),
+    )
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Cost accounting for one incremental update.
+
+    Attributes
+    ----------
+    lists_touched:
+        Posting lists modified (keywords of the changed document).
+    entries_written:
+        New encrypted entries produced.
+    entries_remapped:
+        Pre-existing entries whose OPM value had to be recomputed —
+        **always zero** for this scheme; baselines report non-zero
+        values here, which is the paper's Section VII comparison.
+    entries_removed:
+        Entries physically deleted (removal path only).
+    """
+
+    lists_touched: int
+    entries_written: int
+    entries_remapped: int
+    entries_removed: int = 0
+
+
+class IndexMaintainer:
+    """Owner-side index lifecycle: build once, update incrementally.
+
+    Parameters
+    ----------
+    scheme:
+        The efficient RSSE scheme instance.
+    key:
+        The owner's key bundle (must include ``z``).
+
+    The maintainer keeps the plaintext :class:`InvertedIndex` (the
+    owner's local state, never outsourced) aligned with the outsourced
+    :class:`SecureIndex`.
+    """
+
+    def __init__(self, scheme: EfficientRSSE, key: SchemeKey):
+        self._scheme = scheme
+        self._key = key
+        self._plain_index = InvertedIndex()
+        self._secure_index: SecureIndex | None = None
+        self._quantizer: ScoreQuantizer | None = None
+
+    @property
+    def plain_index(self) -> InvertedIndex:
+        """The owner's local plaintext index."""
+        return self._plain_index
+
+    @property
+    def secure_index(self) -> SecureIndex:
+        """The outsourced index; raises before :meth:`build`."""
+        if self._secure_index is None:
+            raise ParameterError("index has not been built yet")
+        return self._secure_index
+
+    @property
+    def quantizer(self) -> ScoreQuantizer:
+        """The fitted quantizer; raises before :meth:`build`."""
+        if self._quantizer is None:
+            raise ParameterError("index has not been built yet")
+        return self._quantizer
+
+    # -- initial build ---------------------------------------------------
+
+    def add_document(self, file_id: str, terms: Iterable[str]) -> None:
+        """Stage a document into the plaintext index (pre-build)."""
+        self._plain_index.add_document(file_id, terms)
+
+    def build(self) -> SecureIndex:
+        """Build the secure index from the staged documents."""
+        built = self._scheme.build_index(self._key, self._plain_index)
+        self._secure_index = built.secure_index
+        self._quantizer = built.quantizer
+        return built.secure_index
+
+    # -- incremental updates ------------------------------------------------
+
+    def _entries_for(self, term: str, file_id: str) -> bytes:
+        """Produce the encrypted entry of (term, file) at current state."""
+        return build_entry(
+            self._scheme,
+            self._key,
+            self._plain_index,
+            self.quantizer,
+            term,
+            file_id,
+        )
+
+    def insert_document(self, file_id: str, terms: Iterable[str]) -> UpdateReport:
+        """Add a new document to a built index — no remapping needed.
+
+        For each keyword of the new document, exactly one new entry is
+        appended to (or a new list created for) the keyword's posting
+        list.  Existing entries are byte-identical afterwards; the
+        test suite asserts this invariant.
+        """
+        secure = self.secure_index
+        self._plain_index.add_document(file_id, terms)
+        terms_of_doc = [
+            term
+            for term in self._plain_index.vocabulary
+            if self._plain_index.term_frequency(term, file_id) > 0
+        ]
+        entries_written = 0
+        for term in sorted(terms_of_doc):
+            trapdoor = self._scheme.trapdoor(self._key, term)
+            new_entry = self._entries_for(term, file_id)
+            existing = secure.lookup(trapdoor.address)
+            if existing is None:
+                secure.add_list(trapdoor.address, [new_entry])
+            else:
+                secure.replace_list(trapdoor.address, existing + [new_entry])
+            entries_written += 1
+        return UpdateReport(
+            lists_touched=len(terms_of_doc),
+            entries_written=entries_written,
+            entries_remapped=0,
+        )
+
+    def remove_document(self, file_id: str) -> UpdateReport:
+        """Remove a document's entries from the built index."""
+        secure = self.secure_index
+        terms_of_doc = [
+            term
+            for term in self._plain_index.vocabulary
+            if self._plain_index.term_frequency(term, file_id) > 0
+        ]
+        if not terms_of_doc:
+            raise ParameterError(f"document {file_id!r} is not indexed")
+        lists_touched = 0
+        entries_removed = 0
+        for term in sorted(terms_of_doc):
+            trapdoor = self._scheme.trapdoor(self._key, term)
+            existing = secure.lookup(trapdoor.address)
+            if existing is None:
+                continue
+            kept = []
+            for entry in existing:
+                decoded = try_decrypt_entry(
+                    secure.layout, trapdoor.list_key, entry
+                )
+                if decoded is not None and decoded[0] == file_id:
+                    entries_removed += 1
+                    continue
+                kept.append(entry)
+            secure.replace_list(trapdoor.address, kept)
+            lists_touched += 1
+        self._plain_index.remove_document(file_id)
+        return UpdateReport(
+            lists_touched=lists_touched,
+            entries_written=0,
+            entries_remapped=0,
+            entries_removed=entries_removed,
+        )

@@ -1,0 +1,193 @@
+"""Ranked fuzzy keyword search (extension: [22] + this paper).
+
+The paper's related work cites the authors' companion scheme — Li et
+al., *Fuzzy keyword search over encrypted data in cloud computing*
+(INFOCOM'10 [22]) — which tolerates single-character typos using
+**wildcard-based fuzzy keyword sets**.  This module integrates that
+construction with the ranked index: typo-tolerant queries whose results
+come back relevance-ranked by OPM values, one round, server-side.
+
+Wildcard fuzzy sets (edit distance 1)
+-------------------------------------
+``fuzzy_set("cat")`` = ``{cat, *at, c*t, ca*, *cat, c*at, ca*t, cat*}``
+— the word itself, every single-character *substitution* pattern, and
+every single-character *insertion* slot.  Two words at edit distance
+<= 1 always share at least one pattern (a substitution/deletion on one
+side meets an insertion slot or substitution on the other), so:
+
+* **index side**: each keyword's posting entries are filed under the
+  address of *every* pattern in its fuzzy set (storage factor
+  ``O(len(w))`` per keyword — the price of typo tolerance);
+* **query side**: the user derives trapdoors for the query word's own
+  fuzzy set; any shared pattern hits.
+
+Ranking integration: entries carry OPM values exactly as in
+:class:`~repro.core.rsse.EfficientRSSE`; matches from different
+patterns of the same underlying keyword deduplicate by file id (same
+OPM value — the score mapping is keyed per underlying keyword, not per
+pattern).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import PAPER_PARAMETERS, SchemeParameters
+from repro.core.results import RankedFile, ServerMatch, as_ranking
+from repro.core.rsse import BuiltIndex, EfficientRSSE
+from repro.core.secure_index import SecureIndex, encrypt_entry
+from repro.core.trapdoor import Trapdoor, generate_trapdoor
+from repro.crypto.keys import SchemeKey
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer, single_keyword_score
+from repro.ir.topk import rank_all, top_k
+
+
+def fuzzy_set(word: str) -> set[str]:
+    """The wildcard-based fuzzy keyword set for edit distance 1."""
+    if not word:
+        raise ParameterError("word must be non-empty")
+    if "*" in word:
+        raise ParameterError("word must not contain the wildcard character")
+    patterns = {word}
+    for position in range(len(word)):
+        patterns.add(word[:position] + "*" + word[position + 1 :])
+    for position in range(len(word) + 1):
+        patterns.add(word[:position] + "*" + word[position:])
+    return patterns
+
+
+def edit_distance_at_most_one(a: str, b: str) -> bool:
+    """Reference predicate used by the tests (not by the protocol)."""
+    if a == b:
+        return True
+    if abs(len(a) - len(b)) > 1:
+        return False
+    if len(a) == len(b):
+        return sum(1 for x, y in zip(a, b) if x != y) == 1
+    shorter, longer = (a, b) if len(a) < len(b) else (b, a)
+    for position in range(len(longer)):
+        if longer[:position] + longer[position + 1 :] == shorter:
+            return True
+    return False
+
+
+class FuzzyRankedSSE:
+    """Typo-tolerant ranked search on top of the efficient scheme.
+
+    Shares :class:`EfficientRSSE`'s key material, entry layout, and
+    OPM; only the *addressing* changes (one list per fuzzy pattern).
+    """
+
+    def __init__(self, params: SchemeParameters = PAPER_PARAMETERS):
+        self._inner = EfficientRSSE(params)
+
+    @property
+    def params(self) -> SchemeParameters:
+        """The scheme parameters."""
+        return self._inner.params
+
+    def keygen(self) -> SchemeKey:
+        """Draw the key bundle (same shape as the efficient scheme)."""
+        return self._inner.keygen()
+
+    # -- Setup ----------------------------------------------------------
+
+    def build_index(
+        self,
+        key: SchemeKey,
+        index: InvertedIndex,
+        quantizer: ScoreQuantizer | None = None,
+    ) -> BuiltIndex:
+        """Build the fuzzy secure index.
+
+        Every keyword's entries are OPM-scored once (per-keyword key)
+        and then filed under each pattern of the keyword's fuzzy set.
+        """
+        if quantizer is None:
+            quantizer = self._inner.fit_quantizer(index)
+        if quantizer.levels != self.params.score_levels:
+            raise ParameterError(
+                f"quantizer has {quantizer.levels} levels but the scheme "
+                f"expects {self.params.score_levels}"
+            )
+        secure = SecureIndex(self._inner.layout)
+        # Patterns can collide across keywords (e.g. "c*t" belongs to
+        # both "cat" and "cut"); collect entries per pattern first.
+        pattern_entries: dict[str, list[bytes]] = {}
+        for term, postings in index.items():
+            opm = self._inner.opm_for_term(key, term)
+            scored = []
+            for posting in postings:
+                score = single_keyword_score(
+                    posting.term_frequency, index.file_length(posting.file_id)
+                )
+                level = quantizer.quantize(score)
+                scored.append(
+                    (posting.file_id, opm.map_score(level, posting.file_id))
+                )
+            for pattern in fuzzy_set(term):
+                trapdoor = generate_trapdoor(
+                    key, pattern, self.params.address_bits
+                )
+                bucket = pattern_entries.setdefault(pattern, [])
+                for file_id, opm_value in scored:
+                    bucket.append(
+                        encrypt_entry(
+                            self._inner.layout,
+                            trapdoor.list_key,
+                            file_id,
+                            self._inner.encode_score_field(opm_value),
+                        )
+                    )
+        for pattern, entries in pattern_entries.items():
+            trapdoor = generate_trapdoor(
+                key, pattern, self.params.address_bits
+            )
+            secure.add_list(trapdoor.address, entries)
+        return BuiltIndex(secure_index=secure, quantizer=quantizer)
+
+    # -- Retrieval --------------------------------------------------------
+
+    def trapdoors(self, key: SchemeKey, word: str) -> list[Trapdoor]:
+        """One trapdoor per pattern of the query word's fuzzy set."""
+        return [
+            generate_trapdoor(key, pattern, self.params.address_bits)
+            for pattern in sorted(fuzzy_set(word))
+        ]
+
+    def search_ranked(
+        self, secure_index: SecureIndex, trapdoors: list[Trapdoor]
+    ) -> list[RankedFile]:
+        """Union the pattern matches, dedupe by file, rank by OPM value.
+
+        A file matched through several patterns of the *same* keyword
+        carries one OPM value; a file matching *different* underlying
+        keywords keeps its highest value (best-match semantics).
+        """
+        if not trapdoors:
+            raise ParameterError("trapdoors must be non-empty")
+        best: dict[str, int] = {}
+        for trapdoor in trapdoors:
+            for match in self._matches(secure_index, trapdoor):
+                value = match.opm_value()
+                existing = best.get(match.file_id)
+                if existing is None or value > existing:
+                    best[match.file_id] = value
+        ordered = rank_all(list(best.items()), key=lambda pair: pair[1])
+        return as_ranking(ordered)
+
+    def search_top_k(
+        self,
+        secure_index: SecureIndex,
+        trapdoors: list[Trapdoor],
+        k: int,
+    ) -> list[RankedFile]:
+        """Top-k of the deduplicated fuzzy union."""
+        ranking = self.search_ranked(secure_index, trapdoors)
+        best = top_k(ranking, k, key=lambda entry: entry.score)
+        return as_ranking([(entry.file_id, entry.score) for entry in best])
+
+    def _matches(
+        self, secure_index: SecureIndex, trapdoor: Trapdoor
+    ) -> list[ServerMatch]:
+        return self._inner.search(secure_index, trapdoor)

@@ -1,0 +1,303 @@
+"""Multi-keyword ranked search (the paper's primary future-work item).
+
+Section VIII: "the most promising [direction] is the support for
+multiple keywords ... as the IDF factor now has to be included for
+score calculation, new approaches still need to be designed to
+completely preserve the order when summing up scores."
+
+This module implements the natural conjunctive extension and *measures*
+exactly the order-distortion the paper predicts:
+
+* the user sends one trapdoor per query keyword;
+* the server intersects the posting lists (conjunctive semantics, as in
+  the conjunctive-SSE literature the paper cites) and ranks the
+  intersection by the **sum of per-keyword OPM values**;
+* because OPM preserves order per keyword but is non-linear, the sum of
+  OPM values does not exactly preserve the order of the sum of scores —
+  and the server-side ranking also cannot weight keywords by IDF.
+
+:func:`rank_correlation` (Kendall tau) quantifies how far the
+server-side approximate ranking deviates from the true equation-1
+ranking; ``benchmarks/bench_multi_keyword.py`` sweeps this over query
+sizes, turning the paper's open problem into a measured ablation.
+
+For users who need exact multi-keyword order, :class:`MultiKeywordSearcher`
+also offers a two-round exact mode mirroring the basic scheme: the
+server returns the per-keyword matches, and the client reranks with
+true equation-1 scores (requires the score key, i.e. owner-style
+access, or the basic scheme's encrypted score fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import RankedFile, as_ranking
+from repro.core.rsse import EfficientRSSE
+from repro.core.secure_index import SecureIndex
+from repro.core.trapdoor import Trapdoor
+from repro.crypto.keys import SchemeKey
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import query_score
+from repro.ir.topk import rank_all, top_k
+
+
+@dataclass(frozen=True)
+class MultiKeywordQuery:
+    """A conjunctive multi-keyword query: trapdoors in keyword order."""
+
+    trapdoors: tuple[Trapdoor, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trapdoors:
+            raise ParameterError("query must contain at least one trapdoor")
+
+
+class MultiKeywordSearcher:
+    """Conjunctive ranked search on top of the efficient scheme."""
+
+    def __init__(self, scheme: EfficientRSSE):
+        self._scheme = scheme
+
+    def make_query(
+        self, key: SchemeKey, terms: list[str]
+    ) -> MultiKeywordQuery:
+        """Build a query: one trapdoor per analyzer-normalized term."""
+        if not terms:
+            raise ParameterError("terms must be non-empty")
+        if len(set(terms)) != len(terms):
+            raise ParameterError("duplicate query terms are not allowed")
+        return MultiKeywordQuery(
+            trapdoors=tuple(self._scheme.trapdoor(key, term) for term in terms)
+        )
+
+    def _intersect(
+        self, secure_index: SecureIndex, query: MultiKeywordQuery
+    ) -> dict[str, list[int]]:
+        """Server side: intersect posting lists, collect OPM values.
+
+        Returns ``file_id -> [opm value per keyword]`` for files
+        matching *all* keywords.
+        """
+        per_keyword = []
+        for trapdoor in query.trapdoors:
+            matches = self._scheme.search(secure_index, trapdoor)
+            per_keyword.append(
+                {match.file_id: match.opm_value() for match in matches}
+            )
+        if not per_keyword:
+            return {}
+        common = set(per_keyword[0])
+        for matches in per_keyword[1:]:
+            common &= set(matches)
+        return {
+            file_id: [matches[file_id] for matches in per_keyword]
+            for file_id in common
+        }
+
+    def search_ranked(
+        self, secure_index: SecureIndex, query: MultiKeywordQuery
+    ) -> list[RankedFile]:
+        """Server-side approximate ranking by summed OPM values."""
+        merged = self._intersect(secure_index, query)
+        scored = [
+            (file_id, sum(values)) for file_id, values in merged.items()
+        ]
+        ordered = rank_all(scored, key=lambda pair: pair[1])
+        return as_ranking(ordered)
+
+    def search_top_k(
+        self, secure_index: SecureIndex, query: MultiKeywordQuery, k: int
+    ) -> list[RankedFile]:
+        """Server-side approximate top-k by summed OPM values."""
+        merged = self._intersect(secure_index, query)
+        scored = [
+            (file_id, sum(values)) for file_id, values in merged.items()
+        ]
+        best = top_k(scored, k, key=lambda pair: pair[1])
+        return as_ranking(best)
+
+    def search_ranked_disjunctive(
+        self, secure_index: SecureIndex, query: MultiKeywordQuery
+    ) -> list[RankedFile]:
+        """OR semantics: files matching *any* keyword, by summed OPM values.
+
+        The paper's footnote 1 notes that *privacy-preserving* support
+        for disjunctive Boolean search within one trapdoor "still
+        remains an open problem" for symmetric SSE; this method takes
+        the straightforward route of one trapdoor per keyword — the
+        server additionally learns each keyword's individual match set
+        (the same per-keyword leakage conjunctive queries already
+        exhibit here), which is exactly the compromise the footnote is
+        about.  Files missing a keyword simply contribute nothing for
+        that keyword.
+        """
+        per_keyword = []
+        for trapdoor in query.trapdoors:
+            matches = self._scheme.search(secure_index, trapdoor)
+            per_keyword.append(
+                {match.file_id: match.opm_value() for match in matches}
+            )
+        union: dict[str, int] = {}
+        for matches in per_keyword:
+            for file_id, value in matches.items():
+                union[file_id] = union.get(file_id, 0) + value
+        ordered = rank_all(list(union.items()), key=lambda pair: pair[1])
+        return as_ranking(ordered)
+
+
+class ExactMultiKeywordClient:
+    """Exact multi-keyword ranking via the basic scheme (two-round style).
+
+    The efficient scheme's server can only sum OPM values; a client of
+    the *basic* scheme can do better.  Each per-keyword search returns
+    ``E_z``-encrypted equation-2 scores ``s_{t,d} = (1 + ln f_{d,t}) /
+    |F_d|``; the client decrypts them and recombines equation 1 exactly:
+
+        ``Score(Q, F_d) = sum_t s_{t,d} * ln(1 + N / f_t)``
+
+    where ``f_t`` is the posting-list length (visible from the result
+    set) and ``N`` the collection size.  Exactness costs what the basic
+    scheme always costs — per-keyword round trips and client-side
+    work — which is precisely the trade-off the paper's Section VIII
+    contemplates.
+    """
+
+    def __init__(self, scheme, collection_size: int):
+        from repro.core.basic_scheme import BasicRankedSSE
+
+        if not isinstance(scheme, BasicRankedSSE):
+            raise ParameterError(
+                "exact multi-keyword ranking needs the basic scheme "
+                "(client-decryptable scores)"
+            )
+        if collection_size < 1:
+            raise ParameterError(
+                f"collection size must be >= 1, got {collection_size}"
+            )
+        self._scheme = scheme
+        self._collection_size = collection_size
+
+    def search_ranked(
+        self, key: SchemeKey, secure_index: SecureIndex, terms: list[str]
+    ) -> list[RankedFile]:
+        """Run one basic-scheme search per term; combine equation 1."""
+        if not terms:
+            raise ParameterError("terms must be non-empty")
+        if len(set(terms)) != len(terms):
+            raise ParameterError("duplicate query terms are not allowed")
+        import math
+
+        per_term_scores: list[dict[str, float]] = []
+        for term in terms:
+            trapdoor = self._scheme.trapdoor(key, term)
+            matches = self._scheme.search(secure_index, trapdoor)
+            per_term_scores.append(
+                {
+                    match.file_id: self._scheme.decrypt_score(key, match)
+                    for match in matches
+                }
+            )
+        common: set[str] | None = None
+        for scores in per_term_scores:
+            common = set(scores) if common is None else common & set(scores)
+        if not common:
+            return []
+        combined = []
+        for file_id in common:
+            total = 0.0
+            for scores in per_term_scores:
+                document_frequency = len(scores)
+                total += scores[file_id] * math.log(
+                    1.0 + self._collection_size / document_frequency
+                )
+            combined.append((file_id, total))
+        ordered = rank_all(combined, key=lambda pair: pair[1])
+        return as_ranking(ordered)
+
+
+def true_conjunctive_ranking(
+    index: InvertedIndex, terms: list[str]
+) -> list[RankedFile]:
+    """The exact equation-1 ranking over the conjunctive match set.
+
+    Computed from the plaintext index — the ground truth against which
+    the OPM-sum approximation is scored.
+    """
+    if not terms:
+        raise ParameterError("terms must be non-empty")
+    matching = None
+    for term in terms:
+        files = {posting.file_id for posting in index.posting_list(term)}
+        matching = files if matching is None else matching & files
+    if not matching:
+        return []
+    document_frequencies = {
+        term: index.document_frequency(term) for term in terms
+    }
+    scored = []
+    for file_id in matching:
+        term_frequencies = {
+            term: index.term_frequency(term, file_id) for term in terms
+        }
+        scored.append(
+            (
+                file_id,
+                query_score(
+                    term_frequencies,
+                    document_frequencies,
+                    index.file_length(file_id),
+                    index.num_files,
+                ),
+            )
+        )
+    ordered = rank_all(scored, key=lambda pair: pair[1])
+    return as_ranking(ordered)
+
+
+def rank_correlation(
+    ranking_a: list[RankedFile], ranking_b: list[RankedFile]
+) -> float:
+    """Kendall tau-a between two rankings of the same file set.
+
+    1.0 means identical order, -1.0 fully reversed, 0 uncorrelated.
+    Raises if the rankings cover different file sets.
+    """
+    positions_a = {entry.file_id: entry.rank for entry in ranking_a}
+    positions_b = {entry.file_id: entry.rank for entry in ranking_b}
+    if set(positions_a) != set(positions_b):
+        raise ParameterError("rankings cover different file sets")
+    files = sorted(positions_a)
+    n = len(files)
+    if n < 2:
+        return 1.0
+    concordant_minus_discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            delta_a = positions_a[files[i]] - positions_a[files[j]]
+            delta_b = positions_b[files[i]] - positions_b[files[j]]
+            product = delta_a * delta_b
+            if product > 0:
+                concordant_minus_discordant += 1
+            elif product < 0:
+                concordant_minus_discordant -= 1
+    return concordant_minus_discordant / (n * (n - 1) / 2)
+
+
+def top_k_overlap(
+    ranking_a: list[RankedFile], ranking_b: list[RankedFile], k: int
+) -> float:
+    """Fraction of ``ranking_a``'s top-k present in ``ranking_b``'s top-k.
+
+    The retrieval-precision view of the approximation error: users ask
+    for top-k files, so what matters is whether the approximate top-k
+    set matches the true one.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    top_a = {entry.file_id for entry in ranking_a[:k]}
+    top_b = {entry.file_id for entry in ranking_b[:k]}
+    if not top_a:
+        return 1.0
+    return len(top_a & top_b) / len(top_a)

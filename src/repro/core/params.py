@@ -1,0 +1,129 @@
+"""Scheme parameters for both constructions.
+
+The paper's ``KeyGen(1^k, 1^l, 1^l', 1^p [, |D|, |R|])`` takes four
+security parameters plus, in the efficient scheme, the OPM domain and
+range sizes.  :class:`SchemeParameters` gathers them with the paper's
+notation documented per field, validates their interactions, and
+provides the defaults of the paper's worked example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+#: The paper's worked example: scores quantized into 128 levels.
+DEFAULT_SCORE_LEVELS = 128
+
+#: The paper's worked example: |R| = 2**46 for max/lambda = 0.06, c = 1.1.
+DEFAULT_RANGE_BITS = 46
+
+
+@dataclass(frozen=True)
+class SchemeParameters:
+    """Security and functional parameters shared by both schemes.
+
+    Attributes
+    ----------
+    key_bytes:
+        ``k / 8`` — length of the random keys ``x, y, z``.
+    zero_pad_bytes:
+        ``l / 8`` — length of the ``0^l`` validity marker prefixed to
+        each posting entry before encryption (Fig. 3 step 3).
+    address_bits:
+        ``p`` — width of keyword addresses ``pi_x(w)``; must exceed
+        ``log2(m)`` (the paper's SHA-1 instantiation gives 160).
+    file_id_bytes:
+        Fixed width to which file identifiers are encoded inside
+        posting entries, so all entries are equal-sized and dummies are
+        indistinguishable by length.
+    score_levels:
+        ``M = |D|`` — score quantization levels (efficient scheme).
+    range_bits:
+        ``log2 |R|`` — OPM ciphertext range size in bits.
+    quantizer_headroom:
+        Multiplier above the observed max score when fitting the
+        quantizer scale (leaves room for future insertions).
+    pad_posting_lists:
+        Pad every posting list to ``nu = max_i N_i`` with random dummy
+        entries (the basic scheme of Fig. 3 requires this; the
+        efficient scheme as described does not pad).
+    """
+
+    key_bytes: int = 16
+    zero_pad_bytes: int = 4
+    address_bits: int = 160
+    file_id_bytes: int = 24
+    score_levels: int = DEFAULT_SCORE_LEVELS
+    range_bits: int = DEFAULT_RANGE_BITS
+    quantizer_headroom: float = 1.05
+    pad_posting_lists: bool = False
+
+    def __post_init__(self) -> None:
+        if self.key_bytes < 8:
+            raise ParameterError(
+                f"key_bytes must be >= 8 (64-bit minimum), got {self.key_bytes}"
+            )
+        if self.zero_pad_bytes < 1:
+            raise ParameterError(
+                f"zero_pad_bytes must be >= 1, got {self.zero_pad_bytes}"
+            )
+        if self.address_bits < 8 or self.address_bits % 8 != 0:
+            raise ParameterError(
+                f"address_bits must be a positive multiple of 8, got "
+                f"{self.address_bits}"
+            )
+        if self.file_id_bytes < 1:
+            raise ParameterError(
+                f"file_id_bytes must be >= 1, got {self.file_id_bytes}"
+            )
+        if self.score_levels < 2:
+            raise ParameterError(
+                f"score_levels must be >= 2, got {self.score_levels}"
+            )
+        if self.range_bits < 1:
+            raise ParameterError(
+                f"range_bits must be >= 1, got {self.range_bits}"
+            )
+        if self.range_size < self.score_levels:
+            raise ParameterError(
+                f"range 2**{self.range_bits} is smaller than the score "
+                f"domain of {self.score_levels} levels"
+            )
+        if self.quantizer_headroom < 1.0:
+            raise ParameterError(
+                f"quantizer_headroom must be >= 1, got {self.quantizer_headroom}"
+            )
+
+    @property
+    def range_size(self) -> int:
+        """``|R| = 2**range_bits``."""
+        return 1 << self.range_bits
+
+    @property
+    def score_ciphertext_bytes(self) -> int:
+        """Bytes needed to encode an OPM value (``ceil(range_bits / 8)``)."""
+        return (self.range_bits + 7) // 8
+
+    def check_vocabulary(self, vocabulary_size: int) -> None:
+        """Validate ``p > log2(m)`` for the target vocabulary."""
+        if vocabulary_size < 1:
+            raise ParameterError(
+                f"vocabulary size must be >= 1, got {vocabulary_size}"
+            )
+        if vocabulary_size.bit_length() >= self.address_bits:
+            raise ParameterError(
+                f"address width {self.address_bits} bits is insufficient for "
+                f"{vocabulary_size} keywords"
+            )
+
+
+#: Parameters exactly matching the paper's worked example.
+PAPER_PARAMETERS = SchemeParameters()
+
+#: Small parameters for fast unit tests (documented so tests read clearly).
+TEST_PARAMETERS = SchemeParameters(
+    score_levels=16,
+    range_bits=24,
+)

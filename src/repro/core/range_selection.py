@@ -1,0 +1,166 @@
+"""Choosing the OPM range size |R| (paper Section IV-C, equations 3-4).
+
+The one-to-many mapping flattens the score distribution only if the
+range is large enough that ciphertext duplicates are rare.  The paper
+formalizes "rare" with min-entropy: the expected worst-case duplicate
+fraction after mapping must be below ``2**-(log k)^c`` for ``c > 1``,
+where ``k = log2 |R|`` — i.e. the mapped distribution must have *high
+min-entropy* in ``k``.
+
+Equation 4 (rearranged): find the least ``k`` with
+
+    max * 2**E / (2**k * lambda)  <=  2**-(log k)^c
+
+where ``E`` bounds the number of binary-search rounds, hence how much
+of the range a bucket can span: the paper uses the OPSE result that the
+expected number of HGD recursions is at most ``5 log2 M + 12`` (and
+plots looser bounds ``5 log2 M`` and ``4 log2 M`` as alternatives —
+Fig. 5).
+
+The paper does not state the base of the outer ``log`` in the RHS; we
+default to base 2 (consistent with every other logarithm in the
+section) and expose the base as a parameter.  EXPERIMENTS.md documents
+the effect: with base 2 the worked example crosses at k = 50 instead of
+the paper's 46, while the *spacing* between the three bound variants
+(12 and 7-8 bits) matches the paper's 46/34/27 exactly, because the
+spacing depends only on the bound exponents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ParameterError
+
+#: Bound variants for the expected HGD recursion count (Fig. 5).
+BOUND_VARIANTS = ("5logM+12", "5logM", "4logM")
+
+
+def hgd_round_bound(domain_size: int, variant: str = "5logM+12") -> float:
+    """Return the bound ``E`` on binary-search rounds for domain size M.
+
+    ``variant`` selects the paper's tight bound ``5 log2 M + 12`` or
+    one of the looser ``O(log M)`` replacements it evaluates.
+    """
+    if domain_size < 2:
+        raise ParameterError(f"domain size must be >= 2, got {domain_size}")
+    log_m = math.log2(domain_size)
+    if variant == "5logM+12":
+        return 5 * log_m + 12
+    if variant == "5logM":
+        return 5 * log_m
+    if variant == "4logM":
+        return 4 * log_m
+    raise ParameterError(
+        f"unknown bound variant {variant!r}; expected one of {BOUND_VARIANTS}"
+    )
+
+
+def lhs(
+    range_bits: int,
+    duplicate_ratio: float,
+    domain_size: int,
+    variant: str = "5logM+12",
+) -> float:
+    """Left-hand side of equation 4: expected worst duplicate fraction.
+
+    ``duplicate_ratio`` is the collection statistic ``max / lambda``
+    (0.06 in the paper's "network" example).
+    """
+    if range_bits < 1:
+        raise ParameterError(f"range_bits must be >= 1, got {range_bits}")
+    if not duplicate_ratio > 0:
+        raise ParameterError(
+            f"duplicate ratio must be positive, got {duplicate_ratio}"
+        )
+    exponent = hgd_round_bound(domain_size, variant) - range_bits
+    return duplicate_ratio * (2.0**exponent)
+
+
+def rhs(range_bits: int, c: float = 1.1, log_base: float = 2.0) -> float:
+    """Right-hand side of equation 4: the high-min-entropy threshold.
+
+    ``2**-(log_base(k))**c`` with ``k = range_bits``; ``c > 1`` makes
+    ``(log k)^c`` grow in ``omega(log k)`` as the definition of high
+    min-entropy requires.
+    """
+    if range_bits < 2:
+        raise ParameterError(f"range_bits must be >= 2, got {range_bits}")
+    if not c > 1:
+        raise ParameterError(f"c must be > 1 for high min-entropy, got {c}")
+    if not log_base > 1:
+        raise ParameterError(f"log_base must be > 1, got {log_base}")
+    log_k = math.log(range_bits, log_base)
+    return 2.0 ** -(log_k**c)
+
+
+def satisfies(
+    range_bits: int,
+    duplicate_ratio: float,
+    domain_size: int,
+    c: float = 1.1,
+    variant: str = "5logM+12",
+    log_base: float = 2.0,
+) -> bool:
+    """Does ``|R| = 2**range_bits`` satisfy equation 4?"""
+    return lhs(range_bits, duplicate_ratio, domain_size, variant) <= rhs(
+        range_bits, c, log_base
+    )
+
+
+def minimal_range_bits(
+    duplicate_ratio: float,
+    domain_size: int,
+    c: float = 1.1,
+    variant: str = "5logM+12",
+    log_base: float = 2.0,
+    max_bits: int = 128,
+) -> int:
+    """Return the least ``k`` such that ``|R| = 2**k`` satisfies eq. 4.
+
+    This is the data owner's range-sizing procedure: compute
+    ``max/lambda`` from the established index, then pick the smallest
+    admissible range (larger ranges only slow the HGD down).
+    """
+    for bits in range(2, max_bits + 1):
+        if satisfies(bits, duplicate_ratio, domain_size, c, variant, log_base):
+            return bits
+    raise ParameterError(
+        f"no admissible range size below 2**{max_bits} for ratio "
+        f"{duplicate_ratio} and domain {domain_size}"
+    )
+
+
+@dataclass(frozen=True)
+class RangeSelectionPoint:
+    """One point of the Fig. 5 plot."""
+
+    range_bits: int
+    lhs: float
+    rhs: float
+
+    @property
+    def admissible(self) -> bool:
+        """True where the LHS curve has dropped below the RHS curve."""
+        return self.lhs <= self.rhs
+
+
+def selection_series(
+    duplicate_ratio: float,
+    domain_size: int,
+    bits_range: Iterable[int],
+    c: float = 1.1,
+    variant: str = "5logM+12",
+    log_base: float = 2.0,
+) -> list[RangeSelectionPoint]:
+    """Evaluate LHS/RHS of eq. 4 over a sweep of ``k`` (Fig. 5 series)."""
+    return [
+        RangeSelectionPoint(
+            range_bits=bits,
+            lhs=lhs(bits, duplicate_ratio, domain_size, variant),
+            rhs=rhs(bits, c, log_base),
+        )
+        for bits in bits_range
+    ]

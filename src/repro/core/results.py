@@ -1,0 +1,63 @@
+"""Typed search results returned by the two schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ServerMatch:
+    """One posting entry as the *server* sees it after entry decryption.
+
+    Attributes
+    ----------
+    file_id:
+        The matched file's identifier.
+    score_field:
+        The still-protected score: ``E_z(S)`` ciphertext bytes in the
+        basic scheme, or the OPM value encoded big-endian in the
+        efficient scheme.
+    """
+
+    file_id: str
+    score_field: bytes
+
+    def opm_value(self) -> int:
+        """Interpret the score field as an OPM integer (efficient scheme)."""
+        return int.from_bytes(self.score_field, "big")
+
+
+@dataclass(frozen=True)
+class RankedFile:
+    """One entry of a ranked result list.
+
+    Attributes
+    ----------
+    rank:
+        1-based position in the ranking.
+    file_id:
+        The file's identifier.
+    score:
+        The ranking key: the true relevance score when ranked
+        client-side (basic scheme), or the OPM ciphertext value when
+        ranked server-side (efficient scheme — the server never knows
+        the true score).
+    """
+
+    rank: int
+    file_id: str
+    score: float | int
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ParameterError(f"rank must be >= 1, got {self.rank}")
+
+
+def as_ranking(ordered_pairs: list[tuple[str, float | int]]) -> list[RankedFile]:
+    """Wrap ``(file_id, score)`` pairs, already sorted, into RankedFile."""
+    return [
+        RankedFile(rank=position, file_id=file_id, score=score)
+        for position, (file_id, score) in enumerate(ordered_pairs, start=1)
+    ]

@@ -1,0 +1,210 @@
+"""The efficient ranked SSE scheme (paper Section IV).
+
+Identical index skeleton to the basic scheme, with one change that
+moves ranking to the server: the score field of each posting entry is
+the **one-to-many order-preserving mapping** of the quantized relevance
+score, under a *per-posting-list* key ``f_z(w_i)`` (so equal scores in
+different lists use independent bucket layouts — the paper's
+indistinguishability argument).
+
+Retrieval is one round: the server decrypts the matched list with
+``f_y(w)`` from the trapdoor, sees ``(id(F_ij), OPM_{f_z(w_i)}(S_ij))``
+pairs, sorts by the OPM values (order equals true score order), and
+returns the ranked list or its top-k.  The server never learns the
+scores themselves — only their relative order, which is exactly the
+leakage the paper trades for one-round server-side ranking
+("as-strong-as-possible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import PAPER_PARAMETERS, SchemeParameters
+from repro.core.results import RankedFile, ServerMatch, as_ranking
+from repro.core.secure_index import (
+    EntryLayout,
+    SecureIndex,
+    decrypt_posting_list,
+    encrypt_entry,
+)
+from repro.core.trapdoor import Trapdoor, generate_trapdoor
+from repro.crypto.keys import SchemeKey, keygen
+from repro.crypto.opm import OneToManyOpm
+from repro.crypto.prf import Prf
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer, single_keyword_score
+from repro.ir.topk import rank_all, top_k
+
+
+@dataclass(frozen=True)
+class BuiltIndex:
+    """Result of :meth:`EfficientRSSE.build_index`.
+
+    Bundles the outsourced index with the quantizer whose *scale* the
+    owner must retain: future insertions have to quantize with the same
+    scale or levels would shift (see :mod:`repro.core.dynamics`).
+    """
+
+    secure_index: SecureIndex
+    quantizer: ScoreQuantizer
+
+
+class EfficientRSSE:
+    """The four-algorithm tuple of the efficient RSSE scheme."""
+
+    def __init__(self, params: SchemeParameters = PAPER_PARAMETERS):
+        self._params = params
+        self._layout = EntryLayout(
+            zero_pad_bytes=params.zero_pad_bytes,
+            file_id_bytes=params.file_id_bytes,
+            score_bytes=params.score_ciphertext_bytes,
+        )
+
+    @property
+    def params(self) -> SchemeParameters:
+        """The scheme parameters."""
+        return self._params
+
+    @property
+    def layout(self) -> EntryLayout:
+        """The posting-entry geometry."""
+        return self._layout
+
+    # -- Setup phase -------------------------------------------------------
+
+    def keygen(self) -> SchemeKey:
+        """``KeyGen(1^k, ..., |D|, |R|)``: draw ``K = {x, y, z}``."""
+        return keygen(
+            security_bytes=self._params.key_bytes,
+            domain_size=self._params.score_levels,
+            range_size=self._params.range_size,
+        )
+
+    def opm_for_term(self, key: SchemeKey, term: str) -> OneToManyOpm:
+        """The per-list mapping ``OPM_{f_z(w)}`` (Section IV discussion)."""
+        list_opm_key = Prf(key.require_z()).derive_key(b"opm|" + term.encode("utf-8"))
+        return OneToManyOpm(
+            list_opm_key,
+            domain_size=self._params.score_levels,
+            range_size=self._params.range_size,
+        )
+
+    def fit_quantizer(self, index: InvertedIndex) -> ScoreQuantizer:
+        """Fit the score quantizer scale from the whole collection."""
+        scores = [
+            single_keyword_score(
+                posting.term_frequency, index.file_length(posting.file_id)
+            )
+            for _, postings in index.items()
+            for posting in postings
+        ]
+        if not scores:
+            raise ParameterError("cannot fit a quantizer: no postings")
+        return ScoreQuantizer.fit(
+            scores,
+            levels=self._params.score_levels,
+            headroom=self._params.quantizer_headroom,
+        )
+
+    def encode_score_field(self, opm_value: int) -> bytes:
+        """Encode an OPM value at the fixed score-field width."""
+        return opm_value.to_bytes(self._params.score_ciphertext_bytes, "big")
+
+    def build_index(
+        self,
+        key: SchemeKey,
+        index: InvertedIndex,
+        quantizer: ScoreQuantizer | None = None,
+        terms: set[str] | None = None,
+    ) -> BuiltIndex:
+        """``BuildIndex(K, C)`` with OPM-protected scores.
+
+        Per keyword ``w``: equation-2 scores are quantized to
+        ``{1..M}`` levels and mapped through ``OPM_{f_z(w)}`` seeded
+        with each file id; entries ``0^l || id || OPM(S)`` are encrypted
+        under ``f_y(w)`` and filed under ``pi_x(w)``.
+
+        Pass ``quantizer`` to reuse a previously fitted scale (e.g.
+        when rebuilding after edits); otherwise one is fitted from the
+        collection and returned for the owner to keep.  Pass ``terms``
+        to build only those keywords' posting lists (partial builds for
+        experiments or staged outsourcing); the quantizer is still
+        fitted collection-wide so levels agree with a full build.
+        """
+        if quantizer is None:
+            quantizer = self.fit_quantizer(index)
+        if quantizer.levels != self._params.score_levels:
+            raise ParameterError(
+                f"quantizer has {quantizer.levels} levels but the scheme "
+                f"expects {self._params.score_levels}"
+            )
+        padded_length = (
+            index.max_posting_length() if self._params.pad_posting_lists else None
+        )
+        secure = SecureIndex(self._layout, padded_length=padded_length)
+        for term, postings in index.items():
+            if terms is not None and term not in terms:
+                continue
+            trapdoor = generate_trapdoor(key, term, self._params.address_bits)
+            opm = self.opm_for_term(key, term)
+            entries = []
+            for posting in postings:
+                score = single_keyword_score(
+                    posting.term_frequency, index.file_length(posting.file_id)
+                )
+                level = quantizer.quantize(score)
+                opm_value = opm.map_score(level, posting.file_id)
+                entries.append(
+                    encrypt_entry(
+                        self._layout,
+                        trapdoor.list_key,
+                        posting.file_id,
+                        self.encode_score_field(opm_value),
+                    )
+                )
+            secure.add_list(trapdoor.address, entries)
+        return BuiltIndex(secure_index=secure, quantizer=quantizer)
+
+    # -- Retrieval phase ------------------------------------------------------
+
+    def trapdoor(self, key: SchemeKey, term: str) -> Trapdoor:
+        """``TrapdoorGen(w)`` for an analyzer-normalized keyword."""
+        return generate_trapdoor(key, term, self._params.address_bits)
+
+    def search(
+        self, secure_index: SecureIndex, trapdoor: Trapdoor
+    ) -> list[ServerMatch]:
+        """``SearchIndex(I, T_w)``: decrypt the matched list (unranked)."""
+        entries = secure_index.lookup(trapdoor.address)
+        if entries is None:
+            return []
+        return [
+            ServerMatch(file_id=file_id, score_field=score_field)
+            for file_id, score_field in decrypt_posting_list(
+                secure_index.layout, trapdoor.list_key, entries
+            )
+        ]
+
+    def search_ranked(
+        self, secure_index: SecureIndex, trapdoor: Trapdoor
+    ) -> list[RankedFile]:
+        """One-round, fully ranked retrieval — ranking done at the server.
+
+        The ranking key is the OPM ciphertext value: numeric order of
+        OPM values equals relevance order, so no decryption is needed.
+        """
+        matches = self.search(secure_index, trapdoor)
+        scored = [(match.file_id, match.opm_value()) for match in matches]
+        ordered = rank_all(scored, key=lambda pair: pair[1])
+        return as_ranking(ordered)
+
+    def search_top_k(
+        self, secure_index: SecureIndex, trapdoor: Trapdoor, k: int
+    ) -> list[RankedFile]:
+        """One-round top-k retrieval (the paper's headline operation)."""
+        matches = self.search(secure_index, trapdoor)
+        scored = [(match.file_id, match.opm_value()) for match in matches]
+        best = top_k(scored, k, key=lambda pair: pair[1])
+        return as_ranking(best)

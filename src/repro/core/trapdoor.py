@@ -1,0 +1,81 @@
+"""Trapdoor generation (``TrapdoorGen``).
+
+A search request for keyword ``w`` is the pair
+
+    ``T_w = (pi_x(w), f_y(w))``
+
+where ``pi_x(w)`` locates the posting list in the secure index and
+``f_y(w)`` is the per-list key the server uses to decrypt posting
+entries.  Nothing in the trapdoor depends on the score-protection key
+``z``, so the server can never decrypt scores (basic scheme) or invert
+the OPM (efficient scheme).
+
+Trapdoors are deterministic per keyword — that is exactly the *search
+pattern* leakage every efficient SSE accepts (Section III-A): the
+server can tell when two queries target the same keyword, but not
+which keyword it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import SchemeKey
+from repro.crypto.prf import KeyedHash, Prf
+from repro.errors import ParameterError
+
+#: Length in bytes of the per-list entry key ``f_y(w)``.
+LIST_KEY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class Trapdoor:
+    """A search trapdoor ``T_w = (address, list_key)``.
+
+    Attributes
+    ----------
+    address:
+        ``pi_x(w)`` — the keyword's pseudonymous index address.
+    list_key:
+        ``f_y(w)`` — the key decrypting that keyword's posting entries.
+    """
+
+    address: bytes
+    list_key: bytes
+
+    def __post_init__(self) -> None:
+        if not self.address:
+            raise ParameterError("trapdoor address must be non-empty")
+        if not self.list_key:
+            raise ParameterError("trapdoor list key must be non-empty")
+
+    def serialize(self) -> bytes:
+        """Wire encoding: ``len(address) || address || list_key``."""
+        return (
+            len(self.address).to_bytes(2, "big") + self.address + self.list_key
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Trapdoor":
+        """Parse the :meth:`serialize` encoding."""
+        if len(data) < 2:
+            raise ParameterError("trapdoor encoding too short")
+        address_length = int.from_bytes(data[:2], "big")
+        address = data[2 : 2 + address_length]
+        list_key = data[2 + address_length :]
+        return cls(address=address, list_key=list_key)
+
+
+def generate_trapdoor(
+    key: SchemeKey, term: str, address_bits: int = 160
+) -> Trapdoor:
+    """``TrapdoorGen(w)``: derive ``(pi_x(w), f_y(w))`` from the key bundle.
+
+    ``term`` must already be analyzer-normalized (stemmed, folded); the
+    cloud-facing entities in :mod:`repro.cloud` take care of that.
+    """
+    if not term:
+        raise ParameterError("keyword must be non-empty")
+    address = KeyedHash(key.x, output_bits=address_bits).address(term)
+    list_key = Prf(key.y).derive_key(term, LIST_KEY_BYTES)
+    return Trapdoor(address=address, list_key=list_key)

@@ -1,0 +1,27 @@
+"""Corpus substrate: document model, loading, and synthetic generation.
+
+The paper evaluates on the RFC database; offline, this package's
+deterministic RFC-style generator reproduces the corpus statistics the
+experiments rely on (see DESIGN.md, substitution table).
+"""
+
+from repro.corpus.generator import (
+    CORE_VOCABULARY,
+    RfcCorpusGenerator,
+    generate_corpus,
+    synthetic_vocabulary,
+)
+from repro.corpus.loader import Document, iter_texts, load_directory
+from repro.corpus.zipf import ZipfSampler, zipf_sample_words
+
+__all__ = [
+    "CORE_VOCABULARY",
+    "Document",
+    "RfcCorpusGenerator",
+    "ZipfSampler",
+    "generate_corpus",
+    "iter_texts",
+    "load_directory",
+    "synthetic_vocabulary",
+    "zipf_sample_words",
+]

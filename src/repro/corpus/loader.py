@@ -1,0 +1,95 @@
+"""Document model and directory loading for real corpora.
+
+The paper evaluates on the IETF RFC database (5563 plain-text files at
+the time).  That corpus needs network access, so this repository ships
+a synthetic generator (:mod:`repro.corpus.generator`); users who have
+the real RFC files on disk can load them with :func:`load_directory`
+and run every experiment unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import CorpusError
+
+
+@dataclass(frozen=True)
+class Document:
+    """A plaintext document to be indexed and outsourced.
+
+    Attributes
+    ----------
+    doc_id:
+        Unique identifier (``id(F_j)`` in the paper's notation).
+    title:
+        Human-readable title (not indexed separately; part of text).
+    text:
+        Full document body.
+    """
+
+    doc_id: str
+    title: str
+    text: str
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise CorpusError("document id must be non-empty")
+
+    @property
+    def size_bytes(self) -> int:
+        """UTF-8 size of the document body."""
+        return len(self.text.encode("utf-8"))
+
+
+def load_directory(
+    path: str | Path,
+    pattern: str = "*.txt",
+    limit: int | None = None,
+) -> list[Document]:
+    """Load plaintext documents from a directory (e.g. real RFC files).
+
+    Files are loaded in sorted name order for reproducibility; the file
+    stem becomes the document id and the first non-empty line the
+    title.
+
+    Parameters
+    ----------
+    path:
+        Directory containing plaintext files.
+    pattern:
+        Glob pattern selecting files.
+    limit:
+        Stop after this many documents (the paper uses a 1000-file
+        subset for most experiments).
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise CorpusError(f"not a directory: {directory}")
+    documents = []
+    for file_path in sorted(directory.glob(pattern)):
+        if limit is not None and len(documents) >= limit:
+            break
+        try:
+            text = file_path.read_text(encoding="utf-8", errors="replace")
+        except OSError as exc:
+            raise CorpusError(f"failed to read {file_path}: {exc}") from exc
+        title = next(
+            (line.strip() for line in text.splitlines() if line.strip()), ""
+        )
+        documents.append(
+            Document(doc_id=file_path.stem, title=title, text=text)
+        )
+    if not documents:
+        raise CorpusError(
+            f"no documents matched {pattern!r} under {directory}"
+        )
+    return documents
+
+
+def iter_texts(documents: list[Document]) -> Iterator[str]:
+    """Yield document bodies (convenience for vocabulary building)."""
+    for document in documents:
+        yield document.text

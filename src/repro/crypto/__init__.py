@@ -1,0 +1,56 @@
+"""Cryptographic substrate for the RSSE reproduction.
+
+Everything the paper's two schemes need, implemented from scratch on
+standard-library primitives:
+
+* :mod:`repro.crypto.prf` — the PRF ``f`` and keyed hash ``pi``;
+* :mod:`repro.crypto.tape` — ``TapeGen`` deterministic coins;
+* :mod:`repro.crypto.hgd` — hypergeometric quantile (``HYGEINV``);
+* :mod:`repro.crypto.opse` — deterministic order-preserving encryption;
+* :mod:`repro.crypto.opm` — the paper's one-to-many mapping (Algorithm 1);
+* :mod:`repro.crypto.symmetric` — semantically secure cipher ``E``;
+* :mod:`repro.crypto.prp` — small-domain Feistel permutation;
+* :mod:`repro.crypto.keys` — ``KeyGen`` and key bundles.
+"""
+
+from repro.crypto.hgd import hgd_quantile, hgd_quantile_exact, hgd_sample
+from repro.crypto.keys import SchemeKey, keygen
+from repro.crypto.opm import OneToManyOpm
+from repro.crypto.opse import Interval, OrderPreservingEncryption
+from repro.crypto.prf import KeyedHash, Prf, generate_key
+from repro.crypto.prp import FeistelPrp
+from repro.crypto.shamir import (
+    Share,
+    random_secret,
+    reconstruct,
+    reconstruct_int,
+    split,
+    split_int,
+)
+from repro.crypto.symmetric import SymmetricCipher, random_bytes_like_ciphertext
+from repro.crypto.tape import CoinStream, tape_gen
+
+__all__ = [
+    "CoinStream",
+    "FeistelPrp",
+    "Interval",
+    "KeyedHash",
+    "OneToManyOpm",
+    "OrderPreservingEncryption",
+    "Prf",
+    "SchemeKey",
+    "Share",
+    "SymmetricCipher",
+    "generate_key",
+    "hgd_quantile",
+    "hgd_quantile_exact",
+    "hgd_sample",
+    "keygen",
+    "random_bytes_like_ciphertext",
+    "random_secret",
+    "reconstruct",
+    "reconstruct_int",
+    "split",
+    "split_int",
+    "tape_gen",
+]

@@ -1,0 +1,180 @@
+"""Deterministic hypergeometric sampling (the paper's ``HYGEINV``).
+
+Boldyreva et al.'s OPSE maps a domain ``D`` into a range ``R`` by a
+keyed binary search: at each step the range is halved at ``y`` and the
+number ``x`` of domain points falling below ``y`` is drawn from the
+hypergeometric distribution ``HGD(population=|R|, successes=|D|,
+draws=y-r)``.  The draw must be *deterministic given the coins* so the
+same key always yields the same domain-to-bucket mapping; the paper
+instantiates it with MATLAB's ``hygeinv`` (the hypergeometric quantile
+function) applied to a pseudo-random coin.
+
+This module provides that quantile function in pure Python:
+
+* :func:`hgd_quantile` — exact CDF inversion in log space; cost is
+  ``O(support size)`` which in OPSE is at most ``|D| + 1`` terms, so it
+  stays exact and fast even for ranges as large as ``2**46`` (the
+  paper's recommended parameterization) because only the *domain* is
+  small.
+* :func:`hgd_quantile_exact` — arbitrary-precision rational reference
+  implementation used by the test suite to validate the float path.
+* :func:`hgd_sample` — draws the quantile's input coin from a
+  :class:`~repro.crypto.tape.CoinStream`.
+
+The support of ``HGD(P, S, n)`` is ``x in [max(0, n - (P - S)),
+min(S, n)]``; both bounds are respected exactly, which is what
+guarantees the OPSE recursion invariant ``|D'| <= |R'|`` on both sides
+of every split.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.crypto.tape import CoinStream
+from repro.errors import ParameterError
+
+
+def _validate(population: int, successes: int, draws: int) -> None:
+    if population <= 0:
+        raise ParameterError(f"population must be positive, got {population}")
+    if not 0 <= successes <= population:
+        raise ParameterError(
+            f"successes must be in [0, population]; got {successes} of {population}"
+        )
+    if not 0 <= draws <= population:
+        raise ParameterError(
+            f"draws must be in [0, population]; got {draws} of {population}"
+        )
+
+
+def support(population: int, successes: int, draws: int) -> tuple[int, int]:
+    """Return the inclusive support ``[lo, hi]`` of the distribution."""
+    _validate(population, successes, draws)
+    lo = max(0, draws - (population - successes))
+    hi = min(successes, draws)
+    return lo, hi
+
+
+def _log_binomial(n: int, k: int) -> float:
+    """Return ``log C(n, k)`` via ``lgamma``; exact enough for n < 2**60."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def log_pmf(x: int, population: int, successes: int, draws: int) -> float:
+    """Return ``log Pr[X = x]`` for ``X ~ HGD(population, successes, draws)``."""
+    lo, hi = support(population, successes, draws)
+    if x < lo or x > hi:
+        return float("-inf")
+    return (
+        _log_binomial(successes, x)
+        + _log_binomial(population - successes, draws - x)
+        - _log_binomial(population, draws)
+    )
+
+
+def mean(population: int, successes: int, draws: int) -> float:
+    """Return ``E[X] = draws * successes / population``."""
+    _validate(population, successes, draws)
+    return draws * successes / population
+
+
+def _support_log_pmfs(population: int, successes: int, draws: int) -> tuple[int, list[float]]:
+    """Return ``(lo, [log pmf(lo), ..., log pmf(hi)])``.
+
+    Uses one ``lgamma`` evaluation for the left edge and the PMF ratio
+    recurrence for the rest, so the cost is ``O(hi - lo)`` log calls:
+
+        pmf(x+1)/pmf(x) = (S - x)(n - x) / ((x + 1)(P - S - n + x + 1))
+    """
+    lo, hi = support(population, successes, draws)
+    current = log_pmf(lo, population, successes, draws)
+    values = [current]
+    for x in range(lo, hi):
+        current += (
+            math.log(successes - x)
+            + math.log(draws - x)
+            - math.log(x + 1)
+            - math.log(population - successes - draws + x + 1)
+        )
+        values.append(current)
+    return lo, values
+
+
+def hgd_quantile(u: float, population: int, successes: int, draws: int) -> int:
+    """Return the smallest ``x`` with ``CDF(x) >= u`` (MATLAB ``hygeinv``).
+
+    Parameters
+    ----------
+    u:
+        Quantile in ``[0, 1)``; in the OPSE this is the pseudo-random
+        coin drawn from the keyed tape.
+    population, successes, draws:
+        Hypergeometric parameters ``(P, S, n)``: a sample of ``n`` items
+        without replacement from ``P`` items of which ``S`` are marked.
+
+    The inversion normalizes the PMF over its support, so small float
+    error in individual terms cannot push the result outside the
+    support; the test suite validates agreement with an exact rational
+    implementation and with ``scipy.stats.hypergeom.ppf``.
+    """
+    if not 0.0 <= u < 1.0:
+        raise ParameterError(f"quantile u must be in [0, 1), got {u}")
+    lo, hi = support(population, successes, draws)
+    if lo == hi:
+        return lo
+    start, log_values = _support_log_pmfs(population, successes, draws)
+    peak = max(log_values)
+    weights = [math.exp(v - peak) for v in log_values]
+    total = math.fsum(weights)
+    target = u * total
+    accumulated = 0.0
+    for offset, weight in enumerate(weights):
+        accumulated += weight
+        if accumulated > target:
+            return start + offset
+    return hi
+
+
+def hgd_quantile_exact(
+    u: Fraction | float, population: int, successes: int, draws: int
+) -> int:
+    """Arbitrary-precision reference quantile (for validation).
+
+    Computes cumulative hypergeometric probabilities as exact rationals.
+    Cost grows with the binomial coefficients involved, so this is meant
+    for moderate parameters (tests cross-check the float path against
+    it on populations up to a few thousand).
+    """
+    u = Fraction(u)
+    if not 0 <= u < 1:
+        raise ParameterError(f"quantile u must be in [0, 1), got {u}")
+    lo, hi = support(population, successes, draws)
+    if lo == hi:
+        return lo
+    denominator = math.comb(population, draws)
+    target = u * denominator
+    accumulated = 0
+    for x in range(lo, hi + 1):
+        accumulated += math.comb(successes, x) * math.comb(
+            population - successes, draws - x
+        )
+        if accumulated > target:
+            return x
+    return hi
+
+
+def hgd_sample(coins: CoinStream, population: int, successes: int, draws: int) -> int:
+    """Draw a hypergeometric variate deterministically from ``coins``.
+
+    This is the composition ``HYGEINV(coin, ...)`` from Algorithm 1 of
+    the paper: one 53-bit uniform is read from the tape and inverted
+    through the CDF.
+    """
+    u = coins.uniform_float()
+    return hgd_quantile(u, population, successes, draws)

@@ -1,0 +1,150 @@
+"""Key material and ``KeyGen`` for both schemes.
+
+The paper's ``KeyGen(1^k, 1^l, 1^l', 1^p [, |D|, |R|])`` outputs
+``K = {x, y, z, ...}``:
+
+* ``x`` keys the keyword-address hash ``pi_x``;
+* ``y`` keys the PRF ``f_y`` that derives per-list entry-encryption
+  keys;
+* ``z`` keys either the score cipher ``E_z`` (basic scheme) or the PRF
+  ``f_z`` deriving per-list OPM keys (efficient scheme).
+
+:class:`SchemeKey` bundles the three keys with the scheme parameters
+and supports serialization, so the data owner can distribute the
+*trapdoor-generation* material (``x``, ``y``) to authorized users while
+withholding ``z`` where the protocol allows (in the basic scheme users
+additionally need ``z`` to decrypt scores; in the efficient scheme they
+do not, since ranking happens at the server).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.crypto.prf import DEFAULT_KEY_BYTES, generate_key
+from repro.errors import CryptoError, ParameterError
+
+_MAGIC = "repro-scheme-key"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SchemeKey:
+    """The key bundle ``K = {x, y, z}`` plus scheme parameters.
+
+    Attributes
+    ----------
+    x:
+        Keyword-address hash key.
+    y:
+        Entry-encryption PRF key.
+    z:
+        Score-protection key (cipher key or OPM PRF key, depending on
+        the scheme); ``None`` in a user bundle that excludes it.
+    domain_size:
+        ``M``, the score quantization level count (efficient scheme).
+    range_size:
+        ``N = |R|``, the OPM ciphertext range size (efficient scheme).
+    """
+
+    x: bytes
+    y: bytes
+    z: bytes | None
+    domain_size: int = 128
+    range_size: int = 1 << 46
+
+    def __post_init__(self) -> None:
+        if not self.x or not self.y:
+            raise ParameterError("keys x and y must be non-empty")
+        if self.z is not None and not self.z:
+            raise ParameterError("key z must be non-empty when present")
+        if self.domain_size < 1:
+            raise ParameterError(
+                f"domain size must be >= 1, got {self.domain_size}"
+            )
+        if self.range_size < self.domain_size:
+            raise ParameterError(
+                f"range size {self.range_size} must be >= domain size "
+                f"{self.domain_size}"
+            )
+
+    def require_z(self) -> bytes:
+        """Return ``z``, raising if this bundle does not carry it."""
+        if self.z is None:
+            raise CryptoError("this key bundle does not include z")
+        return self.z
+
+    def trapdoor_only(self) -> "SchemeKey":
+        """Return a user bundle holding only the trapdoor keys (x, y).
+
+        This is the material the data owner distributes to authorized
+        users of the *efficient* scheme, where score decryption is never
+        performed client-side.
+        """
+        return replace(self, z=None)
+
+    def serialize(self) -> bytes:
+        """Serialize to a self-describing byte string."""
+        payload = {
+            "magic": _MAGIC,
+            "version": _VERSION,
+            "x": self.x.hex(),
+            "y": self.y.hex(),
+            "z": self.z.hex() if self.z is not None else None,
+            "domain_size": self.domain_size,
+            "range_size": self.range_size,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "SchemeKey":
+        """Parse a bundle produced by :meth:`serialize`."""
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CryptoError(f"malformed key bundle: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CryptoError("key bundle is not a JSON object")
+        if payload.get("magic") != _MAGIC:
+            raise CryptoError("not a repro key bundle")
+        if payload.get("version") != _VERSION:
+            raise CryptoError(
+                f"unsupported key bundle version {payload.get('version')}"
+            )
+        try:
+            z_hex = payload.get("z")
+            return cls(
+                x=bytes.fromhex(payload["x"]),
+                y=bytes.fromhex(payload["y"]),
+                z=bytes.fromhex(z_hex) if z_hex is not None else None,
+                domain_size=int(payload["domain_size"]),
+                range_size=int(payload["range_size"]),
+            )
+        except (KeyError, OverflowError, TypeError, ValueError) as exc:
+            # OverflowError: JSON "Infinity" reaching int().
+            raise CryptoError(f"malformed key bundle fields: {exc}") from exc
+
+
+def keygen(
+    security_bytes: int = DEFAULT_KEY_BYTES,
+    domain_size: int = 128,
+    range_size: int = 1 << 46,
+) -> SchemeKey:
+    """The paper's ``KeyGen``: draw fresh random ``x, y, z``.
+
+    Parameters
+    ----------
+    security_bytes:
+        Length of each key in bytes (the security parameter ``k/8``).
+    domain_size, range_size:
+        The OPM parameters ``|D|`` and ``|R|``; defaults are the
+        paper's worked example (``M = 128``, ``|R| = 2**46``).
+    """
+    return SchemeKey(
+        x=generate_key(security_bytes),
+        y=generate_key(security_bytes),
+        z=generate_key(security_bytes),
+        domain_size=domain_size,
+        range_size=range_size,
+    )

@@ -1,0 +1,159 @@
+"""One-to-many order-preserving mapping (the paper's Algorithm 1).
+
+The deterministic OPSE of :mod:`repro.crypto.opse` leaks the plaintext
+*frequency* profile: every occurrence of the same relevance score maps
+to the same ciphertext, so a curious server can histogram the encrypted
+scores of a posting list and recognize keyword-specific score
+distributions (the paper's Fig. 4 attack).
+
+The paper's fix keeps OPSE's random plaintext-to-bucket assignment but
+randomizes the final in-bucket choice by adding the (unique) file ID to
+the selection seed:
+
+    coin <- TapeGen(K, (D, R, 1 || m, id(F)))
+    c    <- bucket, uniformly at random via coin
+
+Equal scores attached to different files now land on *different* points
+of the same bucket, flattening the ciphertext distribution while
+preserving order (buckets are disjoint and ordered).  The mapping is
+still invertible given the key: the binary-search descent by ciphertext
+identifies the bucket, hence the score — which is also what makes score
+*dynamics* work (new files never perturb previously mapped values).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.opse import (
+    BucketResult,
+    Interval,
+    bucket_for_plaintext,
+    plaintext_for_ciphertext,
+)
+from repro.crypto.tape import CoinStream
+from repro.errors import ParameterError
+
+_CHOICE_TAG = 1
+
+
+class OneToManyOpm:
+    """The one-to-many order-preserving mapping ``OPM_K``.
+
+    Parameters
+    ----------
+    key:
+        Per-posting-list key; the RSSE scheme derives it as ``f_z(w_i)``
+        so identical scores in different posting lists use independent
+        bucket layouts.
+    domain_size:
+        ``M`` — number of quantized score levels (paper: 128).
+    range_size:
+        ``N`` — ciphertext range size chosen per Section IV-C
+        (paper example: ``2**46``).
+    cache_buckets:
+        Memoize the bucket of each score level.  The bucket depends
+        only on ``(key, score)``, so caching is semantically invisible;
+        it turns repeated mappings of the same level (ubiquitous when
+        OPM-encrypting a posting list) from ``O(log M)`` HGD draws into
+        a dict hit.  Disable to measure raw per-mapping cost (Fig. 7).
+
+    All methods are pure functions of ``(key, arguments)``.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        domain_size: int,
+        range_size: int,
+        cache_buckets: bool = True,
+    ):
+        if not key:
+            raise ParameterError("OPM key must be non-empty")
+        if domain_size < 1:
+            raise ParameterError(f"domain size must be >= 1, got {domain_size}")
+        if range_size < domain_size:
+            raise ParameterError(
+                f"range size {range_size} must be >= domain size {domain_size}"
+            )
+        self._key = bytes(key)
+        self._domain = Interval(1, domain_size)
+        self._range = Interval(1, range_size)
+        self._bucket_cache: dict[int, BucketResult] | None = (
+            {} if cache_buckets else None
+        )
+
+    @property
+    def domain(self) -> Interval:
+        """The plaintext (score-level) domain ``[1, M]``."""
+        return self._domain
+
+    @property
+    def range(self) -> Interval:
+        """The ciphertext range ``[1, N]``."""
+        return self._range
+
+    def bucket(self, score: int) -> Interval:
+        """Return the bucket interval assigned to score level ``score``.
+
+        The bucket depends only on the key and the score — not on the
+        file ID — which is exactly why previously mapped values survive
+        later insertions unchanged (score dynamics, Section VII).
+        """
+        return self._descend(score).bucket
+
+    def _descend(self, score: int) -> BucketResult:
+        if self._bucket_cache is not None:
+            cached = self._bucket_cache.get(score)
+            if cached is not None:
+                return cached
+        result = bucket_for_plaintext(
+            self._key, self._domain, self._range, score
+        )
+        if self._bucket_cache is not None:
+            self._bucket_cache[score] = result
+        return result
+
+    def map_score(self, score: int, file_id: bytes | str) -> int:
+        """Map ``(score, file_id)`` to a range point (Algorithm 1).
+
+        Deterministic in both arguments: re-mapping the same file's
+        score reproduces the same ciphertext, while different files
+        holding the same score get independent uniform points of the
+        shared bucket.
+        """
+        if isinstance(file_id, str):
+            file_id = file_id.encode("utf-8")
+        result = self._descend(score)
+        coins = CoinStream(
+            self._key,
+            (
+                result.bucket.low,
+                result.bucket.high,
+                _CHOICE_TAG,
+                result.plaintext,
+                bytes(file_id),
+            ),
+        )
+        return coins.choice(result.bucket.low, result.bucket.high)
+
+    def invert(self, ciphertext: int) -> int:
+        """Recover the score level whose bucket contains ``ciphertext``.
+
+        The retrieval protocol never needs this (the server ranks
+        ciphertexts directly), but the data owner uses it for index
+        maintenance and the test suite uses it to check correctness.
+        """
+        result = plaintext_for_ciphertext(
+            self._key, self._domain, self._range, ciphertext
+        )
+        return result.plaintext
+
+    def rounds(self, score: int) -> int:
+        """Number of HGD draws needed to map ``score`` (cost probe).
+
+        The paper bounds the expected count by ``5 log2(M) + 12``; the
+        Fig. 7 bench sweeps this cost against ``M`` and ``|R|``.
+        """
+        return self._descend(score).rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OneToManyOpm(M={self._domain.size}, N={self._range.size})"

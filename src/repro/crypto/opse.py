@@ -1,0 +1,266 @@
+"""Order-preserving symmetric encryption (Boldyreva et al., Eurocrypt'09).
+
+This is the deterministic OPSE primitive the paper builds on (Section
+IV-A).  A plaintext domain ``D = {1, ..., M}`` is mapped into a range
+``R = {1, ..., N}`` (``M <= N``) by a keyed binary search:
+
+1. Split the current range at its midpoint ``y``.
+2. Draw ``x ~ HGD(|R|, |D|, y - r)`` from coins bound to the current
+   ``(D, R, y)`` state — ``x`` is how many domain points land below
+   ``y`` in a *random* order-preserving function.
+3. Recurse into the half containing the plaintext, until the domain
+   shrinks to a single point; the surviving range interval is that
+   plaintext's *bucket*.
+4. Pick the ciphertext pseudo-randomly inside the bucket, seeded by the
+   plaintext (deterministic: same plaintext, same ciphertext).
+
+Buckets of distinct plaintexts are non-overlapping and ordered, so the
+numeric order of ciphertexts equals the order of plaintexts.
+
+The module exposes both the deterministic scheme
+(:class:`OrderPreservingEncryption`) and the shared bucket recursion
+(:func:`bucket_for_plaintext`, :func:`plaintext_for_ciphertext`) that
+the paper's one-to-many mapping (:mod:`repro.crypto.opm`) reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hgd import hgd_sample
+from repro.crypto.tape import CoinStream
+from repro.errors import DomainError, ParameterError, RangeError
+
+#: Tag bits distinguishing the two tape uses in Algorithm 1: ``0 || y``
+#: during the binary search, ``1 || m`` for the ciphertext choice.
+_SEARCH_TAG = 0
+_CHOICE_TAG = 1
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive integer interval ``[low, high]``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ParameterError(f"empty interval [{self.low}, {self.high}]")
+
+    @property
+    def size(self) -> int:
+        """Number of integers in the interval."""
+        return self.high - self.low + 1
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, int) and self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class BucketResult:
+    """Outcome of the bucket recursion for one plaintext or ciphertext.
+
+    Attributes
+    ----------
+    plaintext:
+        The domain point the recursion isolated.
+    bucket:
+        The non-overlapping range interval assigned to that plaintext.
+    rounds:
+        Number of binary-search rounds executed (each costs one HGD
+        draw); the paper bounds its expectation by ``5 log M + 12``.
+    """
+
+    plaintext: int
+    bucket: Interval
+    rounds: int
+
+
+def _search_coins(key: bytes, domain: Interval, range_: Interval, y: int) -> CoinStream:
+    """Coins for the binary-search split: ``TapeGen(K, (D, R, 0 || y))``."""
+    return CoinStream(
+        key,
+        (domain.low, domain.high, range_.low, range_.high, _SEARCH_TAG, y),
+    )
+
+
+def _split(
+    key: bytes, domain: Interval, range_: Interval
+) -> tuple[int, int]:
+    """Perform one keyed binary-search round; return ``(x, y)``.
+
+    ``y`` is the range midpoint and ``x`` the keyed-pseudo-random count
+    of domain points mapped at or below ``y`` (absolute coordinates, as
+    in the paper's ``x <- d + HYGEINV(...)``).
+    """
+    d = domain.low - 1
+    r = range_.low - 1
+    big_m = domain.size
+    big_n = range_.size
+    y = r + big_n // 2
+    coins = _search_coins(key, domain, range_, y)
+    x = d + hgd_sample(coins, population=big_n, successes=big_m, draws=y - r)
+    return x, y
+
+
+def bucket_for_plaintext(
+    key: bytes, domain: Interval, range_: Interval, plaintext: int
+) -> BucketResult:
+    """Descend the keyed binary search by plaintext; return its bucket.
+
+    This is the ``while |D| != 1`` loop of Algorithm 1.
+    """
+    if domain.size > range_.size:
+        raise ParameterError(
+            f"domain size {domain.size} exceeds range size {range_.size}"
+        )
+    if plaintext not in domain:
+        raise DomainError(
+            f"plaintext {plaintext} outside domain [{domain.low}, {domain.high}]"
+        )
+    rounds = 0
+    while domain.size != 1:
+        x, y = _split(key, domain, range_)
+        rounds += 1
+        if plaintext <= x:
+            domain = Interval(domain.low, x)
+            range_ = Interval(range_.low, y)
+        else:
+            domain = Interval(x + 1, domain.high)
+            range_ = Interval(y + 1, range_.high)
+    return BucketResult(plaintext=domain.low, bucket=range_, rounds=rounds)
+
+
+def plaintext_for_ciphertext(
+    key: bytes, domain: Interval, range_: Interval, ciphertext: int
+) -> BucketResult:
+    """Descend the keyed binary search by ciphertext; return its bucket.
+
+    Because the split coins depend only on the current ``(D, R, y)``
+    state, descending by ``c <= y`` reproduces exactly the path that
+    :func:`bucket_for_plaintext` takes for the plaintext whose bucket
+    contains ``c``.  This works for *any* point of the bucket, which is
+    what makes the one-to-many mapping invertible.
+    """
+    if domain.size > range_.size:
+        raise ParameterError(
+            f"domain size {domain.size} exceeds range size {range_.size}"
+        )
+    if ciphertext not in range_:
+        raise RangeError(
+            f"ciphertext {ciphertext} outside range [{range_.low}, {range_.high}]"
+        )
+    rounds = 0
+    while domain.size != 1:
+        x, y = _split(key, domain, range_)
+        rounds += 1
+        if ciphertext <= y:
+            new_low, new_high = domain.low, x
+            range_ = Interval(range_.low, y)
+        else:
+            new_low, new_high = x + 1, domain.high
+            range_ = Interval(y + 1, range_.high)
+        if new_high < new_low:
+            # The ciphertext fell into slack range space that no domain
+            # point occupies; it is not in any plaintext's bucket.
+            raise RangeError(
+                f"ciphertext {ciphertext} does not belong to any plaintext bucket"
+            )
+        domain = Interval(new_low, new_high)
+    return BucketResult(plaintext=domain.low, bucket=range_, rounds=rounds)
+
+
+class OrderPreservingEncryption:
+    """Deterministic OPSE over ``D = {1..M}``, ``R = {1..N}``.
+
+    Parameters
+    ----------
+    key:
+        Secret key; all pseudo-randomness is derived from it.
+    domain_size:
+        ``M``, the number of plaintext score levels (the paper encodes
+        relevance scores into ``M = 128`` levels).
+    range_size:
+        ``N >= M``; the paper sizes it via the min-entropy analysis of
+        Section IV-C (e.g. ``N = 2**46``).
+
+    Notes
+    -----
+    For the paper's *security* level the original OPSE guidance is
+    ``M = N/2 > 80`` giving more than ``2**80`` order-preserving
+    functions; the RSSE scheme instead enlarges ``N`` far beyond that to
+    flatten the ciphertext distribution.
+    """
+
+    def __init__(self, key: bytes, domain_size: int, range_size: int):
+        if not key:
+            raise ParameterError("OPSE key must be non-empty")
+        if domain_size < 1:
+            raise ParameterError(f"domain size must be >= 1, got {domain_size}")
+        if range_size < domain_size:
+            raise ParameterError(
+                f"range size {range_size} must be >= domain size {domain_size}"
+            )
+        self._key = bytes(key)
+        self._domain = Interval(1, domain_size)
+        self._range = Interval(1, range_size)
+
+    @property
+    def domain(self) -> Interval:
+        """The plaintext domain ``[1, M]``."""
+        return self._domain
+
+    @property
+    def range(self) -> Interval:
+        """The ciphertext range ``[1, N]``."""
+        return self._range
+
+    def bucket(self, plaintext: int) -> Interval:
+        """Return the range interval assigned to ``plaintext``."""
+        return bucket_for_plaintext(
+            self._key, self._domain, self._range, plaintext
+        ).bucket
+
+    def encrypt(self, plaintext: int) -> int:
+        """Deterministically encrypt ``plaintext`` to a range point.
+
+        The ciphertext is drawn uniformly from the plaintext's bucket
+        using coins seeded by ``(D, R, 1 || m)`` — the same plaintext
+        always selects the same point.
+        """
+        result = bucket_for_plaintext(self._key, self._domain, self._range, plaintext)
+        coins = CoinStream(
+            self._key,
+            (
+                result.bucket.low,
+                result.bucket.high,
+                _CHOICE_TAG,
+                result.plaintext,
+            ),
+        )
+        return coins.choice(result.bucket.low, result.bucket.high)
+
+    def decrypt(self, ciphertext: int, verify: bool = True) -> int:
+        """Recover the plaintext whose bucket contains ``ciphertext``.
+
+        With ``verify=True`` (the default) the ciphertext must be the
+        canonical point :meth:`encrypt` would produce; other bucket
+        points raise :class:`~repro.errors.RangeError`.  Pass
+        ``verify=False`` to accept any bucket point (bucket-inverse
+        semantics, used by the one-to-many mapping).
+        """
+        result = plaintext_for_ciphertext(
+            self._key, self._domain, self._range, ciphertext
+        )
+        if verify and self.encrypt(result.plaintext) != ciphertext:
+            raise RangeError(
+                f"ciphertext {ciphertext} is in the bucket of plaintext "
+                f"{result.plaintext} but is not its canonical encryption"
+            )
+        return result.plaintext
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OrderPreservingEncryption(M={self._domain.size}, N={self._range.size})"
+        )

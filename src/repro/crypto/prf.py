@@ -1,0 +1,185 @@
+"""Pseudo-random function and keyed hash primitives.
+
+The paper's constructions use two keyed primitives (Section III-C):
+
+* ``f : {0,1}^k x {0,1}^* -> {0,1}^l`` — a pseudo-random function used
+  to derive the per-posting-list entry-encryption key ``f_y(w)`` and the
+  per-list order-preserving-mapping key ``f_z(w)``.
+* ``pi : {0,1}^k x {0,1}^* -> {0,1}^p`` with ``p > log m`` — a keyed
+  collision-resistant hash used as the keyword address ``pi_x(w)`` in
+  the secure index (the paper instantiates it with SHA-1; we use
+  HMAC-SHA256 truncated to ``p`` bits, which is both collision resistant
+  and a PRF, strictly stronger than the paper's requirement).
+
+Both are implemented on top of HMAC-SHA256 from the standard library so
+the package has no hard third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+from repro.errors import ParameterError
+
+#: Default PRF key length in bytes (the paper's security parameter ``k``;
+#: 128-bit keys give the paper's >= 80-bit security with margin).
+DEFAULT_KEY_BYTES = 16
+
+#: Default PRF output length in bytes (the paper's parameter ``l``).
+DEFAULT_OUTPUT_BYTES = 32
+
+_DIGEST = hashlib.sha256
+_DIGEST_BYTES = _DIGEST().digest_size
+
+
+def generate_key(length: int = DEFAULT_KEY_BYTES) -> bytes:
+    """Return ``length`` uniformly random key bytes from the OS CSPRNG."""
+    if length <= 0:
+        raise ParameterError(f"key length must be positive, got {length}")
+    return os.urandom(length)
+
+
+def _as_bytes(message: bytes | str) -> bytes:
+    if isinstance(message, str):
+        return message.encode("utf-8")
+    return bytes(message)
+
+
+class Prf:
+    """The PRF ``f`` of the paper: HMAC-SHA256 with counter-mode expansion.
+
+    Output lengths up to ``2**32 * 32`` bytes are supported by expanding
+    HMAC in counter mode (an HKDF-Expand-style construction), so the same
+    object serves both short key derivation and long mask generation.
+
+    Parameters
+    ----------
+    key:
+        Secret PRF key.  Any non-empty byte string.
+    output_bytes:
+        Length of :meth:`evaluate` output in bytes.
+    """
+
+    def __init__(self, key: bytes, output_bytes: int = DEFAULT_OUTPUT_BYTES):
+        if not key:
+            raise ParameterError("PRF key must be non-empty")
+        if output_bytes <= 0:
+            raise ParameterError(
+                f"PRF output length must be positive, got {output_bytes}"
+            )
+        self._key = bytes(key)
+        self._output_bytes = output_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        """Length in bytes of the values returned by :meth:`evaluate`."""
+        return self._output_bytes
+
+    def evaluate(self, message: bytes | str) -> bytes:
+        """Return ``f_key(message)`` with the configured output length."""
+        return self.evaluate_to_length(message, self._output_bytes)
+
+    def evaluate_to_length(self, message: bytes | str, length: int) -> bytes:
+        """Return the first ``length`` bytes of the PRF output stream.
+
+        For ``length <= 32`` this is a single HMAC call; longer outputs
+        are produced by HMAC over ``message || counter`` blocks, which
+        remains a PRF under the standard HMAC assumptions.
+        """
+        if length <= 0:
+            raise ParameterError(f"output length must be positive, got {length}")
+        data = _as_bytes(message)
+        if length <= _DIGEST_BYTES:
+            return hmac.new(self._key, data, _DIGEST).digest()[:length]
+        blocks = []
+        counter = 0
+        produced = 0
+        while produced < length:
+            block_input = data + counter.to_bytes(4, "big")
+            block = hmac.new(self._key, block_input, _DIGEST).digest()
+            blocks.append(block)
+            produced += len(block)
+            counter += 1
+        return b"".join(blocks)[:length]
+
+    def derive_key(self, label: bytes | str, length: int = DEFAULT_KEY_BYTES) -> bytes:
+        """Derive a sub-key bound to ``label`` (e.g. ``f_z(w_i)``).
+
+        The label is length-prefixed so distinct labels can never produce
+        colliding PRF inputs.
+        """
+        data = _as_bytes(label)
+        framed = len(data).to_bytes(8, "big") + data
+        return self.evaluate_to_length(b"derive|" + framed, length)
+
+    def __call__(self, message: bytes | str) -> bytes:
+        return self.evaluate(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Prf(output_bytes={self._output_bytes})"
+
+
+class KeyedHash:
+    """The keyed collision-resistant hash ``pi`` of the paper.
+
+    Produces fixed-width addresses of ``p`` bits used to locate posting
+    lists in the secure index.  The paper requires ``p > log2(m)`` for a
+    vocabulary of ``m`` keywords; :meth:`check_width` validates this.
+
+    Parameters
+    ----------
+    key:
+        Secret hash key (the paper's ``x``).
+    output_bits:
+        Address width ``p`` in bits; must be a positive multiple of 8
+        for clean byte alignment (the paper's SHA-1 instantiation uses
+        p = 160).
+    """
+
+    def __init__(self, key: bytes, output_bits: int = 160):
+        if not key:
+            raise ParameterError("keyed-hash key must be non-empty")
+        if output_bits <= 0 or output_bits % 8 != 0:
+            raise ParameterError(
+                f"output_bits must be a positive multiple of 8, got {output_bits}"
+            )
+        self._key = bytes(key)
+        self._output_bits = output_bits
+        self._output_bytes = output_bits // 8
+
+    @property
+    def output_bits(self) -> int:
+        """Address width ``p`` in bits."""
+        return self._output_bits
+
+    def check_width(self, vocabulary_size: int) -> None:
+        """Raise :class:`ParameterError` unless ``p > log2(m)``.
+
+        The paper's constraint guarantees addresses are wide enough that
+        collisions among the ``m`` keyword addresses are negligible.
+        """
+        if vocabulary_size <= 0:
+            raise ParameterError(
+                f"vocabulary size must be positive, got {vocabulary_size}"
+            )
+        if 2**self._output_bits <= vocabulary_size:
+            raise ParameterError(
+                f"address width p={self._output_bits} bits is too small for a "
+                f"vocabulary of {vocabulary_size} keywords (need p > log2(m))"
+            )
+
+    def address(self, keyword: bytes | str) -> bytes:
+        """Return the ``p``-bit index address ``pi_x(keyword)``."""
+        data = _as_bytes(keyword)
+        full = hmac.new(self._key, b"address|" + data, _DIGEST).digest()
+        while len(full) < self._output_bytes:
+            full += hmac.new(self._key, full, _DIGEST).digest()
+        return full[: self._output_bytes]
+
+    def __call__(self, keyword: bytes | str) -> bytes:
+        return self.address(keyword)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyedHash(output_bits={self._output_bits})"

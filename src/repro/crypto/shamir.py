@@ -1,0 +1,128 @@
+"""Shamir secret sharing over a prime field.
+
+Substrate for the attribute-policy access control of
+:mod:`repro.cloud.abac` (the paper's Section VIII direction): policy
+tree nodes are enforced by k-of-n secret sharing — a threshold node's
+secret is reconstructable exactly when at least ``k`` children's shares
+are available.
+
+Classic construction: a secret ``s`` is the constant term of a random
+degree-``k-1`` polynomial over GF(p); share ``i`` is the polynomial
+evaluated at ``x = i``; any ``k`` shares interpolate the constant term
+back, any ``k-1`` reveal nothing (information-theoretically).
+
+The field prime is the 13th Mersenne prime ``2**521 - 1``, comfortably
+above 256-bit secrets.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import CryptoError, ParameterError
+
+#: Field prime: 2**521 - 1 (Mersenne; > any 64-byte secret).
+PRIME = (1 << 521) - 1
+
+#: Secrets are fixed-width byte strings of this length.
+SECRET_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation point and value."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.x <= 0:
+            raise ParameterError(f"share x must be positive, got {self.x}")
+        if not 0 <= self.y < PRIME:
+            raise ParameterError("share value outside the field")
+
+
+def _secret_to_field(secret: bytes) -> int:
+    if len(secret) != SECRET_BYTES:
+        raise ParameterError(
+            f"secret must be {SECRET_BYTES} bytes, got {len(secret)}"
+        )
+    return int.from_bytes(secret, "big")
+
+
+def _field_to_secret(value: int) -> bytes:
+    if not 0 <= value < 1 << (8 * SECRET_BYTES):
+        raise CryptoError("reconstructed value outside the secret space")
+    return value.to_bytes(SECRET_BYTES, "big")
+
+
+def random_secret() -> bytes:
+    """Draw a fresh random secret."""
+    return os.urandom(SECRET_BYTES)
+
+
+def split_int(value: int, threshold: int, shares: int) -> list[Share]:
+    """Split a field element into ``shares`` shares (``threshold`` recover).
+
+    The integer form is what recursive constructions (policy trees)
+    use: a share's y-value can itself be re-shared.
+    """
+    if not 0 <= value < PRIME:
+        raise ParameterError("value must be a field element")
+    if threshold < 1:
+        raise ParameterError(f"threshold must be >= 1, got {threshold}")
+    if shares < threshold:
+        raise ParameterError(
+            f"cannot issue {shares} shares with threshold {threshold}"
+        )
+    coefficients = [value] + [
+        int.from_bytes(os.urandom(66), "big") % PRIME
+        for _ in range(threshold - 1)
+    ]
+    issued = []
+    for x in range(1, shares + 1):
+        y = 0
+        for coefficient in reversed(coefficients):
+            y = (y * x + coefficient) % PRIME
+        issued.append(Share(x=x, y=y))
+    return issued
+
+
+def reconstruct_int(shares: list[Share], threshold: int) -> int:
+    """Recover the field element from >= ``threshold`` distinct shares.
+
+    Lagrange interpolation at ``x = 0``; raises :class:`CryptoError`
+    when too few distinct shares are supplied.
+    """
+    if threshold < 1:
+        raise ParameterError(f"threshold must be >= 1, got {threshold}")
+    distinct = {share.x: share for share in shares}
+    if len(distinct) < threshold:
+        raise CryptoError(
+            f"need {threshold} distinct shares, got {len(distinct)}"
+        )
+    points = list(distinct.values())[:threshold]
+    total = 0
+    for i, share_i in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(points):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.x)) % PRIME
+            denominator = (denominator * (share_i.x - share_j.x)) % PRIME
+        lagrange = numerator * pow(denominator, -1, PRIME) % PRIME
+        total = (total + share_i.y * lagrange) % PRIME
+    return total
+
+
+def split(secret: bytes, threshold: int, shares: int) -> list[Share]:
+    """Split a :data:`SECRET_BYTES`-byte secret (byte-level wrapper)."""
+    return split_int(_secret_to_field(secret), threshold, shares)
+
+
+def reconstruct(shares: list[Share], threshold: int) -> bytes:
+    """Recover a byte secret; raises if the value exceeds the secret space
+    (a symptom of inconsistent shares)."""
+    return _field_to_secret(reconstruct_int(shares, threshold))

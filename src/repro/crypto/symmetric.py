@@ -1,0 +1,148 @@
+"""Semantically secure symmetric encryption (the paper's ``E``).
+
+The basic scheme (Section III-C) encrypts each relevance score with a
+semantically secure cipher ``E : {0,1}^l x {0,1}^r -> {0,1}^r``, and
+both schemes encrypt the outsourced files themselves.  This module
+provides an authenticated, randomized cipher built entirely from
+standard-library primitives (HMAC-SHA256), so the core package needs no
+third-party dependency:
+
+* keystream: ``HMAC(enc_key, nonce || counter)`` blocks (CTR mode over
+  a PRF — IND$-CPA under the PRF assumption);
+* integrity: encrypt-then-MAC with an independent MAC key derived from
+  the master key;
+* a fresh random nonce per encryption makes the scheme randomized, so
+  equal plaintexts yield unlinkable ciphertexts (the property whose
+  *absence* in OPSE motivates the paper's one-to-many mapping).
+
+Fixed-width integer helpers are provided for score encryption, since
+posting-list entries must be equal-sized for the padding in Fig. 3 to
+hide which entries are real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+from repro.errors import CryptoError, IntegrityError, ParameterError
+
+_DIGEST = hashlib.sha256
+_BLOCK_BYTES = _DIGEST().digest_size
+_NONCE_BYTES = 16
+_TAG_BYTES = 16
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    produced = 0
+    counter = 0
+    while produced < length:
+        block = hmac.new(key, nonce + counter.to_bytes(8, "big"), _DIGEST).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, mask: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, mask))
+
+
+class SymmetricCipher:
+    """Randomized authenticated encryption keyed by a single master key.
+
+    Ciphertext layout: ``nonce (16) || body (len(plaintext)) || tag (16)``.
+    Overhead is a constant :data:`overhead_bytes` bytes, so plaintexts
+    of equal length produce ciphertexts of equal length — required for
+    the index padding argument.
+
+    Parameters
+    ----------
+    key:
+        Master key (the paper's ``z`` for score encryption, or a
+        per-purpose derived key).  Encryption and MAC sub-keys are
+        derived from it with domain separation.
+    """
+
+    #: Constant ciphertext expansion in bytes.
+    overhead_bytes = _NONCE_BYTES + _TAG_BYTES
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ParameterError("cipher key must be non-empty")
+        key = bytes(key)
+        self._enc_key = hmac.new(key, b"cipher|enc", _DIGEST).digest()
+        self._mac_key = hmac.new(key, b"cipher|mac", _DIGEST).digest()
+
+    def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+        """Encrypt and authenticate ``plaintext``.
+
+        A random nonce is drawn unless one is supplied (supplying nonces
+        is for deterministic tests only; reusing a nonce forfeits
+        semantic security, exactly like any stream cipher).
+        """
+        if nonce is None:
+            nonce = os.urandom(_NONCE_BYTES)
+        elif len(nonce) != _NONCE_BYTES:
+            raise ParameterError(
+                f"nonce must be {_NONCE_BYTES} bytes, got {len(nonce)}"
+            )
+        body = _xor(bytes(plaintext), _keystream(self._enc_key, nonce, len(plaintext)))
+        tag = hmac.new(self._mac_key, nonce + body, _DIGEST).digest()[:_TAG_BYTES]
+        return nonce + body + tag
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Verify and decrypt; raises :class:`IntegrityError` on tampering."""
+        ciphertext = bytes(ciphertext)
+        if len(ciphertext) < self.overhead_bytes:
+            raise CryptoError(
+                f"ciphertext too short: {len(ciphertext)} < {self.overhead_bytes}"
+            )
+        nonce = ciphertext[:_NONCE_BYTES]
+        tag = ciphertext[-_TAG_BYTES:]
+        body = ciphertext[_NONCE_BYTES:-_TAG_BYTES]
+        expected = hmac.new(self._mac_key, nonce + body, _DIGEST).digest()[:_TAG_BYTES]
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("ciphertext authentication failed")
+        return _xor(body, _keystream(self._enc_key, nonce, len(body)))
+
+    # -- fixed-width integer convenience (score encryption) ------------
+
+    #: Width used for encoding scores/levels as plaintext integers.
+    int_width_bytes = 8
+
+    def encrypt_int(self, value: int, nonce: bytes | None = None) -> bytes:
+        """Encrypt a non-negative integer at fixed 8-byte width."""
+        if value < 0 or value >= 1 << (8 * self.int_width_bytes):
+            raise ParameterError(f"integer out of encodable range: {value}")
+        return self.encrypt(value.to_bytes(self.int_width_bytes, "big"), nonce)
+
+    def decrypt_int(self, ciphertext: bytes) -> int:
+        """Decrypt an integer produced by :meth:`encrypt_int`."""
+        plaintext = self.decrypt(ciphertext)
+        if len(plaintext) != self.int_width_bytes:
+            raise CryptoError(
+                f"expected {self.int_width_bytes}-byte integer plaintext, "
+                f"got {len(plaintext)} bytes"
+            )
+        return int.from_bytes(plaintext, "big")
+
+    def ciphertext_length(self, plaintext_length: int) -> int:
+        """Ciphertext length for a plaintext of ``plaintext_length`` bytes."""
+        if plaintext_length < 0:
+            raise ParameterError("plaintext length must be non-negative")
+        return plaintext_length + self.overhead_bytes
+
+
+def random_bytes_like_ciphertext(length: int) -> bytes:
+    """Uniform random bytes used as dummy index entries (Fig. 3, step 3).
+
+    Dummy entries must be indistinguishable from real encrypted entries
+    of the same size; since real ciphertext bytes are pseudo-random,
+    uniformly random bytes of equal length suffice.
+    """
+    if length < 0:
+        raise ParameterError("length must be non-negative")
+    return os.urandom(length)

@@ -1,0 +1,162 @@
+"""Deterministic random-coin generation (the paper's ``TapeGen``).
+
+The OPSE/OPM constructions consume "random coins" that must be
+*reproducible*: encrypting the same plaintext under the same key must
+walk the identical sequence of hypergeometric draws, otherwise the
+order-preserving property (and decryptability) breaks.  Boldyreva et
+al. formalize this as ``TapeGen(K, context)``: a PRF-keyed generator of
+an arbitrarily long pseudo-random tape bound to an encoding of the
+current recursion state.
+
+:class:`CoinStream` implements that tape as an HMAC-SHA256 counter-mode
+stream.  On top of raw bits it offers the exact utilities the samplers
+need:
+
+* :meth:`bits` / :meth:`bytes` — raw tape material;
+* :meth:`uniform_int` — an unbiased integer in ``[0, bound)`` via
+  rejection sampling (this is the ``c <- R`` step of Algorithm 1);
+* :meth:`uniform_float` — a 53-bit uniform in ``[0, 1)`` used to invert
+  the hypergeometric CDF (our deterministic stand-in for MATLAB's
+  ``hygeinv`` consuming a coin).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable
+
+from repro.errors import ParameterError
+
+_DIGEST = hashlib.sha256
+_BLOCK_BYTES = _DIGEST().digest_size
+
+
+def encode_context(parts: Iterable[bytes | str | int]) -> bytes:
+    """Canonically encode a tuple of context parts into tape input.
+
+    Each part is tagged with its type and length-prefixed so that no two
+    distinct tuples encode to the same byte string (the injectivity the
+    security proof of OPSE requires from the tape input encoding).
+
+    Integers may be arbitrarily large (range endpoints up to ``2**46``
+    and beyond appear in the paper's parameterization); they are encoded
+    in signed big-endian form with an 8-byte length prefix.
+    """
+    pieces = []
+    for part in parts:
+        if isinstance(part, bool):
+            # bool is an int subclass; keep the tag distinct anyway.
+            raw = b"\x01" if part else b"\x00"
+            pieces.append(b"B" + len(raw).to_bytes(8, "big") + raw)
+        elif isinstance(part, int):
+            width = max(1, (part.bit_length() + 8) // 8)
+            raw = part.to_bytes(width, "big", signed=True)
+            pieces.append(b"I" + len(raw).to_bytes(8, "big") + raw)
+        elif isinstance(part, str):
+            raw = part.encode("utf-8")
+            pieces.append(b"S" + len(raw).to_bytes(8, "big") + raw)
+        elif isinstance(part, (bytes, bytearray, memoryview)):
+            raw = bytes(part)
+            pieces.append(b"Y" + len(raw).to_bytes(8, "big") + raw)
+        else:
+            raise ParameterError(
+                f"unsupported context part type: {type(part).__name__}"
+            )
+    return b"".join(pieces)
+
+
+class CoinStream:
+    """An endless deterministic pseudo-random tape bound to a context.
+
+    Two :class:`CoinStream` objects built from the same ``(key,
+    context)`` pair yield byte-identical output; different contexts give
+    computationally independent tapes.
+
+    Parameters
+    ----------
+    key:
+        Secret tape key.
+    context:
+        Tuple of parts identifying the recursion state, encoded via
+        :func:`encode_context`.  In Algorithm 1 this is
+        ``(D, R, 0 || y)`` during the binary search and
+        ``(D, R, 1 || m, id(F))`` for the final ciphertext choice.
+    """
+
+    def __init__(self, key: bytes, context: Iterable[bytes | str | int]):
+        if not key:
+            raise ParameterError("tape key must be non-empty")
+        seed = encode_context(context)
+        # Pre-key HMAC with the tape key; each block is HMAC(key, seed||ctr).
+        self._mac = hmac.new(bytes(key), b"tapegen|", _DIGEST)
+        self._seed = seed
+        self._counter = 0
+        self._buffer = b""
+        self._bit_buffer = 0
+        self._bit_count = 0
+
+    def _next_block(self) -> bytes:
+        mac = self._mac.copy()
+        mac.update(self._seed)
+        mac.update(self._counter.to_bytes(8, "big"))
+        self._counter += 1
+        return mac.digest()
+
+    def bytes(self, length: int) -> bytes:
+        """Return the next ``length`` tape bytes."""
+        if length < 0:
+            raise ParameterError(f"length must be non-negative, got {length}")
+        while len(self._buffer) < length:
+            self._buffer += self._next_block()
+        out, self._buffer = self._buffer[:length], self._buffer[length:]
+        return out
+
+    def bits(self, count: int) -> int:
+        """Return the next ``count`` tape bits as an integer in ``[0, 2**count)``."""
+        if count < 0:
+            raise ParameterError(f"bit count must be non-negative, got {count}")
+        while self._bit_count < count:
+            block = self.bytes(_BLOCK_BYTES)
+            self._bit_buffer = (self._bit_buffer << (8 * len(block))) | int.from_bytes(
+                block, "big"
+            )
+            self._bit_count += 8 * len(block)
+        shift = self._bit_count - count
+        value = self._bit_buffer >> shift
+        self._bit_buffer &= (1 << shift) - 1
+        self._bit_count = shift
+        return value
+
+    def uniform_int(self, bound: int) -> int:
+        """Return an unbiased uniform integer in ``[0, bound)``.
+
+        Uses rejection sampling on ``ceil(log2(bound))``-bit draws, so
+        the output distribution is exactly uniform regardless of whether
+        ``bound`` is a power of two.  Terminates with probability one;
+        the expected number of draws is below 2.
+        """
+        if bound <= 0:
+            raise ParameterError(f"bound must be positive, got {bound}")
+        if bound == 1:
+            return 0
+        width = (bound - 1).bit_length()
+        while True:
+            candidate = self.bits(width)
+            if candidate < bound:
+                return candidate
+
+    def uniform_float(self) -> float:
+        """Return a uniform float in ``[0, 1)`` with 53 bits of precision."""
+        return self.bits(53) / float(1 << 53)
+
+    def choice(self, low: int, high: int) -> int:
+        """Return a uniform integer in the inclusive interval ``[low, high]``."""
+        if high < low:
+            raise ParameterError(f"empty interval [{low}, {high}]")
+        return low + self.uniform_int(high - low + 1)
+
+
+def tape_gen(key: bytes, context: Iterable[bytes | str | int]) -> CoinStream:
+    """The paper's ``TapeGen(K, context)``: build the coin stream."""
+    return CoinStream(key, context)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle all library failures.  Subclasses are
+grouped by subsystem: cryptographic failures, parameter validation
+failures, index/protocol failures, and corpus failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A security or scheme parameter is invalid or inconsistent.
+
+    Raised, for example, when an OPSE domain is larger than its range,
+    when a key has the wrong length, or when a top-k request asks for a
+    non-positive ``k``.
+    """
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed.
+
+    This covers authentication failures on decryption, malformed
+    ciphertexts, and values outside an encryption scheme's domain or
+    range.
+    """
+
+
+class IntegrityError(CryptoError):
+    """Ciphertext authentication failed (tampering or wrong key)."""
+
+
+class DomainError(CryptoError, ValueError):
+    """A plaintext lies outside the encryption scheme's domain."""
+
+
+class RangeError(CryptoError, ValueError):
+    """A ciphertext lies outside the encryption scheme's range."""
+
+
+class IndexError_(ReproError):
+    """A secure-index operation failed (missing list, malformed entry).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``SecureIndexError`` from the
+    package root.
+    """
+
+
+SecureIndexError = IndexError_
+
+
+class ProtocolError(ReproError):
+    """A retrieval-protocol message was malformed or out of order."""
+
+
+class CorpusError(ReproError):
+    """A document collection could not be generated or loaded."""

@@ -1,0 +1,68 @@
+"""Information-retrieval substrate: analysis, indexing, scoring, ranking.
+
+Implements the plaintext IR machinery the paper builds on (Section II):
+the inverted index of Fig. 2, the TF x IDF scoring of equations 1-2,
+standard text analysis (case folding, Porter stemming, stop words), and
+heap-based top-k retrieval.
+"""
+
+from repro.ir.analyzer import Analyzer
+from repro.ir.inverted_index import InvertedIndex, Posting
+from repro.ir.scoring import (
+    ScoreQuantizer,
+    idf_factor,
+    query_score,
+    score_posting_list,
+    single_keyword_score,
+)
+from repro.ir.stats import (
+    CollectionStats,
+    DuplicateStats,
+    collection_stats,
+    duplicate_stats,
+    keyword_duplicate_ratio,
+    score_level_histogram,
+)
+from repro.ir.stemmer import PorterStemmer, stem
+from repro.ir.stopwords import STOP_WORDS, is_stop_word, remove_stop_words
+from repro.ir.scoring_variants import (
+    SCORER_REGISTRY,
+    bm25_tf_score,
+    log_tf_score,
+    raw_tf_score,
+    relative_tf_score,
+)
+from repro.ir.tokenizer import fold_case, tokenize, tokenize_list
+from repro.ir.topk import rank_all, top_k
+
+__all__ = [
+    "Analyzer",
+    "CollectionStats",
+    "DuplicateStats",
+    "InvertedIndex",
+    "PorterStemmer",
+    "Posting",
+    "SCORER_REGISTRY",
+    "STOP_WORDS",
+    "ScoreQuantizer",
+    "bm25_tf_score",
+    "collection_stats",
+    "duplicate_stats",
+    "fold_case",
+    "idf_factor",
+    "is_stop_word",
+    "keyword_duplicate_ratio",
+    "log_tf_score",
+    "query_score",
+    "rank_all",
+    "raw_tf_score",
+    "relative_tf_score",
+    "remove_stop_words",
+    "score_level_histogram",
+    "score_posting_list",
+    "single_keyword_score",
+    "stem",
+    "tokenize",
+    "tokenize_list",
+    "top_k",
+]

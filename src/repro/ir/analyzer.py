@@ -1,0 +1,89 @@
+"""The text-analysis pipeline: case folding -> tokens -> stop filter -> stems.
+
+This is the "keyword extraction and refinement" process the paper
+delegates to standard IR practice (Section II, footnote 2).  The
+pipeline is configurable so experiments can isolate the effect of each
+stage, and deterministic so index builds are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.ir.stemmer import PorterStemmer
+from repro.ir.stopwords import STOP_WORDS
+from repro.ir.tokenizer import tokenize
+
+
+@dataclass
+class Analyzer:
+    """Configurable analysis pipeline producing index terms.
+
+    Attributes
+    ----------
+    use_stemming:
+        Apply the Porter stemmer to each surviving token.
+    use_stop_words:
+        Drop tokens found in ``stop_words``.
+    stop_words:
+        The stop list (defaults to :data:`repro.ir.stopwords.STOP_WORDS`).
+    drop_numeric:
+        Forwarded to the tokenizer: skip all-digit tokens.
+    min_token_length, max_token_length:
+        Forwarded to the tokenizer.
+    """
+
+    use_stemming: bool = True
+    use_stop_words: bool = True
+    stop_words: frozenset[str] = STOP_WORDS
+    drop_numeric: bool = True
+    min_token_length: int = 2
+    max_token_length: int = 40
+    _stemmer: PorterStemmer = field(
+        default_factory=PorterStemmer, repr=False, compare=False
+    )
+
+    def analyze(self, text: str) -> Iterator[str]:
+        """Yield index terms of ``text`` in document order (with repeats).
+
+        Repeats matter: term frequency ``f_{d,t}`` is computed from this
+        stream, so each surviving occurrence is yielded.
+        """
+        for token in tokenize(
+            text,
+            drop_numeric=self.drop_numeric,
+            min_length=self.min_token_length,
+            max_length=self.max_token_length,
+        ):
+            if self.use_stop_words and token in self.stop_words:
+                continue
+            if self.use_stemming:
+                token = self._stemmer.stem(token)
+            yield token
+
+    def analyze_list(self, text: str) -> list[str]:
+        """Like :meth:`analyze` but materialized."""
+        return list(self.analyze(text))
+
+    def analyze_query(self, keyword: str) -> str:
+        """Normalize a single query keyword the same way documents are.
+
+        Raises :class:`ValueError` via the tokenizer contract if the
+        keyword does not reduce to exactly one term; queries must match
+        the index vocabulary transformation or they will never hit.
+        """
+        terms = self.analyze_list(keyword)
+        if len(terms) != 1:
+            raise ValueError(
+                f"query keyword {keyword!r} did not normalize to exactly one "
+                f"term (got {terms}); search one keyword at a time"
+            )
+        return terms[0]
+
+    def vocabulary(self, texts: Iterable[str]) -> set[str]:
+        """Return the set of distinct index terms across ``texts``."""
+        vocab: set[str] = set()
+        for text in texts:
+            vocab.update(self.analyze(text))
+        return vocab

@@ -1,0 +1,157 @@
+"""Plaintext inverted index (the paper's Fig. 2 structure).
+
+Maps each keyword ``w_i`` to its posting list: the files containing it
+together with per-file term frequencies, from which relevance scores
+are computed.  This plaintext structure is what the data owner builds
+locally before securing it (basic scheme, Fig. 3) or OPM-encrypting the
+scores (efficient scheme); it also serves as the plaintext-search
+baseline for correctness and efficiency comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import CorpusError, ParameterError
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One posting entry: a file containing the keyword.
+
+    Attributes
+    ----------
+    file_id:
+        The identifier ``id(F_j)`` uniquely locating the file.
+    term_frequency:
+        ``f_{d,t}`` — occurrences of the keyword in the file.
+    """
+
+    file_id: str
+    term_frequency: int
+
+    def __post_init__(self) -> None:
+        if not self.file_id:
+            raise ParameterError("posting file_id must be non-empty")
+        if self.term_frequency < 1:
+            raise ParameterError(
+                f"term frequency must be >= 1, got {self.term_frequency}"
+            )
+
+
+class InvertedIndex:
+    """In-memory inverted index with incremental document updates.
+
+    Documents are added as ``(file_id, terms)`` where ``terms`` is the
+    analyzer's output stream (with repeats).  The index maintains, per
+    the paper's notation:
+
+    * ``F(w_i)`` / ``N_i`` — the posting set of each keyword and its
+      size (:meth:`posting_list`, :meth:`document_frequency`);
+    * ``|F_d|`` — each file's length in indexed terms
+      (:meth:`file_length`), the score normalization factor;
+    * ``N`` — the collection size (:attr:`num_files`).
+
+    Removal support (:meth:`remove_document`) exists to exercise the
+    score-dynamics experiments.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, int]] = {}
+        self._file_lengths: dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_document(self, file_id: str, terms: Iterable[str]) -> None:
+        """Index a document given its analyzed term stream."""
+        if not file_id:
+            raise ParameterError("file_id must be non-empty")
+        if file_id in self._file_lengths:
+            raise CorpusError(f"document {file_id!r} is already indexed")
+        counts = Counter(terms)
+        total = sum(counts.values())
+        if total == 0:
+            raise CorpusError(
+                f"document {file_id!r} produced no index terms; refusing to "
+                "index an empty document (its |F_d| normalizer would be zero)"
+            )
+        self._file_lengths[file_id] = total
+        for term, frequency in counts.items():
+            self._postings.setdefault(term, {})[file_id] = frequency
+
+    def remove_document(self, file_id: str) -> None:
+        """Remove a document and all its postings."""
+        if file_id not in self._file_lengths:
+            raise CorpusError(f"document {file_id!r} is not indexed")
+        del self._file_lengths[file_id]
+        empty_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(file_id, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_files(self) -> int:
+        """``N`` — number of indexed documents."""
+        return len(self._file_lengths)
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """The distinct keyword set ``W`` (copy)."""
+        return set(self._postings)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """``m = |W|``."""
+        return len(self._postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def file_ids(self) -> Iterator[str]:
+        """Iterate over indexed file identifiers."""
+        return iter(self._file_lengths)
+
+    def file_length(self, file_id: str) -> int:
+        """``|F_d|`` — the document's length in indexed terms."""
+        try:
+            return self._file_lengths[file_id]
+        except KeyError:
+            raise CorpusError(f"document {file_id!r} is not indexed") from None
+
+    def document_frequency(self, term: str) -> int:
+        """``N_i = |F(w_i)|`` — number of files containing ``term``."""
+        return len(self._postings.get(term, {}))
+
+    def term_frequency(self, term: str, file_id: str) -> int:
+        """``f_{d,t}``; zero when the file does not contain the term."""
+        return self._postings.get(term, {}).get(file_id, 0)
+
+    def posting_list(self, term: str) -> list[Posting]:
+        """Return the posting list ``I(w)`` sorted by file id.
+
+        An unknown term yields an empty list (searching a keyword
+        absent from the collection is a legal query).
+        """
+        postings = self._postings.get(term, {})
+        return [
+            Posting(file_id=file_id, term_frequency=frequency)
+            for file_id, frequency in sorted(postings.items())
+        ]
+
+    def max_posting_length(self) -> int:
+        """``nu = max_i N_i`` — the padding bound of the basic scheme."""
+        if not self._postings:
+            return 0
+        return max(len(postings) for postings in self._postings.values())
+
+    def items(self) -> Iterator[tuple[str, list[Posting]]]:
+        """Iterate ``(term, posting list)`` pairs in sorted term order."""
+        for term in sorted(self._postings):
+            yield term, self.posting_list(term)

@@ -1,0 +1,157 @@
+"""Relevance scoring: the paper's TF x IDF formulas and quantization.
+
+Two formulas from the paper:
+
+* Equation 1 (general, multi-keyword):
+
+  ``Score(Q, F_d) = (1/|F_d|) * sum_{t in Q} (1 + ln f_{d,t}) * ln(1 + N/f_t)``
+
+* Equation 2 (single keyword — the IDF factor is constant per query, so
+  ranking needs only TF and file length):
+
+  ``Score(t, F_d) = (1/|F_d|) * (1 + ln f_{d,t})``
+
+The OPM encrypts *integer levels*, so scores are quantized to a domain
+``{1, ..., M}`` (the paper encodes into ``M = 128`` levels).  The
+quantizer uses a fixed owner-chosen scale so that adding documents
+later never changes the level of an existing score — the property the
+score-dynamics experiments rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+
+
+def single_keyword_score(term_frequency: int, file_length: int) -> float:
+    """Equation 2: ``(1/|F_d|) * (1 + ln f_{d,t})``."""
+    if term_frequency < 1:
+        raise ParameterError(
+            f"term frequency must be >= 1, got {term_frequency}"
+        )
+    if file_length < 1:
+        raise ParameterError(f"file length must be >= 1, got {file_length}")
+    return (1.0 + math.log(term_frequency)) / file_length
+
+
+def idf_factor(collection_size: int, document_frequency: int) -> float:
+    """Equation 1's IDF term: ``ln(1 + N / f_t)``."""
+    if collection_size < 1:
+        raise ParameterError(
+            f"collection size must be >= 1, got {collection_size}"
+        )
+    if not 1 <= document_frequency <= collection_size:
+        raise ParameterError(
+            f"document frequency must be in [1, N]; got {document_frequency} "
+            f"of {collection_size}"
+        )
+    return math.log(1.0 + collection_size / document_frequency)
+
+
+def query_score(
+    term_frequencies: Mapping[str, int],
+    document_frequencies: Mapping[str, int],
+    file_length: int,
+    collection_size: int,
+) -> float:
+    """Equation 1 for a multi-keyword query.
+
+    Parameters
+    ----------
+    term_frequencies:
+        ``f_{d,t}`` for each query term present in the file; terms
+        absent from the file should be omitted (they contribute zero).
+    document_frequencies:
+        ``f_t`` for each query term (must cover every term in
+        ``term_frequencies``).
+    file_length:
+        ``|F_d|``.
+    collection_size:
+        ``N``.
+    """
+    if file_length < 1:
+        raise ParameterError(f"file length must be >= 1, got {file_length}")
+    total = 0.0
+    for term, tf in term_frequencies.items():
+        if tf < 1:
+            raise ParameterError(f"term frequency must be >= 1, got {tf}")
+        if term not in document_frequencies:
+            raise ParameterError(
+                f"missing document frequency for query term {term!r}"
+            )
+        total += (1.0 + math.log(tf)) * idf_factor(
+            collection_size, document_frequencies[term]
+        )
+    return total / file_length
+
+
+def score_posting_list(index: InvertedIndex, term: str) -> dict[str, float]:
+    """Equation-2 scores for every file in ``term``'s posting list."""
+    return {
+        posting.file_id: single_keyword_score(
+            posting.term_frequency, index.file_length(posting.file_id)
+        )
+        for posting in index.posting_list(term)
+    }
+
+
+@dataclass(frozen=True)
+class ScoreQuantizer:
+    """Maps real-valued scores onto the integer domain ``{1, ..., levels}``.
+
+    Attributes
+    ----------
+    levels:
+        ``M``, the number of quantization levels (paper: 128).
+    scale:
+        The score mapped to the top level.  The owner fixes it once
+        (e.g. from the collection's observed maximum, with headroom)
+        so later insertions do not shift existing levels.  Scores above
+        ``scale`` clamp to ``levels``.
+    """
+
+    levels: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ParameterError(f"levels must be >= 1, got {self.levels}")
+        if not self.scale > 0:
+            raise ParameterError(f"scale must be positive, got {self.scale}")
+
+    def quantize(self, score: float) -> int:
+        """Return the level of ``score`` in ``{1, ..., levels}``."""
+        if score < 0:
+            raise ParameterError(f"score must be non-negative, got {score}")
+        level = math.ceil(score / self.scale * self.levels)
+        return max(1, min(self.levels, level))
+
+    def dequantize(self, level: int) -> float:
+        """Return the upper score edge represented by ``level``."""
+        if not 1 <= level <= self.levels:
+            raise ParameterError(
+                f"level must be in [1, {self.levels}], got {level}"
+            )
+        return level * self.scale / self.levels
+
+    @classmethod
+    def fit(
+        cls, scores: Iterable[float], levels: int = 128, headroom: float = 1.0
+    ) -> "ScoreQuantizer":
+        """Build a quantizer scaled to the observed score maximum.
+
+        ``headroom > 1`` leaves slack above the maximum so future
+        documents with slightly higher scores still quantize without
+        clamping.
+        """
+        if headroom < 1.0:
+            raise ParameterError(f"headroom must be >= 1, got {headroom}")
+        maximum = max(scores, default=0.0)
+        if maximum <= 0:
+            raise ParameterError("cannot fit a quantizer to empty/zero scores")
+        return cls(levels=levels, scale=maximum * headroom)

@@ -1,0 +1,91 @@
+"""Alternative relevance-scoring formulas.
+
+The paper picks equation 2 from "several hundred variations of the
+TF x IDF weighting scheme", noting (citing Zobel & Moffat) that "no
+single combination of them outperforms any of the others universally".
+These variants make that remark testable: the scheme is agnostic to the
+scoring formula (anything monotone quantizes and OPM-maps the same
+way), and ``benchmarks/bench_scoring_variants.py`` measures how much
+the *ranking* actually moves when the formula changes.
+
+All functions score a single (term, document) pair, mirroring
+:func:`repro.ir.scoring.single_keyword_score`'s signature style so they
+can be swapped in experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import ParameterError
+
+#: A single-keyword scorer: (term_frequency, file_length) -> score.
+Scorer = Callable[[int, int], float]
+
+
+def _validate(term_frequency: int, file_length: int) -> None:
+    if term_frequency < 1:
+        raise ParameterError(
+            f"term frequency must be >= 1, got {term_frequency}"
+        )
+    if file_length < 1:
+        raise ParameterError(f"file length must be >= 1, got {file_length}")
+
+
+def raw_tf_score(term_frequency: int, file_length: int) -> float:
+    """Unnormalized term frequency (the crudest member of the family)."""
+    _validate(term_frequency, file_length)
+    return float(term_frequency)
+
+
+def log_tf_score(term_frequency: int, file_length: int) -> float:
+    """``1 + ln(tf)`` without length normalization."""
+    _validate(term_frequency, file_length)
+    return 1.0 + math.log(term_frequency)
+
+
+def relative_tf_score(term_frequency: int, file_length: int) -> float:
+    """``tf / |F_d|`` — linear length normalization, no damping."""
+    _validate(term_frequency, file_length)
+    return term_frequency / file_length
+
+
+def bm25_tf_score(
+    term_frequency: int,
+    file_length: int,
+    average_file_length: float = 1.0,
+    k1: float = 1.2,
+    b: float = 0.75,
+) -> float:
+    """The BM25 term-frequency component (Robertson-Sparck Jones).
+
+    ``tf * (k1 + 1) / (tf + k1 * (1 - b + b * |F_d| / avg))`` — the
+    modern default in IR systems, with saturating TF and soft length
+    normalization.
+    """
+    _validate(term_frequency, file_length)
+    if not average_file_length > 0:
+        raise ParameterError(
+            f"average file length must be > 0, got {average_file_length}"
+        )
+    if k1 < 0 or not 0 <= b <= 1:
+        raise ParameterError(f"invalid BM25 parameters k1={k1}, b={b}")
+    normalizer = k1 * (1 - b + b * file_length / average_file_length)
+    return term_frequency * (k1 + 1) / (term_frequency + normalizer)
+
+
+#: Named scorer registry for experiments (the paper's eq. 2 included).
+def paper_eq2_score(term_frequency: int, file_length: int) -> float:
+    """The paper's equation 2 (re-exported for the registry)."""
+    from repro.ir.scoring import single_keyword_score
+
+    return single_keyword_score(term_frequency, file_length)
+
+
+SCORER_REGISTRY: dict[str, Scorer] = {
+    "paper-eq2": paper_eq2_score,
+    "raw-tf": raw_tf_score,
+    "log-tf": log_tf_score,
+    "relative-tf": relative_tf_score,
+}

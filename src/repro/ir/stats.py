@@ -1,0 +1,119 @@
+"""Collection statistics driving the paper's parameter choices.
+
+Section IV-C sizes the OPM range from two collection statistics:
+
+* ``max`` — the maximum number of duplicate quantized scores within the
+  index (how peaky the worst posting list is);
+* ``lambda`` — the average number of scores per posting list.
+
+Their ratio ``max/lambda`` (0.06 in the paper's "network" example)
+feeds equation 3.  This module computes those statistics, plus general
+descriptive numbers (posting-list length distribution, vocabulary size,
+score duplicate profiles) used across the benches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer, score_posting_list
+
+
+@dataclass(frozen=True)
+class DuplicateStats:
+    """Duplicate profile of quantized scores across the index.
+
+    Attributes
+    ----------
+    max_duplicates:
+        The paper's ``max``: the largest multiplicity of any single
+        (posting list, score level) pair.
+    average_list_length:
+        The paper's ``lambda``: mean posting-list length.
+    ratio:
+        ``max / lambda`` — the left-hand numerator driver of eq. 3.
+    """
+
+    max_duplicates: int
+    average_list_length: float
+    ratio: float
+
+
+@dataclass(frozen=True)
+class CollectionStats:
+    """Descriptive statistics of an indexed collection."""
+
+    num_files: int
+    vocabulary_size: int
+    total_postings: int
+    max_posting_length: int
+    average_posting_length: float
+    average_file_length: float
+
+
+def collection_stats(index: InvertedIndex) -> CollectionStats:
+    """Compute descriptive statistics for ``index``."""
+    if index.num_files == 0:
+        raise ParameterError("cannot compute statistics of an empty index")
+    lengths = [index.document_frequency(term) for term in index.vocabulary]
+    total_postings = sum(lengths)
+    file_lengths = [index.file_length(f) for f in index.file_ids()]
+    return CollectionStats(
+        num_files=index.num_files,
+        vocabulary_size=index.vocabulary_size,
+        total_postings=total_postings,
+        max_posting_length=max(lengths),
+        average_posting_length=total_postings / len(lengths),
+        average_file_length=sum(file_lengths) / len(file_lengths),
+    )
+
+
+def score_level_histogram(
+    index: InvertedIndex, term: str, quantizer: ScoreQuantizer
+) -> Counter:
+    """Histogram of quantized score levels for one posting list.
+
+    This is exactly the data behind the paper's Fig. 4 ("distribution
+    of relevance score for keyword 'network'").
+    """
+    scores = score_posting_list(index, term)
+    return Counter(quantizer.quantize(score) for score in scores.values())
+
+
+def duplicate_stats(
+    index: InvertedIndex, quantizer: ScoreQuantizer
+) -> DuplicateStats:
+    """Compute the paper's ``max`` and ``lambda`` over the whole index."""
+    if index.vocabulary_size == 0:
+        raise ParameterError("cannot compute duplicate stats of an empty index")
+    max_duplicates = 0
+    total_length = 0
+    for term, postings in index.items():
+        histogram = score_level_histogram(index, term, quantizer)
+        if histogram:
+            max_duplicates = max(max_duplicates, max(histogram.values()))
+        total_length += len(postings)
+    average = total_length / index.vocabulary_size
+    return DuplicateStats(
+        max_duplicates=max_duplicates,
+        average_list_length=average,
+        ratio=max_duplicates / average,
+    )
+
+
+def keyword_duplicate_ratio(
+    index: InvertedIndex, term: str, quantizer: ScoreQuantizer
+) -> float:
+    """``max/lambda`` computed for a single keyword's posting list.
+
+    The paper's worked example uses one keyword ("network", ratio
+    0.06 with a 1000-entry list); this helper reproduces that view.
+    """
+    histogram = score_level_histogram(index, term, quantizer)
+    if not histogram:
+        raise ParameterError(f"term {term!r} has no postings")
+    length = sum(histogram.values())
+    return max(histogram.values()) / length

@@ -1,0 +1,243 @@
+"""Porter stemming algorithm, implemented from scratch.
+
+The classic five-step suffix-stripping algorithm (M.F. Porter, *An
+algorithm for suffix stripping*, Program 14(3), 1980), which the paper
+lists among the standard index-size-reduction techniques.  The
+implementation follows the original paper's rule tables, including the
+special cases (``bled``, ``sky``, measure conditions, the ``*o`` rule,
+etc.), and is validated in the test suite against the published sample
+vocabulary behaviour.
+
+Only lower-case ASCII words are expected (the tokenizer guarantees
+this); other input is returned unchanged when shorter than 3 letters,
+per Porter's guidance that short words are rarely inflected forms.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    """Porter's consonant test: ``y`` is a consonant after a vowel."""
+    letter = word[index]
+    if letter in _VOWELS:
+        return False
+    if letter == "y":
+        if index == 0:
+            return True
+        return not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's measure m: the number of VC sequences in the stem."""
+    m = 0
+    previous_was_vowel = False
+    for i in range(len(stem)):
+        consonant = _is_consonant(stem, i)
+        if consonant and previous_was_vowel:
+            m += 1
+        previous_was_vowel = not consonant
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """``*o`` condition: stem ends consonant-vowel-consonant, last not w/x/y."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str) -> str:
+    return word[: len(word) - len(suffix)] + replacement
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return _replace_suffix(word, "sses", "ss")
+    if word.endswith("ies"):
+        return _replace_suffix(word, "ies", "i")
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return stem + "ee"
+        return word
+    flag = False
+    if word.endswith("ed"):
+        stem = word[:-2]
+        if _contains_vowel(stem):
+            word, flag = stem, True
+    elif word.endswith("ing"):
+        stem = word[:-3]
+        if _contains_vowel(stem):
+            word, flag = stem, True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP_2_RULES = (
+    ("ational", "ate"),
+    ("tional", "tion"),
+    ("enci", "ence"),
+    ("anci", "ance"),
+    ("izer", "ize"),
+    ("abli", "able"),
+    ("alli", "al"),
+    ("entli", "ent"),
+    ("eli", "e"),
+    ("ousli", "ous"),
+    ("ization", "ize"),
+    ("ation", "ate"),
+    ("ator", "ate"),
+    ("alism", "al"),
+    ("iveness", "ive"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("aliti", "al"),
+    ("iviti", "ive"),
+    ("biliti", "ble"),
+)
+
+_STEP_3_RULES = (
+    ("icate", "ic"),
+    ("ative", ""),
+    ("alize", "al"),
+    ("iciti", "ic"),
+    ("ical", "ic"),
+    ("ful", ""),
+    ("ness", ""),
+)
+
+_STEP_4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def _apply_rule_table(word: str, rules, min_measure: int) -> str:
+    for suffix, replacement in rules:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > min_measure - 1:
+                return stem + replacement
+            return word
+    return word
+
+
+def _step_2(word: str) -> str:
+    return _apply_rule_table(word, _STEP_2_RULES, min_measure=1)
+
+
+def _step_3(word: str) -> str:
+    return _apply_rule_table(word, _STEP_3_RULES, min_measure=1)
+
+
+def _step_4(word: str) -> str:
+    for suffix in _STEP_4_SUFFIXES:
+        # "ement" and "ment" precede "ent" in the table, so the longest
+        # applicable suffix always wins, as the algorithm requires.
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem and stem[-1] in "st" and _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step_5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            return stem
+    return word
+
+
+def _step_5b(word: str) -> str:
+    if _measure(word) > 1 and _ends_double_consonant(word) and word.endswith("l"):
+        return word[:-1]
+    return word
+
+
+def stem(word: str) -> str:
+    """Return the Porter stem of a lower-case ``word``.
+
+    Words of length <= 2 are returned unchanged, following the original
+    algorithm's convention.
+    """
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _step_2(word)
+    word = _step_3(word)
+    word = _step_4(word)
+    word = _step_5a(word)
+    word = _step_5b(word)
+    return word
+
+
+class PorterStemmer:
+    """Object wrapper around :func:`stem` with a per-instance memo cache.
+
+    Stemming is the hottest part of index construction on large
+    corpora; the cache makes repeated words (the common case under
+    Zipf's law) near-free.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[str, str] = {}
+
+    def stem(self, word: str) -> str:
+        """Return the (cached) Porter stem of ``word``."""
+        cached = self._cache.get(word)
+        if cached is None:
+            cached = stem(word)
+            self._cache[word] = cached
+        return cached
+
+    def __call__(self, word: str) -> str:
+        return self.stem(word)

@@ -1,0 +1,67 @@
+"""English stop-word list and filter.
+
+Stop words carry no retrieval value and would dominate posting-list
+sizes, so the analyzer removes them before indexing (paper Section II,
+footnote 2).  The list below is the classic Van Rijsbergen/SMART-style
+core augmented with a few terms that saturate RFC-style technical
+documents ("shall", "must" are *kept*, however, since RFC 2119 gives
+them real meaning as keywords).
+"""
+
+from __future__ import annotations
+
+STOP_WORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren as at
+    be because been before being below between both but by
+    can cannot could couldn
+    did didn do does doesn doing don down during
+    each
+    few for from further
+    had hadn has hasn have haven having he her here hers herself him
+    himself his how
+    i if in into is isn it its itself
+    just
+    let
+    me more most mustn my myself
+    no nor not now
+    of off on once only or other ought our ours ourselves out over own
+    same shan she should shouldn so some such
+    than that the their theirs them themselves then there these they
+    this those through to too
+    under until up upon
+    very via
+    was wasn we were weren what when where which while who whom why
+    will with won would wouldn
+    you your yours yourself yourselves
+    also among amongst anyhow anyway became become becomes becoming
+    besides beyond cant co con couldnt de describe done due eg either
+    else elsewhere etc even ever every everyone everything everywhere
+    except fifteen fifty fill find fire first five former formerly
+    found four front full get give go
+    hence her hereafter hereby herein hereupon however hundred
+    ie inc indeed interest itself keep last latter latterly least less
+    ltd made many may meanwhile might mill mine moreover mostly move
+    much namely neither never nevertheless next nine nobody none
+    noone nothing nowhere often one onto others otherwise part per
+    perhaps please rather re
+    said see seem seemed seeming seems serious several side since six
+    sixty somehow someone something sometime sometimes somewhere still
+    take ten then thence thereafter thereby therefore therein thereupon
+    thick thin third three thru thus together top toward towards twelve
+    twenty two un used uses using various
+    well whatever whence whenever whereafter whereas whereby wherein
+    whereupon wherever whether whither whoever whole whose within
+    without yet
+    """.split()
+)
+
+
+def is_stop_word(token: str) -> bool:
+    """Return True if ``token`` is on the stop list."""
+    return token in STOP_WORDS
+
+
+def remove_stop_words(tokens) -> list[str]:
+    """Return ``tokens`` with stop words filtered out, order preserved."""
+    return [token for token in tokens if token not in STOP_WORDS]

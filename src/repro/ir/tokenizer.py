@@ -1,0 +1,65 @@
+"""Tokenization and case folding.
+
+The paper (Section II, footnote 2) delegates keyword extraction to
+standard IR practice: case folding, stemming and stop-word removal.
+This module supplies the first stage — splitting raw text into
+lower-cased word tokens.
+
+The tokenizer is intentionally simple and deterministic: maximal runs
+of ASCII letters and digits form tokens; everything else separates
+them.  Tokens that are pure digits can optionally be dropped (RFC texts
+are full of section numbers and octet values that make poor keywords).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import ParameterError
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+_DIGITS_RE = re.compile(r"\d+$")
+
+
+def fold_case(text: str) -> str:
+    """Lower-case ``text`` (ASCII-oriented case folding)."""
+    return text.lower()
+
+
+def tokenize(
+    text: str,
+    drop_numeric: bool = True,
+    min_length: int = 2,
+    max_length: int = 40,
+) -> Iterator[str]:
+    """Yield lower-cased tokens from ``text`` in document order.
+
+    Parameters
+    ----------
+    text:
+        Raw document text.
+    drop_numeric:
+        Skip tokens that are entirely digits.
+    min_length, max_length:
+        Tokens outside ``[min_length, max_length]`` characters are
+        skipped (single letters and absurdly long artifacts are noise).
+    """
+    if min_length < 1:
+        raise ParameterError(f"min_length must be >= 1, got {min_length}")
+    if max_length < min_length:
+        raise ParameterError(
+            f"max_length {max_length} must be >= min_length {min_length}"
+        )
+    for match in _TOKEN_RE.finditer(fold_case(text)):
+        token = match.group()
+        if not min_length <= len(token) <= max_length:
+            continue
+        if drop_numeric and _DIGITS_RE.fullmatch(token):
+            continue
+        yield token
+
+
+def tokenize_list(text: str, **kwargs) -> list[str]:
+    """Like :func:`tokenize` but materialized as a list."""
+    return list(tokenize(text, **kwargs))

@@ -1,0 +1,30 @@
+"""The searchable-encryption lineage the paper builds on (Section VII).
+
+Three generations of SSE search complexity, implemented for the
+side-by-side comparison in ``benchmarks/bench_sse_lineage.py``:
+
+* :mod:`repro.sse.swp` — Song-Wagner-Perrig 2000 [6]: word-wise
+  two-layer encryption, search linear in the *collection length*;
+* :mod:`repro.sse.goh` — Goh 2003 [7]: per-file Bloom-filter index
+  (:mod:`repro.sse.bloom`), search linear in the *number of files*;
+* the per-keyword generation (Curtmola et al. 2006 [10]) is the
+  paper's own starting point — implemented as
+  :class:`repro.core.BasicRankedSSE`, search linear in the *posting
+  list* only.
+
+None of these rank results; that gap is the paper's motivation.
+"""
+
+from repro.sse.bloom import BloomFilter, optimal_parameters
+from repro.sse.goh import GohIndex, GohTrapdoor
+from repro.sse.swp import SwpCollection, SwpScheme, SwpTrapdoor
+
+__all__ = [
+    "BloomFilter",
+    "GohIndex",
+    "GohTrapdoor",
+    "SwpCollection",
+    "SwpScheme",
+    "SwpTrapdoor",
+    "optimal_parameters",
+]

@@ -1,0 +1,168 @@
+"""Bloom filter, implemented from scratch.
+
+The substrate of Goh's "Secure Indexes" [7] (paper Section VII): a
+per-file Bloom filter holds keyed codewords of the file's words, giving
+constant-time membership tests with a tunable false-positive rate and
+no false negatives.
+
+The hash family is derived from SHA-256 with an index prefix, giving
+independent-enough hash functions for the standard false-positive
+analysis ``(1 - e^{-kn/m})^k`` to apply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.errors import ParameterError
+
+
+def optimal_parameters(
+    expected_items: int, false_positive_rate: float
+) -> tuple[int, int]:
+    """Return ``(bits, hashes)`` minimizing size for a target FP rate.
+
+    The classic sizing: ``m = -n ln p / (ln 2)^2``, ``k = (m/n) ln 2``.
+    """
+    if expected_items < 1:
+        raise ParameterError(
+            f"expected_items must be >= 1, got {expected_items}"
+        )
+    if not 0 < false_positive_rate < 1:
+        raise ParameterError(
+            f"false_positive_rate must be in (0, 1), got {false_positive_rate}"
+        )
+    bits = math.ceil(
+        -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
+    )
+    hashes = max(1, round(bits / expected_items * math.log(2)))
+    return bits, hashes
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte-string items.
+
+    Parameters
+    ----------
+    bits:
+        Filter size ``m`` in bits.
+    hashes:
+        Number of hash functions ``k``.
+    """
+
+    def __init__(self, bits: int, hashes: int):
+        if bits < 1:
+            raise ParameterError(f"bits must be >= 1, got {bits}")
+        if hashes < 1:
+            raise ParameterError(f"hashes must be >= 1, got {hashes}")
+        self._bits = bits
+        self._hashes = hashes
+        self._array = bytearray((bits + 7) // 8)
+        self._count = 0
+
+    @classmethod
+    def for_capacity(
+        cls, expected_items: int, false_positive_rate: float = 0.01
+    ) -> "BloomFilter":
+        """Build a filter sized for ``expected_items`` at the target rate."""
+        bits, hashes = optimal_parameters(expected_items, false_positive_rate)
+        return cls(bits, hashes)
+
+    @property
+    def bits(self) -> int:
+        """Filter size in bits."""
+        return self._bits
+
+    @property
+    def hashes(self) -> int:
+        """Number of hash functions."""
+        return self._hashes
+
+    @property
+    def count(self) -> int:
+        """Items added so far."""
+        return self._count
+
+    def _positions(self, item: bytes) -> list[int]:
+        positions = []
+        for index in range(self._hashes):
+            digest = hashlib.sha256(
+                index.to_bytes(4, "big") + item
+            ).digest()
+            positions.append(int.from_bytes(digest[:8], "big") % self._bits)
+        return positions
+
+    def add(self, item: bytes) -> None:
+        """Insert an item."""
+        for position in self._positions(bytes(item)):
+            self._array[position // 8] |= 1 << (position % 8)
+        self._count += 1
+
+    def __contains__(self, item: object) -> bool:
+        if not isinstance(item, (bytes, bytearray, memoryview)):
+            return False
+        return all(
+            self._array[position // 8] & (1 << (position % 8))
+            for position in self._positions(bytes(item))
+        )
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (saturation diagnostic)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._array)
+        return set_bits / self._bits
+
+    def expected_false_positive_rate(self) -> float:
+        """``(1 - e^{-kn/m})^k`` for the current load."""
+        if self._count == 0:
+            return 0.0
+        exponent = -self._hashes * self._count / self._bits
+        return (1.0 - math.exp(exponent)) ** self._hashes
+
+    def pad_to(self, target_count: int, entropy: bytes = b"") -> None:
+        """Blind the filter by inserting random-looking items.
+
+        Goh's construction pads every file's filter to the same item
+        count so the number of set bits does not leak the number of
+        distinct words.  ``entropy`` diversifies the padding stream.
+        """
+        if target_count < self._count:
+            raise ParameterError(
+                f"target {target_count} below current count {self._count}"
+            )
+        pad_index = 0
+        while self._count < target_count:
+            filler = hashlib.sha256(
+                b"bloom-pad|" + entropy + pad_index.to_bytes(8, "big")
+            ).digest()
+            self.add(filler)
+            pad_index += 1
+
+    def to_bytes(self) -> bytes:
+        """Serialize: header (bits, hashes, count) + bit array."""
+        header = (
+            self._bits.to_bytes(8, "big")
+            + self._hashes.to_bytes(4, "big")
+            + self._count.to_bytes(8, "big")
+        )
+        return header + bytes(self._array)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        """Deserialize a filter produced by :meth:`to_bytes`."""
+        if len(data) < 20:
+            raise ParameterError("truncated Bloom filter encoding")
+        bits = int.from_bytes(data[:8], "big")
+        hashes = int.from_bytes(data[8:12], "big")
+        count = int.from_bytes(data[12:20], "big")
+        array = data[20:]
+        # Validate header-vs-payload consistency before any allocation:
+        # a corrupted size field must not trigger a huge bytearray.
+        if bits < 1 or hashes < 1:
+            raise ParameterError("corrupt Bloom filter header")
+        if len(array) != (bits + 7) // 8:
+            raise ParameterError("Bloom filter bit-array length mismatch")
+        filter_ = cls(bits, hashes)
+        filter_._array = bytearray(array)
+        filter_._count = count
+        return filter_

@@ -1,0 +1,148 @@
+"""Goh's Bloom-filter secure index ("Secure Indexes", 2003) [7].
+
+The second generation of searchable encryption the paper's related
+work describes: one Bloom filter per file, holding keyed codewords, so
+a search costs one constant-time membership test per file — **O(n)
+in the number of files**, down from SWP's O(total words), but still
+above the per-keyword O(N_i) of Curtmola-style indexes (our basic
+scheme).
+
+Construction (Z-IDX, simplified to one trapdoor round):
+
+* per word: codeword ``x = f_kg(w)`` (the *trapdoor*, file-independent);
+* per (word, file): entry ``y = f_x(doc_id)`` inserted into the file's
+  Bloom filter — binding entries to the file id stops cross-file
+  correlation of identical words;
+* filters are padded to a common item count so their load does not
+  leak the number of distinct words per file;
+* search: the user reveals ``x``; the server computes ``f_x(doc_id)``
+  per file and tests membership.
+
+False positives are the Bloom filter's, tunable at build time; there
+are no false negatives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.sse.bloom import BloomFilter
+
+
+def _prf(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class GohTrapdoor:
+    """The file-independent codeword ``x = f_kg(w)`` for one word."""
+
+    codeword: bytes
+
+
+class GohIndex:
+    """A per-file Bloom-filter secure index over a document collection.
+
+    Parameters
+    ----------
+    key:
+        Master trapdoor key ``kg``.
+    false_positive_rate:
+        Target Bloom false-positive rate per (file, word) test.
+    """
+
+    def __init__(self, key: bytes, false_positive_rate: float = 0.001):
+        if not key:
+            raise ParameterError("Goh index key must be non-empty")
+        if not 0 < false_positive_rate < 1:
+            raise ParameterError(
+                "false_positive_rate must be in (0, 1), got "
+                f"{false_positive_rate}"
+            )
+        self._key = bytes(key)
+        self._rate = false_positive_rate
+        self._filters: dict[str, BloomFilter] = {}
+        self._pending: dict[str, set[str]] = {}
+        self._finalized = False
+
+    # -- build ----------------------------------------------------------
+
+    def add_document(self, doc_id: str, words: set[str] | list[str]) -> None:
+        """Stage a document's distinct word set."""
+        if self._finalized:
+            raise ParameterError("index already finalized")
+        if not doc_id:
+            raise ParameterError("doc_id must be non-empty")
+        if doc_id in self._pending:
+            raise ParameterError(f"document {doc_id!r} already staged")
+        distinct = set(words)
+        if not distinct:
+            raise ParameterError(f"document {doc_id!r} has no words")
+        self._pending[doc_id] = distinct
+
+    def _codeword(self, word: str) -> bytes:
+        return _prf(self._key, b"goh|word|" + word.encode("utf-8"))
+
+    def _entry(self, codeword: bytes, doc_id: str) -> bytes:
+        return _prf(codeword, b"goh|doc|" + doc_id.encode("utf-8"))
+
+    def finalize(self) -> None:
+        """Build and blind all filters (pad to the largest word count).
+
+        Uniform capacity and uniform padding make every file's filter
+        statistically identical in load, per Goh's blinding step.
+        """
+        if self._finalized:
+            raise ParameterError("index already finalized")
+        if not self._pending:
+            raise ParameterError("no documents staged")
+        capacity = max(len(words) for words in self._pending.values())
+        for doc_id, words in self._pending.items():
+            filter_ = BloomFilter.for_capacity(capacity, self._rate)
+            for word in sorted(words):
+                filter_.add(self._entry(self._codeword(word), doc_id))
+            filter_.pad_to(capacity, entropy=doc_id.encode("utf-8"))
+            self._filters[doc_id] = filter_
+        self._pending.clear()
+        self._finalized = True
+
+    # -- search -----------------------------------------------------------
+
+    def trapdoor(self, word: str) -> GohTrapdoor:
+        """User-side: derive the codeword for ``word``."""
+        if not word:
+            raise ParameterError("word must be non-empty")
+        return GohTrapdoor(codeword=self._codeword(word))
+
+    def search(self, trapdoor: GohTrapdoor) -> list[str]:
+        """Server-side: one Bloom membership test per file."""
+        if not self._finalized:
+            raise ParameterError("index not finalized")
+        matches = []
+        for doc_id, filter_ in self._filters.items():
+            if self._entry(trapdoor.codeword, doc_id) in filter_:
+                matches.append(doc_id)
+        return sorted(matches)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    @property
+    def num_files(self) -> int:
+        """Number of indexed files (the per-search test count)."""
+        return len(self._filters)
+
+    def size_bytes(self) -> int:
+        """Total serialized filter size."""
+        return sum(
+            len(filter_.to_bytes()) for filter_ in self._filters.values()
+        )
+
+    def filter_for(self, doc_id: str) -> BloomFilter:
+        """The (blinded) filter of one file."""
+        try:
+            return self._filters[doc_id]
+        except KeyError:
+            raise ParameterError(f"document {doc_id!r} not indexed") from None

@@ -1,0 +1,125 @@
+"""Unit tests for the reverse-engineering adversary (Section IV-A)."""
+
+import random
+
+import pytest
+
+from repro.analysis.attacks import (
+    FrequencyAttacker,
+    multiplicity_profile,
+    profile_distance,
+    run_identification_experiment,
+)
+from repro.crypto.opm import OneToManyOpm
+from repro.errors import ParameterError
+
+
+def skewed_keyword_levels(num_keywords=6, list_length=200, seed=0):
+    """Distinct skewed level distributions, one per keyword."""
+    rng = random.Random(seed)
+    return {
+        f"kw{i}": [
+            max(1, min(64, round(rng.gauss(8 + i * 9, 3 + i))))
+            for _ in range(list_length)
+        ]
+        for i in range(num_keywords)
+    }
+
+
+class TestMultiplicityProfile:
+    def test_sorted_descending(self):
+        assert multiplicity_profile([1, 1, 1, 2, 2, 3]) == (3, 2, 1)
+
+    def test_unique_values_all_ones(self):
+        assert multiplicity_profile([5, 9, 2]) == (1, 1, 1)
+
+    def test_invariant_under_value_relabeling(self):
+        # The deterministic-OPSE weakness in one line: renaming values
+        # (which is all a deterministic cipher does) keeps the profile.
+        original = [1, 1, 2, 3, 3, 3]
+        relabeled = [10, 10, 77, 5, 5, 5]
+        assert multiplicity_profile(original) == multiplicity_profile(
+            relabeled
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            multiplicity_profile([])
+
+
+class TestProfileDistance:
+    def test_zero_for_equal(self):
+        assert profile_distance((3, 2, 1), (3, 2, 1)) == 0
+
+    def test_pads_shorter_profile(self):
+        assert profile_distance((3,), (2, 1)) == 2
+
+    def test_symmetric(self):
+        assert profile_distance((4, 1), (2, 2)) == profile_distance(
+            (2, 2), (4, 1)
+        )
+
+
+class TestFrequencyAttacker:
+    def test_identifies_under_identity_encryption(self):
+        background = skewed_keyword_levels()
+        attacker = FrequencyAttacker(background)
+        for keyword, levels in background.items():
+            assert attacker.guess(levels) == keyword
+
+    def test_rejects_empty_background(self):
+        with pytest.raises(ParameterError):
+            FrequencyAttacker({})
+
+
+class TestIdentificationExperiment:
+    def test_plaintext_scores_fully_identified(self):
+        result = run_identification_experiment(
+            skewed_keyword_levels(), lambda kw, level, fid: level
+        )
+        assert result.accuracy == 1.0
+
+    def test_deterministic_encryption_fully_identified(self):
+        # Any deterministic injective map preserves the profile.
+        result = run_identification_experiment(
+            skewed_keyword_levels(), lambda kw, level, fid: level * 997 + 13
+        )
+        assert result.accuracy == 1.0
+
+    def test_opm_reduces_attacker_to_chance(self):
+        background = skewed_keyword_levels()
+        mappers = {
+            keyword: OneToManyOpm(
+                keyword.encode() * 4, 64, 1 << 40
+            )
+            for keyword in background
+        }
+        result = run_identification_experiment(
+            background,
+            lambda kw, level, fid: mappers[kw].map_score(level, fid),
+        )
+        # All profiles collapse to all-ones; ties break alphabetically,
+        # so exactly one "hit" (the alphabetically first keyword).
+        assert result.correct <= 1
+        assert result.accuracy <= result.chance + 1e-9
+
+    def test_equal_length_subsampling(self):
+        background = {
+            "long": [1] * 500,
+            "short": [2] * 50,
+        }
+        result = run_identification_experiment(
+            background, lambda kw, level, fid: level, sample_length=25
+        )
+        assert result.total == 2
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ParameterError):
+            run_identification_experiment({}, lambda kw, level, fid: level)
+
+    def test_chance_level(self):
+        result = run_identification_experiment(
+            skewed_keyword_levels(num_keywords=4),
+            lambda kw, level, fid: level,
+        )
+        assert result.chance == pytest.approx(0.25)

@@ -1,0 +1,85 @@
+"""Unit tests for min-entropy tools."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.analysis.entropy import (
+    has_high_min_entropy,
+    high_min_entropy_threshold,
+    min_entropy,
+    min_entropy_of_values,
+    shannon_entropy,
+)
+from repro.errors import ParameterError
+
+
+class TestMinEntropy:
+    def test_uniform_distribution(self):
+        distribution = Counter({i: 1 for i in range(16)})
+        assert min_entropy(distribution) == pytest.approx(4.0)
+
+    def test_point_mass_is_zero(self):
+        assert min_entropy(Counter({"a": 100})) == pytest.approx(0.0)
+
+    def test_skewed_distribution(self):
+        distribution = Counter({"a": 3, "b": 1})
+        assert min_entropy(distribution) == pytest.approx(-math.log2(0.75))
+
+    def test_from_values(self):
+        assert min_entropy_of_values([1, 2, 3, 4]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            min_entropy(Counter())
+        with pytest.raises(ParameterError):
+            min_entropy_of_values([])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ParameterError):
+            min_entropy(Counter({"a": -1, "b": 2}))
+
+
+class TestHighMinEntropy:
+    def test_threshold_formula(self):
+        assert high_min_entropy_threshold(46, c=1.1) == pytest.approx(
+            math.log2(46) ** 1.1
+        )
+
+    def test_threshold_grows_with_c(self):
+        assert high_min_entropy_threshold(46, 1.5) > high_min_entropy_threshold(
+            46, 1.1
+        )
+
+    def test_flat_distribution_passes(self):
+        distribution = Counter({i: 1 for i in range(1000)})
+        assert has_high_min_entropy(distribution, state_bits=46)
+
+    def test_peaky_distribution_fails(self):
+        distribution = Counter({0: 1000, 1: 1})
+        assert not has_high_min_entropy(distribution, state_bits=46)
+
+    def test_validates_parameters(self):
+        with pytest.raises(ParameterError):
+            high_min_entropy_threshold(1)
+        with pytest.raises(ParameterError):
+            high_min_entropy_threshold(46, c=1.0)
+
+
+class TestShannonEntropy:
+    def test_uniform(self):
+        assert shannon_entropy(Counter({i: 5 for i in range(8)})) == (
+            pytest.approx(3.0)
+        )
+
+    def test_point_mass(self):
+        assert shannon_entropy(Counter({"a": 42})) == pytest.approx(0.0)
+
+    def test_at_least_min_entropy(self):
+        distribution = Counter({"a": 5, "b": 3, "c": 1})
+        assert shannon_entropy(distribution) >= min_entropy(distribution)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            shannon_entropy(Counter())

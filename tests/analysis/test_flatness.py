@@ -1,0 +1,67 @@
+"""Unit tests for distribution-flatness metrics."""
+
+import random
+
+import pytest
+
+from repro.analysis.flatness import (
+    duplicate_profile,
+    flatness_report,
+    ks_distance_to_uniform,
+)
+from repro.errors import ParameterError
+
+
+class TestDuplicateProfile:
+    def test_counts(self):
+        profile = duplicate_profile([1, 1, 2, 3, 3, 3])
+        assert profile == {1: 2, 2: 1, 3: 3}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            duplicate_profile([])
+
+
+class TestKsDistance:
+    def test_uniform_sample_is_close(self):
+        rng = random.Random(0)
+        values = [rng.randint(0, 10_000) for _ in range(2000)]
+        assert ks_distance_to_uniform(values, 0, 10_000) < 0.05
+
+    def test_point_mass_is_far(self):
+        assert ks_distance_to_uniform([0] * 100, 0, 10_000) > 0.9
+
+    def test_skewed_sample_detected(self):
+        rng = random.Random(1)
+        values = [int(abs(rng.gauss(0, 500))) for _ in range(1000)]
+        assert ks_distance_to_uniform(values, 0, 10_000) > 0.5
+
+    def test_validates(self):
+        with pytest.raises(ParameterError):
+            ks_distance_to_uniform([], 0, 1)
+        with pytest.raises(ParameterError):
+            ks_distance_to_uniform([1], 5, 5)
+
+
+class TestFlatnessReport:
+    def test_flat_values(self):
+        rng = random.Random(2)
+        values = [rng.randint(1, 1 << 30) for _ in range(1000)]
+        report = flatness_report(values, 1, 1 << 30)
+        assert not report.has_duplicates
+        assert report.ks_to_uniform < 0.06
+        assert report.normalized_entropy > 0.9
+        assert report.peak_to_average < 3.0
+
+    def test_peaky_values(self):
+        values = [500] * 900 + list(range(1, 101))
+        report = flatness_report(values, 1, 1 << 20)
+        assert report.has_duplicates
+        assert report.max_duplicates == 900
+        assert report.ks_to_uniform > 0.5
+        assert report.normalized_entropy < 0.5
+
+    def test_counts(self):
+        report = flatness_report([1, 1, 2], 1, 100)
+        assert report.count == 3
+        assert report.distinct == 2

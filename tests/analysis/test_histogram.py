@@ -1,0 +1,87 @@
+"""Unit tests for the Fig. 4/6 histogram methodology."""
+
+import pytest
+
+from repro.analysis.histogram import (
+    equal_width_histogram,
+    histogram_summary,
+    render_histogram,
+)
+from repro.errors import ParameterError
+
+
+class TestEqualWidthHistogram:
+    def test_counts_sum_to_input_size(self):
+        counts = equal_width_histogram(range(100), bins=10)
+        assert sum(counts) == 100
+
+    def test_uniform_values_spread(self):
+        counts = equal_width_histogram(range(100), bins=10, low=0, high=100)
+        assert counts == [10] * 10
+
+    def test_top_edge_inclusive(self):
+        counts = equal_width_histogram([0, 5, 10], bins=2, low=0, high=10)
+        # Bin edges at [0, 5), [5, 10]: the top edge lands in the last bin.
+        assert counts == [1, 2]
+
+    def test_explicit_range(self):
+        counts = equal_width_histogram([1, 2], bins=4, low=0, high=8)
+        # Width 2: value 1 -> bin 0, value 2 -> bin 1 (left-closed bins).
+        assert counts == [1, 1, 0, 0]
+
+    def test_single_point_range(self):
+        counts = equal_width_histogram([5, 5, 5], bins=4)
+        assert counts == [3, 0, 0, 0]
+
+    def test_128_bins_like_the_paper(self):
+        counts = equal_width_histogram(range(1, 129), bins=128, low=1, high=128)
+        assert len(counts) == 128
+        assert all(count == 1 for count in counts)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            equal_width_histogram([])
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ParameterError):
+            equal_width_histogram([5], bins=2, low=0, high=4)
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ParameterError):
+            equal_width_histogram([1], bins=0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ParameterError):
+            equal_width_histogram([1], bins=2, low=5, high=3)
+
+
+class TestRenderHistogram:
+    def test_contains_counts(self):
+        text = render_histogram([3, 0, 7])
+        assert " 3" in text and " 7" in text
+
+    def test_line_per_bin(self):
+        text = render_histogram([1, 2, 3, 4])
+        assert len(text.splitlines()) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            render_histogram([])
+
+    def test_all_zero_histogram_renders(self):
+        text = render_histogram([0, 0])
+        assert len(text.splitlines()) == 2
+
+
+class TestHistogramSummary:
+    def test_fields(self):
+        summary = histogram_summary([5, 0, 5, 10])
+        assert summary["bins"] == 4
+        assert summary["total"] == 20
+        assert summary["peak"] == 10
+        assert summary["nonzero_bins"] == 3
+        assert summary["peak_fraction"] == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            histogram_summary([])

@@ -1,0 +1,108 @@
+"""Unit tests for per-protocol leakage accounting."""
+
+import pytest
+
+from repro.analysis.leakage import (
+    ordered_pairs_full,
+    ordered_pairs_topk,
+    profile_search,
+)
+from repro.cloud.server import SearchObservation, ServerLog
+from repro.errors import ParameterError
+
+
+def make_log() -> ServerLog:
+    log = ServerLog()
+    log.observations.append(
+        SearchObservation(
+            address=b"addr1",
+            matched_file_ids=("d1", "d2", "d3", "d4"),
+            score_fields=(b"\x01", b"\x02", b"\x03", b"\x04"),
+            returned_file_ids=("d3",),
+        )
+    )
+    log.observations.append(
+        SearchObservation(
+            address=b"addr1",
+            matched_file_ids=("d1", "d2", "d3", "d4"),
+            score_fields=(b"\x01", b"\x02", b"\x03", b"\x04"),
+            returned_file_ids=("d3", "d1"),
+        )
+    )
+    return log
+
+
+class TestOrderedPairCounts:
+    def test_full_ranking_pairs(self):
+        assert ordered_pairs_full(4) == 6
+        assert ordered_pairs_full(0) == 0
+        assert ordered_pairs_full(1) == 0
+
+    def test_topk_pairs(self):
+        assert ordered_pairs_topk(10, 3) == 21
+        assert ordered_pairs_topk(10, 10) == 0
+        assert ordered_pairs_topk(10, 0) == 0
+
+    def test_topk_clamped_to_n(self):
+        assert ordered_pairs_topk(5, 100) == 0
+
+    def test_full_exceeds_topk(self):
+        for n in range(2, 30):
+            for k in range(1, n):
+                assert ordered_pairs_full(n) >= ordered_pairs_topk(n, k)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ordered_pairs_full(-1)
+        with pytest.raises(ParameterError):
+            ordered_pairs_topk(-1, 0)
+        with pytest.raises(ParameterError):
+            ordered_pairs_topk(5, -1)
+
+
+class TestProfileSearch:
+    def test_basic_one_round_profile(self):
+        profile = profile_search(make_log(), 0, "basic-one-round")
+        assert profile.ordered_pairs_learned == 0
+        assert profile.score_values_seen == 0
+        assert profile.access_pattern == ("d1", "d2", "d3", "d4")
+
+    def test_basic_two_round_profile(self):
+        profile = profile_search(make_log(), 0, "basic-two-round", top_k=1)
+        assert profile.ordered_pairs_learned == 3  # 1 * (4-1)
+
+    def test_rsse_profile(self):
+        profile = profile_search(make_log(), 0, "rsse")
+        assert profile.ordered_pairs_learned == 6  # full order
+        assert profile.score_values_seen == 4
+
+    def test_search_pattern_hits(self):
+        log = make_log()
+        first = profile_search(log, 0, "rsse")
+        second = profile_search(log, 1, "rsse")
+        assert first.search_pattern_hits == 0
+        assert second.search_pattern_hits == 1
+
+    def test_two_round_requires_topk(self):
+        with pytest.raises(ParameterError):
+            profile_search(make_log(), 0, "basic-two-round")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ParameterError):
+            profile_search(make_log(), 0, "magic")
+
+    def test_missing_observation(self):
+        with pytest.raises(ParameterError):
+            profile_search(make_log(), 9, "rsse")
+
+    def test_leakage_ordering_matches_paper(self):
+        """basic one-round < basic two-round < rsse (order leakage)."""
+        log = make_log()
+        one_round = profile_search(log, 0, "basic-one-round")
+        two_round = profile_search(log, 0, "basic-two-round", top_k=2)
+        rsse = profile_search(log, 0, "rsse")
+        assert (
+            one_round.ordered_pairs_learned
+            < two_round.ordered_pairs_learned
+            < rsse.ordered_pairs_learned
+        )

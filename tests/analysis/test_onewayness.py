@@ -1,0 +1,137 @@
+"""Unit tests for the window one-wayness experiments."""
+
+import pytest
+
+from repro.analysis.onewayness import (
+    ciphertext_position_estimate,
+    ordered_pair_advantage,
+    window_onewayness_experiment,
+)
+from repro.crypto.opm import OneToManyOpm
+from repro.errors import ParameterError
+
+DOMAIN = 64
+RANGE = 1 << 30
+
+
+@pytest.fixture(scope="module")
+def opm():
+    return OneToManyOpm(b"ow-test-key-0000", DOMAIN, RANGE)
+
+
+class TestPositionEstimate:
+    def test_endpoints(self):
+        assert ciphertext_position_estimate(1, 64, 1 << 20) == 1
+        assert ciphertext_position_estimate(1 << 20, 64, 1 << 20) == 64
+
+    def test_midpoint(self):
+        estimate = ciphertext_position_estimate(1 << 19, 64, 1 << 20)
+        assert 31 <= estimate <= 33
+
+    def test_clamped_to_domain(self):
+        assert 1 <= ciphertext_position_estimate(5, 64, 1 << 20) <= 64
+
+    def test_validates(self):
+        with pytest.raises(ParameterError):
+            ciphertext_position_estimate(0, 64, 1 << 20)
+        with pytest.raises(ParameterError):
+            ciphertext_position_estimate((1 << 20) + 1, 64, 1 << 20)
+
+
+class TestWindowExperiment:
+    def test_identity_mapping_fully_invertible(self):
+        # A (hypothetical) scheme mapping level i to the midpoint of
+        # its proportional slice is perfectly interpolable.
+        def transparent(level, _file_id):
+            return (2 * level - 1) * (RANGE // (2 * DOMAIN))
+
+        result = window_onewayness_experiment(
+            transparent, list(range(1, DOMAIN + 1)), DOMAIN, RANGE, window=0
+        )
+        assert result.success_rate == 1.0
+        assert result.advantage > 0.9
+
+    def test_opm_interpolation_beats_blind_guessing_mildly(self, opm):
+        # Order-preservation necessarily leaks approximate position,
+        # so the adversary outperforms the blind baseline...
+        result = window_onewayness_experiment(
+            lambda level, fid: opm.map_score(level, fid),
+            list(range(1, DOMAIN + 1)) * 4,
+            DOMAIN,
+            RANGE,
+            window=4,
+        )
+        assert result.advantage > 0.0
+
+    def test_opm_exact_recovery_rare(self, opm):
+        # ...but exact recovery (window 0) stays far below certainty:
+        # bucket boundaries are key-random, not proportional.
+        result = window_onewayness_experiment(
+            lambda level, fid: opm.map_score(level, fid),
+            list(range(1, DOMAIN + 1)) * 4,
+            DOMAIN,
+            RANGE,
+            window=0,
+        )
+        assert result.success_rate < 0.5
+
+    def test_baseline_formula(self, opm):
+        result = window_onewayness_experiment(
+            lambda level, fid: opm.map_score(level, fid),
+            [1, 2, 3],
+            DOMAIN,
+            RANGE,
+            window=3,
+        )
+        assert result.baseline == pytest.approx(7 / DOMAIN)
+
+    def test_window_covering_domain_saturates(self, opm):
+        result = window_onewayness_experiment(
+            lambda level, fid: opm.map_score(level, fid),
+            [1, 32, 64],
+            DOMAIN,
+            RANGE,
+            window=DOMAIN,
+        )
+        assert result.success_rate == 1.0
+        assert result.baseline == 1.0
+        assert result.advantage == pytest.approx(0.0)
+
+    def test_validates(self, opm):
+        encryptor = lambda level, fid: opm.map_score(level, fid)
+        with pytest.raises(ParameterError):
+            window_onewayness_experiment(encryptor, [], DOMAIN, RANGE)
+        with pytest.raises(ParameterError):
+            window_onewayness_experiment(
+                encryptor, [1], DOMAIN, RANGE, window=-1
+            )
+        with pytest.raises(ParameterError):
+            window_onewayness_experiment(encryptor, [0], DOMAIN, RANGE)
+        with pytest.raises(ParameterError):
+            window_onewayness_experiment(encryptor, [1], DOMAIN, 2)
+
+
+class TestOrderedPairAdvantage:
+    def test_order_always_visible_for_opm(self, opm):
+        advantage = ordered_pair_advantage(
+            lambda level, fid: opm.map_score(level, fid), 10, 50
+        )
+        assert advantage == 1.0
+
+    def test_random_encryptor_near_half(self):
+        import random
+
+        rng = random.Random(4)
+
+        def scrambled(_level, _fid):
+            return rng.randint(1, RANGE)
+
+        advantage = ordered_pair_advantage(scrambled, 10, 50, trials=200)
+        assert 0.35 < advantage < 0.65
+
+    def test_validates(self, opm):
+        encryptor = lambda level, fid: opm.map_score(level, fid)
+        with pytest.raises(ParameterError):
+            ordered_pair_advantage(encryptor, 5, 5)
+        with pytest.raises(ParameterError):
+            ordered_pair_advantage(encryptor, 1, 2, trials=0)

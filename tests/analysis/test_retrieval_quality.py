@@ -1,0 +1,111 @@
+"""Unit tests for quantization retrieval-quality metrics."""
+
+import pytest
+
+from repro.analysis.retrieval_quality import (
+    precision_at_k,
+    quality_over_keywords,
+    quantized_ranking_quality,
+)
+from repro.core.results import RankedFile
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer
+
+
+def ranking(ids):
+    return [
+        RankedFile(rank=position, file_id=file_id, score=float(-position))
+        for position, file_id in enumerate(ids, start=1)
+    ]
+
+
+def spread_index() -> InvertedIndex:
+    """Ten files with strictly distinct scores for 'hot'."""
+    index = InvertedIndex()
+    for i in range(1, 11):
+        index.add_document(f"d{i}", ["hot"] * i + ["pad"] * (30 - i))
+    return index
+
+
+class TestPrecisionAtK:
+    def test_identical_rankings(self):
+        a = ranking(["x", "y", "z"])
+        assert precision_at_k(a, a, 2) == 1.0
+
+    def test_disjoint_topk(self):
+        a = ranking(["a", "b", "c", "d"])
+        b = ranking(["c", "d", "a", "b"])
+        assert precision_at_k(a, b, 2) == 0.0
+
+    def test_partial_overlap(self):
+        a = ranking(["a", "b", "c"])
+        b = ranking(["a", "c", "b"])
+        assert precision_at_k(a, b, 2) == 0.5
+
+    def test_k_beyond_length_uses_full_list(self):
+        a = ranking(["a", "b"])
+        b = ranking(["b", "a"])
+        assert precision_at_k(a, b, 10) == 1.0
+
+    def test_empty_rankings(self):
+        assert precision_at_k([], [], 5) == 1.0
+
+    def test_validates_k(self):
+        with pytest.raises(ParameterError):
+            precision_at_k([], [], 0)
+
+
+class TestQuantizedRankingQuality:
+    def test_fine_quantizer_preserves_order(self):
+        index = spread_index()
+        quantizer = ScoreQuantizer(levels=4096, scale=0.2)
+        report = quantized_ranking_quality(index, "hot", quantizer)
+        assert report.kendall_tau == pytest.approx(1.0)
+        assert report.precision_at_5 == 1.0
+
+    def test_single_level_quantizer_destroys_order(self):
+        index = spread_index()
+        # levels=2 with huge scale: everything lands on level 1.
+        quantizer = ScoreQuantizer(levels=2, scale=1e9)
+        report = quantized_ranking_quality(index, "hot", quantizer)
+        assert report.kendall_tau < 0.5
+
+    def test_quality_monotone_in_levels(self):
+        index = spread_index()
+        taus = []
+        for levels in (2, 8, 64, 1024):
+            quantizer = ScoreQuantizer(levels=levels, scale=0.2)
+            taus.append(
+                quantized_ranking_quality(index, "hot", quantizer).kendall_tau
+            )
+        assert taus == sorted(taus)
+
+    def test_unknown_term_raises(self):
+        quantizer = ScoreQuantizer(levels=16, scale=1.0)
+        with pytest.raises(ParameterError):
+            quantized_ranking_quality(spread_index(), "zzz", quantizer)
+
+    def test_match_count_reported(self):
+        quantizer = ScoreQuantizer(levels=128, scale=0.2)
+        report = quantized_ranking_quality(spread_index(), "hot", quantizer)
+        assert report.matches == 10
+
+
+class TestWorkloadQuality:
+    def test_averages_over_terms(self):
+        index = spread_index()
+        quality = quality_over_keywords(index, ["hot", "pad"], levels=256)
+        assert quality.keywords == 2
+        assert 0.0 <= quality.mean_precision_at_10 <= 1.0
+        assert quality.worst_precision_at_10 <= quality.mean_precision_at_10
+
+    def test_finer_levels_do_not_hurt(self):
+        index = spread_index()
+        coarse = quality_over_keywords(index, ["hot"], levels=4)
+        fine = quality_over_keywords(index, ["hot"], levels=1024)
+        assert fine.mean_tau >= coarse.mean_tau
+
+    def test_validates_terms(self):
+        with pytest.raises(ParameterError):
+            quality_over_keywords(spread_index(), [], levels=16)

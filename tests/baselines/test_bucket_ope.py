@@ -1,0 +1,122 @@
+"""Unit tests for the bucket-based OPE baseline ([18] style)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines.bucket_ope import BucketOpeMapper
+from repro.errors import DomainError, ParameterError
+
+KEY = b"bucket-ope-key-0"
+
+
+def skewed_levels(seed=0, count=500):
+    rng = random.Random(seed)
+    return [max(1, min(64, round(rng.gauss(20, 6)))) for _ in range(count)]
+
+
+class TestFit:
+    def test_bucket_widths_proportional_to_frequency(self):
+        levels = [1] * 90 + [2] * 10
+        mapper = BucketOpeMapper.fit(KEY, levels, 1000)
+        wide = mapper.bucket(1)
+        narrow = mapper.bucket(2)
+        assert wide.width > 5 * narrow.width
+
+    def test_buckets_ordered_and_disjoint(self):
+        mapper = BucketOpeMapper.fit(KEY, skewed_levels(), 1 << 20)
+        ordered = sorted(mapper.trained_levels)
+        for a, b in zip(ordered, ordered[1:]):
+            assert mapper.bucket(a).high < mapper.bucket(b).low
+
+    def test_buckets_cover_exactly_the_range(self):
+        levels = [1, 1, 2, 3]
+        mapper = BucketOpeMapper.fit(KEY, levels, 100)
+        ordered = sorted(mapper.trained_levels)
+        assert mapper.bucket(ordered[0]).low == 1
+        assert mapper.bucket(ordered[-1]).high == 100
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            BucketOpeMapper.fit(KEY, [], 100)
+
+    def test_rejects_range_below_level_count(self):
+        with pytest.raises(ParameterError):
+            BucketOpeMapper.fit(KEY, [1, 2, 3], 2)
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            BucketOpeMapper.fit(b"", [1], 100)
+
+
+class TestMapping:
+    def test_values_in_level_bucket(self):
+        levels = skewed_levels()
+        mapper = BucketOpeMapper.fit(KEY, levels, 1 << 20)
+        for i, level in enumerate(levels[:100]):
+            value = mapper.map_score(level, f"f{i}")
+            bucket = mapper.bucket(level)
+            assert bucket.low <= value <= bucket.high
+
+    def test_order_preserved(self):
+        levels = skewed_levels()
+        mapper = BucketOpeMapper.fit(KEY, levels, 1 << 20)
+        ordered = sorted(set(levels))
+        for a, b in zip(ordered, ordered[1:]):
+            assert mapper.map_score(a, "x") < mapper.map_score(b, "y")
+
+    def test_deterministic_per_file(self):
+        mapper = BucketOpeMapper.fit(KEY, skewed_levels(), 1 << 20)
+        assert mapper.map_score(20, "f") == mapper.map_score(20, "f")
+
+    def test_one_to_many_within_bucket(self):
+        mapper = BucketOpeMapper.fit(KEY, skewed_levels(), 1 << 20)
+        values = {mapper.map_score(20, f"f{i}") for i in range(30)}
+        assert len(values) > 1
+
+    def test_unseen_level_raises(self):
+        mapper = BucketOpeMapper.fit(KEY, [10, 10, 20], 100)
+        with pytest.raises(DomainError):
+            mapper.map_score(15, "f")
+
+    def test_mapped_values_near_uniform_when_distribution_matches(self):
+        levels = skewed_levels(count=2000)
+        mapper = BucketOpeMapper.fit(KEY, levels, 1 << 20)
+        from repro.analysis.flatness import ks_distance_to_uniform
+
+        values = [mapper.map_score(level, f"f{i}") for i, level in enumerate(levels)]
+        assert ks_distance_to_uniform(values, 1, 1 << 20) < 0.1
+
+
+class TestRebuildDetection:
+    def test_same_distribution_no_rebuild(self):
+        levels = skewed_levels(seed=1, count=1000)
+        mapper = BucketOpeMapper.fit(KEY, levels, 1 << 20)
+        fresh_sample = [
+            level
+            for level in skewed_levels(seed=2, count=1000)
+            if level in mapper.trained_levels
+        ]
+        assert not mapper.needs_rebuild(fresh_sample)
+
+    def test_shifted_distribution_triggers_rebuild(self):
+        levels = skewed_levels(seed=1)
+        mapper = BucketOpeMapper.fit(KEY, levels, 1 << 20)
+        shifted = [min(64, level + 25) for level in levels]
+        assert mapper.needs_rebuild(shifted)
+
+    def test_new_level_triggers_rebuild(self):
+        mapper = BucketOpeMapper.fit(KEY, [10] * 50, 1000)
+        assert mapper.needs_rebuild([10] * 50 + [11])
+
+    def test_rejects_empty_update(self):
+        mapper = BucketOpeMapper.fit(KEY, [10], 100)
+        with pytest.raises(ParameterError):
+            mapper.needs_rebuild([])
+
+    def test_distribution_drift_counter_shape(self):
+        levels = skewed_levels(seed=3)
+        mapper = BucketOpeMapper.fit(KEY, levels, 1 << 20)
+        counted = Counter(levels)
+        assert set(mapper.trained_levels) == set(counted)

@@ -1,0 +1,52 @@
+"""Unit tests for the deterministic-OPSE scoring strawman."""
+
+import pytest
+
+from repro.baselines.det_opse import DeterministicOpseScoring
+from repro.errors import ParameterError
+
+KEY = b"det-opse-key-000"
+
+
+class TestDeterministicOpseScoring:
+    def test_deterministic_regardless_of_file(self):
+        scoring = DeterministicOpseScoring(KEY, 64, 1 << 24)
+        a = scoring.map_score("net", 10, "file-1")
+        b = scoring.map_score("net", 10, "file-2")
+        assert a == b  # the defining weakness
+
+    def test_order_preserved(self):
+        scoring = DeterministicOpseScoring(KEY, 64, 1 << 24)
+        values = [scoring.map_score("net", level, "f") for level in range(1, 65)]
+        assert values == sorted(values)
+        assert len(set(values)) == 64
+
+    def test_per_keyword_keys_differ(self):
+        scoring = DeterministicOpseScoring(KEY, 64, 1 << 24)
+        net = [scoring.map_score("net", level, "f") for level in range(1, 65)]
+        other = [scoring.map_score("sec", level, "f") for level in range(1, 65)]
+        assert net != other
+
+    def test_invert(self):
+        scoring = DeterministicOpseScoring(KEY, 32, 1 << 20)
+        for level in range(1, 33):
+            ciphertext = scoring.map_score("net", level, "f")
+            assert scoring.invert("net", ciphertext) == level
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            DeterministicOpseScoring(b"", 64, 1 << 24)
+
+    def test_multiplicity_profile_leaks(self):
+        """The attack surface in one assertion."""
+        from repro.analysis.attacks import multiplicity_profile
+
+        scoring = DeterministicOpseScoring(KEY, 64, 1 << 24)
+        levels = [5, 5, 5, 9, 9, 30]
+        ciphertexts = [
+            scoring.map_score("net", level, f"f{i}")
+            for i, level in enumerate(levels)
+        ]
+        assert multiplicity_profile(ciphertexts) == multiplicity_profile(
+            levels
+        )

@@ -1,0 +1,35 @@
+"""Unit tests for the plaintext ranked-search baseline."""
+
+from repro.baselines.plaintext import PlaintextRankedSearch
+from repro.ir.inverted_index import InvertedIndex
+
+
+def build_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["net"] * 5 + ["pad"] * 5)
+    index.add_document("d2", ["net"] * 1 + ["pad"] * 9)
+    index.add_document("d3", ["net"] * 3 + ["pad"] * 2)
+    return index
+
+
+class TestPlaintextSearch:
+    def test_full_ranking(self):
+        search = PlaintextRankedSearch(build_index())
+        ranking = search.search_ranked("net")
+        assert [r.file_id for r in ranking] == ["d3", "d1", "d2"]
+
+    def test_topk_prefix(self):
+        search = PlaintextRankedSearch(build_index())
+        assert [r.file_id for r in search.search_top_k("net", 2)] == [
+            "d3", "d1",
+        ]
+
+    def test_unknown_term(self):
+        search = PlaintextRankedSearch(build_index())
+        assert search.search_ranked("zzz") == []
+
+    def test_scores_are_true_floats(self):
+        search = PlaintextRankedSearch(build_index())
+        ranking = search.search_ranked("net")
+        assert all(isinstance(r.score, float) for r in ranking)
+        assert ranking[0].score > ranking[-1].score

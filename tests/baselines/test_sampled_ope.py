@@ -1,0 +1,141 @@
+"""Unit tests for the sampling-trained OPE baseline ([16] style)."""
+
+import random
+
+import pytest
+
+from repro.baselines.sampled_ope import SampledOpeMapper
+from repro.errors import ParameterError
+
+KEY = b"sampled-ope-key0"
+
+
+def gaussian_levels(mu, sigma, count, seed=0, domain=64):
+    rng = random.Random(seed)
+    return [
+        max(1, min(domain, round(rng.gauss(mu, sigma)))) for _ in range(count)
+    ]
+
+
+class TestFit:
+    def test_intervals_ordered_and_contiguous(self):
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(20, 5, 500), 64, 1 << 20
+        )
+        previous_high = 0
+        for level in range(1, 65):
+            low, high = mapper.interval(level)
+            assert low == previous_high + 1
+            assert high >= low
+            previous_high = high
+        assert previous_high == 1 << 20
+
+    def test_frequent_levels_get_wide_intervals(self):
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(20, 3, 1000), 64, 1 << 20
+        )
+        _, common_high = mapper.interval(20)
+        common_low, _ = mapper.interval(20)
+        rare_low, rare_high = mapper.interval(60)
+        assert (common_high - common_low) > 10 * (rare_high - rare_low)
+
+    def test_unseen_levels_still_mappable(self):
+        # Smoothing: level 64 never sampled but still has an interval.
+        mapper = SampledOpeMapper.fit(KEY, [10] * 100, 64, 1 << 20)
+        low, high = mapper.interval(64)
+        assert high >= low >= 1
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ParameterError):
+            SampledOpeMapper.fit(KEY, [], 64, 1 << 20)
+
+    def test_rejects_out_of_domain_sample(self):
+        with pytest.raises(ParameterError):
+            SampledOpeMapper.fit(KEY, [65], 64, 1 << 20)
+
+    def test_rejects_range_below_domain(self):
+        with pytest.raises(ParameterError):
+            SampledOpeMapper.fit(KEY, [1], 64, 32)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ParameterError):
+            SampledOpeMapper.fit(KEY, [1], 64, 1 << 20, smoothing=0)
+
+
+class TestMapping:
+    def test_values_in_interval(self):
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(20, 5, 500), 64, 1 << 20
+        )
+        for level in (1, 20, 40, 64):
+            low, high = mapper.interval(level)
+            for i in range(10):
+                assert low <= mapper.map_score(level, f"f{i}") <= high
+
+    def test_order_preserved(self):
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(20, 5, 500), 64, 1 << 20
+        )
+        for a, b in [(1, 2), (19, 20), (40, 64)]:
+            assert mapper.map_score(a, "x") < mapper.map_score(b, "y")
+
+    def test_deterministic_per_file_one_to_many_across(self):
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(20, 5, 500), 64, 1 << 20
+        )
+        assert mapper.map_score(20, "f") == mapper.map_score(20, "f")
+        values = {mapper.map_score(20, f"f{i}") for i in range(20)}
+        assert len(values) > 1
+
+    def test_interval_validates_level(self):
+        mapper = SampledOpeMapper.fit(KEY, [1], 8, 100)
+        with pytest.raises(ParameterError):
+            mapper.interval(0)
+        with pytest.raises(ParameterError):
+            mapper.interval(9)
+
+    def test_uniformizes_training_distribution(self):
+        from repro.analysis.flatness import ks_distance_to_uniform
+
+        levels = gaussian_levels(20, 5, 3000, seed=4)
+        mapper = SampledOpeMapper.fit(KEY, levels, 64, 1 << 20)
+        values = [
+            mapper.map_score(level, f"f{i}") for i, level in enumerate(levels)
+        ]
+        assert ks_distance_to_uniform(values, 1, 1 << 20) < 0.1
+
+    def test_fails_to_uniformize_drifted_distribution(self):
+        """The [16] failure mode: drifted inputs bunch up in the range."""
+        from repro.analysis.flatness import ks_distance_to_uniform
+
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(15, 4, 2000, seed=5), 64, 1 << 20
+        )
+        drifted = gaussian_levels(50, 4, 2000, seed=6)
+        values = [
+            mapper.map_score(level, f"f{i}") for i, level in enumerate(drifted)
+        ]
+        assert ks_distance_to_uniform(values, 1, 1 << 20) > 0.5
+
+
+class TestDriftDetection:
+    def test_same_distribution_small_drift(self):
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(20, 5, 2000, seed=7), 64, 1 << 20
+        )
+        fresh = gaussian_levels(20, 5, 2000, seed=8)
+        assert mapper.distribution_drift(fresh) < 0.1
+        assert not mapper.needs_rebuild(fresh)
+
+    def test_shifted_distribution_large_drift(self):
+        mapper = SampledOpeMapper.fit(
+            KEY, gaussian_levels(15, 4, 2000, seed=9), 64, 1 << 20
+        )
+        drifted = gaussian_levels(50, 4, 2000, seed=10)
+        assert mapper.distribution_drift(drifted) > 0.5
+        assert mapper.needs_rebuild(drifted)
+
+    def test_rejects_empty_update(self):
+        mapper = SampledOpeMapper.fit(KEY, [1], 8, 100)
+        with pytest.raises(ParameterError):
+            mapper.distribution_drift([])

@@ -1,0 +1,162 @@
+"""Unit tests for attribute-based access control (Section VIII direction)."""
+
+import pytest
+
+from repro.cloud.abac import (
+    Attribute,
+    AttributeAuthority,
+    PolicyDecryptor,
+    Threshold,
+    and_of,
+    k_of,
+    or_of,
+)
+from repro.crypto import generate_key
+from repro.errors import CryptoError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return AttributeAuthority(generate_key())
+
+
+def decryptor(authority, attributes) -> PolicyDecryptor:
+    return PolicyDecryptor(authority.issue_attribute_keys(set(attributes)))
+
+
+class TestPolicyTrees:
+    def test_attribute_satisfaction(self):
+        assert Attribute("doctor").satisfied_by({"doctor", "nurse"})
+        assert not Attribute("doctor").satisfied_by({"nurse"})
+
+    def test_and_or_semantics(self):
+        policy = and_of(Attribute("a"), or_of(Attribute("b"), Attribute("c")))
+        assert policy.satisfied_by({"a", "b"})
+        assert policy.satisfied_by({"a", "c"})
+        assert not policy.satisfied_by({"a"})
+        assert not policy.satisfied_by({"b", "c"})
+
+    def test_threshold_semantics(self):
+        policy = k_of(2, Attribute("a"), Attribute("b"), Attribute("c"))
+        assert policy.satisfied_by({"a", "c"})
+        assert not policy.satisfied_by({"c"})
+
+    def test_nested_policies(self):
+        policy = or_of(
+            and_of(Attribute("admin"), Attribute("mfa")),
+            k_of(2, Attribute("dev"), Attribute("oncall"), Attribute("lead")),
+        )
+        assert policy.satisfied_by({"admin", "mfa"})
+        assert policy.satisfied_by({"dev", "lead"})
+        assert not policy.satisfied_by({"admin"})
+        assert not policy.satisfied_by({"dev"})
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Attribute("")
+        with pytest.raises(ParameterError):
+            Threshold(k=1, children=())
+        with pytest.raises(ParameterError):
+            Threshold(k=3, children=(Attribute("a"), Attribute("b")))
+        with pytest.raises(ParameterError):
+            Threshold(k=0, children=(Attribute("a"),))
+
+
+class TestEncryptDecrypt:
+    def test_decryption_matches_policy_satisfaction(self, authority):
+        policy = and_of(
+            Attribute("doctor"),
+            or_of(Attribute("cardiology"), Attribute("oncology")),
+        )
+        ciphertext = authority.encrypt(b"patient records key", policy)
+        satisfying = [
+            {"doctor", "cardiology"},
+            {"doctor", "oncology"},
+            {"doctor", "cardiology", "oncology", "extra"},
+        ]
+        failing = [
+            {"doctor"},
+            {"cardiology"},
+            {"cardiology", "oncology"},
+            {"nurse", "cardiology"},
+        ]
+        for attributes in satisfying:
+            assert (
+                decryptor(authority, attributes).decrypt(ciphertext)
+                == b"patient records key"
+            )
+        for attributes in failing:
+            with pytest.raises(CryptoError):
+                decryptor(authority, attributes).decrypt(ciphertext)
+
+    def test_threshold_gate_end_to_end(self, authority):
+        policy = k_of(
+            3, *(Attribute(f"dept{i}") for i in range(5))
+        )
+        ciphertext = authority.encrypt(b"quorum secret", policy)
+        assert (
+            decryptor(authority, {"dept0", "dept2", "dept4"}).decrypt(
+                ciphertext
+            )
+            == b"quorum secret"
+        )
+        with pytest.raises(CryptoError):
+            decryptor(authority, {"dept0", "dept2"}).decrypt(ciphertext)
+
+    def test_single_attribute_policy(self, authority):
+        ciphertext = authority.encrypt(b"x", Attribute("root"))
+        assert decryptor(authority, {"root"}).decrypt(ciphertext) == b"x"
+        with pytest.raises(CryptoError):
+            decryptor(authority, {"user"}).decrypt(ciphertext)
+
+    def test_each_encryption_uses_fresh_session_key(self, authority):
+        policy = Attribute("a")
+        first = authority.encrypt(b"same payload", policy)
+        second = authority.encrypt(b"same payload", policy)
+        assert first.payload != second.payload
+
+    def test_foreign_authority_keys_fail(self, authority):
+        policy = Attribute("a")
+        ciphertext = authority.encrypt(b"x", policy)
+        other = AttributeAuthority(generate_key())
+        with pytest.raises(CryptoError):
+            decryptor(other, {"a"}).decrypt(ciphertext)
+
+    def test_deep_nesting(self, authority):
+        policy = and_of(
+            Attribute("l0"),
+            or_of(
+                and_of(Attribute("l1a"), Attribute("l1b")),
+                and_of(
+                    Attribute("l1c"),
+                    k_of(2, Attribute("x"), Attribute("y"), Attribute("z")),
+                ),
+            ),
+        )
+        ciphertext = authority.encrypt(b"deep", policy)
+        assert (
+            decryptor(authority, {"l0", "l1c", "x", "z"}).decrypt(ciphertext)
+            == b"deep"
+        )
+        with pytest.raises(CryptoError):
+            decryptor(authority, {"l0", "l1c", "x"}).decrypt(ciphertext)
+
+
+class TestIssuance:
+    def test_issues_one_key_per_attribute(self, authority):
+        keys = authority.issue_attribute_keys({"a", "b"})
+        assert set(keys) == {"a", "b"}
+        assert keys["a"] != keys["b"]
+
+    def test_keys_deterministic_per_attribute(self, authority):
+        first = authority.issue_attribute_keys({"a"})
+        second = authority.issue_attribute_keys({"a"})
+        assert first == second
+
+    def test_validation(self, authority):
+        with pytest.raises(ParameterError):
+            AttributeAuthority(b"")
+        with pytest.raises(ParameterError):
+            authority.issue_attribute_keys(set())
+        with pytest.raises(ParameterError):
+            PolicyDecryptor({})

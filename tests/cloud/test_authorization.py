@@ -1,0 +1,116 @@
+"""Unit tests for broadcast-based user authorization and revocation."""
+
+import pytest
+
+from repro.cloud.authorization import AuthorizationManager
+from repro.cloud.owner import UserCredentials
+from repro.crypto import generate_key, keygen
+from repro.errors import CryptoError, ParameterError
+
+
+def credentials() -> UserCredentials:
+    return UserCredentials(
+        scheme_key=keygen().trapdoor_only(), file_key=generate_key()
+    )
+
+
+@pytest.fixture()
+def manager():
+    return AuthorizationManager(generate_key(), capacity=8)
+
+
+class TestAuthorization:
+    def test_all_authorized_users_redeem(self, manager):
+        tickets = [manager.authorize_user() for _ in range(4)]
+        bundle = credentials()
+        broadcast = manager.publish_credentials(bundle)
+        for ticket in tickets:
+            redeemed, epoch = AuthorizationManager.redeem(ticket, broadcast)
+            assert epoch == 0
+            assert redeemed.file_key == bundle.file_key
+            assert redeemed.scheme_key == bundle.scheme_key
+
+    def test_capacity_exhaustion(self):
+        manager = AuthorizationManager(generate_key(), capacity=2)
+        manager.authorize_user()
+        manager.authorize_user()
+        with pytest.raises(ParameterError):
+            manager.authorize_user()
+
+    def test_slots_are_sequential(self, manager):
+        a = manager.authorize_user()
+        b = manager.authorize_user()
+        assert a.key_set.user_index == 0
+        assert b.key_set.user_index == 1
+
+
+class TestRevocation:
+    def test_revoked_user_locked_out_of_rotation(self, manager):
+        keep = manager.authorize_user()
+        revoke = manager.authorize_user()
+        manager.publish_credentials(credentials())
+
+        manager.revoke_user(revoke.key_set.user_index)
+        fresh = credentials()
+        rotated = manager.rotate_credentials(fresh)
+
+        redeemed, epoch = AuthorizationManager.redeem(keep, rotated)
+        assert epoch == 1
+        assert redeemed.file_key == fresh.file_key
+        with pytest.raises(CryptoError):
+            AuthorizationManager.redeem(revoke, rotated)
+
+    def test_revoked_user_still_reads_old_epoch(self, manager):
+        """The forward-secrecy caveat: old broadcasts stay readable."""
+        ticket = manager.authorize_user()
+        old = manager.publish_credentials(credentials())
+        manager.revoke_user(0)
+        redeemed, epoch = AuthorizationManager.redeem(ticket, old)
+        assert epoch == 0
+        assert redeemed is not None
+
+    def test_revoke_unknown_slot_rejected(self, manager):
+        manager.authorize_user()
+        with pytest.raises(ParameterError):
+            manager.revoke_user(5)
+        with pytest.raises(ParameterError):
+            manager.revoke_user(-1)
+
+    def test_revoked_slots_tracked(self, manager):
+        manager.authorize_user()
+        manager.authorize_user()
+        manager.revoke_user(1)
+        assert manager.revoked_slots == {1}
+
+    def test_epoch_increments_per_rotation(self, manager):
+        manager.authorize_user()
+        assert manager.epoch == 0
+        manager.rotate_credentials(credentials())
+        manager.rotate_credentials(credentials())
+        assert manager.epoch == 2
+
+    def test_multiple_revocations(self, manager):
+        tickets = [manager.authorize_user() for _ in range(6)]
+        manager.revoke_user(1)
+        manager.revoke_user(4)
+        rotated = manager.rotate_credentials(credentials())
+        for index, ticket in enumerate(tickets):
+            if index in (1, 4):
+                with pytest.raises(CryptoError):
+                    AuthorizationManager.redeem(ticket, rotated)
+            else:
+                AuthorizationManager.redeem(ticket, rotated)
+
+
+class TestPayloadIntegrity:
+    def test_garbled_payload_detected(self, manager):
+        from repro.cloud.broadcast import BroadcastCiphertext
+
+        ticket = manager.authorize_user()
+        broadcast = manager.publish_credentials(credentials())
+        node, wrapped = broadcast.wrapped[0]
+        tampered = BroadcastCiphertext(
+            wrapped=((node, wrapped[:-1] + bytes([wrapped[-1] ^ 1])),)
+        )
+        with pytest.raises(CryptoError):
+            AuthorizationManager.redeem(ticket, tampered)

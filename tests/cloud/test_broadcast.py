@@ -1,0 +1,99 @@
+"""Unit tests for complete-subtree broadcast encryption."""
+
+import pytest
+
+from repro.cloud.broadcast import BroadcastEncryption
+from repro.errors import CryptoError, ParameterError
+
+KEY = b"bcast-master-key"
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        for capacity in (0, 1, 3, 6, 100):
+            with pytest.raises(ParameterError):
+                BroadcastEncryption(KEY, capacity)
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            BroadcastEncryption(b"", 8)
+
+    def test_capacity_property(self):
+        assert BroadcastEncryption(KEY, 32).capacity == 32
+
+
+class TestKeyIssuing:
+    def test_path_length_is_log_capacity_plus_one(self):
+        be = BroadcastEncryption(KEY, 16)
+        keys = be.user_key_set(5)
+        assert len(keys.node_keys) == 5  # leaf + 3 internal + root
+
+    def test_distinct_users_share_only_ancestors(self):
+        be = BroadcastEncryption(KEY, 8)
+        a = dict(be.user_key_set(0).node_keys)
+        b = dict(be.user_key_set(1).node_keys)
+        shared = set(a) & set(b)
+        # Siblings share all ancestors but not their leaves.
+        assert len(shared) == 3
+        for node in shared:
+            assert a[node] == b[node]
+
+    def test_rejects_out_of_range_slot(self):
+        be = BroadcastEncryption(KEY, 8)
+        with pytest.raises(ParameterError):
+            be.user_key_set(8)
+        with pytest.raises(ParameterError):
+            be.user_key_set(-1)
+
+
+class TestBroadcast:
+    def test_no_revocations_single_ciphertext(self):
+        be = BroadcastEncryption(KEY, 16)
+        assert be.encrypt(b"m").num_ciphertexts == 1
+
+    def test_everyone_decrypts_when_none_revoked(self):
+        be = BroadcastEncryption(KEY, 8)
+        ciphertext = be.encrypt(b"secret")
+        for slot in range(8):
+            assert (
+                BroadcastEncryption.decrypt(be.user_key_set(slot), ciphertext)
+                == b"secret"
+            )
+
+    def test_revoked_users_cannot_decrypt(self):
+        be = BroadcastEncryption(KEY, 16)
+        revoked = {2, 9, 10}
+        ciphertext = be.encrypt(b"secret", revoked)
+        for slot in range(16):
+            keys = be.user_key_set(slot)
+            if slot in revoked:
+                with pytest.raises(CryptoError):
+                    BroadcastEncryption.decrypt(keys, ciphertext)
+            else:
+                assert (
+                    BroadcastEncryption.decrypt(keys, ciphertext) == b"secret"
+                )
+
+    def test_cover_size_bound(self):
+        # Complete-subtree bound: |cover| <= r * log2(N/r) roughly; for
+        # a single revocation it is exactly log2(N).
+        be = BroadcastEncryption(KEY, 64)
+        assert be.encrypt(b"m", {0}).num_ciphertexts == 6
+
+    def test_all_revoked_empty_broadcast(self):
+        be = BroadcastEncryption(KEY, 4)
+        ciphertext = be.encrypt(b"m", {0, 1, 2, 3})
+        assert ciphertext.num_ciphertexts == 0
+        with pytest.raises(CryptoError):
+            BroadcastEncryption.decrypt(be.user_key_set(0), ciphertext)
+
+    def test_adjacent_revocations_compress_cover(self):
+        be = BroadcastEncryption(KEY, 16)
+        adjacent = be.encrypt(b"m", {0, 1}).num_ciphertexts
+        spread = be.encrypt(b"m", {0, 8}).num_ciphertexts
+        assert adjacent < spread
+
+    def test_revoked_validation(self):
+        be = BroadcastEncryption(KEY, 8)
+        with pytest.raises(ParameterError):
+            be.encrypt(b"m", {99})

@@ -1,0 +1,62 @@
+"""Unit tests for the accounted channel and link model."""
+
+import pytest
+
+from repro.cloud.network import Channel, ChannelStats, LinkModel
+from repro.errors import ParameterError
+
+
+class TestChannel:
+    def test_delivers_request_and_response(self):
+        channel = Channel(lambda request: request.upper())
+        assert channel.call(b"ping") == b"PING"
+
+    def test_counts_round_trips(self):
+        channel = Channel(lambda request: b"ok")
+        for _ in range(3):
+            channel.call(b"x")
+        assert channel.stats.round_trips == 3
+
+    def test_counts_bytes_both_directions(self):
+        channel = Channel(lambda request: b"12345")
+        channel.call(b"abc")
+        assert channel.stats.bytes_to_server == 3
+        assert channel.stats.bytes_to_user == 5
+        assert channel.stats.total_bytes == 8
+
+    def test_per_message_sizes_recorded(self):
+        channel = Channel(lambda request: b"r" * len(request))
+        channel.call(b"a")
+        channel.call(b"bb")
+        assert channel.stats.requests == [1, 2]
+        assert channel.stats.responses == [1, 2]
+
+    def test_reset(self):
+        channel = Channel(lambda request: b"ok")
+        channel.call(b"x")
+        channel.stats.reset()
+        assert channel.stats.round_trips == 0
+        assert channel.stats.total_bytes == 0
+        assert channel.stats.requests == []
+
+
+class TestLinkModel:
+    def test_estimate_combines_rtt_and_bandwidth(self):
+        model = LinkModel(rtt_seconds=0.1,
+                          bandwidth_bytes_per_second=1000.0)
+        stats = ChannelStats(round_trips=2, bytes_to_server=500,
+                             bytes_to_user=500)
+        assert model.estimate_seconds(stats) == pytest.approx(0.2 + 1.0)
+
+    def test_zero_rtt_allowed(self):
+        model = LinkModel(rtt_seconds=0.0)
+        stats = ChannelStats(round_trips=5)
+        assert model.estimate_seconds(stats) == 0.0
+
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(ParameterError):
+            LinkModel(rtt_seconds=-1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ParameterError):
+            LinkModel(bandwidth_bytes_per_second=0.0)

@@ -1,0 +1,51 @@
+"""Unit tests for DataOwner's retained state (quantizer, file key)."""
+
+import pytest
+
+from repro.cloud.owner import DataOwner
+from repro.core import BasicRankedSSE, EfficientRSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return generate_corpus(8, seed=91, vocabulary_size=120)
+
+
+class TestQuantizerRetention:
+    def test_none_before_setup(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        assert owner.quantizer is None
+
+    def test_retained_after_setup(self, documents):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        owner.setup(documents)
+        assert owner.quantizer is not None
+        assert owner.quantizer.levels == TEST_PARAMETERS.score_levels
+
+    def test_basic_scheme_has_no_quantizer(self, documents):
+        owner = DataOwner(BasicRankedSSE(TEST_PARAMETERS))
+        owner.setup(documents)
+        assert owner.quantizer is None
+
+    def test_quantizer_matches_rebuild(self, documents):
+        """The retained scale reproduces identical index levels."""
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        owner = DataOwner(scheme)
+        owner.setup(documents)
+        rebuilt = scheme.build_index(
+            owner.key, owner.plain_index, quantizer=owner.quantizer
+        )
+        assert rebuilt.quantizer is owner.quantizer
+
+
+class TestFileKey:
+    def test_matches_issued_credentials(self, documents):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        owner.setup(documents)
+        assert owner.authorize_user().file_key == owner.file_key
+
+    def test_distinct_owners_distinct_keys(self):
+        a = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        b = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        assert a.file_key != b.file_key

@@ -1,0 +1,108 @@
+"""Unit tests for DataOwner / DataUser credential and protocol logic."""
+
+import pytest
+
+from repro.cloud.network import Channel
+from repro.cloud.owner import DataOwner
+from repro.cloud.server import CloudServer
+from repro.cloud.user import DataUser
+from repro.core.basic_scheme import BasicRankedSSE
+from repro.core.params import TEST_PARAMETERS
+from repro.core.rsse import EfficientRSSE
+from repro.corpus.loader import Document
+from repro.errors import ParameterError
+
+
+def documents() -> list[Document]:
+    return [
+        Document(doc_id="d1", title="", text="network network network cache"),
+        Document(doc_id="d2", title="", text="network cache cache storage"),
+        Document(doc_id="d3", title="", text="storage protocols routing"),
+    ]
+
+
+class TestOwnerSetup:
+    def test_rejects_empty_collection(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        with pytest.raises(ParameterError):
+            owner.setup([])
+
+    def test_outsourcing_contains_index_and_blobs(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        outsourcing = owner.setup(documents())
+        assert outsourcing.secure_index.num_lists > 0
+        assert len(outsourcing.blob_store) == 3
+
+    def test_blobs_are_encrypted(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        outsourcing = owner.setup(documents())
+        blob = outsourcing.blob_store.get("d1")
+        assert b"network" not in blob
+
+    def test_plain_index_stays_with_owner(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        owner.setup(documents())
+        assert owner.plain_index.num_files == 3
+
+
+class TestCredentials:
+    def test_efficient_scheme_users_lack_z(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        owner.setup(documents())
+        credentials = owner.authorize_user()
+        assert credentials.scheme_key.z is None
+
+    def test_basic_scheme_users_hold_z(self):
+        owner = DataOwner(BasicRankedSSE(TEST_PARAMETERS))
+        owner.setup(documents())
+        credentials = owner.authorize_user()
+        assert credentials.scheme_key.z is not None
+
+    def test_file_key_shared(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        owner.setup(documents())
+        a = owner.authorize_user()
+        b = owner.authorize_user()
+        assert a.file_key == b.file_key
+
+
+class TestUserProtocolGuards:
+    def _user(self, scheme):
+        owner = DataOwner(scheme)
+        outsourcing = owner.setup(documents())
+        server = CloudServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=isinstance(scheme, EfficientRSSE),
+        )
+        return DataUser(
+            scheme, owner.authorize_user(), Channel(server.handle),
+            owner.analyzer,
+        )
+
+    def test_rsse_user_rejects_basic_protocols(self):
+        user = self._user(EfficientRSSE(TEST_PARAMETERS))
+        with pytest.raises(ParameterError):
+            user.search_all_and_rank("network")
+        with pytest.raises(ParameterError):
+            user.search_two_round_topk("network", 2)
+
+    def test_basic_user_rejects_rsse_protocol(self):
+        user = self._user(BasicRankedSSE(TEST_PARAMETERS))
+        with pytest.raises(ParameterError):
+            user.search_ranked_topk("network", 2)
+
+    def test_rejects_bad_k(self):
+        user = self._user(EfficientRSSE(TEST_PARAMETERS))
+        with pytest.raises(ParameterError):
+            user.search_ranked_topk("network", 0)
+
+    def test_decrypted_text_matches_original(self):
+        user = self._user(EfficientRSSE(TEST_PARAMETERS))
+        hits = user.search_ranked_topk("network", 1)
+        assert hits[0].text in {d.text for d in documents()}
+
+    def test_stop_word_query_rejected_by_analyzer(self):
+        user = self._user(EfficientRSSE(TEST_PARAMETERS))
+        with pytest.raises(ValueError):
+            user.search_ranked_topk("the", 1)

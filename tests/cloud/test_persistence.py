@@ -1,0 +1,107 @@
+"""Unit tests for on-disk deployment persistence."""
+
+import pytest
+
+from repro.cloud.owner import DataOwner, UserCredentials
+from repro.cloud.persistence import (
+    load_credentials,
+    load_key,
+    load_outsourcing,
+    save_credentials,
+    save_key,
+    save_outsourcing,
+)
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+from repro.crypto import generate_key, keygen
+from repro.errors import ProtocolError
+
+
+@pytest.fixture(scope="module")
+def outsourcing():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    owner = DataOwner(scheme)
+    documents = generate_corpus(10, seed=61, vocabulary_size=150)
+    return owner, owner.setup(documents)
+
+
+class TestOutsourcingRoundtrip:
+    def test_index_and_blobs_survive(self, outsourcing, tmp_path):
+        _, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse")
+        restored, kind = load_outsourcing(tmp_path / "dep")
+        assert kind == "rsse"
+        assert restored.secure_index.num_lists == original.secure_index.num_lists
+        assert restored.secure_index.size_bytes() == original.secure_index.size_bytes()
+        assert len(restored.blob_store) == len(original.blob_store)
+        for doc_id in original.blob_store.ids():
+            assert restored.blob_store.get(doc_id) == original.blob_store.get(
+                doc_id
+            )
+
+    def test_search_works_after_restore(self, outsourcing, tmp_path):
+        owner, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse")
+        restored, _ = load_outsourcing(tmp_path / "dep")
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        trapdoor = scheme.trapdoor(owner.key, "network")
+        before = scheme.search_ranked(original.secure_index, trapdoor)
+        after = scheme.search_ranked(restored.secure_index, trapdoor)
+        assert [r.file_id for r in before] == [r.file_id for r in after]
+
+    def test_unusual_doc_ids_roundtrip(self, tmp_path):
+        from repro.cloud.owner import Outsourcing
+        from repro.cloud.storage import BlobStore
+        from repro.core.secure_index import EntryLayout, SecureIndex
+
+        blob_store = BlobStore()
+        blob_store.put("weird/../id with spaces", b"payload")
+        outsourcing = Outsourcing(
+            secure_index=SecureIndex(
+                EntryLayout(zero_pad_bytes=1, file_id_bytes=4, score_bytes=1)
+            ),
+            blob_store=blob_store,
+        )
+        save_outsourcing(tmp_path / "dep", outsourcing, "rsse")
+        restored, _ = load_outsourcing(tmp_path / "dep")
+        assert restored.blob_store.get("weird/../id with spaces") == b"payload"
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ProtocolError):
+            load_outsourcing(tmp_path)
+
+    def test_corrupt_manifest(self, outsourcing, tmp_path):
+        _, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse")
+        (tmp_path / "dep" / "manifest.json").write_text("{not json")
+        with pytest.raises(ProtocolError):
+            load_outsourcing(tmp_path / "dep")
+
+    def test_missing_blob_detected(self, outsourcing, tmp_path):
+        _, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse")
+        blob = next((tmp_path / "dep" / "blobs").iterdir())
+        blob.unlink()
+        with pytest.raises(ProtocolError):
+            load_outsourcing(tmp_path / "dep")
+
+
+class TestKeyFiles:
+    def test_key_roundtrip(self, tmp_path):
+        key = keygen()
+        save_key(tmp_path / "owner.key", key)
+        assert load_key(tmp_path / "owner.key") == key
+
+    def test_credentials_roundtrip(self, tmp_path):
+        credentials = UserCredentials(
+            scheme_key=keygen().trapdoor_only(), file_key=generate_key()
+        )
+        save_credentials(tmp_path / "user.cred", credentials)
+        restored = load_credentials(tmp_path / "user.cred")
+        assert restored.scheme_key == credentials.scheme_key
+        assert restored.file_key == credentials.file_key
+
+    def test_malformed_credentials(self, tmp_path):
+        (tmp_path / "bad.cred").write_text("{}")
+        with pytest.raises(ProtocolError):
+            load_credentials(tmp_path / "bad.cred")

@@ -1,0 +1,76 @@
+"""Unit tests for wire messages."""
+
+import pytest
+
+from repro.cloud.protocol import (
+    FileRequest,
+    RankedFilesResponse,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.errors import ProtocolError
+
+
+class TestSearchRequest:
+    def test_roundtrip_minimal(self):
+        request = SearchRequest(trapdoor_bytes=b"\x01\x02")
+        assert SearchRequest.from_bytes(request.to_bytes()) == request
+
+    def test_roundtrip_with_topk(self):
+        request = SearchRequest(trapdoor_bytes=b"\xff", top_k=10)
+        parsed = SearchRequest.from_bytes(request.to_bytes())
+        assert parsed.top_k == 10
+
+    def test_roundtrip_entries_only(self):
+        request = SearchRequest(trapdoor_bytes=b"\x00", entries_only=True)
+        assert SearchRequest.from_bytes(request.to_bytes()).entries_only
+
+    def test_rejects_wrong_kind(self):
+        other = FileRequest(file_ids=("a",)).to_bytes()
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_bytes(other)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_bytes(b"\xff\x00")
+
+
+class TestSearchResponse:
+    def test_roundtrip(self):
+        response = SearchResponse(
+            matches=(("d1", b"\x01"), ("d2", b"\x02")),
+            files=(("d1", b"blob"),),
+        )
+        assert SearchResponse.from_bytes(response.to_bytes()) == response
+
+    def test_empty(self):
+        response = SearchResponse()
+        parsed = SearchResponse.from_bytes(response.to_bytes())
+        assert parsed.matches == () and parsed.files == ()
+
+    def test_size_grows_with_payload(self):
+        small = SearchResponse(files=(("d", b"x"),)).to_bytes()
+        large = SearchResponse(files=(("d", b"x" * 1000),)).to_bytes()
+        assert len(large) > len(small) + 1500  # hex doubles the bytes
+
+
+class TestFileRequest:
+    def test_roundtrip(self):
+        request = FileRequest(file_ids=("a", "b"))
+        assert FileRequest.from_bytes(request.to_bytes()) == request
+
+    def test_preserves_order(self):
+        request = FileRequest(file_ids=("z", "a", "m"))
+        assert FileRequest.from_bytes(request.to_bytes()).file_ids == (
+            "z", "a", "m",
+        )
+
+
+class TestRankedFilesResponse:
+    def test_roundtrip(self):
+        response = RankedFilesResponse(files=(("d1", b"\x00\x01"),))
+        assert RankedFilesResponse.from_bytes(response.to_bytes()) == response
+
+    def test_rejects_cross_kind(self):
+        with pytest.raises(ProtocolError):
+            RankedFilesResponse.from_bytes(SearchResponse().to_bytes())

@@ -1,0 +1,150 @@
+"""Unit tests for the honest-but-curious cloud server."""
+
+import pytest
+
+from repro.cloud.protocol import FileRequest, SearchRequest, SearchResponse
+from repro.cloud.server import CloudServer
+from repro.cloud.storage import BlobStore
+from repro.core.params import TEST_PARAMETERS
+from repro.core.rsse import EfficientRSSE
+from repro.errors import ProtocolError
+from repro.ir.inverted_index import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = InvertedIndex()
+    index.add_document("d1", ["net"] * 5 + ["pad"] * 5)
+    index.add_document("d2", ["net"] * 1 + ["pad"] * 9)
+    index.add_document("d3", ["net"] * 3 + ["pad"] * 2)
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for file_id in ["d1", "d2", "d3"]:
+        blobs.put(file_id, b"encrypted-" + file_id.encode())
+    return scheme, key, built, blobs
+
+
+def make_server(deployment, can_rank=True) -> CloudServer:
+    _, _, built, blobs = deployment
+    return CloudServer(built.secure_index, blobs, can_rank=can_rank)
+
+
+class TestSearchHandling:
+    def test_ranked_topk(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment)
+        request = SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, "net").serialize(), top_k=2
+        )
+        response = SearchResponse.from_bytes(server.handle(request.to_bytes()))
+        assert len(response.matches) == 2
+        assert len(response.files) == 2
+        # d3 has the top score: (1+ln3)/5.
+        assert response.matches[0][0] == "d3"
+        assert response.files[0] == ("d3", b"encrypted-d3")
+
+    def test_full_ranked_when_no_topk(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment)
+        request = SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, "net").serialize()
+        )
+        response = SearchResponse.from_bytes(server.handle(request.to_bytes()))
+        assert [m[0] for m in response.matches] == ["d3", "d1", "d2"]
+
+    def test_entries_only_returns_no_files(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment)
+        request = SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, "net").serialize(),
+            entries_only=True,
+        )
+        response = SearchResponse.from_bytes(server.handle(request.to_bytes()))
+        assert len(response.matches) == 3
+        assert response.files == ()
+
+    def test_unrankable_server_returns_index_order(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment, can_rank=False)
+        request = SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, "net").serialize()
+        )
+        response = SearchResponse.from_bytes(server.handle(request.to_bytes()))
+        assert {m[0] for m in response.matches} == {"d1", "d2", "d3"}
+
+    def test_unknown_keyword_empty_response(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment)
+        request = SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, "absent").serialize()
+        )
+        response = SearchResponse.from_bytes(server.handle(request.to_bytes()))
+        assert response.matches == () and response.files == ()
+
+
+class TestFetchHandling:
+    def test_fetch_returns_requested_order(self, deployment):
+        server = make_server(deployment)
+        request = FileRequest(file_ids=("d2", "d1"))
+        raw = server.handle(request.to_bytes())
+        from repro.cloud.protocol import RankedFilesResponse
+
+        response = RankedFilesResponse.from_bytes(raw)
+        assert response.files == (
+            ("d2", b"encrypted-d2"), ("d1", b"encrypted-d1"),
+        )
+
+    def test_fetch_unknown_file_is_protocol_error(self, deployment):
+        server = make_server(deployment)
+        request = FileRequest(file_ids=("ghost",))
+        with pytest.raises(ProtocolError):
+            server.handle(request.to_bytes())
+
+
+class TestCuriosity:
+    def test_observations_record_access_pattern(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment)
+        request = SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, "net").serialize(), top_k=1
+        )
+        server.handle(request.to_bytes())
+        observation = server.log.observations[0]
+        assert set(observation.matched_file_ids) == {"d1", "d2", "d3"}
+        assert observation.returned_file_ids == ("d3",)
+        assert len(observation.score_fields) == 3
+
+    def test_search_pattern_counts_repeats(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment)
+        request = SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, "net").serialize()
+        ).to_bytes()
+        server.handle(request)
+        server.handle(request)
+        pattern = server.log.search_pattern()
+        assert list(pattern.values()) == [2]
+
+    def test_access_pattern_map(self, deployment):
+        scheme, key, _, _ = deployment
+        server = make_server(deployment)
+        trapdoor = scheme.trapdoor(key, "net")
+        server.handle(
+            SearchRequest(trapdoor_bytes=trapdoor.serialize()).to_bytes()
+        )
+        pattern = server.log.access_pattern()
+        assert set(pattern[trapdoor.address]) == {"d1", "d2", "d3"}
+
+
+class TestMalformedRequests:
+    def test_unknown_kind(self, deployment):
+        server = make_server(deployment)
+        with pytest.raises(ProtocolError):
+            server.handle(b'{"kind": "nonsense"}')
+
+    def test_non_json(self, deployment):
+        server = make_server(deployment)
+        with pytest.raises(ProtocolError):
+            server.handle(b"\xff\x00\x01")

@@ -1,0 +1,117 @@
+"""Unit tests for the server's search-pattern cache."""
+
+import pytest
+
+from repro.cloud.protocol import SearchRequest, SearchResponse
+from repro.cloud.server import CloudServer
+from repro.cloud.storage import BlobStore
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.ir.inverted_index import InvertedIndex
+
+
+@pytest.fixture()
+def deployment():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = InvertedIndex()
+    index.add_document("d1", ["net"] * 3 + ["pad"] * 2)
+    index.add_document("d2", ["net"] * 1 + ["pad"] * 4)
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    blobs.put("d1", b"blob1")
+    blobs.put("d2", b"blob2")
+    return scheme, key, built, blobs
+
+
+def search_bytes(scheme, key, keyword="net", k=2):
+    return SearchRequest(
+        trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(), top_k=k
+    ).to_bytes()
+
+
+class TestCacheBehaviour:
+    def test_repeat_query_hits_cache(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index, blobs, can_rank=True, cache_searches=True
+        )
+        request = search_bytes(scheme, key)
+        first = SearchResponse.from_bytes(server.handle(request))
+        second = SearchResponse.from_bytes(server.handle(request))
+        assert server.cache_hits == 1
+        assert first == second
+
+    def test_distinct_keywords_not_conflated(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index, blobs, can_rank=True, cache_searches=True
+        )
+        net = SearchResponse.from_bytes(
+            server.handle(search_bytes(scheme, key, "net"))
+        )
+        pad = SearchResponse.from_bytes(
+            server.handle(search_bytes(scheme, key, "pad"))
+        )
+        assert server.cache_hits == 0
+        assert {m[0] for m in net.matches} != set() and net != pad
+
+    def test_cache_disabled_by_default(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(built.secure_index, blobs, can_rank=True)
+        request = search_bytes(scheme, key)
+        server.handle(request)
+        server.handle(request)
+        assert server.cache_hits == 0
+
+    def test_invalidation_forces_redecryption(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index, blobs, can_rank=True, cache_searches=True
+        )
+        request = search_bytes(scheme, key)
+        server.handle(request)
+        server.invalidate_cache()
+        server.handle(request)
+        assert server.cache_hits == 0
+        server.handle(request)
+        assert server.cache_hits == 1
+
+    def test_targeted_invalidation(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index, blobs, can_rank=True, cache_searches=True
+        )
+        net_trapdoor = scheme.trapdoor(key, "net")
+        server.handle(search_bytes(scheme, key, "net"))
+        server.handle(search_bytes(scheme, key, "pad"))
+        server.invalidate_cache(net_trapdoor.address)
+        server.handle(search_bytes(scheme, key, "pad"))
+        assert server.cache_hits == 1  # pad still cached
+        server.handle(search_bytes(scheme, key, "net"))
+        assert server.cache_hits == 1  # net was re-decrypted
+
+    def test_cache_sees_updates_after_invalidation(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index, blobs, can_rank=True, cache_searches=True
+        )
+        request = search_bytes(scheme, key, "net", k=5)
+        before = SearchResponse.from_bytes(server.handle(request))
+        # Owner removes d2's entries from the 'net' list.
+        trapdoor = scheme.trapdoor(key, "net")
+        entries = built.secure_index.lookup(trapdoor.address)
+        built.secure_index.replace_list(trapdoor.address, entries[:1])
+        server.invalidate_cache(trapdoor.address)
+        after = SearchResponse.from_bytes(server.handle(request))
+        assert len(after.matches) < len(before.matches)
+
+    def test_unknown_keyword_cached_as_empty(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index, blobs, can_rank=True, cache_searches=True
+        )
+        request = search_bytes(scheme, key, "ghost")
+        first = SearchResponse.from_bytes(server.handle(request))
+        second = SearchResponse.from_bytes(server.handle(request))
+        assert first.matches == second.matches == ()
+        assert server.cache_hits == 1

@@ -1,0 +1,52 @@
+"""Unit tests for the encrypted blob store."""
+
+import pytest
+
+from repro.cloud.storage import BlobStore
+from repro.errors import ProtocolError
+
+
+class TestBlobStore:
+    def test_put_get(self):
+        store = BlobStore()
+        store.put("d1", b"ciphertext")
+        assert store.get("d1") == b"ciphertext"
+
+    def test_duplicate_put_rejected(self):
+        store = BlobStore()
+        store.put("d1", b"a")
+        with pytest.raises(ProtocolError):
+            store.put("d1", b"b")
+
+    def test_missing_get_rejected(self):
+        with pytest.raises(ProtocolError):
+            BlobStore().get("nope")
+
+    def test_delete(self):
+        store = BlobStore()
+        store.put("d1", b"a")
+        store.delete("d1")
+        assert "d1" not in store
+        with pytest.raises(ProtocolError):
+            store.delete("d1")
+
+    def test_len_contains_ids(self):
+        store = BlobStore()
+        store.put("a", b"1")
+        store.put("b", b"22")
+        assert len(store) == 2
+        assert "a" in store
+        assert set(store.ids()) == {"a", "b"}
+
+    def test_total_bytes(self):
+        store = BlobStore()
+        store.put("a", b"123")
+        store.put("b", b"4567")
+        assert store.total_bytes() == 7
+
+    def test_blob_isolation(self):
+        store = BlobStore()
+        data = bytearray(b"mutable")
+        store.put("a", data)
+        data[0] = 0
+        assert store.get("a") == b"mutable"

@@ -1,0 +1,176 @@
+"""Unit + integration tests for the over-the-wire update protocol."""
+
+import pytest
+
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser
+from repro.cloud.updates import (
+    AckResponse,
+    PutBlobRequest,
+    RemoteIndexMaintainer,
+    RemoveBlobRequest,
+    UpdateListRequest,
+)
+from repro.core import BasicRankedSSE, EfficientRSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+from repro.corpus.loader import Document
+from repro.crypto import generate_key
+from repro.errors import ParameterError, ProtocolError
+
+TOKEN = b"owner-update-token"
+
+
+@pytest.fixture()
+def world():
+    documents = generate_corpus(20, seed=81, vocabulary_size=200)
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    owner = DataOwner(scheme)
+    outsourcing = owner.setup(documents[:15])
+    server = CloudServer(
+        outsourcing.secure_index,
+        outsourcing.blob_store,
+        can_rank=True,
+        cache_searches=True,
+        update_token=TOKEN,
+    )
+    channel = Channel(server.handle)
+    maintainer = RemoteIndexMaintainer(owner, channel, TOKEN)
+    user = DataUser(
+        scheme, owner.authorize_user(), Channel(server.handle),
+        owner.analyzer,
+    )
+    return documents, scheme, owner, server, maintainer, user
+
+
+class TestMessageEncodings:
+    def test_update_list_roundtrip(self):
+        request = UpdateListRequest(
+            token=TOKEN, address=b"\x01\x02", entries=(b"\xaa", b"\xbb"),
+            mode="append",
+        )
+        assert UpdateListRequest.from_bytes(request.to_bytes()) == request
+
+    def test_put_blob_roundtrip(self):
+        request = PutBlobRequest(token=TOKEN, file_id="d1", blob=b"\x00\x01")
+        assert PutBlobRequest.from_bytes(request.to_bytes()) == request
+
+    def test_remove_blob_roundtrip(self):
+        request = RemoveBlobRequest(token=TOKEN, file_id="d1")
+        assert RemoveBlobRequest.from_bytes(request.to_bytes()) == request
+
+    def test_ack_roundtrip(self):
+        ack = AckResponse(ok=False, detail="nope")
+        assert AckResponse.from_bytes(ack.to_bytes()) == ack
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            UpdateListRequest(
+                token=TOKEN, address=b"a", entries=(), mode="upsert"
+            )
+
+
+class TestRemoteInsert:
+    def test_inserted_document_searchable(self, world):
+        documents, _, _, _, maintainer, user = world
+        new_doc = documents[15]
+        report = maintainer.insert_document(new_doc)
+        assert report.entries_remapped == 0
+        assert report.entries_written == report.lists_touched > 0
+        hits = user.search_ranked_topk("network", 100)
+        assert new_doc.doc_id in {hit.file_id for hit in hits}
+
+    def test_inserted_blob_decrypts(self, world):
+        documents, _, _, _, maintainer, user = world
+        new_doc = documents[16]
+        maintainer.insert_document(new_doc)
+        hits = user.search_ranked_topk("network", 100)
+        text = next(
+            hit.text for hit in hits if hit.file_id == new_doc.doc_id
+        )
+        assert text == new_doc.text
+
+    def test_cache_invalidated_by_update(self, world):
+        documents, _, _, server, maintainer, user = world
+        user.search_ranked_topk("network", 5)   # warm
+        user.search_ranked_topk("network", 5)   # hit
+        assert server.cache_hits == 1
+        maintainer.insert_document(documents[17])
+        before = {h.file_id for h in user.search_ranked_topk("network", 100)}
+        assert documents[17].doc_id in before  # fresh decryption, not stale
+
+
+class TestRemoteRemove:
+    def test_removed_document_disappears(self, world):
+        documents, _, _, _, maintainer, user = world
+        victim = documents[0].doc_id
+        report = maintainer.remove_document(victim)
+        assert report.entries_written == 0
+        hits = user.search_ranked_topk("network", 100)
+        assert victim not in {hit.file_id for hit in hits}
+
+    def test_remove_unknown_rejected(self, world):
+        _, _, _, _, maintainer, _ = world
+        with pytest.raises(ParameterError):
+            maintainer.remove_document("ghost")
+
+
+class TestWriteAuthorization:
+    def test_wrong_token_rejected(self, world):
+        _, _, _, server, _, _ = world
+        request = PutBlobRequest(
+            token=b"wrong-token-00000", file_id="evil", blob=b"x"
+        )
+        with pytest.raises(ProtocolError):
+            server.handle(request.to_bytes())
+
+    def test_server_without_token_rejects_all_updates(self):
+        from repro.cloud.storage import BlobStore
+
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        outsourcing = owner.setup(
+            generate_corpus(3, seed=2, vocabulary_size=100)
+        )
+        read_only = CloudServer(
+            outsourcing.secure_index, BlobStore(), can_rank=True
+        )
+        request = PutBlobRequest(token=TOKEN, file_id="d", blob=b"x")
+        with pytest.raises(ProtocolError):
+            read_only.handle(request.to_bytes())
+
+    def test_replace_missing_list_rejected(self, world):
+        _, _, _, server, _, _ = world
+        request = UpdateListRequest(
+            token=TOKEN, address=b"\xff" * 20, entries=(), mode="replace"
+        )
+        with pytest.raises(ProtocolError):
+            server.handle(request.to_bytes())
+
+    def test_search_trapdoor_grants_no_write(self, world):
+        """A user's search credentials cannot push updates."""
+        _, scheme, owner, server, _, _ = world
+        trapdoor = scheme.trapdoor(owner.key, "network")
+        request = UpdateListRequest(
+            token=trapdoor.list_key,  # best key material a user holds
+            address=trapdoor.address,
+            entries=(),
+            mode="append",
+        )
+        with pytest.raises(ProtocolError):
+            server.handle(request.to_bytes())
+
+
+class TestMaintainerConstruction:
+    def test_requires_efficient_scheme(self):
+        owner = DataOwner(BasicRankedSSE(TEST_PARAMETERS))
+        owner.setup(generate_corpus(3, seed=3, vocabulary_size=100))
+        with pytest.raises(ParameterError):
+            RemoteIndexMaintainer(owner, Channel(lambda b: b), TOKEN)
+
+    def test_requires_setup_first(self):
+        owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        with pytest.raises(ParameterError):
+            RemoteIndexMaintainer(owner, Channel(lambda b: b), TOKEN)
+
+    def test_requires_token(self, world):
+        _, _, owner, _, _, _ = world
+        with pytest.raises(ParameterError):
+            RemoteIndexMaintainer(owner, Channel(lambda b: b), b"")

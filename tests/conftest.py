@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Corpus-and-index fixtures are session-scoped: building them is the
+expensive part of integration tests and they are strictly read-only
+(schemes never mutate the plaintext index, and tests that need
+mutation build their own).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EfficientRSSE, TEST_PARAMETERS, BasicRankedSSE
+from repro.corpus import generate_corpus
+from repro.ir import Analyzer, InvertedIndex
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """30 deterministic synthetic RFC documents."""
+    return generate_corpus(30, seed=11, vocabulary_size=250)
+
+
+@pytest.fixture(scope="session")
+def analyzer():
+    """The default analysis pipeline."""
+    return Analyzer()
+
+
+@pytest.fixture(scope="session")
+def plain_index(small_corpus, analyzer):
+    """The plaintext inverted index of the small corpus."""
+    index = InvertedIndex()
+    for document in small_corpus:
+        index.add_document(document.doc_id, analyzer.analyze(document.text))
+    return index
+
+
+@pytest.fixture(scope="session")
+def rsse_scheme():
+    """Efficient scheme with fast test parameters."""
+    return EfficientRSSE(TEST_PARAMETERS)
+
+
+@pytest.fixture(scope="session")
+def basic_scheme():
+    """Basic scheme with fast test parameters."""
+    return BasicRankedSSE(TEST_PARAMETERS)
+
+
+@pytest.fixture(scope="session")
+def rsse_built(rsse_scheme, plain_index):
+    """(key, BuiltIndex) for the efficient scheme over the small corpus."""
+    key = rsse_scheme.keygen()
+    return key, rsse_scheme.build_index(key, plain_index)
+
+
+@pytest.fixture(scope="session")
+def basic_built(basic_scheme, plain_index):
+    """(key, SecureIndex) for the basic scheme over the small corpus."""
+    key = basic_scheme.keygen()
+    return key, basic_scheme.build_index(key, plain_index)

@@ -1,0 +1,87 @@
+"""Unit tests for disjunctive (OR) multi-keyword search."""
+
+import pytest
+
+from repro.core.multi_keyword import MultiKeywordSearcher
+from repro.core.params import TEST_PARAMETERS
+from repro.core.rsse import EfficientRSSE
+from repro.ir.inverted_index import InvertedIndex
+
+
+def corpus_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["net"] * 4 + ["pad"] * 6)
+    index.add_document("d2", ["sec"] * 5 + ["pad"] * 5)
+    index.add_document("d3", ["net"] * 2 + ["sec"] * 2 + ["pad"] * 6)
+    index.add_document("d4", ["other"] * 5)
+    return index
+
+
+@pytest.fixture(scope="module")
+def searchable():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = corpus_index()
+    built = scheme.build_index(key, index)
+    return scheme, key, index, built, MultiKeywordSearcher(scheme)
+
+
+class TestDisjunctiveSemantics:
+    def test_union_of_match_sets(self, searchable):
+        _, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net", "sec"])
+        ranking = searcher.search_ranked_disjunctive(
+            built.secure_index, query
+        )
+        assert {entry.file_id for entry in ranking} == {"d1", "d2", "d3"}
+
+    def test_superset_of_conjunctive(self, searchable):
+        _, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net", "sec"])
+        conjunctive = {
+            entry.file_id
+            for entry in searcher.search_ranked(built.secure_index, query)
+        }
+        disjunctive = {
+            entry.file_id
+            for entry in searcher.search_ranked_disjunctive(
+                built.secure_index, query
+            )
+        }
+        assert conjunctive <= disjunctive
+        assert conjunctive == {"d3"}
+
+    def test_multi_keyword_matches_outrank_single(self, searchable):
+        # d3 matches both keywords, so its summed OPM value exceeds any
+        # single-keyword value of comparable level... not guaranteed in
+        # general (OPM values are huge integers per keyword), but a file
+        # matching k keywords sums k values, each >= 1: assert d3 beats
+        # at least one single-keyword match here.
+        _, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net", "sec"])
+        ranking = searcher.search_ranked_disjunctive(
+            built.secure_index, query
+        )
+        positions = {entry.file_id: entry.rank for entry in ranking}
+        assert positions["d3"] < max(positions["d1"], positions["d2"])
+
+    def test_single_term_disjunction_equals_single_search(self, searchable):
+        scheme, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net"])
+        disjunctive = searcher.search_ranked_disjunctive(
+            built.secure_index, query
+        )
+        single = scheme.search_ranked(
+            built.secure_index, scheme.trapdoor(key, "net")
+        )
+        assert [entry.file_id for entry in disjunctive] == [
+            entry.file_id for entry in single
+        ]
+
+    def test_all_absent_terms_empty(self, searchable):
+        _, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["ghost", "phantom"])
+        assert (
+            searcher.search_ranked_disjunctive(built.secure_index, query)
+            == []
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for score dynamics (incremental updates)."""
+
+import pytest
+
+from repro.core.dynamics import IndexMaintainer
+from repro.core.params import TEST_PARAMETERS
+from repro.core.rsse import EfficientRSSE
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def maintainer():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    maintainer = IndexMaintainer(scheme, scheme.keygen())
+    maintainer.add_document("d1", ["net"] * 3 + ["pad"] * 7)
+    maintainer.add_document("d2", ["net"] * 1 + ["pad"] * 4)
+    maintainer.add_document("d3", ["other"] * 5)
+    maintainer.build()
+    return scheme, maintainer
+
+
+class TestLifecycle:
+    def test_accessors_before_build_raise(self):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        fresh = IndexMaintainer(scheme, scheme.keygen())
+        with pytest.raises(ParameterError):
+            _ = fresh.secure_index
+        with pytest.raises(ParameterError):
+            _ = fresh.quantizer
+
+    def test_build_produces_searchable_index(self, maintainer):
+        scheme, m = maintainer
+        trapdoor = scheme.trapdoor(m._key, "net")
+        ranking = scheme.search_ranked(m.secure_index, trapdoor)
+        assert {r.file_id for r in ranking} == {"d1", "d2"}
+
+
+class TestInsert:
+    def test_old_entries_byte_identical_after_insert(self, maintainer):
+        _, m = maintainer
+        before = {
+            address: list(entries)
+            for address, entries in m.secure_index.items()
+        }
+        m.insert_document("d4", ["net"] * 2 + ["pad"] * 3)
+        for address, entries in before.items():
+            now = m.secure_index.lookup(address)
+            assert now[: len(entries)] == entries
+
+    def test_insert_report_counts(self, maintainer):
+        _, m = maintainer
+        report = m.insert_document("d4", ["net", "fresh"])
+        assert report.lists_touched == 2
+        assert report.entries_written == 2
+        assert report.entries_remapped == 0  # the paper's key claim
+
+    def test_inserted_document_is_searchable(self, maintainer):
+        scheme, m = maintainer
+        m.insert_document("d4", ["net"] * 10 + ["pad"] * 2)
+        ranking = scheme.search_ranked(
+            m.secure_index, scheme.trapdoor(m._key, "net")
+        )
+        assert "d4" in {r.file_id for r in ranking}
+
+    def test_inserted_high_scorer_ranks_first(self, maintainer):
+        scheme, m = maintainer
+        # TF 10 in a 12-term doc quantizes far above the others.
+        m.insert_document("d4", ["net"] * 10 + ["pad"] * 2)
+        ranking = scheme.search_ranked(
+            m.secure_index, scheme.trapdoor(m._key, "net")
+        )
+        assert ranking[0].file_id == "d4"
+
+    def test_new_keyword_creates_new_list(self, maintainer):
+        scheme, m = maintainer
+        m.insert_document("d4", ["brandnew"] * 3)
+        ranking = scheme.search_ranked(
+            m.secure_index, scheme.trapdoor(m._key, "brandnew")
+        )
+        assert [r.file_id for r in ranking] == ["d4"]
+
+    def test_duplicate_insert_rejected(self, maintainer):
+        _, m = maintainer
+        with pytest.raises(Exception):
+            m.insert_document("d1", ["x"])
+
+
+class TestRemove:
+    def test_removed_document_disappears_from_search(self, maintainer):
+        scheme, m = maintainer
+        m.remove_document("d1")
+        ranking = scheme.search_ranked(
+            m.secure_index, scheme.trapdoor(m._key, "net")
+        )
+        assert {r.file_id for r in ranking} == {"d2"}
+
+    def test_remove_report(self, maintainer):
+        _, m = maintainer
+        report = m.remove_document("d1")
+        assert report.entries_removed == 2  # net + pad
+        assert report.entries_written == 0
+        assert report.entries_remapped == 0
+
+    def test_other_entries_untouched_by_removal(self, maintainer):
+        scheme, m = maintainer
+        trapdoor = scheme.trapdoor(m._key, "other")
+        before = m.secure_index.lookup(trapdoor.address)
+        m.remove_document("d1")
+        assert m.secure_index.lookup(trapdoor.address) == before
+
+    def test_remove_unknown_raises(self, maintainer):
+        _, m = maintainer
+        with pytest.raises(ParameterError):
+            m.remove_document("ghost")
+
+    def test_insert_after_remove(self, maintainer):
+        scheme, m = maintainer
+        m.remove_document("d2")
+        m.insert_document("d2", ["net"] * 4 + ["pad"] * 4)
+        ranking = scheme.search_ranked(
+            m.secure_index, scheme.trapdoor(m._key, "net")
+        )
+        assert "d2" in {r.file_id for r in ranking}

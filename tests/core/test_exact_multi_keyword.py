@@ -1,0 +1,79 @@
+"""Unit tests for the exact (basic-scheme) multi-keyword client."""
+
+import pytest
+
+from repro.core.basic_scheme import BasicRankedSSE
+from repro.core.multi_keyword import (
+    ExactMultiKeywordClient,
+    rank_correlation,
+    true_conjunctive_ranking,
+)
+from repro.core.params import TEST_PARAMETERS
+from repro.core.rsse import EfficientRSSE
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+
+
+def corpus_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["net"] * 4 + ["sec"] * 2 + ["pad"] * 4)
+    index.add_document("d2", ["net"] * 1 + ["sec"] * 5 + ["pad"] * 4)
+    index.add_document("d3", ["net"] * 3 + ["pad"] * 7)
+    index.add_document("d4", ["sec"] * 3 + ["pad"] * 2)
+    index.add_document("d5", ["net"] * 2 + ["sec"] * 2 + ["pad"] * 2)
+    return index
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scheme = BasicRankedSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = corpus_index()
+    secure = scheme.build_index(key, index)
+    client = ExactMultiKeywordClient(scheme, index.num_files)
+    return scheme, key, index, secure, client
+
+
+class TestExactRanking:
+    def test_matches_true_equation1_exactly(self, deployment):
+        _, key, index, secure, client = deployment
+        ranking = client.search_ranked(key, secure, ["net", "sec"])
+        truth = true_conjunctive_ranking(index, ["net", "sec"])
+        assert [r.file_id for r in ranking] == [r.file_id for r in truth]
+        assert rank_correlation(ranking, truth) == pytest.approx(1.0)
+
+    def test_scores_match_equation1_values(self, deployment):
+        _, key, index, secure, client = deployment
+        ranking = client.search_ranked(key, secure, ["net", "sec"])
+        truth = {
+            r.file_id: r.score
+            for r in true_conjunctive_ranking(index, ["net", "sec"])
+        }
+        for entry in ranking:
+            assert entry.score == pytest.approx(truth[entry.file_id])
+
+    def test_single_term(self, deployment):
+        _, key, index, secure, client = deployment
+        ranking = client.search_ranked(key, secure, ["net"])
+        assert {r.file_id for r in ranking} == {"d1", "d2", "d3", "d5"}
+
+    def test_disjoint_terms_empty(self, deployment):
+        _, key, _, secure, client = deployment
+        assert client.search_ranked(key, secure, ["net", "absent"]) == []
+
+    def test_validates_terms(self, deployment):
+        _, key, _, secure, client = deployment
+        with pytest.raises(ParameterError):
+            client.search_ranked(key, secure, [])
+        with pytest.raises(ParameterError):
+            client.search_ranked(key, secure, ["net", "net"])
+
+
+class TestConstruction:
+    def test_rejects_efficient_scheme(self):
+        with pytest.raises(ParameterError):
+            ExactMultiKeywordClient(EfficientRSSE(TEST_PARAMETERS), 10)
+
+    def test_rejects_bad_collection_size(self):
+        with pytest.raises(ParameterError):
+            ExactMultiKeywordClient(BasicRankedSSE(TEST_PARAMETERS), 0)

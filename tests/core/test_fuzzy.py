@@ -1,0 +1,132 @@
+"""Unit tests for ranked fuzzy keyword search."""
+
+import pytest
+
+from repro.core.fuzzy import (
+    FuzzyRankedSSE,
+    edit_distance_at_most_one,
+    fuzzy_set,
+)
+from repro.core.params import TEST_PARAMETERS
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+
+
+class TestFuzzySet:
+    def test_example_from_construction(self):
+        assert fuzzy_set("cat") == {
+            "cat", "*at", "c*t", "ca*", "*cat", "c*at", "ca*t", "cat*",
+        }
+
+    def test_size_linear_in_length(self):
+        # len substitutions + (len+1) insertions + the word itself.
+        word = "network"
+        assert len(fuzzy_set(word)) == 2 * len(word) + 2
+
+    def test_single_character_word(self):
+        assert fuzzy_set("a") == {"a", "*", "*a", "a*"}
+
+    def test_rejects_empty_and_wildcard(self):
+        with pytest.raises(ParameterError):
+            fuzzy_set("")
+        with pytest.raises(ParameterError):
+            fuzzy_set("c*t")
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("cat", "cat"),      # equal
+            ("cat", "cbt"),      # substitution
+            ("cat", "ct"),       # deletion
+            ("cat", "caat"),     # insertion
+            ("cat", "cats"),     # append
+            ("cat", "at"),       # head deletion
+        ],
+    )
+    def test_distance_one_words_share_a_pattern(self, a, b):
+        assert edit_distance_at_most_one(a, b)
+        assert fuzzy_set(a) & fuzzy_set(b)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [("cat", "dog"), ("cat", "cut!x"), ("network", "ntwrk")],
+    )
+    def test_distant_words_share_nothing(self, a, b):
+        assert not edit_distance_at_most_one(a, b)
+        assert not (fuzzy_set(a) & fuzzy_set(b))
+
+
+def corpus_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["network"] * 5 + ["pad"] * 5)
+    index.add_document("d2", ["network"] * 1 + ["pad"] * 9)
+    index.add_document("d3", ["network"] * 3 + ["pad"] * 2)
+    index.add_document("d4", ["natwork"] * 2 + ["pad"] * 3)  # a "typo doc"
+    return index
+
+
+@pytest.fixture(scope="module")
+def built():
+    scheme = FuzzyRankedSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = corpus_index()
+    result = scheme.build_index(key, index)
+    return scheme, key, index, result
+
+
+class TestFuzzySearch:
+    def test_exact_query_matches_and_ranks(self, built):
+        scheme, key, _, result = built
+        ranking = scheme.search_ranked(
+            result.secure_index, scheme.trapdoors(key, "network")
+        )
+        ids = [entry.file_id for entry in ranking]
+        # d4's "natwork" is distance 1 from "network": also matched.
+        assert set(ids) == {"d1", "d2", "d3", "d4"}
+        # Among exact matches, relevance order d3 > d1 > d2 holds.
+        exact_order = [i for i in ids if i in {"d1", "d2", "d3"}]
+        assert exact_order == ["d3", "d1", "d2"]
+
+    def test_typo_query_still_finds_documents(self, built):
+        scheme, key, _, result = built
+        for typo in ("netwrk", "networkk", "netw0rk", "entwork"[1:]):
+            ranking = scheme.search_ranked(
+                result.secure_index, scheme.trapdoors(key, typo)
+            )
+            assert {"d1", "d2", "d3"} <= {
+                entry.file_id for entry in ranking
+            }, typo
+
+    def test_distance_two_query_misses(self, built):
+        scheme, key, _, result = built
+        ranking = scheme.search_ranked(
+            result.secure_index, scheme.trapdoors(key, "ntwrk")
+        )
+        assert ranking == []
+
+    def test_results_deduplicated(self, built):
+        scheme, key, _, result = built
+        ranking = scheme.search_ranked(
+            result.secure_index, scheme.trapdoors(key, "network")
+        )
+        ids = [entry.file_id for entry in ranking]
+        assert len(ids) == len(set(ids))
+
+    def test_topk_is_prefix(self, built):
+        scheme, key, _, result = built
+        trapdoors = scheme.trapdoors(key, "network")
+        full = scheme.search_ranked(result.secure_index, trapdoors)
+        top2 = scheme.search_top_k(result.secure_index, trapdoors, 2)
+        assert [entry.file_id for entry in top2] == [
+            entry.file_id for entry in full[:2]
+        ]
+
+    def test_empty_trapdoors_rejected(self, built):
+        scheme, _, _, result = built
+        with pytest.raises(ParameterError):
+            scheme.search_ranked(result.secure_index, [])
+
+    def test_storage_blowup_factor(self, built):
+        """Typo tolerance costs O(len(w)) lists per keyword."""
+        _, _, index, result = built
+        assert result.secure_index.num_lists > index.vocabulary_size * 5

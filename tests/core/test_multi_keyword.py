@@ -1,0 +1,152 @@
+"""Unit tests for the multi-keyword extension (future work, implemented)."""
+
+import pytest
+
+from repro.core.multi_keyword import (
+    MultiKeywordQuery,
+    MultiKeywordSearcher,
+    rank_correlation,
+    top_k_overlap,
+    true_conjunctive_ranking,
+)
+from repro.core.params import TEST_PARAMETERS
+from repro.core.results import RankedFile
+from repro.core.rsse import EfficientRSSE
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+
+
+def corpus_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["net"] * 4 + ["sec"] * 2 + ["pad"] * 4)
+    index.add_document("d2", ["net"] * 1 + ["sec"] * 5 + ["pad"] * 4)
+    index.add_document("d3", ["net"] * 3 + ["pad"] * 7)
+    index.add_document("d4", ["sec"] * 3 + ["pad"] * 2)
+    index.add_document("d5", ["net"] * 2 + ["sec"] * 2 + ["pad"] * 2)
+    return index
+
+
+@pytest.fixture(scope="module")
+def searchable():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = corpus_index()
+    built = scheme.build_index(key, index)
+    searcher = MultiKeywordSearcher(scheme)
+    return scheme, key, index, built, searcher
+
+
+class TestQueryConstruction:
+    def test_one_trapdoor_per_term(self, searchable):
+        _, key, _, _, searcher = searchable
+        query = searcher.make_query(key, ["net", "sec"])
+        assert len(query.trapdoors) == 2
+
+    def test_rejects_empty_terms(self, searchable):
+        _, key, _, _, searcher = searchable
+        with pytest.raises(ParameterError):
+            searcher.make_query(key, [])
+
+    def test_rejects_duplicates(self, searchable):
+        _, key, _, _, searcher = searchable
+        with pytest.raises(ParameterError):
+            searcher.make_query(key, ["net", "net"])
+
+    def test_query_validates_trapdoors(self):
+        with pytest.raises(ParameterError):
+            MultiKeywordQuery(trapdoors=())
+
+
+class TestConjunctiveSemantics:
+    def test_intersection_only(self, searchable):
+        _, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net", "sec"])
+        ranking = searcher.search_ranked(built.secure_index, query)
+        assert {r.file_id for r in ranking} == {"d1", "d2", "d5"}
+
+    def test_single_term_equals_single_keyword_search(self, searchable):
+        scheme, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net"])
+        multi = searcher.search_ranked(built.secure_index, query)
+        single = scheme.search_ranked(
+            built.secure_index, scheme.trapdoor(key, "net")
+        )
+        assert [r.file_id for r in multi] == [r.file_id for r in single]
+
+    def test_disjoint_terms_empty(self, searchable):
+        _, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net", "absent"])
+        assert searcher.search_ranked(built.secure_index, query) == []
+
+    def test_topk_prefix(self, searchable):
+        _, key, _, built, searcher = searchable
+        query = searcher.make_query(key, ["net", "sec"])
+        full = searcher.search_ranked(built.secure_index, query)
+        top2 = searcher.search_top_k(built.secure_index, query, 2)
+        assert [r.file_id for r in top2] == [r.file_id for r in full[:2]]
+
+
+class TestTrueRanking:
+    def test_ground_truth_covers_intersection(self, searchable):
+        _, _, index, _, _ = searchable
+        truth = true_conjunctive_ranking(index, ["net", "sec"])
+        assert {r.file_id for r in truth} == {"d1", "d2", "d5"}
+
+    def test_empty_intersection(self, searchable):
+        _, _, index, _, _ = searchable
+        assert true_conjunctive_ranking(index, ["net", "absent"]) == []
+
+    def test_rejects_empty_terms(self, searchable):
+        _, _, index, _, _ = searchable
+        with pytest.raises(ParameterError):
+            true_conjunctive_ranking(index, [])
+
+    def test_approximation_correlates_with_truth(self, searchable):
+        _, key, index, built, searcher = searchable
+        query = searcher.make_query(key, ["net", "sec"])
+        approx = searcher.search_ranked(built.secure_index, query)
+        truth = true_conjunctive_ranking(index, ["net", "sec"])
+        assert rank_correlation(approx, truth) > 0.0
+
+
+class TestRankMetrics:
+    def _ranking(self, ids):
+        return [
+            RankedFile(rank=i, file_id=f, score=float(-i))
+            for i, f in enumerate(ids, start=1)
+        ]
+
+    def test_identical_rankings(self):
+        a = self._ranking(["x", "y", "z"])
+        assert rank_correlation(a, a) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        a = self._ranking(["x", "y", "z"])
+        b = self._ranking(["z", "y", "x"])
+        assert rank_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_single_element(self):
+        a = self._ranking(["x"])
+        assert rank_correlation(a, a) == 1.0
+
+    def test_rejects_different_sets(self):
+        with pytest.raises(ParameterError):
+            rank_correlation(self._ranking(["x"]), self._ranking(["y"]))
+
+    def test_topk_overlap_full(self):
+        a = self._ranking(["x", "y", "z"])
+        b = self._ranking(["y", "x", "z"])
+        assert top_k_overlap(a, b, 2) == pytest.approx(1.0)
+
+    def test_topk_overlap_partial(self):
+        a = self._ranking(["x", "y", "z"])
+        b = self._ranking(["x", "z", "y"])
+        assert top_k_overlap(a, b, 2) == pytest.approx(0.5)
+
+    def test_topk_overlap_validates_k(self):
+        a = self._ranking(["x"])
+        with pytest.raises(ParameterError):
+            top_k_overlap(a, a, 0)
+
+    def test_topk_overlap_empty(self):
+        assert top_k_overlap([], [], 3) == 1.0

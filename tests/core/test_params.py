@@ -1,0 +1,66 @@
+"""Unit tests for scheme parameters."""
+
+import pytest
+
+from repro.core.params import PAPER_PARAMETERS, TEST_PARAMETERS, SchemeParameters
+from repro.errors import ParameterError
+
+
+class TestDefaults:
+    def test_paper_parameters_match_worked_example(self):
+        assert PAPER_PARAMETERS.score_levels == 128
+        assert PAPER_PARAMETERS.range_bits == 46
+        assert PAPER_PARAMETERS.range_size == 1 << 46
+
+    def test_test_parameters_are_small(self):
+        assert TEST_PARAMETERS.score_levels < PAPER_PARAMETERS.score_levels
+        assert TEST_PARAMETERS.range_bits < PAPER_PARAMETERS.range_bits
+
+    def test_score_ciphertext_width(self):
+        assert PAPER_PARAMETERS.score_ciphertext_bytes == 6  # ceil(46/8)
+        assert SchemeParameters(range_bits=48).score_ciphertext_bytes == 6
+        assert SchemeParameters(range_bits=49).score_ciphertext_bytes == 7
+
+
+class TestValidation:
+    def test_rejects_small_keys(self):
+        with pytest.raises(ParameterError):
+            SchemeParameters(key_bytes=4)
+
+    def test_rejects_zero_pad(self):
+        with pytest.raises(ParameterError):
+            SchemeParameters(zero_pad_bytes=0)
+
+    def test_rejects_unaligned_address_bits(self):
+        with pytest.raises(ParameterError):
+            SchemeParameters(address_bits=100)
+
+    def test_rejects_range_below_domain(self):
+        with pytest.raises(ParameterError):
+            SchemeParameters(score_levels=128, range_bits=6)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ParameterError):
+            SchemeParameters(score_levels=1)
+
+    def test_rejects_headroom_below_one(self):
+        with pytest.raises(ParameterError):
+            SchemeParameters(quantizer_headroom=0.9)
+
+    def test_rejects_zero_file_id_width(self):
+        with pytest.raises(ParameterError):
+            SchemeParameters(file_id_bytes=0)
+
+
+class TestVocabularyCheck:
+    def test_accepts_normal_vocabulary(self):
+        PAPER_PARAMETERS.check_vocabulary(100_000)
+
+    def test_rejects_oversized_vocabulary(self):
+        params = SchemeParameters(address_bits=16)
+        with pytest.raises(ParameterError):
+            params.check_vocabulary(1 << 20)
+
+    def test_rejects_empty_vocabulary(self):
+        with pytest.raises(ParameterError):
+            PAPER_PARAMETERS.check_vocabulary(0)

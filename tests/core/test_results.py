@@ -1,0 +1,40 @@
+"""Unit tests for result types."""
+
+import pytest
+
+from repro.core.results import RankedFile, ServerMatch, as_ranking
+from repro.errors import ParameterError
+
+
+class TestServerMatch:
+    def test_opm_value_big_endian(self):
+        match = ServerMatch(file_id="d1", score_field=b"\x00\x00\x01\x00")
+        assert match.opm_value() == 256
+
+    def test_opm_value_full_width(self):
+        match = ServerMatch(file_id="d1", score_field=(1 << 45).to_bytes(6, "big"))
+        assert match.opm_value() == 1 << 45
+
+
+class TestRankedFile:
+    def test_fields(self):
+        entry = RankedFile(rank=1, file_id="d1", score=0.5)
+        assert entry.rank == 1 and entry.score == 0.5
+
+    def test_rejects_non_positive_rank(self):
+        with pytest.raises(ParameterError):
+            RankedFile(rank=0, file_id="d1", score=1)
+
+
+class TestAsRanking:
+    def test_assigns_sequential_ranks(self):
+        ranking = as_ranking([("a", 9.0), ("b", 5.0), ("c", 1.0)])
+        assert [r.rank for r in ranking] == [1, 2, 3]
+        assert [r.file_id for r in ranking] == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert as_ranking([]) == []
+
+    def test_accepts_integer_scores(self):
+        ranking = as_ranking([("a", 1 << 46)])
+        assert ranking[0].score == 1 << 46

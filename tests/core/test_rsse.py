@@ -1,0 +1,167 @@
+"""Unit tests for the efficient RSSE scheme (Section IV)."""
+
+import pytest
+
+from repro.core.params import SchemeParameters, TEST_PARAMETERS
+from repro.core.rsse import EfficientRSSE
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer, single_keyword_score
+
+
+def tiny_index() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["net"] * 5 + ["pad"] * 5)
+    index.add_document("d2", ["net"] * 1 + ["pad"] * 9)
+    index.add_document("d3", ["net"] * 3 + ["pad"] * 2)
+    index.add_document("d4", ["other"] * 4)
+    return index
+
+
+@pytest.fixture(scope="module")
+def built():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = tiny_index()
+    result = scheme.build_index(key, index)
+    return scheme, key, index, result
+
+
+class TestBuildIndex:
+    def test_no_padding_by_default(self, built):
+        _, _, _, result = built
+        assert result.secure_index.padded_length is None
+
+    def test_one_list_per_keyword(self, built):
+        _, _, index, result = built
+        assert result.secure_index.num_lists == index.vocabulary_size
+
+    def test_quantizer_fitted_and_returned(self, built):
+        _, _, _, result = built
+        assert result.quantizer.levels == TEST_PARAMETERS.score_levels
+
+    def test_reusing_quantizer(self, built):
+        scheme, key, index, result = built
+        rebuilt = scheme.build_index(key, index, quantizer=result.quantizer)
+        assert rebuilt.quantizer is result.quantizer
+
+    def test_rejects_mismatched_quantizer(self, built):
+        scheme, key, index, _ = built
+        wrong = ScoreQuantizer(levels=TEST_PARAMETERS.score_levels + 1,
+                               scale=1.0)
+        with pytest.raises(ParameterError):
+            scheme.build_index(key, index, quantizer=wrong)
+
+    def test_rejects_empty_collection(self):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        with pytest.raises(ParameterError):
+            scheme.build_index(scheme.keygen(), InvertedIndex())
+
+    def test_padding_can_be_enabled(self):
+        params = SchemeParameters(
+            score_levels=16, range_bits=24, pad_posting_lists=True
+        )
+        scheme = EfficientRSSE(params)
+        key = scheme.keygen()
+        result = scheme.build_index(key, tiny_index())
+        assert result.secure_index.padded_length == 3
+
+
+class TestServerRanking:
+    def test_search_returns_posting_set(self, built):
+        scheme, key, _, result = built
+        matches = scheme.search(
+            result.secure_index, scheme.trapdoor(key, "net")
+        )
+        assert {m.file_id for m in matches} == {"d1", "d2", "d3"}
+
+    def test_ranked_order_matches_true_scores(self, built):
+        scheme, key, index, result = built
+        ranking = scheme.search_ranked(
+            result.secure_index, scheme.trapdoor(key, "net")
+        )
+        assert [r.file_id for r in ranking] == ["d3", "d1", "d2"]
+
+    def test_topk_prefix_of_full_ranking(self, built):
+        scheme, key, _, result = built
+        trapdoor = scheme.trapdoor(key, "net")
+        full = scheme.search_ranked(result.secure_index, trapdoor)
+        top2 = scheme.search_top_k(result.secure_index, trapdoor, 2)
+        assert [r.file_id for r in top2] == [r.file_id for r in full[:2]]
+
+    def test_topk_rejects_bad_k(self, built):
+        scheme, key, _, result = built
+        with pytest.raises(ParameterError):
+            scheme.search_top_k(
+                result.secure_index, scheme.trapdoor(key, "net"), 0
+            )
+
+    def test_unknown_keyword(self, built):
+        scheme, key, _, result = built
+        trapdoor = scheme.trapdoor(key, "absent")
+        assert scheme.search_ranked(result.secure_index, trapdoor) == []
+
+    def test_ranking_key_is_opm_value_not_score(self, built):
+        scheme, key, _, result = built
+        ranking = scheme.search_ranked(
+            result.secure_index, scheme.trapdoor(key, "net")
+        )
+        # The server-side "score" is a huge OPM integer, not eq-2 float.
+        assert all(isinstance(r.score, int) for r in ranking)
+        assert all(r.score > 1000 for r in ranking)
+
+
+class TestOpmValues:
+    def test_values_within_configured_range(self, built):
+        scheme, key, _, result = built
+        matches = scheme.search(
+            result.secure_index, scheme.trapdoor(key, "net")
+        )
+        for match in matches:
+            assert 1 <= match.opm_value() <= TEST_PARAMETERS.range_size
+
+    def test_order_consistent_with_quantized_levels(self, built):
+        scheme, key, index, result = built
+        matches = scheme.search(
+            result.secure_index, scheme.trapdoor(key, "net")
+        )
+        for a in matches:
+            for b in matches:
+                level_a = result.quantizer.quantize(single_keyword_score(
+                    index.term_frequency("net", a.file_id),
+                    index.file_length(a.file_id),
+                ))
+                level_b = result.quantizer.quantize(single_keyword_score(
+                    index.term_frequency("net", b.file_id),
+                    index.file_length(b.file_id),
+                ))
+                if level_a < level_b:
+                    assert a.opm_value() < b.opm_value()
+
+    def test_per_list_keys_differ(self, built):
+        scheme, key, _, _ = built
+        opm_net = scheme.opm_for_term(key, "net")
+        opm_other = scheme.opm_for_term(key, "other")
+        # Same level maps into different buckets under different lists
+        # with overwhelming probability.
+        differs = any(
+            opm_net.bucket(level) != opm_other.bucket(level)
+            for level in range(1, TEST_PARAMETERS.score_levels + 1)
+        )
+        assert differs
+
+    def test_opm_requires_owner_key(self, built):
+        scheme, key, _, _ = built
+        from repro.errors import CryptoError
+
+        with pytest.raises(CryptoError):
+            scheme.opm_for_term(key.trapdoor_only(), "net")
+
+
+class TestUserBundleSufficiency:
+    def test_trapdoor_only_bundle_can_search(self, built):
+        scheme, key, _, result = built
+        user_key = key.trapdoor_only()
+        trapdoor = scheme.trapdoor(user_key, "net")
+        ranking = scheme.search_ranked(result.secure_index, trapdoor)
+        assert len(ranking) == 3

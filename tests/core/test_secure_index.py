@@ -1,0 +1,213 @@
+"""Unit tests for the secure index structure (Fig. 3)."""
+
+import pytest
+
+from repro.core.secure_index import (
+    AddressTree,
+    EntryLayout,
+    SecureIndex,
+    encrypt_entry,
+    try_decrypt_entry,
+)
+from repro.crypto.symmetric import SymmetricCipher, random_bytes_like_ciphertext
+from repro.errors import IndexError_, ParameterError
+
+LAYOUT = EntryLayout(zero_pad_bytes=4, file_id_bytes=16, score_bytes=6)
+LIST_KEY = b"list-key-0123456"
+
+
+class TestEntryLayout:
+    def test_widths(self):
+        assert LAYOUT.plaintext_bytes == 26
+        assert LAYOUT.ciphertext_bytes == 26 + SymmetricCipher.overhead_bytes
+
+    def test_file_id_roundtrip(self):
+        encoded = LAYOUT.encode_file_id("rfc0042")
+        assert len(encoded) == 16
+        assert LAYOUT.decode_file_id(encoded) == "rfc0042"
+
+    def test_file_id_max_width(self):
+        longest = "x" * 15
+        assert LAYOUT.decode_file_id(LAYOUT.encode_file_id(longest)) == longest
+
+    def test_file_id_too_long(self):
+        with pytest.raises(ParameterError):
+            LAYOUT.encode_file_id("x" * 16)
+
+    def test_entry_roundtrip(self):
+        plaintext = LAYOUT.encode_entry("doc1", b"\x01\x02\x03\x04\x05\x06")
+        assert len(plaintext) == LAYOUT.plaintext_bytes
+        file_id, score = LAYOUT.decode_entry(plaintext)
+        assert file_id == "doc1"
+        assert score == b"\x01\x02\x03\x04\x05\x06"
+
+    def test_zero_marker_enforced(self):
+        plaintext = bytearray(LAYOUT.encode_entry("doc1", b"\x00" * 6))
+        plaintext[0] = 1
+        with pytest.raises(IndexError_):
+            LAYOUT.decode_entry(bytes(plaintext))
+
+    def test_wrong_widths_rejected(self):
+        with pytest.raises(ParameterError):
+            LAYOUT.encode_entry("doc1", b"\x00" * 5)
+        with pytest.raises(IndexError_):
+            LAYOUT.decode_entry(b"\x00" * 10)
+
+    def test_corrupt_length_byte(self):
+        encoded = bytearray(LAYOUT.encode_file_id("doc1"))
+        encoded[0] = 200
+        with pytest.raises(IndexError_):
+            LAYOUT.decode_file_id(bytes(encoded))
+
+    def test_validates_geometry(self):
+        with pytest.raises(ParameterError):
+            EntryLayout(zero_pad_bytes=0, file_id_bytes=16, score_bytes=6)
+        with pytest.raises(ParameterError):
+            EntryLayout(zero_pad_bytes=4, file_id_bytes=0, score_bytes=6)
+        with pytest.raises(ParameterError):
+            EntryLayout(zero_pad_bytes=4, file_id_bytes=16, score_bytes=0)
+
+
+class TestEntryEncryption:
+    def test_roundtrip(self):
+        entry = encrypt_entry(LAYOUT, LIST_KEY, "doc9", b"\xaa" * 6)
+        decoded = try_decrypt_entry(LAYOUT, LIST_KEY, entry)
+        assert decoded == ("doc9", b"\xaa" * 6)
+
+    def test_wrong_key_returns_none(self):
+        entry = encrypt_entry(LAYOUT, LIST_KEY, "doc9", b"\xaa" * 6)
+        assert try_decrypt_entry(LAYOUT, b"other-key-000000", entry) is None
+
+    def test_dummy_returns_none(self):
+        dummy = random_bytes_like_ciphertext(LAYOUT.ciphertext_bytes)
+        assert try_decrypt_entry(LAYOUT, LIST_KEY, dummy) is None
+
+    def test_entry_width_fixed(self):
+        short = encrypt_entry(LAYOUT, LIST_KEY, "a1", b"\x00" * 6)
+        long = encrypt_entry(LAYOUT, LIST_KEY, "a-much-longer", b"\xff" * 6)
+        assert len(short) == len(long) == LAYOUT.ciphertext_bytes
+
+
+class TestAddressTree:
+    def test_insert_and_lookup(self):
+        tree = AddressTree()
+        tree.insert(b"bb", [b"x"])
+        tree.insert(b"aa", [b"y"])
+        assert tree.lookup(b"aa") == [b"y"]
+        assert tree.lookup(b"bb") == [b"x"]
+        assert tree.lookup(b"cc") is None
+
+    def test_duplicate_insert_rejected(self):
+        tree = AddressTree()
+        tree.insert(b"aa", [])
+        with pytest.raises(IndexError_):
+            tree.insert(b"aa", [])
+
+    def test_items_in_address_order(self):
+        tree = AddressTree()
+        for address in [b"c", b"a", b"b"]:
+            tree.insert(address, [])
+        assert [address for address, _ in tree.items()] == [b"a", b"b", b"c"]
+
+    def test_replace(self):
+        tree = AddressTree()
+        tree.insert(b"aa", [b"old"])
+        tree.replace(b"aa", [b"new"])
+        assert tree.lookup(b"aa") == [b"new"]
+
+    def test_replace_missing_rejected(self):
+        with pytest.raises(IndexError_):
+            AddressTree().replace(b"aa", [])
+
+    def test_len_and_contains(self):
+        tree = AddressTree()
+        tree.insert(b"aa", [])
+        assert len(tree) == 1
+        assert b"aa" in tree and b"bb" not in tree
+
+
+class TestSecureIndex:
+    def _entry(self, file_id: str = "doc1") -> bytes:
+        return encrypt_entry(LAYOUT, LIST_KEY, file_id, b"\x00" * 6)
+
+    def test_add_and_lookup(self):
+        index = SecureIndex(LAYOUT)
+        index.add_list(b"addr", [self._entry()])
+        assert index.lookup(b"addr") is not None
+        assert index.lookup(b"missing") is None
+        assert index.num_lists == 1
+
+    def test_padding_to_nu(self):
+        index = SecureIndex(LAYOUT, padded_length=5)
+        index.add_list(b"addr", [self._entry(), self._entry("doc2")])
+        entries = index.lookup(b"addr")
+        assert len(entries) == 5
+        real = [
+            entry
+            for entry in entries
+            if try_decrypt_entry(LAYOUT, LIST_KEY, entry) is not None
+        ]
+        assert len(real) == 2
+
+    def test_padded_lists_all_equal_length(self):
+        index = SecureIndex(LAYOUT, padded_length=4)
+        index.add_list(b"a", [self._entry()])
+        index.add_list(b"b", [self._entry(), self._entry("d2"), self._entry("d3")])
+        assert len(index.lookup(b"a")) == len(index.lookup(b"b")) == 4
+
+    def test_overlong_list_rejected_when_padding(self):
+        index = SecureIndex(LAYOUT, padded_length=1)
+        with pytest.raises(ParameterError):
+            index.add_list(b"a", [self._entry(), self._entry("d2")])
+
+    def test_wrong_entry_width_rejected(self):
+        index = SecureIndex(LAYOUT)
+        with pytest.raises(ParameterError):
+            index.add_list(b"a", [b"short"])
+
+    def test_replace_list(self):
+        index = SecureIndex(LAYOUT)
+        index.add_list(b"a", [self._entry()])
+        replacement = [self._entry("other")]
+        index.replace_list(b"a", replacement)
+        assert index.lookup(b"a") == replacement
+
+    def test_size_accounting(self):
+        index = SecureIndex(LAYOUT)
+        index.add_list(b"a", [self._entry(), self._entry("d2")])
+        index.add_list(b"b", [self._entry("d3")])
+        assert index.size_bytes() == 3 * LAYOUT.ciphertext_bytes
+        assert index.average_list_size_bytes() == pytest.approx(
+            1.5 * LAYOUT.ciphertext_bytes
+        )
+
+    def test_average_size_of_empty_index_raises(self):
+        with pytest.raises(IndexError_):
+            SecureIndex(LAYOUT).average_list_size_bytes()
+
+    def test_rejects_bad_padded_length(self):
+        with pytest.raises(ParameterError):
+            SecureIndex(LAYOUT, padded_length=0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        index = SecureIndex(LAYOUT, padded_length=3)
+        index.add_list(b"\x01\x02", [
+            encrypt_entry(LAYOUT, LIST_KEY, "doc1", b"\x07" * 6)
+        ])
+        restored = SecureIndex.deserialize(index.serialize())
+        assert restored.layout == index.layout
+        assert restored.padded_length == 3
+        original = index.lookup(b"\x01\x02")
+        assert restored.lookup(b"\x01\x02") == original
+        decoded = try_decrypt_entry(LAYOUT, LIST_KEY, original[0])
+        assert decoded == ("doc1", b"\x07" * 6)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(IndexError_):
+            SecureIndex.deserialize(b"not json at all")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(IndexError_):
+            SecureIndex.deserialize(b"{}")

@@ -1,0 +1,69 @@
+"""Unit tests for trapdoor generation."""
+
+import pytest
+
+from repro.core.trapdoor import Trapdoor, generate_trapdoor
+from repro.crypto.keys import keygen
+from repro.errors import ParameterError
+
+
+class TestGenerateTrapdoor:
+    def test_shape(self):
+        trapdoor = generate_trapdoor(keygen(), "network")
+        assert len(trapdoor.address) == 20  # 160 bits
+        assert len(trapdoor.list_key) == 16
+
+    def test_deterministic_search_pattern(self):
+        # Same keyword -> same trapdoor: this IS the search pattern
+        # leakage the paper accepts.
+        key = keygen()
+        assert generate_trapdoor(key, "network") == generate_trapdoor(
+            key, "network"
+        )
+
+    def test_distinct_keywords(self):
+        key = keygen()
+        a = generate_trapdoor(key, "network")
+        b = generate_trapdoor(key, "protocol")
+        assert a.address != b.address
+        assert a.list_key != b.list_key
+
+    def test_distinct_keys(self):
+        a = generate_trapdoor(keygen(), "network")
+        b = generate_trapdoor(keygen(), "network")
+        assert a.address != b.address
+
+    def test_z_not_involved(self):
+        # Users without z must produce identical trapdoors to the owner.
+        key = keygen()
+        assert generate_trapdoor(key, "w") == generate_trapdoor(
+            key.trapdoor_only(), "w"
+        )
+
+    def test_custom_address_width(self):
+        trapdoor = generate_trapdoor(keygen(), "w", address_bits=256)
+        assert len(trapdoor.address) == 32
+
+    def test_rejects_empty_keyword(self):
+        with pytest.raises(ParameterError):
+            generate_trapdoor(keygen(), "")
+
+
+class TestTrapdoorSerialization:
+    def test_roundtrip(self):
+        trapdoor = generate_trapdoor(keygen(), "network")
+        assert Trapdoor.deserialize(trapdoor.serialize()) == trapdoor
+
+    def test_roundtrip_with_wide_address(self):
+        trapdoor = generate_trapdoor(keygen(), "w", address_bits=512)
+        assert Trapdoor.deserialize(trapdoor.serialize()) == trapdoor
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ParameterError):
+            Trapdoor.deserialize(b"\x00")
+
+    def test_validates_fields(self):
+        with pytest.raises(ParameterError):
+            Trapdoor(address=b"", list_key=b"k" * 16)
+        with pytest.raises(ParameterError):
+            Trapdoor(address=b"a" * 20, list_key=b"")

@@ -1,0 +1,125 @@
+"""Unit tests for the synthetic RFC-style corpus generator."""
+
+import pytest
+
+from repro.corpus.generator import (
+    CORE_VOCABULARY,
+    RfcCorpusGenerator,
+    generate_corpus,
+    synthetic_vocabulary,
+)
+from repro.errors import ParameterError
+from repro.ir import Analyzer, InvertedIndex, stem
+
+
+class TestSyntheticVocabulary:
+    def test_size_and_distinctness(self):
+        vocabulary = synthetic_vocabulary(500, seed=1)
+        assert len(vocabulary) == 500
+        assert len(set(vocabulary)) == 500
+
+    def test_core_words_occupy_top_ranks(self):
+        vocabulary = synthetic_vocabulary(200, seed=1)
+        assert vocabulary[0] == "network"
+        assert set(CORE_VOCABULARY[:100]) <= set(vocabulary[:100])
+
+    def test_deterministic(self):
+        assert synthetic_vocabulary(300, seed=9) == synthetic_vocabulary(
+            300, seed=9
+        )
+
+    def test_seed_changes_synthetic_tail(self):
+        a = synthetic_vocabulary(300, seed=1)
+        b = synthetic_vocabulary(300, seed=2)
+        assert a != b
+
+    def test_small_sizes(self):
+        assert synthetic_vocabulary(1) == ["network"]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            synthetic_vocabulary(0)
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = RfcCorpusGenerator(seed=42).generate(5)
+        b = RfcCorpusGenerator(seed=42).generate(5)
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_seed_sensitivity(self):
+        a = RfcCorpusGenerator(seed=1).generate(3)
+        b = RfcCorpusGenerator(seed=2).generate(3)
+        assert [d.text for d in a] != [d.text for d in b]
+
+    def test_document_ids_sequential(self):
+        documents = RfcCorpusGenerator(seed=0).generate(3, start_number=7)
+        assert [d.doc_id for d in documents] == ["rfc0007", "rfc0008", "rfc0009"]
+
+    def test_rfc_boilerplate_present(self):
+        document = RfcCorpusGenerator(seed=0).generate_document(123)
+        assert document.text.startswith("RFC 0123")
+        assert "Status of This Memo" in document.text
+        assert "1. Introduction" in document.text
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            RfcCorpusGenerator(vocabulary_size=5)
+        with pytest.raises(ParameterError):
+            RfcCorpusGenerator(mean_length=0)
+        with pytest.raises(ParameterError):
+            RfcCorpusGenerator(sigma=-1)
+        with pytest.raises(ParameterError):
+            RfcCorpusGenerator().generate(0)
+
+    def test_vocabulary_copy_is_isolated(self):
+        generator = RfcCorpusGenerator(seed=0)
+        vocabulary = generator.vocabulary
+        vocabulary.clear()
+        assert generator.vocabulary
+
+
+class TestCorpusStatistics:
+    """The generator must reproduce the statistics the paper relies on."""
+
+    @pytest.fixture(scope="class")
+    def indexed(self):
+        documents = generate_corpus(120, seed=13, vocabulary_size=600)
+        analyzer = Analyzer()
+        index = InvertedIndex()
+        for document in documents:
+            index.add_document(document.doc_id, analyzer.analyze(document.text))
+        return index
+
+    def test_network_has_rich_posting_list(self, indexed):
+        # "network" is the top Zipf rank: nearly every file contains it,
+        # matching the paper's 1000-entry example list.
+        assert indexed.document_frequency(stem("network")) > 100
+
+    def test_document_lengths_vary(self, indexed):
+        lengths = [indexed.file_length(f) for f in indexed.file_ids()]
+        assert max(lengths) > 2 * min(lengths)
+
+    def test_posting_lengths_are_skewed(self, indexed):
+        lengths = sorted(
+            (indexed.document_frequency(term) for term in indexed.vocabulary),
+            reverse=True,
+        )
+        # Zipf: the head terms appear in vastly more files than the tail.
+        assert lengths[0] > 4 * lengths[len(lengths) // 2]
+        assert lengths[0] > 20 * lengths[-1]
+
+    def test_term_frequencies_exceed_one(self, indexed):
+        term = stem("network")
+        frequencies = [
+            posting.term_frequency
+            for posting in indexed.posting_list(term)
+        ]
+        assert max(frequencies) > 3  # repeats exist -> TF variation exists
+
+
+class TestGenerateCorpus:
+    def test_paper_scale_defaults(self):
+        documents = generate_corpus(10)
+        assert len(documents) == 10
+        assert all(document.size_bytes > 500 for document in documents)

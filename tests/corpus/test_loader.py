@@ -1,0 +1,65 @@
+"""Unit tests for the document model and directory loader."""
+
+import pytest
+
+from repro.corpus.loader import Document, iter_texts, load_directory
+from repro.errors import CorpusError
+
+
+class TestDocument:
+    def test_fields(self):
+        document = Document(doc_id="d1", title="T", text="body")
+        assert document.doc_id == "d1"
+        assert document.size_bytes == 4
+
+    def test_utf8_size(self):
+        document = Document(doc_id="d1", title="", text="naïve")
+        assert document.size_bytes == len("naïve".encode("utf-8"))
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(CorpusError):
+            Document(doc_id="", title="T", text="x")
+
+
+class TestLoadDirectory:
+    def test_loads_sorted_with_titles(self, tmp_path):
+        (tmp_path / "b.txt").write_text("\n\nSecond Title\nbody b")
+        (tmp_path / "a.txt").write_text("First Title\nbody a")
+        documents = load_directory(tmp_path)
+        assert [d.doc_id for d in documents] == ["a", "b"]
+        assert documents[0].title == "First Title"
+        assert documents[1].title == "Second Title"
+
+    def test_limit(self, tmp_path):
+        for name in ["a", "b", "c"]:
+            (tmp_path / f"{name}.txt").write_text("text")
+        assert len(load_directory(tmp_path, limit=2)) == 2
+
+    def test_pattern_filter(self, tmp_path):
+        (tmp_path / "keep.txt").write_text("x")
+        (tmp_path / "skip.log").write_text("y")
+        documents = load_directory(tmp_path, pattern="*.txt")
+        assert [d.doc_id for d in documents] == ["keep"]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(CorpusError):
+            load_directory(tmp_path / "nope")
+
+    def test_empty_match_raises(self, tmp_path):
+        (tmp_path / "only.log").write_text("x")
+        with pytest.raises(CorpusError):
+            load_directory(tmp_path, pattern="*.txt")
+
+    def test_undecodable_bytes_replaced(self, tmp_path):
+        (tmp_path / "bin.txt").write_bytes(b"ok \xff\xfe bytes")
+        documents = load_directory(tmp_path)
+        assert "ok" in documents[0].text
+
+
+class TestIterTexts:
+    def test_yields_bodies(self):
+        documents = [
+            Document(doc_id="a", title="", text="one"),
+            Document(doc_id="b", title="", text="two"),
+        ]
+        assert list(iter_texts(documents)) == ["one", "two"]

@@ -1,0 +1,75 @@
+"""Unit tests for the Zipf sampler."""
+
+import random
+
+import pytest
+
+from repro.corpus.zipf import ZipfSampler, zipf_sample_words
+from repro.errors import ParameterError
+
+
+class TestZipfSampler:
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(50, rng=random.Random(0))
+        assert all(0 <= sampler.sample() < 50 for _ in range(500))
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(100, rng=random.Random(7)).sample_many(100)
+        b = ZipfSampler(100, rng=random.Random(7)).sample_many(100)
+        assert a == b
+
+    def test_low_ranks_dominate(self):
+        sampler = ZipfSampler(1000, exponent=1.0, rng=random.Random(1))
+        draws = sampler.sample_many(5000)
+        top_ten = sum(1 for rank in draws if rank < 10)
+        bottom_half = sum(1 for rank in draws if rank >= 500)
+        assert top_ten > bottom_half
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(10, exponent=0.0, rng=random.Random(2))
+        draws = sampler.sample_many(10_000)
+        counts = [draws.count(rank) for rank in range(10)]
+        assert min(counts) > 700
+
+    def test_probability_normalized(self):
+        sampler = ZipfSampler(20, exponent=1.2)
+        total = sum(sampler.probability(rank) for rank in range(20))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_decreasing(self):
+        sampler = ZipfSampler(20, exponent=1.0)
+        probabilities = [sampler.probability(rank) for rank in range(20)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_probability_validates_rank(self):
+        sampler = ZipfSampler(5)
+        with pytest.raises(ParameterError):
+            sampler.probability(5)
+        with pytest.raises(ParameterError):
+            sampler.probability(-1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            ZipfSampler(0)
+        with pytest.raises(ParameterError):
+            ZipfSampler(10, exponent=-1.0)
+
+    def test_sample_many_validates(self):
+        with pytest.raises(ParameterError):
+            ZipfSampler(5).sample_many(-1)
+
+    def test_size_property(self):
+        assert ZipfSampler(33).size == 33
+
+
+class TestZipfSampleWords:
+    def test_samples_from_word_list(self):
+        words = ["alpha", "beta", "gamma"]
+        sampled = zipf_sample_words(words, 100, rng=random.Random(0))
+        assert len(sampled) == 100
+        assert set(sampled) <= set(words)
+
+    def test_first_word_most_common(self):
+        words = [f"w{i}" for i in range(50)]
+        sampled = zipf_sample_words(words, 5000, rng=random.Random(3))
+        assert sampled.count("w0") > sampled.count("w40")

@@ -1,0 +1,177 @@
+"""Unit and property tests for the hypergeometric quantile sampler."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hgd import (
+    hgd_quantile,
+    hgd_quantile_exact,
+    hgd_sample,
+    log_pmf,
+    mean,
+    support,
+)
+from repro.crypto.tape import CoinStream
+from repro.errors import ParameterError
+
+
+class TestSupport:
+    def test_basic_case(self):
+        assert support(100, 10, 50) == (0, 10)
+
+    def test_forced_lower_bound(self):
+        # Drawing 95 of 100 with 10 marked: at least 5 marked drawn.
+        assert support(100, 10, 95) == (5, 10)
+
+    def test_draws_limit_upper_bound(self):
+        assert support(100, 50, 3) == (0, 3)
+
+    def test_degenerate_all_drawn(self):
+        assert support(10, 4, 10) == (4, 4)
+
+    def test_degenerate_none_drawn(self):
+        assert support(10, 4, 0) == (0, 0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            support(0, 0, 0)
+        with pytest.raises(ParameterError):
+            support(10, 11, 5)
+        with pytest.raises(ParameterError):
+            support(10, 5, 11)
+        with pytest.raises(ParameterError):
+            support(10, -1, 5)
+
+
+class TestLogPmf:
+    def test_sums_to_one(self):
+        lo, hi = support(60, 12, 30)
+        total = sum(math.exp(log_pmf(x, 60, 12, 30)) for x in range(lo, hi + 1))
+        assert total == pytest.approx(1.0, rel=1e-9)
+
+    def test_outside_support_is_minus_infinity(self):
+        assert log_pmf(-1, 60, 12, 30) == float("-inf")
+        assert log_pmf(13, 60, 12, 30) == float("-inf")
+
+    def test_matches_exact_combinatorics(self):
+        for x in range(0, 6):
+            exact = (
+                math.comb(5, x) * math.comb(15, 10 - x) / math.comb(20, 10)
+            )
+            assert math.exp(log_pmf(x, 20, 5, 10)) == pytest.approx(exact)
+
+
+class TestMean:
+    def test_formula(self):
+        assert mean(100, 10, 50) == pytest.approx(5.0)
+
+    def test_validates(self):
+        with pytest.raises(ParameterError):
+            mean(10, 20, 5)
+
+
+class TestQuantile:
+    def test_u_zero_returns_support_low(self):
+        assert hgd_quantile(0.0, 100, 10, 50) == 0
+        assert hgd_quantile(0.0, 100, 10, 95) == 5
+
+    def test_u_near_one_returns_support_high(self):
+        assert hgd_quantile(1.0 - 1e-12, 100, 10, 50) == 10
+
+    def test_monotone_in_u(self):
+        values = [
+            hgd_quantile(u / 100, 200, 30, 100) for u in range(0, 100, 5)
+        ]
+        assert values == sorted(values)
+
+    def test_degenerate_support(self):
+        assert hgd_quantile(0.5, 10, 4, 10) == 4
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ParameterError):
+            hgd_quantile(1.0, 10, 4, 5)
+        with pytest.raises(ParameterError):
+            hgd_quantile(-0.1, 10, 4, 5)
+
+    def test_median_near_mean(self):
+        median = hgd_quantile(0.5, 10_000, 128, 5_000)
+        assert abs(median - 64) <= 2
+
+    def test_large_population(self):
+        # The OPSE regime: population 2**46, small domain.
+        value = hgd_quantile(0.5, 1 << 46, 128, 1 << 45)
+        assert 0 <= value <= 128
+        assert abs(value - 64) <= 2
+
+    def test_huge_population_stays_in_support(self):
+        lo, hi = support(1 << 60, 64, 1 << 59)
+        for u in (0.0, 0.01, 0.5, 0.99):
+            assert lo <= hgd_quantile(u, 1 << 60, 64, 1 << 59) <= hi
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        population=st.integers(min_value=2, max_value=3000),
+        data=st.data(),
+    )
+    def test_agrees_with_exact_rational_reference(self, population, data):
+        successes = data.draw(
+            st.integers(min_value=0, max_value=min(population, 120))
+        )
+        draws = data.draw(st.integers(min_value=0, max_value=population))
+        u = data.draw(
+            st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+        )
+        fast = hgd_quantile(u, population, successes, draws)
+        exact = hgd_quantile_exact(Fraction(u), population, successes, draws)
+        # Float CDF inversion may disagree with the exact reference only
+        # at a quantile lying on a CDF step boundary; never by more
+        # than one step.
+        assert abs(fast - exact) <= 1
+        lo, hi = support(population, successes, draws)
+        assert lo <= fast <= hi
+
+    def test_agreement_is_exact_away_from_boundaries(self):
+        for u in (0.07, 0.23, 0.41, 0.58, 0.76, 0.92):
+            fast = hgd_quantile(u, 500, 40, 250)
+            exact = hgd_quantile_exact(Fraction(u), 500, 40, 250)
+            assert fast == exact
+
+
+class TestAgainstScipy:
+    def test_matches_scipy_ppf(self):
+        hypergeom = pytest.importorskip("scipy.stats").hypergeom
+
+        for (population, successes, draws) in [
+            (100, 10, 50),
+            (1000, 128, 500),
+            (77, 20, 33),
+        ]:
+            for u in (0.05, 0.25, 0.5, 0.75, 0.95):
+                ours = hgd_quantile(u, population, successes, draws)
+                # scipy parameterizes as (M=population, n=successes, N=draws)
+                theirs = int(hypergeom.ppf(u, population, successes, draws))
+                assert ours == theirs
+
+
+class TestSample:
+    def test_deterministic_given_coins(self):
+        a = hgd_sample(CoinStream(b"k" * 16, ("s",)), 1000, 50, 400)
+        b = hgd_sample(CoinStream(b"k" * 16, ("s",)), 1000, 50, 400)
+        assert a == b
+
+    def test_varies_with_context(self):
+        samples = {
+            hgd_sample(CoinStream(b"k" * 16, (i,)), 10_000, 100, 5_000)
+            for i in range(30)
+        }
+        assert len(samples) > 3
+
+    def test_sample_mean_tracks_distribution_mean(self):
+        total = sum(
+            hgd_sample(CoinStream(b"k" * 16, ("m", i)), 2000, 40, 1000)
+            for i in range(300)
+        )
+        assert total / 300 == pytest.approx(20.0, abs=1.5)

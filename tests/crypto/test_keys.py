@@ -1,0 +1,99 @@
+"""Unit tests for KeyGen and the SchemeKey bundle."""
+
+import pytest
+
+from repro.crypto.keys import SchemeKey, keygen
+from repro.errors import CryptoError, ParameterError
+
+
+class TestKeygen:
+    def test_default_shape(self):
+        key = keygen()
+        assert len(key.x) == 16
+        assert len(key.y) == 16
+        assert key.z is not None and len(key.z) == 16
+        assert key.domain_size == 128
+        assert key.range_size == 1 << 46
+
+    def test_custom_lengths(self):
+        key = keygen(security_bytes=32)
+        assert len(key.x) == len(key.y) == len(key.z) == 32
+
+    def test_custom_opm_parameters(self):
+        key = keygen(domain_size=64, range_size=1 << 24)
+        assert key.domain_size == 64
+        assert key.range_size == 1 << 24
+
+    def test_keys_are_independent_draws(self):
+        key = keygen()
+        assert key.x != key.y != key.z
+        assert keygen().x != key.x
+
+
+class TestSchemeKeyValidation:
+    def test_rejects_empty_x(self):
+        with pytest.raises(ParameterError):
+            SchemeKey(x=b"", y=b"y" * 16, z=b"z" * 16)
+
+    def test_rejects_empty_z_when_present(self):
+        with pytest.raises(ParameterError):
+            SchemeKey(x=b"x" * 16, y=b"y" * 16, z=b"")
+
+    def test_allows_missing_z(self):
+        key = SchemeKey(x=b"x" * 16, y=b"y" * 16, z=None)
+        assert key.z is None
+
+    def test_rejects_range_below_domain(self):
+        with pytest.raises(ParameterError):
+            SchemeKey(
+                x=b"x" * 16, y=b"y" * 16, z=b"z" * 16,
+                domain_size=128, range_size=64,
+            )
+
+    def test_rejects_non_positive_domain(self):
+        with pytest.raises(ParameterError):
+            SchemeKey(
+                x=b"x" * 16, y=b"y" * 16, z=b"z" * 16,
+                domain_size=0, range_size=64,
+            )
+
+
+class TestTrapdoorOnly:
+    def test_strips_z(self):
+        key = keygen()
+        user_key = key.trapdoor_only()
+        assert user_key.z is None
+        assert user_key.x == key.x and user_key.y == key.y
+
+    def test_require_z_raises_on_user_bundle(self):
+        user_key = keygen().trapdoor_only()
+        with pytest.raises(CryptoError):
+            user_key.require_z()
+
+    def test_require_z_returns_owner_z(self):
+        key = keygen()
+        assert key.require_z() == key.z
+
+
+class TestSerialization:
+    def test_roundtrip_full_bundle(self):
+        key = keygen()
+        assert SchemeKey.deserialize(key.serialize()) == key
+
+    def test_roundtrip_user_bundle(self):
+        key = keygen().trapdoor_only()
+        assert SchemeKey.deserialize(key.serialize()) == key
+
+    def test_rejects_garbage(self):
+        with pytest.raises(CryptoError):
+            SchemeKey.deserialize(b"\xff\x00 not json")
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(CryptoError):
+            SchemeKey.deserialize(b'{"magic": "something-else"}')
+
+    def test_rejects_wrong_version(self):
+        key = keygen()
+        tampered = key.serialize().replace(b'"version": 1', b'"version": 99')
+        with pytest.raises(CryptoError):
+            SchemeKey.deserialize(tampered)

@@ -1,0 +1,140 @@
+"""Unit and property tests for the one-to-many mapping (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.opm import OneToManyOpm
+from repro.crypto.opse import OrderPreservingEncryption
+from repro.errors import DomainError, ParameterError, RangeError
+
+KEY = b"opm-test-key-123"
+
+
+class TestConstruction:
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            OneToManyOpm(b"", 16, 256)
+
+    def test_rejects_range_below_domain(self):
+        with pytest.raises(ParameterError):
+            OneToManyOpm(KEY, 128, 64)
+
+    def test_rejects_non_positive_domain(self):
+        with pytest.raises(ParameterError):
+            OneToManyOpm(KEY, 0, 64)
+
+
+class TestOneToMany:
+    def test_same_score_different_files_different_ciphertexts(self):
+        opm = OneToManyOpm(KEY, 128, 1 << 46)
+        values = {opm.map_score(64, f"file-{i}") for i in range(50)}
+        assert len(values) == 50
+
+    def test_same_score_same_file_deterministic(self):
+        opm = OneToManyOpm(KEY, 128, 1 << 40)
+        assert opm.map_score(10, "f") == opm.map_score(10, "f")
+
+    def test_accepts_bytes_and_str_file_ids(self):
+        opm = OneToManyOpm(KEY, 16, 1 << 20)
+        assert opm.map_score(5, "abc") == opm.map_score(5, b"abc")
+
+    def test_values_stay_in_assigned_bucket(self):
+        opm = OneToManyOpm(KEY, 32, 1 << 24)
+        for score in (1, 7, 16, 32):
+            bucket = opm.bucket(score)
+            for i in range(20):
+                assert opm.map_score(score, f"d{i}") in bucket
+
+
+class TestOrderPreservation:
+    def test_strict_order_across_scores_any_file_pair(self):
+        opm = OneToManyOpm(KEY, 64, 1 << 30)
+        for low, high in [(1, 2), (10, 11), (30, 60), (63, 64)]:
+            for i in range(10):
+                assert opm.map_score(low, f"a{i}") < opm.map_score(
+                    high, f"b{i}"
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        score_a=st.integers(min_value=1, max_value=64),
+        score_b=st.integers(min_value=1, max_value=64),
+        file_a=st.text(min_size=1, max_size=10),
+        file_b=st.text(min_size=1, max_size=10),
+    )
+    def test_order_preserved_property(self, score_a, score_b, file_a, file_b):
+        opm = OneToManyOpm(KEY, 64, 1 << 28)
+        value_a = opm.map_score(score_a, file_a)
+        value_b = opm.map_score(score_b, file_b)
+        if score_a < score_b:
+            assert value_a < value_b
+        elif score_a > score_b:
+            assert value_a > value_b
+
+
+class TestInversion:
+    def test_invert_recovers_score_for_any_file(self):
+        opm = OneToManyOpm(KEY, 32, 1 << 24)
+        for score in range(1, 33):
+            for i in range(3):
+                assert opm.invert(opm.map_score(score, f"f{i}")) == score
+
+    def test_invert_rejects_out_of_range(self):
+        opm = OneToManyOpm(KEY, 8, 256)
+        with pytest.raises(RangeError):
+            opm.invert(0)
+        with pytest.raises(RangeError):
+            opm.invert(257)
+
+    def test_map_rejects_out_of_domain(self):
+        opm = OneToManyOpm(KEY, 8, 256)
+        with pytest.raises(DomainError):
+            opm.map_score(0, "f")
+        with pytest.raises(DomainError):
+            opm.map_score(9, "f")
+
+
+class TestBucketsMatchOpse:
+    def test_buckets_equal_opse_buckets_under_same_key(self):
+        """The OPM inherits OPSE's plaintext-to-bucket mapping unchanged."""
+        opm = OneToManyOpm(KEY, 16, 1 << 20)
+        opse = OrderPreservingEncryption(KEY, 16, 1 << 20)
+        for score in range(1, 17):
+            assert opm.bucket(score) == opse.bucket(score)
+
+    def test_bucket_independent_of_file_id(self):
+        opm = OneToManyOpm(KEY, 16, 1 << 20)
+        bucket = opm.bucket(8)
+        for i in range(20):
+            assert opm.map_score(8, f"any-{i}") in bucket
+
+
+class TestBucketCache:
+    def test_cached_and_uncached_agree(self):
+        cached = OneToManyOpm(KEY, 32, 1 << 24, cache_buckets=True)
+        uncached = OneToManyOpm(KEY, 32, 1 << 24, cache_buckets=False)
+        for score in (1, 5, 17, 32):
+            assert cached.map_score(score, "f") == uncached.map_score(
+                score, "f"
+            )
+
+    def test_cache_hit_returns_same_bucket(self):
+        opm = OneToManyOpm(KEY, 16, 1 << 16)
+        first = opm.bucket(3)
+        second = opm.bucket(3)
+        assert first == second
+
+
+class TestKeySeparation:
+    def test_different_keys_different_layouts(self):
+        a = OneToManyOpm(b"a" * 16, 64, 1 << 30)
+        b = OneToManyOpm(b"b" * 16, 64, 1 << 30)
+        buckets_differ = any(
+            a.bucket(score) != b.bucket(score) for score in range(1, 65)
+        )
+        assert buckets_differ
+
+    def test_rounds_probe(self):
+        opm = OneToManyOpm(KEY, 128, 1 << 40)
+        rounds = opm.rounds(64)
+        assert 7 <= rounds <= 5 * 7 + 12 + 10

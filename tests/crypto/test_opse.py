@@ -1,0 +1,170 @@
+"""Unit and property tests for deterministic OPSE."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.opse import (
+    Interval,
+    OrderPreservingEncryption,
+    bucket_for_plaintext,
+    plaintext_for_ciphertext,
+)
+from repro.errors import DomainError, ParameterError, RangeError
+
+KEY = b"opse-test-key-01"
+
+
+class TestInterval:
+    def test_size(self):
+        assert Interval(3, 7).size == 5
+
+    def test_single_point(self):
+        assert Interval(4, 4).size == 1
+
+    def test_contains(self):
+        interval = Interval(2, 5)
+        assert 2 in interval and 5 in interval and 3 in interval
+        assert 1 not in interval and 6 not in interval
+        assert "3" not in interval
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            Interval(5, 4)
+
+
+class TestConstruction:
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            OrderPreservingEncryption(b"", 4, 16)
+
+    def test_rejects_domain_larger_than_range(self):
+        with pytest.raises(ParameterError):
+            OrderPreservingEncryption(KEY, 100, 50)
+
+    def test_rejects_non_positive_domain(self):
+        with pytest.raises(ParameterError):
+            OrderPreservingEncryption(KEY, 0, 50)
+
+    def test_exposes_domain_and_range(self):
+        opse = OrderPreservingEncryption(KEY, 16, 256)
+        assert opse.domain.size == 16
+        assert opse.range.size == 256
+
+
+class TestOrderPreservation:
+    def test_full_domain_strictly_increasing(self):
+        opse = OrderPreservingEncryption(KEY, 64, 1 << 16)
+        ciphertexts = [opse.encrypt(m) for m in range(1, 65)]
+        assert all(a < b for a, b in zip(ciphertexts, ciphertexts[1:]))
+
+    def test_ciphertexts_within_range(self):
+        opse = OrderPreservingEncryption(KEY, 32, 1 << 12)
+        for m in range(1, 33):
+            assert opse.encrypt(m) in opse.range
+
+    def test_deterministic(self):
+        opse = OrderPreservingEncryption(KEY, 16, 1 << 10)
+        assert opse.encrypt(7) == opse.encrypt(7)
+
+    def test_key_sensitivity(self):
+        a = OrderPreservingEncryption(b"a" * 16, 16, 1 << 16)
+        b = OrderPreservingEncryption(b"b" * 16, 16, 1 << 16)
+        assert [a.encrypt(m) for m in range(1, 17)] != [
+            b.encrypt(m) for m in range(1, 17)
+        ]
+
+    def test_domain_equals_range_is_identity_permutation_sizes(self):
+        # M == N forces every bucket to a single point covering the
+        # whole range bijectively.
+        opse = OrderPreservingEncryption(KEY, 8, 8)
+        ciphertexts = sorted(opse.encrypt(m) for m in range(1, 9))
+        assert ciphertexts == list(range(1, 9))
+
+    def test_single_point_domain(self):
+        opse = OrderPreservingEncryption(KEY, 1, 100)
+        assert 1 <= opse.encrypt(1) <= 100
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        domain_size=st.integers(min_value=2, max_value=64),
+        range_bits=st.integers(min_value=8, max_value=30),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_order_preserved_for_random_parameters(
+        self, domain_size, range_bits, seed
+    ):
+        key = seed.to_bytes(8, "big") + b"k" * 8
+        opse = OrderPreservingEncryption(key, domain_size, 1 << range_bits)
+        previous = 0
+        for m in range(1, domain_size + 1):
+            ciphertext = opse.encrypt(m)
+            assert ciphertext > previous
+            previous = ciphertext
+
+
+class TestDecrypt:
+    def test_roundtrip_full_domain(self):
+        opse = OrderPreservingEncryption(KEY, 48, 1 << 14)
+        for m in range(1, 49):
+            assert opse.decrypt(opse.encrypt(m)) == m
+
+    def test_verify_rejects_non_canonical_bucket_points(self):
+        opse = OrderPreservingEncryption(KEY, 4, 1 << 12)
+        bucket = opse.bucket(2)
+        canonical = opse.encrypt(2)
+        non_canonical = (
+            bucket.low if canonical != bucket.low else bucket.low + 1
+        )
+        if bucket.size > 1:
+            with pytest.raises(RangeError):
+                opse.decrypt(non_canonical, verify=True)
+            assert opse.decrypt(non_canonical, verify=False) == 2
+
+    def test_rejects_out_of_range_ciphertext(self):
+        opse = OrderPreservingEncryption(KEY, 4, 256)
+        with pytest.raises(RangeError):
+            opse.decrypt(0)
+        with pytest.raises(RangeError):
+            opse.decrypt(257)
+
+    def test_rejects_out_of_domain_plaintext(self):
+        opse = OrderPreservingEncryption(KEY, 4, 256)
+        with pytest.raises(DomainError):
+            opse.encrypt(0)
+        with pytest.raises(DomainError):
+            opse.encrypt(5)
+
+
+class TestBuckets:
+    def test_buckets_disjoint_and_ordered(self):
+        opse = OrderPreservingEncryption(KEY, 16, 1 << 12)
+        buckets = [opse.bucket(m) for m in range(1, 17)]
+        for earlier, later in zip(buckets, buckets[1:]):
+            assert earlier.high < later.low
+
+    def test_buckets_cover_subsets_of_range(self):
+        opse = OrderPreservingEncryption(KEY, 16, 1 << 12)
+        total = sum(opse.bucket(m).size for m in range(1, 17))
+        assert total <= opse.range.size
+
+    def test_every_bucket_nonempty(self):
+        opse = OrderPreservingEncryption(KEY, 32, 64)
+        assert all(opse.bucket(m).size >= 1 for m in range(1, 33))
+
+    def test_bucket_recursion_rounds_logarithmic(self):
+        result = bucket_for_plaintext(
+            KEY, Interval(1, 128), Interval(1, 1 << 30), 64
+        )
+        # log2(128) = 7 splits of the domain minimum; the range halving
+        # can add more, bounded well below the paper's 5 log M + 12.
+        assert 7 <= result.rounds <= 5 * 7 + 12 + 10
+
+    def test_ciphertext_descent_matches_plaintext_descent(self):
+        domain = Interval(1, 32)
+        range_ = Interval(1, 1 << 16)
+        for m in range(1, 33):
+            forward = bucket_for_plaintext(KEY, domain, range_, m)
+            for probe in (forward.bucket.low, forward.bucket.high):
+                backward = plaintext_for_ciphertext(KEY, domain, range_, probe)
+                assert backward.plaintext == m
+                assert backward.bucket == forward.bucket

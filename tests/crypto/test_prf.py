@@ -1,0 +1,146 @@
+"""Unit tests for the PRF ``f`` and keyed hash ``pi``."""
+
+import pytest
+
+from repro.crypto.prf import DEFAULT_KEY_BYTES, KeyedHash, Prf, generate_key
+from repro.errors import ParameterError
+
+
+class TestGenerateKey:
+    def test_default_length(self):
+        assert len(generate_key()) == DEFAULT_KEY_BYTES
+
+    def test_custom_length(self):
+        assert len(generate_key(32)) == 32
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ParameterError):
+            generate_key(0)
+        with pytest.raises(ParameterError):
+            generate_key(-4)
+
+    def test_keys_are_distinct(self):
+        assert generate_key() != generate_key()
+
+
+class TestPrf:
+    def test_deterministic_for_same_inputs(self):
+        prf = Prf(b"k" * 16)
+        assert prf.evaluate(b"hello") == prf.evaluate(b"hello")
+
+    def test_differs_across_messages(self):
+        prf = Prf(b"k" * 16)
+        assert prf.evaluate(b"a") != prf.evaluate(b"b")
+
+    def test_differs_across_keys(self):
+        assert Prf(b"a" * 16).evaluate(b"m") != Prf(b"b" * 16).evaluate(b"m")
+
+    def test_accepts_str_messages(self):
+        prf = Prf(b"k" * 16)
+        assert prf.evaluate("word") == prf.evaluate(b"word")
+
+    def test_default_output_length(self):
+        assert len(Prf(b"k" * 16).evaluate(b"m")) == 32
+
+    def test_configured_output_length(self):
+        assert len(Prf(b"k" * 16, output_bytes=20).evaluate(b"m")) == 20
+
+    def test_long_output_expansion(self):
+        prf = Prf(b"k" * 16)
+        long = prf.evaluate_to_length(b"m", 100)
+        assert len(long) == 100
+
+    def test_long_output_prefix_not_equal_to_short(self):
+        # Counter-mode expansion intentionally differs from the single
+        # HMAC; what matters is determinism, tested separately.
+        prf = Prf(b"k" * 16)
+        assert prf.evaluate_to_length(b"m", 100) == prf.evaluate_to_length(
+            b"m", 100
+        )
+
+    def test_callable_form(self):
+        prf = Prf(b"k" * 16)
+        assert prf(b"x") == prf.evaluate(b"x")
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            Prf(b"")
+
+    def test_rejects_non_positive_output(self):
+        with pytest.raises(ParameterError):
+            Prf(b"k" * 16, output_bytes=0)
+        prf = Prf(b"k" * 16)
+        with pytest.raises(ParameterError):
+            prf.evaluate_to_length(b"m", 0)
+
+    def test_derive_key_length(self):
+        assert len(Prf(b"k" * 16).derive_key("label")) == DEFAULT_KEY_BYTES
+
+    def test_derive_key_deterministic(self):
+        prf = Prf(b"k" * 16)
+        assert prf.derive_key("w1") == prf.derive_key("w1")
+
+    def test_derive_key_distinct_labels(self):
+        prf = Prf(b"k" * 16)
+        assert prf.derive_key("w1") != prf.derive_key("w2")
+
+    def test_derive_key_length_framing(self):
+        # Length-prefixing means these concatenation-colliding labels
+        # must still derive different keys.
+        prf = Prf(b"k" * 16)
+        assert prf.derive_key(b"ab") != prf.derive_key(b"a")
+
+
+class TestKeyedHash:
+    def test_address_width(self):
+        assert len(KeyedHash(b"x" * 16).address("network")) == 20  # 160 bits
+
+    def test_custom_width(self):
+        assert len(KeyedHash(b"x" * 16, output_bits=256).address("w")) == 32
+
+    def test_wide_output_expansion(self):
+        assert len(KeyedHash(b"x" * 16, output_bits=512).address("w")) == 64
+
+    def test_deterministic(self):
+        kh = KeyedHash(b"x" * 16)
+        assert kh.address("network") == kh.address("network")
+
+    def test_distinct_keywords(self):
+        kh = KeyedHash(b"x" * 16)
+        assert kh.address("network") != kh.address("protocol")
+
+    def test_distinct_keys(self):
+        assert (
+            KeyedHash(b"a" * 16).address("w") != KeyedHash(b"b" * 16).address("w")
+        )
+
+    def test_callable_form(self):
+        kh = KeyedHash(b"x" * 16)
+        assert kh("w") == kh.address("w")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ParameterError):
+            KeyedHash(b"x" * 16, output_bits=12)
+        with pytest.raises(ParameterError):
+            KeyedHash(b"x" * 16, output_bits=0)
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            KeyedHash(b"")
+
+    def test_check_width_accepts_reasonable_vocabulary(self):
+        KeyedHash(b"x" * 16).check_width(10**6)
+
+    def test_check_width_rejects_tiny_address_space(self):
+        kh = KeyedHash(b"x" * 16, output_bits=8)
+        with pytest.raises(ParameterError):
+            kh.check_width(300)
+
+    def test_check_width_rejects_bad_vocabulary(self):
+        with pytest.raises(ParameterError):
+            KeyedHash(b"x" * 16).check_width(0)
+
+    def test_no_collisions_over_synthetic_vocabulary(self):
+        kh = KeyedHash(b"x" * 16)
+        addresses = {kh.address(f"word-{i}") for i in range(5000)}
+        assert len(addresses) == 5000

@@ -1,0 +1,77 @@
+"""Unit and property tests for the Feistel PRP."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prp import FeistelPrp
+from repro.errors import ParameterError
+
+KEY = b"prp-test-key-789"
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("domain_size", [2, 3, 7, 16, 100, 257, 1000])
+    def test_is_permutation(self, domain_size):
+        prp = FeistelPrp(KEY, domain_size)
+        images = [prp.permute(i) for i in range(domain_size)]
+        assert sorted(images) == list(range(domain_size))
+
+    @pytest.mark.parametrize("domain_size", [2, 9, 64, 333])
+    def test_invert_is_inverse(self, domain_size):
+        prp = FeistelPrp(KEY, domain_size)
+        for value in range(domain_size):
+            assert prp.invert(prp.permute(value)) == value
+            assert prp.permute(prp.invert(value)) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        domain_size=st.integers(min_value=2, max_value=5000),
+        value=st.integers(min_value=0, max_value=4999),
+    )
+    def test_roundtrip_property(self, domain_size, value):
+        value %= domain_size
+        prp = FeistelPrp(KEY, domain_size)
+        assert prp.invert(prp.permute(value)) == value
+
+
+class TestDeterminismAndKeys:
+    def test_deterministic(self):
+        a = FeistelPrp(KEY, 100)
+        b = FeistelPrp(KEY, 100)
+        assert a.permutation() == b.permutation()
+
+    def test_key_sensitivity(self):
+        a = FeistelPrp(b"a" * 16, 100)
+        b = FeistelPrp(b"b" * 16, 100)
+        assert a.permutation() != b.permutation()
+
+    def test_permutation_materialization(self):
+        prp = FeistelPrp(KEY, 10)
+        assert prp.permutation() == [prp.permute(i) for i in range(10)]
+
+    def test_not_identity_for_reasonable_domains(self):
+        prp = FeistelPrp(KEY, 1000)
+        moved = sum(1 for i in range(1000) if prp.permute(i) != i)
+        assert moved > 900
+
+
+class TestValidation:
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            FeistelPrp(b"", 10)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(ParameterError):
+            FeistelPrp(KEY, 1)
+
+    def test_rejects_out_of_domain_values(self):
+        prp = FeistelPrp(KEY, 10)
+        with pytest.raises(ParameterError):
+            prp.permute(10)
+        with pytest.raises(ParameterError):
+            prp.permute(-1)
+        with pytest.raises(ParameterError):
+            prp.invert(10)
+
+    def test_domain_size_property(self):
+        assert FeistelPrp(KEY, 42).domain_size == 42

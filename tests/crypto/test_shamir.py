@@ -1,0 +1,128 @@
+"""Unit and property tests for Shamir secret sharing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.shamir import (
+    PRIME,
+    SECRET_BYTES,
+    Share,
+    random_secret,
+    reconstruct,
+    reconstruct_int,
+    split,
+    split_int,
+)
+from repro.errors import CryptoError, ParameterError
+
+
+class TestSplitReconstruct:
+    def test_basic_roundtrip(self):
+        secret = random_secret()
+        shares = split(secret, threshold=3, shares=5)
+        assert reconstruct(shares[:3], 3) == secret
+
+    def test_any_subset_of_threshold_size_works(self):
+        secret = random_secret()
+        shares = split(secret, threshold=2, shares=4)
+        import itertools
+
+        for subset in itertools.combinations(shares, 2):
+            assert reconstruct(list(subset), 2) == secret
+
+    def test_one_of_one(self):
+        secret = random_secret()
+        (share,) = split(secret, threshold=1, shares=1)
+        assert reconstruct([share], 1) == secret
+
+    def test_n_of_n(self):
+        secret = random_secret()
+        shares = split(secret, threshold=6, shares=6)
+        assert reconstruct(shares, 6) == secret
+
+    def test_too_few_shares_rejected(self):
+        shares = split(random_secret(), threshold=3, shares=5)
+        with pytest.raises(CryptoError):
+            reconstruct(shares[:2], 3)
+
+    def test_duplicate_shares_do_not_count_twice(self):
+        shares = split(random_secret(), threshold=3, shares=5)
+        with pytest.raises(CryptoError):
+            reconstruct([shares[0], shares[0], shares[0]], 3)
+
+    def test_wrong_threshold_share_mix_gives_wrong_secret(self):
+        secret = random_secret()
+        shares_a = split(secret, threshold=2, shares=3)
+        shares_b = split(random_secret(), threshold=2, shares=3)
+        mixed = [shares_a[0], shares_b[1]]
+        try:
+            recovered = reconstruct(mixed, 2)
+            assert recovered != secret
+        except CryptoError:
+            pass  # out-of-space reconstruction also acceptable
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            split(b"short", 1, 1)
+        with pytest.raises(ParameterError):
+            split(random_secret(), 0, 1)
+        with pytest.raises(ParameterError):
+            split(random_secret(), 3, 2)
+        with pytest.raises(ParameterError):
+            reconstruct([], 0)
+
+
+class TestIntForm:
+    def test_field_element_roundtrip(self):
+        value = PRIME - 12345
+        shares = split_int(value, 4, 7)
+        assert reconstruct_int(shares[2:6], 4) == value
+
+    def test_zero_secret(self):
+        shares = split_int(0, 2, 3)
+        assert reconstruct_int(shares[:2], 2) == 0
+
+    def test_rejects_out_of_field(self):
+        with pytest.raises(ParameterError):
+            split_int(PRIME, 1, 1)
+        with pytest.raises(ParameterError):
+            split_int(-1, 1, 1)
+
+    def test_recursive_sharing(self):
+        """A share's value can itself be shared (the policy-tree use)."""
+        value = 123456789
+        outer = split_int(value, 2, 2)
+        inner = split_int(outer[0].y, 2, 3)
+        recovered_inner = reconstruct_int(inner[:2], 2)
+        assert recovered_inner == outer[0].y
+        assert (
+            reconstruct_int([Share(1, recovered_inner), outer[1]], 2) == value
+        )
+
+
+class TestShareValidation:
+    def test_rejects_bad_points(self):
+        with pytest.raises(ParameterError):
+            Share(x=0, y=1)
+        with pytest.raises(ParameterError):
+            Share(x=1, y=PRIME)
+        with pytest.raises(ParameterError):
+            Share(x=1, y=-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    value=st.integers(min_value=0, max_value=PRIME - 1),
+    threshold=st.integers(min_value=1, max_value=6),
+    extra=st.integers(min_value=0, max_value=4),
+)
+def test_roundtrip_property(value, threshold, extra):
+    shares = split_int(value, threshold, threshold + extra)
+    assert reconstruct_int(shares[extra:], threshold) == value
+
+
+@settings(max_examples=20, deadline=None)
+@given(secret=st.binary(min_size=SECRET_BYTES, max_size=SECRET_BYTES))
+def test_byte_roundtrip_property(secret):
+    shares = split(secret, 3, 5)
+    assert reconstruct(shares[1:4], 3) == secret

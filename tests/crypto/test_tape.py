@@ -1,0 +1,134 @@
+"""Unit tests for the TapeGen coin stream."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.tape import CoinStream, encode_context, tape_gen
+from repro.errors import ParameterError
+
+
+class TestEncodeContext:
+    def test_deterministic(self):
+        assert encode_context((1, "a", b"b")) == encode_context((1, "a", b"b"))
+
+    def test_type_tags_distinguish_str_and_bytes(self):
+        assert encode_context(("a",)) != encode_context((b"a",))
+
+    def test_int_vs_str_of_same_digits(self):
+        assert encode_context((12,)) != encode_context(("12",))
+
+    def test_length_framing_prevents_concatenation_collisions(self):
+        assert encode_context(("ab", "c")) != encode_context(("a", "bc"))
+
+    def test_negative_and_large_ints(self):
+        assert encode_context((-5,)) != encode_context((5,))
+        big = 1 << 200
+        assert encode_context((big,)) != encode_context((big + 1,))
+
+    def test_bool_distinct_from_int(self):
+        assert encode_context((True,)) != encode_context((1,))
+
+    def test_rejects_unsupported_type(self):
+        with pytest.raises(ParameterError):
+            encode_context((3.14,))
+
+
+class TestCoinStream:
+    def test_same_key_and_context_identical_output(self):
+        a = CoinStream(b"k" * 16, (1, 2, "x"))
+        b = CoinStream(b"k" * 16, (1, 2, "x"))
+        assert a.bytes(100) == b.bytes(100)
+
+    def test_different_context_different_output(self):
+        a = CoinStream(b"k" * 16, (1,))
+        b = CoinStream(b"k" * 16, (2,))
+        assert a.bytes(32) != b.bytes(32)
+
+    def test_different_key_different_output(self):
+        a = CoinStream(b"a" * 16, (1,))
+        b = CoinStream(b"b" * 16, (1,))
+        assert a.bytes(32) != b.bytes(32)
+
+    def test_stream_is_continuous(self):
+        whole = CoinStream(b"k" * 16, ("s",)).bytes(64)
+        piecewise_stream = CoinStream(b"k" * 16, ("s",))
+        piecewise = piecewise_stream.bytes(10) + piecewise_stream.bytes(54)
+        assert whole == piecewise
+
+    def test_zero_bytes(self):
+        assert CoinStream(b"k" * 16, ()).bytes(0) == b""
+
+    def test_rejects_negative_lengths(self):
+        stream = CoinStream(b"k" * 16, ())
+        with pytest.raises(ParameterError):
+            stream.bytes(-1)
+        with pytest.raises(ParameterError):
+            stream.bits(-1)
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            CoinStream(b"", (1,))
+
+    def test_bits_range(self):
+        stream = CoinStream(b"k" * 16, ("bits",))
+        for width in (1, 7, 13, 64, 200):
+            value = stream.bits(width)
+            assert 0 <= value < (1 << width)
+
+    def test_uniform_int_bounds(self):
+        stream = CoinStream(b"k" * 16, ("u",))
+        for bound in (1, 2, 3, 10, 1000, 1 << 46):
+            value = stream.uniform_int(bound)
+            assert 0 <= value < bound
+
+    def test_uniform_int_bound_one_consumes_no_coins(self):
+        a = CoinStream(b"k" * 16, ("c",))
+        b = CoinStream(b"k" * 16, ("c",))
+        a.uniform_int(1)
+        assert a.bytes(16) == b.bytes(16)
+
+    def test_uniform_int_rejects_non_positive(self):
+        stream = CoinStream(b"k" * 16, ())
+        with pytest.raises(ParameterError):
+            stream.uniform_int(0)
+
+    def test_uniform_float_in_unit_interval(self):
+        stream = CoinStream(b"k" * 16, ("f",))
+        for _ in range(100):
+            value = stream.uniform_float()
+            assert 0.0 <= value < 1.0
+
+    def test_choice_in_interval(self):
+        stream = CoinStream(b"k" * 16, ("ch",))
+        for _ in range(50):
+            assert 5 <= stream.choice(5, 9) <= 9
+
+    def test_choice_single_point(self):
+        assert CoinStream(b"k" * 16, ()).choice(7, 7) == 7
+
+    def test_choice_rejects_empty_interval(self):
+        with pytest.raises(ParameterError):
+            CoinStream(b"k" * 16, ()).choice(3, 2)
+
+    def test_tape_gen_factory(self):
+        a = tape_gen(b"k" * 16, (1, "a"))
+        b = CoinStream(b"k" * 16, (1, "a"))
+        assert a.bytes(32) == b.bytes(32)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_uniform_int_always_below_bound(self, bound):
+        stream = CoinStream(b"k" * 16, (bound,))
+        assert all(stream.uniform_int(bound) < bound for _ in range(20))
+
+    def test_uniform_int_covers_small_range(self):
+        stream = CoinStream(b"k" * 16, ("coverage",))
+        seen = {stream.uniform_int(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_uniform_int_roughly_unbiased_on_non_power_of_two(self):
+        stream = CoinStream(b"k" * 16, ("bias",))
+        counts = [0, 0, 0]
+        for _ in range(3000):
+            counts[stream.uniform_int(3)] += 1
+        for count in counts:
+            assert 800 < count < 1200

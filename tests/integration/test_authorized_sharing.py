@@ -1,0 +1,91 @@
+"""Integration: multi-user authorization, revocation, and re-keying."""
+
+import pytest
+
+from repro.cloud import (
+    AuthorizationManager,
+    Channel,
+    CloudServer,
+    DataOwner,
+    DataUser,
+)
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+from repro.crypto import generate_key
+from repro.errors import CryptoError
+
+
+def fresh_deployment(documents):
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    owner = DataOwner(scheme)
+    outsourcing = owner.setup(documents)
+    server = CloudServer(
+        outsourcing.secure_index, outsourcing.blob_store, can_rank=True
+    )
+    return scheme, owner, server
+
+
+@pytest.fixture(scope="module")
+def shared_world():
+    documents = generate_corpus(25, seed=71, vocabulary_size=200)
+    manager = AuthorizationManager(generate_key(), capacity=8)
+    scheme, owner, server = fresh_deployment(documents)
+    tickets = [manager.authorize_user() for _ in range(3)]
+    broadcast = manager.publish_credentials(owner.authorize_user())
+    return documents, manager, scheme, owner, server, tickets, broadcast
+
+
+class TestEpochZero:
+    def test_every_authorized_user_searches(self, shared_world):
+        _, _, scheme, owner, server, tickets, broadcast = shared_world
+        for ticket in tickets:
+            credentials, _ = AuthorizationManager.redeem(ticket, broadcast)
+            user = DataUser(
+                scheme, credentials, Channel(server.handle), owner.analyzer
+            )
+            assert user.search_ranked_topk("network", 2)
+
+    def test_identical_results_across_users(self, shared_world):
+        _, _, scheme, owner, server, tickets, broadcast = shared_world
+        results = []
+        for ticket in tickets:
+            credentials, _ = AuthorizationManager.redeem(ticket, broadcast)
+            user = DataUser(
+                scheme, credentials, Channel(server.handle), owner.analyzer
+            )
+            results.append(
+                [hit.file_id for hit in user.search_ranked_topk("network", 5)]
+            )
+        assert results[0] == results[1] == results[2]
+
+
+class TestRevocationLifecycle:
+    def test_full_rekeying_locks_out_revoked_user(self, shared_world):
+        documents, manager, _, _, _, tickets, old_broadcast = shared_world
+        revoked_slot = tickets[1].key_set.user_index
+        manager.revoke_user(revoked_slot)
+
+        scheme2, owner2, server2 = fresh_deployment(documents)
+        rotated = manager.rotate_credentials(owner2.authorize_user())
+
+        # Non-revoked users migrate to the new epoch.
+        for position, ticket in enumerate(tickets):
+            if position == 1:
+                with pytest.raises(CryptoError):
+                    AuthorizationManager.redeem(ticket, rotated)
+                continue
+            credentials, epoch = AuthorizationManager.redeem(ticket, rotated)
+            assert epoch == manager.epoch
+            user = DataUser(
+                scheme2, credentials, Channel(server2.handle),
+                owner2.analyzer,
+            )
+            assert user.search_ranked_topk("network", 1)
+
+        # The revoked user's stale credentials are useless against the
+        # re-keyed index: trapdoor addresses no longer resolve.
+        stale, _ = AuthorizationManager.redeem(tickets[1], old_broadcast)
+        ghost = DataUser(
+            scheme2, stale, Channel(server2.handle), owner2.analyzer
+        )
+        assert ghost.search_ranked_topk("network", 5) == []

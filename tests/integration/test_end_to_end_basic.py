@@ -1,0 +1,109 @@
+"""End-to-end integration: basic scheme, both retrieval protocols."""
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRankedSearch
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser
+from repro.core import BasicRankedSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+from repro.ir import stem
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    documents = generate_corpus(35, seed=22, vocabulary_size=300)
+    scheme = BasicRankedSSE(TEST_PARAMETERS)
+    owner = DataOwner(scheme)
+    outsourcing = owner.setup(documents)
+    server = CloudServer(
+        outsourcing.secure_index, outsourcing.blob_store, can_rank=False
+    )
+    channel = Channel(server.handle)
+    user = DataUser(scheme, owner.authorize_user(), channel, owner.analyzer)
+    return documents, owner, server, channel, user
+
+
+class TestOneRoundProtocol:
+    def test_ranking_exactly_matches_plaintext(self, deployment):
+        # No quantization in the basic scheme: user-side ranking over
+        # exact float scores must equal the plaintext reference.
+        _, owner, _, _, user = deployment
+        term = stem("network")
+        truth = PlaintextRankedSearch(owner.plain_index).search_ranked(term)
+        hits = user.search_all_and_rank("network")
+        assert [hit.file_id for hit in hits] == [r.file_id for r in truth]
+
+    def test_all_matching_files_transferred(self, deployment):
+        _, owner, _, channel, user = deployment
+        channel.stats.reset()
+        hits = user.search_all_and_rank("network")
+        matches = owner.plain_index.document_frequency(stem("network"))
+        assert len(hits) == matches
+        assert channel.stats.round_trips == 1
+
+    def test_texts_decrypt_correctly(self, deployment):
+        documents, _, _, _, user = deployment
+        by_id = {document.doc_id: document.text for document in documents}
+        for hit in user.search_all_and_rank("protocol"):
+            assert hit.text == by_id[hit.file_id]
+
+
+class TestTwoRoundProtocol:
+    def test_topk_matches_one_round_prefix(self, deployment):
+        _, _, _, _, user = deployment
+        full = user.search_all_and_rank("network")
+        topk = user.search_two_round_topk("network", 4)
+        assert [hit.file_id for hit in topk] == [
+            hit.file_id for hit in full[:4]
+        ]
+
+    def test_costs_two_round_trips(self, deployment):
+        _, _, _, channel, user = deployment
+        channel.stats.reset()
+        user.search_two_round_topk("network", 3)
+        assert channel.stats.round_trips == 2
+
+    def test_saves_bandwidth_vs_one_round(self, deployment):
+        _, _, _, channel, user = deployment
+        channel.stats.reset()
+        user.search_all_and_rank("network")
+        one_round_bytes = channel.stats.total_bytes
+        channel.stats.reset()
+        user.search_two_round_topk("network", 3)
+        two_round_bytes = channel.stats.total_bytes
+        assert two_round_bytes < one_round_bytes / 2
+
+    def test_second_round_leaks_topk_set_to_server(self, deployment):
+        _, _, server, _, user = deployment
+        user.search_two_round_topk("network", 3)
+        fetch_observation = server.log.observations[-1]
+        assert fetch_observation.address == b""
+        assert len(fetch_observation.returned_file_ids) == 3
+
+
+class TestServerCannotRank:
+    def test_unranked_server_response_order_is_not_score_order(
+        self, deployment
+    ):
+        # The server returns index (file-id) order; with semantically
+        # secure score fields it can do no better.
+        _, owner, server, _, user = deployment
+        user.search_all_and_rank("network")
+        observation = next(
+            o for o in reversed(server.log.observations) if o.address
+        )
+        assert list(observation.matched_file_ids) == sorted(
+            observation.matched_file_ids
+        )
+
+    def test_score_fields_look_random_to_server(self, deployment):
+        _, _, server, _, user = deployment
+        user.search_all_and_rank("network")
+        observation = next(
+            o for o in reversed(server.log.observations) if o.address
+        )
+        # Randomized encryption: all score fields distinct even though
+        # many underlying scores collide.
+        assert len(set(observation.score_fields)) == len(
+            observation.score_fields
+        )

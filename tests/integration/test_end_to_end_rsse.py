@@ -1,0 +1,126 @@
+"""End-to-end integration: efficient RSSE over the simulated cloud.
+
+Owner -> server -> user, full protocol, checked against the plaintext
+reference search at every step.
+"""
+
+import pytest
+
+from repro.baselines.plaintext import PlaintextRankedSearch
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+from repro.ir import InvertedIndex, stem
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    documents = generate_corpus(40, seed=21, vocabulary_size=300)
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    owner = DataOwner(scheme)
+    outsourcing = owner.setup(documents)
+    server = CloudServer(
+        outsourcing.secure_index, outsourcing.blob_store, can_rank=True
+    )
+    channel = Channel(server.handle)
+    user = DataUser(scheme, owner.authorize_user(), channel, owner.analyzer)
+    return documents, owner, server, channel, user
+
+
+class TestRetrievalCorrectness:
+    def test_topk_files_decrypt_to_original_documents(self, deployment):
+        documents, _, _, _, user = deployment
+        by_id = {document.doc_id: document.text for document in documents}
+        hits = user.search_ranked_topk("network", 5)
+        assert len(hits) == 5
+        for hit in hits:
+            assert hit.text == by_id[hit.file_id]
+
+    def test_ranks_sequential(self, deployment):
+        _, _, _, _, user = deployment
+        hits = user.search_ranked_topk("network", 7)
+        assert [hit.rank for hit in hits] == list(range(1, 8))
+
+    def test_match_set_equals_plaintext_search(self, deployment):
+        documents, owner, _, _, user = deployment
+        term = stem("network")
+        reference = PlaintextRankedSearch(owner.plain_index)
+        expected = {r.file_id for r in reference.search_ranked(term)}
+        hits = user.search_ranked_topk("network", len(documents))
+        assert {hit.file_id for hit in hits} == expected
+
+    def test_order_agrees_with_plaintext_up_to_quantization(self, deployment):
+        _, owner, _, _, user = deployment
+        term = stem("network")
+        reference = PlaintextRankedSearch(owner.plain_index)
+        truth = reference.search_ranked(term)
+        true_scores = {r.file_id: r.score for r in truth}
+        hits = user.search_ranked_topk("network", len(truth))
+        # Walking down the encrypted ranking, true scores may only
+        # decrease beyond one quantization step — computed from the
+        # owner's actual (collection-wide, headroomed) quantizer, since
+        # two files sharing a level may be that far apart.
+        quantizer = owner.quantizer
+        quantizer_step = quantizer.scale / quantizer.levels
+        previous = None
+        for hit in hits:
+            score = true_scores[hit.file_id]
+            if previous is not None:
+                assert score <= previous + quantizer_step + 1e-12
+            previous = score
+
+    def test_single_round_trip(self, deployment):
+        _, _, _, channel, user = deployment
+        channel.stats.reset()
+        user.search_ranked_topk("network", 3)
+        assert channel.stats.round_trips == 1
+
+    def test_multiple_keywords_multiple_users(self, deployment):
+        documents, owner, server, _, _ = deployment
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        second_user = DataUser(
+            scheme,
+            owner.authorize_user(),
+            Channel(server.handle),
+            owner.analyzer,
+        )
+        for keyword in ["network", "protocol", "routing"]:
+            hits = second_user.search_ranked_topk(keyword, 3)
+            assert len(hits) <= 3
+
+    def test_unknown_keyword_returns_empty(self, deployment):
+        _, _, _, _, user = deployment
+        assert user.search_ranked_topk("zebrasaurus", 5) == []
+
+
+class TestServerView:
+    def test_search_pattern_visible_to_server(self, deployment):
+        _, _, server, _, user = deployment
+        before = len(server.log.observations)
+        user.search_ranked_topk("network", 2)
+        user.search_ranked_topk("network", 4)
+        observations = server.log.observations[before:]
+        assert observations[0].address == observations[1].address
+
+    def test_distinct_keywords_distinct_addresses(self, deployment):
+        _, _, server, _, user = deployment
+        before = len(server.log.observations)
+        user.search_ranked_topk("network", 2)
+        user.search_ranked_topk("protocol", 2)
+        observations = server.log.observations[before:]
+        assert observations[0].address != observations[1].address
+
+    def test_server_sees_only_opm_values_not_scores(self, deployment):
+        _, _, server, _, user = deployment
+        user.search_ranked_topk("network", 2)
+        observation = server.log.observations[-1]
+        for field in observation.score_fields:
+            value = int.from_bytes(field, "big")
+            assert 1 <= value <= TEST_PARAMETERS.range_size
+
+    def test_topk_returns_only_k_files(self, deployment):
+        _, _, server, _, user = deployment
+        user.search_ranked_topk("network", 3)
+        observation = server.log.observations[-1]
+        assert len(observation.returned_file_ids) == 3
+        assert len(observation.matched_file_ids) > 3

@@ -1,0 +1,155 @@
+"""Failure injection: tampering, wrong keys, malformed traffic.
+
+The honest-but-curious model says the server *follows the protocol* —
+but a robust library must still fail safely when data or messages are
+corrupted (disk rot, transport bugs, or a server that is not so honest
+after all).  These tests inject each failure and pin the behaviour.
+"""
+
+import pytest
+
+from repro.cloud import (
+    BlobStore,
+    Channel,
+    CloudServer,
+    DataOwner,
+    DataUser,
+    SearchRequest,
+)
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.core.secure_index import try_decrypt_entry
+from repro.corpus import generate_corpus
+from repro.errors import IntegrityError, ProtocolError, ReproError
+
+
+@pytest.fixture()
+def deployment():
+    documents = generate_corpus(15, seed=41, vocabulary_size=200)
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    owner = DataOwner(scheme)
+    outsourcing = owner.setup(documents)
+    server = CloudServer(
+        outsourcing.secure_index, outsourcing.blob_store, can_rank=True
+    )
+    user = DataUser(
+        scheme, owner.authorize_user(), Channel(server.handle),
+        owner.analyzer,
+    )
+    return scheme, owner, outsourcing, server, user
+
+
+class TestTamperedBlobs:
+    def test_flipped_blob_bit_detected_at_decryption(self, deployment):
+        scheme, owner, outsourcing, _, _ = deployment
+        victim = next(outsourcing.blob_store.ids())
+        blob = bytearray(outsourcing.blob_store.get(victim))
+        blob[len(blob) // 2] ^= 0x01
+        tampered_store = BlobStore()
+        for doc_id in outsourcing.blob_store.ids():
+            tampered_store.put(
+                doc_id,
+                bytes(blob)
+                if doc_id == victim
+                else outsourcing.blob_store.get(doc_id),
+            )
+        server = CloudServer(
+            outsourcing.secure_index, tampered_store, can_rank=True
+        )
+        user = DataUser(
+            scheme, owner.authorize_user(), Channel(server.handle),
+            owner.analyzer,
+        )
+        with pytest.raises(IntegrityError):
+            # Retrieve everything; the tampered file must trip the MAC.
+            user.search_ranked_topk("network", 100)
+
+    def test_untampered_files_still_fine(self, deployment):
+        _, _, _, _, user = deployment
+        assert user.search_ranked_topk("network", 3)
+
+
+class TestTamperedIndexEntries:
+    def test_corrupted_entry_treated_as_dummy(self, deployment):
+        """A flipped entry fails authentication and silently drops.
+
+        This is the designed failure mode (dummies are
+        indistinguishable from corrupt entries); the search result
+        shrinks by exactly the corrupted entry.
+        """
+        scheme, owner, outsourcing, _, _ = deployment
+        trapdoor = scheme.trapdoor(owner.key, "network")
+        entries = outsourcing.secure_index.lookup(trapdoor.address)
+        original_count = sum(
+            1
+            for entry in entries
+            if try_decrypt_entry(
+                outsourcing.secure_index.layout, trapdoor.list_key, entry
+            )
+        )
+        corrupted = bytearray(entries[0])
+        corrupted[5] ^= 0xFF
+        outsourcing.secure_index.replace_list(
+            trapdoor.address, [bytes(corrupted)] + entries[1:]
+        )
+        matches = scheme.search(outsourcing.secure_index, trapdoor)
+        assert len(matches) == original_count - 1
+
+    def test_search_still_ranked_after_corruption(self, deployment):
+        scheme, owner, outsourcing, _, _ = deployment
+        trapdoor = scheme.trapdoor(owner.key, "network")
+        entries = outsourcing.secure_index.lookup(trapdoor.address)
+        outsourcing.secure_index.replace_list(
+            trapdoor.address, entries[: len(entries) // 2]
+        )
+        ranking = scheme.search_ranked(outsourcing.secure_index, trapdoor)
+        scores = [entry.score for entry in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestWrongCredentials:
+    def test_foreign_credentials_find_nothing(self, deployment):
+        scheme, _, outsourcing, server, _ = deployment
+        foreign_owner = DataOwner(EfficientRSSE(TEST_PARAMETERS))
+        foreign_owner.setup(generate_corpus(3, seed=1, vocabulary_size=100))
+        stranger = DataUser(
+            scheme,
+            foreign_owner.authorize_user(),
+            Channel(server.handle),
+            foreign_owner.analyzer,
+        )
+        assert stranger.search_ranked_topk("network", 5) == []
+
+    def test_right_trapdoor_wrong_file_key_fails_closed(self, deployment):
+        scheme, owner, _, server, _ = deployment
+        credentials = owner.authorize_user()
+        from dataclasses import replace
+
+        from repro.crypto import generate_key
+
+        bad = replace(credentials, file_key=generate_key())
+        user = DataUser(scheme, bad, Channel(server.handle), owner.analyzer)
+        with pytest.raises(IntegrityError):
+            user.search_ranked_topk("network", 1)
+
+
+class TestMalformedTraffic:
+    def test_garbage_request_rejected(self, deployment):
+        _, _, _, server, _ = deployment
+        with pytest.raises(ProtocolError):
+            server.handle(b"\x00\x01\x02 garbage")
+
+    def test_garbage_trapdoor_bytes_fail_safely(self, deployment):
+        _, _, _, server, _ = deployment
+        request = SearchRequest(trapdoor_bytes=b"\x00")
+        with pytest.raises(ReproError):
+            server.handle(request.to_bytes())
+
+    def test_truncated_trapdoor_yields_no_matches(self, deployment):
+        scheme, owner, _, server, _ = deployment
+        real = scheme.trapdoor(owner.key, "network").serialize()
+        # Valid framing, wrong key material: decodes but matches nothing.
+        request = SearchRequest(trapdoor_bytes=real[:-4] + b"\x00" * 4)
+        from repro.cloud import SearchResponse
+
+        response = SearchResponse.from_bytes(server.handle(request.to_bytes()))
+        assert response.matches == ()

@@ -1,0 +1,68 @@
+"""Integration: serialize index + keys, restore elsewhere, search works.
+
+Models the real deployment: the index travels to the cloud as bytes,
+keys travel to users as bytes; everything must survive the trip.
+"""
+
+import pytest
+
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.core.secure_index import SecureIndex
+from repro.crypto.keys import SchemeKey
+from repro.corpus import generate_corpus
+from repro.ir import Analyzer, InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def built():
+    documents = generate_corpus(25, seed=31, vocabulary_size=250)
+    analyzer = Analyzer()
+    index = InvertedIndex()
+    for document in documents:
+        index.add_document(document.doc_id, analyzer.analyze(document.text))
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    result = scheme.build_index(key, index)
+    return scheme, key, result
+
+
+class TestIndexPersistence:
+    def test_search_identical_after_roundtrip(self, built):
+        scheme, key, result = built
+        restored = SecureIndex.deserialize(result.secure_index.serialize())
+        trapdoor = scheme.trapdoor(key, "network")
+        original = scheme.search_ranked(result.secure_index, trapdoor)
+        replayed = scheme.search_ranked(restored, trapdoor)
+        assert [r.file_id for r in original] == [r.file_id for r in replayed]
+        assert [r.score for r in original] == [r.score for r in replayed]
+
+    def test_sizes_preserved(self, built):
+        _, _, result = built
+        restored = SecureIndex.deserialize(result.secure_index.serialize())
+        assert restored.size_bytes() == result.secure_index.size_bytes()
+        assert restored.num_lists == result.secure_index.num_lists
+
+
+class TestKeyPersistence:
+    def test_restored_key_generates_identical_trapdoors(self, built):
+        scheme, key, _ = built
+        restored = SchemeKey.deserialize(key.serialize())
+        assert scheme.trapdoor(restored, "network") == scheme.trapdoor(
+            key, "network"
+        )
+
+    def test_restored_user_bundle_searches(self, built):
+        scheme, key, result = built
+        user_key = SchemeKey.deserialize(key.trapdoor_only().serialize())
+        trapdoor = scheme.trapdoor(user_key, "network")
+        assert scheme.search_ranked(result.secure_index, trapdoor)
+
+    def test_restored_owner_key_rebuilds_same_opm(self, built):
+        scheme, key, _ = built
+        restored = SchemeKey.deserialize(key.serialize())
+        original_opm = scheme.opm_for_term(key, "network")
+        restored_opm = scheme.opm_for_term(restored, "network")
+        for level in (1, 5, TEST_PARAMETERS.score_levels):
+            assert original_opm.map_score(level, "f") == restored_opm.map_score(
+                level, "f"
+            )

@@ -1,0 +1,111 @@
+"""Cross-scheme integration: the Section III-C / IV trade-off, measured."""
+
+import pytest
+
+from repro.analysis.leakage import profile_search
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser
+from repro.core import BasicRankedSSE, EfficientRSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def both_deployments():
+    documents = generate_corpus(40, seed=23, vocabulary_size=300)
+
+    rsse = EfficientRSSE(TEST_PARAMETERS)
+    rsse_owner = DataOwner(rsse)
+    rsse_out = rsse_owner.setup(documents)
+    rsse_server = CloudServer(
+        rsse_out.secure_index, rsse_out.blob_store, can_rank=True
+    )
+    rsse_channel = Channel(rsse_server.handle)
+    rsse_user = DataUser(
+        rsse, rsse_owner.authorize_user(), rsse_channel, rsse_owner.analyzer
+    )
+
+    basic = BasicRankedSSE(TEST_PARAMETERS)
+    basic_owner = DataOwner(basic)
+    basic_out = basic_owner.setup(documents)
+    basic_server = CloudServer(
+        basic_out.secure_index, basic_out.blob_store, can_rank=False
+    )
+    basic_channel = Channel(basic_server.handle)
+    basic_user = DataUser(
+        basic, basic_owner.authorize_user(), basic_channel,
+        basic_owner.analyzer,
+    )
+    return (
+        (rsse_server, rsse_channel, rsse_user),
+        (basic_server, basic_channel, basic_user),
+    )
+
+
+class TestBandwidthTradeoff:
+    def test_rsse_topk_beats_basic_one_round_bandwidth(self, both_deployments):
+        (_, rsse_channel, rsse_user), (_, basic_channel, basic_user) = (
+            both_deployments
+        )
+        rsse_channel.stats.reset()
+        rsse_user.search_ranked_topk("network", 5)
+        basic_channel.stats.reset()
+        basic_user.search_all_and_rank("network")
+        assert (
+            rsse_channel.stats.total_bytes
+            < basic_channel.stats.total_bytes / 2
+        )
+
+    def test_rsse_needs_one_round_basic_topk_needs_two(self, both_deployments):
+        (_, rsse_channel, rsse_user), (_, basic_channel, basic_user) = (
+            both_deployments
+        )
+        rsse_channel.stats.reset()
+        rsse_user.search_ranked_topk("network", 5)
+        basic_channel.stats.reset()
+        basic_user.search_two_round_topk("network", 5)
+        assert rsse_channel.stats.round_trips == 1
+        assert basic_channel.stats.round_trips == 2
+
+    def test_same_topk_sets_modulo_quantization(self, both_deployments):
+        (_, _, rsse_user), (_, _, basic_user) = both_deployments
+        k = 10
+        rsse_ids = {h.file_id for h in rsse_user.search_ranked_topk("network", k)}
+        basic_ids = {
+            h.file_id for h in basic_user.search_two_round_topk("network", k)
+        }
+        # Quantization can flip near-ties at the boundary; demand strong
+        # overlap rather than equality.
+        assert len(rsse_ids & basic_ids) >= k - 2
+
+
+class TestLeakageTradeoff:
+    def test_rsse_leaks_order_basic_does_not(self, both_deployments):
+        (rsse_server, _, rsse_user), (basic_server, _, basic_user) = (
+            both_deployments
+        )
+        rsse_user.search_ranked_topk("protocol", 3)
+        basic_user.search_all_and_rank("protocol")
+        rsse_profile = profile_search(
+            rsse_server.log, len(rsse_server.log.observations) - 1, "rsse"
+        )
+        basic_observation_index = max(
+            index
+            for index, observation in enumerate(basic_server.log.observations)
+            if observation.address
+        )
+        basic_profile = profile_search(
+            basic_server.log, basic_observation_index, "basic-one-round"
+        )
+        assert rsse_profile.ordered_pairs_learned > 0
+        assert basic_profile.ordered_pairs_learned == 0
+
+    def test_access_patterns_identical_between_schemes(self, both_deployments):
+        (rsse_server, _, rsse_user), (basic_server, _, basic_user) = (
+            both_deployments
+        )
+        rsse_user.search_ranked_topk("routing", 50)
+        basic_user.search_all_and_rank("routing")
+        rsse_matched = set(rsse_server.log.observations[-1].matched_file_ids)
+        basic_observation = next(
+            o for o in reversed(basic_server.log.observations) if o.address
+        )
+        assert rsse_matched == set(basic_observation.matched_file_ids)

@@ -1,0 +1,90 @@
+"""Unit tests for the analysis pipeline and stop-word handling."""
+
+import pytest
+
+from repro.ir.analyzer import Analyzer
+from repro.ir.stopwords import STOP_WORDS, is_stop_word, remove_stop_words
+
+
+class TestStopWords:
+    def test_common_words_present(self):
+        for word in ["the", "and", "of", "is", "with"]:
+            assert is_stop_word(word)
+
+    def test_content_words_absent(self):
+        for word in ["network", "protocol", "encryption", "shall", "must"]:
+            assert not is_stop_word(word)
+
+    def test_remove_preserves_order(self):
+        tokens = ["the", "network", "of", "protocols", "is", "layered"]
+        assert remove_stop_words(tokens) == ["network", "protocols", "layered"]
+
+    def test_stop_list_is_lowercase(self):
+        assert all(word == word.lower() for word in STOP_WORDS)
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze_list("The networks were searching quickly.")
+        assert terms == ["network", "search", "quickli"]
+
+    def test_repeats_preserved_for_tf(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze_list("network network networks")
+        assert terms == ["network"] * 3
+
+    def test_stemming_can_be_disabled(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze_list("networks running") == [
+            "networks", "running",
+        ]
+
+    def test_stop_words_can_be_disabled(self):
+        analyzer = Analyzer(use_stop_words=False, use_stemming=False)
+        assert "the" in analyzer.analyze_list("the network")
+
+    def test_custom_stop_words(self):
+        analyzer = Analyzer(stop_words=frozenset({"network"}))
+        assert analyzer.analyze_list("network protocol") == ["protocol"]
+
+    def test_numeric_dropping_forwarded(self):
+        analyzer = Analyzer(drop_numeric=False, use_stemming=False)
+        assert "8080" in analyzer.analyze_list("port 8080")
+
+    def test_analyze_is_lazy(self):
+        analyzer = Analyzer()
+        stream = analyzer.analyze("alpha beta gamma")
+        assert next(stream) == "alpha"
+
+    def test_vocabulary_union(self):
+        analyzer = Analyzer()
+        vocab = analyzer.vocabulary(["networks ranked", "ranked searching"])
+        assert vocab == {"network", "rank", "search"}
+
+
+class TestAnalyzeQuery:
+    def test_normalizes_single_keyword(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_query("Networks") == "network"
+
+    def test_query_matches_document_transformation(self):
+        analyzer = Analyzer()
+        doc_terms = set(analyzer.analyze_list("encrypted searching"))
+        assert analyzer.analyze_query("encryption") not in (None, "")
+        assert analyzer.analyze_query("searches") in doc_terms
+
+    def test_rejects_multi_word_query(self):
+        analyzer = Analyzer()
+        with pytest.raises(ValueError):
+            analyzer.analyze_query("network protocol")
+
+    def test_rejects_stop_word_query(self):
+        analyzer = Analyzer()
+        with pytest.raises(ValueError):
+            analyzer.analyze_query("the")
+
+    def test_rejects_empty_query(self):
+        analyzer = Analyzer()
+        with pytest.raises(ValueError):
+            analyzer.analyze_query("")

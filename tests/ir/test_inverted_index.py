@@ -1,0 +1,134 @@
+"""Unit tests for the plaintext inverted index."""
+
+import pytest
+
+from repro.errors import CorpusError, ParameterError
+from repro.ir.inverted_index import InvertedIndex, Posting
+
+
+def build_sample() -> InvertedIndex:
+    index = InvertedIndex()
+    index.add_document("d1", ["net", "net", "proto"])
+    index.add_document("d2", ["net", "cache"])
+    index.add_document("d3", ["proto", "proto", "proto", "cache"])
+    return index
+
+
+class TestPosting:
+    def test_valid(self):
+        posting = Posting(file_id="d1", term_frequency=3)
+        assert posting.file_id == "d1"
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ParameterError):
+            Posting(file_id="d1", term_frequency=0)
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ParameterError):
+            Posting(file_id="", term_frequency=1)
+
+
+class TestConstruction:
+    def test_counts_files_and_vocabulary(self):
+        index = build_sample()
+        assert index.num_files == 3
+        assert index.vocabulary == {"net", "proto", "cache"}
+        assert index.vocabulary_size == 3
+
+    def test_file_lengths(self):
+        index = build_sample()
+        assert index.file_length("d1") == 3
+        assert index.file_length("d3") == 4
+
+    def test_term_frequencies(self):
+        index = build_sample()
+        assert index.term_frequency("net", "d1") == 2
+        assert index.term_frequency("proto", "d3") == 3
+        assert index.term_frequency("cache", "d1") == 0
+        assert index.term_frequency("missing", "d1") == 0
+
+    def test_document_frequency(self):
+        index = build_sample()
+        assert index.document_frequency("net") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_contains(self):
+        index = build_sample()
+        assert "net" in index
+        assert "missing" not in index
+
+    def test_rejects_duplicate_document(self):
+        index = build_sample()
+        with pytest.raises(CorpusError):
+            index.add_document("d1", ["x", "y"])
+
+    def test_rejects_empty_document(self):
+        index = InvertedIndex()
+        with pytest.raises(CorpusError):
+            index.add_document("d9", [])
+
+    def test_rejects_empty_file_id(self):
+        index = InvertedIndex()
+        with pytest.raises(ParameterError):
+            index.add_document("", ["x"])
+
+
+class TestPostingLists:
+    def test_sorted_by_file_id(self):
+        index = build_sample()
+        postings = index.posting_list("net")
+        assert [p.file_id for p in postings] == ["d1", "d2"]
+
+    def test_carries_frequencies(self):
+        index = build_sample()
+        postings = {p.file_id: p.term_frequency for p in index.posting_list("proto")}
+        assert postings == {"d1": 1, "d3": 3}
+
+    def test_unknown_term_is_empty(self):
+        assert build_sample().posting_list("missing") == []
+
+    def test_max_posting_length(self):
+        assert build_sample().max_posting_length() == 2
+
+    def test_max_posting_length_empty_index(self):
+        assert InvertedIndex().max_posting_length() == 0
+
+    def test_items_sorted_by_term(self):
+        terms = [term for term, _ in build_sample().items()]
+        assert terms == sorted(terms)
+
+    def test_file_ids_iteration(self):
+        assert set(build_sample().file_ids()) == {"d1", "d2", "d3"}
+
+
+class TestRemoval:
+    def test_remove_document_updates_postings(self):
+        index = build_sample()
+        index.remove_document("d1")
+        assert index.num_files == 2
+        assert index.term_frequency("net", "d1") == 0
+        assert [p.file_id for p in index.posting_list("net")] == ["d2"]
+
+    def test_remove_drops_emptied_terms(self):
+        index = InvertedIndex()
+        index.add_document("solo", ["unique", "words"])
+        index.add_document("other", ["different"])
+        index.remove_document("solo")
+        assert "unique" not in index
+        assert index.vocabulary == {"different"}
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(CorpusError):
+            build_sample().remove_document("missing")
+
+    def test_file_length_of_removed_raises(self):
+        index = build_sample()
+        index.remove_document("d2")
+        with pytest.raises(CorpusError):
+            index.file_length("d2")
+
+    def test_add_after_remove(self):
+        index = build_sample()
+        index.remove_document("d1")
+        index.add_document("d1", ["fresh"])
+        assert index.file_length("d1") == 1

@@ -1,0 +1,171 @@
+"""Unit tests for equations 1-2 and score quantization."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import (
+    ScoreQuantizer,
+    idf_factor,
+    query_score,
+    score_posting_list,
+    single_keyword_score,
+)
+
+
+class TestEquation2:
+    def test_formula_value(self):
+        # (1/10) * (1 + ln 5)
+        assert single_keyword_score(5, 10) == pytest.approx(
+            (1 + math.log(5)) / 10
+        )
+
+    def test_tf_one(self):
+        assert single_keyword_score(1, 100) == pytest.approx(0.01)
+
+    def test_monotone_in_tf(self):
+        scores = [single_keyword_score(tf, 50) for tf in range(1, 20)]
+        assert scores == sorted(scores)
+
+    def test_decreasing_in_length(self):
+        assert single_keyword_score(3, 10) > single_keyword_score(3, 20)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            single_keyword_score(0, 10)
+        with pytest.raises(ParameterError):
+            single_keyword_score(2, 0)
+
+
+class TestIdf:
+    def test_formula_value(self):
+        assert idf_factor(1000, 10) == pytest.approx(math.log(101))
+
+    def test_rare_terms_weigh_more(self):
+        assert idf_factor(1000, 5) > idf_factor(1000, 500)
+
+    def test_rejects_inconsistent_frequencies(self):
+        with pytest.raises(ParameterError):
+            idf_factor(100, 0)
+        with pytest.raises(ParameterError):
+            idf_factor(100, 101)
+        with pytest.raises(ParameterError):
+            idf_factor(0, 0)
+
+
+class TestEquation1:
+    def test_single_term_consistency(self):
+        # Equation 1 with one query term = equation 2 * IDF.
+        score = query_score({"net": 4}, {"net": 20}, file_length=10,
+                            collection_size=100)
+        expected = single_keyword_score(4, 10) * idf_factor(100, 20)
+        assert score == pytest.approx(expected)
+
+    def test_sums_over_terms(self):
+        combined = query_score(
+            {"a": 2, "b": 3},
+            {"a": 10, "b": 20},
+            file_length=15,
+            collection_size=100,
+        )
+        separate = query_score(
+            {"a": 2}, {"a": 10}, 15, 100
+        ) + query_score({"b": 3}, {"b": 20}, 15, 100)
+        assert combined == pytest.approx(separate)
+
+    def test_absent_terms_contribute_nothing(self):
+        with_term = query_score({"a": 2}, {"a": 10, "b": 20}, 15, 100)
+        assert with_term == pytest.approx(
+            query_score({"a": 2}, {"a": 10}, 15, 100)
+        )
+
+    def test_rejects_missing_document_frequency(self):
+        with pytest.raises(ParameterError):
+            query_score({"a": 2}, {}, 10, 100)
+
+    def test_rejects_bad_tf(self):
+        with pytest.raises(ParameterError):
+            query_score({"a": 0}, {"a": 5}, 10, 100)
+
+
+class TestScorePostingList:
+    def test_scores_whole_list(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["x"] * 4 + ["pad"] * 6)
+        index.add_document("d2", ["x"] * 1 + ["pad"] * 4)
+        scores = score_posting_list(index, "x")
+        assert scores["d1"] == pytest.approx(single_keyword_score(4, 10))
+        assert scores["d2"] == pytest.approx(single_keyword_score(1, 5))
+
+    def test_unknown_term_empty(self):
+        index = InvertedIndex()
+        index.add_document("d1", ["x"])
+        assert score_posting_list(index, "zzz") == {}
+
+
+class TestQuantizer:
+    def test_levels_span(self):
+        quantizer = ScoreQuantizer(levels=128, scale=1.0)
+        assert quantizer.quantize(0.0) == 1
+        assert quantizer.quantize(1.0) == 128
+        assert quantizer.quantize(0.5) == 64
+
+    def test_clamps_above_scale(self):
+        quantizer = ScoreQuantizer(levels=128, scale=1.0)
+        assert quantizer.quantize(5.0) == 128
+
+    def test_monotone(self):
+        quantizer = ScoreQuantizer(levels=64, scale=2.0)
+        levels = [quantizer.quantize(s / 100) for s in range(0, 200, 3)]
+        assert levels == sorted(levels)
+
+    @given(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_always_in_domain(self, score):
+        quantizer = ScoreQuantizer(levels=128, scale=3.0)
+        assert 1 <= quantizer.quantize(score) <= 128
+
+    def test_dequantize_upper_edge(self):
+        quantizer = ScoreQuantizer(levels=10, scale=1.0)
+        assert quantizer.dequantize(10) == pytest.approx(1.0)
+        assert quantizer.dequantize(5) == pytest.approx(0.5)
+
+    def test_dequantize_validates(self):
+        quantizer = ScoreQuantizer(levels=10, scale=1.0)
+        with pytest.raises(ParameterError):
+            quantizer.dequantize(0)
+        with pytest.raises(ParameterError):
+            quantizer.dequantize(11)
+
+    def test_rejects_negative_scores(self):
+        with pytest.raises(ParameterError):
+            ScoreQuantizer(levels=10, scale=1.0).quantize(-0.1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            ScoreQuantizer(levels=0, scale=1.0)
+        with pytest.raises(ParameterError):
+            ScoreQuantizer(levels=10, scale=0.0)
+
+    def test_fit_uses_max_and_headroom(self):
+        quantizer = ScoreQuantizer.fit([0.2, 0.5, 1.0], levels=100,
+                                       headroom=2.0)
+        assert quantizer.scale == pytest.approx(2.0)
+        assert quantizer.quantize(1.0) == 50
+
+    def test_fit_rejects_empty_or_zero(self):
+        with pytest.raises(ParameterError):
+            ScoreQuantizer.fit([], levels=10)
+        with pytest.raises(ParameterError):
+            ScoreQuantizer.fit([0.0], levels=10)
+
+    def test_fit_rejects_bad_headroom(self):
+        with pytest.raises(ParameterError):
+            ScoreQuantizer.fit([1.0], headroom=0.5)
+
+    def test_quantization_preserves_strict_order_up_to_resolution(self):
+        quantizer = ScoreQuantizer(levels=128, scale=1.0)
+        a, b = 0.30, 0.40  # more than one level apart
+        assert quantizer.quantize(a) < quantizer.quantize(b)

@@ -1,0 +1,85 @@
+"""Unit tests for the alternative scoring formulas."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ir.scoring import single_keyword_score
+from repro.ir.scoring_variants import (
+    SCORER_REGISTRY,
+    bm25_tf_score,
+    log_tf_score,
+    paper_eq2_score,
+    raw_tf_score,
+    relative_tf_score,
+)
+
+
+class TestIndividualScorers:
+    def test_raw_tf(self):
+        assert raw_tf_score(7, 100) == 7.0
+
+    def test_log_tf(self):
+        assert log_tf_score(1, 50) == pytest.approx(1.0)
+        assert log_tf_score(10, 50) == pytest.approx(1 + math.log(10))
+
+    def test_relative_tf(self):
+        assert relative_tf_score(5, 20) == pytest.approx(0.25)
+
+    def test_paper_eq2_delegates(self):
+        assert paper_eq2_score(4, 12) == pytest.approx(
+            single_keyword_score(4, 12)
+        )
+
+    def test_bm25_saturates_in_tf(self):
+        low = bm25_tf_score(1, 100, average_file_length=100)
+        mid = bm25_tf_score(10, 100, average_file_length=100)
+        high = bm25_tf_score(100, 100, average_file_length=100)
+        assert low < mid < high
+        # Saturation: the second jump gains much less than the first.
+        assert (high - mid) < (mid - low)
+
+    def test_bm25_penalizes_long_documents(self):
+        short = bm25_tf_score(5, 50, average_file_length=100)
+        long = bm25_tf_score(5, 400, average_file_length=100)
+        assert short > long
+
+    def test_bm25_b_zero_ignores_length(self):
+        a = bm25_tf_score(5, 50, average_file_length=100, b=0.0)
+        b = bm25_tf_score(5, 500, average_file_length=100, b=0.0)
+        assert a == pytest.approx(b)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "scorer",
+        [raw_tf_score, log_tf_score, relative_tf_score, paper_eq2_score],
+    )
+    def test_rejects_bad_inputs(self, scorer):
+        with pytest.raises(ParameterError):
+            scorer(0, 10)
+        with pytest.raises(ParameterError):
+            scorer(1, 0)
+
+    def test_bm25_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            bm25_tf_score(1, 10, average_file_length=0)
+        with pytest.raises(ParameterError):
+            bm25_tf_score(1, 10, k1=-1)
+        with pytest.raises(ParameterError):
+            bm25_tf_score(1, 10, b=2)
+
+
+class TestRegistry:
+    def test_contains_paper_formula(self):
+        assert "paper-eq2" in SCORER_REGISTRY
+
+    def test_all_registered_scorers_monotone_in_tf(self):
+        for name, scorer in SCORER_REGISTRY.items():
+            scores = [scorer(tf, 100) for tf in range(1, 30)]
+            assert scores == sorted(scores), name
+
+    def test_all_scorers_positive(self):
+        for name, scorer in SCORER_REGISTRY.items():
+            assert scorer(3, 50) > 0, name

@@ -1,0 +1,99 @@
+"""Unit tests for collection statistics (the Section IV-C inputs)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+from repro.ir.scoring import ScoreQuantizer
+from repro.ir.stats import (
+    collection_stats,
+    duplicate_stats,
+    keyword_duplicate_ratio,
+    score_level_histogram,
+)
+
+
+def uniform_index() -> InvertedIndex:
+    """Ten documents, identical shape: every score identical per term."""
+    index = InvertedIndex()
+    for i in range(10):
+        index.add_document(f"d{i}", ["common"] * 2 + ["pad"] * 8)
+    return index
+
+
+def skewed_index() -> InvertedIndex:
+    """Documents with varying term frequencies and lengths."""
+    index = InvertedIndex()
+    for i in range(1, 11):
+        index.add_document(f"d{i}", ["hot"] * i + ["pad"] * (20 - i))
+    return index
+
+
+class TestCollectionStats:
+    def test_counts(self):
+        stats = collection_stats(uniform_index())
+        assert stats.num_files == 10
+        assert stats.vocabulary_size == 2
+        assert stats.total_postings == 20
+        assert stats.max_posting_length == 10
+        assert stats.average_posting_length == pytest.approx(10.0)
+        assert stats.average_file_length == pytest.approx(10.0)
+
+    def test_rejects_empty_index(self):
+        with pytest.raises(ParameterError):
+            collection_stats(InvertedIndex())
+
+
+class TestScoreLevelHistogram:
+    def test_uniform_scores_collapse_to_one_level(self):
+        index = uniform_index()
+        quantizer = ScoreQuantizer(levels=16, scale=1.0)
+        histogram = score_level_histogram(index, "common", quantizer)
+        assert len(histogram) == 1
+        assert sum(histogram.values()) == 10
+
+    def test_skewed_scores_spread_levels(self):
+        index = skewed_index()
+        quantizer = ScoreQuantizer(levels=64, scale=0.3)
+        histogram = score_level_histogram(index, "hot", quantizer)
+        assert len(histogram) > 3
+
+    def test_unknown_term_empty(self):
+        quantizer = ScoreQuantizer(levels=16, scale=1.0)
+        assert score_level_histogram(uniform_index(), "zzz", quantizer) == {}
+
+
+class TestDuplicateStats:
+    def test_uniform_index_maximal_duplicates(self):
+        quantizer = ScoreQuantizer(levels=16, scale=1.0)
+        stats = duplicate_stats(uniform_index(), quantizer)
+        assert stats.max_duplicates == 10
+        assert stats.average_list_length == pytest.approx(10.0)
+        assert stats.ratio == pytest.approx(1.0)
+
+    def test_skewed_index_lower_ratio(self):
+        quantizer = ScoreQuantizer(levels=64, scale=0.3)
+        stats = duplicate_stats(skewed_index(), quantizer)
+        assert stats.max_duplicates < 10
+
+    def test_rejects_empty_index(self):
+        quantizer = ScoreQuantizer(levels=16, scale=1.0)
+        with pytest.raises(ParameterError):
+            duplicate_stats(InvertedIndex(), quantizer)
+
+
+class TestKeywordDuplicateRatio:
+    def test_single_keyword_view(self):
+        quantizer = ScoreQuantizer(levels=16, scale=1.0)
+        ratio = keyword_duplicate_ratio(uniform_index(), "common", quantizer)
+        assert ratio == pytest.approx(1.0)
+
+    def test_spread_scores_have_small_ratio(self):
+        quantizer = ScoreQuantizer(levels=64, scale=0.3)
+        ratio = keyword_duplicate_ratio(skewed_index(), "hot", quantizer)
+        assert ratio < 0.5
+
+    def test_unknown_term_raises(self):
+        quantizer = ScoreQuantizer(levels=16, scale=1.0)
+        with pytest.raises(ParameterError):
+            keyword_duplicate_ratio(uniform_index(), "zzz", quantizer)

@@ -1,0 +1,189 @@
+"""Unit tests for the Porter stemmer against published rule examples.
+
+The expected values below are taken from the rule examples in Porter's
+original paper (Program, 1980), exercising every step of the algorithm.
+"""
+
+import pytest
+
+from repro.ir.stemmer import PorterStemmer, stem
+
+
+class TestStep1a:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ],
+    )
+    def test_plural_rules(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestStep1b:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ],
+    )
+    def test_ed_ing_rules(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestStep1c:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("happy", "happi"), ("sky", "sky")],
+    )
+    def test_y_to_i(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestStep2:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ],
+    )
+    def test_double_suffix_rules(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestStep3:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ],
+    )
+    def test_suffix_rules(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestStep4:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ],
+    )
+    def test_suffix_stripping(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestStep5:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_final_cleanup(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestGeneralBehaviour:
+    def test_short_words_unchanged(self):
+        assert stem("at") == "at"
+        assert stem("by") == "by"
+        assert stem("a") == "a"
+
+    def test_idempotent_on_common_vocabulary(self):
+        words = [
+            "network", "networks", "networking", "protocol", "protocols",
+            "encryption", "encrypted", "ranking", "ranked", "searches",
+        ]
+        for word in words:
+            once = stem(word)
+            assert stem(once) == once
+
+    def test_inflections_conflate(self):
+        assert stem("networks") == stem("network")
+        assert stem("searching") == stem("searched")
+        assert stem("connections") == stem("connection")
+
+
+class TestPorterStemmerClass:
+    def test_matches_function(self):
+        stemmer = PorterStemmer()
+        for word in ["relational", "hopefulness", "caresses"]:
+            assert stemmer.stem(word) == stem(word)
+
+    def test_cache_consistency(self):
+        stemmer = PorterStemmer()
+        first = stemmer.stem("generalization")
+        second = stemmer.stem("generalization")
+        assert first == second
+
+    def test_callable(self):
+        stemmer = PorterStemmer()
+        assert stemmer("running") == "run"

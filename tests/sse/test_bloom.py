@@ -1,0 +1,113 @@
+"""Unit tests for the Bloom filter substrate."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sse.bloom import BloomFilter, optimal_parameters
+
+
+class TestOptimalParameters:
+    def test_classic_sizing(self):
+        bits, hashes = optimal_parameters(1000, 0.01)
+        # ~9.6 bits/item and ~7 hashes for 1% FP.
+        assert 9000 <= bits <= 10500
+        assert 6 <= hashes <= 8
+
+    def test_lower_rate_needs_more_bits(self):
+        loose, _ = optimal_parameters(1000, 0.05)
+        tight, _ = optimal_parameters(1000, 0.001)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ParameterError):
+            optimal_parameters(10, 0.0)
+        with pytest.raises(ParameterError):
+            optimal_parameters(10, 1.0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        filter_ = BloomFilter.for_capacity(500, 0.01)
+        items = [b"item-%d" % i for i in range(500)]
+        for item in items:
+            filter_.add(item)
+        assert all(item in filter_ for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        filter_ = BloomFilter.for_capacity(1000, 0.01)
+        for i in range(1000):
+            filter_.add(b"present-%d" % i)
+        false_positives = sum(
+            1 for i in range(20_000) if b"absent-%d" % i in filter_
+        )
+        assert false_positives / 20_000 < 0.03
+
+    def test_empty_filter_contains_nothing(self):
+        filter_ = BloomFilter(1024, 4)
+        assert b"anything" not in filter_
+        assert filter_.expected_false_positive_rate() == 0.0
+
+    def test_non_bytes_not_contained(self):
+        filter_ = BloomFilter(64, 2)
+        filter_.add(b"x")
+        assert "x" not in filter_  # str, not bytes
+        assert 42 not in filter_
+
+    def test_count_and_fill(self):
+        filter_ = BloomFilter(256, 3)
+        assert filter_.count == 0
+        filter_.add(b"a")
+        filter_.add(b"b")
+        assert filter_.count == 2
+        assert 0 < filter_.fill_ratio() <= 6 / 256
+
+    def test_pad_to_masks_load(self):
+        light = BloomFilter(2048, 4)
+        light.add(b"only-item")
+        heavy = BloomFilter(2048, 4)
+        for i in range(50):
+            heavy.add(b"item-%d" % i)
+        light.pad_to(50, entropy=b"doc1")
+        assert light.count == heavy.count == 50
+        assert abs(light.fill_ratio() - heavy.fill_ratio()) < 0.1
+
+    def test_pad_to_below_count_rejected(self):
+        filter_ = BloomFilter(64, 2)
+        filter_.add(b"a")
+        filter_.add(b"b")
+        with pytest.raises(ParameterError):
+            filter_.pad_to(1)
+
+    def test_serialization_roundtrip(self):
+        filter_ = BloomFilter.for_capacity(100, 0.01)
+        for i in range(100):
+            filter_.add(b"x%d" % i)
+        restored = BloomFilter.from_bytes(filter_.to_bytes())
+        assert restored.bits == filter_.bits
+        assert restored.hashes == filter_.hashes
+        assert restored.count == filter_.count
+        assert all(b"x%d" % i in restored for i in range(100))
+
+    def test_serialization_rejects_garbage(self):
+        with pytest.raises(ParameterError):
+            BloomFilter.from_bytes(b"short")
+        filter_ = BloomFilter(64, 2)
+        truncated = filter_.to_bytes()[:-1]
+        with pytest.raises(ParameterError):
+            BloomFilter.from_bytes(truncated)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(0, 1)
+        with pytest.raises(ParameterError):
+            BloomFilter(10, 0)
+
+    def test_expected_fp_rate_grows_with_load(self):
+        filter_ = BloomFilter(512, 4)
+        filter_.add(b"one")
+        light = filter_.expected_false_positive_rate()
+        for i in range(200):
+            filter_.add(b"more-%d" % i)
+        assert filter_.expected_false_positive_rate() > light

@@ -1,0 +1,112 @@
+"""Unit tests for Goh's Bloom-filter secure index."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sse.goh import GohIndex
+
+KEY = b"goh-test-key-000"
+
+
+@pytest.fixture()
+def index():
+    goh = GohIndex(KEY, false_positive_rate=0.0001)
+    goh.add_document("d1", {"alpha", "beta", "gamma"})
+    goh.add_document("d2", {"beta", "delta"})
+    goh.add_document("d3", {"epsilon"})
+    goh.finalize()
+    return goh
+
+
+class TestSearch:
+    def test_single_match(self, index):
+        assert index.search(index.trapdoor("alpha")) == ["d1"]
+
+    def test_multi_match(self, index):
+        assert index.search(index.trapdoor("beta")) == ["d1", "d2"]
+
+    def test_absent_word(self, index):
+        assert index.search(index.trapdoor("nothere")) == []
+
+    def test_wrong_key_trapdoor_misses(self, index):
+        other = GohIndex(b"other-key-000000")
+        assert index.search(other.trapdoor("alpha")) == []
+
+    def test_no_false_negatives_across_vocabulary(self):
+        goh = GohIndex(KEY, false_positive_rate=0.001)
+        vocabulary = {f"word{i}" for i in range(200)}
+        goh.add_document("big", vocabulary)
+        goh.add_document("small", {"word0"})
+        goh.finalize()
+        for word in vocabulary:
+            assert "big" in goh.search(goh.trapdoor(word))
+
+
+class TestBlinding:
+    def test_filters_padded_to_common_load(self, index):
+        counts = {
+            index.filter_for(doc_id).count for doc_id in ("d1", "d2", "d3")
+        }
+        assert len(counts) == 1  # uniform item count
+
+    def test_fill_ratios_similar_despite_word_count_gap(self):
+        goh = GohIndex(KEY, false_positive_rate=0.001)
+        goh.add_document("rich", {f"w{i}" for i in range(100)})
+        goh.add_document("poor", {"single"})
+        goh.finalize()
+        rich = goh.filter_for("rich").fill_ratio()
+        poor = goh.filter_for("poor").fill_ratio()
+        assert abs(rich - poor) < 0.1
+
+    def test_same_word_different_files_different_entries(self):
+        # Identical words must not produce identical filter entries
+        # across files (the doc-id binding).
+        goh = GohIndex(KEY, false_positive_rate=0.001)
+        goh.add_document("a", {"shared"})
+        goh.add_document("b", {"shared"})
+        goh.finalize()
+        filter_a = goh.filter_for("a").to_bytes()
+        filter_b = goh.filter_for("b").to_bytes()
+        assert filter_a != filter_b
+
+
+class TestLifecycle:
+    def test_search_before_finalize_rejected(self):
+        goh = GohIndex(KEY)
+        goh.add_document("d1", {"x"})
+        with pytest.raises(ParameterError):
+            goh.search(goh.trapdoor("x"))
+
+    def test_add_after_finalize_rejected(self, index):
+        with pytest.raises(ParameterError):
+            index.add_document("d4", {"x"})
+
+    def test_double_finalize_rejected(self, index):
+        with pytest.raises(ParameterError):
+            index.finalize()
+
+    def test_finalize_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            GohIndex(KEY).finalize()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            GohIndex(b"")
+        with pytest.raises(ParameterError):
+            GohIndex(KEY, false_positive_rate=1.5)
+        goh = GohIndex(KEY)
+        with pytest.raises(ParameterError):
+            goh.add_document("", {"x"})
+        with pytest.raises(ParameterError):
+            goh.add_document("d", set())
+        goh.add_document("d", {"x"})
+        with pytest.raises(ParameterError):
+            goh.add_document("d", {"y"})
+        with pytest.raises(ParameterError):
+            goh.trapdoor("")
+
+    def test_diagnostics(self, index):
+        assert index.num_files == 3
+        assert index.size_bytes() > 0
+        with pytest.raises(ParameterError):
+            index.filter_for("ghost")

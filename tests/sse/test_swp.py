@@ -1,0 +1,108 @@
+"""Unit tests for the Song-Wagner-Perrig scheme."""
+
+import pytest
+
+from repro.errors import CryptoError, ParameterError
+from repro.sse.swp import BLOCK_BYTES, SwpCollection, SwpScheme
+
+KEY = b"swp-test-key-000"
+
+
+class TestEncryption:
+    def test_ciphertext_blocks_fixed_width(self):
+        scheme = SwpScheme(KEY)
+        blocks = scheme.encrypt_document("d1", ["alpha", "beta"])
+        assert all(len(block) == BLOCK_BYTES for block in blocks)
+
+    def test_same_word_different_positions_differ(self):
+        # The stream layer randomizes positions even for equal words.
+        scheme = SwpScheme(KEY)
+        blocks = scheme.encrypt_document("d1", ["alpha", "alpha"])
+        assert blocks[0] != blocks[1]
+
+    def test_same_word_different_documents_differ(self):
+        scheme = SwpScheme(KEY)
+        a = scheme.encrypt_document("d1", ["alpha"])
+        b = scheme.encrypt_document("d2", ["alpha"])
+        assert a != b
+
+    def test_decrypt_roundtrip(self):
+        scheme = SwpScheme(KEY)
+        words = ["alpha", "beta", "gamma", "alpha"]
+        blocks = scheme.decrypt_document(
+            "d1", scheme.encrypt_document("d1", words)
+        )
+        recovered = [block.rstrip(b"\x00").decode() for block in blocks]
+        assert recovered == words
+
+    def test_long_words_hash_compressed_consistently(self):
+        scheme = SwpScheme(KEY)
+        long_word = "extraordinarily-long-keyword-beyond-block"
+        collection = SwpCollection(scheme)
+        collection.add_document("d1", [long_word, "short"])
+        matches = collection.search(scheme.trapdoor(long_word))
+        assert matches == {"d1": [0]}
+
+    def test_decrypt_rejects_malformed_block(self):
+        scheme = SwpScheme(KEY)
+        with pytest.raises(CryptoError):
+            scheme.decrypt_document("d1", [b"short"])
+
+    def test_rejects_empty_key_and_ids(self):
+        with pytest.raises(ParameterError):
+            SwpScheme(b"")
+        scheme = SwpScheme(KEY)
+        with pytest.raises(ParameterError):
+            scheme.encrypt_document("", ["x"])
+        with pytest.raises(ParameterError):
+            scheme.trapdoor("")
+
+
+class TestSearch:
+    @pytest.fixture()
+    def collection(self):
+        scheme = SwpScheme(KEY)
+        collection = SwpCollection(scheme)
+        collection.add_document("d1", ["alpha", "beta", "alpha"])
+        collection.add_document("d2", ["beta", "gamma"])
+        collection.add_document("d3", ["delta"])
+        return scheme, collection
+
+    def test_finds_all_positions(self, collection):
+        scheme, coll = collection
+        assert coll.search(scheme.trapdoor("alpha")) == {"d1": [0, 2]}
+
+    def test_finds_across_documents(self, collection):
+        scheme, coll = collection
+        assert coll.search(scheme.trapdoor("beta")) == {
+            "d1": [1], "d2": [0],
+        }
+
+    def test_absent_word_empty(self, collection):
+        scheme, coll = collection
+        assert coll.search(scheme.trapdoor("missing")) == {}
+
+    def test_wrong_key_trapdoor_finds_nothing(self, collection):
+        _, coll = collection
+        other = SwpScheme(b"different-key-00")
+        assert coll.search(other.trapdoor("alpha")) == {}
+
+    def test_total_positions_is_collection_length(self, collection):
+        _, coll = collection
+        assert coll.total_word_positions == 6
+
+    def test_duplicate_document_rejected(self, collection):
+        _, coll = collection
+        with pytest.raises(ParameterError):
+            coll.add_document("d1", ["x"])
+
+
+class TestComplexityShape:
+    def test_search_scans_every_position(self):
+        """SWP's defining property: work scales with collection length."""
+        scheme = SwpScheme(KEY)
+        small = SwpCollection(scheme)
+        small.add_document("d", ["w%d" % i for i in range(10)])
+        large = SwpCollection(scheme)
+        large.add_document("d", ["w%d" % i for i in range(1000)])
+        assert large.total_word_positions == 100 * small.total_word_positions

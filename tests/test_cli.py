@@ -1,0 +1,134 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("corpus")
+    code = main(
+        ["gen-corpus", "--docs", "15", "--seed", "3", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory, corpus_dir):
+    root = tmp_path_factory.mktemp("deploy")
+    cloud = root / "cloud"
+    cred = root / "user.cred"
+    code = main(
+        [
+            "setup",
+            "--corpus", str(corpus_dir),
+            "--out", str(cloud),
+            "--credentials", str(cred),
+        ]
+    )
+    assert code == 0
+    return cloud, cred
+
+
+class TestGenCorpus:
+    def test_writes_documents(self, corpus_dir):
+        files = list(corpus_dir.glob("*.txt"))
+        assert len(files) == 15
+        assert files[0].read_text().startswith("RFC")
+
+    def test_deterministic(self, tmp_path):
+        main(["gen-corpus", "--docs", "3", "--seed", "9",
+              "--out", str(tmp_path / "a")])
+        main(["gen-corpus", "--docs", "3", "--seed", "9",
+              "--out", str(tmp_path / "b")])
+        for name in ("rfc0001.txt", "rfc0003.txt"):
+            assert (tmp_path / "a" / name).read_text() == (
+                tmp_path / "b" / name
+            ).read_text()
+
+
+class TestSetupAndSearch:
+    def test_deployment_layout(self, deployment):
+        cloud, cred = deployment
+        assert (cloud / "manifest.json").is_file()
+        assert (cloud / "index.bin").is_file()
+        assert (cloud / "blobs").is_dir()
+        assert cred.is_file()
+
+    def test_search_finds_results(self, deployment, capsys):
+        cloud, cred = deployment
+        code = main(
+            [
+                "search",
+                "--deployment", str(cloud),
+                "--credentials", str(cred),
+                "--keyword", "network",
+                "-k", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "#1" in output
+        assert "round trip" in output
+
+    def test_search_miss_returns_nonzero(self, deployment, capsys):
+        cloud, cred = deployment
+        code = main(
+            [
+                "search",
+                "--deployment", str(cloud),
+                "--credentials", str(cred),
+                "--keyword", "zzzzzz",
+            ]
+        )
+        assert code == 1
+        assert "no files match" in capsys.readouterr().out
+
+    def test_basic_scheme_deployment(self, tmp_path, corpus_dir, capsys):
+        cloud = tmp_path / "cloud-basic"
+        cred = tmp_path / "user.cred"
+        assert main(
+            [
+                "setup",
+                "--corpus", str(corpus_dir),
+                "--out", str(cloud),
+                "--credentials", str(cred),
+                "--scheme", "basic",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "search",
+                "--deployment", str(cloud),
+                "--credentials", str(cred),
+                "--keyword", "network",
+                "-k", "2",
+            ]
+        ) == 0
+        assert "2 round trip" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_prints_range_recommendation(self, corpus_dir, capsys):
+        code = main(["stats", "--corpus", str(corpus_dir)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "recommended |R|" in output
+        assert "max/lambda" in output
+
+    def test_custom_levels(self, corpus_dir, capsys):
+        code = main(
+            ["stats", "--corpus", str(corpus_dir), "--levels", "64"]
+        )
+        assert code == 0
+        assert "64" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_missing_corpus_reports_error(self, tmp_path, capsys):
+        code = main(["stats", "--corpus", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
