@@ -3,7 +3,10 @@
 * :class:`~repro.cloud.owner.DataOwner` — Setup phase;
 * :class:`~repro.cloud.server.CloudServer` — honest-but-curious host;
 * :class:`~repro.cloud.user.DataUser` — Retrieval phase;
-* :class:`~repro.cloud.network.Channel` — accounted transport.
+* :class:`~repro.cloud.network.Channel` — accounted transport;
+* :class:`~repro.cloud.cluster.ClusterServer` — sharded concurrent
+  front end over per-shard :class:`~repro.cloud.server.CloudServer`
+  workers.
 """
 
 from repro.cloud.abac import (
@@ -24,6 +27,14 @@ from repro.cloud.broadcast import (
     BroadcastCiphertext,
     BroadcastEncryption,
     UserKeySet,
+)
+from repro.cloud.cache import DEFAULT_CACHE_CAPACITY, LruCache
+from repro.cloud.cluster import (
+    DEFAULT_NUM_SHARDS,
+    DEFAULT_SHARD_SEED,
+    ClusterServer,
+    ShardedIndex,
+    shard_for_address,
 )
 from repro.cloud.network import Channel, ChannelStats, LinkModel
 from repro.cloud.owner import DataOwner, Outsourcing, UserCredentials
@@ -56,10 +67,15 @@ __all__ = [
     "Channel",
     "ChannelStats",
     "CloudServer",
+    "ClusterServer",
+    "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_NUM_SHARDS",
+    "DEFAULT_SHARD_SEED",
     "DataOwner",
     "DataUser",
     "FileRequest",
     "LinkModel",
+    "LruCache",
     "Outsourcing",
     "PolicyCiphertext",
     "PolicyDecryptor",
@@ -72,6 +88,7 @@ __all__ = [
     "SearchRequest",
     "SearchResponse",
     "ServerLog",
+    "ShardedIndex",
     "Threshold",
     "UpdateListRequest",
     "UserCredentials",
@@ -79,4 +96,5 @@ __all__ = [
     "and_of",
     "k_of",
     "or_of",
+    "shard_for_address",
 ]

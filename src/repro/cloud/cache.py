@@ -1,0 +1,112 @@
+"""Bounded, thread-safe LRU cache for decrypted posting lists.
+
+The server's search cache (:class:`repro.cloud.server.CloudServer`,
+:class:`repro.cloud.cluster.ClusterServer`) memoizes the decrypted
+posting list per queried address — information the protocol already
+leaks through the search pattern, so caching it adds no leakage.  A
+production server cannot hold an unbounded dict of decrypted lists, so
+this cache bounds residency with least-recently-used eviction.
+
+All operations take an internal lock, making the cache safe under the
+concurrent search traffic :class:`~repro.cloud.cluster.ClusterServer`
+generates.  The hit counter is monotone: it survives :meth:`clear` and
+evictions (it counts lifetime hits, not current contents).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.errors import ParameterError
+
+#: Default number of decrypted posting lists a server keeps resident.
+DEFAULT_CACHE_CAPACITY = 256
+
+
+class LruCache:
+    """A bounded map with least-recently-used eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries resident at once; inserting into a
+        full cache evicts the least recently *used* entry (both
+        :meth:`get` hits and :meth:`put` refresh recency).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY):
+        if capacity < 1:
+            raise ParameterError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum resident entries."""
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        """Lifetime :meth:`get` hits (monotone non-decreasing)."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lifetime :meth:`get` misses (monotone non-decreasing)."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Lifetime capacity evictions (monotone non-decreasing)."""
+        return self._evictions
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Presence test without touching recency or counters."""
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU one if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = value
+
+    def pop(self, key: Hashable) -> Any:
+        """Remove one entry (None if absent); no counter changes."""
+        with self._lock:
+            return self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries; lifetime counters are preserved."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> list[Hashable]:
+        """Snapshot of resident keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)

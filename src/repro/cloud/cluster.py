@@ -1,0 +1,515 @@
+"""Sharded, concurrent serving layer for the secure index.
+
+The single :class:`~repro.cloud.server.CloudServer` is a one-worker
+service; a production deployment partitions the encrypted index across
+worker shards so searches (and index maintenance) proceed in parallel.
+This module provides that layer:
+
+* :class:`ShardedIndex` — partitions :class:`SecureIndex` posting
+  lists across ``N`` shards by a keyed hash of the *index address*
+  ``pi_x(w)``.  Placement is a public function of the address, which
+  the server observes on every query anyway, so the partition leaks
+  nothing beyond the scheme's existing search/access-pattern leakage
+  — and because Wang et al.'s ranking is per-posting-list, every
+  search touches exactly one shard: shards are independent by
+  construction.
+* :class:`ClusterServer` — a front end that owns one
+  :class:`CloudServer` per shard, routes every request to the owning
+  shard, and fans concurrent traffic out on a thread pool.  Each shard
+  keeps its own bounded LRU decrypted-list cache and its own
+  :class:`~repro.cloud.network.ChannelStats`, aggregated across the
+  cluster.
+
+The concurrency model is deliberately simple: a shard is the unit of
+serialization (one request at a time per shard, via the shard lock),
+and posting-list updates swap whole list objects, so a search never
+observes a torn list — it sees either the pre-update or the
+post-update version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator, Sequence
+
+from repro.cloud.network import Channel, ChannelStats, LinkModel
+from repro.cloud.protocol import SearchRequest, peek_kind
+from repro.cloud.server import CloudServer, ServerLog
+from repro.cloud.storage import BlobStore
+from repro.cloud.updates import (
+    PutBlobRequest,
+    RemoveBlobRequest,
+    UpdateListRequest,
+)
+from repro.core.secure_index import EntryLayout, SecureIndex
+from repro.core.trapdoor import Trapdoor
+from repro.errors import ParameterError, ProtocolError
+
+#: Default keyed-hash seed for shard placement.  Any deployment-chosen
+#: value works (placement only needs to be stable and balanced); it is
+#: recorded alongside persisted shards so reloads route identically.
+DEFAULT_SHARD_SEED = b"repro-shard-placement-v1"
+
+#: Default shard count for convenience constructors.
+DEFAULT_NUM_SHARDS = 4
+
+
+def shard_for_address(
+    address: bytes, num_shards: int, seed: bytes = DEFAULT_SHARD_SEED
+) -> int:
+    """Owning shard of an index address: ``BLAKE2b_seed(address) mod N``.
+
+    A keyed hash of the already-pseudonymous address: balanced (the
+    addresses are PRF outputs, and the hash re-mixes them under the
+    deployment seed) and computable by anyone who sees the address —
+    i.e. exactly the parties the scheme already shows addresses to.
+    """
+    if num_shards < 1:
+        raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+    if not seed or len(seed) > 64:
+        raise ParameterError("shard seed must be 1..64 bytes")
+    digest = hashlib.blake2b(address, key=seed, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+class ShardedIndex:
+    """A :class:`SecureIndex` partitioned across ``N`` shards by address.
+
+    Presents the same owner/server surface as :class:`SecureIndex`
+    (``add_list`` / ``replace_list`` / ``lookup`` / ``items`` / sizes /
+    serialization) while storing each posting list in the shard its
+    address hashes to.  Every per-list operation touches exactly one
+    shard.
+
+    Parameters
+    ----------
+    layout:
+        The fixed entry geometry (identical across all shards).
+    num_shards:
+        Number of partitions.
+    padded_length:
+        Forwarded to every shard (basic-scheme list padding).
+    shard_seed:
+        Keyed-hash seed for placement (1..64 bytes).
+    """
+
+    def __init__(
+        self,
+        layout: EntryLayout,
+        num_shards: int,
+        padded_length: int | None = None,
+        shard_seed: bytes = DEFAULT_SHARD_SEED,
+    ):
+        if num_shards < 1:
+            raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+        if not shard_seed or len(shard_seed) > 64:
+            raise ParameterError("shard seed must be 1..64 bytes")
+        self._layout = layout
+        self._padded_length = padded_length
+        self._seed = bytes(shard_seed)
+        self._shards = tuple(
+            SecureIndex(layout, padded_length=padded_length)
+            for _ in range(num_shards)
+        )
+
+    @classmethod
+    def from_secure_index(
+        cls,
+        index: SecureIndex,
+        num_shards: int,
+        shard_seed: bytes = DEFAULT_SHARD_SEED,
+    ) -> "ShardedIndex":
+        """Partition an existing index (snapshot; the source is untouched)."""
+        sharded = cls(
+            index.layout,
+            num_shards,
+            padded_length=index.padded_length,
+            shard_seed=shard_seed,
+        )
+        for address, entries in index.items():
+            # Lists from a built index are already at padded_length,
+            # so the shard's own padding step is a no-op here.
+            sharded.shard_for(address).add_list(address, list(entries))
+        return sharded
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: Sequence[SecureIndex],
+        shard_seed: bytes = DEFAULT_SHARD_SEED,
+    ) -> "ShardedIndex":
+        """Reassemble from per-shard indexes (the persistence path).
+
+        Validates that every list sits in the shard its address hashes
+        to under ``shard_seed`` — a reload with the wrong seed or
+        reordered shard files would silently misroute every search
+        otherwise.
+        """
+        if not shards:
+            raise ParameterError("at least one shard is required")
+        first = shards[0]
+        sharded = cls(
+            first.layout,
+            len(shards),
+            padded_length=first.padded_length,
+            shard_seed=shard_seed,
+        )
+        for shard_id, shard in enumerate(shards):
+            if shard.layout != first.layout:
+                raise ParameterError("shards disagree on entry layout")
+            for address, entries in shard.items():
+                expected = shard_for_address(address, len(shards), sharded._seed)
+                if expected != shard_id:
+                    raise ParameterError(
+                        f"address {address.hex()} stored in shard {shard_id} "
+                        f"but hashes to shard {expected} (wrong seed or "
+                        "shard order?)"
+                    )
+                sharded._shards[shard_id].add_list(address, list(entries))
+        return sharded
+
+    # -- partition geometry ------------------------------------------------
+
+    @property
+    def layout(self) -> EntryLayout:
+        """The entry geometry (shared by all shards)."""
+        return self._layout
+
+    @property
+    def padded_length(self) -> int | None:
+        """``nu`` when padding is enabled, else None."""
+        return self._padded_length
+
+    @property
+    def num_shards(self) -> int:
+        """Number of partitions."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[SecureIndex, ...]:
+        """The per-shard indexes, in shard order."""
+        return self._shards
+
+    @property
+    def shard_seed(self) -> bytes:
+        """The placement seed (persisted with the deployment)."""
+        return self._seed
+
+    def shard_id(self, address: bytes) -> int:
+        """Owning shard number of an address."""
+        return shard_for_address(address, len(self._shards), self._seed)
+
+    def shard_for(self, address: bytes) -> SecureIndex:
+        """Owning shard of an address."""
+        return self._shards[self.shard_id(address)]
+
+    # -- SecureIndex surface ----------------------------------------------
+
+    def add_list(self, address: bytes, encrypted_entries: list[bytes]) -> None:
+        """Store one posting list in its owning shard."""
+        self.shard_for(address).add_list(address, encrypted_entries)
+
+    def replace_list(
+        self, address: bytes, encrypted_entries: list[bytes]
+    ) -> None:
+        """Replace an existing list in its owning shard."""
+        self.shard_for(address).replace_list(address, encrypted_entries)
+
+    def lookup(self, address: bytes) -> list[bytes] | None:
+        """Fetch the entries at ``address`` from its owning shard."""
+        return self.shard_for(address).lookup(address)
+
+    def items(self) -> Iterator[tuple[bytes, list[bytes]]]:
+        """All lists across shards, merged back into address order."""
+        return heapq.merge(
+            *(shard.items() for shard in self._shards),
+            key=lambda item: item[0],
+        )
+
+    @property
+    def num_lists(self) -> int:
+        """Total posting lists across shards."""
+        return sum(shard.num_lists for shard in self._shards)
+
+    def size_bytes(self) -> int:
+        """Total ciphertext bytes across shards."""
+        return sum(shard.size_bytes() for shard in self._shards)
+
+    def to_secure_index(self) -> SecureIndex:
+        """Merge back into a single unsharded index (a copy)."""
+        merged = SecureIndex(self._layout, padded_length=self._padded_length)
+        for address, entries in self.items():
+            merged.add_list(address, list(entries))
+        return merged
+
+    # -- serialization -----------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Self-describing encoding: seed + per-shard index encodings."""
+        import json
+
+        payload = {
+            "kind": "sharded-index",
+            "shard_seed": self._seed.hex(),
+            "shards": [
+                json.loads(shard.serialize().decode("utf-8"))
+                for shard in self._shards
+            ],
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ShardedIndex":
+        """Parse the :meth:`serialize` encoding (placement revalidated)."""
+        import json
+
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            if payload.get("kind") != "sharded-index":
+                raise ParameterError("not a sharded-index encoding")
+            seed = bytes.fromhex(payload["shard_seed"])
+            shards = [
+                SecureIndex.deserialize(
+                    json.dumps(item, sort_keys=True).encode("utf-8")
+                )
+                for item in payload["shards"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"malformed sharded-index encoding: {exc}"
+            ) from exc
+        return cls.from_shards(shards, shard_seed=seed)
+
+
+class ClusterServer:
+    """A sharded, thread-safe cloud server.
+
+    Owns one :class:`CloudServer` per shard (each hosting one partition
+    of the index and sharing the blob store), routes every request to
+    the shard owning its address, and fans concurrent request batches
+    out on a thread pool.  Exposes the same byte-level :meth:`handle`
+    entry point as :class:`CloudServer`, so owners
+    (:class:`~repro.cloud.updates.RemoteIndexMaintainer`) and users
+    (:class:`~repro.cloud.user.DataUser`) connect to a cluster exactly
+    as to a single server.
+
+    Parameters
+    ----------
+    index:
+        A pre-partitioned :class:`ShardedIndex`, or a plain
+        :class:`SecureIndex` to partition on construction (snapshot).
+    blob_store:
+        The encrypted collection, shared across shards.
+    can_rank:
+        Forwarded to every shard server (efficient vs basic scheme).
+    num_shards:
+        Partition count when ``index`` is unsharded (default 4);
+        must be omitted or match when a :class:`ShardedIndex` is given.
+    cache_searches / cache_capacity:
+        Per-cluster decrypted-list cache switch and *total* capacity;
+        each shard runs its own LRU of ``capacity / N`` entries (at
+        least one), and :meth:`invalidate_cache` routes to the owning
+        shard.
+    update_token:
+        Write-authorization secret, forwarded to every shard.
+    max_workers:
+        Thread-pool width for :meth:`handle_many` (default: twice the
+        shard count).
+    link_model / simulate_latency:
+        Forwarded to each shard's :class:`~repro.cloud.network.Channel`;
+        with ``simulate_latency`` every shard call sleeps for its
+        modeled service time, making scaling measurements wall-clock
+        faithful (see ``benchmarks/bench_cluster_scaling.py``).
+    """
+
+    def __init__(
+        self,
+        index: SecureIndex | ShardedIndex,
+        blob_store: BlobStore,
+        can_rank: bool,
+        num_shards: int | None = None,
+        cache_searches: bool = False,
+        cache_capacity: int | None = None,
+        update_token: bytes | None = None,
+        max_workers: int | None = None,
+        link_model: LinkModel | None = None,
+        simulate_latency: bool = False,
+        shard_seed: bytes = DEFAULT_SHARD_SEED,
+    ):
+        if isinstance(index, ShardedIndex):
+            if num_shards is not None and num_shards != index.num_shards:
+                raise ParameterError(
+                    f"index has {index.num_shards} shards but num_shards="
+                    f"{num_shards} was requested"
+                )
+            self._sharded = index
+        else:
+            self._sharded = ShardedIndex.from_secure_index(
+                index,
+                num_shards if num_shards is not None else DEFAULT_NUM_SHARDS,
+                shard_seed=shard_seed,
+            )
+        shards = self._sharded.num_shards
+        if cache_capacity is None:
+            per_shard_capacity = None
+        else:
+            if cache_capacity < 1:
+                raise ParameterError(
+                    f"cache capacity must be >= 1, got {cache_capacity}"
+                )
+            per_shard_capacity = max(1, cache_capacity // shards)
+        self._blobs = blob_store
+        self._servers = tuple(
+            CloudServer(
+                shard,
+                blob_store,
+                can_rank,
+                cache_searches=cache_searches,
+                update_token=update_token,
+                **(
+                    {"cache_capacity": per_shard_capacity}
+                    if per_shard_capacity is not None
+                    else {}
+                ),
+            )
+            for shard in self._sharded.shards
+        )
+        self._channels = tuple(
+            Channel(
+                server.handle,
+                link_model=link_model,
+                simulate_latency=simulate_latency,
+            )
+            for server in self._servers
+        )
+        self._shard_locks = tuple(threading.Lock() for _ in range(shards))
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers if max_workers is not None else 2 * shards,
+            thread_name_prefix="rsse-shard",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the request thread pool down (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return self._sharded.num_shards
+
+    @property
+    def sharded_index(self) -> ShardedIndex:
+        """The hosted partitioned index."""
+        return self._sharded
+
+    @property
+    def servers(self) -> tuple[CloudServer, ...]:
+        """The per-shard servers, in shard order."""
+        return self._servers
+
+    @property
+    def blob_store(self) -> BlobStore:
+        """The hosted encrypted collection (shared across shards)."""
+        return self._blobs
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_id_for(self, request_bytes: bytes) -> int:
+        """Owning shard of one request.
+
+        Addressed requests (search, update-list) go to the shard that
+        owns the address.  Blob requests carry no index address; they
+        hash their file id (or id list) so blob traffic spreads across
+        shard workers deterministically — the blob store itself is
+        shared, so any worker can serve them.
+        """
+        kind = peek_kind(request_bytes)
+        if kind == "search":
+            request = SearchRequest.from_bytes(request_bytes)
+            address = Trapdoor.deserialize(request.trapdoor_bytes).address
+        elif kind == "update-list":
+            address = UpdateListRequest.from_bytes(request_bytes).address
+        elif kind == "put-blob":
+            address = PutBlobRequest.from_bytes(request_bytes).file_id.encode(
+                "utf-8"
+            )
+        elif kind == "remove-blob":
+            address = RemoveBlobRequest.from_bytes(
+                request_bytes
+            ).file_id.encode("utf-8")
+        elif kind == "fetch":
+            address = request_bytes
+        else:
+            raise ProtocolError(f"unknown request kind {kind!r}")
+        return shard_for_address(
+            address, self._sharded.num_shards, self._sharded.shard_seed
+        )
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        """Route one request to its owning shard and serve it.
+
+        Safe to call from many threads at once; requests to distinct
+        shards proceed in parallel, requests to the same shard are
+        serialized on the shard lock.
+        """
+        shard = self.shard_id_for(request_bytes)
+        with self._shard_locks[shard]:
+            return self._channels[shard].call(request_bytes)
+
+    def handle_many(self, requests: Iterable[bytes]) -> list[bytes]:
+        """Serve a batch concurrently; responses in request order."""
+        return list(self._executor.map(self.handle, requests))
+
+    # -- cache -------------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Searches answered from shard caches, cluster-wide."""
+        return sum(server.cache_hits for server in self._servers)
+
+    def invalidate_cache(self, address: bytes | None = None) -> None:
+        """Drop cached decrypted lists (all shards, or one address)."""
+        if address is None:
+            for server in self._servers:
+                server.invalidate_cache()
+        else:
+            self._servers[self._sharded.shard_id(address)].invalidate_cache(
+                address
+            )
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def shard_stats(self) -> tuple[ChannelStats, ...]:
+        """Per-shard traffic counters, in shard order."""
+        return tuple(channel.stats for channel in self._channels)
+
+    def total_stats(self) -> ChannelStats:
+        """Cluster-wide traffic counters (merged across shards)."""
+        return ChannelStats.merged(self.shard_stats)
+
+    @property
+    def logs(self) -> tuple[ServerLog, ...]:
+        """Per-shard curious-server logs, in shard order."""
+        return tuple(server.log for server in self._servers)
+
+    def search_pattern(self) -> dict[bytes, int]:
+        """Cluster-wide search pattern (merged across shard logs)."""
+        pattern: dict[bytes, int] = {}
+        for log in self.logs:
+            for address, count in log.search_pattern().items():
+                pattern[address] = pattern.get(address, 0) + count
+        return pattern

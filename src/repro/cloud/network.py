@@ -10,8 +10,10 @@ under a configurable latency/bandwidth model, which is how
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import ParameterError
 
@@ -38,6 +40,22 @@ class ChannelStats:
         self.bytes_to_user = 0
         self.requests.clear()
         self.responses.clear()
+
+    @classmethod
+    def merged(cls, stats: Iterable["ChannelStats"]) -> "ChannelStats":
+        """Aggregate several channels' counters into a fresh object.
+
+        The cluster front end serves each shard over its own channel;
+        this is how its per-shard traffic rolls up into one figure.
+        """
+        total = cls()
+        for item in stats:
+            total.round_trips += item.round_trips
+            total.bytes_to_server += item.bytes_to_server
+            total.bytes_to_user += item.bytes_to_user
+            total.requests.extend(item.requests)
+            total.responses.extend(item.responses)
+        return total
 
 
 @dataclass(frozen=True)
@@ -78,12 +96,39 @@ class Channel:
     """A request/response channel from user to server.
 
     The server side registers a handler (bytes in, bytes out); each
-    :meth:`call` is one round trip and is fully accounted.
+    :meth:`call` is one round trip and is fully accounted.  Counter
+    updates are lock-protected, so one channel may carry requests from
+    several user threads (the cluster server does exactly that).
+
+    Parameters
+    ----------
+    handler:
+        The server-side request handler.
+    link_model:
+        Optional latency/bandwidth model.  With ``simulate_latency``
+        set, each call *sleeps* for the modeled transfer time instead
+        of merely estimating it afterwards — turning the simulated
+        network into a wall-clock-faithful one, which is what the
+        cluster scaling benchmark measures against.
+    simulate_latency:
+        Actually pay ``link_model``'s estimated time per call.
     """
 
-    def __init__(self, handler: Callable[[bytes], bytes]):
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        link_model: LinkModel | None = None,
+        simulate_latency: bool = False,
+    ):
+        if simulate_latency and link_model is None:
+            raise ParameterError(
+                "simulate_latency requires a link_model to price calls"
+            )
         self._handler = handler
         self._stats = ChannelStats()
+        self._link_model = link_model
+        self._simulate_latency = simulate_latency
+        self._lock = threading.Lock()
 
     @property
     def stats(self) -> ChannelStats:
@@ -92,10 +137,18 @@ class Channel:
 
     def call(self, request: bytes) -> bytes:
         """Send ``request``, return the server's response (one RTT)."""
-        self._stats.round_trips += 1
-        self._stats.bytes_to_server += len(request)
-        self._stats.requests.append(len(request))
+        with self._lock:
+            self._stats.round_trips += 1
+            self._stats.bytes_to_server += len(request)
+            self._stats.requests.append(len(request))
         response = self._handler(request)
-        self._stats.bytes_to_user += len(response)
-        self._stats.responses.append(len(response))
+        with self._lock:
+            self._stats.bytes_to_user += len(response)
+            self._stats.responses.append(len(response))
+        if self._simulate_latency and self._link_model is not None:
+            time.sleep(
+                self._link_model.rtt_seconds
+                + (len(request) + len(response))
+                / self._link_model.bandwidth_bytes_per_second
+            )
         return response

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.cloud.cluster import ShardedIndex
 from repro.cloud.owner import Outsourcing, UserCredentials
 from repro.cloud.storage import BlobStore
 from repro.core.secure_index import SecureIndex
@@ -29,6 +30,7 @@ from repro.errors import ProtocolError
 _MANIFEST = "manifest.json"
 _INDEX = "index.bin"
 _BLOBS = "blobs"
+_SHARDS = "shards"
 
 
 def _safe_blob_name(doc_id: str) -> str:
@@ -74,6 +76,11 @@ def load_outsourcing(root: str | Path) -> tuple[Outsourcing, str]:
         raise ProtocolError(f"corrupt manifest: {exc}") from exc
     if not isinstance(manifest, dict):
         raise ProtocolError("manifest is not a JSON object")
+    if manifest.get("sharded"):
+        raise ProtocolError(
+            f"{root} holds a sharded deployment; load it with "
+            "load_sharded_outsourcing()"
+        )
     secure_index = SecureIndex.deserialize((root / _INDEX).read_bytes())
     blob_store = BlobStore()
     blob_dir = root / _BLOBS
@@ -91,6 +98,97 @@ def load_outsourcing(root: str | Path) -> tuple[Outsourcing, str]:
         Outsourcing(secure_index=secure_index, blob_store=blob_store),
         str(manifest.get("scheme", "rsse")),
     )
+
+
+def save_sharded_outsourcing(
+    root: str | Path,
+    sharded_index: ShardedIndex,
+    blob_store: BlobStore,
+    scheme_kind: str,
+) -> None:
+    """Write a sharded deployment directory.
+
+    Layout mirrors :func:`save_outsourcing`, with the index split as
+    the cluster serves it::
+
+        <root>/
+          manifest.json            (``"sharded": true`` + placement seed)
+          shards/shard-<i>.bin     one serialized SecureIndex per shard
+          blobs/<doc_id>           encrypted file payloads
+
+    The placement seed lands in the manifest so a reload routes every
+    address to the same shard; :meth:`ShardedIndex.from_shards`
+    revalidates placement at load time.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    shard_dir = root / _SHARDS
+    shard_dir.mkdir(exist_ok=True)
+    for shard_id, shard in enumerate(sharded_index.shards):
+        (shard_dir / f"shard-{shard_id}.bin").write_bytes(shard.serialize())
+    blob_dir = root / _BLOBS
+    blob_dir.mkdir(exist_ok=True)
+    for doc_id in blob_store.ids():
+        (blob_dir / _safe_blob_name(doc_id)).write_bytes(
+            blob_store.get(doc_id)
+        )
+    manifest = {
+        "scheme": scheme_kind,
+        "sharded": True,
+        "num_shards": sharded_index.num_shards,
+        "shard_seed": sharded_index.shard_seed.hex(),
+        "num_lists": sharded_index.num_lists,
+        "num_blobs": len(blob_store),
+        "index_bytes": sharded_index.size_bytes(),
+    }
+    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def load_sharded_outsourcing(
+    root: str | Path,
+) -> tuple[ShardedIndex, BlobStore, str]:
+    """Load a sharded deployment; returns (index, blobs, scheme kind)."""
+    root = Path(root)
+    manifest_path = root / _MANIFEST
+    if not manifest_path.is_file():
+        raise ProtocolError(f"no deployment manifest under {root}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"corrupt manifest: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ProtocolError("manifest is not a JSON object")
+    if not manifest.get("sharded"):
+        raise ProtocolError(
+            f"{root} holds an unsharded deployment; load it with "
+            "load_outsourcing()"
+        )
+    try:
+        num_shards = int(manifest["num_shards"])
+        seed = bytes.fromhex(manifest["shard_seed"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed sharded manifest: {exc}") from exc
+    shard_dir = root / _SHARDS
+    shards = []
+    for shard_id in range(num_shards):
+        shard_path = shard_dir / f"shard-{shard_id}.bin"
+        if not shard_path.is_file():
+            raise ProtocolError(f"missing shard file {shard_path}")
+        shards.append(SecureIndex.deserialize(shard_path.read_bytes()))
+    sharded_index = ShardedIndex.from_shards(shards, shard_seed=seed)
+    blob_store = BlobStore()
+    blob_dir = root / _BLOBS
+    if blob_dir.is_dir():
+        for blob_path in sorted(blob_dir.iterdir()):
+            blob_store.put(
+                _blob_id_from_name(blob_path.name), blob_path.read_bytes()
+            )
+    expected = manifest.get("num_blobs")
+    if expected is not None and expected != len(blob_store):
+        raise ProtocolError(
+            f"manifest expects {expected} blobs, found {len(blob_store)}"
+        )
+    return sharded_index, blob_store, str(manifest.get("scheme", "rsse"))
 
 
 def save_key(path: str | Path, key: SchemeKey) -> None:

@@ -37,6 +37,22 @@ def _decode(data: bytes, expected_kind: str) -> dict:
     return payload
 
 
+def peek_kind(request_bytes: bytes) -> str:
+    """Read a message's ``kind`` tag without full parsing.
+
+    Servers (:class:`~repro.cloud.server.CloudServer`, the cluster
+    front end) use this to dispatch before choosing which typed
+    ``from_bytes`` to run.
+    """
+    try:
+        payload = json.loads(request_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed request: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request is not a JSON object")
+    return payload.get("kind", "")
+
+
 @dataclass(frozen=True)
 class SearchRequest:
     """A search: the trapdoor, optionally with a top-k bound.

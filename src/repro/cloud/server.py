@@ -14,14 +14,16 @@ paper's threat model.
 
 from __future__ import annotations
 
-import json
+import threading
 from dataclasses import dataclass, field
 
+from repro.cloud.cache import DEFAULT_CACHE_CAPACITY, LruCache
 from repro.cloud.protocol import (
     FileRequest,
     RankedFilesResponse,
     SearchRequest,
     SearchResponse,
+    peek_kind,
 )
 from repro.cloud.storage import BlobStore
 from repro.core.results import ServerMatch
@@ -83,6 +85,12 @@ class ServerLog:
 class CloudServer:
     """The cloud server ``CS`` of Fig. 1.
 
+    One ``CloudServer`` processes one request at a time: :meth:`handle`
+    takes an internal lock, so concurrent callers are safe but
+    serialized.  The unit of parallelism is the *server* — the sharded
+    front end (:class:`repro.cloud.cluster.ClusterServer`) runs one of
+    these per shard to serve searches concurrently.
+
     Parameters
     ----------
     secure_index:
@@ -94,6 +102,11 @@ class CloudServer:
         numeric order is relevance order); False for the basic scheme,
         where the server returns matches in index order because score
         fields are semantically secure ciphertexts.
+    cache_searches:
+        Memoize decrypted posting lists per queried address (the search
+        pattern the scheme already leaks) in a bounded LRU cache.
+    cache_capacity:
+        Maximum decrypted lists resident when caching is enabled.
     """
 
     def __init__(
@@ -103,16 +116,17 @@ class CloudServer:
         can_rank: bool,
         cache_searches: bool = False,
         update_token: bytes | None = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ):
         self._index = secure_index
         self._blobs = blob_store
         self._can_rank = can_rank
         self._log = ServerLog()
-        self._cache: dict[bytes, list[ServerMatch]] | None = (
-            {} if cache_searches else None
+        self._cache: LruCache | None = (
+            LruCache(cache_capacity) if cache_searches else None
         )
-        self._cache_hits = 0
         self._update_token = update_token
+        self._lock = threading.RLock()
 
     @property
     def log(self) -> ServerLog:
@@ -132,18 +146,23 @@ class CloudServer:
     # -- protocol handling -------------------------------------------------
 
     def handle(self, request_bytes: bytes) -> bytes:
-        """Transport entry point: dispatch one request, return response."""
-        kind = self._peek_kind(request_bytes)
-        if kind == "search":
-            return self._handle_search(
-                SearchRequest.from_bytes(request_bytes)
-            ).to_bytes()
-        if kind == "fetch":
-            return self._handle_fetch(
-                FileRequest.from_bytes(request_bytes)
-            ).to_bytes()
-        if kind in ("update-list", "put-blob", "remove-blob"):
-            return self._handle_update(kind, request_bytes).to_bytes()
+        """Transport entry point: dispatch one request, return response.
+
+        Serialized on the server's lock: this server is a one-worker
+        service, safe (but not parallel) under concurrent callers.
+        """
+        kind = peek_kind(request_bytes)
+        with self._lock:
+            if kind == "search":
+                return self._handle_search(
+                    SearchRequest.from_bytes(request_bytes)
+                ).to_bytes()
+            if kind == "fetch":
+                return self._handle_fetch(
+                    FileRequest.from_bytes(request_bytes)
+                ).to_bytes()
+            if kind in ("update-list", "put-blob", "remove-blob"):
+                return self._handle_update(kind, request_bytes).to_bytes()
         raise ProtocolError(f"unknown request kind {kind!r}")
 
     def _handle_update(self, kind: str, request_bytes: bytes):
@@ -188,34 +207,31 @@ class CloudServer:
         self._blobs.delete(remove.file_id)
         return AckResponse(ok=True)
 
-    @staticmethod
-    def _peek_kind(request_bytes: bytes) -> str:
-        try:
-            payload = json.loads(request_bytes.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ProtocolError(f"malformed request: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise ProtocolError("request is not a JSON object")
-        return payload.get("kind", "")
-
     @property
     def cache_hits(self) -> int:
         """Searches answered from the decrypted-list cache."""
-        return self._cache_hits
+        return self._cache.hits if self._cache is not None else 0
+
+    @property
+    def cache(self) -> LruCache | None:
+        """The bounded decrypted-list cache (None when disabled)."""
+        return self._cache
 
     def invalidate_cache(self, address: bytes | None = None) -> None:
         """Drop cached decrypted lists (all, or one address).
 
         An owner pushing index updates must call this (or deploy with
-        ``cache_searches=False``); the simulated deployment gives the
-        owner a direct handle to do so.
+        ``cache_searches=False``); the update protocol of
+        :mod:`repro.cloud.updates` does it on every list it touches,
+        and the simulated deployment gives the owner a direct handle
+        too.
         """
         if self._cache is None:
             return
         if address is None:
             self._cache.clear()
         else:
-            self._cache.pop(address, None)
+            self._cache.pop(address)
 
     def _matches_for(self, trapdoor: Trapdoor) -> list[ServerMatch]:
         """``SearchIndex``: locate, decrypt, drop dummies.
@@ -224,12 +240,13 @@ class CloudServer:
         the scheme already reveals) reuse the decrypted list: the
         per-entry decryption work is paid once per keyword, not once
         per query — a legitimate optimization because it consumes only
-        information the protocol leaks anyway.
+        information the protocol leaks anyway.  The cache is a bounded
+        LRU (:class:`~repro.cloud.cache.LruCache`): cold keywords are
+        evicted and simply re-decrypted on their next query.
         """
         if self._cache is not None:
             cached = self._cache.get(trapdoor.address)
             if cached is not None:
-                self._cache_hits += 1
                 return cached
         entries = self._index.lookup(trapdoor.address)
         if entries is None:
@@ -242,7 +259,7 @@ class CloudServer:
                 )
             ]
         if self._cache is not None:
-            self._cache[trapdoor.address] = matches
+            self._cache.put(trapdoor.address, matches)
         return matches
 
     def _handle_search(self, request: SearchRequest) -> SearchResponse:
@@ -264,11 +281,20 @@ class CloudServer:
             returned: list[ServerMatch] = []
             files: tuple[tuple[str, bytes], ...] = ()
         else:
-            returned = ordered
-            files = tuple(
-                (match.file_id, self._blobs.get(match.file_id))
-                for match in returned
-            )
+            # Tolerate a file removed between the index read and the
+            # blob fetch (concurrent owner updates): dropping it from
+            # both lists yields exactly the post-removal response
+            # instead of a torn one.
+            returned = []
+            payloads = []
+            for match in ordered:
+                blob = self._blobs.get_optional(match.file_id)
+                if blob is None:
+                    continue
+                returned.append(match)
+                payloads.append((match.file_id, blob))
+            ordered = returned
+            files = tuple(payloads)
 
         self._log.observations.append(
             SearchObservation(

@@ -37,6 +37,17 @@ class BlobStore:
         except KeyError:
             raise ProtocolError(f"no blob stored for {file_id!r}") from None
 
+    def get_optional(self, file_id: str) -> bytes | None:
+        """Fetch a blob, or None when absent.
+
+        The tolerant lookup the search path uses under concurrent
+        updates: a file whose index entries were read just before its
+        blob was removed is simply dropped from the response (which is
+        exactly the post-removal answer), instead of failing the whole
+        search.
+        """
+        return self._blobs.get(file_id)
+
     def delete(self, file_id: str) -> None:
         """Remove a blob (file-removal dynamics)."""
         if file_id not in self._blobs:

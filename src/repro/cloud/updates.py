@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hmac
 import json
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.cloud.network import Channel
@@ -218,8 +219,37 @@ class RemoteIndexMaintainer:
             raise ProtocolError(f"server rejected update: {ack.detail}")
         return ack
 
-    def insert_document(self, document: Document) -> UpdateReport:
-        """Insert a document: blob upload + per-keyword appends."""
+    def _dispatch_terms(self, terms, build_request, workers: int) -> None:
+        """Send one update message per term, optionally concurrently.
+
+        Per-term messages touch distinct posting lists (distinct
+        addresses), so they commute; against a sharded server they land
+        on their owning shards in parallel.  Message *construction*
+        (trapdoor + entry encryption) happens inside the workers too —
+        it reads only immutable key material and the already-mutated
+        plaintext index.
+        """
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if workers == 1 or len(terms) <= 1:
+            for term in terms:
+                self._call(build_request(term))
+            return
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for ack in pool.map(
+                lambda term: self._call(build_request(term)), terms
+            ):
+                assert ack.ok
+
+    def insert_document(
+        self, document: Document, workers: int = 1
+    ) -> UpdateReport:
+        """Insert a document: blob upload + per-keyword appends.
+
+        The blob is uploaded *before* any index entries so a concurrent
+        search never matches a file whose payload is missing; the
+        per-keyword appends then dispatch on ``workers`` threads.
+        """
         owner = self._owner
         index = owner.plain_index
         index.add_document(
@@ -239,35 +269,37 @@ class RemoteIndexMaintainer:
                 ),
             ).to_bytes()
         )
-        entries_written = 0
-        for term in terms:
+
+        def append_request(term: str) -> bytes:
             trapdoor = self._scheme.trapdoor(owner.key, term)
             entry = build_entry(
                 self._scheme, owner.key, index, owner.quantizer, term,
                 document.doc_id,
             )
-            self._call(
-                UpdateListRequest(
-                    token=self._token,
-                    address=trapdoor.address,
-                    entries=(entry,),
-                    mode="append",
-                ).to_bytes()
-            )
-            entries_written += 1
+            return UpdateListRequest(
+                token=self._token,
+                address=trapdoor.address,
+                entries=(entry,),
+                mode="append",
+            ).to_bytes()
+
+        self._dispatch_terms(terms, append_request, workers)
         return UpdateReport(
             lists_touched=len(terms),
-            entries_written=entries_written,
+            entries_written=len(terms),
             entries_remapped=0,
         )
 
-    def remove_document(self, doc_id: str) -> UpdateReport:
+    def remove_document(self, doc_id: str, workers: int = 1) -> UpdateReport:
         """Remove a document: per-keyword list rewrites + blob delete.
 
         The owner recomputes each affected list from its plaintext
         index (minus the removed file) and replaces it wholesale; other
         files' entries are regenerated deterministically, so their OPM
-        values are unchanged (no remapping in the paper's sense).
+        values are unchanged (no remapping in the paper's sense).  All
+        list rewrites complete (on ``workers`` threads) before the blob
+        is deleted, so a concurrent search that still matches the file
+        can still fetch it.
         """
         owner = self._owner
         index = owner.plain_index
@@ -279,8 +311,8 @@ class RemoteIndexMaintainer:
         if not terms:
             raise ParameterError(f"document {doc_id!r} is not indexed")
         index.remove_document(doc_id)
-        entries_removed = 0
-        for term in terms:
+
+        def replace_request(term: str) -> bytes:
             trapdoor = self._scheme.trapdoor(owner.key, term)
             replacement = tuple(
                 build_entry(
@@ -289,15 +321,14 @@ class RemoteIndexMaintainer:
                 )
                 for posting in index.posting_list(term)
             )
-            self._call(
-                UpdateListRequest(
-                    token=self._token,
-                    address=trapdoor.address,
-                    entries=replacement,
-                    mode="replace",
-                ).to_bytes()
-            )
-            entries_removed += 1
+            return UpdateListRequest(
+                token=self._token,
+                address=trapdoor.address,
+                entries=replacement,
+                mode="replace",
+            ).to_bytes()
+
+        self._dispatch_terms(terms, replace_request, workers)
         self._call(
             RemoveBlobRequest(token=self._token, file_id=doc_id).to_bytes()
         )
@@ -305,5 +336,5 @@ class RemoteIndexMaintainer:
             lists_touched=len(terms),
             entries_written=0,
             entries_remapped=0,
-            entries_removed=entries_removed,
+            entries_removed=len(terms),
         )

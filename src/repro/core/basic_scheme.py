@@ -23,6 +23,7 @@ measurable — see ``benchmarks/bench_basic_vs_rsse.py``.
 from __future__ import annotations
 
 import struct
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.params import PAPER_PARAMETERS, SchemeParameters
 from repro.core.results import RankedFile, ServerMatch, as_ranking
@@ -30,10 +31,12 @@ from repro.core.secure_index import (
     EntryLayout,
     SecureIndex,
     decrypt_posting_list,
+    deterministic_dummy_entries,
     encrypt_entry,
 )
 from repro.core.trapdoor import Trapdoor, generate_trapdoor
 from repro.crypto.keys import SchemeKey, keygen
+from repro.crypto.prf import Prf
 from repro.crypto.symmetric import SymmetricCipher
 from repro.errors import ParameterError
 from repro.ir.inverted_index import InvertedIndex
@@ -42,6 +45,12 @@ from repro.ir.topk import rank_all, top_k
 
 #: Relevance scores travel as IEEE-754 doubles inside ``E_z``.
 _SCORE_PLAINTEXT_BYTES = 8
+
+
+def _frame(value: str) -> bytes:
+    """Length-prefixed UTF-8 encoding (unambiguous concatenation)."""
+    raw = value.encode("utf-8")
+    return len(raw).to_bytes(4, "big") + raw
 
 
 class BasicRankedSSE:
@@ -86,44 +95,87 @@ class BasicRankedSSE:
         key: SchemeKey,
         index: InvertedIndex,
         terms: set[str] | None = None,
+        workers: int = 1,
     ) -> SecureIndex:
         """``BuildIndex(K, C)`` exactly as Fig. 3.
 
         For each keyword: compute equation-2 scores, encrypt each with
         ``E_z``, wrap into ``0^l || id || E_z(S)`` entries encrypted
-        under ``f_y(w)``, pad the list to ``nu`` with random dummies,
-        and file it under address ``pi_x(w)``.  Pass ``terms`` to build
-        only those keywords' posting lists (partial builds for
-        experiments); padding still uses the collection-wide ``nu``.
+        under ``f_y(w)``, pad the list to ``nu`` with dummies, and file
+        it under address ``pi_x(w)``.  Pass ``terms`` to build only
+        those keywords' posting lists (partial builds for experiments);
+        padding still uses the collection-wide ``nu``.
+
+        The build is byte-reproducible: the ``E_z`` nonce is a PRF of
+        ``(keyword, file, score)`` under a ``z``-derived sub-key — a
+        distinct pseudorandom nonce per entry, so score ciphertexts
+        stay pairwise unlinkable exactly as with random nonces, while
+        the same key and corpus always produce the same bytes.  Entry
+        encryption and list padding are likewise deterministic (see
+        :func:`repro.core.secure_index.encrypt_entry`).  ``workers > 1``
+        builds posting lists on a thread pool and inserts them in
+        plaintext-index iteration order, so the output is identical for
+        every worker count.
         """
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
         score_cipher = SymmetricCipher(key.require_z())
+        score_nonce_prf = Prf(
+            Prf(key.require_z()).derive_key(b"score-nonce", 32)
+        )
         padded_length = index.max_posting_length()
         if padded_length == 0:
             raise ParameterError("cannot build an index from an empty collection")
-        secure = SecureIndex(self._layout, padded_length=padded_length)
-        for term, postings in index.items():
-            if terms is not None and term not in terms:
-                continue
+
+        def build_list(item: tuple[str, list]) -> tuple[bytes, list[bytes]]:
+            term, postings = item
             trapdoor = generate_trapdoor(
                 key, term, self._params.address_bits
             )
+            entry_cipher = SymmetricCipher(trapdoor.list_key)
             entries = []
             for posting in postings:
                 score = single_keyword_score(
                     posting.term_frequency, index.file_length(posting.file_id)
                 )
-                encrypted_score = score_cipher.encrypt(
-                    struct.pack(">d", score)
+                score_bytes = struct.pack(">d", score)
+                nonce = score_nonce_prf.evaluate_to_length(
+                    _frame(term) + _frame(posting.file_id) + score_bytes, 16
                 )
+                encrypted_score = score_cipher.encrypt(score_bytes, nonce)
                 entries.append(
                     encrypt_entry(
                         self._layout,
                         trapdoor.list_key,
                         posting.file_id,
                         encrypted_score,
+                        cipher=entry_cipher,
                     )
                 )
-            secure.add_list(trapdoor.address, entries)
+            if len(entries) < padded_length:
+                entries.extend(
+                    deterministic_dummy_entries(
+                        self._layout,
+                        trapdoor.list_key,
+                        padded_length - len(entries),
+                        start=len(entries),
+                    )
+                )
+            return trapdoor.address, entries
+
+        selected = [
+            (term, postings)
+            for term, postings in index.items()
+            if terms is None or term in terms
+        ]
+        if workers == 1:
+            built_lists = [build_list(item) for item in selected]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                built_lists = list(pool.map(build_list, selected))
+        secure = SecureIndex(self._layout, padded_length=padded_length)
+        for address, entries in built_lists:
+            secure.add_list(address, entries)
         return secure
 
     # -- Retrieval phase -----------------------------------------------------

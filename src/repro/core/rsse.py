@@ -18,6 +18,7 @@ leakage the paper trades for one-round server-side ranking
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.params import PAPER_PARAMETERS, SchemeParameters
@@ -26,12 +27,14 @@ from repro.core.secure_index import (
     EntryLayout,
     SecureIndex,
     decrypt_posting_list,
+    deterministic_dummy_entries,
     encrypt_entry,
 )
 from repro.core.trapdoor import Trapdoor, generate_trapdoor
 from repro.crypto.keys import SchemeKey, keygen
 from repro.crypto.opm import OneToManyOpm
 from repro.crypto.prf import Prf
+from repro.crypto.symmetric import SymmetricCipher
 from repro.errors import ParameterError
 from repro.ir.inverted_index import InvertedIndex
 from repro.ir.scoring import ScoreQuantizer, single_keyword_score
@@ -118,6 +121,7 @@ class EfficientRSSE:
         index: InvertedIndex,
         quantizer: ScoreQuantizer | None = None,
         terms: set[str] | None = None,
+        workers: int = 1,
     ) -> BuiltIndex:
         """``BuildIndex(K, C)`` with OPM-protected scores.
 
@@ -132,7 +136,17 @@ class EfficientRSSE:
         to build only those keywords' posting lists (partial builds for
         experiments or staged outsourcing); the quantizer is still
         fitted collection-wide so levels agree with a full build.
+
+        ``workers > 1`` builds posting lists on a thread pool — each
+        list is an independent unit of work (its key material and OPM
+        are derived per keyword, touching no shared state).  Encrypted
+        lists are inserted in the plaintext index's iteration order
+        after all workers finish, and entry nonces/padding are derived
+        deterministically (see :func:`encrypt_entry`), so the produced
+        index is byte-identical for every worker count.
         """
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
         if quantizer is None:
             quantizer = self.fit_quantizer(index)
         if quantizer.levels != self._params.score_levels:
@@ -143,12 +157,12 @@ class EfficientRSSE:
         padded_length = (
             index.max_posting_length() if self._params.pad_posting_lists else None
         )
-        secure = SecureIndex(self._layout, padded_length=padded_length)
-        for term, postings in index.items():
-            if terms is not None and term not in terms:
-                continue
+
+        def build_list(item: tuple[str, list]) -> tuple[bytes, list[bytes]]:
+            term, postings = item
             trapdoor = generate_trapdoor(key, term, self._params.address_bits)
             opm = self.opm_for_term(key, term)
+            cipher = SymmetricCipher(trapdoor.list_key)
             entries = []
             for posting in postings:
                 score = single_keyword_score(
@@ -162,9 +176,33 @@ class EfficientRSSE:
                         trapdoor.list_key,
                         posting.file_id,
                         self.encode_score_field(opm_value),
+                        cipher=cipher,
                     )
                 )
-            secure.add_list(trapdoor.address, entries)
+            if padded_length is not None and len(entries) < padded_length:
+                entries.extend(
+                    deterministic_dummy_entries(
+                        self._layout,
+                        trapdoor.list_key,
+                        padded_length - len(entries),
+                        start=len(entries),
+                    )
+                )
+            return trapdoor.address, entries
+
+        selected = [
+            (term, postings)
+            for term, postings in index.items()
+            if terms is None or term in terms
+        ]
+        if workers == 1:
+            built_lists = [build_list(item) for item in selected]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                built_lists = list(pool.map(build_list, selected))
+        secure = SecureIndex(self._layout, padded_length=padded_length)
+        for address, entries in built_lists:
+            secure.add_list(address, entries)
         return BuiltIndex(secure_index=secure, quantizer=quantizer)
 
     # -- Retrieval phase ------------------------------------------------------

@@ -28,6 +28,7 @@ import json
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.crypto.prf import Prf
 from repro.crypto.symmetric import SymmetricCipher, random_bytes_like_ciphertext
 from repro.errors import IndexError_, ParameterError, ReproError
 
@@ -302,11 +303,57 @@ class SecureIndex:
 
 
 def encrypt_entry(
-    layout: EntryLayout, list_key: bytes, file_id: str, score_field: bytes
+    layout: EntryLayout,
+    list_key: bytes,
+    file_id: str,
+    score_field: bytes,
+    cipher: SymmetricCipher | None = None,
+    deterministic: bool = True,
 ) -> bytes:
-    """Encrypt one posting entry under the per-list key ``f_y(w)``."""
-    cipher = SymmetricCipher(list_key)
-    return cipher.encrypt(layout.encode_entry(file_id, score_field))
+    """Encrypt one posting entry under the per-list key ``f_y(w)``.
+
+    By default the nonce is the SIV of the entry plaintext
+    (:meth:`SymmetricCipher.encrypt_deterministic`), so the same
+    (key, file, score) always produces the same ciphertext: index
+    builds become byte-reproducible regardless of worker count, and
+    the dynamics path regenerates unchanged entries verbatim.  Within
+    one posting list every plaintext is distinct (file ids are unique
+    per list), so no nonce is ever reused.  Pass
+    ``deterministic=False`` for the classic randomized behaviour.
+
+    Callers encrypting a whole posting list should construct the
+    :class:`SymmetricCipher` once and pass it via ``cipher`` — key
+    derivation is the dominant per-entry cost otherwise.
+    """
+    if cipher is None:
+        cipher = SymmetricCipher(list_key)
+    plaintext = layout.encode_entry(file_id, score_field)
+    if deterministic:
+        return cipher.encrypt_deterministic(plaintext)
+    return cipher.encrypt(plaintext)
+
+
+def deterministic_dummy_entries(
+    layout: EntryLayout, list_key: bytes, count: int, start: int = 0
+) -> list[bytes]:
+    """PRF-derived dummy entries for reproducible list padding.
+
+    The dummies are the output of a PRF keyed by a sub-key derived from
+    ``f_y(w)`` with its own label, so they are pseudorandom (length-
+    and content-indistinguishable from real ciphertexts, like the
+    uniform dummies of Fig. 3) yet fail authentication under the list
+    cipher with overwhelming probability.  Being a pure function of
+    ``(list_key, position)`` they reproduce exactly across rebuilds and
+    across build-worker counts.
+    """
+    if count < 0:
+        raise ParameterError(f"dummy count must be >= 0, got {count}")
+    pad_prf = Prf(Prf(list_key).derive_key(b"dummy-pad", 32))
+    width = layout.ciphertext_bytes
+    return [
+        pad_prf.evaluate_to_length(position.to_bytes(8, "big"), width)
+        for position in range(start, start + count)
+    ]
 
 
 def try_decrypt_entry(

@@ -75,6 +75,7 @@ class SymmetricCipher:
         key = bytes(key)
         self._enc_key = hmac.new(key, b"cipher|enc", _DIGEST).digest()
         self._mac_key = hmac.new(key, b"cipher|mac", _DIGEST).digest()
+        self._siv_key = hmac.new(key, b"cipher|siv", _DIGEST).digest()
 
     def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
         """Encrypt and authenticate ``plaintext``.
@@ -92,6 +93,30 @@ class SymmetricCipher:
         body = _xor(bytes(plaintext), _keystream(self._enc_key, nonce, len(plaintext)))
         tag = hmac.new(self._mac_key, nonce + body, _DIGEST).digest()[:_TAG_BYTES]
         return nonce + body + tag
+
+    def deterministic_nonce(self, plaintext: bytes) -> bytes:
+        """The SIV nonce for ``plaintext``: ``HMAC(siv_key, plaintext)``.
+
+        A PRF of the plaintext under an independently derived sub-key:
+        distinct plaintexts can never collide on a nonce (up to PRF
+        security), and equal plaintexts map to equal nonces — the
+        misuse-resistant "synthetic IV" construction.
+        """
+        return hmac.new(self._siv_key, bytes(plaintext), _DIGEST).digest()[
+            :_NONCE_BYTES
+        ]
+
+    def encrypt_deterministic(self, plaintext: bytes) -> bytes:
+        """SIV-mode encryption: same key + plaintext ⇒ same ciphertext.
+
+        Trades the unlinkability of randomized encryption for
+        reproducibility: re-encrypting an unchanged plaintext yields the
+        identical ciphertext, which is what makes index builds
+        byte-reproducible (and parallel builds verifiable against
+        sequential ones).  Distinct plaintexts still get distinct,
+        pseudorandom nonces, so keystream reuse cannot occur.
+        """
+        return self.encrypt(plaintext, nonce=self.deterministic_nonce(plaintext))
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         """Verify and decrypt; raises :class:`IntegrityError` on tampering."""

@@ -1,0 +1,462 @@
+"""Unit tests for the sharded serving layer.
+
+Covers shard placement, the :class:`ShardedIndex` partition (routing,
+merge-iteration, serialization, placement validation), the
+:class:`ClusterServer` front end (byte-equivalence with a single
+:class:`CloudServer`, update routing, cache aggregation/invalidation,
+stats merging) and the sharded persistence round trip.
+"""
+
+import random
+
+import pytest
+
+from repro.cloud.cluster import (
+    DEFAULT_SHARD_SEED,
+    ClusterServer,
+    ShardedIndex,
+    shard_for_address,
+)
+from repro.cloud.network import Channel, LinkModel
+from repro.cloud.owner import DataOwner
+from repro.cloud.persistence import (
+    load_outsourcing,
+    load_sharded_outsourcing,
+    save_sharded_outsourcing,
+)
+from repro.cloud.protocol import SearchRequest, SearchResponse
+from repro.cloud.server import CloudServer
+from repro.cloud.storage import BlobStore
+from repro.cloud.updates import RemoteIndexMaintainer
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.core.secure_index import EntryLayout, SecureIndex
+from repro.corpus.loader import Document
+from repro.errors import ParameterError, ProtocolError
+from repro.ir.inverted_index import InvertedIndex
+
+VOCAB = [f"term{i:02d}" for i in range(32)]
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = InvertedIndex()
+    rng = random.Random(42)
+    for doc in range(20):
+        index.add_document(
+            f"doc{doc}", [rng.choice(VOCAB) for _ in range(40)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(20):
+        blobs.put(f"doc{doc}", b"cipher-" + str(doc).encode())
+    return scheme, key, built, blobs
+
+
+def search_bytes(scheme, key, keyword, k=5):
+    return SearchRequest(
+        trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(), top_k=k
+    ).to_bytes()
+
+
+class TestShardPlacement:
+    def test_stable_and_in_range(self):
+        for i in range(100):
+            address = f"addr-{i}".encode()
+            shard = shard_for_address(address, 4)
+            assert shard == shard_for_address(address, 4)
+            assert 0 <= shard < 4
+
+    def test_seed_changes_placement(self):
+        addresses = [f"addr-{i}".encode() for i in range(64)]
+        default = [shard_for_address(a, 8) for a in addresses]
+        other = [shard_for_address(a, 8, seed=b"other") for a in addresses]
+        assert default != other
+
+    def test_reasonably_balanced(self):
+        counts = [0] * 4
+        for i in range(400):
+            counts[shard_for_address(f"addr-{i}".encode(), 4)] += 1
+        # Keyed BLAKE2b output: each shard should get a fair share.
+        assert min(counts) > 50
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            shard_for_address(b"x", 0)
+        with pytest.raises(ParameterError):
+            shard_for_address(b"x", 4, seed=b"")
+        with pytest.raises(ParameterError):
+            shard_for_address(b"x", 4, seed=b"s" * 65)
+
+
+class TestShardedIndex:
+    def test_partition_covers_whole_index(self, deployment):
+        _, _, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        assert sharded.num_shards == 4
+        assert sharded.num_lists == built.secure_index.num_lists
+        assert sharded.size_bytes() == built.secure_index.size_bytes()
+        assert list(sharded.items()) == list(built.secure_index.items())
+
+    def test_every_list_in_owning_shard(self, deployment):
+        _, _, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        for shard_id, shard in enumerate(sharded.shards):
+            for address, _ in shard.items():
+                assert sharded.shard_id(address) == shard_id
+
+    def test_lookup_routes_to_owner(self, deployment):
+        scheme, key, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        for keyword in VOCAB[:8]:
+            address = scheme.trapdoor(key, keyword).address
+            assert sharded.lookup(address) == built.secure_index.lookup(
+                address
+            )
+        assert sharded.lookup(b"\x00" * 20) is None
+
+    def test_to_secure_index_round_trip(self, deployment):
+        _, _, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 3)
+        merged = sharded.to_secure_index()
+        assert merged.serialize() == built.secure_index.serialize()
+
+    def test_serialize_round_trip(self, deployment):
+        _, _, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        restored = ShardedIndex.deserialize(sharded.serialize())
+        assert restored.num_shards == 4
+        assert restored.shard_seed == DEFAULT_SHARD_SEED
+        assert list(restored.items()) == list(sharded.items())
+
+    def test_from_shards_rejects_misplaced_list(self, deployment):
+        _, _, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        # Reloading the shard files in the wrong order misroutes every
+        # address; the validator must catch it.
+        shuffled = tuple(reversed(sharded.shards))
+        with pytest.raises(ParameterError, match="hashes to shard"):
+            ShardedIndex.from_shards(shuffled)
+
+    def test_from_shards_rejects_wrong_seed(self, deployment):
+        _, _, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        with pytest.raises(ParameterError):
+            ShardedIndex.from_shards(sharded.shards, shard_seed=b"wrong")
+
+    def test_deserialize_rejects_garbage(self):
+        with pytest.raises(ParameterError):
+            ShardedIndex.deserialize(b"not json")
+        with pytest.raises(ParameterError):
+            ShardedIndex.deserialize(b'{"kind": "something-else"}')
+
+    def test_rejects_bad_shard_count(self, deployment):
+        layout = EntryLayout(
+            zero_pad_bytes=2, file_id_bytes=16, score_bytes=8
+        )
+        with pytest.raises(ParameterError):
+            ShardedIndex(layout, 0)
+        with pytest.raises(ParameterError):
+            ShardedIndex.from_shards(())
+
+    def test_single_shard_degenerates_to_plain_index(self, deployment):
+        _, _, built, _ = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 1)
+        assert sharded.shards[0].num_lists == built.secure_index.num_lists
+
+
+class TestClusterServer:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_byte_identical_to_single_server(self, deployment, num_shards):
+        scheme, key, built, blobs = deployment
+        single = CloudServer(built.secure_index, blobs, can_rank=True)
+        with ClusterServer(
+            built.secure_index, blobs, can_rank=True, num_shards=num_shards
+        ) as cluster:
+            requests = [search_bytes(scheme, key, w) for w in VOCAB]
+            expected = [single.handle(r) for r in requests]
+            assert cluster.handle_many(requests) == expected
+            # And via the sequential entry point too.
+            assert [cluster.handle(r) for r in requests] == expected
+
+    def test_accepts_presharded_index(self, deployment):
+        scheme, key, built, blobs = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        with ClusterServer(sharded, blobs, can_rank=True) as cluster:
+            assert cluster.num_shards == 4
+            response = SearchResponse.from_bytes(
+                cluster.handle(search_bytes(scheme, key, VOCAB[0]))
+            )
+            assert response.matches
+
+    def test_rejects_mismatched_shard_count(self, deployment):
+        _, _, built, blobs = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        with pytest.raises(ParameterError):
+            ClusterServer(sharded, blobs, can_rank=True, num_shards=2)
+
+    def test_rejects_unknown_request_kind(self, deployment):
+        _, _, built, blobs = deployment
+        with ClusterServer(
+            built.secure_index, blobs, can_rank=True, num_shards=2
+        ) as cluster:
+            with pytest.raises(ProtocolError):
+                cluster.handle(b'{"kind": "mystery"}')
+
+    def test_cache_hits_aggregate_across_shards(self, deployment):
+        scheme, key, built, blobs = deployment
+        with ClusterServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            num_shards=4,
+            cache_searches=True,
+        ) as cluster:
+            requests = [search_bytes(scheme, key, w) for w in VOCAB[:12]]
+            cluster.handle_many(requests)
+            assert cluster.cache_hits == 0
+            cluster.handle_many(requests)
+            assert cluster.cache_hits == 12
+
+    def test_invalidate_cache_targets_owning_shard(self, deployment):
+        scheme, key, built, blobs = deployment
+        with ClusterServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            num_shards=4,
+            cache_searches=True,
+        ) as cluster:
+            hot = search_bytes(scheme, key, VOCAB[0])
+            cold = search_bytes(scheme, key, VOCAB[1])
+            cluster.handle(hot)
+            cluster.handle(cold)
+            cluster.invalidate_cache(
+                scheme.trapdoor(key, VOCAB[0]).address
+            )
+            cluster.handle(cold)
+            assert cluster.cache_hits == 1  # cold survived
+            cluster.handle(hot)
+            assert cluster.cache_hits == 1  # hot was dropped
+            cluster.invalidate_cache()
+            cluster.handle(cold)
+            assert cluster.cache_hits == 1
+
+    def test_cache_capacity_split_across_shards(self, deployment):
+        _, _, built, blobs = deployment
+        with ClusterServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            num_shards=4,
+            cache_searches=True,
+            cache_capacity=8,
+        ) as cluster:
+            for server in cluster.servers:
+                assert server.cache is not None
+                assert server.cache.capacity == 2
+        with pytest.raises(ParameterError):
+            ClusterServer(
+                built.secure_index,
+                blobs,
+                can_rank=True,
+                cache_searches=True,
+                cache_capacity=0,
+            )
+
+    def test_stats_aggregate_across_shards(self, deployment):
+        scheme, key, built, blobs = deployment
+        with ClusterServer(
+            built.secure_index, blobs, can_rank=True, num_shards=4
+        ) as cluster:
+            requests = [search_bytes(scheme, key, w) for w in VOCAB]
+            cluster.handle_many(requests)
+            total = cluster.total_stats()
+            assert total.round_trips == len(VOCAB)
+            assert total.round_trips == sum(
+                stats.round_trips for stats in cluster.shard_stats
+            )
+            assert total.bytes_to_server == sum(
+                len(request) for request in requests
+            )
+
+    def test_search_pattern_merges_shard_logs(self, deployment):
+        scheme, key, built, blobs = deployment
+        with ClusterServer(
+            built.secure_index, blobs, can_rank=True, num_shards=4
+        ) as cluster:
+            hot = search_bytes(scheme, key, VOCAB[0])
+            cluster.handle(hot)
+            cluster.handle(hot)
+            cluster.handle(search_bytes(scheme, key, VOCAB[1]))
+            pattern = cluster.search_pattern()
+            address = scheme.trapdoor(key, VOCAB[0]).address
+            assert pattern[address] == 2
+            assert sum(pattern.values()) == 3
+
+    def test_simulated_latency_requires_link_model(self, deployment):
+        _, _, built, blobs = deployment
+        with pytest.raises(ParameterError):
+            ClusterServer(
+                built.secure_index,
+                blobs,
+                can_rank=True,
+                simulate_latency=True,
+            )
+        with ClusterServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            num_shards=2,
+            link_model=LinkModel(rtt_seconds=0.0),
+            simulate_latency=True,
+        ) as cluster:
+            assert cluster.num_shards == 2
+
+
+class TestClusterUpdates:
+    def test_remote_maintainer_through_cluster(self):
+        """The owner's update driver works against a cluster unchanged."""
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        token = b"cluster-update-token"
+        owner = DataOwner(scheme)
+        documents = [
+            Document(
+                doc_id=f"doc{i}",
+                title=f"doc {i}",
+                text="alpha beta gamma " * (i + 1),
+            )
+            for i in range(6)
+        ]
+        outsourcing = owner.setup(documents)
+        cluster = ClusterServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            num_shards=4,
+            cache_searches=True,
+            update_token=token,
+        )
+        with cluster:
+            maintainer = RemoteIndexMaintainer(
+                owner, Channel(cluster.handle), token
+            )
+            key = owner.key
+            before = SearchResponse.from_bytes(
+                cluster.handle(search_bytes(scheme, key, "alpha", k=None))
+            )
+            report = maintainer.insert_document(
+                Document(
+                    doc_id="new-doc",
+                    title="new doc",
+                    text="alpha alpha delta",
+                )
+            )
+            assert report.entries_remapped == 0
+            after = SearchResponse.from_bytes(
+                cluster.handle(search_bytes(scheme, key, "alpha", k=None))
+            )
+            ids = {m[0] for m in after.matches}
+            assert "new-doc" in ids
+            assert len(after.matches) == len(before.matches) + 1
+            maintainer.remove_document("new-doc")
+            final = SearchResponse.from_bytes(
+                cluster.handle(search_bytes(scheme, key, "alpha", k=None))
+            )
+            assert {m[0] for m in final.matches} == {
+                m[0] for m in before.matches
+            }
+
+    def test_parallel_update_dispatch_matches_serial(self):
+        """workers>1 update dispatch converges to the same index state."""
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        token = b"par-token"
+        documents = [
+            Document(
+                doc_id=f"doc{i}",
+                title=f"doc {i}",
+                text="alpha beta gamma delta epsilon " * (i + 1),
+            )
+            for i in range(4)
+        ]
+        new_doc = Document(
+            doc_id="fresh",
+            title="fresh",
+            text="alpha beta gamma delta epsilon zeta",
+        )
+        snapshots = {}
+        for workers in (1, 3):
+            owner = DataOwner(scheme)
+            outsourcing = owner.setup(documents)
+            cluster = ClusterServer(
+                outsourcing.secure_index,
+                outsourcing.blob_store,
+                can_rank=True,
+                num_shards=3,
+                update_token=token,
+            )
+            with cluster:
+                maintainer = RemoteIndexMaintainer(
+                    owner, Channel(cluster.handle), token
+                )
+                maintainer.insert_document(new_doc, workers=workers)
+                maintainer.remove_document("doc2", workers=workers)
+                snapshots[workers] = {
+                    keyword: {
+                        m[0]
+                        for m in SearchResponse.from_bytes(
+                            cluster.handle(
+                                search_bytes(scheme, owner.key, keyword, k=None)
+                            )
+                        ).matches
+                    }
+                    for keyword in ("alpha", "zeta")
+                }
+        assert snapshots[1] == snapshots[3]
+        assert "fresh" in snapshots[3]["alpha"]
+        assert "doc2" not in snapshots[3]["alpha"]
+
+
+class TestShardedPersistence:
+    def test_save_load_round_trip(self, deployment, tmp_path):
+        scheme, key, built, blobs = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 4)
+        save_sharded_outsourcing(tmp_path, sharded, blobs, "rsse")
+        loaded_index, loaded_blobs, kind = load_sharded_outsourcing(
+            tmp_path
+        )
+        assert kind == "rsse"
+        assert loaded_index.num_shards == 4
+        assert list(loaded_index.items()) == list(sharded.items())
+        assert len(loaded_blobs) == len(blobs)
+        # A cluster over the reloaded shards answers identically.
+        single = CloudServer(built.secure_index, blobs, can_rank=True)
+        with ClusterServer(
+            loaded_index, loaded_blobs, can_rank=True
+        ) as cluster:
+            for keyword in VOCAB[:6]:
+                request = search_bytes(scheme, key, keyword)
+                assert cluster.handle(request) == single.handle(request)
+
+    def test_plain_loader_rejects_sharded_layout(
+        self, deployment, tmp_path
+    ):
+        _, _, built, blobs = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 2)
+        save_sharded_outsourcing(tmp_path, sharded, blobs, "rsse")
+        with pytest.raises(ProtocolError, match="sharded"):
+            load_outsourcing(tmp_path)
+
+    def test_sharded_loader_rejects_plain_layout(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"scheme": "rsse"}')
+        with pytest.raises(ProtocolError, match="unsharded"):
+            load_sharded_outsourcing(tmp_path)
+
+    def test_missing_shard_file_detected(self, deployment, tmp_path):
+        _, _, built, blobs = deployment
+        sharded = ShardedIndex.from_secure_index(built.secure_index, 3)
+        save_sharded_outsourcing(tmp_path, sharded, blobs, "rsse")
+        (tmp_path / "shards" / "shard-1.bin").unlink()
+        with pytest.raises(ProtocolError, match="missing shard"):
+            load_sharded_outsourcing(tmp_path)

@@ -1,0 +1,320 @@
+"""Correctness-under-concurrency suite for the serving layer.
+
+The properties under test:
+
+* **Equivalence** — concurrent searches through the sharded cluster
+  return byte-identical responses to a sequential single
+  :class:`CloudServer` over the same index.
+* **Atomicity** — with searcher threads racing an owner update thread,
+  every response corresponds to a *pre-* or *post-update* snapshot of
+  the collection: a response never shows a torn state (a file in the
+  match list whose blob is gone, half of an update, a crash).
+* **Cache sanity** — the bounded LRU stays within capacity and its
+  counters add up under concurrent hits.
+
+These tests are deterministic in their assertions (no dependence on
+dict/set iteration order or hash seeding), so they pass under any
+``PYTHONHASHSEED`` and with test randomization disabled
+(``pytest -p no:randomly``).
+"""
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cloud.cluster import ClusterServer
+from repro.cloud.network import Channel
+from repro.cloud.owner import DataOwner
+from repro.cloud.protocol import SearchRequest, SearchResponse
+from repro.cloud.server import CloudServer
+from repro.cloud.updates import RemoteIndexMaintainer
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.corpus.loader import Document
+from repro.ir.inverted_index import InvertedIndex
+from repro.cloud.storage import BlobStore
+
+SEARCHER_THREADS = 8
+UPDATE_CYCLES = 12
+
+
+def search_bytes(scheme, key, keyword, k=None):
+    return SearchRequest(
+        trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(), top_k=k
+    ).to_bytes()
+
+
+@pytest.fixture(scope="module")
+def static_deployment():
+    """A read-only deployment for the equivalence tests."""
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = InvertedIndex()
+    rng = random.Random(99)
+    vocab = [f"kw{i:02d}" for i in range(24)]
+    for doc in range(18):
+        index.add_document(
+            f"doc{doc}", [rng.choice(vocab) for _ in range(36)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(18):
+        blobs.put(f"doc{doc}", b"blob-" + str(doc).encode())
+    return scheme, key, built, blobs, vocab
+
+
+class TestConcurrentEquivalence:
+    def test_cluster_matches_single_server_under_load(
+        self, static_deployment
+    ):
+        scheme, key, built, blobs, vocab = static_deployment
+        single = CloudServer(built.secure_index, blobs, can_rank=True)
+        requests = [
+            search_bytes(scheme, key, keyword, k=5)
+            for keyword in vocab * 4
+        ]
+        expected = [single.handle(request) for request in requests]
+        with ClusterServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            num_shards=4,
+            cache_searches=True,
+            max_workers=SEARCHER_THREADS,
+        ) as cluster:
+            assert cluster.handle_many(requests) == expected
+
+    def test_many_client_threads_calling_handle_directly(
+        self, static_deployment
+    ):
+        scheme, key, built, blobs, vocab = static_deployment
+        single = CloudServer(built.secure_index, blobs, can_rank=True)
+        requests = [
+            search_bytes(scheme, key, keyword, k=3)
+            for keyword in vocab * 3
+        ]
+        expected = [single.handle(request) for request in requests]
+        with ClusterServer(
+            built.secure_index, blobs, can_rank=True, num_shards=4
+        ) as cluster:
+            with ThreadPoolExecutor(SEARCHER_THREADS) as pool:
+                actual = list(pool.map(cluster.handle, requests))
+        assert actual == expected
+
+    def test_single_server_is_thread_safe(self, static_deployment):
+        """CloudServer serializes concurrent callers without corruption."""
+        scheme, key, built, blobs, vocab = static_deployment
+        server = CloudServer(
+            built.secure_index, blobs, can_rank=True, cache_searches=True
+        )
+        requests = [
+            search_bytes(scheme, key, keyword, k=4) for keyword in vocab
+        ]
+        expected = [server.handle(request) for request in requests]
+        with ThreadPoolExecutor(SEARCHER_THREADS) as pool:
+            for _ in range(3):
+                actual = list(pool.map(server.handle, requests))
+                assert actual == expected
+
+
+class TestSearchersVersusOwner:
+    def test_every_response_is_a_consistent_snapshot(self):
+        """N searchers race an updating owner; no torn responses.
+
+        The owner repeatedly inserts a fresh document containing the
+        hot keyword and then removes it again.  At any instant the
+        collection is BASE or BASE + {one dynamic doc}; every search
+        response must equal one of those snapshots exactly — matches
+        and file payloads agreeing with each other — regardless of how
+        the response interleaves with the update messages.
+        """
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        token = b"race-token"
+        owner = DataOwner(scheme)
+        documents = [
+            Document(
+                doc_id=f"base{i}",
+                title=f"base {i}",
+                text="hot cold warm " * (i + 2),
+            )
+            for i in range(5)
+        ]
+        outsourcing = owner.setup(documents)
+        base_ids = {f"base{i}" for i in range(5)}
+        dynamic_ids = {f"dyn{cycle}" for cycle in range(UPDATE_CYCLES)}
+        key = owner.key
+        request = search_bytes(scheme, key, "hot")
+
+        cluster = ClusterServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            num_shards=4,
+            cache_searches=True,
+            update_token=token,
+        )
+        maintainer = RemoteIndexMaintainer(
+            owner, Channel(cluster.handle), token
+        )
+
+        stop = threading.Event()
+        failures: list[str] = []
+        responses_seen = [0]
+        count_lock = threading.Lock()
+
+        def searcher() -> None:
+            while not stop.is_set():
+                response = SearchResponse.from_bytes(
+                    cluster.handle(request)
+                )
+                match_ids = [m[0] for m in response.matches]
+                file_ids = [f[0] for f in response.files]
+                extra = set(match_ids) - base_ids
+                if match_ids != file_ids:
+                    failures.append(
+                        f"matches/files disagree: {match_ids} vs {file_ids}"
+                    )
+                if len(match_ids) != len(set(match_ids)):
+                    failures.append(f"duplicate matches: {match_ids}")
+                if not base_ids <= set(match_ids):
+                    failures.append(f"base doc missing: {match_ids}")
+                if len(extra) > 1 or not extra <= dynamic_ids:
+                    failures.append(f"impossible snapshot: {match_ids}")
+                with count_lock:
+                    responses_seen[0] += 1
+
+        threads = [
+            threading.Thread(target=searcher)
+            for _ in range(SEARCHER_THREADS)
+        ]
+        with cluster:
+            for thread in threads:
+                thread.start()
+            try:
+                for cycle in range(UPDATE_CYCLES):
+                    maintainer.insert_document(
+                        Document(
+                            doc_id=f"dyn{cycle}",
+                            title=f"dyn {cycle}",
+                            text="hot hot hot",
+                        )
+                    )
+                    maintainer.remove_document(f"dyn{cycle}")
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+
+        assert not failures, failures[:5]
+        assert responses_seen[0] > 0
+        # After the dust settles: exactly the base collection remains.
+        final = SearchResponse.from_bytes(cluster.handle(request))
+        assert {m[0] for m in final.matches} == base_ids
+
+    @pytest.mark.slow
+    def test_extended_stress_with_simulated_latency(self):
+        """Longer race with per-call latency to widen interleavings.
+
+        Same invariant as the snapshot test above, but with simulated
+        per-shard service latency (sleeps inside the shard channel give
+        the scheduler many more chances to interleave searchers with
+        the owner's update messages) and more update cycles.  Excluded
+        from the CI fast lane via the ``slow`` marker.
+        """
+        from repro.cloud.network import LinkModel
+
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        token = b"stress-token"
+        owner = DataOwner(scheme)
+        outsourcing = owner.setup(
+            [
+                Document(
+                    doc_id=f"base{i}",
+                    title=f"base {i}",
+                    text="hot cold " * (i + 2),
+                )
+                for i in range(4)
+            ]
+        )
+        base_ids = {f"base{i}" for i in range(4)}
+        cycles = 30
+        dynamic_ids = {f"dyn{cycle}" for cycle in range(cycles)}
+        key = owner.key
+        request = search_bytes(scheme, key, "hot")
+        cluster = ClusterServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            num_shards=4,
+            cache_searches=True,
+            update_token=token,
+            link_model=LinkModel(rtt_seconds=0.001),
+            simulate_latency=True,
+        )
+        maintainer = RemoteIndexMaintainer(
+            owner, Channel(cluster.handle), token
+        )
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def searcher() -> None:
+            while not stop.is_set():
+                response = SearchResponse.from_bytes(
+                    cluster.handle(request)
+                )
+                ids = [m[0] for m in response.matches]
+                extra = set(ids) - base_ids
+                if (
+                    [f[0] for f in response.files] != ids
+                    or not base_ids <= set(ids)
+                    or len(extra) > 1
+                    or not extra <= dynamic_ids
+                ):
+                    failures.append(f"inconsistent snapshot: {ids}")
+
+        threads = [
+            threading.Thread(target=searcher) for _ in range(12)
+        ]
+        with cluster:
+            for thread in threads:
+                thread.start()
+            try:
+                for cycle in range(cycles):
+                    maintainer.insert_document(
+                        Document(
+                            doc_id=f"dyn{cycle}",
+                            title=f"dyn {cycle}",
+                            text="hot hot",
+                        )
+                    )
+                    maintainer.remove_document(f"dyn{cycle}")
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+        assert not failures, failures[:5]
+
+    def test_cache_counters_and_bound_hold_under_concurrency(
+        self, static_deployment
+    ):
+        scheme, key, built, blobs, vocab = static_deployment
+        with ClusterServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            num_shards=2,
+            cache_searches=True,
+            cache_capacity=6,
+        ) as cluster:
+            requests = [
+                search_bytes(scheme, key, keyword, k=2)
+                for keyword in vocab * 5
+            ]
+            cluster.handle_many(requests)
+            for server in cluster.servers:
+                cache = server.cache
+                assert cache is not None
+                assert len(cache) <= cache.capacity
+                assert cache.hits + cache.misses >= len(cache)
+            assert cluster.cache_hits >= 0

@@ -115,3 +115,62 @@ class TestCacheBehaviour:
         second = SearchResponse.from_bytes(server.handle(request))
         assert first.matches == second.matches == ()
         assert server.cache_hits == 1
+
+
+class TestBoundedCache:
+    """The decrypted-list cache is a bounded LRU, not an unbounded dict."""
+
+    def test_capacity_is_enforced(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            cache_searches=True,
+            cache_capacity=1,
+        )
+        server.handle(search_bytes(scheme, key, "net"))
+        server.handle(search_bytes(scheme, key, "pad"))  # evicts net
+        assert len(server.cache) == 1
+        server.handle(search_bytes(scheme, key, "net"))  # re-decrypted
+        assert server.cache_hits == 0
+        assert server.cache.evictions == 2
+
+    def test_lru_keeps_the_hot_keyword(self, deployment):
+        scheme, key, built, blobs = deployment
+        server = CloudServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            cache_searches=True,
+            cache_capacity=2,
+        )
+        server.handle(search_bytes(scheme, key, "net"))
+        server.handle(search_bytes(scheme, key, "pad"))
+        server.handle(search_bytes(scheme, key, "net"))  # net is now MRU
+        server.handle(search_bytes(scheme, key, "ghost"))  # evicts pad
+        server.handle(search_bytes(scheme, key, "net"))
+        assert server.cache_hits == 2  # both repeat 'net' queries hit
+        net_address = scheme.trapdoor(key, "net").address
+        pad_address = scheme.trapdoor(key, "pad").address
+        assert net_address in server.cache
+        assert pad_address not in server.cache
+
+    def test_eviction_does_not_change_responses(self, deployment):
+        scheme, key, built, blobs = deployment
+        bounded = CloudServer(
+            built.secure_index,
+            blobs,
+            can_rank=True,
+            cache_searches=True,
+            cache_capacity=1,
+        )
+        uncached = CloudServer(built.secure_index, blobs, can_rank=True)
+        for keyword in ("net", "pad", "net", "ghost", "pad", "net"):
+            request = search_bytes(scheme, key, keyword)
+            assert bounded.handle(request) == uncached.handle(request)
+
+    def test_cache_property_is_none_when_disabled(self, deployment):
+        _, _, built, blobs = deployment
+        server = CloudServer(built.secure_index, blobs, can_rank=True)
+        assert server.cache is None

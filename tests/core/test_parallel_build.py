@@ -1,0 +1,104 @@
+"""Determinism regression tests for parallel index construction.
+
+The build path encrypts entries with an SIV-derived nonce and pads
+lists with PRF-derived dummies, so the secure index is a pure function
+of (key, corpus): the same inputs must produce byte-identical
+serialized indexes whether the build runs on one worker or many, and
+across repeated runs.  These tests pin that property — it is what the
+dynamics path (regenerate-and-replace) and the sharded persistence
+round trip rely on.
+"""
+
+import pytest
+
+from repro.core import BasicRankedSSE, EfficientRSSE, TEST_PARAMETERS
+from repro.errors import ParameterError
+from repro.ir.inverted_index import InvertedIndex
+
+
+class TestEfficientSchemeDeterminism:
+    def test_worker_count_does_not_change_bytes(self, plain_index):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        key = scheme.keygen()
+        serial = scheme.build_index(key, plain_index, workers=1)
+        for workers in (2, 4):
+            parallel = scheme.build_index(
+                key, plain_index, workers=workers
+            )
+            assert (
+                parallel.secure_index.serialize()
+                == serial.secure_index.serialize()
+            )
+
+    def test_rebuild_reproduces_bytes(self, plain_index):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        key = scheme.keygen()
+        first = scheme.build_index(key, plain_index)
+        second = scheme.build_index(key, plain_index)
+        assert (
+            first.secure_index.serialize()
+            == second.secure_index.serialize()
+        )
+
+    def test_different_keys_differ(self, plain_index):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        one = scheme.build_index(scheme.keygen(), plain_index)
+        other = scheme.build_index(scheme.keygen(), plain_index)
+        assert (
+            one.secure_index.serialize() != other.secure_index.serialize()
+        )
+
+    def test_parallel_build_searches_identically(self, plain_index):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        key = scheme.keygen()
+        built = scheme.build_index(key, plain_index, workers=4)
+        term = next(iter(sorted(plain_index.vocabulary)))
+        trapdoor = scheme.trapdoor(key, term)
+        entries = built.secure_index.lookup(trapdoor.address)
+        assert entries is not None and len(entries) > 0
+
+    def test_rejects_bad_worker_count(self, plain_index):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        key = scheme.keygen()
+        with pytest.raises(ParameterError):
+            scheme.build_index(key, plain_index, workers=0)
+
+
+class TestBasicSchemeDeterminism:
+    def test_worker_count_does_not_change_bytes(self, plain_index):
+        scheme = BasicRankedSSE(TEST_PARAMETERS)
+        key = scheme.keygen()
+        serial = scheme.build_index(key, plain_index, workers=1)
+        parallel = scheme.build_index(key, plain_index, workers=4)
+        assert parallel.serialize() == serial.serialize()
+
+    def test_rebuild_reproduces_bytes(self, plain_index):
+        scheme = BasicRankedSSE(TEST_PARAMETERS)
+        key = scheme.keygen()
+        assert (
+            scheme.build_index(key, plain_index).serialize()
+            == scheme.build_index(key, plain_index).serialize()
+        )
+
+    def test_score_ciphertexts_unlinkable_across_lists(self):
+        """Equal scores in different lists keep distinct ciphertexts.
+
+        The deterministic nonce is derived from (term, file id, score)
+        — never score alone — so the semantic-security claim for
+        ``E_z(S)`` survives determinism: equal plaintext scores in
+        different posting lists do not produce equal score fields.
+        """
+        scheme = BasicRankedSSE(TEST_PARAMETERS)
+        key = scheme.keygen()
+        index = InvertedIndex()
+        # Two documents, symmetric term profile: identical scores for
+        # (alpha, d1) / (beta, d2) and for (alpha, d2) / (beta, d1).
+        index.add_document("d1", ["alpha"] * 3 + ["beta"] * 3)
+        index.add_document("d2", ["beta"] * 3 + ["alpha"] * 3)
+        built = scheme.build_index(key, index)
+        lists = {}
+        for term in ("alpha", "beta"):
+            trapdoor = scheme.trapdoor(key, term)
+            lists[term] = built.lookup(trapdoor.address)
+        flat = [entry for entries in lists.values() for entry in entries]
+        assert len(set(flat)) == len(flat)

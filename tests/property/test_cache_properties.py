@@ -1,0 +1,161 @@
+"""Property-based tests for the bounded LRU cache.
+
+A stateful hypothesis model drives :class:`LruCache` with random
+operation sequences and checks it against a plain-dict reference model
+that tracks recency explicitly.  The invariants:
+
+* the resident-entry count never exceeds capacity;
+* a ``get`` returns exactly what an unbounded dict would, whenever the
+  key is resident — and residency follows LRU order;
+* the lifetime counters (hits, misses, evictions) are monotone and
+  consistent (``hits + misses`` equals the number of ``get`` calls,
+  evictions equals insertions beyond capacity minus explicit pops);
+* ``clear`` empties the cache but preserves lifetime counters.
+"""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cloud.cache import LruCache
+from repro.errors import ParameterError
+import pytest
+
+keys = st.binary(min_size=1, max_size=4)
+values = st.integers()
+
+
+class LruModelMachine(RuleBasedStateMachine):
+    """Drive LruCache against an order-tracking dict reference."""
+
+    @initialize(capacity=st.integers(min_value=1, max_value=8))
+    def set_up(self, capacity):
+        self.cache = LruCache(capacity)
+        self.capacity = capacity
+        # Reference: insertion/recency-ordered dict (oldest first).
+        self.model: dict[bytes, int] = {}
+        self.expected_hits = 0
+        self.expected_misses = 0
+        self.expected_evictions = 0
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        self.cache.put(key, value)
+        if key in self.model:
+            del self.model[key]  # refresh recency
+        elif len(self.model) == self.capacity:
+            oldest = next(iter(self.model))
+            del self.model[oldest]
+            self.expected_evictions += 1
+        self.model[key] = value
+
+    @rule(key=keys)
+    def get(self, key):
+        result = self.cache.get(key)
+        if key in self.model:
+            value = self.model.pop(key)
+            self.model[key] = value  # refresh recency
+            self.expected_hits += 1
+            assert result == value
+        else:
+            self.expected_misses += 1
+            assert result is None
+
+    @rule(key=keys)
+    def pop(self, key):
+        result = self.cache.pop(key)
+        if key in self.model:
+            assert result == self.model.pop(key)
+        else:
+            assert result is None
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        self.model.clear()
+
+    @rule(key=keys)
+    def contains(self, key):
+        # Membership probes must not disturb recency: the model is
+        # untouched, and subsequent evictions must still agree.
+        assert (key in self.cache) == (key in self.model)
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        assert len(self.cache) <= self.capacity
+
+    @invariant()
+    def same_residents_in_same_order(self):
+        assert list(self.cache.keys()) == list(self.model.keys())
+
+    @invariant()
+    def counters_match_reference(self):
+        assert self.cache.hits == self.expected_hits
+        assert self.cache.misses == self.expected_misses
+        assert self.cache.evictions == self.expected_evictions
+
+
+TestLruModel = LruModelMachine.TestCase
+TestLruModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+
+
+class TestLruBasics:
+    def test_rejects_nonpositive_capacity(self):
+        for capacity in (0, -1):
+            with pytest.raises(ParameterError):
+                LruCache(capacity)
+
+    def test_eviction_is_lru_not_fifo(self):
+        cache = LruCache(2)
+        cache.put(b"a", 1)
+        cache.put(b"b", 2)
+        assert cache.get(b"a") == 1  # touch a: b is now LRU
+        cache.put(b"c", 3)
+        assert b"b" not in cache
+        assert cache.get(b"a") == 1
+        assert cache.get(b"c") == 3
+        assert cache.evictions == 1
+
+    def test_counters_monotone_across_clear(self):
+        cache = LruCache(4)
+        cache.put(b"k", 1)
+        assert cache.get(b"k") == 1
+        assert cache.get(b"missing") is None
+        before = (cache.hits, cache.misses)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == before
+        assert cache.get(b"k") is None
+        assert cache.misses == before[1] + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=6),
+    operations=st.lists(
+        st.tuples(keys, values), min_size=0, max_size=40
+    ),
+)
+def test_resident_set_is_last_k_distinct_puts(capacity, operations):
+    """With puts only, residents are the most recent distinct keys."""
+    cache = LruCache(capacity)
+    for key, value in operations:
+        cache.put(key, value)
+    recent: list[bytes] = []
+    for key, _ in reversed(operations):
+        if key not in recent:
+            recent.append(key)
+        if len(recent) == capacity:
+            break
+    assert set(cache.keys()) == set(recent)
+    for key, value in operations:
+        if key in recent:
+            # Last write wins for every resident key.
+            last = [v for k, v in operations if k == key][-1]
+            assert cache.get(key) == last
