@@ -1,0 +1,271 @@
+"""Fault recovery — serving latency and time-to-recovery under faults.
+
+Drives the resilient cluster serving path through a deterministic
+fault plan (call drops, response corruption, injected delays, one
+crashed shard) and reports what the robustness layer costs and buys:
+
+* **recovery** — rounds of sequential probing until the crashed
+  shard's circuit breaker closes and its responses return to
+  byte-equivalence with the fault-free run;
+* **degraded pass** — throughput and modeled per-query latency
+  (p50/p99) for a first workload pass that straddles the crash
+  window, with the count of queries degraded to ``PartialResult``;
+* **steady pass** — the same workload once the cluster is healthy:
+  every response must be byte-identical to the fault-free baseline.
+
+Latency is *modeled*, not slept: per query it is the sum of the retry
+layer's backoff waits plus the fault plan's injected delays, read from
+the per-call attempt traces.  That keeps the bench fast while still
+measuring the tail the retry/hedging policy is tuned for.
+
+Run standalone (``python benchmarks/bench_fault_recovery.py
+[--smoke]``) or through pytest; either way the report lands in
+``benchmarks/results/fault_recovery.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cloud import BlobStore, SearchRequest
+from repro.cloud.cluster import ClusterServer
+from repro.cloud.faults import FaultPlan
+from repro.cloud.retry import BreakerConfig, RetryPolicy
+from repro.corpus.zipf import zipf_sample_words
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.ir import InvertedIndex
+
+SEED = 2010
+SHARDS = 4
+CRASHED_SHARD = 1
+CRASH_WINDOW = (0, 40)
+TOP_K = 10
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text)
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def build_deployment(num_docs: int, vocab_size: int):
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    vocab = [f"term{i:03d}" for i in range(vocab_size)]
+    index = InvertedIndex()
+    rng = random.Random(7)
+    for doc in range(num_docs):
+        index.add_document(
+            f"doc{doc}", [rng.choice(vocab) for _ in range(60)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(num_docs):
+        blobs.put(f"doc{doc}", b"\xab" * 512)
+    return scheme, key, built, blobs, vocab
+
+
+def fault_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        drop_rate=0.2,
+        corrupt_rate=0.05,
+        delay_rate=0.1,
+        delay_s=0.02,
+        crash_windows={CRASHED_SHARD: (CRASH_WINDOW,)},
+    )
+
+
+def retry_policy(seed: int) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=8,
+        base_backoff_s=0.005,
+        max_backoff_s=0.05,
+        jitter_seed=seed,
+        hedge_after_s=0.015,  # hedge queries hit by an injected delay
+    )
+
+
+def make_cluster(built, blobs, seed: int | None) -> ClusterServer:
+    return ClusterServer(
+        built.secure_index,
+        blobs,
+        can_rank=True,
+        num_shards=SHARDS,
+        fault_plan=fault_plan(seed) if seed is not None else None,
+        retry_policy=retry_policy(seed) if seed is not None else None,
+        breaker=BreakerConfig(failure_threshold=3, probe_interval=4),
+        retry_sleep=lambda _s: None,  # latency is modeled, not slept
+    )
+
+
+def modeled_latency_of(cluster: ClusterServer, shard: int, before: int):
+    """Backoff + injected delay of the traces recorded since `before`."""
+    traces = cluster.retrying_channels[shard].trace[before:]
+    return sum(
+        attempt.backoff_s + attempt.modeled_delay_s
+        for trace in traces
+        for attempt in trace.attempts
+    )
+
+
+def timed_pass(cluster, requests, baseline):
+    """One sequential resilient pass; returns (wall_s, latencies, degraded)."""
+    latencies = []
+    degraded = 0
+    start = time.perf_counter()
+    for position, request in enumerate(requests):
+        shard = cluster.shard_id_for(request)
+        seen = len(cluster.retrying_channels[shard].trace)
+        result = cluster.handle_resilient(request)
+        latencies.append(modeled_latency_of(cluster, shard, seen))
+        if result.complete:
+            assert result.responses == (baseline[position],), (
+                f"served response diverged from fault-free at {position}"
+            )
+        else:
+            degraded += 1
+    return time.perf_counter() - start, latencies, degraded
+
+
+def run_benchmark(
+    num_docs: int = 200, num_queries: int = 600, seed: int = SEED
+) -> str:
+    scheme, key, built, blobs, vocab = build_deployment(
+        num_docs, vocab_size=max(48, num_docs // 4)
+    )
+    rng = random.Random(seed)
+    keywords = zipf_sample_words(
+        vocab[: len(vocab) // 2], num_queries, exponent=1.0, rng=rng
+    )
+    requests = [
+        SearchRequest(
+            trapdoor_bytes=scheme.trapdoor(key, term).serialize(),
+            top_k=TOP_K,
+        ).to_bytes()
+        for term in keywords
+    ]
+
+    with make_cluster(built, blobs, seed=None) as reference:
+        baseline = [reference.handle(request) for request in requests]
+        crashed_query = next(
+            request
+            for request in requests
+            if reference.shard_id_for(request) == CRASHED_SHARD
+        )
+        crashed_baseline = reference.handle(crashed_query)
+
+    # -- recovery probe: rounds until the crashed shard answers again --
+    with make_cluster(built, blobs, seed) as cluster:
+        recovery_round = None
+        start = time.perf_counter()
+        for round_number in range(1, 201):
+            result = cluster.handle_resilient(crashed_query)
+            if result.complete and result.responses == (crashed_baseline,):
+                recovery_round = round_number
+                break
+        recovery_wall = time.perf_counter() - start
+        assert recovery_round is not None, "crashed shard never recovered"
+        health = cluster.shard_health[CRASHED_SHARD]
+        assert health.state == "closed"
+        shard_calls = cluster.fault_stats[CRASHED_SHARD].calls
+
+    # -- workload passes: one straddling the crash window, one healthy --
+    with make_cluster(built, blobs, seed) as cluster:
+        cold_wall, cold_latency, cold_degraded = timed_pass(
+            cluster, requests, baseline
+        )
+        steady_wall, steady_latency, steady_degraded = timed_pass(
+            cluster, requests, baseline
+        )
+        assert steady_degraded == 0, "cluster still degraded after recovery"
+        retry_stats = [
+            channel.retry_stats for channel in cluster.retrying_channels
+        ]
+        faults = cluster.fault_stats
+
+    lines = [
+        "Fault recovery under drops + corruption + one crashed shard",
+        f"docs={num_docs} queries={num_queries} shards={SHARDS} "
+        f"seed={seed}",
+        f"plan: drop=20% corrupt=5% delay=10%@20ms "
+        f"crash=shard{CRASHED_SHARD}{CRASH_WINDOW}",
+        f"policy: attempts=8 backoff=5..50ms hedge>15ms "
+        f"breaker=3fails/probe4",
+        "",
+        "recovery probe (sequential searches on the crashed shard):",
+        f"  recovered at round {recovery_round} "
+        f"({shard_calls} channel calls, {recovery_wall * 1000:.1f}ms "
+        f"wall)",
+        f"  breaker: opened {health.times_opened}x, "
+        f"{health.probes} probes, {health.suppressed_calls} suppressed",
+        "",
+        f"{'pass':>8} {'wall_s':>7} {'q/s':>7} {'p50_ms':>7} "
+        f"{'p99_ms':>7} {'degraded':>9}",
+        f"{'cold':>8} {cold_wall:>7.2f} "
+        f"{num_queries / cold_wall:>7.1f} "
+        f"{percentile(cold_latency, 0.5) * 1000:>7.2f} "
+        f"{percentile(cold_latency, 0.99) * 1000:>7.2f} "
+        f"{cold_degraded:>9}",
+        f"{'steady':>8} {steady_wall:>7.2f} "
+        f"{num_queries / steady_wall:>7.1f} "
+        f"{percentile(steady_latency, 0.5) * 1000:>7.2f} "
+        f"{percentile(steady_latency, 0.99) * 1000:>7.2f} "
+        f"{steady_degraded:>9}",
+        "",
+        "injected faults / retry work per shard:",
+    ]
+    for shard in range(SHARDS):
+        stats = faults[shard]
+        retries = retry_stats[shard]
+        lines.append(
+            f"  shard {shard}: calls={stats.calls} drops={stats.drops} "
+            f"corrupt={stats.corruptions} delays={stats.delays} "
+            f"crash={stats.crash_rejections} | retries={retries.retries} "
+            f"hedged={retries.hedged_calls} timeouts={retries.timeouts} "
+            f"exhausted={retries.exhausted}"
+        )
+    report = "\n".join(lines) + "\n"
+    write_result("fault_recovery.txt", report)
+    return report
+
+
+def test_fault_recovery_reports_p99_and_recovery():
+    """Pytest entry point at smoke scale (the CI bench smoke step)."""
+    report = run_benchmark(num_docs=40, num_queries=120)
+    print(report)
+    assert "recovered at round" in report
+    assert "p99" in report
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(
+        description="fault-recovery benchmark for the resilient cluster"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus/workload for a fast CI smoke run",
+    )
+    parser.add_argument("--docs", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=SEED)
+    arguments = parser.parse_args()
+    docs = arguments.docs or (40 if arguments.smoke else 200)
+    queries = arguments.queries or (120 if arguments.smoke else 600)
+    print(run_benchmark(docs, queries, arguments.seed), end="")

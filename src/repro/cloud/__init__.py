@@ -33,10 +33,29 @@ from repro.cloud.cluster import (
     DEFAULT_NUM_SHARDS,
     DEFAULT_SHARD_SEED,
     ClusterServer,
+    PartialResult,
     ShardedIndex,
     shard_for_address,
 )
-from repro.cloud.network import Channel, ChannelStats, LinkModel
+from repro.cloud.faults import (
+    FaultPlan,
+    FaultSchedule,
+    FaultStats,
+    FaultyChannel,
+)
+from repro.cloud.network import (
+    Channel,
+    ChannelSnapshot,
+    ChannelStats,
+    LinkModel,
+)
+from repro.cloud.retry import (
+    BreakerConfig,
+    BreakerSnapshot,
+    CircuitBreaker,
+    RetryingChannel,
+    RetryPolicy,
+)
 from repro.cloud.owner import DataOwner, Outsourcing, UserCredentials
 from repro.cloud.protocol import (
     FileRequest,
@@ -62,10 +81,14 @@ __all__ = [
     "AuthorizationManager",
     "AuthorizationTicket",
     "BlobStore",
+    "BreakerConfig",
+    "BreakerSnapshot",
     "BroadcastCiphertext",
     "BroadcastEncryption",
     "Channel",
+    "ChannelSnapshot",
     "ChannelStats",
+    "CircuitBreaker",
     "CloudServer",
     "ClusterServer",
     "DEFAULT_CACHE_CAPACITY",
@@ -73,10 +96,15 @@ __all__ = [
     "DEFAULT_SHARD_SEED",
     "DataOwner",
     "DataUser",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyChannel",
     "FileRequest",
     "LinkModel",
     "LruCache",
     "Outsourcing",
+    "PartialResult",
     "PolicyCiphertext",
     "PolicyDecryptor",
     "PutBlobRequest",
@@ -84,6 +112,8 @@ __all__ = [
     "RemoteIndexMaintainer",
     "RemoveBlobRequest",
     "RetrievedFile",
+    "RetryPolicy",
+    "RetryingChannel",
     "SearchObservation",
     "SearchRequest",
     "SearchResponse",

@@ -32,11 +32,21 @@ from __future__ import annotations
 import hashlib
 import heapq
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.cloud.faults import FaultPlan, FaultStats, FaultyChannel
 from repro.cloud.network import Channel, ChannelStats, LinkModel
 from repro.cloud.protocol import SearchRequest, peek_kind
+from repro.cloud.retry import (
+    BreakerConfig,
+    BreakerSnapshot,
+    CircuitBreaker,
+    RetryPolicy,
+    RetryingChannel,
+)
 from repro.cloud.server import CloudServer, ServerLog
 from repro.cloud.storage import BlobStore
 from repro.cloud.updates import (
@@ -46,7 +56,12 @@ from repro.cloud.updates import (
 )
 from repro.core.secure_index import EntryLayout, SecureIndex
 from repro.core.trapdoor import Trapdoor
-from repro.errors import ParameterError, ProtocolError
+from repro.errors import (
+    ParameterError,
+    ProtocolError,
+    ShardDownError,
+    TransportError,
+)
 
 #: Default keyed-hash seed for shard placement.  Any deployment-chosen
 #: value works (placement only needs to be stable and balanced); it is
@@ -284,6 +299,61 @@ class ShardedIndex:
         return cls.from_shards(shards, shard_seed=seed)
 
 
+@dataclass(frozen=True)
+class PartialResult:
+    """A degraded batch answer: what was served, and what was lost.
+
+    The graceful-degradation contract of the resilient serving path: a
+    search that loses shards returns the top-k answers the healthy
+    shards produced plus an explicit account of the missing shards,
+    instead of raising.  Leaks nothing beyond the already-public
+    access pattern — shard ids are a public function of queried
+    addresses, and a missing entry says only "this shard did not
+    answer".
+
+    Attributes
+    ----------
+    responses:
+        One entry per request, in request order; ``None`` where the
+        owning shard could not be reached within the retry policy.
+    missing_shards:
+        Sorted, de-duplicated ids of the shards that failed at least
+        one request in this batch.
+    failures:
+        ``(request position, shard id, error class name)`` for every
+        failed request — the full degradation account.
+    """
+
+    responses: tuple[bytes | None, ...]
+    missing_shards: tuple[int, ...]
+    failures: tuple[tuple[int, int, str], ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every request was served."""
+        return not self.missing_shards
+
+    @property
+    def served(self) -> int:
+        """Number of requests that got a response."""
+        return sum(
+            1 for response in self.responses if response is not None
+        )
+
+    def require_complete(self) -> tuple[bytes, ...]:
+        """The responses, or :class:`ShardDownError` if any are missing."""
+        if self.missing_shards:
+            raise ShardDownError(
+                f"shards {list(self.missing_shards)} did not answer "
+                f"({self.served}/{len(self.responses)} requests served)"
+            )
+        return tuple(
+            response
+            for response in self.responses
+            if response is not None
+        )
+
+
 class ClusterServer:
     """A sharded, thread-safe cloud server.
 
@@ -323,6 +393,24 @@ class ClusterServer:
         with ``simulate_latency`` every shard call sleeps for its
         modeled service time, making scaling measurements wall-clock
         faithful (see ``benchmarks/bench_cluster_scaling.py``).
+    fault_plan:
+        Optional deterministic fault injection: each shard's channel
+        is wrapped in a :class:`~repro.cloud.faults.FaultyChannel`
+        with the plan's schedule for that shard id.
+    retry_policy:
+        Optional per-shard retry: each (possibly faulty) shard
+        channel is wrapped in a
+        :class:`~repro.cloud.retry.RetryingChannel`, so transient
+        drops and corruption are absorbed before the circuit breaker
+        ever sees a failure.
+    breaker:
+        Per-shard circuit-breaker tuning (defaults applied when
+        omitted).  Breakers only act on
+        :class:`~repro.errors.TransportError` failures, so a
+        fault-free deployment never trips one.
+    retry_sleep:
+        Clock for retry backoff waits (injectable so tests and
+        deterministic suites can run on modeled time).
     """
 
     def __init__(
@@ -338,6 +426,10 @@ class ClusterServer:
         link_model: LinkModel | None = None,
         simulate_latency: bool = False,
         shard_seed: bytes = DEFAULT_SHARD_SEED,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+        retry_sleep: Callable[[float], None] = time.sleep,
     ):
         if isinstance(index, ShardedIndex):
             if num_shards is not None and num_shards != index.num_shards:
@@ -384,6 +476,30 @@ class ClusterServer:
                 simulate_latency=simulate_latency,
             )
             for server in self._servers
+        )
+        # Serving stack per shard: base channel, optionally wrapped in
+        # fault injection, optionally wrapped in retry.  Breakers sit
+        # above the stack in _call_shard, so one exhausted retry run
+        # counts as a single breaker failure.
+        self._faulty_channels: tuple[FaultyChannel, ...] | None = None
+        serving: tuple[Channel | FaultyChannel | RetryingChannel, ...]
+        serving = self._channels
+        if fault_plan is not None:
+            self._faulty_channels = tuple(
+                FaultyChannel(channel, fault_plan.schedule_for(shard))
+                for shard, channel in enumerate(serving)
+            )
+            serving = self._faulty_channels
+        self._retrying_channels: tuple[RetryingChannel, ...] | None = None
+        if retry_policy is not None:
+            self._retrying_channels = tuple(
+                RetryingChannel(channel, retry_policy, sleep=retry_sleep)
+                for channel in serving
+            )
+            serving = self._retrying_channels
+        self._serving = serving
+        self._breakers = tuple(
+            CircuitBreaker(breaker) for _ in range(shards)
         )
         self._shard_locks = tuple(threading.Lock() for _ in range(shards))
         self._executor = ThreadPoolExecutor(
@@ -458,20 +574,96 @@ class ClusterServer:
             address, self._sharded.num_shards, self._sharded.shard_seed
         )
 
+    def _call_shard(self, shard: int, request_bytes: bytes) -> bytes:
+        """One shard call through breaker + retry + fault injection.
+
+        The breaker check, the call, and the outcome recording all
+        happen under the shard lock, so breaker transitions are a
+        deterministic function of the per-shard call sequence.  Only
+        :class:`~repro.errors.TransportError` failures count against
+        the breaker: a :class:`~repro.errors.ProtocolError` means the
+        *request* was bad, not the shard.
+        """
+        with self._shard_locks[shard]:
+            breaker = self._breakers[shard]
+            if not breaker.allow():
+                raise ShardDownError(
+                    f"shard {shard}: circuit open "
+                    f"(awaiting half-open probe)"
+                )
+            try:
+                response = self._serving[shard].call(request_bytes)
+            except TransportError:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return response
+
     def handle(self, request_bytes: bytes) -> bytes:
         """Route one request to its owning shard and serve it.
 
         Safe to call from many threads at once; requests to distinct
         shards proceed in parallel, requests to the same shard are
-        serialized on the shard lock.
+        serialized on the shard lock.  Under an injected fault plan
+        this may raise a :class:`~repro.errors.TransportError`
+        subclass; use :meth:`handle_resilient` for the non-raising
+        degraded contract.
         """
-        shard = self.shard_id_for(request_bytes)
-        with self._shard_locks[shard]:
-            return self._channels[shard].call(request_bytes)
+        return self._call_shard(
+            self.shard_id_for(request_bytes), request_bytes
+        )
 
     def handle_many(self, requests: Iterable[bytes]) -> list[bytes]:
         """Serve a batch concurrently; responses in request order."""
         return list(self._executor.map(self.handle, requests))
+
+    def _try_handle(
+        self, position: int, request_bytes: bytes
+    ) -> tuple[int, bytes | None, int, str | None]:
+        shard = self.shard_id_for(request_bytes)
+        try:
+            return position, self._call_shard(shard, request_bytes), shard, None
+        except TransportError as exc:
+            return position, None, shard, type(exc).__name__
+
+    def handle_resilient(self, request_bytes: bytes) -> PartialResult:
+        """Serve one request, degrading instead of raising.
+
+        Transport failures (after the retry policy is exhausted and
+        the breaker consulted) come back as a
+        :class:`PartialResult` naming the missing shard — never as an
+        exception.
+        """
+        return self.handle_many_resilient([request_bytes])
+
+    def handle_many_resilient(
+        self, requests: Iterable[bytes]
+    ) -> PartialResult:
+        """Serve a batch concurrently with graceful degradation.
+
+        Every request is attempted; requests whose owning shard is
+        unreachable (retries exhausted or circuit open) are reported
+        in ``missing_shards``/``failures`` while the rest of the
+        batch is served normally.  Responses stay in request order.
+        """
+        outcomes = list(
+            self._executor.map(
+                lambda item: self._try_handle(*item),
+                enumerate(requests),
+            )
+        )
+        failures = tuple(
+            (position, shard, error)
+            for position, _, shard, error in outcomes
+            if error is not None
+        )
+        return PartialResult(
+            responses=tuple(response for _, response, _, _ in outcomes),
+            missing_shards=tuple(
+                sorted({shard for _, shard, _ in failures})
+            ),
+            failures=failures,
+        )
 
     # -- cache -------------------------------------------------------------
 
@@ -498,8 +690,35 @@ class ClusterServer:
         return tuple(channel.stats for channel in self._channels)
 
     def total_stats(self) -> ChannelStats:
-        """Cluster-wide traffic counters (merged across shards)."""
+        """Cluster-wide traffic counters (merged across shards).
+
+        Merging snapshots each shard's stats atomically, so sampling
+        a live cluster never sums a torn per-shard view.
+        """
         return ChannelStats.merged(self.shard_stats)
+
+    @property
+    def shard_health(self) -> tuple[BreakerSnapshot, ...]:
+        """Per-shard circuit-breaker views, in shard order."""
+        return tuple(breaker.snapshot() for breaker in self._breakers)
+
+    @property
+    def fault_stats(self) -> tuple[FaultStats, ...] | None:
+        """Per-shard injected-fault counters (None without a plan)."""
+        if self._faulty_channels is None:
+            return None
+        return tuple(
+            channel.fault_stats for channel in self._faulty_channels
+        )
+
+    @property
+    def retrying_channels(self) -> tuple[RetryingChannel, ...] | None:
+        """Per-shard retry wrappers (None without a policy).
+
+        Exposes the per-call attempt traces the determinism suites
+        compare run-to-run.
+        """
+        return self._retrying_channels
 
     @property
     def logs(self) -> tuple[ServerLog, ...]:

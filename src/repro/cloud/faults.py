@@ -1,0 +1,305 @@
+"""Deterministic fault injection for the simulated serving network.
+
+The paper's efficiency argument (one round trip, small responses) only
+holds in production if a search actually *completes* when links drop
+packets or a shard stalls.  This module turns the perfect
+:class:`~repro.cloud.network.Channel` into an imperfect one on demand:
+a :class:`FaultPlan` describes, as a pure function of a seed, which
+calls are dropped, delayed, corrupted, or rejected by a crashed
+target, and :class:`FaultyChannel` applies that plan on top of any
+channel.
+
+Everything is deterministic.  Per-call decisions are drawn from a
+keyed BLAKE2b stream over ``(seed, target, call index)`` — never from
+``random`` or ``hash()`` — so the same plan produces byte-identical
+fault schedules across runs, threads started in the same order, and
+any ``PYTHONHASHSEED``.  That determinism is what lets the test suite
+assert *recovery* (a retried search converges to the fault-free
+response) rather than merely "it usually works".
+
+Fault model
+-----------
+* **drop** — the request is lost before reaching the server; the
+  caller sees :class:`~repro.errors.CallDroppedError` and the server
+  never observes the call (safe to re-send).
+* **delay** — the call completes but is tagged with an injected
+  latency, which the retry layer compares against its per-call
+  deadline and hedging threshold (optionally also slept for real,
+  for wall-clock benchmarks).
+* **corrupt** — the server handled the request, but the response
+  bytes are garbled in flight (the framing check in the retry layer
+  catches this; note the server-side effect of an update *did*
+  happen, which is why the update handler is idempotent).
+* **crash window** — a half-open interval of call indexes during
+  which the target rejects everything with
+  :class:`~repro.errors.ShardDownError`, then recovers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.cloud.network import Channel, ChannelStats
+from repro.errors import CallDroppedError, ParameterError, ShardDownError
+
+#: Prefix prepended to corrupted responses; makes the bytes fail any
+#: JSON framing check while keeping the corruption deterministic.
+CORRUPTION_PREFIX = b"\x00\xffGARBLED\x00"
+
+
+def _rate(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one call: at most one fault, by precedence.
+
+    Precedence is crash > drop > corrupt > delay: a call inside a
+    crash window never reaches the server regardless of the random
+    stream, a dropped call cannot also be corrupted, and so on.
+    """
+
+    kind: str  # "ok" | "crash" | "drop" | "corrupt" | "delay"
+    delay_s: float = 0.0
+
+
+class FaultSchedule:
+    """The per-target decision stream of a :class:`FaultPlan`.
+
+    A pure function ``call index -> FaultDecision``; two schedules
+    built from the same ``(plan, target)`` agree on every index.
+    """
+
+    def __init__(self, plan: "FaultPlan", target: int):
+        self._plan = plan
+        self._target = int(target)
+        self._key = hashlib.blake2b(
+            struct.pack(">qq", plan.seed, self._target),
+            digest_size=32,
+        ).digest()
+        self._windows = plan.crash_windows.get(self._target, ())
+
+    @property
+    def plan(self) -> "FaultPlan":
+        """The plan this schedule was derived from."""
+        return self._plan
+
+    @property
+    def target(self) -> int:
+        """The target (shard) id this schedule applies to."""
+        return self._target
+
+    def in_crash_window(self, call_index: int) -> bool:
+        """True when ``call_index`` falls inside a crash window."""
+        return any(start <= call_index < end for start, end in self._windows)
+
+    def decision(self, call_index: int) -> FaultDecision:
+        """The (deterministic) fate of call number ``call_index``."""
+        if self.in_crash_window(call_index):
+            return FaultDecision(kind="crash")
+        digest = hashlib.blake2b(
+            struct.pack(">q", call_index),
+            key=self._key,
+            digest_size=24,
+        ).digest()
+        draws = [
+            int.from_bytes(digest[i : i + 8], "big") / 2.0**64
+            for i in (0, 8, 16)
+        ]
+        if draws[0] < self._plan.drop_rate:
+            return FaultDecision(kind="drop")
+        if draws[1] < self._plan.corrupt_rate:
+            return FaultDecision(kind="corrupt")
+        if draws[2] < self._plan.delay_rate:
+            return FaultDecision(kind="delay", delay_s=self._plan.delay_s)
+        return FaultDecision(kind="ok")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable, deterministic description of network faults.
+
+    Parameters
+    ----------
+    seed:
+        Drives every per-call decision; equal seeds yield identical
+        fault schedules (and therefore identical retry schedules and
+        byte-identical degraded results).
+    drop_rate / corrupt_rate / delay_rate:
+        Per-call probabilities in ``[0, 1]``, applied in precedence
+        order (a dropped call is not also corrupted or delayed).
+    delay_s:
+        Injected latency for delay-faulted calls.
+    crash_windows:
+        ``target id -> ((start, end), ...)`` half-open intervals of
+        *that target's* call indexes during which it rejects all
+        calls.  Retried attempts consume indexes too, which is how a
+        crashed shard's window eventually passes under probing.
+    sleep_delays:
+        Actually sleep injected delays (wall-clock benchmarks); off
+        by default so tests run at full speed on modeled time.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.0
+    crash_windows: Mapping[int, tuple[tuple[int, int], ...]] = field(
+        default_factory=dict
+    )
+    sleep_delays: bool = False
+
+    def __post_init__(self) -> None:
+        _rate("drop_rate", self.drop_rate)
+        _rate("corrupt_rate", self.corrupt_rate)
+        _rate("delay_rate", self.delay_rate)
+        if self.delay_s < 0:
+            raise ParameterError(f"delay_s must be >= 0, got {self.delay_s}")
+        normalized: dict[int, tuple[tuple[int, int], ...]] = {}
+        for target, windows in dict(self.crash_windows).items():
+            checked = []
+            for window in windows:
+                start, end = window
+                if start < 0 or end <= start:
+                    raise ParameterError(
+                        f"crash window must satisfy 0 <= start < end, "
+                        f"got {window}"
+                    )
+                checked.append((int(start), int(end)))
+            normalized[int(target)] = tuple(checked)
+        object.__setattr__(self, "crash_windows", normalized)
+
+    def schedule_for(self, target: int) -> FaultSchedule:
+        """The decision stream for one target (shard) id."""
+        return FaultSchedule(self, target)
+
+
+@dataclass
+class FaultStats:
+    """What a :class:`FaultyChannel` actually injected."""
+
+    calls: int = 0
+    drops: int = 0
+    corruptions: int = 0
+    delays: int = 0
+    crash_rejections: int = 0
+    total_delay_s: float = 0.0
+
+    @property
+    def faults(self) -> int:
+        """Total faulted calls of any kind."""
+        return self.drops + self.corruptions + self.crash_rejections
+
+
+def corrupt_response(response: bytes) -> bytes:
+    """Deterministically garble a response so framing checks fail."""
+    return CORRUPTION_PREFIX + response
+
+
+class FaultyChannel:
+    """A :class:`~repro.cloud.network.Channel` wrapper injecting faults.
+
+    Presents the same ``call()`` surface, so it slots between any
+    client and its channel (the cluster wraps each shard's channel in
+    one when given a fault plan).  Each call consumes the next index
+    of the wrapped target's :class:`FaultSchedule`; the internal
+    counter is lock-protected, so one faulty channel may carry calls
+    from several threads while keeping the decision stream
+    well-defined.
+
+    Parameters
+    ----------
+    inner:
+        The channel (or any object with ``call(bytes) -> bytes``) to
+        wrap.
+    schedule:
+        The per-target decision stream, from
+        :meth:`FaultPlan.schedule_for`.
+    sleep:
+        Clock used when the plan says ``sleep_delays`` (injectable
+        for tests; defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        inner: Channel,
+        schedule: FaultSchedule,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._inner = inner
+        self._schedule = schedule
+        self._sleep = sleep
+        self._fault_stats = FaultStats()
+        self._calls = 0
+        self._lock = threading.Lock()
+        #: Injected latency of the most recent call on this channel;
+        #: the retry layer reads it to enforce deadlines and trigger
+        #: hedging.  Meaningful under the cluster's per-shard
+        #: serialization (one in-flight call per shard).
+        self.last_injected_delay_s = 0.0
+
+    @property
+    def inner(self) -> Channel:
+        """The wrapped channel."""
+        return self._inner
+
+    @property
+    def stats(self) -> ChannelStats:
+        """The wrapped channel's traffic counters (passthrough)."""
+        return self._inner.stats
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Counters of injected faults on this channel."""
+        return self._fault_stats
+
+    @property
+    def calls_made(self) -> int:
+        """Call indexes consumed so far (next call uses this index)."""
+        with self._lock:
+            return self._calls
+
+    def call(self, request: bytes) -> bytes:
+        """Send ``request`` through the fault plan, then the channel."""
+        with self._lock:
+            index = self._calls
+            self._calls += 1
+            self._fault_stats.calls += 1
+        decision = self._schedule.decision(index)
+        if decision.kind == "crash":
+            with self._lock:
+                self._fault_stats.crash_rejections += 1
+                self.last_injected_delay_s = 0.0
+            raise ShardDownError(
+                f"target {self._schedule.target} is crashed "
+                f"(call {index} in crash window)"
+            )
+        if decision.kind == "drop":
+            with self._lock:
+                self._fault_stats.drops += 1
+                self.last_injected_delay_s = 0.0
+            raise CallDroppedError(
+                f"call {index} to target {self._schedule.target} dropped"
+            )
+        response = self._inner.call(request)
+        with self._lock:
+            self.last_injected_delay_s = decision.delay_s
+            if decision.kind == "delay":
+                self._fault_stats.delays += 1
+                self._fault_stats.total_delay_s += decision.delay_s
+        if decision.kind == "delay" and self._schedule.plan.sleep_delays:
+            self._sleep(decision.delay_s)
+        if decision.kind == "corrupt":
+            with self._lock:
+                self._fault_stats.corruptions += 1
+            return corrupt_response(response)
+        return response

@@ -18,43 +18,117 @@ from typing import Callable, Iterable
 from repro.errors import ParameterError
 
 
-@dataclass
-class ChannelStats:
-    """Mutable traffic counters for one channel."""
+@dataclass(frozen=True)
+class ChannelSnapshot:
+    """An immutable, internally consistent copy of one channel's counters.
 
-    round_trips: int = 0
-    bytes_to_server: int = 0
-    bytes_to_user: int = 0
-    requests: list[int] = field(default_factory=list)
-    responses: list[int] = field(default_factory=list)
+    Produced by :meth:`ChannelStats.snapshot` under the stats lock, so a
+    benchmark sampling a live multi-threaded cluster never observes a
+    torn read (e.g. a round trip counted whose response bytes are not
+    yet recorded).
+    """
+
+    round_trips: int
+    bytes_to_server: int
+    bytes_to_user: int
+    failed_calls: int
+    requests: tuple[int, ...]
+    responses: tuple[int, ...]
 
     @property
     def total_bytes(self) -> int:
         """Total bytes moved in both directions."""
         return self.bytes_to_server + self.bytes_to_user
 
+    def snapshot(self) -> "ChannelSnapshot":
+        """A snapshot is already immutable; returns itself."""
+        return self
+
+
+@dataclass
+class ChannelStats:
+    """Mutable traffic counters for one channel.
+
+    All mutation goes through the ``record_*`` methods, which serialize
+    on an internal lock; :meth:`snapshot` takes the same lock, so a
+    sampled copy is never torn even while other threads are recording.
+    """
+
+    round_trips: int = 0
+    bytes_to_server: int = 0
+    bytes_to_user: int = 0
+    failed_calls: int = 0
+    requests: list[int] = field(default_factory=list)
+    responses: list[int] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved in both directions."""
+        return self.bytes_to_server + self.bytes_to_user
+
+    def record_request(self, num_bytes: int) -> None:
+        """Count one attempted round trip carrying ``num_bytes`` out."""
+        with self._lock:
+            self.round_trips += 1
+            self.bytes_to_server += num_bytes
+            self.requests.append(num_bytes)
+
+    def record_response(self, num_bytes: int) -> None:
+        """Count a successful response of ``num_bytes``."""
+        with self._lock:
+            self.bytes_to_user += num_bytes
+            self.responses.append(num_bytes)
+
+    def record_failure(self) -> None:
+        """Count a call whose handler raised (no response returned)."""
+        with self._lock:
+            self.failed_calls += 1
+
     def reset(self) -> None:
         """Zero all counters (e.g. between benchmark phases)."""
-        self.round_trips = 0
-        self.bytes_to_server = 0
-        self.bytes_to_user = 0
-        self.requests.clear()
-        self.responses.clear()
+        with self._lock:
+            self.round_trips = 0
+            self.bytes_to_server = 0
+            self.bytes_to_user = 0
+            self.failed_calls = 0
+            self.requests.clear()
+            self.responses.clear()
+
+    def snapshot(self) -> ChannelSnapshot:
+        """An immutable copy, taken atomically under the stats lock."""
+        with self._lock:
+            return ChannelSnapshot(
+                round_trips=self.round_trips,
+                bytes_to_server=self.bytes_to_server,
+                bytes_to_user=self.bytes_to_user,
+                failed_calls=self.failed_calls,
+                requests=tuple(self.requests),
+                responses=tuple(self.responses),
+            )
 
     @classmethod
-    def merged(cls, stats: Iterable["ChannelStats"]) -> "ChannelStats":
+    def merged(
+        cls, stats: Iterable["ChannelStats | ChannelSnapshot"]
+    ) -> "ChannelStats":
         """Aggregate several channels' counters into a fresh object.
 
         The cluster front end serves each shard over its own channel;
         this is how its per-shard traffic rolls up into one figure.
+        Each input is snapshotted first, so merging over live channels
+        sums internally consistent per-channel views.
         """
         total = cls()
         for item in stats:
-            total.round_trips += item.round_trips
-            total.bytes_to_server += item.bytes_to_server
-            total.bytes_to_user += item.bytes_to_user
-            total.requests.extend(item.requests)
-            total.responses.extend(item.responses)
+            view = item.snapshot()
+            total.round_trips += view.round_trips
+            total.bytes_to_server += view.bytes_to_server
+            total.bytes_to_user += view.bytes_to_user
+            total.failed_calls += view.failed_calls
+            total.requests.extend(view.requests)
+            total.responses.extend(view.responses)
         return total
 
 
@@ -128,7 +202,6 @@ class Channel:
         self._stats = ChannelStats()
         self._link_model = link_model
         self._simulate_latency = simulate_latency
-        self._lock = threading.Lock()
 
     @property
     def stats(self) -> ChannelStats:
@@ -136,15 +209,20 @@ class Channel:
         return self._stats
 
     def call(self, request: bytes) -> bytes:
-        """Send ``request``, return the server's response (one RTT)."""
-        with self._lock:
-            self._stats.round_trips += 1
-            self._stats.bytes_to_server += len(request)
-            self._stats.requests.append(len(request))
-        response = self._handler(request)
-        with self._lock:
-            self._stats.bytes_to_user += len(response)
-            self._stats.responses.append(len(response))
+        """Send ``request``, return the server's response (one RTT).
+
+        Response accounting happens only after the handler returns:
+        a call whose handler raises counts as a ``failed_calls`` tick
+        (and its request bytes), never as response traffic — so
+        fault-injected failures do not inflate ``bytes_to_user``.
+        """
+        self._stats.record_request(len(request))
+        try:
+            response = self._handler(request)
+        except Exception:
+            self._stats.record_failure()
+            raise
+        self._stats.record_response(len(response))
         if self._simulate_latency and self._link_model is not None:
             time.sleep(
                 self._link_model.rtt_seconds

@@ -1,0 +1,489 @@
+"""Retry, hedging, and circuit-breaking for the serving path.
+
+Three robustness primitives, all deterministic so the fault suites can
+assert exact schedules:
+
+* :class:`RetryPolicy` — capped exponential backoff with
+  *deterministic* jitter (a keyed BLAKE2b function of the call index
+  and attempt number, not :mod:`random`), an optional per-call
+  deadline over the channel's modeled latency, and an optional hedged
+  second attempt for calls slower than a threshold.
+* :class:`RetryingChannel` — wraps any channel and applies a policy to
+  every call, retrying :class:`~repro.errors.TransportError` failures
+  and responses that fail the wire-framing check.  Records a full
+  per-call attempt trace, which is how tests pin "same fault seed ⇒
+  identical retry schedule".
+* :class:`CircuitBreaker` — consecutive-failure breaker with half-open
+  probing, counted in calls rather than wall time so breaker behavior
+  is reproducible.  The cluster front end keeps one per shard.
+
+Retrying implies at-least-once delivery: a response corrupted in
+flight means the server *did* execute the request before the retry
+re-sends it.  Searches are read-only, and the update handler
+(:meth:`repro.cloud.server.CloudServer._handle_update`) is idempotent
+— deterministic entry encryption makes an exact-duplicate append
+detectable — so re-execution is safe across the whole protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cloud.network import Channel, ChannelStats
+from repro.cloud.protocol import peek_kind
+from repro.errors import (
+    CallTimeoutError,
+    CorruptedResponseError,
+    ParameterError,
+    ProtocolError,
+    RetryExhaustedError,
+    TransportError,
+)
+
+
+def response_is_well_formed(response: bytes) -> bool:
+    """The default wire-framing check: a parseable, tagged message.
+
+    Every protocol response is a JSON object carrying a ``kind`` tag;
+    fault-injected corruption breaks exactly that framing.
+    """
+    try:
+        return bool(peek_kind(response))
+    except ProtocolError:
+        return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per call (first attempt included).
+    base_backoff_s / backoff_multiplier / max_backoff_s:
+        Backoff before retry ``n`` (1-based) is
+        ``min(max_backoff_s, base_backoff_s * multiplier**(n - 1))``,
+        then shrunk by jitter.
+    jitter_fraction:
+        Each backoff is scaled by ``1 - jitter_fraction * u`` with
+        ``u in [0, 1)`` drawn from a keyed BLAKE2b stream over
+        ``(jitter_seed, call index, attempt)`` — decorrelated across
+        callers but exactly reproducible.
+    jitter_seed:
+        Seed for the jitter stream.
+    deadline_s:
+        Per-call deadline over the channel's *modeled* latency: a
+        response whose injected delay exceeds it counts as a timeout
+        failure (and is retried).
+    hedge_after_s:
+        When set, a response slower than this (but within deadline)
+        triggers one hedged duplicate attempt; the faster of the two
+        responses wins.  The paper-style tail-latency mitigation.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.01
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 0.25
+    jitter_fraction: float = 0.1
+    jitter_seed: int = 0
+    deadline_s: float | None = None
+    hedge_after_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ParameterError("backoff durations must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ParameterError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ParameterError(
+                f"jitter_fraction must be in [0, 1), got "
+                f"{self.jitter_fraction}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ParameterError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        if self.hedge_after_s is not None:
+            if self.hedge_after_s <= 0:
+                raise ParameterError(
+                    f"hedge_after_s must be positive, got "
+                    f"{self.hedge_after_s}"
+                )
+            if (
+                self.deadline_s is not None
+                and self.hedge_after_s >= self.deadline_s
+            ):
+                raise ParameterError("hedge_after_s must be below deadline_s")
+
+    def backoff_s(self, call_index: int, retry_number: int) -> float:
+        """Backoff before retry ``retry_number`` (1-based) of one call."""
+        if retry_number < 1:
+            raise ParameterError(
+                f"retry_number must be >= 1, got {retry_number}"
+            )
+        base = min(
+            self.max_backoff_s,
+            self.base_backoff_s
+            * self.backoff_multiplier ** (retry_number - 1),
+        )
+        digest = hashlib.blake2b(
+            struct.pack(">qqq", self.jitter_seed, call_index, retry_number),
+            digest_size=8,
+        ).digest()
+        unit = int.from_bytes(digest, "big") / 2.0**64
+        return base * (1.0 - self.jitter_fraction * unit)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one call, as the retry layer saw it."""
+
+    attempt: int
+    outcome: str  # "ok" | "hedged-ok" | an error class name
+    backoff_s: float
+    modeled_delay_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class CallTrace:
+    """The full attempt history of one :meth:`RetryingChannel.call`."""
+
+    call_index: int
+    attempts: tuple[AttemptRecord, ...]
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether any attempt produced an accepted response."""
+        return any(
+            record.outcome in ("ok", "hedged-ok") for record in self.attempts
+        )
+
+
+@dataclass
+class RetryStats:
+    """Aggregate counters across a :class:`RetryingChannel`'s calls."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    corrupt_responses: int = 0
+    hedged_calls: int = 0
+    exhausted: int = 0
+
+
+class RetryingChannel:
+    """A channel wrapper that applies a :class:`RetryPolicy` per call.
+
+    Presents the same ``call()`` surface as
+    :class:`~repro.cloud.network.Channel`, so users, owners, and the
+    cluster fan-out compose with it transparently.  Only
+    :class:`~repro.errors.TransportError` failures are retried; a
+    :class:`~repro.errors.ProtocolError` (malformed or unauthorized
+    request) propagates immediately — retrying cannot fix it.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped channel (possibly a
+        :class:`~repro.cloud.faults.FaultyChannel`).
+    policy:
+        The retry policy.
+    sleep:
+        Clock used for backoff waits (injectable for tests; defaults
+        to :func:`time.sleep`).
+    validate:
+        Response acceptance check; defaults to the protocol framing
+        check :func:`response_is_well_formed`.
+    """
+
+    def __init__(
+        self,
+        inner: Channel,
+        policy: RetryPolicy,
+        sleep: Callable[[float], None] = time.sleep,
+        validate: Callable[[bytes], bool] = response_is_well_formed,
+    ):
+        self._inner = inner
+        self._policy = policy
+        self._sleep = sleep
+        self._validate = validate
+        self._retry_stats = RetryStats()
+        self._trace: list[CallTrace] = []
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    @property
+    def inner(self) -> Channel:
+        """The wrapped channel."""
+        return self._inner
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The applied retry policy."""
+        return self._policy
+
+    @property
+    def stats(self) -> ChannelStats:
+        """The wrapped channel's traffic counters (passthrough)."""
+        return self._inner.stats
+
+    @property
+    def retry_stats(self) -> RetryStats:
+        """Aggregate retry counters."""
+        return self._retry_stats
+
+    @property
+    def trace(self) -> tuple[CallTrace, ...]:
+        """Per-call attempt traces, in call order."""
+        with self._lock:
+            return tuple(self._trace)
+
+    def _modeled_delay(self) -> float:
+        return getattr(self._inner, "last_injected_delay_s", 0.0)
+
+    def _attempt(self, request: bytes) -> tuple[bytes, float, bool]:
+        """One attempt: returns ``(response, delay, hedged)``.
+
+        Raises a :class:`~repro.errors.TransportError` subclass when
+        the attempt fails (injected fault, modeled timeout, or a
+        response that fails validation).
+        """
+        response = self._inner.call(request)
+        delay = self._modeled_delay()
+        policy = self._policy
+        hedged = False
+        if policy.hedge_after_s is not None and delay > policy.hedge_after_s:
+            hedged = True
+            try:
+                other = self._inner.call(request)
+                other_delay = self._modeled_delay()
+            except TransportError:
+                other = None
+                other_delay = delay
+            if (
+                other is not None
+                and other_delay < delay
+                and self._validate(other)
+            ):
+                response, delay = other, other_delay
+        if policy.deadline_s is not None and delay > policy.deadline_s:
+            with self._lock:
+                self._retry_stats.timeouts += 1
+            raise CallTimeoutError(
+                f"modeled response latency {delay:.4f}s exceeded the "
+                f"{policy.deadline_s:.4f}s deadline"
+            )
+        if not self._validate(response):
+            with self._lock:
+                self._retry_stats.corrupt_responses += 1
+            raise CorruptedResponseError(
+                "response failed the wire-framing check"
+            )
+        return response, delay, hedged
+
+    def call(self, request: bytes) -> bytes:
+        """Send ``request``, retrying under the policy until accepted."""
+        with self._lock:
+            call_index = self._calls
+            self._calls += 1
+            self._retry_stats.calls += 1
+        policy = self._policy
+        attempts: list[AttemptRecord] = []
+        last_error: TransportError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            backoff = 0.0
+            if attempt > 1:
+                backoff = policy.backoff_s(call_index, attempt - 1)
+                if backoff > 0:
+                    self._sleep(backoff)
+                with self._lock:
+                    self._retry_stats.retries += 1
+            with self._lock:
+                self._retry_stats.attempts += 1
+            try:
+                response, delay, hedged = self._attempt(request)
+            except TransportError as exc:
+                last_error = exc
+                attempts.append(
+                    AttemptRecord(
+                        attempt=attempt,
+                        outcome=type(exc).__name__,
+                        backoff_s=backoff,
+                    )
+                )
+                continue
+            if hedged:
+                with self._lock:
+                    self._retry_stats.hedged_calls += 1
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    outcome="hedged-ok" if hedged else "ok",
+                    backoff_s=backoff,
+                    modeled_delay_s=delay,
+                )
+            )
+            self._record(call_index, attempts)
+            return response
+        with self._lock:
+            self._retry_stats.exhausted += 1
+        self._record(call_index, attempts)
+        raise RetryExhaustedError(
+            f"all {policy.max_attempts} attempts failed "
+            f"(last: {type(last_error).__name__})"
+        ) from last_error
+
+    def _record(self, call_index: int, attempts: list[AttemptRecord]) -> None:
+        with self._lock:
+            self._trace.append(
+                CallTrace(call_index=call_index, attempts=tuple(attempts))
+            )
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker tuning.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open the circuit.
+    probe_interval:
+        While open, every ``probe_interval``-th suppressed call is let
+        through as a half-open probe; its outcome closes or re-opens
+        the circuit.
+    """
+
+    failure_threshold: int = 3
+    probe_interval: int = 4
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ParameterError(
+                f"failure_threshold must be >= 1, got "
+                f"{self.failure_threshold}"
+            )
+        if self.probe_interval < 1:
+            raise ParameterError(
+                f"probe_interval must be >= 1, got {self.probe_interval}"
+            )
+
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """An immutable view of one breaker's health."""
+
+    state: str
+    consecutive_failures: int
+    times_opened: int
+    probes: int
+    suppressed_calls: int
+
+
+class CircuitBreaker:
+    """A consecutive-failure breaker with call-counted half-open probes.
+
+    Deliberately clockless: opening is triggered by
+    ``failure_threshold`` consecutive failures, and recovery probing
+    is paced by *suppressed call count* rather than elapsed time, so
+    every transition is a deterministic function of the observed
+    success/failure sequence.
+
+    Usage (the cluster does this under its per-shard lock)::
+
+        if not breaker.allow():
+            raise ShardDownError(...)
+        try:
+            response = channel.call(request)
+        except TransportError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+    """
+
+    def __init__(self, config: BreakerConfig | None = None):
+        self._config = config if config is not None else BreakerConfig()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._times_opened = 0
+        self._probes = 0
+        self._suppressed = 0
+        self._suppressed_since_open = 0
+        self._lock = threading.Lock()
+
+    @property
+    def config(self) -> BreakerConfig:
+        """The breaker's tuning."""
+        return self._config
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open``, or ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> BreakerSnapshot:
+        """An immutable view of the breaker's counters."""
+        with self._lock:
+            return BreakerSnapshot(
+                state=self._state,
+                consecutive_failures=self._consecutive_failures,
+                times_opened=self._times_opened,
+                probes=self._probes,
+                suppressed_calls=self._suppressed,
+            )
+
+    def allow(self) -> bool:
+        """Whether the next call may proceed (may start a probe)."""
+        with self._lock:
+            if self._state == CLOSED or self._state == HALF_OPEN:
+                return True
+            self._suppressed += 1
+            self._suppressed_since_open += 1
+            if self._suppressed_since_open % self._config.probe_interval == 0:
+                self._state = HALF_OPEN
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit and clear the streak."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._suppressed_since_open = 0
+
+    def record_failure(self) -> None:
+        """A call failed: extend the streak, possibly (re)open."""
+        with self._lock:
+            self._consecutive_failures += 1
+            failed_probe = self._state == HALF_OPEN
+            if (
+                failed_probe
+                or self._consecutive_failures >= self._config.failure_threshold
+            ):
+                if self._state != OPEN:
+                    self._times_opened += 1
+                self._state = OPEN
+                self._suppressed_since_open = 0

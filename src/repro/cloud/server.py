@@ -166,6 +166,16 @@ class CloudServer:
         raise ProtocolError(f"unknown request kind {kind!r}")
 
     def _handle_update(self, kind: str, request_bytes: bytes):
+        """Apply one authenticated update, idempotently.
+
+        Every update is safe to re-send: a retry layer that lost a
+        response (e.g. corrupted in flight) re-executes the request,
+        so appends skip entries already present (exact-duplicate
+        detection is sound because entry encryption is deterministic),
+        a re-put of an identical blob acks, and removing an absent
+        blob acks.  Conflicting re-puts are still an error — that is
+        a protocol violation, not a retry.
+        """
         from repro.cloud.updates import (
             AckResponse,
             PutBlobRequest,
@@ -184,8 +194,18 @@ class CloudServer:
                         request.address, list(request.entries)
                     )
                 else:
+                    present = set(existing)
+                    fresh = [
+                        entry
+                        for entry in request.entries
+                        if entry not in present
+                    ]
+                    if not fresh:
+                        return AckResponse(
+                            ok=True, detail="already applied"
+                        )
                     self._index.replace_list(
-                        request.address, existing + list(request.entries)
+                        request.address, existing + fresh
                     )
             else:  # replace
                 if existing is None:
@@ -200,10 +220,20 @@ class CloudServer:
         if kind == "put-blob":
             put = PutBlobRequest.from_bytes(request_bytes)
             check_token(self._update_token, put.token)
+            stored = self._blobs.get_optional(put.file_id)
+            if stored is not None:
+                if stored == put.blob:
+                    return AckResponse(ok=True, detail="already stored")
+                raise ProtocolError(
+                    f"blob {put.file_id!r} already stored with "
+                    "different contents"
+                )
             self._blobs.put(put.file_id, put.blob)
             return AckResponse(ok=True)
         remove = RemoveBlobRequest.from_bytes(request_bytes)
         check_token(self._update_token, remove.token)
+        if remove.file_id not in self._blobs:
+            return AckResponse(ok=True, detail="already removed")
         self._blobs.delete(remove.file_id)
         return AckResponse(ok=True)
 

@@ -19,16 +19,19 @@ from __future__ import annotations
 
 import hmac
 import json
+import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.cloud.network import Channel
 from repro.cloud.owner import DataOwner
+from repro.cloud.retry import RetryingChannel, RetryPolicy
 from repro.core.dynamics import UpdateReport, build_entry
 from repro.core.rsse import EfficientRSSE
 from repro.corpus.loader import Document
 from repro.crypto.symmetric import SymmetricCipher
-from repro.errors import ParameterError, ProtocolError
+from repro.errors import ParameterError, ProtocolError, TransportError
 
 #: Update-list application modes.
 UPDATE_MODES = ("append", "replace")
@@ -167,8 +170,10 @@ class AckResponse:
     @classmethod
     def from_bytes(cls, data: bytes) -> "AckResponse":
         payload = _decode(data, "ack")
-        return cls(ok=bool(payload.get("ok")), detail=str(payload.get(
-            "detail", "")))
+        return cls(
+            ok=bool(payload.get("ok")),
+            detail=str(payload.get("detail", "")),
+        )
 
 
 def check_token(expected: bytes | None, presented: bytes) -> None:
@@ -192,10 +197,28 @@ class RemoteIndexMaintainer:
         Channel to the update-accepting server.
     update_token:
         The write-authorization secret shared with the server.
+    retry_policy:
+        Optional :class:`~repro.cloud.retry.RetryPolicy`; when given,
+        the channel is wrapped in a
+        :class:`~repro.cloud.retry.RetryingChannel` so transient
+        transport faults are absorbed before any queueing happens.
+        Safe because the server applies updates idempotently.
+    queue_on_failure:
+        When True, an update that still fails after retries is queued
+        locally (and acked as ``"queued"``) instead of raising; call
+        :meth:`flush_pending` once the shard recovers to replay the
+        queue in order.  New mutations are refused while the queue is
+        non-empty, so replay order can never violate per-address
+        ordering.
     """
 
     def __init__(
-        self, owner: DataOwner, channel: Channel, update_token: bytes
+        self,
+        owner: DataOwner,
+        channel: Channel,
+        update_token: bytes,
+        retry_policy: RetryPolicy | None = None,
+        queue_on_failure: bool = False,
     ):
         if not isinstance(owner._scheme, EfficientRSSE):
             raise ParameterError(
@@ -209,12 +232,62 @@ class RemoteIndexMaintainer:
             raise ParameterError("update token must be non-empty")
         self._owner = owner
         self._scheme: EfficientRSSE = owner._scheme
-        self._channel = channel
+        self._channel: Channel | RetryingChannel = (
+            RetryingChannel(channel, retry_policy)
+            if retry_policy is not None
+            else channel
+        )
         self._token = bytes(update_token)
         self._file_cipher = SymmetricCipher(owner.file_key)
+        self._queue_on_failure = queue_on_failure
+        self._pending: deque[bytes] = deque()
+        self._pending_lock = threading.Lock()
+
+    @property
+    def pending_updates(self) -> int:
+        """Updates queued behind an unreachable shard."""
+        with self._pending_lock:
+            return len(self._pending)
+
+    def flush_pending(self) -> int:
+        """Replay queued updates in order; returns how many landed.
+
+        Stops (re-raising the transport failure) at the first update
+        that still cannot be delivered, leaving it and everything
+        behind it queued — replay is FIFO, so per-address ordering is
+        preserved across recovery.
+        """
+        replayed = 0
+        while True:
+            with self._pending_lock:
+                if not self._pending:
+                    return replayed
+                request_bytes = self._pending[0]
+            ack = AckResponse.from_bytes(self._channel.call(request_bytes))
+            if not ack.ok:
+                raise ProtocolError(
+                    f"server rejected queued update: {ack.detail}"
+                )
+            with self._pending_lock:
+                self._pending.popleft()
+            replayed += 1
+
+    def _require_no_pending(self) -> None:
+        if self.pending_updates:
+            raise ProtocolError(
+                "updates are queued behind an unreachable shard; call "
+                "flush_pending() before issuing new mutations"
+            )
 
     def _call(self, request_bytes: bytes) -> AckResponse:
-        ack = AckResponse.from_bytes(self._channel.call(request_bytes))
+        try:
+            ack = AckResponse.from_bytes(self._channel.call(request_bytes))
+        except TransportError:
+            if not self._queue_on_failure:
+                raise
+            with self._pending_lock:
+                self._pending.append(request_bytes)
+            return AckResponse(ok=True, detail="queued")
         if not ack.ok:
             raise ProtocolError(f"server rejected update: {ack.detail}")
         return ack
@@ -249,7 +322,12 @@ class RemoteIndexMaintainer:
         The blob is uploaded *before* any index entries so a concurrent
         search never matches a file whose payload is missing; the
         per-keyword appends then dispatch on ``workers`` threads.
+        (With ``queue_on_failure`` a queued blob weakens that to "a
+        search may match a file whose blob is pending" — the search
+        path already tolerates a missing blob by dropping the file
+        from the response.)
         """
+        self._require_no_pending()
         owner = self._owner
         index = owner.plain_index
         index.add_document(
@@ -301,6 +379,7 @@ class RemoteIndexMaintainer:
         is deleted, so a concurrent search that still matches the file
         can still fetch it.
         """
+        self._require_no_pending()
         owner = self._owner
         index = owner.plain_index
         terms = sorted(

@@ -27,6 +27,7 @@ from repro.cloud.protocol import (
     SearchRequest,
     SearchResponse,
 )
+from repro.cloud.retry import RetryingChannel, RetryPolicy
 from repro.core.basic_scheme import BasicRankedSSE
 from repro.core.rsse import EfficientRSSE
 from repro.core.results import RankedFile, as_ranking
@@ -46,7 +47,14 @@ class RetrievedFile:
 
 
 class DataUser:
-    """An authorized user holding credentials from the owner."""
+    """An authorized user holding credentials from the owner.
+
+    With a ``retry_policy``, every protocol round trip goes through a
+    :class:`~repro.cloud.retry.RetryingChannel`: transient transport
+    faults (drops, corrupted responses, a briefly crashed shard) are
+    absorbed by capped-backoff retries, and searches — which are
+    read-only on the server — stay safe to re-send.
+    """
 
     def __init__(
         self,
@@ -54,10 +62,15 @@ class DataUser:
         credentials: UserCredentials,
         channel: Channel,
         analyzer: Analyzer | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self._scheme = scheme
         self._credentials = credentials
-        self._channel = channel
+        self._channel: Channel | RetryingChannel = (
+            RetryingChannel(channel, retry_policy)
+            if retry_policy is not None
+            else channel
+        )
         self._analyzer = analyzer if analyzer is not None else Analyzer()
         self._file_cipher = SymmetricCipher(credentials.file_key)
 

@@ -59,5 +59,38 @@ class ProtocolError(ReproError):
     """A retrieval-protocol message was malformed or out of order."""
 
 
+class TransportError(ReproError):
+    """A network-layer failure on an otherwise well-formed exchange.
+
+    The retryable class: a request that failed with a
+    :class:`TransportError` (or any subclass) may be re-sent without
+    violating protocol semantics, and
+    :class:`repro.cloud.retry.RetryingChannel` does exactly that.
+    Contrast :class:`ProtocolError`, which signals a malformed or
+    unauthorized message that no amount of retrying will fix.
+    """
+
+
+class CallDroppedError(TransportError):
+    """The request was lost in flight and never reached the server."""
+
+
+class CallTimeoutError(TransportError):
+    """The response arrived after the caller's per-call deadline."""
+
+
+class CorruptedResponseError(TransportError):
+    """The response bytes failed the wire-framing integrity check."""
+
+
+class ShardDownError(TransportError):
+    """The target shard is crashed or its circuit breaker is open."""
+
+
+class RetryExhaustedError(TransportError):
+    """Every attempt a :class:`~repro.cloud.retry.RetryPolicy` allows
+    failed; the last underlying failure is chained as ``__cause__``."""
+
+
 class CorpusError(ReproError):
     """A document collection could not be generated or loaded."""

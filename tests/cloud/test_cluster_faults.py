@@ -1,0 +1,366 @@
+"""End-to-end fault tolerance of the sharded serving path.
+
+The ISSUE acceptance scenario: a 4-shard cluster under a fault plan
+injecting call drops plus one crashed shard must (a) never surface an
+unhandled exception — searches degrade to :class:`PartialResult` —
+and (b) recover once the crash window passes: the breaker closes and
+responses return to byte-equivalence with the fault-free run.
+
+The whole suite is parameterized by ``--fault-seed`` and
+``--fault-drop-rate`` (see ``tests/conftest.py``); the CI fault-matrix
+job sweeps a grid of both.  Searches are driven *sequentially* — the
+thread pool races per-shard call-index assignment across shards, so
+determinism claims are only well-defined for a serial request order.
+"""
+
+import random
+
+import pytest
+
+from repro.cloud.cluster import ClusterServer, PartialResult
+from repro.cloud.faults import FaultPlan, FaultyChannel
+from repro.cloud.network import Channel
+from repro.cloud.owner import DataOwner
+from repro.cloud.protocol import SearchRequest, peek_kind
+from repro.cloud.retry import BreakerConfig, RetryPolicy
+from repro.cloud.server import CloudServer
+from repro.cloud.storage import BlobStore
+from repro.cloud.updates import RemoteIndexMaintainer
+from repro.cloud.user import DataUser
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.corpus import generate_corpus
+from repro.errors import ProtocolError, TransportError
+from repro.ir.inverted_index import InvertedIndex
+
+VOCAB = [f"term{i:02d}" for i in range(32)]
+TOKEN = b"owner-update-token"
+
+#: The shard the acceptance scenario crashes, and for how many of its
+#: own call indexes.  Retried attempts and half-open probes consume
+#: indexes, which is how the window eventually passes.
+CRASHED_SHARD = 1
+CRASH_WINDOW = (0, 40)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    index = InvertedIndex()
+    rng = random.Random(42)
+    for doc in range(20):
+        index.add_document(
+            f"doc{doc}", [rng.choice(VOCAB) for _ in range(40)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(20):
+        blobs.put(f"doc{doc}", b"cipher-" + str(doc).encode())
+    return scheme, key, built, blobs
+
+
+def search_bytes(scheme, key, keyword, k=5):
+    return SearchRequest(
+        trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(), top_k=k
+    ).to_bytes()
+
+
+def make_cluster(deployment, **kwargs):
+    _, _, built, blobs = deployment
+    return ClusterServer(
+        built.secure_index, blobs, can_rank=True, num_shards=4, **kwargs
+    )
+
+
+def acceptance_plan(fault_seed, fault_drop_rate):
+    return FaultPlan(
+        seed=fault_seed,
+        drop_rate=fault_drop_rate,
+        crash_windows={CRASHED_SHARD: (CRASH_WINDOW,)},
+    )
+
+
+def acceptance_policy(fault_seed):
+    # max_attempts=8: at the matrix's highest drop rate (0.25) a
+    # healthy-shard search fails all attempts with probability
+    # 0.25^8 ~ 1.5e-5 — and each (seed, rate) cell is deterministic,
+    # so cells are verified to pass before entering the matrix.
+    return RetryPolicy(
+        max_attempts=8, base_backoff_s=0.0, jitter_seed=fault_seed
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(deployment):
+    """Fault-free responses, keyword -> bytes."""
+    scheme, key, _, _ = deployment
+    with make_cluster(deployment) as cluster:
+        return {
+            keyword: cluster.handle(search_bytes(scheme, key, keyword))
+            for keyword in VOCAB
+        }
+
+
+class TestGracefulDegradation:
+    def test_partial_result_never_exception(
+        self, deployment, baseline, fault_seed, fault_drop_rate
+    ):
+        """The headline acceptance criterion, end to end."""
+        scheme, key, _, _ = deployment
+        with make_cluster(
+            deployment,
+            fault_plan=acceptance_plan(fault_seed, fault_drop_rate),
+            retry_policy=acceptance_policy(fault_seed),
+            retry_sleep=lambda _s: None,
+        ) as cluster:
+            requests = {
+                keyword: search_bytes(scheme, key, keyword)
+                for keyword in VOCAB
+            }
+            degraded = 0
+            for keyword, request in requests.items():
+                result = cluster.handle_resilient(request)
+                assert isinstance(result, PartialResult)
+                shard = cluster.shard_id_for(request)
+                if result.complete:
+                    # A served search is byte-identical to fault-free:
+                    # drops are retried and corruption is re-fetched,
+                    # never silently returned.
+                    assert result.responses == (baseline[keyword],)
+                else:
+                    degraded += 1
+                    assert result.missing_shards == (CRASHED_SHARD,)
+                    assert shard == CRASHED_SHARD
+                    assert result.responses == (None,)
+                    assert result.failures[0][1] == CRASHED_SHARD
+            # The crashed shard owns some of the vocabulary, and its
+            # window (40 indexes) outlasts the first pass's attempts.
+            assert degraded > 0
+
+    def test_breaker_recovers_after_crash_window(
+        self, deployment, baseline, fault_seed, fault_drop_rate
+    ):
+        """After the window passes, probes close the breaker and
+        results return to byte-equivalence with the fault-free run."""
+        scheme, key, _, _ = deployment
+        with make_cluster(deployment) as probe:
+            keyword = next(
+                word
+                for word in VOCAB
+                if probe.shard_id_for(search_bytes(scheme, key, word))
+                == CRASHED_SHARD
+            )
+        request = search_bytes(scheme, key, keyword)
+        with make_cluster(
+            deployment,
+            fault_plan=acceptance_plan(fault_seed, fault_drop_rate),
+            retry_policy=acceptance_policy(fault_seed),
+            breaker=BreakerConfig(failure_threshold=3, probe_interval=4),
+            retry_sleep=lambda _s: None,
+        ) as cluster:
+            recovered_at = None
+            for round_number in range(80):
+                result = cluster.handle_resilient(request)
+                if result.complete and result.responses == (
+                    baseline[keyword],
+                ):
+                    recovered_at = round_number
+                    break
+            assert recovered_at is not None, "shard never recovered"
+            health = cluster.shard_health[CRASHED_SHARD]
+            assert health.state == "closed"
+            assert health.times_opened >= 1
+            assert health.probes >= 1
+            assert health.suppressed_calls > 0
+            # Recovered for good: subsequent searches stay complete.
+            for _ in range(5):
+                follow_up = cluster.handle_resilient(request)
+                assert follow_up.responses == (baseline[keyword],)
+            stats = cluster.fault_stats[CRASHED_SHARD]
+            assert stats.crash_rejections > 0
+
+    def test_healthy_cluster_with_resilience_is_byte_identical(
+        self, deployment, baseline
+    ):
+        """Retry + breaker layers are invisible without faults."""
+        scheme, key, _, _ = deployment
+        with make_cluster(
+            deployment,
+            retry_policy=RetryPolicy(max_attempts=4, base_backoff_s=0.0),
+            breaker=BreakerConfig(),
+            retry_sleep=lambda _s: None,
+        ) as cluster:
+            for keyword in VOCAB:
+                request = search_bytes(scheme, key, keyword)
+                assert cluster.handle(request) == baseline[keyword]
+            for health in cluster.shard_health:
+                assert health.state == "closed"
+                assert health.times_opened == 0
+            for channel in cluster.retrying_channels:
+                assert channel.retry_stats.retries == 0
+
+    def test_batch_degrades_per_request(
+        self, deployment, fault_seed, fault_drop_rate
+    ):
+        scheme, key, _, _ = deployment
+        with make_cluster(
+            deployment,
+            fault_plan=acceptance_plan(fault_seed, fault_drop_rate),
+            retry_policy=acceptance_policy(fault_seed),
+            retry_sleep=lambda _s: None,
+        ) as cluster:
+            requests = [
+                search_bytes(scheme, key, keyword) for keyword in VOCAB
+            ]
+            result = cluster.handle_many_resilient(requests)
+            assert isinstance(result, PartialResult)
+            assert len(result.responses) == len(requests)
+            assert result.served >= 1
+            assert set(result.missing_shards) <= {CRASHED_SHARD}
+            for position, shard, error in result.failures:
+                assert result.responses[position] is None
+                assert shard == CRASHED_SHARD
+                assert error in ("RetryExhaustedError", "ShardDownError")
+
+
+class TestRetryDeterminism:
+    """Satellite 3: same fault seed => identical bytes AND schedules."""
+
+    def run_sequence(self, deployment, fault_seed, fault_drop_rate):
+        scheme, key, _, _ = deployment
+        with make_cluster(
+            deployment,
+            fault_plan=acceptance_plan(fault_seed, fault_drop_rate),
+            retry_policy=acceptance_policy(fault_seed),
+            retry_sleep=lambda _s: None,
+        ) as cluster:
+            responses = [
+                cluster.handle_resilient(
+                    search_bytes(scheme, key, keyword)
+                ).responses
+                for keyword in VOCAB
+            ]
+            traces = tuple(
+                channel.trace for channel in cluster.retrying_channels
+            )
+            fault_stats = cluster.fault_stats
+            return responses, traces, fault_stats
+
+    def test_same_seed_identical_bytes_and_retry_schedules(
+        self, deployment, fault_seed, fault_drop_rate
+    ):
+        first = self.run_sequence(deployment, fault_seed, fault_drop_rate)
+        second = self.run_sequence(deployment, fault_seed, fault_drop_rate)
+        assert first[0] == second[0]  # byte-identical (degraded) results
+        assert first[1] == second[1]  # identical per-attempt schedules
+        assert first[2] == second[2]  # identical injected faults
+
+    def test_different_seed_different_schedule(
+        self, deployment, fault_seed
+    ):
+        # High drop rate so schedules visibly diverge in one pass.
+        first = self.run_sequence(deployment, fault_seed, 0.4)
+        second = self.run_sequence(deployment, fault_seed + 1, 0.4)
+        assert first[1] != second[1]
+
+
+class TestOwnerUpdateQueueing:
+    """Updates against a crashed shard queue, then replay in order."""
+
+    @pytest.fixture()
+    def world(self):
+        documents = generate_corpus(20, seed=81, vocabulary_size=200)
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        owner = DataOwner(scheme)
+        outsourcing = owner.setup(documents[:15])
+        server = CloudServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            update_token=TOKEN,
+        )
+        return documents, scheme, owner, server
+
+    def test_updates_queue_and_replay_after_recovery(self, world):
+        documents, scheme, owner, server = world
+        # A crash window long enough to swallow the whole insert
+        # (1 blob + one append per keyword, no retries).
+        plan = FaultPlan(crash_windows={0: ((0, 256),)})
+        faulty = FaultyChannel(
+            Channel(server.handle), plan.schedule_for(0)
+        )
+        maintainer = RemoteIndexMaintainer(
+            owner,
+            faulty,
+            TOKEN,
+            retry_policy=RetryPolicy(max_attempts=1, base_backoff_s=0.0),
+            queue_on_failure=True,
+        )
+        new_doc = documents[15]
+        report = maintainer.insert_document(new_doc)
+        assert report.lists_touched > 0
+        queued = maintainer.pending_updates
+        assert queued == report.lists_touched + 1  # appends + blob
+        assert queued < 256  # window really did cover every call
+        assert faulty.calls_made == queued  # nothing got through
+
+        # New mutations are refused while the queue is non-empty.
+        with pytest.raises(ProtocolError):
+            maintainer.insert_document(documents[16])
+        with pytest.raises(ProtocolError):
+            maintainer.remove_document(new_doc.doc_id)
+
+        # Drive flush attempts until the crash window passes; each
+        # failed attempt consumes one fault index, so this terminates.
+        replayed = 0
+        for _ in range(300):
+            try:
+                replayed += maintainer.flush_pending()
+                break
+            except TransportError:
+                continue
+        assert replayed == queued
+        assert maintainer.pending_updates == 0
+
+        # The replayed document is fully searchable and up to date.
+        user = DataUser(
+            scheme,
+            owner.authorize_user(),
+            Channel(server.handle),
+            owner.analyzer,
+        )
+        hits = user.search_ranked_topk("network", 100)
+        assert new_doc.doc_id in {hit.file_id for hit in hits}
+
+    def test_queue_preserves_fifo_order(self, world):
+        documents, _, owner, server = world
+        seen = []
+        real_handle = server.handle
+
+        def recording_handle(request: bytes) -> bytes:
+            seen.append(request)
+            return real_handle(request)
+
+        plan = FaultPlan(crash_windows={0: ((0, 256),)})
+        faulty = FaultyChannel(
+            Channel(recording_handle), plan.schedule_for(0)
+        )
+        maintainer = RemoteIndexMaintainer(
+            owner,
+            faulty,
+            TOKEN,
+            retry_policy=RetryPolicy(max_attempts=1, base_backoff_s=0.0),
+            queue_on_failure=True,
+        )
+        maintainer.insert_document(documents[15])
+        queued = maintainer.pending_updates
+        for _ in range(300):
+            try:
+                maintainer.flush_pending()
+                break
+            except TransportError:
+                continue
+        # Everything the server finally saw is the queue, in order,
+        # with the blob upload first (the insert protocol's invariant).
+        assert len(seen) == queued
+        assert peek_kind(seen[0]) == "put-blob"

@@ -1,0 +1,256 @@
+"""Unit + property tests for deterministic fault injection.
+
+Covers :class:`FaultPlan` validation, the determinism of
+:class:`FaultSchedule` decision streams (the property the whole fault
+suite rests on), :class:`FaultyChannel` injection semantics, and the
+headline recovery property: for *any* fault plan whose crash window
+ends, a retried call eventually returns bytes identical to the
+fault-free response.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.faults import (
+    CORRUPTION_PREFIX,
+    FaultPlan,
+    FaultyChannel,
+    corrupt_response,
+)
+from repro.cloud.network import Channel
+from repro.cloud.retry import RetryingChannel, RetryPolicy
+from repro.errors import (
+    CallDroppedError,
+    ParameterError,
+    RetryExhaustedError,
+    ShardDownError,
+)
+
+
+def echo_handler(request: bytes) -> bytes:
+    """A framed, request-dependent response (passes peek_kind)."""
+    return b'{"kind": "echo", "payload": "' + request.hex().encode() + b'"}'
+
+
+class TestFaultPlanValidation:
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(ParameterError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ParameterError):
+            FaultPlan(corrupt_rate=-0.1)
+        with pytest.raises(ParameterError):
+            FaultPlan(delay_rate=2.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ParameterError):
+            FaultPlan(delay_s=-0.01)
+
+    def test_rejects_malformed_crash_windows(self):
+        with pytest.raises(ParameterError):
+            FaultPlan(crash_windows={0: ((-1, 5),)})
+        with pytest.raises(ParameterError):
+            FaultPlan(crash_windows={0: ((5, 5),)})
+        with pytest.raises(ParameterError):
+            FaultPlan(crash_windows={0: ((7, 3),)})
+
+    def test_crash_windows_normalized_to_tuples(self):
+        plan = FaultPlan(crash_windows={3: [[2, 9]]})
+        assert plan.crash_windows == {3: ((2, 9),)}
+
+
+class TestFaultSchedule:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(seed=7, drop_rate=0.3, corrupt_rate=0.2,
+                         delay_rate=0.2, delay_s=0.5)
+        first = plan.schedule_for(2)
+        second = FaultPlan(seed=7, drop_rate=0.3, corrupt_rate=0.2,
+                           delay_rate=0.2, delay_s=0.5).schedule_for(2)
+        for index in range(300):
+            assert first.decision(index) == second.decision(index)
+
+    def test_different_seeds_differ(self):
+        base = FaultPlan(seed=1, drop_rate=0.3).schedule_for(0)
+        other = FaultPlan(seed=2, drop_rate=0.3).schedule_for(0)
+        assert [base.decision(i) for i in range(200)] != [
+            other.decision(i) for i in range(200)
+        ]
+
+    def test_different_targets_differ(self):
+        plan = FaultPlan(seed=5, drop_rate=0.3)
+        first = plan.schedule_for(0)
+        second = plan.schedule_for(1)
+        assert [first.decision(i) for i in range(200)] != [
+            second.decision(i) for i in range(200)
+        ]
+
+    def test_crash_takes_precedence(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0,
+                         crash_windows={0: ((3, 6),)})
+        schedule = plan.schedule_for(0)
+        assert schedule.decision(3).kind == "crash"
+        assert schedule.decision(5).kind == "crash"
+        assert schedule.decision(6).kind == "drop"
+        assert schedule.in_crash_window(4)
+        assert not schedule.in_crash_window(6)
+
+    def test_drop_takes_precedence_over_corrupt(self):
+        plan = FaultPlan(seed=0, drop_rate=1.0, corrupt_rate=1.0)
+        assert plan.schedule_for(0).decision(0).kind == "drop"
+
+    def test_delay_decision_carries_latency(self):
+        plan = FaultPlan(seed=0, delay_rate=1.0, delay_s=0.75)
+        decision = plan.schedule_for(0).decision(0)
+        assert decision.kind == "delay"
+        assert decision.delay_s == 0.75
+
+    def test_empirical_rate_tracks_plan(self):
+        plan = FaultPlan(seed=11, drop_rate=0.25)
+        schedule = plan.schedule_for(0)
+        drops = sum(
+            schedule.decision(i).kind == "drop" for i in range(2000)
+        )
+        assert 0.20 < drops / 2000 < 0.30
+
+
+class TestCorruptResponse:
+    def test_prefixes_and_breaks_framing(self):
+        garbled = corrupt_response(b'{"kind": "ack"}')
+        assert garbled.startswith(CORRUPTION_PREFIX)
+        assert garbled != b'{"kind": "ack"}'
+
+
+class TestFaultyChannel:
+    def make(self, plan, target=0, handler=echo_handler, **kwargs):
+        inner = Channel(handler)
+        return inner, FaultyChannel(
+            inner, plan.schedule_for(target), **kwargs
+        )
+
+    def test_forwards_when_fault_free(self):
+        inner, channel = self.make(FaultPlan())
+        assert channel.call(b"ping") == echo_handler(b"ping")
+        assert channel.fault_stats.calls == 1
+        assert channel.fault_stats.faults == 0
+        assert channel.calls_made == 1
+
+    def test_drop_raises_before_server_sees_call(self):
+        inner, channel = self.make(FaultPlan(drop_rate=1.0))
+        with pytest.raises(CallDroppedError):
+            channel.call(b"ping")
+        assert inner.stats.round_trips == 0  # server never observed it
+        assert channel.fault_stats.drops == 1
+
+    def test_crash_window_rejects_then_recovers(self):
+        inner, channel = self.make(
+            FaultPlan(crash_windows={0: ((0, 2),)})
+        )
+        for _ in range(2):
+            with pytest.raises(ShardDownError):
+                channel.call(b"ping")
+        assert inner.stats.round_trips == 0
+        assert channel.call(b"ping") == echo_handler(b"ping")
+        assert channel.fault_stats.crash_rejections == 2
+
+    def test_corruption_happens_after_server_executed(self):
+        inner, channel = self.make(FaultPlan(corrupt_rate=1.0))
+        response = channel.call(b"ping")
+        assert response == corrupt_response(echo_handler(b"ping"))
+        # The server DID run the request — this is why the update
+        # handler must be idempotent under retries.
+        assert inner.stats.round_trips == 1
+        assert channel.fault_stats.corruptions == 1
+
+    def test_delay_is_modeled_not_slept_by_default(self):
+        slept = []
+        _, channel = self.make(
+            FaultPlan(delay_rate=1.0, delay_s=0.5),
+            sleep=slept.append,
+        )
+        channel.call(b"ping")
+        assert channel.last_injected_delay_s == 0.5
+        assert slept == []
+        assert channel.fault_stats.delays == 1
+        assert channel.fault_stats.total_delay_s == 0.5
+
+    def test_delay_slept_when_plan_asks(self):
+        slept = []
+        _, channel = self.make(
+            FaultPlan(delay_rate=1.0, delay_s=0.25, sleep_delays=True),
+            sleep=slept.append,
+        )
+        channel.call(b"ping")
+        assert slept == [0.25]
+
+    def test_delay_flag_resets_on_fast_call(self):
+        # Index 0 delayed, index 1 not (rates below 1 with this seed).
+        plan = FaultPlan(seed=11, delay_rate=1.0, delay_s=0.5)
+        _, channel = self.make(plan)
+        channel.call(b"a")
+        assert channel.last_injected_delay_s == 0.5
+        fault_free = FaultPlan()
+        _, clean = self.make(fault_free)
+        clean.last_injected_delay_s = 0.5  # stale value
+        clean.call(b"b")
+        assert clean.last_injected_delay_s == 0.0
+
+    def test_stats_passthrough(self):
+        inner, channel = self.make(FaultPlan())
+        channel.call(b"abcd")
+        assert channel.stats is inner.stats
+        assert channel.stats.bytes_to_server == 4
+
+    def test_same_plan_same_injected_faults(self):
+        plan = FaultPlan(seed=3, drop_rate=0.4, corrupt_rate=0.3)
+        _, first = self.make(plan)
+        _, second = self.make(plan)
+        for channel in (first, second):
+            for _ in range(100):
+                try:
+                    channel.call(b"x")
+                except CallDroppedError:
+                    pass
+        assert first.fault_stats == second.fault_stats
+        assert first.fault_stats.drops > 0
+        assert first.fault_stats.corruptions > 0
+
+
+class TestRecoveryProperty:
+    """Satellite 6: any plan with recovery converges to fault-free bytes."""
+
+    @settings(derandomize=True, max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        drop_rate=st.floats(min_value=0.0, max_value=0.5),
+        corrupt_rate=st.floats(min_value=0.0, max_value=0.5),
+        window_end=st.integers(min_value=0, max_value=25),
+    )
+    def test_retried_call_recovers_to_fault_free_bytes(
+        self, seed, drop_rate, corrupt_rate, window_end
+    ):
+        request = b"query-under-test"
+        fault_free = echo_handler(request)
+        windows = {0: ((0, window_end),)} if window_end > 0 else {}
+        plan = FaultPlan(
+            seed=seed,
+            drop_rate=drop_rate,
+            corrupt_rate=corrupt_rate,
+            crash_windows=windows,
+        )
+        faulty = FaultyChannel(Channel(echo_handler), plan.schedule_for(0))
+        retrying = RetryingChannel(
+            faulty,
+            RetryPolicy(max_attempts=10, base_backoff_s=0.0,
+                        jitter_seed=seed),
+            sleep=lambda _s: None,
+        )
+        response = None
+        for _ in range(12):  # >= 120 attempts; window is at most 25
+            try:
+                response = retrying.call(request)
+                break
+            except RetryExhaustedError:
+                continue
+        assert response == fault_free
+        # And the recovered channel keeps answering correctly.
+        assert retrying.call(request) == fault_free

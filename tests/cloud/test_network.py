@@ -1,9 +1,11 @@
 """Unit tests for the accounted channel and link model."""
 
+import threading
+
 import pytest
 
-from repro.cloud.network import Channel, ChannelStats, LinkModel
-from repro.errors import ParameterError
+from repro.cloud.network import Channel, ChannelSnapshot, ChannelStats, LinkModel
+from repro.errors import ParameterError, ProtocolError
 
 
 class TestChannel:
@@ -38,6 +40,102 @@ class TestChannel:
         assert channel.stats.round_trips == 0
         assert channel.stats.total_bytes == 0
         assert channel.stats.requests == []
+
+    def test_failed_call_not_counted_as_response_traffic(self):
+        """A raising handler charges the request, never the response."""
+
+        def handler(request: bytes) -> bytes:
+            raise ProtocolError("boom")
+
+        channel = Channel(handler)
+        with pytest.raises(ProtocolError):
+            channel.call(b"abc")
+        assert channel.stats.round_trips == 1
+        assert channel.stats.bytes_to_server == 3
+        assert channel.stats.bytes_to_user == 0
+        assert channel.stats.responses == []
+        assert channel.stats.failed_calls == 1
+
+    def test_failure_then_success_accounting(self):
+        calls = iter([True, False])
+
+        def handler(request: bytes) -> bytes:
+            if next(calls):
+                raise ProtocolError("first call fails")
+            return b"okay!"
+
+        channel = Channel(handler)
+        with pytest.raises(ProtocolError):
+            channel.call(b"x")
+        assert channel.call(b"x") == b"okay!"
+        assert channel.stats.round_trips == 2
+        assert channel.stats.failed_calls == 1
+        assert channel.stats.bytes_to_user == 5
+
+    def test_reset_clears_failure_counter(self):
+        channel = Channel(lambda request: (_ for _ in ()).throw(
+            ProtocolError("always")
+        ))
+        with pytest.raises(ProtocolError):
+            channel.call(b"x")
+        channel.stats.reset()
+        assert channel.stats.failed_calls == 0
+
+
+class TestChannelStatsSnapshot:
+    def test_snapshot_is_immutable_copy(self):
+        channel = Channel(lambda request: b"ok")
+        channel.call(b"abc")
+        view = channel.stats.snapshot()
+        assert isinstance(view, ChannelSnapshot)
+        assert view.round_trips == 1
+        assert view.bytes_to_server == 3
+        assert view.requests == (3,)
+        with pytest.raises(AttributeError):
+            view.round_trips = 99  # type: ignore[misc]
+        channel.call(b"defg")
+        assert view.round_trips == 1  # unaffected by later traffic
+        assert view.snapshot() is view
+
+    def test_snapshot_consistent_under_concurrent_calls(self):
+        """Sampled snapshots are never torn: counts always pair up."""
+        channel = Channel(lambda request: b"rr")
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                channel.call(b"q")
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(200):
+                view = channel.stats.snapshot()
+                assert view.round_trips >= len(view.responses)
+                assert view.bytes_to_server == sum(view.requests)
+                assert view.bytes_to_user == sum(view.responses)
+                assert len(view.requests) == view.round_trips
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+
+    def test_merged_includes_failed_calls(self):
+        first = ChannelStats(round_trips=2, failed_calls=1)
+        second = ChannelStats(round_trips=3, failed_calls=2)
+        total = ChannelStats.merged([first, second])
+        assert total.round_trips == 5
+        assert total.failed_calls == 3
+
+    def test_merged_accepts_snapshots(self):
+        channel = Channel(lambda request: b"ok")
+        channel.call(b"ab")
+        total = ChannelStats.merged(
+            [channel.stats.snapshot(), channel.stats]
+        )
+        assert total.round_trips == 2
+        assert total.bytes_to_server == 4
 
 
 class TestLinkModel:

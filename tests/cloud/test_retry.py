@@ -1,0 +1,310 @@
+"""Unit tests for retry policies, hedging, and the circuit breaker."""
+
+import pytest
+
+from repro.cloud.protocol import SearchResponse
+from repro.cloud.retry import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    RetryingChannel,
+    RetryPolicy,
+    response_is_well_formed,
+)
+from repro.errors import (
+    CallDroppedError,
+    CallTimeoutError,
+    CorruptedResponseError,
+    ParameterError,
+    ProtocolError,
+    RetryExhaustedError,
+)
+
+OK = b'{"kind": "ok"}'
+
+
+class ScriptedChannel:
+    """An inner channel whose per-call behavior is scripted.
+
+    Script items are response bytes, exception instances to raise, or
+    ``(response, modeled_delay)`` pairs; the last item repeats forever.
+    """
+
+    def __init__(self, script):
+        self._script = list(script)
+        self.calls = 0
+        self.last_injected_delay_s = 0.0
+
+    def call(self, request: bytes) -> bytes:
+        index = min(self.calls, len(self._script) - 1)
+        item = self._script[index]
+        self.calls += 1
+        delay = 0.0
+        if isinstance(item, tuple):
+            item, delay = item
+        self.last_injected_delay_s = delay
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(base_backoff_s=-0.1)
+        with pytest.raises(ParameterError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ParameterError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(hedge_after_s=-1.0)
+
+    def test_hedge_must_be_below_deadline(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(deadline_s=0.5, hedge_after_s=0.5)
+        RetryPolicy(deadline_s=0.5, hedge_after_s=0.4)  # fine
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.1,
+            backoff_multiplier=2.0,
+            max_backoff_s=0.25,
+            jitter_fraction=0.0,
+        )
+        assert policy.backoff_s(0, 1) == pytest.approx(0.1)
+        assert policy.backoff_s(0, 2) == pytest.approx(0.2)
+        assert policy.backoff_s(0, 3) == pytest.approx(0.25)  # capped
+        assert policy.backoff_s(0, 9) == pytest.approx(0.25)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter_seed=42)
+        twin = RetryPolicy(jitter_seed=42)
+        for call_index in range(5):
+            for retry in range(1, 4):
+                assert policy.backoff_s(call_index, retry) == twin.backoff_s(
+                    call_index, retry
+                )
+
+    def test_jitter_varies_with_seed_and_index(self):
+        policy = RetryPolicy(jitter_seed=1)
+        other = RetryPolicy(jitter_seed=2)
+        assert policy.backoff_s(0, 1) != other.backoff_s(0, 1)
+        assert policy.backoff_s(0, 1) != policy.backoff_s(1, 1)
+
+    def test_jitter_only_shrinks_within_fraction(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.1, jitter_fraction=0.2, max_backoff_s=10.0
+        )
+        for call_index in range(20):
+            backoff = policy.backoff_s(call_index, 1)
+            assert 0.1 * 0.8 < backoff <= 0.1
+
+    def test_rejects_bad_retry_number(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy().backoff_s(0, 0)
+
+
+class TestFramingCheck:
+    def test_accepts_real_protocol_response(self):
+        response = SearchResponse(matches=(), files=())
+        assert response_is_well_formed(response.to_bytes())
+
+    def test_rejects_garbled_bytes(self):
+        assert not response_is_well_formed(b"\x00\xffGARBLED\x00{}")
+        assert not response_is_well_formed(b"not json at all")
+        assert not response_is_well_formed(b"[1, 2, 3]")
+        assert not response_is_well_formed(b"{}")  # no kind tag
+
+
+class TestRetryingChannel:
+    def make(self, script, policy=None, **kwargs):
+        inner = ScriptedChannel(script)
+        slept = []
+        channel = RetryingChannel(
+            inner,
+            policy if policy is not None else RetryPolicy(),
+            sleep=slept.append,
+            **kwargs,
+        )
+        return inner, channel, slept
+
+    def test_first_try_success(self):
+        inner, channel, slept = self.make([OK])
+        assert channel.call(b"q") == OK
+        assert inner.calls == 1
+        assert slept == []
+        (trace,) = channel.trace
+        assert trace.succeeded
+        assert [a.outcome for a in trace.attempts] == ["ok"]
+
+    def test_retries_transport_failures_with_policy_backoffs(self):
+        policy = RetryPolicy(max_attempts=4, jitter_seed=9)
+        inner, channel, slept = self.make(
+            [CallDroppedError("lost"), CallDroppedError("lost"), OK],
+            policy,
+        )
+        assert channel.call(b"q") == OK
+        assert inner.calls == 3
+        assert slept == [policy.backoff_s(0, 1), policy.backoff_s(0, 2)]
+        assert channel.retry_stats.retries == 2
+        (trace,) = channel.trace
+        assert [a.outcome for a in trace.attempts] == [
+            "CallDroppedError", "CallDroppedError", "ok",
+        ]
+
+    def test_corrupted_response_is_retried(self):
+        inner, channel, _ = self.make([b"\x00\xffgarbage", OK])
+        assert channel.call(b"q") == OK
+        assert channel.retry_stats.corrupt_responses == 1
+        (trace,) = channel.trace
+        assert trace.attempts[0].outcome == "CorruptedResponseError"
+
+    def test_modeled_deadline_counts_as_timeout(self):
+        policy = RetryPolicy(max_attempts=2, deadline_s=0.5)
+        inner, channel, _ = self.make([(OK, 1.0)], policy)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            channel.call(b"q")
+        assert isinstance(excinfo.value.__cause__, CallTimeoutError)
+        assert channel.retry_stats.timeouts == 2
+        assert channel.retry_stats.exhausted == 1
+        (trace,) = channel.trace
+        assert not trace.succeeded
+        assert [a.outcome for a in trace.attempts] == [
+            "CallTimeoutError", "CallTimeoutError",
+        ]
+
+    def test_exhaustion_chains_last_error(self):
+        inner, channel, _ = self.make(
+            [CallDroppedError("lost")], RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            channel.call(b"q")
+        assert inner.calls == 3
+        assert isinstance(excinfo.value.__cause__, CallDroppedError)
+
+    def test_protocol_error_propagates_without_retry(self):
+        inner, channel, _ = self.make([ProtocolError("bad request")])
+        with pytest.raises(ProtocolError):
+            channel.call(b"q")
+        assert inner.calls == 1  # retrying cannot fix a bad request
+        assert channel.retry_stats.retries == 0
+
+    def test_hedged_attempt_faster_response_wins(self):
+        policy = RetryPolicy(hedge_after_s=0.5)
+        fast = b'{"kind": "fast"}'
+        inner, channel, _ = self.make(
+            [(b'{"kind": "slow"}', 1.0), (fast, 0.1)], policy
+        )
+        assert channel.call(b"q") == fast
+        assert inner.calls == 2
+        assert channel.retry_stats.hedged_calls == 1
+        (trace,) = channel.trace
+        assert trace.attempts[0].outcome == "hedged-ok"
+        assert trace.attempts[0].modeled_delay_s == 0.1
+
+    def test_failed_hedge_keeps_original_response(self):
+        policy = RetryPolicy(hedge_after_s=0.5)
+        slow = b'{"kind": "slow"}'
+        inner, channel, _ = self.make(
+            [(slow, 1.0), CallDroppedError("hedge lost")], policy
+        )
+        assert channel.call(b"q") == slow
+        assert inner.calls == 2
+
+    def test_fast_call_is_not_hedged(self):
+        policy = RetryPolicy(hedge_after_s=0.5)
+        inner, channel, _ = self.make([(OK, 0.1)], policy)
+        assert channel.call(b"q") == OK
+        assert inner.calls == 1
+        assert channel.retry_stats.hedged_calls == 0
+
+    def test_custom_validate(self):
+        inner, channel, _ = self.make(
+            [b"raw-but-fine"],
+            RetryPolicy(max_attempts=1),
+            validate=lambda response: True,
+        )
+        assert channel.call(b"q") == b"raw-but-fine"
+
+
+class TestBreakerConfig:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ParameterError):
+            BreakerConfig(probe_interval=0)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_on_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=3))
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.snapshot().times_opened == 1
+
+    def test_success_clears_the_streak(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=3))
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_every_interval(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, probe_interval=4)
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        outcomes = [breaker.allow() for _ in range(4)]
+        assert outcomes == [False, False, False, True]  # 4th is a probe
+        assert breaker.state == HALF_OPEN
+        snapshot = breaker.snapshot()
+        assert snapshot.probes == 1
+        assert snapshot.suppressed_calls == 4
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, probe_interval=1)
+        )
+        breaker.record_failure()
+        assert breaker.allow()  # immediate probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.snapshot().consecutive_failures == 0
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, probe_interval=2)
+        )
+        breaker.record_failure()
+        assert [breaker.allow() for _ in range(2)] == [False, True]
+        breaker.record_failure()  # the probe fails
+        assert breaker.state == OPEN
+        assert breaker.snapshot().times_opened == 2
+        # Probing resumes on the same cadence.
+        assert [breaker.allow() for _ in range(2)] == [False, True]
+
+    def test_snapshot_is_immutable(self):
+        snapshot = CircuitBreaker().snapshot()
+        with pytest.raises(AttributeError):
+            snapshot.state = OPEN  # type: ignore[misc]

@@ -15,6 +15,39 @@ from repro.corpus import generate_corpus
 from repro.ir import Analyzer, InvertedIndex
 
 
+def pytest_addoption(parser):
+    """Knobs for the fault-injection suites (the CI fault matrix).
+
+    The suites are deterministic for any fixed pair of values; the CI
+    ``fault-matrix`` job sweeps a small grid to pin robustness across
+    distinct (but each reproducible) fault schedules.
+    """
+    parser.addoption(
+        "--fault-seed",
+        type=int,
+        default=2010,
+        help="seed for FaultPlan decision streams in the fault suites",
+    )
+    parser.addoption(
+        "--fault-drop-rate",
+        type=float,
+        default=0.2,
+        help="call drop probability for the fault suites",
+    )
+
+
+@pytest.fixture(scope="session")
+def fault_seed(request) -> int:
+    """The --fault-seed value driving FaultPlan determinism."""
+    return request.config.getoption("--fault-seed")
+
+
+@pytest.fixture(scope="session")
+def fault_drop_rate(request) -> float:
+    """The --fault-drop-rate value for injected call drops."""
+    return request.config.getoption("--fault-drop-rate")
+
+
 @pytest.fixture(scope="session")
 def small_corpus():
     """30 deterministic synthetic RFC documents."""

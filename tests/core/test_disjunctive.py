@@ -1,10 +1,13 @@
 """Unit tests for disjunctive (OR) multi-keyword search."""
 
+import hashlib
+
 import pytest
 
 from repro.core.multi_keyword import MultiKeywordSearcher
 from repro.core.params import TEST_PARAMETERS
 from repro.core.rsse import EfficientRSSE
+from repro.crypto.keys import SchemeKey
 from repro.ir.inverted_index import InvertedIndex
 
 
@@ -17,10 +20,25 @@ def corpus_index() -> InvertedIndex:
     return index
 
 
+def fixed_key() -> SchemeKey:
+    # A pinned key instead of keygen(): the "multi-keyword matches
+    # outrank single" ordering below is a statistical property of the
+    # randomized per-file OPM draws (the module's rank-distortion
+    # caveat), so a fresh key makes the assertion flaky.
+    seed = b"disjunctive-test-key-0"
+    return SchemeKey(
+        x=hashlib.blake2b(seed + b"|x", digest_size=16).digest(),
+        y=hashlib.blake2b(seed + b"|y", digest_size=16).digest(),
+        z=hashlib.blake2b(seed + b"|z", digest_size=16).digest(),
+        domain_size=TEST_PARAMETERS.score_levels,
+        range_size=TEST_PARAMETERS.range_size,
+    )
+
+
 @pytest.fixture(scope="module")
 def searchable():
     scheme = EfficientRSSE(TEST_PARAMETERS)
-    key = scheme.keygen()
+    key = fixed_key()
     index = corpus_index()
     built = scheme.build_index(key, index)
     return scheme, key, index, built, MultiKeywordSearcher(scheme)
