@@ -23,7 +23,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.crypto.tape import CoinStream
+from repro.crypto.tape import KeyedTape, encode_context
 from repro.errors import DomainError, ParameterError
 
 
@@ -59,6 +59,10 @@ class BucketOpeMapper:
         self._trained_distribution = Counter(
             {bucket.level: bucket.width for bucket in buckets}
         )
+        # Pre-keyed tape + per-level context prefixes: same fast-path
+        # treatment as the OPM, byte-identical to fresh CoinStreams.
+        self._tape = KeyedTape(self._key)
+        self._prefix_cache: dict[int, bytes] = {}
 
     @classmethod
     def fit(
@@ -121,10 +125,18 @@ class BucketOpeMapper:
         if isinstance(file_id, str):
             file_id = file_id.encode("utf-8")
         bucket = self.bucket(level)
-        coins = CoinStream(
-            self._key, (bucket.low, bucket.high, level, bytes(file_id))
-        )
-        return coins.choice(bucket.low, bucket.high)
+        prefix = self._prefix_cache.get(level)
+        if prefix is None:
+            prefix = encode_context((bucket.low, bucket.high, level))
+            self._prefix_cache[level] = prefix
+        seed = prefix + encode_context((bytes(file_id),))
+        return self._tape.choice(seed, bucket.low, bucket.high)
+
+    def map_scores(
+        self, items: Iterable[tuple[int, bytes | str]]
+    ) -> list[int]:
+        """Batch :meth:`map_score`; same values in input order."""
+        return [self.map_score(level, file_id) for level, file_id in items]
 
     def needs_rebuild(
         self, updated_levels: Iterable[int], tolerance: float = 0.10

@@ -15,6 +15,8 @@ high accuracy here and at chance level against the OPM.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.crypto.opse import OrderPreservingEncryption
 from repro.crypto.prf import Prf
 from repro.errors import ParameterError
@@ -24,7 +26,9 @@ class DeterministicOpseScoring:
     """Per-keyword deterministic OPSE over quantized score levels.
 
     Mirrors :meth:`repro.core.rsse.EfficientRSSE.opm_for_term` with the
-    one-to-many randomization removed.
+    one-to-many randomization removed.  Because the mapping is
+    deterministic, ciphertexts are memoized per ``(term, level)`` — a
+    repeated level is a dict hit, not a descent.
     """
 
     def __init__(self, master_key: bytes, domain_size: int, range_size: int):
@@ -34,6 +38,7 @@ class DeterministicOpseScoring:
         self._domain_size = domain_size
         self._range_size = range_size
         self._per_term: dict[str, OrderPreservingEncryption] = {}
+        self._ct_cache: dict[tuple[str, int], int] = {}
 
     def _opse_for(self, term: str) -> OrderPreservingEncryption:
         opse = self._per_term.get(term)
@@ -45,10 +50,22 @@ class DeterministicOpseScoring:
             self._per_term[term] = opse
         return opse
 
-    def map_score(self, term: str, level: int, file_id: str) -> int:
+    def map_score(self, term: str, level: int, file_id: bytes | str) -> int:
         """Encrypt a level; the file id is ignored (deterministic)."""
         del file_id  # the strawman's defining weakness
-        return self._opse_for(term).encrypt(level)
+        cached = self._ct_cache.get((term, level))
+        if cached is None:
+            cached = self._opse_for(term).encrypt(level)
+            self._ct_cache[(term, level)] = cached
+        return cached
+
+    def map_scores(
+        self, term: str, items: Iterable[tuple[int, bytes | str]]
+    ) -> list[int]:
+        """Batch :meth:`map_score` (same signature shape as the OPM's)."""
+        return [
+            self.map_score(term, level, file_id) for level, file_id in items
+        ]
 
     def invert(self, term: str, ciphertext: int) -> int:
         """Decrypt a ciphertext back to its level."""

@@ -27,9 +27,10 @@ from dataclasses import dataclass
 from repro.cloud.network import Channel
 from repro.cloud.owner import DataOwner
 from repro.cloud.retry import RetryingChannel, RetryPolicy
-from repro.core.dynamics import UpdateReport, build_entry
+from repro.core.dynamics import UpdateReport, build_entry, build_list_entries
 from repro.core.rsse import EfficientRSSE
 from repro.corpus.loader import Document
+from repro.crypto.opm import OneToManyOpm
 from repro.crypto.symmetric import SymmetricCipher
 from repro.errors import ParameterError, ProtocolError, TransportError
 
@@ -242,6 +243,12 @@ class RemoteIndexMaintainer:
         self._queue_on_failure = queue_on_failure
         self._pending: deque[bytes] = deque()
         self._pending_lock = threading.Lock()
+        # Term -> OPM, reused across updates of the same keyword so its
+        # split tree survives between calls.  OPM instances are not
+        # thread-safe, so entries are created sequentially *before* a
+        # dispatch fans out and each worker then touches only its own
+        # term's instance (terms are distinct within a dispatch).
+        self._opm_cache: dict[str, OneToManyOpm] = {}
 
     @property
     def pending_updates(self) -> int:
@@ -278,6 +285,15 @@ class RemoteIndexMaintainer:
                 "updates are queued behind an unreachable shard; call "
                 "flush_pending() before issuing new mutations"
             )
+
+    def _opms_for(self, terms) -> dict[str, OneToManyOpm]:
+        """Materialize the per-term OPMs for a dispatch, sequentially."""
+        for term in terms:
+            if term not in self._opm_cache:
+                self._opm_cache[term] = self._scheme.opm_for_term(
+                    self._owner.key, term
+                )
+        return self._opm_cache
 
     def _call(self, request_bytes: bytes) -> AckResponse:
         try:
@@ -348,11 +364,13 @@ class RemoteIndexMaintainer:
             ).to_bytes()
         )
 
+        opms = self._opms_for(terms)
+
         def append_request(term: str) -> bytes:
             trapdoor = self._scheme.trapdoor(owner.key, term)
             entry = build_entry(
                 self._scheme, owner.key, index, owner.quantizer, term,
-                document.doc_id,
+                document.doc_id, opm=opms[term],
             )
             return UpdateListRequest(
                 token=self._token,
@@ -391,14 +409,16 @@ class RemoteIndexMaintainer:
             raise ParameterError(f"document {doc_id!r} is not indexed")
         index.remove_document(doc_id)
 
+        opms = self._opms_for(terms)
+
         def replace_request(term: str) -> bytes:
             trapdoor = self._scheme.trapdoor(owner.key, term)
             replacement = tuple(
-                build_entry(
+                build_list_entries(
                     self._scheme, owner.key, index, owner.quantizer, term,
-                    posting.file_id,
+                    (p.file_id for p in index.posting_list(term)),
+                    opm=opms[term],
                 )
-                for posting in index.posting_list(term)
             )
             return UpdateListRequest(
                 token=self._token,

@@ -40,7 +40,7 @@ from repro.crypto.prf import Prf
 from repro.crypto.symmetric import SymmetricCipher
 from repro.errors import ParameterError
 from repro.ir.inverted_index import InvertedIndex
-from repro.ir.scoring import single_keyword_score
+from repro.ir.scoring import posting_scores
 from repro.ir.topk import rank_all, top_k
 
 #: Relevance scores travel as IEEE-754 doubles inside ``E_z``.
@@ -134,10 +134,8 @@ class BasicRankedSSE:
             )
             entry_cipher = SymmetricCipher(trapdoor.list_key)
             entries = []
-            for posting in postings:
-                score = single_keyword_score(
-                    posting.term_frequency, index.file_length(posting.file_id)
-                )
+            scores = posting_scores(index, postings)
+            for posting, score in zip(postings, scores):
                 score_bytes = struct.pack(">d", score)
                 nonce = score_nonce_prf.evaluate_to_length(
                     _frame(term) + _frame(posting.file_id) + score_bytes, 16

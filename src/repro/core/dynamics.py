@@ -29,6 +29,7 @@ from typing import Iterable
 from repro.core.rsse import EfficientRSSE
 from repro.core.secure_index import SecureIndex, encrypt_entry, try_decrypt_entry
 from repro.crypto.keys import SchemeKey
+from repro.crypto.opm import OneToManyOpm
 from repro.errors import ParameterError
 from repro.ir.inverted_index import InvertedIndex
 from repro.ir.scoring import ScoreQuantizer, single_keyword_score
@@ -41,26 +42,64 @@ def build_entry(
     quantizer: ScoreQuantizer,
     term: str,
     file_id: str,
+    opm: OneToManyOpm | None = None,
 ) -> bytes:
     """Produce the encrypted posting entry of (term, file) at current state.
 
     Shared by the in-memory :class:`IndexMaintainer` and the remote
     update protocol (:mod:`repro.cloud.updates`).
+
+    ``opm`` may carry the term's mapping across calls so repeated
+    updates of one posting list reuse its split tree; when omitted a
+    fresh one is derived (the mapping is a pure function of the key, so
+    reuse never changes output bytes).
     """
+    entries = build_list_entries(
+        scheme, key, plain_index, quantizer, term, [file_id], opm
+    )
+    return entries[0]
+
+
+def build_list_entries(
+    scheme: EfficientRSSE,
+    key: SchemeKey,
+    plain_index: InvertedIndex,
+    quantizer: ScoreQuantizer,
+    term: str,
+    file_ids: Iterable[str],
+    opm: OneToManyOpm | None = None,
+) -> list[bytes]:
+    """Batch :func:`build_entry` over one term's files.
+
+    All files share the term's trapdoor and OPM, and scores are mapped
+    through :meth:`~repro.crypto.opm.OneToManyOpm.map_scores` — one
+    split-tree walk for the whole batch instead of one descent per
+    file.  Output is byte-identical to per-file :func:`build_entry`
+    calls in the same order.
+    """
+    file_ids = list(file_ids)
     trapdoor = scheme.trapdoor(key, term)
-    opm = scheme.opm_for_term(key, term)
-    score = single_keyword_score(
-        plain_index.term_frequency(term, file_id),
-        plain_index.file_length(file_id),
-    )
-    level = quantizer.quantize(score)
-    opm_value = opm.map_score(level, file_id)
-    return encrypt_entry(
-        scheme.layout,
-        trapdoor.list_key,
-        file_id,
-        scheme.encode_score_field(opm_value),
-    )
+    if opm is None:
+        opm = scheme.opm_for_term(key, term)
+    levels = [
+        quantizer.quantize(
+            single_keyword_score(
+                plain_index.term_frequency(term, file_id),
+                plain_index.file_length(file_id),
+            )
+        )
+        for file_id in file_ids
+    ]
+    opm_values = opm.map_scores(zip(levels, file_ids))
+    return [
+        encrypt_entry(
+            scheme.layout,
+            trapdoor.list_key,
+            file_id,
+            scheme.encode_score_field(opm_value),
+        )
+        for file_id, opm_value in zip(file_ids, opm_values)
+    ]
 
 
 @dataclass(frozen=True)
@@ -108,6 +147,10 @@ class IndexMaintainer:
         self._plain_index = InvertedIndex()
         self._secure_index: SecureIndex | None = None
         self._quantizer: ScoreQuantizer | None = None
+        # Term -> OPM instance, so a stream of updates touching the
+        # same keyword reuses its split tree (the OPM is a pure
+        # function of the key; caching cannot change output bytes).
+        self._opm_cache: dict[str, OneToManyOpm] = {}
 
     @property
     def plain_index(self) -> InvertedIndex:
@@ -143,6 +186,13 @@ class IndexMaintainer:
 
     # -- incremental updates ------------------------------------------------
 
+    def _opm_for(self, term: str) -> OneToManyOpm:
+        opm = self._opm_cache.get(term)
+        if opm is None:
+            opm = self._scheme.opm_for_term(self._key, term)
+            self._opm_cache[term] = opm
+        return opm
+
     def _entries_for(self, term: str, file_id: str) -> bytes:
         """Produce the encrypted entry of (term, file) at current state."""
         return build_entry(
@@ -152,6 +202,7 @@ class IndexMaintainer:
             self.quantizer,
             term,
             file_id,
+            opm=self._opm_for(term),
         )
 
     def insert_document(self, file_id: str, terms: Iterable[str]) -> UpdateReport:

@@ -38,7 +38,7 @@ from repro.core.trapdoor import Trapdoor, generate_trapdoor
 from repro.crypto.keys import SchemeKey
 from repro.errors import ParameterError
 from repro.ir.inverted_index import InvertedIndex
-from repro.ir.scoring import ScoreQuantizer, single_keyword_score
+from repro.ir.scoring import ScoreQuantizer, posting_levels
 from repro.ir.topk import rank_all, top_k
 
 
@@ -116,15 +116,18 @@ class FuzzyRankedSSE:
         pattern_entries: dict[str, list[bytes]] = {}
         for term, postings in index.items():
             opm = self._inner.opm_for_term(key, term)
-            scored = []
-            for posting in postings:
-                score = single_keyword_score(
-                    posting.term_frequency, index.file_length(posting.file_id)
-                )
-                level = quantizer.quantize(score)
-                scored.append(
-                    (posting.file_id, opm.map_score(level, posting.file_id))
-                )
+            levels = posting_levels(index, postings, quantizer)
+            # Batch-map the keyword's postings over one shared split
+            # tree (see OneToManyOpm.map_scores); byte-identical to the
+            # per-posting loop it replaces.
+            opm_values = opm.map_scores(
+                (level, posting.file_id)
+                for level, posting in zip(levels, postings)
+            )
+            scored = [
+                (posting.file_id, opm_value)
+                for posting, opm_value in zip(postings, opm_values)
+            ]
             for pattern in fuzzy_set(term):
                 trapdoor = generate_trapdoor(
                     key, pattern, self.params.address_bits

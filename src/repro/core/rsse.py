@@ -37,7 +37,11 @@ from repro.crypto.prf import Prf
 from repro.crypto.symmetric import SymmetricCipher
 from repro.errors import ParameterError
 from repro.ir.inverted_index import InvertedIndex
-from repro.ir.scoring import ScoreQuantizer, single_keyword_score
+from repro.ir.scoring import (
+    ScoreQuantizer,
+    posting_levels,
+    single_keyword_score,
+)
 from repro.ir.topk import rank_all, top_k
 
 
@@ -163,13 +167,15 @@ class EfficientRSSE:
             trapdoor = generate_trapdoor(key, term, self._params.address_bits)
             opm = self.opm_for_term(key, term)
             cipher = SymmetricCipher(trapdoor.list_key)
+            levels = posting_levels(index, postings, quantizer)
+            # One batch mapping per posting list: the whole list shares
+            # a single split tree and each entry costs one tape block.
+            opm_values = opm.map_scores(
+                (level, posting.file_id)
+                for level, posting in zip(levels, postings)
+            )
             entries = []
-            for posting in postings:
-                score = single_keyword_score(
-                    posting.term_frequency, index.file_length(posting.file_id)
-                )
-                level = quantizer.quantize(score)
-                opm_value = opm.map_score(level, posting.file_id)
+            for posting, opm_value in zip(postings, opm_values):
                 entries.append(
                     encrypt_entry(
                         self._layout,

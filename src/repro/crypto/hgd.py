@@ -30,6 +30,7 @@ of every split.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from fractions import Fraction
 
 from repro.crypto.tape import CoinStream
@@ -106,22 +107,17 @@ def _support_log_pmfs(population: int, successes: int, draws: int) -> tuple[int,
     return lo, values
 
 
-def hgd_quantile(u: float, population: int, successes: int, draws: int) -> int:
-    """Return the smallest ``x`` with ``CDF(x) >= u`` (MATLAB ``hygeinv``).
+def hgd_quantile_reference(
+    u: float, population: int, successes: int, draws: int
+) -> int:
+    """Full-support CDF inversion — the fast path's byte-level spec.
 
-    Parameters
-    ----------
-    u:
-        Quantile in ``[0, 1)``; in the OPSE this is the pseudo-random
-        coin drawn from the keyed tape.
-    population, successes, draws:
-        Hypergeometric parameters ``(P, S, n)``: a sample of ``n`` items
-        without replacement from ``P`` items of which ``S`` are marked.
-
-    The inversion normalizes the PMF over its support, so small float
-    error in individual terms cannot push the result outside the
-    support; the test suite validates agreement with an exact rational
-    implementation and with ``scipy.stats.hypergeom.ppf``.
+    Materializes the whole support: every log-PMF term, the peak, all
+    normalized weights, and their ``fsum`` total, then accumulates to
+    the target.  :func:`hgd_quantile` must return exactly this value
+    for every input (the property suite compares them exhaustively);
+    keep this implementation frozen unless the golden vectors are
+    deliberately rotated.
     """
     if not 0.0 <= u < 1.0:
         raise ParameterError(f"quantile u must be in [0, 1), got {u}")
@@ -139,6 +135,150 @@ def hgd_quantile(u: float, population: int, successes: int, draws: int) -> int:
         if accumulated > target:
             return start + offset
     return hi
+
+
+#: Log-space decline below the running maximum past which the peak is
+#: final: true increments are strictly decreasing (the hypergeometric
+#: PMF is log-concave), so once a computed increment is this negative
+#: the remaining sequence cannot climb back above the maximum seen so
+#: far.  Accumulated float drift in the recurrence is ~1e-12; 1e-6
+#: leaves six orders of magnitude of margin.
+_PEAK_MARGIN = 1e-6
+
+#: Base relative slack bracketing the reference's correctly-rounded
+#: ``fsum`` total from the fast path's *naive* running sum.  The naive
+#: sum of ``k`` positive terms is within ``k * 2**-53`` of exact, so
+#: the bracket widens by ``len * _SUM_EPS`` on top of this base; both
+#: are vastly conservative relative to true rounding error.
+_TOTAL_SLACK = 1e-9
+_SUM_EPS = 2.3e-16
+
+#: Relative inflation of the geometric tail bound.  Near the peak the
+#: term ratio ``r`` is close to 1 and ``r / (1 - r)`` amplifies float
+#: drift in the log-increment by ``1 / (1 - r)``; 1e-4 covers the
+#: worst case at the certification margin with room to spare.
+_TAIL_SLACK = 1e-4
+
+
+def hgd_quantile(u: float, population: int, successes: int, draws: int) -> int:
+    """Return the smallest ``x`` with ``CDF(x) >= u`` (MATLAB ``hygeinv``).
+
+    Parameters
+    ----------
+    u:
+        Quantile in ``[0, 1)``; in the OPSE this is the pseudo-random
+        coin drawn from the keyed tape.
+    population, successes, draws:
+        Hypergeometric parameters ``(P, S, n)``: a sample of ``n`` items
+        without replacement from ``P`` items of which ``S`` are marked.
+
+    The inversion normalizes the PMF over its support, so small float
+    error in individual terms cannot push the result outside the
+    support; the test suite validates agreement with an exact rational
+    implementation and with ``scipy.stats.hypergeom.ppf``.
+
+    Early exit
+    ----------
+    This is the OPSE descent's inner loop, and the reference inversion
+    (:func:`hgd_quantile_reference`) always pays the full support —
+    ``O(min(S, n))`` log-PMF terms — even when the target quantile sits
+    far below the upper end.  This implementation stops extending the
+    support as soon as the answer is *certified*: past the PMF peak the
+    remaining mass is bounded by a geometric tail (log-concavity makes
+    the term ratios strictly decreasing), which brackets the
+    reference's normalizing total from both sides; when the bracketed
+    target pins the same crossing index on both ends, that index is
+    returned without materializing the rest of the support.  If the
+    bracket ever straddles a prefix-sum boundary (a measure-~1e-9
+    event), the loop simply continues to the full support and finishes
+    exactly like the reference — so the returned index is **always**
+    byte-identical to the reference's.
+    """
+    if not 0.0 <= u < 1.0:
+        raise ParameterError(f"quantile u must be in [0, 1), got {u}")
+    lo, hi = support(population, successes, draws)
+    if lo == hi:
+        return lo
+    size = hi - lo + 1
+
+    # Incremental form of _support_log_pmfs: identical arithmetic, one
+    # term at a time.
+    values = [log_pmf(lo, population, successes, draws)]
+
+    def extend() -> float:
+        """Append the next log-PMF term; return its increment."""
+        x = lo + len(values) - 1
+        increment = (
+            math.log(successes - x)
+            + math.log(draws - x)
+            - math.log(x + 1)
+            - math.log(population - successes - draws + x + 1)
+        )
+        values.append(values[-1] + increment)
+        return increment
+
+    # Phase 1: extend until the running peak is provably final.
+    last_increment = 0.0
+    peak_certified = False
+    while len(values) < size:
+        last_increment = extend()
+        if last_increment <= -_PEAK_MARGIN:
+            peak_certified = True
+            break
+    if not peak_certified:
+        # Reached the end of the support while still (near-)flat or
+        # rising: nothing saved, finish as the reference does.
+        return lo + _finish(values, u, size)
+
+    peak = max(values)
+    weights = [math.exp(v - peak) for v in values]
+    prefix = []
+    accumulated = 0.0
+    for w in weights:
+        accumulated += w
+        prefix.append(accumulated)
+
+    # Phase 2: extend until the crossing index is certified (or the
+    # support ends, at which point the reference path runs verbatim).
+    # The reference's fsum total is bracketed from the running naive
+    # sum (slack covers naive-summation drift) plus the geometric tail
+    # bound — O(1) per iteration, never an fsum.
+    while True:
+        ratio = math.exp(last_increment)
+        tail = weights[-1] * ratio / (1.0 - ratio)
+        # Cheap necessary condition: the crossing cannot be certified
+        # while the target's upper bound exceeds the accumulated mass.
+        if prefix[-1] * (1.0 - u) > u * tail and last_increment < 0.0:
+            slack = _TOTAL_SLACK + len(prefix) * _SUM_EPS
+            total_hi = (accumulated + tail * (1.0 + _TAIL_SLACK)) * (
+                1.0 + slack
+            )
+            total_lo = accumulated * (1.0 - slack)
+            first_hi = bisect_right(prefix, u * total_hi)
+            first_lo = bisect_right(prefix, u * total_lo)
+            if first_hi == first_lo and first_hi < len(prefix):
+                return lo + first_hi
+        if len(values) == size:
+            return lo + _finish(values, u, size)
+        last_increment = extend()
+        w = math.exp(values[-1] - peak)
+        weights.append(w)
+        accumulated += w
+        prefix.append(accumulated)
+
+
+def _finish(log_values: list[float], u: float, size: int) -> int:
+    """The reference inversion over fully-materialized log values."""
+    peak = max(log_values)
+    weights = [math.exp(v - peak) for v in log_values]
+    total = math.fsum(weights)
+    target = u * total
+    accumulated = 0.0
+    for offset, weight in enumerate(weights):
+        accumulated += weight
+        if accumulated > target:
+            return offset
+    return size - 1
 
 
 def hgd_quantile_exact(

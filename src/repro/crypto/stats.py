@@ -1,0 +1,64 @@
+"""Work counters for the OPM/OPSE fast path.
+
+Wall-clock benchmarks tell you *how long* a build took; these counters
+tell you *how much work* it did — HGD draws (the dominant cost of the
+binary-search descent), split/bucket cache traffic, HMAC tape blocks,
+and in-bucket choices.  ``benchmarks/bench_opm_fastpath.py`` reports
+them next to entries/sec so a perf regression is attributable: a build
+that got slower with the same draw count is a constant-factor problem;
+one whose draw count exploded lost a cache.
+
+The counters are plain integer attributes incremented from the hot
+path, so they are cheap enough to stay always-on.  They are *not*
+thread-safe; per-keyword mappings are single-threaded units of work in
+every build path (see :meth:`repro.core.rsse.EfficientRSSE.build_index`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class MappingStats:
+    """Counters for one :class:`~repro.crypto.opm.OneToManyOpm` (or
+    :class:`~repro.crypto.opse.OrderPreservingEncryption`) instance.
+
+    Attributes
+    ----------
+    hgd_draws:
+        Hypergeometric quantile inversions performed — one per
+        *uncached* binary-search split.  The quantity the paper bounds
+        by ``5 log2(M) + 12`` per descent and the fast path collapses
+        to one per split-tree node per key (~= ``1.6 M`` at paper
+        parameters).
+    split_cache_hits:
+        Splits answered from the shared split-tree cache (no HGD draw).
+    bucket_cache_hits / bucket_cache_misses:
+        Bucket-table traffic; a miss triggers a descent.
+    descents:
+        Full binary-search descents executed (bucket-cache misses plus
+        explicit ``rounds()``/``invert()`` walks).
+    choices:
+        In-bucket ciphertext selections (one per mapped entry).
+    tape_blocks:
+        HMAC-SHA256 blocks generated for in-bucket choices; the fast
+        path spends one block per entry in the common case.
+    """
+
+    hgd_draws: int = 0
+    split_cache_hits: int = 0
+    bucket_cache_hits: int = 0
+    bucket_cache_misses: int = 0
+    descents: int = 0
+    choices: int = 0
+    tape_blocks: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field in fields(self):
+            setattr(self, field.name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (for JSON bench reports)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}

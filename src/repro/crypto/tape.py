@@ -18,6 +18,12 @@ need:
 * :meth:`uniform_float` — a 53-bit uniform in ``[0, 1)`` used to invert
   the hypergeometric CDF (our deterministic stand-in for MATLAB's
   ``hygeinv`` consuming a coin).
+
+:class:`KeyedTape` is the index-build fast path: it keys the HMAC once
+per tape key and then serves streams — or single in-bucket choices —
+that share the keyed state, so the per-entry cost of the one-to-many
+mapping is one HMAC block instead of a fresh keying plus object graph.
+Its output is byte-identical to the equivalent ``CoinStream`` calls.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.errors import ParameterError
 
 _DIGEST = hashlib.sha256
 _BLOCK_BYTES = _DIGEST().digest_size
+_BLOCK_BITS = 8 * _BLOCK_BYTES
 
 
 def encode_context(parts: Iterable[bytes | str | int]) -> bytes:
@@ -95,12 +102,34 @@ class CoinStream:
         self._buffer = b""
         self._bit_buffer = 0
         self._bit_count = 0
+        self._stats = None
+
+    @classmethod
+    def _from_prekeyed(cls, mac: "hmac.HMAC", seed: bytes, stats=None):
+        """Build a stream around an already-keyed HMAC (see KeyedTape).
+
+        The prekeyed ``mac`` is shared, never mutated: every block
+        works on a :meth:`hmac.HMAC.copy`, exactly as the public
+        constructor does, so the emitted tape is byte-identical to
+        ``CoinStream(key, context)``.
+        """
+        self = cls.__new__(cls)
+        self._mac = mac
+        self._seed = seed
+        self._counter = 0
+        self._buffer = b""
+        self._bit_buffer = 0
+        self._bit_count = 0
+        self._stats = stats
+        return self
 
     def _next_block(self) -> bytes:
         mac = self._mac.copy()
         mac.update(self._seed)
         mac.update(self._counter.to_bytes(8, "big"))
         self._counter += 1
+        if self._stats is not None:
+            self._stats.tape_blocks += 1
         return mac.digest()
 
     def bytes(self, length: int) -> bytes:
@@ -155,6 +184,84 @@ class CoinStream:
         if high < low:
             raise ParameterError(f"empty interval [{low}, {high}]")
         return low + self.uniform_int(high - low + 1)
+
+
+class KeyedTape:
+    """A reusable, pre-keyed ``TapeGen`` for one tape key.
+
+    ``CoinStream`` re-keys HMAC-SHA256 on every construction — two
+    compression-function applications (inner/outer pad) plus a fresh
+    object graph, paid once *per mapped entry* on the index-build hot
+    path.  The key, however, is fixed per posting list; only the
+    context changes.  ``KeyedTape`` performs the keying once and hands
+    out streams (or single in-bucket choices) that share the keyed
+    state via :meth:`hmac.HMAC.copy`.
+
+    Everything produced here is byte-identical to the equivalent
+    ``CoinStream(key, context)`` calls — the keyed HMAC state after
+    ``hmac.new(key, b"tapegen|")`` does not depend on how many streams
+    it is later copied into.  The test suite pins this equivalence.
+    """
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ParameterError("tape key must be non-empty")
+        self._mac = hmac.new(bytes(key), b"tapegen|", _DIGEST)
+
+    def stream(
+        self, context: Iterable[bytes | str | int], stats=None
+    ) -> CoinStream:
+        """A :class:`CoinStream` bound to ``context`` (shared keying)."""
+        return CoinStream._from_prekeyed(
+            self._mac, encode_context(context), stats
+        )
+
+    def stream_from_seed(self, seed: bytes, stats=None) -> CoinStream:
+        """A stream from an already-encoded context (see
+        :func:`encode_context`); lets callers pre-encode the static
+        prefix of a context family once and append only the varying
+        suffix per call."""
+        return CoinStream._from_prekeyed(self._mac, bytes(seed), stats)
+
+    def choice(self, seed: bytes, low: int, high: int, stats=None) -> int:
+        """Uniform integer in ``[low, high]`` from the tape at ``seed``.
+
+        Inlined equivalent of ``self.stream_from_seed(seed).choice(low,
+        high)`` without building a stream object: one HMAC block is
+        generated (more only on rejection-sampling retries, probability
+        < 1/2 per round) and bits are consumed exactly as
+        :meth:`CoinStream.bits` consumes them, so the returned value is
+        byte-identical to the ``CoinStream`` path.
+        """
+        if high < low:
+            raise ParameterError(f"empty interval [{low}, {high}]")
+        size = high - low + 1
+        if size == 1:
+            return low
+        width = (size - 1).bit_length()
+        prekeyed = self._mac
+        bit_buffer = 0
+        bit_count = 0
+        counter = 0
+        while True:
+            while bit_count < width:
+                mac = prekeyed.copy()
+                mac.update(seed)
+                mac.update(counter.to_bytes(8, "big"))
+                counter += 1
+                bit_buffer = (bit_buffer << _BLOCK_BITS) | int.from_bytes(
+                    mac.digest(), "big"
+                )
+                bit_count += _BLOCK_BITS
+            shift = bit_count - width
+            candidate = bit_buffer >> shift
+            bit_buffer &= (1 << shift) - 1
+            bit_count = shift
+            if candidate < size:
+                if stats is not None:
+                    stats.tape_blocks += counter
+                    stats.choices += 1
+                return low + candidate
 
 
 def tape_gen(key: bytes, context: Iterable[bytes | str | int]) -> CoinStream:

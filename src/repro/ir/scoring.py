@@ -100,6 +100,33 @@ def score_posting_list(index: InvertedIndex, term: str) -> dict[str, float]:
     }
 
 
+def posting_scores(index: InvertedIndex, postings: Iterable) -> list[float]:
+    """Equation-2 scores for ``postings``, in input order.
+
+    The shared first half of every build path's per-posting loop; the
+    batch shape pairs with :meth:`~repro.crypto.opm.OneToManyOpm.map_scores`
+    (score here, quantize, map the whole list at once).
+    """
+    return [
+        single_keyword_score(
+            posting.term_frequency, index.file_length(posting.file_id)
+        )
+        for posting in postings
+    ]
+
+
+def posting_levels(
+    index: InvertedIndex,
+    postings: Iterable,
+    quantizer: "ScoreQuantizer",
+) -> list[int]:
+    """Quantized equation-2 levels for ``postings``, in input order."""
+    return [
+        quantizer.quantize(score)
+        for score in posting_scores(index, postings)
+    ]
+
+
 @dataclass(frozen=True)
 class ScoreQuantizer:
     """Maps real-valued scores onto the integer domain ``{1, ..., levels}``.

@@ -1,0 +1,228 @@
+"""Golden vectors pinning the crypto layer's exact output bytes.
+
+Every value below was captured from the pre-fast-path implementation
+(the PR-2 tree), so these tests are the contract that the shared split
+cache, the pre-keyed tape, the batch bucket tables, and the early-exit
+HGD quantile change **nothing** about what the scheme emits: same
+buckets, same ciphertexts, same tape bytes, same index bytes.
+
+If one of these fails, the fast path broke ciphertext compatibility —
+do not re-pin the vectors to make it pass.
+"""
+
+import hashlib
+import random
+
+from repro.core.params import TEST_PARAMETERS
+from repro.core.rsse import EfficientRSSE
+from repro.crypto.hgd import hgd_quantile, hgd_quantile_reference
+from repro.crypto.keys import SchemeKey
+from repro.crypto.opm import OneToManyOpm
+from repro.crypto.opse import OrderPreservingEncryption
+from repro.crypto.tape import CoinStream, KeyedTape, encode_context
+from repro.ir.inverted_index import InvertedIndex
+
+KEY = bytes(range(32))
+
+# plaintext -> (ciphertext, (bucket.low, bucket.high)) for the full
+# domain of OPSE(KEY, M=16, N=1024).
+OPSE_SMALL = {
+    1: (207, (1, 256)),
+    2: (335, (257, 384)),
+    3: (430, (417, 432)),
+    4: (438, (433, 448)),
+    5: (462, (449, 480)),
+    6: (507, (481, 512)),
+    7: (583, (513, 640)),
+    8: (659, (641, 704)),
+    9: (707, (705, 768)),
+    10: (773, (769, 800)),
+    11: (823, (801, 832)),
+    12: (883, (881, 888)),
+    13: (889, (889, 896)),
+    14: (899, (897, 928)),
+    15: (948, (929, 960)),
+    16: (1001, (961, 1024)),
+}
+
+# Same shape at the paper's parameters (M=128, N=2**46).
+OPSE_PAPER = {
+    1: (1041427053160, (1, 1099511627776)),
+    2: (1438694436634, (1099511627777, 2199023255552)),
+    17: (8994823569112, (8967891714049, 9002251452416)),
+    64: (33979675155494, (33535104647169, 34084860461056)),
+    100: (56778159276998, (56075093016577, 57174604644352)),
+    127: (70145646497010, (70128226009089, 70162585747456)),
+    128: (70233595553928, (70231305224193, 70368744177664)),
+}
+
+# (score, file_id) -> OPM(KEY, M=16, N=1024) mapped value.
+OPM_SMALL = {
+    (1, b"file-a"): 59,
+    (1, b"file-b"): 14,
+    (1, b"zzz"): 75,
+    (5, b"file-a"): 475,
+    (5, b"file-b"): 468,
+    (5, b"zzz"): 452,
+    (16, b"file-a"): 1019,
+    (16, b"file-b"): 1024,
+    (16, b"zzz"): 978,
+}
+
+# (score, file_id) -> OPM(KEY, M=128, N=2**46) mapped value.
+OPM_PAPER = {
+    (1, b"file-a"): 384056263515,
+    (1, b"file-b"): 453435697173,
+    (33, b"file-a"): 19676439246394,
+    (33, b"file-b"): 19666693188909,
+    (64, b"file-a"): 33993021551379,
+    (64, b"file-b"): 33788617183455,
+    (128, b"file-a"): 70263781532743,
+    (128, b"file-b"): 70287897608449,
+}
+
+# context tuple -> first 48 tape bytes of CoinStream(KEY, context).
+TAPE_VECTORS = {
+    (1, 1024, 0, 512): (
+        "80744d2f2283544c1f717c10a6381363005404c5c06f463fbe000370191cce73"
+        "bcc71792cd054692d5f9c2ad90f2930b"
+    ),
+    (5, 10, 1, 7, b"fid"): (
+        "c7a23e64141b641ce435a34d9c339c5faa78d0b964a6369faf626d7fc5b0aa1f"
+        "a7f5ded7b5d48fe770523b600da69b72"
+    ),
+}
+
+# (context, low, high) -> CoinStream(KEY, context).choice(low, high).
+CHOICE_VECTORS = {
+    ((1, 1024, 0, 512), 1, 1024): 514,
+    ((3, 99, 1, 50, b"f"), 3, 99): 97,
+    ((1, 2, 1, 1, b"g"), 1, 2): 2,
+}
+
+# (u, population, successes, draws) -> hgd_quantile value.
+HGD_VECTORS = {
+    (0.5, 70368744177664, 128, 35184372088832): 64,
+    (0.0001, 2048, 2048, 1024): 1024,
+    (0.73, 1073741824, 1024, 536870912): 522,
+    (0.25, 70368744177664, 128, 1099511627776): 1,
+    (0.999, 1000, 500, 300): 172,
+    (0.0, 7, 3, 5): 1,
+}
+
+# SHA-256 over (address || entries...) of the secure index built below.
+INDEX_DIGEST = "a8ea84ad02a7c4de3b1e35586c472f124369e1ef1f2a8586c247f80438b07005"
+
+
+class TestOpseGoldens:
+    def test_small_domain_full_sweep(self):
+        opse = OrderPreservingEncryption(KEY, 16, 1024)
+        for pt, (ct, (low, high)) in OPSE_SMALL.items():
+            bucket = opse.bucket(pt)
+            assert (bucket.low, bucket.high) == (low, high)
+            assert opse.encrypt(pt) == ct
+            assert opse.decrypt(ct) == pt
+
+    def test_small_domain_uncached(self):
+        opse = OrderPreservingEncryption(KEY, 16, 1024, cache_splits=False)
+        for pt, (ct, _) in OPSE_SMALL.items():
+            assert opse.encrypt(pt) == ct
+
+    def test_paper_parameters(self):
+        opse = OrderPreservingEncryption(KEY, 128, 1 << 46)
+        for pt, (ct, (low, high)) in OPSE_PAPER.items():
+            bucket = opse.bucket(pt)
+            assert (bucket.low, bucket.high) == (low, high)
+            assert opse.encrypt(pt) == ct
+            assert opse.decrypt(ct) == pt
+
+    def test_bucket_table_matches_goldens(self):
+        opse = OrderPreservingEncryption(KEY, 16, 1024)
+        table = opse.bucket_table()
+        assert set(table) == set(range(1, 17))
+        for pt, (_, (low, high)) in OPSE_SMALL.items():
+            assert (table[pt].low, table[pt].high) == (low, high)
+
+
+class TestOpmGoldens:
+    def test_small_domain(self):
+        opm = OneToManyOpm(KEY, 16, 1024)
+        for (score, fid), value in OPM_SMALL.items():
+            assert opm.map_score(score, fid) == value
+            assert opm.invert(value) == score
+
+    def test_small_domain_uncached(self):
+        opm = OneToManyOpm(KEY, 16, 1024, cache_buckets=False)
+        for (score, fid), value in OPM_SMALL.items():
+            assert opm.map_score(score, fid) == value
+
+    def test_paper_parameters(self):
+        opm = OneToManyOpm(KEY, 128, 1 << 46)
+        for (score, fid), value in OPM_PAPER.items():
+            assert opm.map_score(score, fid) == value
+            assert opm.invert(value) == score
+
+    def test_batch_matches_goldens(self):
+        opm = OneToManyOpm(KEY, 128, 1 << 46)
+        items = list(OPM_PAPER)
+        assert opm.map_scores(items) == list(OPM_PAPER.values())
+
+    def test_buckets_table_contains_golden_values(self):
+        opm = OneToManyOpm(KEY, 16, 1024)
+        table = opm.buckets_table()
+        for (score, _), value in OPM_SMALL.items():
+            assert table[score].low <= value <= table[score].high
+
+
+class TestTapeGoldens:
+    def test_stream_bytes(self):
+        for context, hexdigest in TAPE_VECTORS.items():
+            assert CoinStream(KEY, context).bytes(48).hex() == hexdigest
+
+    def test_prekeyed_stream_bytes(self):
+        tape = KeyedTape(KEY)
+        for context, hexdigest in TAPE_VECTORS.items():
+            assert tape.stream(context).bytes(48).hex() == hexdigest
+
+    def test_choices(self):
+        tape = KeyedTape(KEY)
+        for (context, low, high), value in CHOICE_VECTORS.items():
+            assert CoinStream(KEY, context).choice(low, high) == value
+            assert tape.choice(encode_context(context), low, high) == value
+
+
+class TestHgdGoldens:
+    def test_quantiles(self):
+        for (u, population, successes, draws), value in HGD_VECTORS.items():
+            assert hgd_quantile(u, population, successes, draws) == value
+            assert (
+                hgd_quantile_reference(u, population, successes, draws)
+                == value
+            )
+
+
+class TestIndexGolden:
+    def test_build_digest(self):
+        """End-to-end: the secure index's bytes are pinned exactly."""
+        rng = random.Random(99)
+        words = [f"kw{i}" for i in range(8)]
+        index = InvertedIndex()
+        for d in range(12):
+            index.add_document(
+                f"doc{d}",
+                [rng.choice(words) for _ in range(rng.randint(4, 20))],
+            )
+        key = SchemeKey(
+            x=b"x" * 16,
+            y=b"y" * 16,
+            z=b"z" * 16,
+            domain_size=TEST_PARAMETERS.score_levels,
+            range_size=TEST_PARAMETERS.range_size,
+        )
+        built = EfficientRSSE(TEST_PARAMETERS).build_index(key, index)
+        h = hashlib.sha256()
+        for address, entries in built.secure_index.items():
+            h.update(address)
+            for entry in entries:
+                h.update(entry)
+        assert h.hexdigest() == INDEX_DIGEST

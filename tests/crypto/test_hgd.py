@@ -9,6 +9,7 @@ from hypothesis import given, settings, strategies as st
 from repro.crypto.hgd import (
     hgd_quantile,
     hgd_quantile_exact,
+    hgd_quantile_reference,
     hgd_sample,
     log_pmf,
     mean,
@@ -175,3 +176,29 @@ class TestSample:
             for i in range(300)
         )
         assert total / 300 == pytest.approx(20.0, abs=1.5)
+
+
+class TestEarlyExitEqualsReference:
+    def test_sweep_small_parameters(self):
+        for population in (1, 2, 17, 64, 257):
+            for successes in (0, 1, population // 2, population):
+                for draws in (0, 1, population // 3, population):
+                    for u_step in range(0, 10):
+                        u = u_step / 10
+                        assert hgd_quantile(
+                            u, population, successes, draws
+                        ) == hgd_quantile_reference(
+                            u, population, successes, draws
+                        )
+
+    def test_opse_shaped_parameters(self):
+        population = 1 << 46
+        for draws in (1, 1 << 20, 1 << 45, (1 << 46) - 1):
+            for u in (0.0, 1e-9, 0.3, 0.5, 0.9999999999):
+                assert hgd_quantile(
+                    u, population, 128, draws
+                ) == hgd_quantile_reference(u, population, 128, draws)
+
+    def test_reference_rejects_bad_quantile(self):
+        with pytest.raises(ParameterError):
+            hgd_quantile_reference(1.0, 10, 4, 5)

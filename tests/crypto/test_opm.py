@@ -138,3 +138,65 @@ class TestKeySeparation:
         opm = OneToManyOpm(KEY, 128, 1 << 40)
         rounds = opm.rounds(64)
         assert 7 <= rounds <= 5 * 7 + 12 + 10
+
+
+class TestStatsCounters:
+    def test_split_cache_caps_hgd_draws(self):
+        """One full-table build costs ~1.6 M draws, not ~8.3 M."""
+        M = 128
+        opm = OneToManyOpm(KEY, M, 1 << 46)
+        opm.buckets_table()
+        table_draws = opm.stats.hgd_draws
+        # One draw per split-tree internal node: more than the M - 1
+        # pure halving splits (slack chains add some), far below the
+        # per-descent total.
+        assert M - 1 <= table_draws <= 3 * M
+        naive = OneToManyOpm(KEY, M, 1 << 46, cache_buckets=False)
+        for score in range(1, M + 1):
+            naive.map_score(score, b"f")
+        assert naive.stats.hgd_draws >= 5 * table_draws
+
+    def test_batch_is_one_tape_block_per_entry(self):
+        opm = OneToManyOpm(KEY, 16, 1 << 20)
+        opm.buckets_table()
+        opm.reset_stats()
+        items = [(1 + (i % 16), b"file-%d" % i) for i in range(200)]
+        opm.map_scores(items)
+        assert opm.stats.choices == 200
+        # One HMAC block per entry plus rare rejection-sampling retries.
+        assert 200 <= opm.stats.tape_blocks <= 240
+        assert opm.stats.hgd_draws == 0  # table already built
+
+    def test_cached_regime_descends_once_per_score(self):
+        opm = OneToManyOpm(KEY, 16, 1 << 20)
+        for _ in range(5):
+            opm.map_score(7, b"f")
+        assert opm.stats.bucket_cache_misses == 1
+        assert opm.stats.bucket_cache_hits == 4
+        assert opm.stats.descents == 1
+
+    def test_uncached_regime_keeps_no_cross_call_state(self):
+        """Fig. 7 honesty: every probe call pays the full descent."""
+        opm = OneToManyOpm(KEY, 16, 1 << 20, cache_buckets=False)
+        opm.map_score(7, b"f")
+        first = opm.stats.hgd_draws
+        assert first > 0
+        opm.map_score(7, b"f")
+        assert opm.stats.hgd_draws == 2 * first
+        assert opm.stats.split_cache_hits == 0
+        # buckets_table() probing must not leak state either.
+        opm.reset_stats()
+        opm.buckets_table()
+        opm.map_score(7, b"f")
+        assert opm.stats.hgd_draws > first
+
+    def test_reset_stats_zeroes_but_keeps_caches(self):
+        opm = OneToManyOpm(KEY, 16, 1 << 20)
+        opm.map_score(3, b"f")
+        opm.reset_stats()
+        assert opm.stats.as_dict() == {
+            key: 0 for key in opm.stats.as_dict()
+        }
+        opm.map_score(3, b"g")
+        assert opm.stats.bucket_cache_hits == 1
+        assert opm.stats.hgd_draws == 0

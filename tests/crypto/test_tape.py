@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.crypto.tape import CoinStream, encode_context, tape_gen
+from repro.crypto.tape import (
+    CoinStream,
+    KeyedTape,
+    encode_context,
+    tape_gen,
+)
 from repro.errors import ParameterError
 
 
@@ -132,3 +137,49 @@ class TestCoinStream:
             counts[stream.uniform_int(3)] += 1
         for count in counts:
             assert 800 < count < 1200
+
+
+class TestKeyedTape:
+    def test_stream_matches_coin_stream(self):
+        tape = KeyedTape(b"k" * 16)
+        for context in [(1,), (1, 2, b"x"), ("s", 0, b"")]:
+            assert (
+                tape.stream(context).bytes(64)
+                == CoinStream(b"k" * 16, context).bytes(64)
+            )
+
+    def test_stream_from_seed_matches_encoded_context(self):
+        tape = KeyedTape(b"k" * 16)
+        context = (5, 10, 1, 7, b"fid")
+        seed = encode_context(context)
+        assert (
+            tape.stream_from_seed(seed).bytes(64)
+            == CoinStream(b"k" * 16, context).bytes(64)
+        )
+
+    def test_choice_matches_coin_stream(self):
+        tape = KeyedTape(b"k" * 16)
+        for low, high in [(1, 1), (1, 2), (7, 1000), (0, (1 << 46) - 1)]:
+            context = (low, high, b"probe")
+            expected = CoinStream(b"k" * 16, context).choice(low, high)
+            assert (
+                tape.choice(encode_context(context), low, high) == expected
+            )
+
+    def test_choice_rejects_empty_interval(self):
+        tape = KeyedTape(b"k" * 16)
+        with pytest.raises(ParameterError):
+            tape.choice(b"seed", 5, 4)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParameterError):
+            KeyedTape(b"")
+
+    def test_streams_are_independent(self):
+        tape = KeyedTape(b"k" * 16)
+        a = tape.stream((1,))
+        b = tape.stream((2,))
+        first = a.bytes(32)
+        assert b.bytes(32) != first
+        # Consuming one stream must not advance the other.
+        assert tape.stream((1,)).bytes(32) == first

@@ -1,0 +1,171 @@
+"""Fast path ≡ naive path, property-checked.
+
+The OPM/OPSE fast path (shared split cache, batch bucket tables,
+pre-keyed tape, early-exit HGD quantile) claims to change *nothing*
+about output bytes.  These properties drive random keys, parameters and
+inputs through both regimes and require exact equality — the
+Hypothesis-shaped counterpart of the pinned vectors in
+``tests/crypto/test_golden_vectors.py``.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.hgd import hgd_quantile, hgd_quantile_reference, support
+from repro.crypto.opm import OneToManyOpm
+from repro.crypto.opse import OrderPreservingEncryption
+from repro.crypto.tape import CoinStream, KeyedTape, encode_context
+
+key_strategy = st.binary(min_size=8, max_size=32)
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(
+    key=key_strategy,
+    domain_bits=st.integers(min_value=1, max_value=6),
+    extra_bits=st.integers(min_value=2, max_value=20),
+)
+def test_opse_cached_equals_uncached(key, domain_bits, extra_bits):
+    domain_size = 1 << domain_bits
+    range_size = 1 << (domain_bits + extra_bits)
+    fast = OrderPreservingEncryption(key, domain_size, range_size)
+    naive = OrderPreservingEncryption(
+        key, domain_size, range_size, cache_splits=False
+    )
+    table = fast.bucket_table()
+    for plaintext in range(1, domain_size + 1):
+        assert fast.encrypt(plaintext) == naive.encrypt(plaintext)
+        naive_bucket = naive.bucket(plaintext)
+        assert table[plaintext] == naive_bucket
+        assert fast.bucket(plaintext) == naive_bucket
+
+
+@RELAXED
+@given(
+    key=key_strategy,
+    items=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=32),
+            st.binary(min_size=1, max_size=12),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+)
+def test_opm_batch_equals_singles_both_regimes(key, items):
+    range_size = 1 << 26
+    batch_cached = OneToManyOpm(key, 32, range_size)
+    batch_uncached = OneToManyOpm(key, 32, range_size, cache_buckets=False)
+    singles = OneToManyOpm(key, 32, range_size, cache_buckets=False)
+    expected = [
+        singles.map_score(score, file_id) for score, file_id in items
+    ]
+    assert batch_cached.map_scores(items) == expected
+    assert batch_uncached.map_scores(items) == expected
+    cached_singles = OneToManyOpm(key, 32, range_size)
+    assert [
+        cached_singles.map_score(score, file_id) for score, file_id in items
+    ] == expected
+
+
+@RELAXED
+@given(
+    key=key_strategy,
+    scores=st.lists(
+        st.integers(min_value=1, max_value=16), min_size=1, max_size=8
+    ),
+)
+def test_opm_buckets_table_invert_rounds_consistent(key, scores):
+    range_size = 1 << 22
+    fast = OneToManyOpm(key, 16, range_size)
+    naive = OneToManyOpm(key, 16, range_size, cache_buckets=False)
+    table = fast.buckets_table()
+    assert set(table) == set(range(1, 17))
+    for score in scores:
+        naive_bucket = naive.bucket(score)
+        assert table[score] == naive_bucket
+        assert fast.rounds(score) == naive.rounds(score)
+        value = fast.map_score(score, b"probe")
+        assert naive_bucket.low <= value <= naive_bucket.high
+        assert fast.invert(value) == score
+        assert naive.invert(value) == score
+
+
+@RELAXED
+@given(
+    key=key_strategy,
+    context=st.lists(
+        st.one_of(
+            st.integers(min_value=0, max_value=1 << 46),
+            st.binary(min_size=0, max_size=16),
+            st.text(max_size=8),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    length=st.integers(min_value=0, max_value=200),
+)
+def test_keyed_tape_stream_equals_coin_stream(key, context, length):
+    fresh = CoinStream(key, context)
+    shared = KeyedTape(key).stream(context)
+    assert fresh.bytes(length) == shared.bytes(length)
+    assert fresh.bits(61) == shared.bits(61)
+
+
+@RELAXED
+@given(
+    key=key_strategy,
+    context=st.lists(
+        st.integers(min_value=0, max_value=1 << 30),
+        min_size=1,
+        max_size=4,
+    ),
+    low=st.integers(min_value=0, max_value=1000),
+    width=st.integers(min_value=0, max_value=100_000),
+)
+def test_keyed_tape_choice_equals_coin_stream(key, context, low, width):
+    high = low + width
+    expected = CoinStream(key, context).choice(low, high)
+    tape = KeyedTape(key)
+    assert tape.choice(encode_context(context), low, high) == expected
+    # Seed splicing: prefix + suffix encodes like the full tuple.
+    prefix = encode_context(context[:-1])
+    suffix = encode_context(context[-1:])
+    assert tape.choice(prefix + suffix, low, high) == expected
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    u=st.one_of(
+        st.floats(
+            min_value=0.0,
+            max_value=1.0,
+            exclude_max=True,
+            allow_nan=False,
+        ),
+        st.sampled_from([0.0, 1e-300, 0.5, 0.9999999999999999]),
+    ),
+    population_bits=st.integers(min_value=1, max_value=46),
+    successes=st.integers(min_value=0, max_value=2048),
+    draw_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_hgd_early_exit_equals_reference(
+    u, population_bits, successes, draw_fraction
+):
+    population = 1 << population_bits
+    successes = min(successes, population)
+    draws = int(draw_fraction * population)
+    assert hgd_quantile(u, population, successes, draws) == (
+        hgd_quantile_reference(u, population, successes, draws)
+    )
+    lo, hi = support(population, successes, draws)
+    assert lo <= hgd_quantile(u, population, successes, draws) <= hi
