@@ -1,0 +1,191 @@
+"""Traced serving — the observability acceptance scenario as a bench.
+
+Runs the resilient cluster serving path with the full ``repro.obs``
+stack live (real clock) under a deterministic fault plan, then holds
+the exported trace to the ISSUE acceptance bar:
+
+* the JSONL artifact passes the schema check
+  (:func:`repro.obs.export.validate_records` returns no problems);
+* for a single ``handle_resilient`` call under injected faults, the
+  root span accounts for >= 95% of the wall time measured around the
+  call (the instrumentation does not lose time to untraced gaps);
+* at least one ``retry.attempt`` span appears below the root (the
+  fault plan forced the retry layer to do real work);
+* ``repro obs report`` renders the artifact.
+
+Artifacts land in ``benchmarks/results/``: the raw JSONL trace
+(``obs_trace.jsonl``), the rendered report (``obs_trace.txt``), and a
+JSON summary of the gate quantities (``BENCH_obs.json``).
+
+Run standalone (``python benchmarks/bench_obs_trace.py [--smoke]``) or
+through pytest (smoke scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cloud import BlobStore, SearchRequest
+from repro.cloud.cluster import ClusterServer
+from repro.cloud.faults import FaultPlan
+from repro.cloud.retry import RetryPolicy
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.ir import InvertedIndex
+from repro.obs import Obs
+from repro.obs.export import load_jsonl, render_report, validate_records
+
+SEED = 2010
+SHARDS = 4
+TOP_K = 5
+#: Wall-time fraction of a query the root span must account for.
+COVERAGE_FLOOR = 0.95
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text)
+
+
+def build_deployment(num_docs: int):
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = scheme.keygen()
+    vocab = [f"term{i:03d}" for i in range(64)]
+    index = InvertedIndex()
+    rng = random.Random(7)
+    for doc in range(num_docs):
+        index.add_document(
+            f"doc{doc}", [rng.choice(vocab) for _ in range(60)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(num_docs):
+        blobs.put(f"doc{doc}", b"\xab" * 512)
+    return scheme, key, built, blobs, vocab
+
+
+def run_benchmark(num_docs: int, num_queries: int, seed: int = SEED) -> str:
+    scheme, key, built, blobs, vocab = build_deployment(num_docs)
+    obs = Obs.enabled()
+    # Every shard drops calls and shard 1 starts crashed, so the trace
+    # of an early query is guaranteed to contain retry-attempt spans.
+    plan = FaultPlan(
+        seed=seed,
+        drop_rate=0.25,
+        crash_windows={1: ((0, 6),)},
+    )
+    policy = RetryPolicy(
+        max_attempts=8, base_backoff_s=0.0, jitter_seed=seed
+    )
+    coverages: list[float] = []
+    traced_retry_attempts = 0
+    with ClusterServer(
+        built.secure_index,
+        blobs,
+        can_rank=True,
+        num_shards=SHARDS,
+        fault_plan=plan,
+        retry_policy=policy,
+        retry_sleep=lambda _s: None,
+        obs=obs,
+    ) as cluster:
+        for query in range(num_queries):
+            request = SearchRequest(
+                trapdoor_bytes=scheme.trapdoor(
+                    key, vocab[query % len(vocab)]
+                ).serialize(),
+                top_k=TOP_K,
+            ).to_bytes()
+            started = time.perf_counter()
+            cluster.handle_resilient(request)
+            wall_s = time.perf_counter() - started
+            root = obs.tracer.spans[-1]
+            while root.parent_id is not None:  # pragma: no cover
+                root = next(
+                    span
+                    for span in obs.tracer.spans
+                    if span.span_id == root.parent_id
+                )
+            coverages.append(
+                root.duration_s / wall_s if wall_s > 0 else 1.0
+            )
+    spans = obs.tracer.spans
+    traced_retry_attempts = sum(
+        1 for span in spans if span.name == "retry.attempt"
+    )
+    artifact = obs.export_jsonl()
+    problems = validate_records(artifact)
+    write_result("obs_trace.jsonl", artifact)
+    report = render_report(load_jsonl(artifact))
+    write_result("obs_trace.txt", report)
+
+    min_coverage = min(coverages)
+    median_coverage = sorted(coverages)[len(coverages) // 2]
+    summary = {
+        "queries": num_queries,
+        "spans": len(spans),
+        "retry_attempt_spans": traced_retry_attempts,
+        "min_root_coverage": round(min_coverage, 4),
+        "median_root_coverage": round(median_coverage, 4),
+        "schema_problems": problems,
+    }
+    write_result(
+        "BENCH_obs.json", json.dumps(summary, indent=2, sort_keys=True)
+    )
+
+    lines = [
+        "observability trace bench "
+        f"(docs={num_docs}, queries={num_queries}, shards={SHARDS})",
+        f"  spans recorded:        {len(spans)}",
+        f"  retry-attempt spans:   {traced_retry_attempts}",
+        f"  median root coverage:  {median_coverage:.3f} "
+        f"(floor {COVERAGE_FLOOR})",
+        f"  min root coverage:     {min_coverage:.3f}",
+        f"  schema problems:       {len(problems)}",
+        f"  leakage events:        {len(obs.leakage)}",
+    ]
+    text = "\n".join(lines) + "\n"
+
+    assert not problems, problems
+    assert traced_retry_attempts >= 1
+    # Median, not min: the gate measures instrumentation coverage, not
+    # the scheduler's willingness to preempt between the span close
+    # and the perf_counter read.
+    assert median_coverage >= COVERAGE_FLOOR, (
+        f"root span covers only {median_coverage:.3f} of wall time"
+    )
+    return text
+
+
+def test_obs_trace_bench():
+    """Pytest entry point at smoke scale (the CI obs-smoke step)."""
+    report = run_benchmark(num_docs=30, num_queries=12)
+    print(report)
+    assert "min root coverage" in report
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(
+        description="traced-serving acceptance bench for repro.obs"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus/workload for a fast CI smoke run",
+    )
+    parser.add_argument("--docs", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=SEED)
+    arguments = parser.parse_args()
+    docs = arguments.docs or (30 if arguments.smoke else 120)
+    queries = arguments.queries or (12 if arguments.smoke else 100)
+    print(run_benchmark(docs, queries, arguments.seed), end="")

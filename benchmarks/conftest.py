@@ -80,3 +80,22 @@ def paper_quantizer(network_scores) -> ScoreQuantizer:
 def rsse_scheme() -> EfficientRSSE:
     """The efficient scheme at full paper parameters (|R| = 2**46)."""
     return EfficientRSSE(PAPER_PARAMETERS)
+
+
+@pytest.fixture(scope="session")
+def bench_obs():
+    """Session-wide :class:`repro.obs.Obs` bundle for traced benches.
+
+    Any bench that wants per-stage accounting requests this fixture
+    and passes it down its serving stack (``obs=bench_obs``); at
+    session end every recorded metric lands in
+    ``results/BENCH_metrics.json`` so a CI run leaves an inspectable
+    artifact next to the figure/table series.
+    """
+    from repro.obs import Obs
+
+    obs = Obs.enabled()
+    yield obs
+    snapshot = obs.metrics.snapshot()
+    if len(snapshot):
+        write_result("BENCH_metrics.json", snapshot.to_json() + "\n")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Validate ``repro.obs`` JSONL trace artifacts (the CI schema gate).
+
+Usage::
+
+    python scripts/check_trace_schema.py TRACE.jsonl [TRACE2.jsonl ...]
+
+Exit status 0 when every artifact parses and passes
+:func:`repro.obs.export.validate_records`; 1 otherwise, with one
+problem per line on stderr.  A thin wrapper: the schema itself lives
+(and is unit-tested) next to the exporter.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.export import validate_records  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: check_trace_schema.py TRACE.jsonl [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for name in argv:
+        path = Path(name)
+        if not path.is_file():
+            print(f"{name}: no such file", file=sys.stderr)
+            failed = True
+            continue
+        problems = validate_records(path.read_text())
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{name}: {problem}", file=sys.stderr)
+        else:
+            lines = path.read_text().count("\n")
+            print(f"{name}: ok ({lines} records)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -114,3 +114,35 @@ def profile_search(
         ordered_pairs_learned=pairs,
         score_values_seen=score_values,
     )
+
+
+def server_log_from_events(events) -> ServerLog:
+    """Replay an exported leakage-event stream as a :class:`ServerLog`.
+
+    Takes the :class:`~repro.obs.events.LeakageEvent` sequence of an
+    observability dump (live, or parsed back from a JSONL trace
+    artifact via :func:`repro.obs.export.load_jsonl`) and rebuilds the
+    curious server's log from it, so every analysis in this module —
+    and the attack simulations that consume a :class:`ServerLog` —
+    runs unchanged against *real serving traces* instead of
+    synthesized ones.
+
+    Two fidelity caveats, both inherent to the artifact format: the
+    event stream stores a keyed *digest* of each trapdoor address
+    (equal digests still mean equal keywords, so search-pattern
+    analysis is exact), and it does not carry protected score fields
+    (``score_values_seen`` of a replayed profile is therefore 0).
+    """
+    from repro.cloud.server import SearchObservation
+
+    log = ServerLog()
+    for event in events:
+        log.observations.append(
+            SearchObservation(
+                address=bytes.fromhex(event.trapdoor),
+                matched_file_ids=tuple(event.matched_file_ids),
+                score_fields=(),
+                returned_file_ids=tuple(event.returned_file_ids),
+            )
+        )
+    return log

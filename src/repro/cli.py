@@ -150,6 +150,104 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_demo(args: argparse.Namespace) -> int:
+    """Run a small traced cluster workload; write the JSONL artifact.
+
+    The workload is fully seeded: a synthetic corpus, a sharded
+    cluster under a deterministic fault plan (drops plus one crash
+    window, so the trace always contains retry-attempt spans), and a
+    fixed query sequence.  With ``--deterministic`` the tracer runs on
+    a fake clock, making the artifact byte-identical across runs —
+    what the CI obs-smoke step diffs and schema-checks.
+    """
+    import hashlib
+    import random
+
+    from repro.cloud.cluster import ClusterServer
+    from repro.cloud.faults import FaultPlan
+    from repro.cloud.protocol import SearchRequest
+    from repro.cloud.retry import RetryPolicy
+    from repro.cloud.storage import BlobStore
+    from repro.core import TEST_PARAMETERS
+    from repro.crypto.keys import SchemeKey
+    from repro.ir.inverted_index import InvertedIndex
+    from repro.obs import FakeClock, Obs
+
+    vocabulary = [f"term{i:02d}" for i in range(16)]
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    # Key pinned to the seed (not keygen()): leakage digests hash the
+    # trapdoor addresses, so a random key would break the byte-level
+    # determinism that --deterministic promises.
+    seed_tag = f"obs-demo-{args.seed}".encode()
+    key = SchemeKey(
+        x=hashlib.blake2b(seed_tag + b"|x", digest_size=16).digest(),
+        y=hashlib.blake2b(seed_tag + b"|y", digest_size=16).digest(),
+        z=hashlib.blake2b(seed_tag + b"|z", digest_size=16).digest(),
+        domain_size=TEST_PARAMETERS.score_levels,
+        range_size=TEST_PARAMETERS.range_size,
+    )
+    index = InvertedIndex()
+    rng = random.Random(args.seed)
+    for doc in range(args.docs):
+        index.add_document(
+            f"doc{doc}", [rng.choice(vocabulary) for _ in range(30)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(args.docs):
+        blobs.put(f"doc{doc}", b"cipher-" + str(doc).encode())
+
+    obs = Obs.enabled(
+        clock=FakeClock() if args.deterministic else None
+    )
+    plan = FaultPlan(
+        seed=args.seed,
+        drop_rate=0.3,
+        crash_windows={1: ((0, 4),)},
+    )
+    policy = RetryPolicy(
+        max_attempts=8, base_backoff_s=0.0, jitter_seed=args.seed
+    )
+    with ClusterServer(
+        built.secure_index,
+        blobs,
+        can_rank=True,
+        num_shards=2,
+        max_workers=1,
+        fault_plan=plan,
+        retry_policy=policy,
+        retry_sleep=lambda _s: None,
+        obs=obs,
+    ) as cluster:
+        for keyword in vocabulary[: args.queries]:
+            request = SearchRequest(
+                trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(),
+                top_k=3,
+            ).to_bytes()
+            result = cluster.handle_resilient(request)
+            if not result.complete:
+                print(
+                    f"query {keyword!r} degraded: shards "
+                    f"{list(result.missing_shards)} missing"
+                )
+    artifact = obs.export_jsonl()
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(artifact)
+    print(f"wrote {len(artifact.splitlines())} records to {out}")
+    print(obs.report())
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render a previously exported JSONL trace artifact."""
+    from repro.obs.export import load_jsonl, render_report
+
+    dump = load_jsonl(Path(args.trace).read_text())
+    print(render_report(dump))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -193,6 +291,30 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--corpus", required=True)
     stats.add_argument("--levels", type=int, default=128)
     stats.set_defaults(handler=_cmd_stats)
+
+    obs = commands.add_parser(
+        "obs", help="observability: traced demo workloads and reports"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    demo = obs_commands.add_parser(
+        "demo",
+        help="run a seeded traced cluster workload, write JSONL",
+    )
+    demo.add_argument("--seed", type=int, default=2010)
+    demo.add_argument("--docs", type=int, default=12)
+    demo.add_argument("--queries", type=int, default=4)
+    demo.add_argument("--out", default="obs_trace.jsonl")
+    demo.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="fake clock: byte-identical artifact across runs",
+    )
+    demo.set_defaults(handler=_cmd_obs_demo)
+    report = obs_commands.add_parser(
+        "report", help="render an exported JSONL trace artifact"
+    )
+    report.add_argument("--trace", required=True)
+    report.set_defaults(handler=_cmd_obs_report)
 
     return parser
 

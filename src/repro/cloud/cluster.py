@@ -62,6 +62,7 @@ from repro.errors import (
     ShardDownError,
     TransportError,
 )
+from repro.obs.trace import NOOP_TRACER
 
 #: Default keyed-hash seed for shard placement.  Any deployment-chosen
 #: value works (placement only needs to be stable and balanced); it is
@@ -411,6 +412,16 @@ class ClusterServer:
     retry_sleep:
         Clock for retry backoff waits (injectable so tests and
         deterministic suites can run on modeled time).
+    obs:
+        Optional :class:`repro.obs.Obs` bundle, threaded through the
+        whole serving stack: each request runs under a
+        ``cluster.handle`` / ``cluster.handle_resilient`` root span
+        with per-shard ``shard.dispatch`` children (retry attempts and
+        injected faults annotate below them via the shard's retry and
+        fault wrappers), shard servers record search-phase spans and
+        leakage events, and headline counters/latency histograms land
+        in the shared metrics registry.  ``None`` (the default) wires
+        everything to the no-op tracer.
     """
 
     def __init__(
@@ -430,7 +441,10 @@ class ClusterServer:
         retry_policy: RetryPolicy | None = None,
         breaker: BreakerConfig | None = None,
         retry_sleep: Callable[[float], None] = time.sleep,
+        obs=None,
     ):
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else NOOP_TRACER
         if isinstance(index, ShardedIndex):
             if num_shards is not None and num_shards != index.num_shards:
                 raise ParameterError(
@@ -461,6 +475,7 @@ class ClusterServer:
                 can_rank,
                 cache_searches=cache_searches,
                 update_token=update_token,
+                obs=obs,
                 **(
                     {"cache_capacity": per_shard_capacity}
                     if per_shard_capacity is not None
@@ -486,14 +501,18 @@ class ClusterServer:
         serving = self._channels
         if fault_plan is not None:
             self._faulty_channels = tuple(
-                FaultyChannel(channel, fault_plan.schedule_for(shard))
+                FaultyChannel(
+                    channel, fault_plan.schedule_for(shard), obs=obs
+                )
                 for shard, channel in enumerate(serving)
             )
             serving = self._faulty_channels
         self._retrying_channels: tuple[RetryingChannel, ...] | None = None
         if retry_policy is not None:
             self._retrying_channels = tuple(
-                RetryingChannel(channel, retry_policy, sleep=retry_sleep)
+                RetryingChannel(
+                    channel, retry_policy, sleep=retry_sleep, obs=obs
+                )
                 for channel in serving
             )
             serving = self._retrying_channels
@@ -574,7 +593,9 @@ class ClusterServer:
             address, self._sharded.num_shards, self._sharded.shard_seed
         )
 
-    def _call_shard(self, shard: int, request_bytes: bytes) -> bytes:
+    def _call_shard(
+        self, shard: int, request_bytes: bytes, parent=None
+    ) -> bytes:
         """One shard call through breaker + retry + fault injection.
 
         The breaker check, the call, and the outcome recording all
@@ -583,21 +604,43 @@ class ClusterServer:
         :class:`~repro.errors.TransportError` failures count against
         the breaker: a :class:`~repro.errors.ProtocolError` means the
         *request* was bad, not the shard.
+
+        ``parent`` bridges the thread-pool boundary: pool workers pass
+        the batch's root span explicitly so their ``shard.dispatch``
+        spans land in the right trace tree.
         """
-        with self._shard_locks[shard]:
-            breaker = self._breakers[shard]
-            if not breaker.allow():
-                raise ShardDownError(
-                    f"shard {shard}: circuit open "
-                    f"(awaiting half-open probe)"
-                )
-            try:
-                response = self._serving[shard].call(request_bytes)
-            except TransportError:
-                breaker.record_failure()
-                raise
-            breaker.record_success()
-            return response
+        with self._tracer.span(
+            "shard.dispatch", parent=parent, shard=shard
+        ) as span:
+            with self._shard_locks[shard]:
+                breaker = self._breakers[shard]
+                if not breaker.allow():
+                    span.set(breaker="open")
+                    raise ShardDownError(
+                        f"shard {shard}: circuit open "
+                        f"(awaiting half-open probe)"
+                    )
+                if self._tracer.enabled:
+                    span.set(breaker=breaker.state)
+                try:
+                    response = self._serving[shard].call(request_bytes)
+                except TransportError:
+                    breaker.record_failure()
+                    raise
+                breaker.record_success()
+                return response
+
+    def _observe_request(self, kind: str, span) -> None:
+        """Count one served root request + its traced duration."""
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_cluster_requests_total", kind=kind
+        ).inc()
+        if self._tracer.enabled and span.end_s is not None:
+            self._obs.metrics.histogram(
+                "repro_cluster_request_seconds", kind=kind
+            ).observe(span.duration_s)
 
     def handle(self, request_bytes: bytes) -> bytes:
         """Route one request to its owning shard and serve it.
@@ -609,20 +652,23 @@ class ClusterServer:
         subclass; use :meth:`handle_resilient` for the non-raising
         degraded contract.
         """
-        return self._call_shard(
-            self.shard_id_for(request_bytes), request_bytes
-        )
+        shard = self.shard_id_for(request_bytes)
+        with self._tracer.span("cluster.handle", shard=shard) as span:
+            response = self._call_shard(shard, request_bytes)
+        self._observe_request("handle", span)
+        return response
 
     def handle_many(self, requests: Iterable[bytes]) -> list[bytes]:
         """Serve a batch concurrently; responses in request order."""
         return list(self._executor.map(self.handle, requests))
 
     def _try_handle(
-        self, position: int, request_bytes: bytes
+        self, position: int, request_bytes: bytes, parent=None
     ) -> tuple[int, bytes | None, int, str | None]:
         shard = self.shard_id_for(request_bytes)
         try:
-            return position, self._call_shard(shard, request_bytes), shard, None
+            response = self._call_shard(shard, request_bytes, parent=parent)
+            return position, response, shard, None
         except TransportError as exc:
             return position, None, shard, type(exc).__name__
 
@@ -646,24 +692,40 @@ class ClusterServer:
         in ``missing_shards``/``failures`` while the rest of the
         batch is served normally.  Responses stay in request order.
         """
-        outcomes = list(
-            self._executor.map(
-                lambda item: self._try_handle(*item),
-                enumerate(requests),
+        batch = list(requests)
+        with self._tracer.span(
+            "cluster.handle_resilient", requests=len(batch)
+        ) as root:
+            # The root span is passed explicitly: pool workers run in
+            # other threads, where thread-local parenting cannot see it.
+            parent = root if self._tracer.enabled else None
+            outcomes = list(
+                self._executor.map(
+                    lambda item: self._try_handle(*item, parent=parent),
+                    enumerate(batch),
+                )
             )
-        )
-        failures = tuple(
-            (position, shard, error)
-            for position, _, shard, error in outcomes
-            if error is not None
-        )
-        return PartialResult(
-            responses=tuple(response for _, response, _, _ in outcomes),
-            missing_shards=tuple(
-                sorted({shard for _, shard, _ in failures})
-            ),
-            failures=failures,
-        )
+            failures = tuple(
+                (position, shard, error)
+                for position, _, shard, error in outcomes
+                if error is not None
+            )
+            result = PartialResult(
+                responses=tuple(
+                    response for _, response, _, _ in outcomes
+                ),
+                missing_shards=tuple(
+                    sorted({shard for _, shard, _ in failures})
+                ),
+                failures=failures,
+            )
+            root.set(served=result.served, failed=len(failures))
+        self._observe_request("handle_resilient", root)
+        if self._obs is not None and failures:
+            self._obs.metrics.counter(
+                "repro_cluster_degraded_requests_total"
+            ).inc(len(failures))
+        return result
 
     # -- cache -------------------------------------------------------------
 

@@ -46,6 +46,7 @@ from typing import Callable, Mapping
 
 from repro.cloud.network import Channel, ChannelStats
 from repro.errors import CallDroppedError, ParameterError, ShardDownError
+from repro.obs.base import StatsBase
 
 #: Prefix prepended to corrupted responses; makes the bytes fail any
 #: JSON framing check while keeping the corruption deterministic.
@@ -184,8 +185,14 @@ class FaultPlan:
 
 
 @dataclass
-class FaultStats:
-    """What a :class:`FaultyChannel` actually injected."""
+class FaultStats(StatsBase):
+    """What a :class:`FaultyChannel` actually injected.
+
+    ``snapshot()``/``reset()``/``merged()`` come from
+    :class:`~repro.obs.base.StatsBase` — the same semantics as every
+    other stats bundle, so per-shard fault counters roll up with
+    ``FaultStats.merged(...)`` exactly like channel traffic does.
+    """
 
     calls: int = 0
     drops: int = 0
@@ -234,6 +241,7 @@ class FaultyChannel:
         inner: Channel,
         schedule: FaultSchedule,
         sleep: Callable[[float], None] = time.sleep,
+        obs=None,
     ):
         self._inner = inner
         self._schedule = schedule
@@ -241,6 +249,11 @@ class FaultyChannel:
         self._fault_stats = FaultStats()
         self._calls = 0
         self._lock = threading.Lock()
+        # Observability (repro.obs.Obs or None): injected faults count
+        # into the metrics registry and annotate the calling thread's
+        # current span (the retry attempt), so a trace shows *why* an
+        # attempt failed, not just that it did.
+        self._obs = obs
         #: Injected latency of the most recent call on this channel;
         #: the retry layer reads it to enforce deadlines and trigger
         #: hedging.  Meaningful under the cluster's per-shard
@@ -268,6 +281,16 @@ class FaultyChannel:
         with self._lock:
             return self._calls
 
+    def _observe_fault(self, kind: str) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_faults_injected_total",
+            kind=kind,
+            target=self._schedule.target,
+        ).inc()
+        self._obs.tracer.annotate(fault=kind)
+
     def call(self, request: bytes) -> bytes:
         """Send ``request`` through the fault plan, then the channel."""
         with self._lock:
@@ -279,6 +302,7 @@ class FaultyChannel:
             with self._lock:
                 self._fault_stats.crash_rejections += 1
                 self.last_injected_delay_s = 0.0
+            self._observe_fault("crash")
             raise ShardDownError(
                 f"target {self._schedule.target} is crashed "
                 f"(call {index} in crash window)"
@@ -287,6 +311,7 @@ class FaultyChannel:
             with self._lock:
                 self._fault_stats.drops += 1
                 self.last_injected_delay_s = 0.0
+            self._observe_fault("drop")
             raise CallDroppedError(
                 f"call {index} to target {self._schedule.target} dropped"
             )
@@ -296,10 +321,13 @@ class FaultyChannel:
             if decision.kind == "delay":
                 self._fault_stats.delays += 1
                 self._fault_stats.total_delay_s += decision.delay_s
-        if decision.kind == "delay" and self._schedule.plan.sleep_delays:
-            self._sleep(decision.delay_s)
+        if decision.kind == "delay":
+            self._observe_fault("delay")
+            if self._schedule.plan.sleep_delays:
+                self._sleep(decision.delay_s)
         if decision.kind == "corrupt":
             with self._lock:
                 self._fault_stats.corruptions += 1
+            self._observe_fault("corrupt")
             return corrupt_response(response)
         return response

@@ -10,12 +10,12 @@ under a configurable latency/bandwidth model, which is how
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.errors import ParameterError
+from repro.obs.base import StatsBase
 
 
 @dataclass(frozen=True)
@@ -46,12 +46,16 @@ class ChannelSnapshot:
 
 
 @dataclass
-class ChannelStats:
+class ChannelStats(StatsBase):
     """Mutable traffic counters for one channel.
 
     All mutation goes through the ``record_*`` methods, which serialize
-    on an internal lock; :meth:`snapshot` takes the same lock, so a
-    sampled copy is never torn even while other threads are recording.
+    on the stats lock; ``snapshot()``, ``reset()``, and ``merged()``
+    come from :class:`~repro.obs.base.StatsBase` and take the same
+    lock, so a sampled copy is never torn even while other threads are
+    recording (``merged`` additionally snapshots each input first, so
+    rolling per-shard channels up into one cluster figure sums
+    internally consistent per-channel views).
     """
 
     round_trips: int = 0
@@ -60,9 +64,8 @@ class ChannelStats:
     failed_calls: int = 0
     requests: list[int] = field(default_factory=list)
     responses: list[int] = field(default_factory=list)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+
+    _snapshot_factory = ChannelSnapshot
 
     @property
     def total_bytes(self) -> int:
@@ -71,65 +74,21 @@ class ChannelStats:
 
     def record_request(self, num_bytes: int) -> None:
         """Count one attempted round trip carrying ``num_bytes`` out."""
-        with self._lock:
+        with self.lock:
             self.round_trips += 1
             self.bytes_to_server += num_bytes
             self.requests.append(num_bytes)
 
     def record_response(self, num_bytes: int) -> None:
         """Count a successful response of ``num_bytes``."""
-        with self._lock:
+        with self.lock:
             self.bytes_to_user += num_bytes
             self.responses.append(num_bytes)
 
     def record_failure(self) -> None:
         """Count a call whose handler raised (no response returned)."""
-        with self._lock:
+        with self.lock:
             self.failed_calls += 1
-
-    def reset(self) -> None:
-        """Zero all counters (e.g. between benchmark phases)."""
-        with self._lock:
-            self.round_trips = 0
-            self.bytes_to_server = 0
-            self.bytes_to_user = 0
-            self.failed_calls = 0
-            self.requests.clear()
-            self.responses.clear()
-
-    def snapshot(self) -> ChannelSnapshot:
-        """An immutable copy, taken atomically under the stats lock."""
-        with self._lock:
-            return ChannelSnapshot(
-                round_trips=self.round_trips,
-                bytes_to_server=self.bytes_to_server,
-                bytes_to_user=self.bytes_to_user,
-                failed_calls=self.failed_calls,
-                requests=tuple(self.requests),
-                responses=tuple(self.responses),
-            )
-
-    @classmethod
-    def merged(
-        cls, stats: Iterable["ChannelStats | ChannelSnapshot"]
-    ) -> "ChannelStats":
-        """Aggregate several channels' counters into a fresh object.
-
-        The cluster front end serves each shard over its own channel;
-        this is how its per-shard traffic rolls up into one figure.
-        Each input is snapshotted first, so merging over live channels
-        sums internally consistent per-channel views.
-        """
-        total = cls()
-        for item in stats:
-            view = item.snapshot()
-            total.round_trips += view.round_trips
-            total.bytes_to_server += view.bytes_to_server
-            total.bytes_to_user += view.bytes_to_user
-            total.failed_calls += view.failed_calls
-            total.requests.extend(view.requests)
-            total.responses.extend(view.responses)
-        return total
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,8 @@ from repro.errors import (
     RetryExhaustedError,
     TransportError,
 )
+from repro.obs.base import StatsBase
+from repro.obs.trace import NOOP_TRACER
 
 
 def response_is_well_formed(response: bytes) -> bool:
@@ -174,8 +176,14 @@ class CallTrace:
 
 
 @dataclass
-class RetryStats:
-    """Aggregate counters across a :class:`RetryingChannel`'s calls."""
+class RetryStats(StatsBase):
+    """Aggregate counters across a :class:`RetryingChannel`'s calls.
+
+    ``snapshot()``/``reset()``/``merged()`` come from
+    :class:`~repro.obs.base.StatsBase` (shared with ``ChannelStats``
+    and ``FaultStats``), so retry counters aggregate across shards
+    with the same untorn-sampling semantics.
+    """
 
     calls: int = 0
     attempts: int = 0
@@ -217,6 +225,7 @@ class RetryingChannel:
         policy: RetryPolicy,
         sleep: Callable[[float], None] = time.sleep,
         validate: Callable[[bytes], bool] = response_is_well_formed,
+        obs=None,
     ):
         self._inner = inner
         self._policy = policy
@@ -226,6 +235,12 @@ class RetryingChannel:
         self._trace: list[CallTrace] = []
         self._calls = 0
         self._lock = threading.Lock()
+        # Observability (repro.obs.Obs or None): attempt spans nest
+        # under whatever span the calling thread has open (the
+        # cluster's shard-dispatch span), and the headline retry
+        # counters mirror into the metrics registry.
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else NOOP_TRACER
 
     @property
     def inner(self) -> Channel:
@@ -315,21 +330,40 @@ class RetryingChannel:
                     self._retry_stats.retries += 1
             with self._lock:
                 self._retry_stats.attempts += 1
-            try:
-                response, delay, hedged = self._attempt(request)
-            except TransportError as exc:
-                last_error = exc
-                attempts.append(
-                    AttemptRecord(
-                        attempt=attempt,
-                        outcome=type(exc).__name__,
-                        backoff_s=backoff,
+            if self._obs is not None:
+                self._obs.metrics.counter(
+                    "repro_retry_attempts_total"
+                ).inc()
+            with self._tracer.span(
+                "retry.attempt", attempt=attempt
+            ) as span:
+                try:
+                    response, delay, hedged = self._attempt(request)
+                except TransportError as exc:
+                    last_error = exc
+                    span.set(
+                        outcome=type(exc).__name__, backoff_s=backoff
                     )
+                    attempts.append(
+                        AttemptRecord(
+                            attempt=attempt,
+                            outcome=type(exc).__name__,
+                            backoff_s=backoff,
+                        )
+                    )
+                    continue
+                span.set(
+                    outcome="hedged-ok" if hedged else "ok",
+                    backoff_s=backoff,
+                    modeled_delay_s=delay,
                 )
-                continue
             if hedged:
                 with self._lock:
                     self._retry_stats.hedged_calls += 1
+                if self._obs is not None:
+                    self._obs.metrics.counter(
+                        "repro_retry_hedged_total"
+                    ).inc()
             attempts.append(
                 AttemptRecord(
                     attempt=attempt,
@@ -342,6 +376,10 @@ class RetryingChannel:
             return response
         with self._lock:
             self._retry_stats.exhausted += 1
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_retry_exhausted_total"
+            ).inc()
         self._record(call_index, attempts)
         raise RetryExhaustedError(
             f"all {policy.max_attempts} attempts failed "

@@ -31,6 +31,7 @@ from repro.core.secure_index import SecureIndex, decrypt_posting_list
 from repro.core.trapdoor import Trapdoor
 from repro.errors import ProtocolError
 from repro.ir.topk import rank_all, top_k
+from repro.obs.trace import NOOP_TRACER
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,14 @@ class CloudServer:
         pattern the scheme already leaks) in a bounded LRU cache.
     cache_capacity:
         Maximum decrypted lists resident when caching is enabled.
+    obs:
+        Optional :class:`repro.obs.Obs` bundle.  When set, every
+        handled request runs under a ``server.handle`` span (with
+        per-phase child spans for trapdoor parsing, posting-list
+        decryption, and ranking), searches append to the replayable
+        leakage-event stream, and headline counters mirror into the
+        metrics registry.  ``None`` (the default) keeps the whole path
+        on the shared no-op tracer.
     """
 
     def __init__(
@@ -117,6 +126,7 @@ class CloudServer:
         cache_searches: bool = False,
         update_token: bytes | None = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        obs=None,
     ):
         self._index = secure_index
         self._blobs = blob_store
@@ -127,6 +137,8 @@ class CloudServer:
         )
         self._update_token = update_token
         self._lock = threading.RLock()
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else NOOP_TRACER
 
     @property
     def log(self) -> ServerLog:
@@ -152,17 +164,23 @@ class CloudServer:
         service, safe (but not parallel) under concurrent callers.
         """
         kind = peek_kind(request_bytes)
-        with self._lock:
-            if kind == "search":
-                return self._handle_search(
-                    SearchRequest.from_bytes(request_bytes)
-                ).to_bytes()
-            if kind == "fetch":
-                return self._handle_fetch(
-                    FileRequest.from_bytes(request_bytes)
-                ).to_bytes()
-            if kind in ("update-list", "put-blob", "remove-blob"):
-                return self._handle_update(kind, request_bytes).to_bytes()
+        with self._tracer.span("server.handle", kind=kind):
+            with self._lock:
+                if kind == "search":
+                    return self._handle_search(
+                        SearchRequest.from_bytes(request_bytes)
+                    ).to_bytes()
+                if kind == "fetch":
+                    return self._handle_fetch(
+                        FileRequest.from_bytes(request_bytes)
+                    ).to_bytes()
+                if kind in ("update-list", "put-blob", "remove-blob"):
+                    response = self._handle_update(kind, request_bytes)
+                    if self._obs is not None:
+                        self._obs.metrics.counter(
+                            "repro_server_updates_total", kind=kind
+                        ).inc()
+                    return response.to_bytes()
         raise ProtocolError(f"unknown request kind {kind!r}")
 
     def _handle_update(self, kind: str, request_bytes: bytes):
@@ -293,38 +311,65 @@ class CloudServer:
         return matches
 
     def _handle_search(self, request: SearchRequest) -> SearchResponse:
-        trapdoor = Trapdoor.deserialize(request.trapdoor_bytes)
-        matches = self._matches_for(trapdoor)
+        with self._tracer.span("search.trapdoor"):
+            trapdoor = Trapdoor.deserialize(request.trapdoor_bytes)
+        hits_before = self.cache_hits
+        with self._tracer.span("search.postings") as span:
+            matches = self._matches_for(trapdoor)
+            span.set(
+                postings=len(matches),
+                cache_hit=self.cache_hits > hits_before,
+            )
 
-        if self._can_rank:
-            ordered = rank_all(matches, key=lambda match: match.opm_value())
-            if request.top_k is not None:
-                ordered = top_k(
-                    matches, request.top_k, key=lambda match: match.opm_value()
+        rank_counters: dict[str, int] | None = (
+            {} if self._tracer.enabled else None
+        )
+        with self._tracer.span(
+            "search.rank",
+            can_rank=self._can_rank,
+            k=request.top_k,
+        ) as span:
+            if self._can_rank:
+                ordered = rank_all(
+                    matches,
+                    key=lambda match: match.opm_value(),
+                    counters=rank_counters,
                 )
-        else:
-            # Semantically secure score fields: no server-side ranking
-            # possible; a top-k bound cannot be honoured meaningfully.
-            ordered = list(matches)
+                if request.top_k is not None:
+                    ordered = top_k(
+                        matches,
+                        request.top_k,
+                        key=lambda match: match.opm_value(),
+                        counters=rank_counters,
+                    )
+            else:
+                # Semantically secure score fields: no server-side
+                # ranking possible; a top-k bound cannot be honoured
+                # meaningfully.
+                ordered = list(matches)
+            if rank_counters:
+                span.set(**rank_counters)
 
-        if request.entries_only:
-            returned: list[ServerMatch] = []
-            files: tuple[tuple[str, bytes], ...] = ()
-        else:
-            # Tolerate a file removed between the index read and the
-            # blob fetch (concurrent owner updates): dropping it from
-            # both lists yields exactly the post-removal response
-            # instead of a torn one.
-            returned = []
-            payloads = []
-            for match in ordered:
-                blob = self._blobs.get_optional(match.file_id)
-                if blob is None:
-                    continue
-                returned.append(match)
-                payloads.append((match.file_id, blob))
-            ordered = returned
-            files = tuple(payloads)
+        with self._tracer.span("search.files") as span:
+            if request.entries_only:
+                returned: list[ServerMatch] = []
+                files: tuple[tuple[str, bytes], ...] = ()
+            else:
+                # Tolerate a file removed between the index read and
+                # the blob fetch (concurrent owner updates): dropping
+                # it from both lists yields exactly the post-removal
+                # response instead of a torn one.
+                returned = []
+                payloads = []
+                for match in ordered:
+                    blob = self._blobs.get_optional(match.file_id)
+                    if blob is None:
+                        continue
+                    returned.append(match)
+                    payloads.append((match.file_id, blob))
+                ordered = returned
+                files = tuple(payloads)
+            span.set(files=len(files))
 
         self._log.observations.append(
             SearchObservation(
@@ -334,6 +379,23 @@ class CloudServer:
                 returned_file_ids=tuple(match.file_id for match in returned),
             )
         )
+        if self._obs is not None:
+            current = self._tracer.current()
+            self._obs.leakage.record(
+                trapdoor.address,
+                matched_file_ids=tuple(
+                    match.file_id for match in matches
+                ),
+                returned_file_ids=tuple(
+                    match.file_id for match in returned
+                ),
+                trace_id=current.trace_id if current is not None else 0,
+            )
+            self._obs.metrics.counter("repro_server_searches_total").inc()
+            self._obs.metrics.histogram(
+                "repro_server_postings_scanned",
+                buckets=(1.0, 10.0, 100.0, 1000.0, 10000.0),
+            ).observe(float(len(matches)))
         response_matches = tuple(
             (match.file_id, match.score_field) for match in ordered
         )

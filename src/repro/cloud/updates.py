@@ -31,8 +31,10 @@ from repro.core.dynamics import UpdateReport, build_entry, build_list_entries
 from repro.core.rsse import EfficientRSSE
 from repro.corpus.loader import Document
 from repro.crypto.opm import OneToManyOpm
+from repro.crypto.stats import MappingStats
 from repro.crypto.symmetric import SymmetricCipher
 from repro.errors import ParameterError, ProtocolError, TransportError
+from repro.obs.trace import NOOP_TRACER
 
 #: Update-list application modes.
 UPDATE_MODES = ("append", "replace")
@@ -211,6 +213,13 @@ class RemoteIndexMaintainer:
         queue in order.  New mutations are refused while the queue is
         non-empty, so replay order can never violate per-address
         ordering.
+    obs:
+        Optional :class:`repro.obs.Obs` bundle: document mutations run
+        under ``owner.insert_document`` / ``owner.remove_document``
+        root spans with one ``owner.update_term`` child per touched
+        posting list, update counters land in the metrics registry,
+        and :meth:`publish_opm_stats` mirrors the cumulative OPM work
+        counters as gauges.
     """
 
     def __init__(
@@ -220,6 +229,7 @@ class RemoteIndexMaintainer:
         update_token: bytes,
         retry_policy: RetryPolicy | None = None,
         queue_on_failure: bool = False,
+        obs=None,
     ):
         if not isinstance(owner._scheme, EfficientRSSE):
             raise ParameterError(
@@ -234,10 +244,12 @@ class RemoteIndexMaintainer:
         self._owner = owner
         self._scheme: EfficientRSSE = owner._scheme
         self._channel: Channel | RetryingChannel = (
-            RetryingChannel(channel, retry_policy)
+            RetryingChannel(channel, retry_policy, obs=obs)
             if retry_policy is not None
             else channel
         )
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else NOOP_TRACER
         self._token = bytes(update_token)
         self._file_cipher = SymmetricCipher(owner.file_key)
         self._queue_on_failure = queue_on_failure
@@ -278,6 +290,10 @@ class RemoteIndexMaintainer:
             with self._pending_lock:
                 self._pending.popleft()
             replayed += 1
+            if self._obs is not None:
+                self._obs.metrics.counter(
+                    "repro_owner_flush_replayed_total"
+                ).inc()
 
     def _require_no_pending(self) -> None:
         if self.pending_updates:
@@ -285,6 +301,33 @@ class RemoteIndexMaintainer:
                 "updates are queued behind an unreachable shard; call "
                 "flush_pending() before issuing new mutations"
             )
+
+    def _observe_mutation(self, kind: str, lists_touched: int) -> None:
+        """Count one document mutation + refresh the OPM work gauges."""
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_owner_updates_total", kind=kind
+        ).inc()
+        self._obs.metrics.counter(
+            "repro_owner_lists_touched_total", kind=kind
+        ).inc(lists_touched)
+        self.publish_opm_stats()
+
+    def publish_opm_stats(self) -> None:
+        """Mirror cumulative OPM work counters into the registry.
+
+        Gauges, not counters: each per-term OPM's
+        :class:`~repro.crypto.stats.MappingStats` is itself cumulative,
+        so the merged view is republished wholesale after every
+        mutation (last write wins).
+        """
+        if self._obs is None or not self._opm_cache:
+            return
+        merged = MappingStats.merged(
+            opm.stats for opm in self._opm_cache.values()
+        )
+        merged.publish_to(self._obs.metrics, layer="owner")
 
     def _opms_for(self, terms) -> dict[str, OneToManyOpm]:
         """Materialize the per-term OPMs for a dispatch, sequentially."""
@@ -303,6 +346,10 @@ class RemoteIndexMaintainer:
                 raise
             with self._pending_lock:
                 self._pending.append(request_bytes)
+            if self._obs is not None:
+                self._obs.metrics.counter(
+                    "repro_owner_queued_total"
+                ).inc()
             return AckResponse(ok=True, detail="queued")
         if not ack.ok:
             raise ProtocolError(f"server rejected update: {ack.detail}")
@@ -320,14 +367,24 @@ class RemoteIndexMaintainer:
         """
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
+        # The root mutation span is captured here and passed explicitly
+        # because pool workers run in threads where thread-local
+        # parenting cannot see it.
+        parent = self._tracer.current()
+
+        def send(position_term):
+            position, term = position_term
+            with self._tracer.span(
+                "owner.update_term", parent=parent, term_index=position
+            ):
+                return self._call(build_request(term))
+
         if workers == 1 or len(terms) <= 1:
-            for term in terms:
-                self._call(build_request(term))
+            for item in enumerate(terms):
+                send(item)
             return
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            for ack in pool.map(
-                lambda term: self._call(build_request(term)), terms
-            ):
+            for ack in pool.map(send, enumerate(terms)):
                 assert ack.ok
 
     def insert_document(
@@ -346,40 +403,43 @@ class RemoteIndexMaintainer:
         self._require_no_pending()
         owner = self._owner
         index = owner.plain_index
-        index.add_document(
-            document.doc_id, owner.analyzer.analyze(document.text)
-        )
-        terms = sorted(
-            term
-            for term in index.vocabulary
-            if index.term_frequency(term, document.doc_id) > 0
-        )
-        self._call(
-            PutBlobRequest(
-                token=self._token,
-                file_id=document.doc_id,
-                blob=self._file_cipher.encrypt(
-                    document.text.encode("utf-8")
-                ),
-            ).to_bytes()
-        )
-
-        opms = self._opms_for(terms)
-
-        def append_request(term: str) -> bytes:
-            trapdoor = self._scheme.trapdoor(owner.key, term)
-            entry = build_entry(
-                self._scheme, owner.key, index, owner.quantizer, term,
-                document.doc_id, opm=opms[term],
+        with self._tracer.span("owner.insert_document") as span:
+            index.add_document(
+                document.doc_id, owner.analyzer.analyze(document.text)
             )
-            return UpdateListRequest(
-                token=self._token,
-                address=trapdoor.address,
-                entries=(entry,),
-                mode="append",
-            ).to_bytes()
+            terms = sorted(
+                term
+                for term in index.vocabulary
+                if index.term_frequency(term, document.doc_id) > 0
+            )
+            span.set(terms=len(terms))
+            self._call(
+                PutBlobRequest(
+                    token=self._token,
+                    file_id=document.doc_id,
+                    blob=self._file_cipher.encrypt(
+                        document.text.encode("utf-8")
+                    ),
+                ).to_bytes()
+            )
 
-        self._dispatch_terms(terms, append_request, workers)
+            opms = self._opms_for(terms)
+
+            def append_request(term: str) -> bytes:
+                trapdoor = self._scheme.trapdoor(owner.key, term)
+                entry = build_entry(
+                    self._scheme, owner.key, index, owner.quantizer,
+                    term, document.doc_id, opm=opms[term],
+                )
+                return UpdateListRequest(
+                    token=self._token,
+                    address=trapdoor.address,
+                    entries=(entry,),
+                    mode="append",
+                ).to_bytes()
+
+            self._dispatch_terms(terms, append_request, workers)
+        self._observe_mutation("insert", len(terms))
         return UpdateReport(
             lists_touched=len(terms),
             entries_written=len(terms),
@@ -407,30 +467,37 @@ class RemoteIndexMaintainer:
         )
         if not terms:
             raise ParameterError(f"document {doc_id!r} is not indexed")
-        index.remove_document(doc_id)
+        with self._tracer.span(
+            "owner.remove_document", terms=len(terms)
+        ):
+            index.remove_document(doc_id)
 
-        opms = self._opms_for(terms)
+            opms = self._opms_for(terms)
 
-        def replace_request(term: str) -> bytes:
-            trapdoor = self._scheme.trapdoor(owner.key, term)
-            replacement = tuple(
-                build_list_entries(
-                    self._scheme, owner.key, index, owner.quantizer, term,
-                    (p.file_id for p in index.posting_list(term)),
-                    opm=opms[term],
+            def replace_request(term: str) -> bytes:
+                trapdoor = self._scheme.trapdoor(owner.key, term)
+                replacement = tuple(
+                    build_list_entries(
+                        self._scheme, owner.key, index, owner.quantizer,
+                        term,
+                        (p.file_id for p in index.posting_list(term)),
+                        opm=opms[term],
+                    )
                 )
-            )
-            return UpdateListRequest(
-                token=self._token,
-                address=trapdoor.address,
-                entries=replacement,
-                mode="replace",
-            ).to_bytes()
+                return UpdateListRequest(
+                    token=self._token,
+                    address=trapdoor.address,
+                    entries=replacement,
+                    mode="replace",
+                ).to_bytes()
 
-        self._dispatch_terms(terms, replace_request, workers)
-        self._call(
-            RemoveBlobRequest(token=self._token, file_id=doc_id).to_bytes()
-        )
+            self._dispatch_terms(terms, replace_request, workers)
+            self._call(
+                RemoveBlobRequest(
+                    token=self._token, file_id=doc_id
+                ).to_bytes()
+            )
+        self._observe_mutation("remove", len(terms))
         return UpdateReport(
             lists_touched=len(terms),
             entries_written=0,

@@ -95,6 +95,7 @@ class OneToManyOpm:
         domain_size: int,
         range_size: int,
         cache_buckets: bool = True,
+        stats: MappingStats | None = None,
     ):
         if not key:
             raise ParameterError("OPM key must be non-empty")
@@ -108,7 +109,11 @@ class OneToManyOpm:
         self._domain = Interval(1, domain_size)
         self._range = Interval(1, range_size)
         self._tape = KeyedTape(self._key)
-        self.stats = MappingStats()
+        # Observability hook: a build that spans many per-term OPMs can
+        # hand every instance one shared MappingStats so the whole
+        # build's work counters accumulate in one place (sound only for
+        # sequential use — increments are unlocked by design).
+        self.stats = stats if stats is not None else MappingStats()
         self._cached = bool(cache_buckets)
         self._bucket_cache: dict[int, BucketResult] | None = (
             {} if cache_buckets else None

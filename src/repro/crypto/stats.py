@@ -9,18 +9,26 @@ that got slower with the same draw count is a constant-factor problem;
 one whose draw count exploded lost a cache.
 
 The counters are plain integer attributes incremented from the hot
-path, so they are cheap enough to stay always-on.  They are *not*
-thread-safe; per-keyword mappings are single-threaded units of work in
-every build path (see :meth:`repro.core.rsse.EfficientRSSE.build_index`).
+path, so they are cheap enough to stay always-on.  The *increments*
+are not thread-safe; per-keyword mappings are single-threaded units of
+work in every build path (see
+:meth:`repro.core.rsse.EfficientRSSE.build_index`).  The
+``reset()``/``snapshot()``/``merged()``/``as_dict()`` surface comes
+from :class:`~repro.obs.base.StatsBase` — the same semantics as the
+serving-layer stats bundles — so per-term OPM counters roll up with
+``MappingStats.merged(...)`` and publish into a
+:class:`~repro.obs.metrics.MetricsRegistry` for unified reporting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from repro.obs.base import StatsBase
+
 
 @dataclass
-class MappingStats:
+class MappingStats(StatsBase):
     """Counters for one :class:`~repro.crypto.opm.OneToManyOpm` (or
     :class:`~repro.crypto.opse.OrderPreservingEncryption`) instance.
 
@@ -54,11 +62,14 @@ class MappingStats:
     choices: int = 0
     tape_blocks: int = 0
 
-    def reset(self) -> None:
-        """Zero every counter."""
-        for field in fields(self):
-            setattr(self, field.name, 0)
+    def publish_to(self, metrics, **labels: object) -> None:
+        """Mirror every counter into gauges of a metrics registry.
 
-    def as_dict(self) -> dict[str, int]:
-        """Counters as a plain dict (for JSON bench reports)."""
-        return {field.name: getattr(self, field.name) for field in fields(self)}
+        Gauges (not counters) because mapping stats are themselves
+        cumulative: re-publishing after more work overwrites with the
+        new running totals instead of double-counting.
+        """
+        for spec in fields(self):
+            metrics.gauge(
+                f"repro_opm_{spec.name}", **labels
+            ).set(getattr(self, spec.name))

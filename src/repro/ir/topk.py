@@ -14,7 +14,7 @@ Implementation: a bounded min-heap giving ``O(n log k)`` time and
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Iterable, MutableMapping, TypeVar
 
 from repro.errors import ParameterError
 
@@ -25,6 +25,7 @@ def top_k(
     items: Iterable[T],
     k: int,
     key: Callable[[T], object],
+    counters: MutableMapping[str, int] | None = None,
 ) -> list[T]:
     """Return the ``k`` items with largest ``key``, descending.
 
@@ -38,31 +39,49 @@ def top_k(
     key:
         Scoring function; larger is better.  Values must be mutually
         comparable (ints, floats, or OPM ciphertexts — all integers).
+    counters:
+        Optional work accounting (the observability hook): on return,
+        ``scanned`` and ``heap_replacements`` are added into the
+        mapping — the numbers a traced search reports as span
+        attributes.  ``None`` (the default) skips all accounting.
 
     Ties are broken toward earlier items, deterministically.
     """
     if k < 1:
         raise ParameterError(f"k must be >= 1, got {k}")
     heap: list[tuple[object, int, T]] = []
+    scanned = 0
+    replacements = 0
     for order, item in enumerate(items):
         entry = (key(item), -order, item)
         if len(heap) < k:
             heapq.heappush(heap, entry)
         elif entry > heap[0]:
             heapq.heapreplace(heap, entry)
+            replacements += 1
+        scanned = order + 1
     heap.sort(reverse=True)
+    if counters is not None:
+        counters["scanned"] = counters.get("scanned", 0) + scanned
+        counters["heap_replacements"] = (
+            counters.get("heap_replacements", 0) + replacements
+        )
     return [item for (_, _, item) in heap]
 
 
 def rank_all(
     items: Iterable[T],
     key: Callable[[T], object],
+    counters: MutableMapping[str, int] | None = None,
 ) -> list[T]:
     """Return all items sorted by descending ``key`` (full ranking).
 
     Used by the basic scheme's user-side ranking and as the reference
-    ordering in correctness tests.
+    ordering in correctness tests.  ``counters`` accounts ``scanned``
+    like :func:`top_k`.
     """
     indexed = list(enumerate(items))
     indexed.sort(key=lambda pair: (key(pair[1]), -pair[0]), reverse=True)
+    if counters is not None:
+        counters["scanned"] = counters.get("scanned", 0) + len(indexed)
     return [item for (_, item) in indexed]

@@ -1,0 +1,119 @@
+"""Unified tracing + metrics subsystem (``repro.obs``).
+
+One dependency-free observability layer for the serving, crypto, and
+benchmark layers:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters,
+  gauges, and fixed-bucket histograms; thread-safe, snapshot/merge-able
+  (and :class:`~repro.obs.base.StatsBase`, the shared
+  snapshot/reset/merge base behind ``ChannelStats`` / ``FaultStats`` /
+  ``RetryStats`` / ``MappingStats``);
+* :class:`~repro.obs.trace.Tracer` — per-query trace trees with
+  deterministic span ids, injectable clocks, and a zero-overhead
+  :data:`~repro.obs.trace.NOOP_TRACER` off switch;
+* :class:`~repro.obs.events.LeakageLog` — the replayable stream of
+  server-side observations (query id, trapdoor digest, matched files)
+  that :mod:`repro.analysis.leakage` consumes;
+* :mod:`~repro.obs.export` — JSONL artifacts, Prometheus text, and
+  the human ``repro obs report`` table.
+
+Instrumented classes accept a single optional :class:`Obs` bundle;
+``obs=None`` (the default) keeps every instrumented path on the no-op
+tracer with metrics updates skipped — the overhead-guard test pins
+that this costs < 5% on the serving hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as _field
+from typing import Callable
+
+from repro.obs.base import StatsBase
+from repro.obs.events import LeakageEvent, LeakageLog, trapdoor_digest
+from repro.obs.export import (
+    ObsDump,
+    SpanRecord,
+    export_jsonl,
+    load_jsonl,
+    render_prometheus,
+    render_report,
+    validate_records,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricPoint,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.trace import (
+    NOOP_TRACER,
+    FakeClock,
+    NoopTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "FakeClock",
+    "Gauge",
+    "Histogram",
+    "LeakageEvent",
+    "LeakageLog",
+    "MetricPoint",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Obs",
+    "ObsDump",
+    "Span",
+    "SpanRecord",
+    "StatsBase",
+    "Tracer",
+    "export_jsonl",
+    "load_jsonl",
+    "render_prometheus",
+    "render_report",
+    "trapdoor_digest",
+    "validate_records",
+]
+
+
+@dataclass
+class Obs:
+    """The observability bundle instrumented classes accept.
+
+    One tracer + one metrics registry + one leakage log, created
+    together so a deployment has exactly one of each.  Construct via
+    :meth:`enabled` (or directly, to share components).
+    """
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    leakage: LeakageLog = _field(default_factory=LeakageLog)
+
+    @classmethod
+    def enabled(
+        cls, clock: Callable[[], float] | None = None
+    ) -> "Obs":
+        """A fully live bundle (optionally on an injected clock)."""
+        return cls(
+            tracer=Tracer(clock=clock),
+            metrics=MetricsRegistry(),
+            leakage=LeakageLog(),
+        )
+
+    def export_jsonl(self) -> str:
+        """Serialize everything this bundle collected to JSONL."""
+        return export_jsonl(
+            tracer=self.tracer,
+            metrics=self.metrics.snapshot(),
+            leakage=self.leakage.events,
+        )
+
+    def report(self) -> str:
+        """Human-readable rendering of everything collected."""
+        return render_report(load_jsonl(self.export_jsonl()))

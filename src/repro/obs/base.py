@@ -1,0 +1,133 @@
+"""Shared snapshot/reset/merge semantics for counter dataclasses.
+
+PR 1 grew :class:`~repro.cloud.network.ChannelStats`, PR 2 grew
+:class:`~repro.cloud.faults.FaultStats` and
+:class:`~repro.cloud.retry.RetryStats`, PR 3 grew
+:class:`~repro.crypto.stats.MappingStats` — four hand-rolled counter
+bundles whose ``reset()``/``snapshot()``/``merged()`` implementations
+drifted independently (the PR 2 torn-snapshot fix landed in exactly one
+of them).  This base factors the shared mechanics into one place:
+
+* every concrete stats class is a plain ``@dataclass`` of ``int``,
+  ``float``, and ``list`` counter fields;
+* :meth:`StatsBase.reset` zeroes every field, :meth:`StatsBase.snapshot`
+  copies every field atomically under one lock, and
+  :meth:`StatsBase.merged` sums snapshots — all derived from
+  :func:`dataclasses.fields`, so the semantics *cannot* diverge between
+  stats classes again;
+* a subclass that wants a bespoke immutable snapshot type (e.g.
+  :class:`~repro.cloud.network.ChannelSnapshot`) sets
+  ``_snapshot_factory``; list fields are handed to it as tuples.
+
+Mutation locking stays the subclass's business: high-rate hot paths
+(e.g. :class:`~repro.crypto.stats.MappingStats` increments inside the
+OPM descent) deliberately bump plain attributes without a lock, while
+:class:`~repro.cloud.network.ChannelStats` routes every mutation
+through ``record_*`` methods that take :attr:`lock`.  What the base
+guarantees is that ``snapshot()`` itself is internally consistent with
+any mutator that honours the same lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields
+from typing import Any, Callable, ClassVar, Iterable, TypeVar
+
+S = TypeVar("S", bound="StatsBase")
+
+
+@dataclass
+class StatsBase:
+    """Base for lockable counter dataclasses.
+
+    Subclasses declare only their counter fields; ``reset``,
+    ``snapshot``, ``merged``, and ``as_dict`` are inherited.  The lock
+    is created in ``__post_init__`` (it is not a dataclass field, so it
+    never participates in equality or repr).
+    """
+
+    #: Optional frozen-snapshot constructor.  When None, ``snapshot()``
+    #: returns a fresh instance of the same class (with its own lock).
+    _snapshot_factory: ClassVar[Callable[..., Any] | None] = None
+
+    def __post_init__(self) -> None:
+        self._obs_lock = threading.Lock()
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The lock ``snapshot()``/``reset()`` serialize on.
+
+        Mutators that need torn-read protection against concurrent
+        snapshots take this same lock.
+        """
+        return self._obs_lock
+
+    def _counter_values(self) -> dict[str, Any]:
+        """Copy every field value (lists copied, not aliased)."""
+        values: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, list):
+                value = list(value)
+            values[spec.name] = value
+        return values
+
+    def reset(self) -> None:
+        """Zero every counter field (lists are cleared), atomically."""
+        with self._obs_lock:
+            for spec in fields(self):
+                value = getattr(self, spec.name)
+                if isinstance(value, list):
+                    value.clear()
+                elif isinstance(value, bool):
+                    setattr(self, spec.name, False)
+                elif isinstance(value, float):
+                    setattr(self, spec.name, 0.0)
+                else:
+                    setattr(self, spec.name, 0)
+
+    def snapshot(self) -> Any:
+        """An internally consistent copy, taken under :attr:`lock`.
+
+        Returns ``_snapshot_factory(**values)`` when the subclass set
+        one (list fields passed as tuples), else a fresh instance of
+        the same stats class.
+        """
+        with self._obs_lock:
+            values = self._counter_values()
+        factory = type(self)._snapshot_factory
+        if factory is not None:
+            return factory(
+                **{
+                    name: tuple(value) if isinstance(value, list) else value
+                    for name, value in values.items()
+                }
+            )
+        return type(self)(**values)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Counters as a plain dict (for JSON reports), atomically."""
+        with self._obs_lock:
+            return self._counter_values()
+
+    @classmethod
+    def merged(cls: type[S], stats: Iterable[Any]) -> S:
+        """Sum several stats objects (or snapshots) into a fresh one.
+
+        Each input is snapshotted first (an object without a
+        ``snapshot`` method is read as-is), so merging over live stats
+        sums internally consistent per-object views.  Numeric fields
+        add; list fields concatenate.
+        """
+        total = cls()
+        for item in stats:
+            view = item.snapshot() if hasattr(item, "snapshot") else item
+            for spec in fields(cls):
+                mine = getattr(total, spec.name)
+                theirs = getattr(view, spec.name)
+                if isinstance(mine, list):
+                    mine.extend(theirs)
+                else:
+                    setattr(total, spec.name, mine + theirs)
+        return total

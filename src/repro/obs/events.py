@@ -1,0 +1,125 @@
+"""The leakage-event stream: what the server observed, replayably.
+
+Query-recovery attacks against searchable encryption (e.g. the
+VAL/IHOP family, arXiv:2306.15302) work from exactly two server-side
+observables: the search pattern (which trapdoor, how often) and the
+access pattern (which file ids matched).  This module records those
+observables as an append-only event stream — one
+:class:`LeakageEvent` per served search, carrying a query id, a keyed
+digest of the queried trapdoor address, and the matched/returned file
+ids — so the ``analysis/`` leakage tooling can replay *real* serving
+traces instead of synthesizing them
+(:func:`repro.analysis.leakage.server_log_from_events`).
+
+The stream stores a **digest** of the trapdoor address, never the
+address itself: equal digests still expose the search pattern (that is
+the point — it is what the server sees anyway), but an exported trace
+artifact does not hand out live index addresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+#: Domain-separation key for trapdoor digests in exported events.
+_DIGEST_KEY = b"repro-obs-leakage-v1"
+
+
+def trapdoor_digest(address: bytes) -> str:
+    """Stable hex digest standing in for a trapdoor address."""
+    return hashlib.blake2b(
+        address, key=_DIGEST_KEY, digest_size=16
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class LeakageEvent:
+    """One search as the curious server observed it.
+
+    Attributes
+    ----------
+    query_id:
+        Monotonic per-log sequence number.
+    trapdoor:
+        Keyed digest of the queried index address (search pattern:
+        equal digests mean equal keywords).
+    matched_file_ids:
+        The access pattern.
+    returned_file_ids:
+        What was actually sent back (top-k subset).
+    trace_id:
+        The trace tree this query was served under (0 untraced).
+    """
+
+    query_id: int
+    trapdoor: str
+    matched_file_ids: tuple[str, ...]
+    returned_file_ids: tuple[str, ...]
+    trace_id: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready encoding (used by the JSONL exporter)."""
+        return {
+            "query_id": self.query_id,
+            "trapdoor": self.trapdoor,
+            "matched_file_ids": list(self.matched_file_ids),
+            "returned_file_ids": list(self.returned_file_ids),
+            "trace_id": self.trace_id,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "LeakageEvent":
+        """Parse one exporter record."""
+        return cls(
+            query_id=int(record["query_id"]),
+            trapdoor=str(record["trapdoor"]),
+            matched_file_ids=tuple(record["matched_file_ids"]),
+            returned_file_ids=tuple(record["returned_file_ids"]),
+            trace_id=int(record.get("trace_id", 0)),
+        )
+
+
+class LeakageLog:
+    """Thread-safe, append-only store of :class:`LeakageEvent`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[LeakageEvent] = []
+        self._next_query_id = 1
+
+    def record(
+        self,
+        address: bytes,
+        matched_file_ids: tuple[str, ...],
+        returned_file_ids: tuple[str, ...],
+        trace_id: int = 0,
+    ) -> LeakageEvent:
+        """Append one search observation; returns the event."""
+        with self._lock:
+            event = LeakageEvent(
+                query_id=self._next_query_id,
+                trapdoor=trapdoor_digest(address),
+                matched_file_ids=tuple(matched_file_ids),
+                returned_file_ids=tuple(returned_file_ids),
+                trace_id=trace_id,
+            )
+            self._next_query_id += 1
+            self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> tuple[LeakageEvent, ...]:
+        """All recorded events, in query order."""
+        with self._lock:
+            return tuple(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def reset(self) -> None:
+        """Drop events (query ids keep counting)."""
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,403 @@
+"""Exporters: JSONL dump, Prometheus text, and a human report table.
+
+One artifact format carries everything (``*.jsonl``, one JSON object
+per line, ``type``-tagged):
+
+* ``{"type": "meta", "format": "repro-obs", "version": 1}`` — first
+  line, identifies the artifact;
+* ``{"type": "span", ...}`` — one per finished span (trace id, span
+  id, parent id, name, start/end seconds, attrs);
+* ``{"type": "metric", ...}`` — one per metric point of a registry
+  snapshot;
+* ``{"type": "leakage", ...}`` — one per leakage event.
+
+:func:`validate_records` is the schema check CI runs over exported
+artifacts (``scripts/check_trace_schema.py`` is a thin wrapper), and
+:func:`render_report` is what ``repro obs report`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.obs.events import LeakageEvent
+from repro.obs.metrics import (
+    GAUGE,
+    HISTOGRAM,
+    MetricPoint,
+    MetricsSnapshot,
+)
+from repro.obs.trace import Span, Tracer
+
+#: Artifact format tag and version written to the meta line.
+FORMAT = "repro-obs"
+VERSION = 1
+
+
+# -- JSONL writing ---------------------------------------------------------
+
+
+def span_record(span: Span) -> dict[str, object]:
+    """JSON-ready encoding of one finished span."""
+    return {
+        "type": "span",
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "attrs": dict(span.attrs),
+    }
+
+
+def export_jsonl(
+    tracer: Tracer | None = None,
+    metrics: MetricsSnapshot | None = None,
+    leakage: tuple[LeakageEvent, ...] = (),
+) -> str:
+    """Serialize traces + metrics + leakage events to JSONL text."""
+    lines = [
+        json.dumps(
+            {"type": "meta", "format": FORMAT, "version": VERSION},
+            sort_keys=True,
+        )
+    ]
+    if tracer is not None:
+        for span in tracer.spans:
+            lines.append(json.dumps(span_record(span), sort_keys=True))
+    if metrics is not None:
+        for point in metrics:
+            record = {"type": "metric", **point.as_dict()}
+            lines.append(json.dumps(record, sort_keys=True))
+    for event in leakage:
+        record = {"type": "leakage", **event.as_dict()}
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+# -- JSONL reading ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A span as read back from a JSONL artifact."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float
+    end_s: float
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class ObsDump:
+    """Everything one JSONL artifact contained."""
+
+    spans: tuple[SpanRecord, ...]
+    metrics: tuple[MetricPoint, ...]
+    leakage: tuple[LeakageEvent, ...]
+
+    def roots(self) -> tuple[SpanRecord, ...]:
+        """Root spans (no parent), in trace order."""
+        return tuple(
+            span for span in self.spans if span.parent_id is None
+        )
+
+    def children(self, parent: SpanRecord) -> tuple[SpanRecord, ...]:
+        """Direct children of ``parent``, in span-id order."""
+        return tuple(
+            span
+            for span in self.spans
+            if span.trace_id == parent.trace_id
+            and span.parent_id == parent.span_id
+        )
+
+
+def load_jsonl(text: str) -> ObsDump:
+    """Parse an exported artifact (errors raise ParameterError)."""
+    problems = validate_records(text)
+    if problems:
+        raise ParameterError(
+            f"malformed obs artifact: {problems[0]} "
+            f"({len(problems)} problem(s) total)"
+        )
+    spans: list[SpanRecord] = []
+    metrics: list[MetricPoint] = []
+    leakage: list[LeakageEvent] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record["type"]
+        if kind == "span":
+            spans.append(
+                SpanRecord(
+                    trace_id=record["trace_id"],
+                    span_id=record["span_id"],
+                    parent_id=record["parent_id"],
+                    name=record["name"],
+                    start_s=record["start_s"],
+                    end_s=record["end_s"],
+                    attrs=dict(record.get("attrs", {})),
+                )
+            )
+        elif kind == "metric":
+            metrics.append(
+                MetricPoint(
+                    name=record["name"],
+                    kind=record["kind"],
+                    labels=tuple(
+                        sorted(
+                            (str(k), str(v))
+                            for k, v in record.get("labels", {}).items()
+                        )
+                    ),
+                    value=record["value"],
+                    buckets=tuple(record.get("buckets", ())),
+                    bucket_counts=tuple(record.get("bucket_counts", ())),
+                    count=record.get("count", 0),
+                )
+            )
+        elif kind == "leakage":
+            leakage.append(LeakageEvent.from_dict(record))
+    spans.sort(key=lambda span: (span.trace_id, span.span_id))
+    return ObsDump(
+        spans=tuple(spans),
+        metrics=tuple(metrics),
+        leakage=tuple(leakage),
+    )
+
+
+# -- schema validation -----------------------------------------------------
+
+_SPAN_FIELDS = {
+    "trace_id": int,
+    "span_id": int,
+    "name": str,
+    "start_s": (int, float),
+    "end_s": (int, float),
+    "attrs": dict,
+}
+_METRIC_FIELDS = {"name": str, "kind": str, "labels": dict}
+_LEAKAGE_FIELDS = {
+    "query_id": int,
+    "trapdoor": str,
+    "matched_file_ids": list,
+    "returned_file_ids": list,
+}
+
+
+def validate_records(text: str) -> list[str]:
+    """Schema-check a JSONL artifact; returns a list of problems.
+
+    An empty list means the artifact is well-formed: a valid meta
+    header, every line a known ``type`` with required typed fields,
+    span times monotonic, and every span parent resolvable within its
+    trace.
+    """
+    problems: list[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["artifact is empty"]
+    records = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {number}: not JSON ({exc})")
+            continue
+        if not isinstance(record, dict) or "type" not in record:
+            problems.append(f"line {number}: missing 'type' tag")
+            continue
+        records.append((number, record))
+    if problems:
+        return problems
+    first = records[0][1]
+    if first.get("type") != "meta" or first.get("format") != FORMAT:
+        problems.append(
+            "line 1: first line must be the "
+            f'{{"type": "meta", "format": "{FORMAT}"}} header'
+        )
+    elif first.get("version") != VERSION:
+        problems.append(
+            f"line 1: unsupported version {first.get('version')!r}"
+        )
+
+    span_ids: dict[int, set[int]] = {}
+    parents: list[tuple[int, int, int]] = []
+    for number, record in records[1:]:
+        kind = record["type"]
+        if kind == "span":
+            required = _SPAN_FIELDS
+        elif kind == "metric":
+            required = _METRIC_FIELDS
+        elif kind == "leakage":
+            required = _LEAKAGE_FIELDS
+        elif kind == "meta":
+            problems.append(f"line {number}: duplicate meta line")
+            continue
+        else:
+            problems.append(
+                f"line {number}: unknown record type {kind!r}"
+            )
+            continue
+        field_problems: list[str] = []
+        for name, expected in required.items():
+            if name not in record:
+                field_problems.append(
+                    f"line {number}: {kind} missing field {name!r}"
+                )
+            elif not isinstance(record[name], expected) or isinstance(
+                record[name], bool
+            ):
+                field_problems.append(
+                    f"line {number}: {kind} field {name!r} has type "
+                    f"{type(record[name]).__name__}"
+                )
+        problems.extend(field_problems)
+        if kind == "span" and not field_problems:
+            if record["end_s"] < record["start_s"]:
+                problems.append(
+                    f"line {number}: span ends before it starts"
+                )
+            span_ids.setdefault(record["trace_id"], set()).add(
+                record["span_id"]
+            )
+            if record.get("parent_id") is not None:
+                parents.append(
+                    (number, record["trace_id"], record["parent_id"])
+                )
+    for number, trace_id, parent_id in parents:
+        if parent_id not in span_ids.get(trace_id, set()):
+            problems.append(
+                f"line {number}: parent span {parent_id} not found in "
+                f"trace {trace_id}"
+            )
+    return problems
+
+
+# -- Prometheus text rendering ---------------------------------------------
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Prometheus exposition-format text for one registry snapshot."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for point in snapshot:
+        if point.name not in seen_types:
+            seen_types.add(point.name)
+            lines.append(f"# TYPE {point.name} {point.kind}")
+        if point.kind == HISTOGRAM:
+            cumulative = 0
+            for bound, count in zip(point.buckets, point.bucket_counts):
+                cumulative += count
+                labels = _labels_text(point.labels, f'le="{bound}"')
+                lines.append(
+                    f"{point.name}_bucket{labels} {cumulative}"
+                )
+            cumulative += point.bucket_counts[-1]
+            labels = _labels_text(point.labels, 'le="+Inf"')
+            lines.append(f"{point.name}_bucket{labels} {cumulative}")
+            base = _labels_text(point.labels)
+            lines.append(f"{point.name}_sum{base} {point.value}")
+            lines.append(f"{point.name}_count{base} {point.count}")
+        else:
+            labels = _labels_text(point.labels)
+            lines.append(f"{point.name}{labels} {point.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human report ----------------------------------------------------------
+
+
+def _format_attrs(attrs: dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(
+        f"{key}={value}" for key, value in sorted(attrs.items())
+    )
+    return f"  [{inner}]"
+
+
+def _render_span(
+    dump: ObsDump,
+    span: SpanRecord,
+    root_duration: float,
+    depth: int,
+    lines: list[str],
+) -> None:
+    share = (
+        span.duration_s / root_duration * 100.0
+        if root_duration > 0
+        else 100.0
+    )
+    indent = "  " * depth
+    lines.append(
+        f"  {span.duration_s * 1000:9.3f} ms  {share:5.1f}%  "
+        f"{indent}{span.name}{_format_attrs(span.attrs)}"
+    )
+    for child in dump.children(span):
+        _render_span(dump, child, root_duration, depth + 1, lines)
+
+
+def render_report(dump: ObsDump) -> str:
+    """The ``repro obs report`` rendering: traces, metrics, leakage."""
+    lines: list[str] = []
+    roots = dump.roots()
+    lines.append(
+        f"== traces ({len(roots)} root span(s), "
+        f"{len(dump.spans)} total) =="
+    )
+    for root in roots:
+        lines.append(
+            f"trace {root.trace_id}  "
+            f"({root.duration_s * 1000:.3f} ms total)"
+        )
+        _render_span(dump, root, root.duration_s, 0, lines)
+    if dump.metrics:
+        lines.append("")
+        lines.append(f"== metrics ({len(dump.metrics)} point(s)) ==")
+        for point in dump.metrics:
+            labels = _labels_text(point.labels)
+            if point.kind == HISTOGRAM:
+                mean = point.value / point.count if point.count else 0.0
+                lines.append(
+                    f"  {point.name}{labels}  count={point.count} "
+                    f"sum={point.value:.6g} mean={mean:.6g}"
+                )
+            else:
+                tag = " (gauge)" if point.kind == GAUGE else ""
+                lines.append(
+                    f"  {point.name}{labels}  {point.value:g}{tag}"
+                )
+    if dump.leakage:
+        lines.append("")
+        distinct = len({event.trapdoor for event in dump.leakage})
+        lines.append(
+            f"== leakage events ({len(dump.leakage)} queries, "
+            f"{distinct} distinct trapdoor(s)) =="
+        )
+        for event in dump.leakage:
+            lines.append(
+                f"  q{event.query_id}  trapdoor={event.trapdoor[:12]}… "
+                f"matched={len(event.matched_file_ids)} "
+                f"returned={len(event.returned_file_ids)}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,387 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the cluster's one place for numeric
+observability: instruments are created on first use (idempotently, so
+instrumented code never checks "does this metric exist"), every update
+and every :meth:`MetricsRegistry.snapshot` serialize on one registry
+lock — a sampled view is never torn, the same guarantee the PR 2
+``ChannelStats`` fix established for channel counters — and snapshots
+merge across registries (per-shard, per-process, per-bench) into one
+aggregate.
+
+Design constraints, in order:
+
+* **dependency-free** — plain stdlib, importable everywhere including
+  the crypto layer;
+* **deterministic** — iteration order is insertion order, snapshots
+  sort by (name, labels), histogram buckets are fixed at creation; two
+  identical runs produce byte-identical exports;
+* **cheap** — an update is one lock acquisition and one integer add;
+  instruments are cached by the caller or re-fetched via a dict hit.
+
+Naming scheme (see docs/ARCHITECTURE.md): ``repro_<layer>_<what>`` with
+``_total`` for counters and ``_seconds``/``_bytes`` unit suffixes, e.g.
+``repro_cluster_requests_total`` or ``repro_retry_backoff_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ParameterError
+
+#: Default histogram upper bounds (seconds-flavoured, log-ish spacing).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+#: Instrument kinds.
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (updates under registry lock)."""
+
+    kind = COUNTER
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ParameterError(
+                f"counter increments must be >= 0, got {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = GAUGE
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the level by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf``
+    bucket catches the rest.  ``observe`` updates the bucket counts,
+    the running sum, and the observation count under one lock, so a
+    snapshot can never see ``count != sum(bucket counts)``.
+    """
+
+    kind = HISTOGRAM
+
+    def __init__(
+        self,
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ParameterError(
+                "histogram buckets must be a strictly increasing, "
+                f"non-empty sequence, got {buckets!r}"
+            )
+        self._lock = lock
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[position] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One instrument's state inside a :class:`MetricsSnapshot`.
+
+    ``value`` carries the counter/gauge value (and the histogram sum);
+    ``bucket_counts`` / ``count`` are histogram-only (empty/0 else).
+    """
+
+    name: str
+    kind: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+    buckets: tuple[float, ...] = ()
+    bucket_counts: tuple[int, ...] = ()
+    count: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready encoding (used by the JSONL exporter)."""
+        record: dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+        if self.kind == HISTOGRAM:
+            record["buckets"] = list(self.buckets)
+            record["bucket_counts"] = list(self.bucket_counts)
+            record["count"] = self.count
+        return record
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, internally consistent registry view."""
+
+    points: tuple[MetricPoint, ...]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def get(
+        self, name: str, **labels: object
+    ) -> MetricPoint | None:
+        """The point for ``(name, labels)``, or None."""
+        key = _label_key(labels)
+        for point in self.points:
+            if point.name == name and point.labels == key:
+                return point
+        return None
+
+    def value(self, name: str, **labels: object) -> float:
+        """Counter/gauge value (0.0 when the metric never fired)."""
+        point = self.get(name, **labels)
+        return point.value if point is not None else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready encoding of every point."""
+        return {"metrics": [point.as_dict() for point in self.points]}
+
+    def to_json(self) -> str:
+        """Stable (sorted-key) JSON encoding."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def merged(
+        cls, snapshots: Iterable["MetricsSnapshot"]
+    ) -> "MetricsSnapshot":
+        """Sum several snapshots (gauges: last write wins).
+
+        Counters and histogram sums/counts add; bucket geometries must
+        agree for histograms sharing a name+labels.
+        """
+        combined: dict[
+            tuple[str, tuple[tuple[str, str], ...]], MetricPoint
+        ] = {}
+        for snapshot in snapshots:
+            for point in snapshot.points:
+                key = (point.name, point.labels)
+                present = combined.get(key)
+                if present is None:
+                    combined[key] = point
+                    continue
+                if present.kind != point.kind:
+                    raise ParameterError(
+                        f"metric {point.name!r} merged across kinds "
+                        f"{present.kind!r} and {point.kind!r}"
+                    )
+                if point.kind == GAUGE:
+                    combined[key] = point
+                elif point.kind == COUNTER:
+                    combined[key] = MetricPoint(
+                        name=point.name,
+                        kind=COUNTER,
+                        labels=point.labels,
+                        value=present.value + point.value,
+                    )
+                else:
+                    if present.buckets != point.buckets:
+                        raise ParameterError(
+                            f"histogram {point.name!r} merged across "
+                            "different bucket geometries"
+                        )
+                    combined[key] = MetricPoint(
+                        name=point.name,
+                        kind=HISTOGRAM,
+                        labels=point.labels,
+                        value=present.value + point.value,
+                        buckets=point.buckets,
+                        bucket_counts=tuple(
+                            a + b
+                            for a, b in zip(
+                                present.bucket_counts, point.bucket_counts
+                            )
+                        ),
+                        count=present.count + point.count,
+                    )
+        points = tuple(
+            combined[key]
+            for key in sorted(combined, key=lambda k: (k[0], k[1]))
+        )
+        return cls(points=points)
+
+
+class MetricsRegistry:
+    """Thread-safe home of named instruments.
+
+    One lock serializes instrument creation, every update, and
+    :meth:`snapshot`; sampling a registry that other threads are
+    updating therefore always yields an internally consistent view
+    (the deflake-guard property in ``tests/obs/test_concurrency.py``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[
+            tuple[str, tuple[tuple[str, str], ...]],
+            Counter | Gauge | Histogram,
+        ] = {}
+
+    def _get_or_create(
+        self,
+        name: str,
+        labels: Mapping[str, object],
+        kind: str,
+        factory,
+    ):
+        if not name:
+            raise ParameterError("metric name must be non-empty")
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+        if instrument.kind != kind:
+            raise ParameterError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, requested {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get-or-create a counter."""
+        return self._get_or_create(
+            name, labels, COUNTER, lambda: Counter(self._lock)
+        )
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get-or-create a gauge."""
+        return self._get_or_create(
+            name, labels, GAUGE, lambda: Gauge(self._lock)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """Get-or-create a histogram (buckets fixed on first use)."""
+        return self._get_or_create(
+            name,
+            labels,
+            HISTOGRAM,
+            lambda: Histogram(self._lock, buckets=buckets),
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Atomic view of every instrument, sorted by (name, labels)."""
+        with self._lock:
+            points = []
+            for (name, labels), instrument in self._instruments.items():
+                if isinstance(instrument, Histogram):
+                    points.append(
+                        MetricPoint(
+                            name=name,
+                            kind=HISTOGRAM,
+                            labels=labels,
+                            value=instrument._sum,
+                            buckets=instrument.buckets,
+                            bucket_counts=tuple(instrument._counts),
+                            count=instrument._count,
+                        )
+                    )
+                else:
+                    points.append(
+                        MetricPoint(
+                            name=name,
+                            kind=instrument.kind,
+                            labels=labels,
+                            value=instrument._value,
+                        )
+                    )
+        points.sort(key=lambda point: (point.name, point.labels))
+        return MetricsSnapshot(points=tuple(points))
+
+    def reset(self) -> None:
+        """Drop every instrument (callers re-create on next use)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def to_json(self) -> str:
+        """Stable JSON encoding of a fresh snapshot."""
+        return self.snapshot().to_json()

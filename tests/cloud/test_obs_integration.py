@@ -1,0 +1,330 @@
+"""End-to-end observability over the resilient serving path.
+
+Four contracts from the ISSUE acceptance list:
+
+* **Golden trace shape** — a hedged, partially-failed
+  ``handle_many_resilient`` batch under a pinned key, fake clock, and
+  fixed fault seed exports a byte-identical JSONL artifact
+  (``data/obs_golden_trace.jsonl``; regenerate with
+  ``REPRO_REGEN_OBS_GOLDEN=1``).
+* **Coverage** — with a real clock, the root span accounts for >=95%
+  of the wall time measured around the call, and the trace contains
+  retry-attempt spans.
+* **Transparency** — responses are byte-identical with observability
+  on and off; tracing never perturbs the serving path.
+* **Overhead** (``perf`` marker) — the no-op tracer left in the hot
+  path when ``obs=None`` costs under 5% of a query's serving time.
+
+The deployment mirrors ``tests/cloud/test_cluster_faults.py`` but
+pins the scheme key (the ``fixed_key`` idiom): leakage events hash
+trapdoor addresses, so a random key would unpin the golden bytes.
+"""
+
+import hashlib
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cloud.cluster import ClusterServer
+from repro.cloud.faults import FaultPlan
+from repro.cloud.protocol import SearchRequest
+from repro.cloud.retry import RetryPolicy
+from repro.cloud.storage import BlobStore
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.crypto.keys import SchemeKey
+from repro.ir.inverted_index import InvertedIndex
+from repro.obs import FakeClock, Obs
+from repro.obs.export import load_jsonl, render_report
+from repro.obs.trace import NOOP_TRACER
+
+VOCAB = [f"term{i:02d}" for i in range(16)]
+GOLDEN_PATH = Path(__file__).parent / "data" / "obs_golden_trace.jsonl"
+
+
+def pinned_key() -> SchemeKey:
+    seed = b"obs-integration-key-0"
+    return SchemeKey(
+        x=hashlib.blake2b(seed + b"|x", digest_size=16).digest(),
+        y=hashlib.blake2b(seed + b"|y", digest_size=16).digest(),
+        z=hashlib.blake2b(seed + b"|z", digest_size=16).digest(),
+        domain_size=TEST_PARAMETERS.score_levels,
+        range_size=TEST_PARAMETERS.range_size,
+    )
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    key = pinned_key()
+    index = InvertedIndex()
+    rng = random.Random(11)
+    for doc in range(16):
+        index.add_document(
+            f"doc{doc}", [rng.choice(VOCAB) for _ in range(30)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(16):
+        blobs.put(f"doc{doc}", b"cipher-" + str(doc).encode())
+    return scheme, key, built, blobs
+
+
+def search_bytes(scheme, key, keyword, k=5):
+    return SearchRequest(
+        trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(), top_k=k
+    ).to_bytes()
+
+
+def make_cluster(deployment, **kwargs):
+    _, _, built, blobs = deployment
+    return ClusterServer(
+        built.secure_index,
+        blobs,
+        can_rank=True,
+        num_shards=2,
+        max_workers=1,
+        retry_sleep=lambda _s: None,
+        **kwargs,
+    )
+
+
+def golden_artifact(deployment) -> str:
+    """The pinned scenario: every shard-0 call is slow enough to
+    hedge, shard 1 is crashed for the whole run, and the fake clock
+    makes timings (hence the exported bytes) deterministic."""
+    scheme, key, _, _ = deployment
+    obs = Obs.enabled(clock=FakeClock())
+    plan = FaultPlan(
+        seed=5,
+        delay_rate=1.0,
+        delay_s=0.05,
+        crash_windows={1: ((0, 200),)},
+    )
+    policy = RetryPolicy(
+        max_attempts=2,
+        base_backoff_s=0.0,
+        jitter_seed=5,
+        hedge_after_s=0.01,
+    )
+    requests = [
+        search_bytes(scheme, key, keyword) for keyword in VOCAB[:6]
+    ]
+    with make_cluster(
+        deployment, fault_plan=plan, retry_policy=policy, obs=obs
+    ) as cluster:
+        result = cluster.handle_many_resilient(requests)
+    assert result.failures, "scenario must include a failed shard"
+    assert any(response for response in result.responses), (
+        "scenario must include served responses"
+    )
+    return obs.export_jsonl()
+
+
+@pytest.fixture(scope="module")
+def golden_run(deployment) -> str:
+    return golden_artifact(deployment)
+
+
+class TestGoldenTrace:
+    def test_artifact_matches_golden_bytes(self, golden_run):
+        if os.environ.get("REPRO_REGEN_OBS_GOLDEN"):
+            GOLDEN_PATH.parent.mkdir(exist_ok=True)
+            GOLDEN_PATH.write_text(golden_run)
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert golden_run == GOLDEN_PATH.read_text()
+
+    def test_artifact_is_reproducible_in_process(self, deployment,
+                                                 golden_run):
+        assert golden_artifact(deployment) == golden_run
+
+    def test_tree_shape(self, golden_run):
+        dump = load_jsonl(golden_run)
+        (root,) = dump.roots()
+        assert root.name == "cluster.handle_resilient"
+        assert root.attrs["requests"] == 6
+        assert root.attrs["failed"] >= 1
+        dispatches = dump.children(root)
+        assert [span.name for span in dispatches] == (
+            ["shard.dispatch"] * 6
+        )
+        outcomes = {
+            span.attrs.get("outcome")
+            for dispatch in dispatches
+            for span in dump.children(dispatch)
+            if span.name == "retry.attempt"
+        }
+        # Healthy shard hedges (delay > hedge_after_s); crashed shard
+        # rejects every attempt.
+        assert "hedged-ok" in outcomes
+        assert "ShardDownError" in outcomes
+        served = [
+            span
+            for span in dump.spans
+            if span.name == "server.handle"
+        ]
+        assert served and all(
+            span.attrs["kind"] == "search" for span in served
+        )
+
+    def test_leakage_and_metrics_present(self, golden_run):
+        dump = load_jsonl(golden_run)
+        assert dump.leakage, "served searches must emit leakage events"
+        assert all(event.trace_id == 1 for event in dump.leakage)
+        names = {point.name for point in dump.metrics}
+        assert "repro_cluster_requests_total" in names
+        assert "repro_retry_attempts_total" in names
+        assert "repro_retry_hedged_total" in names
+        assert "repro_server_searches_total" in names
+
+
+class TestAcceptance:
+    def test_root_span_covers_wall_time(self, deployment):
+        """The ISSUE gate: spans account for >=95% of measured wall
+        time for a resilient batch under injected faults, with at
+        least one retry-attempt span, and the report renders."""
+        scheme, key, _, _ = deployment
+        requests = [
+            search_bytes(scheme, key, keyword) for keyword in VOCAB[:8]
+        ]
+        best = 0.0
+        artifact = ""
+        for _ in range(3):  # deflake: preemption outside the root
+            obs = Obs.enabled()  # real clock
+            plan = FaultPlan(
+                seed=7, drop_rate=0.25, crash_windows={1: ((0, 6),)}
+            )
+            policy = RetryPolicy(
+                max_attempts=8, base_backoff_s=0.0, jitter_seed=7
+            )
+            with make_cluster(
+                deployment,
+                fault_plan=plan,
+                retry_policy=policy,
+                obs=obs,
+            ) as cluster:
+                start = time.perf_counter()
+                result = cluster.handle_many_resilient(requests)
+                wall_s = time.perf_counter() - start
+            assert len(result.responses) == len(requests)
+            root = next(
+                span
+                for span in reversed(obs.tracer.spans)
+                if span.name == "cluster.handle_resilient"
+            )
+            artifact = obs.export_jsonl()
+            best = max(best, root.duration_s / wall_s)
+            if best >= 0.95:
+                break
+        assert best >= 0.95, f"root span covers {best:.1%} of wall time"
+        dump = load_jsonl(artifact)
+        attempts = [
+            span for span in dump.spans if span.name == "retry.attempt"
+        ]
+        assert attempts, "fault plan must force retry attempts"
+        report = render_report(dump)
+        assert "cluster.handle_resilient" in report
+        assert "== metrics" in report
+
+
+class TestTransparency:
+    def test_responses_identical_with_obs_on_and_off(self, deployment):
+        scheme, key, _, _ = deployment
+        with make_cluster(deployment) as plain, make_cluster(
+            deployment, obs=Obs.enabled(clock=FakeClock())
+        ) as traced:
+            for keyword in VOCAB:
+                request = search_bytes(scheme, key, keyword)
+                assert plain.handle(request) == traced.handle(request)
+
+    def test_degraded_batches_identical_with_obs_on_and_off(
+        self, deployment
+    ):
+        scheme, key, _, _ = deployment
+        requests = [
+            search_bytes(scheme, key, keyword) for keyword in VOCAB[:6]
+        ]
+
+        def run(obs):
+            plan = FaultPlan(
+                seed=13, drop_rate=0.3, crash_windows={0: ((0, 3),)}
+            )
+            policy = RetryPolicy(
+                max_attempts=6, base_backoff_s=0.0, jitter_seed=13
+            )
+            with make_cluster(
+                deployment,
+                fault_plan=plan,
+                retry_policy=policy,
+                obs=obs,
+            ) as cluster:
+                return cluster.handle_many_resilient(requests)
+
+        plain = run(None)
+        traced = run(Obs.enabled(clock=FakeClock()))
+        assert plain.responses == traced.responses
+        assert plain.failures == traced.failures
+        assert plain.missing_shards == traced.missing_shards
+
+
+@pytest.mark.perf
+class TestOverhead:
+    """Guard the ``obs=None`` fast path.
+
+    The un-instrumented seed build no longer exists to race against,
+    so the guard bounds what the instrumentation *adds*: the per-span
+    cost of the no-op tracer times the spans a query emits must stay
+    under 5% of the query's own serving time.  Min-of-repeats on both
+    sides keeps the comparison about code, not scheduler noise.
+    """
+
+    ROUNDS = 5
+    QUERIES_PER_ROUND = 64
+    SPAN_LOOPS = 20_000
+
+    def _per_query_seconds(self, cluster, requests) -> float:
+        best = float("inf")
+        for _ in range(self.ROUNDS):
+            start = time.perf_counter()
+            for request in requests:
+                cluster.handle(request)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed / len(requests))
+        return best
+
+    def _noop_span_seconds(self) -> float:
+        best = float("inf")
+        for _ in range(self.ROUNDS):
+            start = time.perf_counter()
+            for _ in range(self.SPAN_LOOPS):
+                with NOOP_TRACER.span("overhead", attempt=1):
+                    pass
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed / self.SPAN_LOOPS)
+        return best
+
+    def test_noop_tracer_within_five_percent(self, deployment):
+        scheme, key, _, _ = deployment
+        requests = [
+            search_bytes(scheme, key, VOCAB[i % len(VOCAB)])
+            for i in range(self.QUERIES_PER_ROUND)
+        ]
+        with make_cluster(deployment) as plain:
+            plain.handle(requests[0])  # warm caches
+            query_s = self._per_query_seconds(plain, requests)
+
+        # Count the spans this exact workload actually emits.
+        obs = Obs.enabled(clock=FakeClock())
+        with make_cluster(deployment, obs=obs) as traced:
+            for request in requests[:8]:
+                traced.handle(request)
+        spans_per_query = len(obs.tracer.spans) / 8
+
+        added_s = spans_per_query * self._noop_span_seconds()
+        assert added_s <= 0.05 * query_s, (
+            f"no-op tracing adds {added_s * 1e6:.1f}us over a "
+            f"{query_s * 1e6:.1f}us query "
+            f"({spans_per_query:.0f} spans/query)"
+        )

@@ -1,0 +1,146 @@
+"""Deflake guard: snapshots of a hammered registry are never torn.
+
+The PR 2 retrospective showed where concurrency flakes come from:
+sampling counters that other threads are mid-update.  The metrics
+registry's contract is that :meth:`MetricsRegistry.snapshot` is atomic
+— every invariant that holds under the lock holds in every snapshot.
+These tests hammer the registry (and the tracer) from many threads
+while sampling continuously, asserting structural invariants on every
+sample rather than sleeping and hoping.
+"""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import FakeClock, Tracer
+
+WRITER_THREADS = 4
+UPDATES_PER_THREAD = 400
+
+
+class TestUntornSnapshots:
+    def test_paired_counters_never_observed_torn(self):
+        """Two counters bumped together under the registry lock.
+
+        A writer increments ``a`` then ``b`` inside one lock-holding
+        helper...  it cannot: the public API takes the lock per update.
+        So instead the invariant is the *per-counter* atomicity plus
+        exact final totals — a snapshot never shows a half-applied
+        increment (non-integer value) and never goes backwards.
+        """
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        seen: list[float] = []
+
+        def writer():
+            counter = registry.counter("repro_hammer_total")
+            for _ in range(UPDATES_PER_THREAD):
+                counter.inc()
+
+        def sampler():
+            while not stop.is_set():
+                value = registry.snapshot().value("repro_hammer_total")
+                seen.append(value)
+
+        threads = [
+            threading.Thread(target=writer)
+            for _ in range(WRITER_THREADS)
+        ]
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        watcher.join()
+
+        total = registry.snapshot().value("repro_hammer_total")
+        assert total == WRITER_THREADS * UPDATES_PER_THREAD
+        assert all(value == int(value) for value in seen)
+        assert seen == sorted(seen)  # counters are monotonic
+
+    def test_histogram_count_always_equals_bucket_sum(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        problems: list[str] = []
+
+        def writer(offset: float):
+            histogram = registry.histogram(
+                "repro_hammer_seconds", buckets=(0.1, 1.0, 10.0)
+            )
+            for index in range(UPDATES_PER_THREAD):
+                histogram.observe(offset + (index % 30))
+
+        def sampler():
+            while not stop.is_set():
+                point = registry.snapshot().get("repro_hammer_seconds")
+                if point is None:
+                    continue
+                if point.count != sum(point.bucket_counts):
+                    problems.append(
+                        f"count {point.count} != bucket sum "
+                        f"{sum(point.bucket_counts)}"
+                    )
+
+        threads = [
+            threading.Thread(target=writer, args=(thread * 0.01,))
+            for thread in range(WRITER_THREADS)
+        ]
+        watcher = threading.Thread(target=sampler)
+        watcher.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        watcher.join()
+
+        assert problems == []
+        point = registry.snapshot().get("repro_hammer_seconds")
+        assert point.count == WRITER_THREADS * UPDATES_PER_THREAD
+
+    def test_instrument_creation_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(WRITER_THREADS)
+        instruments = []
+
+        def creator():
+            barrier.wait()
+            instruments.append(registry.counter("repro_race_total"))
+
+        threads = [
+            threading.Thread(target=creator)
+            for _ in range(WRITER_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(instrument) for instrument in instruments}) == 1
+
+
+class TestTracerUnderThreads:
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer(clock=FakeClock())
+        spans_per_thread = 100
+
+        def worker():
+            for index in range(spans_per_thread):
+                with tracer.span(f"work{index}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker)
+            for _ in range(WRITER_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        spans = tracer.spans
+        assert len(spans) == WRITER_THREADS * spans_per_thread
+        assert len({span.span_id for span in spans}) == len(spans)
+        # Each thread's roots are their own traces.
+        assert len({span.trace_id for span in spans}) == len(spans)

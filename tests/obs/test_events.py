@@ -1,0 +1,57 @@
+"""Unit tests for the leakage-event stream."""
+
+from repro.obs.events import LeakageEvent, LeakageLog, trapdoor_digest
+
+
+class TestDigest:
+    def test_stable_and_hex(self):
+        digest = trapdoor_digest(b"address-1")
+        assert digest == trapdoor_digest(b"address-1")
+        assert len(digest) == 32
+        int(digest, 16)  # valid hex
+
+    def test_never_the_raw_address(self):
+        address = b"secret-index-address"
+        assert address.hex() not in trapdoor_digest(address)
+
+    def test_distinct_addresses_distinct_digests(self):
+        assert trapdoor_digest(b"a") != trapdoor_digest(b"b")
+
+
+class TestLog:
+    def test_monotonic_query_ids(self):
+        log = LeakageLog()
+        first = log.record(b"a", ("d1",), ("d1",))
+        second = log.record(b"b", ("d2", "d3"), ("d2",))
+        assert (first.query_id, second.query_id) == (1, 2)
+        assert len(log) == 2
+
+    def test_search_pattern_via_equal_digests(self):
+        log = LeakageLog()
+        log.record(b"same", ("d1",), ("d1",))
+        log.record(b"same", ("d1",), ("d1",))
+        log.record(b"other", (), ())
+        events = log.events
+        assert events[0].trapdoor == events[1].trapdoor
+        assert events[0].trapdoor != events[2].trapdoor
+
+    def test_reset_keeps_counting(self):
+        log = LeakageLog()
+        log.record(b"a", (), ())
+        log.reset()
+        assert len(log) == 0
+        assert log.record(b"b", (), ()).query_id == 2
+
+    def test_round_trip_via_dict(self):
+        event = LeakageEvent(
+            query_id=7,
+            trapdoor="ab" * 16,
+            matched_file_ids=("d1", "d2"),
+            returned_file_ids=("d1",),
+            trace_id=3,
+        )
+        assert LeakageEvent.from_dict(event.as_dict()) == event
+
+    def test_trace_id_defaults_untraced(self):
+        log = LeakageLog()
+        assert log.record(b"a", (), ()).trace_id == 0

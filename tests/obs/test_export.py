@@ -1,0 +1,205 @@
+"""Unit tests for the JSONL exporter, validator, and renderers."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import Obs
+from repro.obs.export import (
+    export_jsonl,
+    load_jsonl,
+    render_prometheus,
+    render_report,
+    validate_records,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import FakeClock
+
+
+def traced_bundle() -> Obs:
+    obs = Obs.enabled(clock=FakeClock())
+    with obs.tracer.span("cluster.handle_resilient", requests=1):
+        with obs.tracer.span("shard.dispatch", shard=0):
+            with obs.tracer.span("retry.attempt", attempt=1):
+                pass
+    obs.metrics.counter("repro_test_total", kind="search").inc(3)
+    obs.metrics.histogram(
+        "repro_test_seconds", buckets=(0.1, 1.0)
+    ).observe(0.05)
+    obs.leakage.record(b"addr", ("d1", "d2"), ("d1",), trace_id=1)
+    return obs
+
+
+class TestRoundTrip:
+    def test_export_validates_clean(self):
+        assert validate_records(traced_bundle().export_jsonl()) == []
+
+    def test_export_is_deterministic(self):
+        assert (
+            traced_bundle().export_jsonl()
+            == traced_bundle().export_jsonl()
+        )
+
+    def test_load_rebuilds_everything(self):
+        dump = load_jsonl(traced_bundle().export_jsonl())
+        assert [span.name for span in dump.spans] == [
+            "cluster.handle_resilient",
+            "shard.dispatch",
+            "retry.attempt",
+        ]
+        (root,) = dump.roots()
+        (dispatch,) = dump.children(root)
+        (attempt,) = dump.children(dispatch)
+        assert attempt.attrs == {"attempt": 1}
+        assert attempt.duration_s > 0
+        assert len(dump.metrics) == 2
+        (event,) = dump.leakage
+        assert event.matched_file_ids == ("d1", "d2")
+        assert event.trace_id == 1
+
+    def test_meta_header_first(self):
+        first = json.loads(
+            traced_bundle().export_jsonl().splitlines()[0]
+        )
+        assert first == {
+            "type": "meta",
+            "format": "repro-obs",
+            "version": 1,
+        }
+
+    def test_export_without_tracer_or_metrics(self):
+        artifact = export_jsonl()
+        assert validate_records(artifact) == []
+        dump = load_jsonl(artifact)
+        assert dump.spans == () and dump.metrics == ()
+
+
+class TestValidator:
+    def test_empty_artifact(self):
+        assert validate_records("") == ["artifact is empty"]
+
+    def test_missing_meta_header(self):
+        line = json.dumps({"type": "metric", "name": "x",
+                           "kind": "counter", "labels": {}, "value": 1})
+        problems = validate_records(line)
+        assert any("meta" in problem for problem in problems)
+
+    def test_not_json(self):
+        problems = validate_records("not json at all")
+        assert any("not JSON" in problem for problem in problems)
+
+    def test_unknown_type(self):
+        artifact = traced_bundle().export_jsonl() + json.dumps(
+            {"type": "mystery"}
+        )
+        assert any(
+            "unknown record type" in problem
+            for problem in validate_records(artifact)
+        )
+
+    def test_span_missing_field(self):
+        artifact = traced_bundle().export_jsonl() + json.dumps(
+            {"type": "span", "trace_id": 1, "span_id": 99}
+        )
+        problems = validate_records(artifact)
+        assert any("missing field" in problem for problem in problems)
+
+    def test_span_time_travel(self):
+        artifact = traced_bundle().export_jsonl() + json.dumps(
+            {
+                "type": "span",
+                "trace_id": 1,
+                "span_id": 99,
+                "parent_id": None,
+                "name": "bad",
+                "start_s": 2.0,
+                "end_s": 1.0,
+                "attrs": {},
+            }
+        )
+        assert any(
+            "ends before it starts" in problem
+            for problem in validate_records(artifact)
+        )
+
+    def test_unresolvable_parent(self):
+        artifact = traced_bundle().export_jsonl() + json.dumps(
+            {
+                "type": "span",
+                "trace_id": 1,
+                "span_id": 99,
+                "parent_id": 12345,
+                "name": "orphan",
+                "start_s": 0.0,
+                "end_s": 1.0,
+                "attrs": {},
+            }
+        )
+        assert any(
+            "parent span 12345 not found" in problem
+            for problem in validate_records(artifact)
+        )
+
+    def test_load_raises_on_problems(self):
+        with pytest.raises(ParameterError):
+            load_jsonl("garbage")
+
+
+class TestRenderers:
+    def test_prometheus_histogram_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_test_seconds", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_test_seconds histogram" in text
+        assert 'repro_test_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_test_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_test_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_test_seconds_count 2" in text
+
+    def test_prometheus_counter_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", shard=3).inc(2)
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_test_total{shard="3"} 2.0' in text
+
+    def test_report_contains_tree_and_sections(self):
+        obs = traced_bundle()
+        report = render_report(load_jsonl(obs.export_jsonl()))
+        assert "cluster.handle_resilient" in report
+        assert "retry.attempt" in report
+        assert "100.0%" in report
+        assert "== metrics" in report
+        assert "== leakage events" in report
+        assert obs.report() == report
+
+    def test_report_of_empty_dump(self):
+        report = render_report(load_jsonl(export_jsonl()))
+        assert "0 root span(s)" in report
+
+
+class TestLeakageReplay:
+    def test_server_log_from_events_replays_patterns(self):
+        from repro.analysis.leakage import (
+            profile_search,
+            server_log_from_events,
+        )
+
+        obs = Obs.enabled(clock=FakeClock())
+        obs.leakage.record(b"addr-1", ("d1", "d2", "d3"), ("d1",))
+        obs.leakage.record(b"addr-1", ("d1", "d2", "d3"), ("d1",))
+        obs.leakage.record(b"addr-2", ("d9",), ("d9",))
+        # Round-trip through the JSONL artifact, as CI tooling would.
+        events = load_jsonl(obs.export_jsonl()).leakage
+        log = server_log_from_events(events)
+        assert len(log.observations) == 3
+        pattern = log.search_pattern()
+        assert sorted(pattern.values()) == [1, 2]
+        profile = profile_search(log, 1, "rsse")
+        assert profile.search_pattern_hits == 1
+        assert profile.access_pattern == ("d1", "d2", "d3")
+        assert profile.ordered_pairs_learned == 3

@@ -1,0 +1,147 @@
+"""Unit tests for the metrics registry and its snapshots."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            registry.counter("repro_test_total").inc(-1)
+
+    def test_counter_identity_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", shard=1)
+        b = registry.counter("repro_test_total", shard=1)
+        c = registry.counter("repro_test_total", shard=2)
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_test_total", a=1, b=2)
+        b = registry.counter("repro_test_total", b=2, a=1)
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ParameterError):
+            registry.gauge("repro_test_total")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().counter("")
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("repro_test_level")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_cumulative_invariant(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_test_seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0, 0.1):
+            histogram.observe(value)
+        point = registry.snapshot().get("repro_test_seconds")
+        assert point.bucket_counts == (2, 1, 1)  # <=0.1, <=1.0, +Inf
+        assert point.count == 4 == sum(point.bucket_counts)
+        assert point.value == pytest.approx(5.65)
+
+    def test_histogram_rejects_bad_buckets(self):
+        registry = MetricsRegistry()
+        for bad in ((), (1.0, 1.0), (2.0, 1.0)):
+            with pytest.raises(ParameterError):
+                registry.histogram("repro_bad", buckets=bad)
+
+    def test_histogram_default_buckets(self):
+        histogram = MetricsRegistry().histogram("repro_test_seconds")
+        assert histogram.buckets == DEFAULT_BUCKETS
+
+
+class TestSnapshot:
+    def test_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total", z=1).inc()
+        registry.counter("a_total", a=1).inc()
+        names = [
+            (point.name, point.labels)
+            for point in registry.snapshot().points
+        ]
+        assert names == sorted(names)
+        assert registry.to_json() == registry.to_json()
+
+    def test_value_defaults_to_zero(self):
+        snapshot = MetricsRegistry().snapshot()
+        assert snapshot.value("never_touched_total") == 0.0
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total").inc()
+        registry.reset()
+        assert len(registry.snapshot()) == 0
+
+    def test_merged_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_test_total").inc(2)
+        b.counter("repro_test_total").inc(3)
+        merged = MetricsSnapshot.merged([a.snapshot(), b.snapshot()])
+        assert merged.value("repro_test_total") == 5.0
+
+    def test_merged_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("repro_test_level").set(1)
+        b.gauge("repro_test_level").set(9)
+        merged = MetricsSnapshot.merged([a.snapshot(), b.snapshot()])
+        assert merged.value("repro_test_level") == 9.0
+
+    def test_merged_histograms_add_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, value in ((a, 0.05), (b, 0.5)):
+            registry.histogram(
+                "repro_test_seconds", buckets=(0.1, 1.0)
+            ).observe(value)
+        merged = MetricsSnapshot.merged([a.snapshot(), b.snapshot()])
+        point = merged.get("repro_test_seconds")
+        assert point.bucket_counts == (1, 1, 0)
+        assert point.count == 2
+
+    def test_merged_rejects_kind_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_test").inc()
+        b.gauge("repro_test").set(1)
+        with pytest.raises(ParameterError):
+            MetricsSnapshot.merged([a.snapshot(), b.snapshot()])
+
+    def test_merged_rejects_bucket_geometry_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("repro_test_seconds", buckets=(1.0,)).observe(0.5)
+        b.histogram("repro_test_seconds", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ParameterError):
+            MetricsSnapshot.merged([a.snapshot(), b.snapshot()])
+
+    def test_snapshot_is_immutable_view(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        snapshot = registry.snapshot()
+        counter.inc(100)
+        assert snapshot.value("repro_test_total") == 1.0

@@ -1,0 +1,159 @@
+"""Unit tests for the tracer: parenting, determinism, the off switch."""
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.trace import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    FakeClock,
+    NoopTracer,
+    Tracer,
+)
+
+
+class TestSpanTree:
+    def test_root_starts_new_trace(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        (a, b) = tracer.spans
+        assert (a.trace_id, b.trace_id) == (1, 2)
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_nesting_is_thread_local(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                assert tracer.current() is child
+            assert tracer.current() is root
+        assert tracer.current() is None
+        root_span, child_span = sorted(
+            tracer.spans, key=lambda span: span.span_id
+        )
+        assert child_span.parent_id == root_span.span_id
+        assert child_span.trace_id == root_span.trace_id
+
+    def test_explicit_parent_bridges_threads(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root") as root:
+            def worker():
+                # The worker thread has no thread-local current span;
+                # without parent= this would start a fresh trace.
+                with tracer.span("dispatch", parent=root):
+                    pass
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        dispatch = next(
+            span for span in tracer.spans if span.name == "dispatch"
+        )
+        assert dispatch.trace_id == root.trace_id
+        assert dispatch.parent_id == root.span_id
+
+    def test_span_ids_are_deterministic(self):
+        def run():
+            tracer = Tracer(clock=FakeClock())
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            return [
+                (s.trace_id, s.span_id, s.parent_id, s.name,
+                 s.start_s, s.end_s)
+                for s in tracer.spans
+            ]
+        assert run() == run()
+
+    def test_exception_sets_error_attr_and_propagates(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "ValueError"
+        assert span.end_s is not None
+
+    def test_annotate_hits_current_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            tracer.annotate(fault="drop")
+        assert tracer.spans[0].attrs == {"fault": "drop"}
+        tracer.annotate(ignored=True)  # no current span: dropped
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            Tracer().span("")
+
+    def test_fake_clock_timings(self):
+        tracer = Tracer(clock=FakeClock(step_s=0.5))
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.spans
+        assert (span.start_s, span.end_s) == (0.0, 0.5)
+        assert span.duration_s == 0.5
+
+    def test_retention_cap_drops_oldest(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_reset_keeps_ids_monotonic(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        with tracer.span("b"):
+            pass
+        (span,) = tracer.spans
+        assert span.trace_id == 2 and span.span_id == 2
+
+    def test_trace_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        for _ in range(2):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        assert tracer.trace_ids() == (1, 2)
+
+
+class TestNoop:
+    def test_surface_matches_but_records_nothing(self):
+        tracer = NoopTracer()
+        assert not tracer.enabled
+        with tracer.span("anything", parent=None, attr=1) as span:
+            assert span is NOOP_SPAN
+            span.set(more=2)
+            tracer.annotate(even_more=3)
+        assert tracer.spans == ()
+        assert tracer.current() is None
+        tracer.reset()
+
+    def test_noop_span_attrs_never_accumulate(self):
+        NOOP_SPAN.set(leak=True)
+        assert NOOP_SPAN.attrs == {}
+
+    def test_real_tracer_ignores_noop_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root", parent=NOOP_SPAN):
+            pass
+        (span,) = tracer.spans
+        assert span.parent_id is None
+
+    def test_shared_instance(self):
+        assert isinstance(NOOP_TRACER, NoopTracer)
+
+
+class TestValidation:
+    def test_bad_max_spans(self):
+        with pytest.raises(ParameterError):
+            Tracer(max_spans=0)
+
+    def test_bad_clock_step(self):
+        with pytest.raises(ParameterError):
+            FakeClock(step_s=0.0)
