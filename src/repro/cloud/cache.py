@@ -66,6 +66,12 @@ class LruCache:
         """Lifetime capacity evictions (monotone non-decreasing)."""
         return self._evictions
 
+    @property
+    def hit_ratio(self) -> float:
+        """Lifetime hits / lookups (0.0 before the first lookup)."""
+        lookups = self._hits + self._misses
+        return self._hits / lookups if lookups else 0.0
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -33,6 +33,7 @@ import hashlib
 import heapq
 import threading
 import time
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
@@ -386,6 +387,10 @@ class ClusterServer:
         shard.
     update_token:
         Write-authorization secret, forwarded to every shard.
+    log_capacity:
+        Optional per-shard bound on the curious-server observation log
+        (see :class:`~repro.cloud.server.ServerLog`); ``None`` keeps
+        full history.
     max_workers:
         Thread-pool width for :meth:`handle_many` (default: twice the
         shard count).
@@ -442,6 +447,7 @@ class ClusterServer:
         breaker: BreakerConfig | None = None,
         retry_sleep: Callable[[float], None] = time.sleep,
         obs=None,
+        log_capacity: int | None = None,
     ):
         self._obs = obs
         self._tracer = obs.tracer if obs is not None else NOOP_TRACER
@@ -476,6 +482,7 @@ class ClusterServer:
                 cache_searches=cache_searches,
                 update_token=update_token,
                 obs=obs,
+                log_capacity=log_capacity,
                 **(
                     {"cache_capacity": per_shard_capacity}
                     if per_shard_capacity is not None
@@ -658,14 +665,85 @@ class ClusterServer:
         self._observe_request("handle", span)
         return response
 
+    def _group_by_shard(
+        self, batch: Sequence[bytes]
+    ) -> dict[int, list[int]]:
+        """Request positions per owning shard, in request order.
+
+        The batch fan-out unit: one pooled task per *shard* per batch
+        (not per request), amortizing thread-pool dispatch and breaker
+        bookkeeping across every request a shard owns.
+        """
+        groups: dict[int, list[int]] = {}
+        for position, request_bytes in enumerate(batch):
+            groups.setdefault(self.shard_id_for(request_bytes), []).append(
+                position
+            )
+        return groups
+
+    def _observe_batch(self, batch_size: int, groups: int, kind: str) -> None:
+        """Record one batch fan-out in the metrics registry."""
+        if self._obs is None:
+            return
+        self._obs.metrics.histogram(
+            "repro_cluster_batch_size",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+            kind=kind,
+        ).observe(float(batch_size))
+        self._obs.metrics.counter(
+            "repro_cluster_batch_tasks_total", kind=kind
+        ).inc(groups)
+
     def handle_many(self, requests: Iterable[bytes]) -> list[bytes]:
-        """Serve a batch concurrently; responses in request order."""
-        return list(self._executor.map(self.handle, requests))
+        """Serve a batch concurrently; responses in request order.
+
+        The batch is grouped by owning shard and dispatched as one
+        pooled task per shard: requests for distinct shards run in
+        parallel, while a shard's own requests run back-to-back on one
+        worker without re-queueing — the same serialization the shard
+        lock would force anyway, minus the pool overhead.  Responses
+        are byte-identical to per-request :meth:`handle` calls.
+
+        If any request fails, the whole batch still executes (matching
+        the per-request dispatch semantics) and the earliest-position
+        exception is raised.
+        """
+        batch = list(requests)
+        if not batch:
+            return []
+        groups = self._group_by_shard(batch)
+        self._observe_batch(len(batch), len(groups), "handle_many")
+        responses: list[bytes | None] = [None] * len(batch)
+        errors: list[tuple[int, Exception]] = []
+        errors_lock = threading.Lock()
+
+        def run_group(shard: int, positions: list[int]) -> None:
+            for position in positions:
+                try:
+                    with self._tracer.span(
+                        "cluster.handle", shard=shard
+                    ) as span:
+                        responses[position] = self._call_shard(
+                            shard, batch[position]
+                        )
+                    self._observe_request("handle", span)
+                except Exception as exc:
+                    with errors_lock:
+                        errors.append((position, exc))
+
+        futures = [
+            self._executor.submit(run_group, shard, positions)
+            for shard, positions in groups.items()
+        ]
+        for future in futures:
+            future.result()
+        if errors:
+            raise min(errors, key=lambda item: item[0])[1]
+        return [response for response in responses if response is not None]
 
     def _try_handle(
-        self, position: int, request_bytes: bytes, parent=None
+        self, position: int, request_bytes: bytes, shard: int, parent=None
     ) -> tuple[int, bytes | None, int, str | None]:
-        shard = self.shard_id_for(request_bytes)
         try:
             response = self._call_shard(shard, request_bytes, parent=parent)
             return position, response, shard, None
@@ -699,12 +777,33 @@ class ClusterServer:
             # The root span is passed explicitly: pool workers run in
             # other threads, where thread-local parenting cannot see it.
             parent = root if self._tracer.enabled else None
-            outcomes = list(
-                self._executor.map(
-                    lambda item: self._try_handle(*item, parent=parent),
-                    enumerate(batch),
-                )
-            )
+            groups = self._group_by_shard(batch)
+            self._observe_batch(len(batch), len(groups), "handle_resilient")
+
+            def run_group(
+                shard: int, positions: list[int]
+            ) -> list[tuple[int, bytes | None, int, str | None]]:
+                return [
+                    self._try_handle(
+                        position, batch[position], shard, parent=parent
+                    )
+                    for position in positions
+                ]
+
+            futures = [
+                self._executor.submit(run_group, shard, positions)
+                for shard, positions in groups.items()
+            ]
+            outcomes_by_position: dict[
+                int, tuple[int, bytes | None, int, str | None]
+            ] = {}
+            for future in futures:
+                for outcome in future.result():
+                    outcomes_by_position[outcome[0]] = outcome
+            outcomes = [
+                outcomes_by_position[position]
+                for position in range(len(batch))
+            ]
             failures = tuple(
                 (position, shard, error)
                 for position, _, shard, error in outcomes
@@ -789,8 +888,7 @@ class ClusterServer:
 
     def search_pattern(self) -> dict[bytes, int]:
         """Cluster-wide search pattern (merged across shard logs)."""
-        pattern: dict[bytes, int] = {}
+        pattern: Counter[bytes] = Counter()
         for log in self.logs:
-            for address, count in log.search_pattern().items():
-                pattern[address] = pattern.get(address, 0) + count
-        return pattern
+            pattern.update(log.search_pattern())
+        return dict(pattern)

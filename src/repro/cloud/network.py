@@ -145,6 +145,12 @@ class Channel:
         cluster scaling benchmark measures against.
     simulate_latency:
         Actually pay ``link_model``'s estimated time per call.
+    codec:
+        Optional label naming the wire codec the channel is expected
+        to carry (``"json"`` / ``"binary"``).  Purely descriptive —
+        the channel moves bytes either way; benchmarks and dashboards
+        use it to attribute per-codec traffic without sniffing
+        payloads.
     """
 
     def __init__(
@@ -152,6 +158,7 @@ class Channel:
         handler: Callable[[bytes], bytes],
         link_model: LinkModel | None = None,
         simulate_latency: bool = False,
+        codec: str | None = None,
     ):
         if simulate_latency and link_model is None:
             raise ParameterError(
@@ -161,11 +168,17 @@ class Channel:
         self._stats = ChannelStats()
         self._link_model = link_model
         self._simulate_latency = simulate_latency
+        self._codec = codec
 
     @property
     def stats(self) -> ChannelStats:
         """Traffic counters since construction or last reset."""
         return self._stats
+
+    @property
+    def codec(self) -> str | None:
+        """The declared wire-codec label (None when unspecified)."""
+        return self._codec
 
     def call(self, request: bytes) -> bytes:
         """Send ``request``, return the server's response (one RTT).

@@ -6,9 +6,22 @@ paper's Section III-C argument against the basic scheme is a bandwidth
 and round-trip argument, and ``benchmarks/bench_basic_vs_rsse.py``
 measures it on these encodings.
 
-Encoding is deliberately simple (JSON with hex for binary fields);
-sizes are dominated by payloads (entries, files), which JSON overhead
-does not distort materially.
+Two codecs share every message type:
+
+* **json** (:data:`CODEC_JSON`, the default) — JSON with hex for
+  binary fields.  Deliberately simple and human-inspectable; the
+  bandwidth-accounting reference for the paper's figures (hex doubles
+  every blob, which the figures note).
+* **binary** (:data:`CODEC_BINARY`) — a length-prefixed framing: one
+  kind-tag byte followed by ``u32``-length-prefixed raw-byte fields.
+  No hex inflation, and :func:`peek_kind` reads exactly one byte, so
+  servers dispatch without parsing payloads.
+
+``to_bytes(codec=...)`` selects the encoding; ``from_bytes`` and
+:func:`peek_kind` auto-detect it (binary tags occupy the high-bit
+byte range, JSON messages start with ``{``), so a server transparently
+serves clients speaking either codec and mirrors the request's codec
+in its response.
 """
 
 from __future__ import annotations
@@ -18,9 +31,62 @@ from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
 
+#: The hex-over-JSON codec (default; bandwidth-accounting reference).
+CODEC_JSON = "json"
+
+#: The length-prefixed binary codec (no hex, one-byte kind peek).
+CODEC_BINARY = "binary"
+
+#: Every supported codec name.
+CODECS = (CODEC_JSON, CODEC_BINARY)
+
+#: Binary kind tags, one byte each.  High-bit values cannot collide
+#: with the ``{`` (0x7b) a JSON message starts with, so codec
+#: detection needs only the first byte.
+BINARY_TAGS = {
+    "search": 0xA1,
+    "search-response": 0xA2,
+    "fetch": 0xA3,
+    "files": 0xA4,
+    "update-list": 0xB1,
+    "put-blob": 0xB2,
+    "remove-blob": 0xB3,
+    "ack": 0xB4,
+}
+
+_KIND_FOR_TAG = {tag: kind for kind, tag in BINARY_TAGS.items()}
+
+
+def require_codec(codec: str) -> str:
+    """Validate a codec name (returns it for chaining)."""
+    if codec not in CODECS:
+        raise ProtocolError(
+            f"unknown codec {codec!r}; expected one of {CODECS}"
+        )
+    return codec
+
+
+def detect_codec(data: bytes) -> str:
+    """Which codec encoded this message (from its first byte)."""
+    if not data:
+        raise ProtocolError("empty message")
+    first = data[0]
+    if first in _KIND_FOR_TAG:
+        return CODEC_BINARY
+    if first == 0x7B:  # '{'
+        return CODEC_JSON
+    raise ProtocolError(
+        f"unrecognized message leading byte 0x{first:02x}"
+    )
+
+
+# -- json codec helpers ----------------------------------------------------
+
 
 def _encode(kind: str, payload: dict) -> bytes:
-    return json.dumps({"kind": kind, **payload}, sort_keys=True).encode("utf-8")
+    return json.dumps(
+        {"kind": kind, **payload}, sort_keys=True
+    ).encode("utf-8")
 
 
 def _decode(data: bytes, expected_kind: str) -> dict:
@@ -32,18 +98,111 @@ def _decode(data: bytes, expected_kind: str) -> dict:
         raise ProtocolError("message is not a JSON object")
     if payload.get("kind") != expected_kind:
         raise ProtocolError(
-            f"expected {expected_kind!r} message, got {payload.get('kind')!r}"
+            f"expected {expected_kind!r} message, "
+            f"got {payload.get('kind')!r}"
         )
     return payload
 
 
+# -- binary codec helpers --------------------------------------------------
+
+
+def pack_frames(kind: str, fields: list[bytes]) -> bytes:
+    """Binary-encode: kind tag byte + u32-length-prefixed fields."""
+    parts = [bytes([BINARY_TAGS[kind]])]
+    for data in fields:
+        parts.append(len(data).to_bytes(4, "big"))
+        parts.append(data)
+    return b"".join(parts)
+
+
+class FrameReader:
+    """Sequential reader for the binary framing.
+
+    Checks the kind tag up front, then hands back one field per
+    :meth:`take`; :meth:`expect_end` asserts the message was fully
+    consumed (trailing garbage is a protocol violation, not padding).
+    """
+
+    def __init__(self, data: bytes, expected_kind: str):
+        if not data:
+            raise ProtocolError("empty binary message")
+        kind = _KIND_FOR_TAG.get(data[0])
+        if kind is None:
+            raise ProtocolError(
+                f"unknown binary kind tag 0x{data[0]:02x}"
+            )
+        if kind != expected_kind:
+            raise ProtocolError(
+                f"expected {expected_kind!r} message, got {kind!r}"
+            )
+        self._data = data
+        self._offset = 1
+
+    def take(self) -> bytes:
+        """Read the next length-prefixed field."""
+        end = self._offset + 4
+        if end > len(self._data):
+            raise ProtocolError("truncated binary message (length)")
+        length = int.from_bytes(self._data[self._offset:end], "big")
+        self._offset = end + length
+        if self._offset > len(self._data):
+            raise ProtocolError("truncated binary message (field)")
+        return self._data[end:self._offset]
+
+    def take_str(self) -> str:
+        """Read the next field as UTF-8 text."""
+        try:
+            return self.take().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"malformed text field: {exc}"
+            ) from exc
+
+    def take_count(self) -> int:
+        """Read the next field as a u32 item count."""
+        data = self.take()
+        if len(data) != 4:
+            raise ProtocolError("malformed count field")
+        return int.from_bytes(data, "big")
+
+    def expect_end(self) -> None:
+        """Fail if unconsumed bytes remain."""
+        if self._offset != len(self._data):
+            raise ProtocolError("trailing bytes after binary message")
+
+
+def _pack_count(count: int) -> bytes:
+    return count.to_bytes(4, "big")
+
+
+def _pack_pairs(pairs: tuple[tuple[str, bytes], ...]) -> list[bytes]:
+    """Flatten ``(file_id, blob)`` pairs into count + field frames."""
+    fields = [_pack_count(len(pairs))]
+    for file_id, blob in pairs:
+        fields.append(file_id.encode("utf-8"))
+        fields.append(blob)
+    return fields
+
+
+def _take_pairs(reader: FrameReader) -> tuple[tuple[str, bytes], ...]:
+    count = reader.take_count()
+    return tuple(
+        (reader.take_str(), reader.take()) for _ in range(count)
+    )
+
+
 def peek_kind(request_bytes: bytes) -> str:
-    """Read a message's ``kind`` tag without full parsing.
+    """Read a message's ``kind`` tag without full payload parsing.
 
     Servers (:class:`~repro.cloud.server.CloudServer`, the cluster
     front end) use this to dispatch before choosing which typed
-    ``from_bytes`` to run.
+    ``from_bytes`` to run.  For the binary codec this is a single
+    byte-table lookup; the JSON codec still pays a full parse (one
+    reason the binary codec wins the cold-query benchmark).
     """
+    if detect_codec(request_bytes) == CODEC_BINARY:
+        return _KIND_FOR_TAG[request_bytes[0]]
     try:
         payload = json.loads(request_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -66,7 +225,18 @@ class SearchRequest:
     top_k: int | None = None
     entries_only: bool = False
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "search",
+                [
+                    self.trapdoor_bytes,
+                    b""
+                    if self.top_k is None
+                    else _pack_count(self.top_k),
+                    b"\x01" if self.entries_only else b"\x00",
+                ],
+            )
         return _encode(
             "search",
             {
@@ -78,6 +248,23 @@ class SearchRequest:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SearchRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "search")
+            trapdoor_bytes = reader.take()
+            top_k_field = reader.take()
+            if top_k_field and len(top_k_field) != 4:
+                raise ProtocolError("malformed top_k field")
+            entries_only = reader.take() == b"\x01"
+            reader.expect_end()
+            return cls(
+                trapdoor_bytes=trapdoor_bytes,
+                top_k=(
+                    int.from_bytes(top_k_field, "big")
+                    if top_k_field
+                    else None
+                ),
+                entries_only=entries_only,
+            )
         payload = _decode(data, "search")
         return cls(
             trapdoor_bytes=bytes.fromhex(payload["trapdoor"]),
@@ -100,7 +287,12 @@ class SearchResponse:
     matches: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
     files: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "search-response",
+                _pack_pairs(self.matches) + _pack_pairs(self.files),
+            )
         return _encode(
             "search-response",
             {
@@ -116,6 +308,12 @@ class SearchResponse:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SearchResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "search-response")
+            matches = _take_pairs(reader)
+            files = _take_pairs(reader)
+            reader.expect_end()
+            return cls(matches=matches, files=files)
         payload = _decode(data, "search-response")
         return cls(
             matches=tuple(
@@ -135,11 +333,23 @@ class FileRequest:
 
     file_ids: tuple[str, ...]
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            fields = [_pack_count(len(self.file_ids))]
+            fields += [
+                file_id.encode("utf-8") for file_id in self.file_ids
+            ]
+            return pack_frames("fetch", fields)
         return _encode("fetch", {"file_ids": list(self.file_ids)})
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "FileRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "fetch")
+            count = reader.take_count()
+            file_ids = tuple(reader.take_str() for _ in range(count))
+            reader.expect_end()
+            return cls(file_ids=file_ids)
         payload = _decode(data, "fetch")
         return cls(file_ids=tuple(payload["file_ids"]))
 
@@ -150,7 +360,9 @@ class RankedFilesResponse:
 
     files: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames("files", _pack_pairs(self.files))
         return _encode(
             "files",
             {
@@ -162,6 +374,11 @@ class RankedFilesResponse:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "RankedFilesResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "files")
+            files = _take_pairs(reader)
+            reader.expect_end()
+            return cls(files=files)
         payload = _decode(data, "files")
         return cls(
             files=tuple(

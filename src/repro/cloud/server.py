@@ -15,7 +15,9 @@ paper's threat model.
 from __future__ import annotations
 
 import threading
+from collections import Counter, deque
 from dataclasses import dataclass, field
+from typing import MutableSequence
 
 from repro.cloud.cache import DEFAULT_CACHE_CAPACITY, LruCache
 from repro.cloud.protocol import (
@@ -23,14 +25,15 @@ from repro.cloud.protocol import (
     RankedFilesResponse,
     SearchRequest,
     SearchResponse,
+    detect_codec,
     peek_kind,
 )
 from repro.cloud.storage import BlobStore
 from repro.core.results import ServerMatch
 from repro.core.secure_index import SecureIndex, decrypt_posting_list
 from repro.core.trapdoor import Trapdoor
-from repro.errors import ProtocolError
-from repro.ir.topk import rank_all, top_k
+from repro.errors import ParameterError, ProtocolError
+from repro.ir.topk import rank_all, top_k, top_of_ranked
 from repro.obs.trace import NOOP_TRACER
 
 
@@ -62,18 +65,59 @@ class SearchObservation:
 
 @dataclass
 class ServerLog:
-    """The curious server's accumulating notebook."""
+    """The curious server's accumulating notebook.
 
-    observations: list[SearchObservation] = field(default_factory=list)
+    By default every observation is kept forever — leakage analysis
+    needs the full history.  For million-query benchmark runs pass
+    ``max_observations`` to keep only the most recent window (a
+    ``deque(maxlen=...)``); the running :meth:`search_pattern` counter
+    still covers *all* observations ever recorded through
+    :meth:`record`, so pattern accounting stays exact even when old
+    observations have been dropped.
+    """
+
+    observations: MutableSequence[SearchObservation] = field(
+        default_factory=list
+    )
+    max_observations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_observations is not None:
+            if self.max_observations < 1:
+                raise ParameterError(
+                    "max_observations must be >= 1, got "
+                    f"{self.max_observations}"
+                )
+            self.observations = deque(
+                self.observations, maxlen=self.max_observations
+            )
+        self._pattern: Counter[bytes] = Counter(
+            observation.address for observation in self.observations
+        )
+
+    def record(self, observation: SearchObservation) -> None:
+        """Append one observation, keeping the pattern counter exact."""
+        self.observations.append(observation)
+        self._pattern[observation.address] += 1
 
     def search_pattern(self) -> dict[bytes, int]:
-        """Address -> times queried (the search pattern)."""
-        pattern: dict[bytes, int] = {}
-        for observation in self.observations:
-            pattern[observation.address] = (
-                pattern.get(observation.address, 0) + 1
+        """Address -> times queried (the search pattern).
+
+        Unbounded logs answer with one :class:`collections.Counter`
+        sweep of ``observations`` (so direct appends — the
+        leakage-analysis idiom — are always counted).  Bounded logs
+        answer from the running counter maintained by :meth:`record`,
+        which is exact across the full history even after old
+        observations fall out of the window.
+        """
+        if self.max_observations is None:
+            return dict(
+                Counter(
+                    observation.address
+                    for observation in self.observations
+                )
             )
-        return pattern
+        return dict(self._pattern)
 
     def access_pattern(self) -> dict[bytes, tuple[str, ...]]:
         """Address -> matched files (the access pattern)."""
@@ -81,6 +125,26 @@ class ServerLog:
             observation.address: observation.matched_file_ids
             for observation in self.observations
         }
+
+
+@dataclass(frozen=True)
+class CachedPostings:
+    """One decrypted posting list, as the warm cache stores it.
+
+    ``matches`` keeps index order (what the curious server logs, and
+    what the basic scheme returns).  ``ranked`` is the same matches
+    pre-sorted by descending OPM value — built once at cache-fill time
+    so every OPM score field is decoded to an int exactly once, and a
+    warm top-k query is an O(k) slice.  Pre-sorting is a legitimate
+    optimization: numeric order of the score fields is exactly what
+    the one-to-many OPM already leaks to the server, so the cache
+    stores nothing the server could not always compute.  ``ranked`` is
+    ``None`` for the basic scheme (``can_rank=False``: score fields
+    are semantically secure, the server cannot sort them).
+    """
+
+    matches: tuple[ServerMatch, ...]
+    ranked: tuple[ServerMatch, ...] | None
 
 
 class CloudServer:
@@ -108,6 +172,10 @@ class CloudServer:
         pattern the scheme already leaks) in a bounded LRU cache.
     cache_capacity:
         Maximum decrypted lists resident when caching is enabled.
+    log_capacity:
+        Optional bound on the curious server's observation log (see
+        :class:`ServerLog`).  ``None`` (the default) keeps the full
+        history for leakage analysis.
     obs:
         Optional :class:`repro.obs.Obs` bundle.  When set, every
         handled request runs under a ``server.handle`` span (with
@@ -127,11 +195,12 @@ class CloudServer:
         update_token: bytes | None = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         obs=None,
+        log_capacity: int | None = None,
     ):
         self._index = secure_index
         self._blobs = blob_store
         self._can_rank = can_rank
-        self._log = ServerLog()
+        self._log = ServerLog(max_observations=log_capacity)
         self._cache: LruCache | None = (
             LruCache(cache_capacity) if cache_searches else None
         )
@@ -162,25 +231,34 @@ class CloudServer:
 
         Serialized on the server's lock: this server is a one-worker
         service, safe (but not parallel) under concurrent callers.
+
+        The response mirrors the request's wire codec: a binary-framed
+        request gets a binary-framed response, a JSON request a JSON
+        one, so clients never need to negotiate.
         """
         kind = peek_kind(request_bytes)
+        codec = detect_codec(request_bytes)
         with self._tracer.span("server.handle", kind=kind):
             with self._lock:
+                if self._obs is not None:
+                    self._obs.metrics.counter(
+                        "repro_server_requests_total", codec=codec
+                    ).inc()
                 if kind == "search":
                     return self._handle_search(
                         SearchRequest.from_bytes(request_bytes)
-                    ).to_bytes()
+                    ).to_bytes(codec)
                 if kind == "fetch":
                     return self._handle_fetch(
                         FileRequest.from_bytes(request_bytes)
-                    ).to_bytes()
+                    ).to_bytes(codec)
                 if kind in ("update-list", "put-blob", "remove-blob"):
                     response = self._handle_update(kind, request_bytes)
                     if self._obs is not None:
                         self._obs.metrics.counter(
                             "repro_server_updates_total", kind=kind
                         ).inc()
-                    return response.to_bytes()
+                    return response.to_bytes(codec)
         raise ProtocolError(f"unknown request kind {kind!r}")
 
     def _handle_update(self, kind: str, request_bytes: bytes):
@@ -281,7 +359,7 @@ class CloudServer:
         else:
             self._cache.pop(address)
 
-    def _matches_for(self, trapdoor: Trapdoor) -> list[ServerMatch]:
+    def _postings_for(self, trapdoor: Trapdoor) -> CachedPostings:
         """``SearchIndex``: locate, decrypt, drop dummies.
 
         With caching enabled, repeated trapdoors (the *search pattern*
@@ -291,6 +369,12 @@ class CloudServer:
         information the protocol leaks anyway.  The cache is a bounded
         LRU (:class:`~repro.cloud.cache.LruCache`): cold keywords are
         evicted and simply re-decrypted on their next query.
+
+        In the efficient scheme the cache additionally stores the list
+        pre-sorted by descending OPM value (see
+        :class:`CachedPostings`): the sort and every score-field
+        decode happen once at fill time, and warm top-k queries are an
+        O(k) slice.
         """
         if self._cache is not None:
             cached = self._cache.get(trapdoor.address)
@@ -298,24 +382,34 @@ class CloudServer:
                 return cached
         entries = self._index.lookup(trapdoor.address)
         if entries is None:
-            matches: list[ServerMatch] = []
+            matches: tuple[ServerMatch, ...] = ()
         else:
-            matches = [
+            matches = tuple(
                 ServerMatch(file_id=file_id, score_field=score_field)
                 for file_id, score_field in decrypt_posting_list(
                     self._index.layout, trapdoor.list_key, entries
                 )
-            ]
+            )
+        ranked: tuple[ServerMatch, ...] | None = None
+        if self._cache is not None and self._can_rank:
+            # rank_all's tie-break (toward earlier items) matches
+            # top_k's, so slicing this pre-sorted list reproduces the
+            # per-query ranking byte for byte.
+            ranked = tuple(
+                rank_all(matches, key=ServerMatch.opm_value)
+            )
+        posting = CachedPostings(matches=matches, ranked=ranked)
         if self._cache is not None:
-            self._cache.put(trapdoor.address, matches)
-        return matches
+            self._cache.put(trapdoor.address, posting)
+        return posting
 
     def _handle_search(self, request: SearchRequest) -> SearchResponse:
         with self._tracer.span("search.trapdoor"):
             trapdoor = Trapdoor.deserialize(request.trapdoor_bytes)
         hits_before = self.cache_hits
         with self._tracer.span("search.postings") as span:
-            matches = self._matches_for(trapdoor)
+            posting = self._postings_for(trapdoor)
+            matches = posting.matches
             span.set(
                 postings=len(matches),
                 cache_hit=self.cache_hits > hits_before,
@@ -329,24 +423,33 @@ class CloudServer:
             can_rank=self._can_rank,
             k=request.top_k,
         ) as span:
-            if self._can_rank:
-                ordered = rank_all(
-                    matches,
-                    key=lambda match: match.opm_value(),
-                    counters=rank_counters,
-                )
-                if request.top_k is not None:
-                    ordered = top_k(
-                        matches,
-                        request.top_k,
-                        key=lambda match: match.opm_value(),
-                        counters=rank_counters,
-                    )
-            else:
+            if not self._can_rank:
                 # Semantically secure score fields: no server-side
                 # ranking possible; a top-k bound cannot be honoured
                 # meaningfully.
                 ordered = list(matches)
+            elif posting.ranked is not None:
+                # Ranked-cache fast path: the list is already in
+                # descending OPM order, so top-k is an O(k) slice —
+                # zero comparisons, zero score-field decodes.
+                ordered = top_of_ranked(
+                    posting.ranked, request.top_k, counters=rank_counters
+                )
+                span.set(ranked_cache=True)
+            elif request.top_k is not None:
+                # Honesty mode (no cache): one bounded-heap pass.
+                ordered = top_k(
+                    matches,
+                    request.top_k,
+                    key=ServerMatch.opm_value,
+                    counters=rank_counters,
+                )
+            else:
+                ordered = rank_all(
+                    matches,
+                    key=ServerMatch.opm_value,
+                    counters=rank_counters,
+                )
             if rank_counters:
                 span.set(**rank_counters)
 
@@ -371,7 +474,7 @@ class CloudServer:
                 files = tuple(payloads)
             span.set(files=len(files))
 
-        self._log.observations.append(
+        self._log.record(
             SearchObservation(
                 address=trapdoor.address,
                 matched_file_ids=tuple(match.file_id for match in matches),
@@ -396,6 +499,10 @@ class CloudServer:
                 "repro_server_postings_scanned",
                 buckets=(1.0, 10.0, 100.0, 1000.0, 10000.0),
             ).observe(float(len(matches)))
+            if self._cache is not None:
+                self._obs.metrics.gauge(
+                    "repro_server_cache_hit_ratio"
+                ).set(self._cache.hit_ratio)
         response_matches = tuple(
             (match.file_id, match.score_field) for match in ordered
         )
@@ -412,7 +519,7 @@ class CloudServer:
         files = tuple(
             (file_id, self._blobs.get(file_id)) for file_id in request.file_ids
         )
-        self._log.observations.append(
+        self._log.record(
             SearchObservation(
                 address=b"",
                 matched_file_ids=(),

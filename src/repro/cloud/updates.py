@@ -26,6 +26,14 @@ from dataclasses import dataclass
 
 from repro.cloud.network import Channel
 from repro.cloud.owner import DataOwner
+from repro.cloud.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    FrameReader,
+    detect_codec,
+    pack_frames,
+    require_codec,
+)
 from repro.cloud.retry import RetryingChannel, RetryPolicy
 from repro.core.dynamics import UpdateReport, build_entry, build_list_entries
 from repro.core.rsse import EfficientRSSE
@@ -75,7 +83,16 @@ class UpdateListRequest:
                 f"mode must be one of {UPDATE_MODES}, got {self.mode!r}"
             )
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            fields = [
+                self.token,
+                self.address,
+                len(self.entries).to_bytes(4, "big"),
+                *self.entries,
+                self.mode.encode("utf-8"),
+            ]
+            return pack_frames("update-list", fields)
         return _encode(
             "update-list",
             {
@@ -88,6 +105,25 @@ class UpdateListRequest:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "UpdateListRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "update-list")
+            token = reader.take()
+            address = reader.take()
+            count = reader.take_count()
+            entries = tuple(reader.take() for _ in range(count))
+            mode = reader.take_str()
+            reader.expect_end()
+            try:
+                return cls(
+                    token=token,
+                    address=address,
+                    entries=entries,
+                    mode=mode,
+                )
+            except ParameterError as exc:
+                raise ProtocolError(
+                    f"malformed update-list fields: {exc}"
+                ) from exc
         payload = _decode(data, "update-list")
         try:
             return cls(
@@ -110,7 +146,12 @@ class PutBlobRequest:
     file_id: str
     blob: bytes
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "put-blob",
+                [self.token, self.file_id.encode("utf-8"), self.blob],
+            )
         return _encode(
             "put-blob",
             {
@@ -122,6 +163,13 @@ class PutBlobRequest:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "PutBlobRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "put-blob")
+            token = reader.take()
+            file_id = reader.take_str()
+            blob = reader.take()
+            reader.expect_end()
+            return cls(token=token, file_id=file_id, blob=blob)
         payload = _decode(data, "put-blob")
         try:
             return cls(
@@ -140,7 +188,12 @@ class RemoveBlobRequest:
     token: bytes
     file_id: str
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "remove-blob",
+                [self.token, self.file_id.encode("utf-8")],
+            )
         return _encode(
             "remove-blob",
             {"token": self.token.hex(), "file_id": self.file_id},
@@ -148,6 +201,12 @@ class RemoveBlobRequest:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "RemoveBlobRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "remove-blob")
+            token = reader.take()
+            file_id = reader.take_str()
+            reader.expect_end()
+            return cls(token=token, file_id=file_id)
         payload = _decode(data, "remove-blob")
         try:
             return cls(
@@ -167,11 +226,25 @@ class AckResponse:
     ok: bool
     detail: str = ""
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "ack",
+                [
+                    b"\x01" if self.ok else b"\x00",
+                    self.detail.encode("utf-8"),
+                ],
+            )
         return _encode("ack", {"ok": self.ok, "detail": self.detail})
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "AckResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "ack")
+            ok = reader.take() == b"\x01"
+            detail = reader.take_str()
+            reader.expect_end()
+            return cls(ok=ok, detail=detail)
         payload = _decode(data, "ack")
         return cls(
             ok=bool(payload.get("ok")),
@@ -220,6 +293,12 @@ class RemoteIndexMaintainer:
         posting list, update counters land in the metrics registry,
         and :meth:`publish_opm_stats` mirrors the cumulative OPM work
         counters as gauges.
+    codec:
+        Wire codec for every update message
+        (:data:`~repro.cloud.protocol.CODEC_JSON`, the default, or
+        :data:`~repro.cloud.protocol.CODEC_BINARY`).  The server
+        mirrors the request codec in its acks, so either works against
+        any server.
     """
 
     def __init__(
@@ -230,6 +309,7 @@ class RemoteIndexMaintainer:
         retry_policy: RetryPolicy | None = None,
         queue_on_failure: bool = False,
         obs=None,
+        codec: str = CODEC_JSON,
     ):
         if not isinstance(owner._scheme, EfficientRSSE):
             raise ParameterError(
@@ -251,6 +331,7 @@ class RemoteIndexMaintainer:
         self._obs = obs
         self._tracer = obs.tracer if obs is not None else NOOP_TRACER
         self._token = bytes(update_token)
+        self._codec = require_codec(codec)
         self._file_cipher = SymmetricCipher(owner.file_key)
         self._queue_on_failure = queue_on_failure
         self._pending: deque[bytes] = deque()
@@ -420,7 +501,7 @@ class RemoteIndexMaintainer:
                     blob=self._file_cipher.encrypt(
                         document.text.encode("utf-8")
                     ),
-                ).to_bytes()
+                ).to_bytes(self._codec)
             )
 
             opms = self._opms_for(terms)
@@ -436,7 +517,7 @@ class RemoteIndexMaintainer:
                     address=trapdoor.address,
                     entries=(entry,),
                     mode="append",
-                ).to_bytes()
+                ).to_bytes(self._codec)
 
             self._dispatch_terms(terms, append_request, workers)
         self._observe_mutation("insert", len(terms))
@@ -489,13 +570,13 @@ class RemoteIndexMaintainer:
                     address=trapdoor.address,
                     entries=replacement,
                     mode="replace",
-                ).to_bytes()
+                ).to_bytes(self._codec)
 
             self._dispatch_terms(terms, replace_request, workers)
             self._call(
                 RemoveBlobRequest(
                     token=self._token, file_id=doc_id
-                ).to_bytes()
+                ).to_bytes(self._codec)
             )
         self._observe_mutation("remove", len(terms))
         return UpdateReport(

@@ -22,10 +22,12 @@ from dataclasses import dataclass
 from repro.cloud.network import Channel
 from repro.cloud.owner import UserCredentials
 from repro.cloud.protocol import (
+    CODEC_JSON,
     FileRequest,
     RankedFilesResponse,
     SearchRequest,
     SearchResponse,
+    require_codec,
 )
 from repro.cloud.retry import RetryingChannel, RetryPolicy
 from repro.core.basic_scheme import BasicRankedSSE
@@ -54,6 +56,13 @@ class DataUser:
     faults (drops, corrupted responses, a briefly crashed shard) are
     absorbed by capped-backoff retries, and searches — which are
     read-only on the server — stay safe to re-send.
+
+    ``codec`` selects the wire encoding for every request this user
+    sends (:data:`~repro.cloud.protocol.CODEC_JSON`, the
+    bandwidth-accounting reference, or
+    :data:`~repro.cloud.protocol.CODEC_BINARY`, the length-prefixed
+    fast framing); the server mirrors the request codec in its
+    responses, so no other party needs configuring.
     """
 
     def __init__(
@@ -63,6 +72,7 @@ class DataUser:
         channel: Channel,
         analyzer: Analyzer | None = None,
         retry_policy: RetryPolicy | None = None,
+        codec: str = CODEC_JSON,
     ):
         self._scheme = scheme
         self._credentials = credentials
@@ -73,6 +83,7 @@ class DataUser:
         )
         self._analyzer = analyzer if analyzer is not None else Analyzer()
         self._file_cipher = SymmetricCipher(credentials.file_key)
+        self._codec = require_codec(codec)
 
     def _trapdoor_bytes(self, keyword: str) -> bytes:
         term = self._analyzer.analyze_query(keyword)
@@ -106,7 +117,7 @@ class DataUser:
             trapdoor_bytes=self._trapdoor_bytes(keyword), top_k=k
         )
         response = SearchResponse.from_bytes(
-            self._channel.call(request.to_bytes())
+            self._channel.call(request.to_bytes(self._codec))
         )
         return self._decrypt_files(response.files)
 
@@ -120,7 +131,7 @@ class DataUser:
             )
         request = SearchRequest(trapdoor_bytes=self._trapdoor_bytes(keyword))
         response = SearchResponse.from_bytes(
-            self._channel.call(request.to_bytes())
+            self._channel.call(request.to_bytes(self._codec))
         )
         scores = {
             file_id: self._decode_score(score_field)
@@ -159,7 +170,7 @@ class DataUser:
             trapdoor_bytes=self._trapdoor_bytes(keyword), entries_only=True
         )
         response = SearchResponse.from_bytes(
-            self._channel.call(request.to_bytes())
+            self._channel.call(request.to_bytes(self._codec))
         )
         scores = {
             file_id: self._decode_score(score_field)
@@ -168,7 +179,7 @@ class DataUser:
         chosen = top_k(list(scores), k, key=lambda file_id: scores[file_id])
         fetch = FileRequest(file_ids=tuple(chosen))
         files_response = RankedFilesResponse.from_bytes(
-            self._channel.call(fetch.to_bytes())
+            self._channel.call(fetch.to_bytes(self._codec))
         )
         return self._decrypt_files(files_response.files)
 

@@ -14,7 +14,7 @@ Implementation: a bounded min-heap giving ``O(n log k)`` time and
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, MutableMapping, TypeVar
+from typing import Callable, Iterable, MutableMapping, Sequence, TypeVar
 
 from repro.errors import ParameterError
 
@@ -67,6 +67,33 @@ def top_k(
             counters.get("heap_replacements", 0) + replacements
         )
     return [item for (_, _, item) in heap]
+
+
+def top_of_ranked(
+    ranked: Sequence[T],
+    k: int | None,
+    counters: MutableMapping[str, int] | None = None,
+) -> list[T]:
+    """Slice a pre-ranked (descending) list down to its top ``k``.
+
+    The O(k) fast path for callers that already hold a full descending
+    ranking (e.g. the cloud server's ranked warm cache): because
+    :func:`top_k` and :func:`rank_all` break ties identically (toward
+    earlier items), ``top_of_ranked(rank_all(items, key), k)`` equals
+    ``top_k(items, k, key)`` element for element.  ``k=None`` returns a
+    copy of the whole ranking.  ``counters`` accounts ``scanned`` with
+    the number of items *touched* (``min(k, len(ranked))``) — the point
+    of the fast path is that a warm query never rescans the list.
+    """
+    if k is None:
+        result = list(ranked)
+    else:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        result = list(ranked[:k])
+    if counters is not None:
+        counters["scanned"] = counters.get("scanned", 0) + len(result)
+    return result
 
 
 def rank_all(

@@ -1,0 +1,201 @@
+"""Binary wire framing: roundtrips, codec detection, and JSON
+equivalence.
+
+Every message type of the protocol (search, fetch, responses, and the
+three update messages plus ack) must roundtrip through the binary
+codec, decode from either codec without being told which one was used
+(auto-detection off the first byte), and carry exactly the same
+semantic content as its JSON encoding — the property tests drive all
+of that from generated payloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.protocol import (
+    BINARY_TAGS,
+    CODEC_BINARY,
+    CODEC_JSON,
+    FileRequest,
+    RankedFilesResponse,
+    SearchRequest,
+    SearchResponse,
+    detect_codec,
+    peek_kind,
+    require_codec,
+)
+from repro.cloud.updates import (
+    AckResponse,
+    PutBlobRequest,
+    RemoveBlobRequest,
+    UpdateListRequest,
+)
+from repro.errors import ProtocolError
+
+file_ids = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\x00"),
+    min_size=1,
+    max_size=20,
+)
+blobs = st.binary(max_size=256)
+pairs = st.tuples(file_ids, blobs)
+
+
+class TestCodecSelection:
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ProtocolError):
+            require_codec("msgpack")
+        with pytest.raises(ProtocolError):
+            SearchRequest(trapdoor_bytes=b"\x01").to_bytes("msgpack")
+
+    def test_detect_json(self):
+        data = SearchRequest(trapdoor_bytes=b"\x01").to_bytes(CODEC_JSON)
+        assert detect_codec(data) == CODEC_JSON
+
+    def test_detect_binary(self):
+        data = SearchRequest(trapdoor_bytes=b"\x01").to_bytes(CODEC_BINARY)
+        assert detect_codec(data) == CODEC_BINARY
+
+    def test_detect_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            detect_codec(b"\x00\x01\x02")
+        with pytest.raises(ProtocolError):
+            detect_codec(b"")
+
+    def test_binary_tags_disjoint_from_json(self):
+        # One-byte dispatch is sound: no tag collides with '{' (0x7b).
+        assert ord("{") not in BINARY_TAGS.values()
+        assert len(set(BINARY_TAGS.values())) == len(BINARY_TAGS)
+
+    def test_peek_kind_reads_one_byte_tag(self):
+        data = FileRequest(file_ids=("a",)).to_bytes(CODEC_BINARY)
+        # peek_kind on a truncated binary message still answers from
+        # the tag byte alone — no full parse.
+        assert peek_kind(data[:1]) == "fetch"
+
+
+class TestBinaryFraming:
+    def test_truncated_frame_rejected(self):
+        data = SearchRequest(trapdoor_bytes=b"\x01" * 8).to_bytes(
+            CODEC_BINARY
+        )
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_bytes(data[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        data = SearchRequest(trapdoor_bytes=b"\x01").to_bytes(CODEC_BINARY)
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_bytes(data + b"\x00")
+
+    def test_cross_kind_rejected(self):
+        data = FileRequest(file_ids=("a",)).to_bytes(CODEC_BINARY)
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_bytes(data)
+
+    def test_no_hex_doubling(self):
+        blob = b"\xaa" * 1000
+        binary = SearchResponse(files=(("d", blob),)).to_bytes(CODEC_BINARY)
+        json_encoded = SearchResponse(files=(("d", blob),)).to_bytes(
+            CODEC_JSON
+        )
+        assert len(binary) < len(blob) + 200
+        assert len(json_encoded) > 2 * len(blob)
+
+
+class TestRoundtripProperties:
+    """JSON<->binary equivalence for every message type."""
+
+    @settings(max_examples=50)
+    @given(
+        trapdoor=st.binary(min_size=1, max_size=64),
+        top_k=st.one_of(st.none(), st.integers(1, 2**32 - 1)),
+        entries_only=st.booleans(),
+    )
+    def test_search_request(self, trapdoor, top_k, entries_only):
+        message = SearchRequest(
+            trapdoor_bytes=trapdoor, top_k=top_k, entries_only=entries_only
+        )
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert detect_codec(data) == codec
+            assert peek_kind(data) == "search"
+            assert SearchRequest.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(
+        matches=st.lists(pairs, max_size=8),
+        files=st.lists(pairs, max_size=8),
+    )
+    def test_search_response(self, matches, files):
+        message = SearchResponse(
+            matches=tuple(matches), files=tuple(files)
+        )
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "search-response"
+            assert SearchResponse.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(ids=st.lists(file_ids, max_size=8))
+    def test_file_request(self, ids):
+        message = FileRequest(file_ids=tuple(ids))
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "fetch"
+            assert FileRequest.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(files=st.lists(pairs, max_size=8))
+    def test_ranked_files_response(self, files):
+        message = RankedFilesResponse(files=tuple(files))
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "files"
+            assert RankedFilesResponse.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(
+        token=st.binary(max_size=32),
+        address=st.binary(min_size=1, max_size=32),
+        entries=st.lists(st.binary(min_size=1, max_size=64), max_size=8),
+        mode=st.sampled_from(["append", "replace"]),
+    )
+    def test_update_list_request(self, token, address, entries, mode):
+        message = UpdateListRequest(
+            token=token,
+            address=address,
+            entries=tuple(entries),
+            mode=mode,
+        )
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "update-list"
+            assert UpdateListRequest.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(token=st.binary(max_size=32), pair=pairs)
+    def test_put_blob_request(self, token, pair):
+        file_id, blob = pair
+        message = PutBlobRequest(token=token, file_id=file_id, blob=blob)
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "put-blob"
+            assert PutBlobRequest.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(token=st.binary(max_size=32), file_id=file_ids)
+    def test_remove_blob_request(self, token, file_id):
+        message = RemoveBlobRequest(token=token, file_id=file_id)
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "remove-blob"
+            assert RemoveBlobRequest.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(ok=st.booleans(), detail=st.text(max_size=40))
+    def test_ack_response(self, ok, detail):
+        message = AckResponse(ok=ok, detail=detail)
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "ack"
+            assert AckResponse.from_bytes(data) == message

@@ -1,0 +1,395 @@
+"""The serving fast path: ranked cache, single-pass ranking, batch
+fan-out, and the bounded observation log.
+
+The overhaul's acceptance contract is *byte equivalence*: the ranked
+warm cache, the binary codec, and the grouped batch dispatch are pure
+optimizations, so every response must be byte-identical across
+{ranked cache on/off} x {batch vs. single dispatch}, and an owner
+update must never leave a stale ranking behind in a warm cache.
+"""
+
+import pytest
+
+from repro.cloud import Channel, CloudServer, DataOwner, DataUser
+from repro.cloud.cluster import ClusterServer
+from repro.cloud.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    SearchRequest,
+    SearchResponse,
+    detect_codec,
+)
+from repro.cloud.server import SearchObservation, ServerLog
+from repro.cloud.updates import RemoteIndexMaintainer
+from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.corpus.loader import Document
+from repro.errors import ParameterError
+from repro.obs import FakeClock, Obs
+
+TOKEN = b"fastpath-update-token"
+VOCAB = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+
+@pytest.fixture()
+def world():
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    owner = DataOwner(scheme)
+    documents = [
+        Document(
+            doc_id=f"doc{i}",
+            title=f"doc {i}",
+            text=" ".join(
+                VOCAB[j % len(VOCAB)] for j in range(i, i + 12)
+            )
+            + " alpha" * (i % 5),
+        )
+        for i in range(12)
+    ]
+    outsourcing = owner.setup(documents)
+    return scheme, owner, outsourcing
+
+
+def search_bytes(scheme, key, keyword, k=3, codec=CODEC_JSON):
+    return SearchRequest(
+        trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(), top_k=k
+    ).to_bytes(codec)
+
+
+def make_server(outsourcing, cached: bool, **kwargs) -> CloudServer:
+    return CloudServer(
+        outsourcing.secure_index,
+        outsourcing.blob_store,
+        can_rank=True,
+        cache_searches=cached,
+        update_token=TOKEN,
+        **kwargs,
+    )
+
+
+class TestRankedCacheEquivalence:
+    def test_byte_identical_cache_on_off(self, world):
+        scheme, owner, outsourcing = world
+        cached = make_server(outsourcing, cached=True)
+        uncached = make_server(outsourcing, cached=False)
+        for keyword in VOCAB * 2:  # second pass hits the warm cache
+            for k in (1, 3, None):
+                request = search_bytes(scheme, owner.key, keyword, k=k)
+                assert cached.handle(request) == uncached.handle(request)
+        assert cached.cache_hits > 0
+
+    def test_warm_hit_serves_from_ranked_list(self, world):
+        scheme, owner, outsourcing = world
+        server = make_server(outsourcing, cached=True)
+        request = search_bytes(scheme, owner.key, "alpha")
+        address = scheme.trapdoor(owner.key, "alpha").address
+        server.handle(request)
+        posting = server.cache.get(address)
+        assert posting.ranked is not None
+        opm_values = [match.opm_value() for match in posting.ranked]
+        assert opm_values == sorted(opm_values, reverse=True)
+
+    def test_basic_scheme_cache_stores_no_ranking(self, world):
+        _, _, outsourcing = world
+        server = CloudServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=False,
+            cache_searches=True,
+        )
+        scheme, owner, _ = world
+        request = search_bytes(scheme, owner.key, "alpha", k=None)
+        server.handle(request)
+        address = scheme.trapdoor(owner.key, "alpha").address
+        assert server.cache.get(address).ranked is None
+
+    def test_observations_identical_cache_on_off(self, world):
+        scheme, owner, outsourcing = world
+        cached = make_server(outsourcing, cached=True)
+        uncached = make_server(outsourcing, cached=False)
+        for keyword in ("alpha", "beta", "alpha"):
+            request = search_bytes(scheme, owner.key, keyword)
+            cached.handle(request)
+            uncached.handle(request)
+        assert list(cached.log.observations) == list(
+            uncached.log.observations
+        )
+
+    def test_cache_hit_ratio(self, world):
+        scheme, owner, outsourcing = world
+        server = make_server(outsourcing, cached=True)
+        request = search_bytes(scheme, owner.key, "alpha")
+        server.handle(request)
+        assert server.cache.hit_ratio == 0.0
+        server.handle(request)
+        assert server.cache.hit_ratio == 0.5
+
+
+class TestSinglePassRanking:
+    def test_scanned_counter_reflects_one_pass(self, world):
+        """Regression: rank_all's result used to be discarded and the
+        matches re-scanned by top_k — two passes per query."""
+        scheme, owner, outsourcing = world
+        obs = Obs.enabled(clock=FakeClock())
+        server = CloudServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            obs=obs,
+        )
+        request = search_bytes(scheme, owner.key, "alpha", k=3)
+        server.handle(request)
+        (rank_span,) = [
+            span for span in obs.tracer.spans if span.name == "search.rank"
+        ]
+        (postings_span,) = [
+            span
+            for span in obs.tracer.spans
+            if span.name == "search.postings"
+        ]
+        matched = postings_span.attrs["postings"]
+        assert matched > 3
+        assert rank_span.attrs["scanned"] == matched
+
+    def test_warm_hit_scans_only_k(self, world):
+        scheme, owner, outsourcing = world
+        obs = Obs.enabled(clock=FakeClock())
+        server = CloudServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            cache_searches=True,
+            obs=obs,
+        )
+        request = search_bytes(scheme, owner.key, "alpha", k=2)
+        server.handle(request)
+        server.handle(request)
+        rank_spans = [
+            span for span in obs.tracer.spans if span.name == "search.rank"
+        ]
+        assert rank_spans[-1].attrs["scanned"] == 2
+        assert rank_spans[-1].attrs["ranked_cache"] is True
+
+
+class TestUpdateInvalidation:
+    def _deploy(self, world, codec):
+        scheme, owner, outsourcing = world
+        server = make_server(outsourcing, cached=True)
+        maintainer = RemoteIndexMaintainer(
+            owner, Channel(server.handle), TOKEN, codec=codec
+        )
+        return scheme, owner, server, maintainer
+
+    @pytest.mark.parametrize("codec", [CODEC_JSON, CODEC_BINARY])
+    def test_insert_refreshes_warm_ranking(self, world, codec):
+        scheme, owner, server, maintainer = self._deploy(world, codec)
+        request = search_bytes(scheme, owner.key, "alpha", k=None)
+        before = SearchResponse.from_bytes(server.handle(request))
+        server.handle(request)  # cache is warm now
+        maintainer.insert_document(
+            Document(
+                doc_id="fresh-doc",
+                title="fresh",
+                text="alpha " * 30,
+            )
+        )
+        after_bytes = server.handle(request)
+        after = SearchResponse.from_bytes(after_bytes)
+        assert "fresh-doc" in {m[0] for m in after.matches}
+        assert len(after.matches) == len(before.matches) + 1
+        # The warm answer must equal a cold server's (no stale ranking).
+        _, _, outsourcing = world
+        cold = make_server(outsourcing, cached=False)
+        assert after_bytes == cold.handle(request)
+
+    @pytest.mark.parametrize("codec", [CODEC_JSON, CODEC_BINARY])
+    def test_remove_refreshes_warm_ranking(self, world, codec):
+        scheme, owner, server, maintainer = self._deploy(world, codec)
+        request = search_bytes(scheme, owner.key, "alpha", k=None)
+        before = SearchResponse.from_bytes(server.handle(request))
+        server.handle(request)  # cache is warm now
+        victim = before.matches[0][0]
+        maintainer.remove_document(victim)
+        after = SearchResponse.from_bytes(server.handle(request))
+        assert victim not in {m[0] for m in after.matches}
+        assert len(after.matches) == len(before.matches) - 1
+
+    def test_warm_equals_cold_after_update(self, world):
+        """A warm post-update query is byte-identical to a cold one."""
+        scheme, owner, server, maintainer = self._deploy(world, CODEC_JSON)
+        request = search_bytes(scheme, owner.key, "alpha", k=4)
+        server.handle(request)
+        maintainer.insert_document(
+            Document(doc_id="d-new", title="t", text="alpha " * 20)
+        )
+        _, _, outsourcing = world
+        cold = make_server(outsourcing, cached=False)
+        assert server.handle(request) == cold.handle(request)
+
+
+class TestClusterBatchEquivalence:
+    @pytest.mark.parametrize("codec", [CODEC_JSON, CODEC_BINARY])
+    @pytest.mark.parametrize("cached", [True, False])
+    def test_batch_matches_single_dispatch(self, world, codec, cached):
+        scheme, owner, outsourcing = world
+        requests = [
+            search_bytes(scheme, owner.key, keyword, k=k, codec=codec)
+            for keyword in VOCAB * 2
+            for k in (1, 3)
+        ]
+        with ClusterServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            num_shards=3,
+            cache_searches=cached,
+        ) as cluster:
+            batched = cluster.handle_many(requests)
+            single = [cluster.handle(request) for request in requests]
+        reference = make_server(outsourcing, cached=False)
+        assert batched == single
+        assert batched == [
+            reference.handle(request) for request in requests
+        ]
+
+    def test_resilient_batch_matches_single(self, world):
+        scheme, owner, outsourcing = world
+        requests = [
+            search_bytes(scheme, owner.key, keyword) for keyword in VOCAB
+        ]
+        with ClusterServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            num_shards=2,
+            cache_searches=True,
+        ) as cluster:
+            result = cluster.handle_many_resilient(requests)
+            assert result.complete
+            assert list(result.responses) == [
+                cluster.handle(request) for request in requests
+            ]
+
+    def test_empty_batch(self, world):
+        _, _, outsourcing = world
+        with ClusterServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            num_shards=2,
+        ) as cluster:
+            assert cluster.handle_many([]) == []
+
+
+class TestCodecMirroring:
+    def test_response_codec_follows_request(self, world):
+        scheme, owner, outsourcing = world
+        server = make_server(outsourcing, cached=True)
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            response = server.handle(
+                search_bytes(scheme, owner.key, "alpha", codec=codec)
+            )
+            assert detect_codec(response) == codec
+
+    def test_codecs_carry_identical_content(self, world):
+        scheme, owner, outsourcing = world
+        server = make_server(outsourcing, cached=False)
+        json_response = SearchResponse.from_bytes(
+            server.handle(search_bytes(scheme, owner.key, "beta"))
+        )
+        binary_response = SearchResponse.from_bytes(
+            server.handle(
+                search_bytes(scheme, owner.key, "beta", codec=CODEC_BINARY)
+            )
+        )
+        assert json_response == binary_response
+
+    def test_user_binary_codec_end_to_end(self, world):
+        scheme, owner, outsourcing = world
+        server = make_server(outsourcing, cached=True)
+        json_user = DataUser(
+            scheme,
+            owner.authorize_user(),
+            Channel(server.handle),
+            owner.analyzer,
+        )
+        binary_user = DataUser(
+            scheme,
+            owner.authorize_user(),
+            Channel(server.handle, codec=CODEC_BINARY),
+            owner.analyzer,
+            codec=CODEC_BINARY,
+        )
+        assert [
+            (hit.file_id, hit.text)
+            for hit in binary_user.search_ranked_topk("alpha", 4)
+        ] == [
+            (hit.file_id, hit.text)
+            for hit in json_user.search_ranked_topk("alpha", 4)
+        ]
+
+
+class TestBoundedServerLog:
+    def _observation(self, tag: bytes) -> SearchObservation:
+        return SearchObservation(
+            address=tag,
+            matched_file_ids=("d1",),
+            score_fields=(b"\x01",),
+            returned_file_ids=("d1",),
+        )
+
+    def test_default_is_unbounded(self):
+        log = ServerLog()
+        for i in range(500):
+            log.record(self._observation(b"a%d" % (i % 3)))
+        assert len(log.observations) == 500
+
+    def test_bounded_mode_caps_memory(self):
+        log = ServerLog(max_observations=16)
+        for i in range(100):
+            log.record(self._observation(b"a%d" % (i % 3)))
+        assert len(log.observations) == 16
+
+    def test_bounded_pattern_counts_full_history(self):
+        log = ServerLog(max_observations=4)
+        for _ in range(10):
+            log.record(self._observation(b"hot"))
+        log.record(self._observation(b"rare"))
+        pattern = log.search_pattern()
+        assert pattern[b"hot"] == 10
+        assert pattern[b"rare"] == 1
+
+    def test_direct_append_still_counted_when_unbounded(self):
+        # The leakage-analysis idiom: tests append to .observations
+        # directly, bypassing record().
+        log = ServerLog()
+        log.observations.append(self._observation(b"x"))
+        log.observations.append(self._observation(b"x"))
+        assert log.search_pattern() == {b"x": 2}
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            ServerLog(max_observations=0)
+
+    def test_server_log_capacity_parameter(self, world):
+        scheme, owner, outsourcing = world
+        server = make_server(outsourcing, cached=False, log_capacity=2)
+        for keyword in ("alpha", "beta", "gamma"):
+            server.handle(search_bytes(scheme, owner.key, keyword))
+        assert len(server.log.observations) == 2
+        assert len(server.log.search_pattern()) == 3
+
+    def test_cluster_forwards_log_capacity(self, world):
+        scheme, owner, outsourcing = world
+        with ClusterServer(
+            outsourcing.secure_index,
+            outsourcing.blob_store,
+            can_rank=True,
+            num_shards=2,
+            log_capacity=1,
+        ) as cluster:
+            for keyword in VOCAB:
+                cluster.handle(search_bytes(scheme, owner.key, keyword))
+            assert all(
+                len(log.observations) <= 1 for log in cluster.logs
+            )
+            assert sum(cluster.search_pattern().values()) == len(VOCAB)
