@@ -117,6 +117,103 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_deployment(root: str):
+    """Load a deployment directory, sharded or not.
+
+    Returns ``(index, blob_store, scheme kind)`` where ``index`` is a
+    :class:`~repro.core.secure_index.SecureIndex` or a pre-partitioned
+    :class:`~repro.cloud.cluster.ShardedIndex`.
+    """
+    import json
+
+    from repro.cloud.persistence import load_sharded_outsourcing
+
+    try:
+        manifest = json.loads(
+            (Path(root) / "manifest.json").read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError) as exc:
+        raise ReproError(
+            f"{root} is not a deployment directory: {exc}"
+        ) from exc
+    if manifest.get("sharded"):
+        return load_sharded_outsourcing(root)
+    outsourcing, kind = load_outsourcing(root)
+    return outsourcing.secure_index, outsourcing.blob_store, kind
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a deployment directory over TCP until interrupted."""
+    from repro.cloud import NetServer
+
+    index, blobs, kind = _load_deployment(args.deployment)
+    server = NetServer(
+        index,
+        blobs,
+        can_rank=kind == "rsse",
+        host=args.host,
+        port=args.port,
+        num_shards=args.shards,
+        cache_searches=not args.no_cache,
+    )
+    server.start()
+    try:
+        print(
+            f"serving {args.deployment} ({kind}) on "
+            f"{server.host}:{server.port} with {server.num_shards} "
+            f"shard worker process(es); Ctrl-C to stop",
+            flush=True,
+        )
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Ranked top-k search against a running ``repro serve``."""
+    from repro.cloud import NetworkChannel
+
+    scheme = _scheme_for(args.scheme)
+    credentials = load_credentials(args.credentials)
+    with NetworkChannel(
+        args.host, args.port, timeout_s=args.timeout, codec=args.codec
+    ) as channel:
+        user = DataUser(
+            scheme, credentials, channel, Analyzer(), codec=args.codec
+        )
+        started = time.perf_counter()
+        if args.scheme == "rsse":
+            hits = user.search_ranked_topk(args.keyword, args.top_k)
+        else:
+            hits = user.search_two_round_topk(args.keyword, args.top_k)
+        elapsed = time.perf_counter() - started
+        stats = channel.stats
+        if not hits:
+            print(f"no files match {args.keyword!r}")
+            return 1
+        print(
+            f"top-{len(hits)} for {args.keyword!r} via "
+            f"{args.host}:{args.port} ({stats.round_trips} round "
+            f"trip(s), {stats.total_bytes // 1024} KB, "
+            f"{elapsed * 1000:.0f} ms):"
+        )
+        for hit in hits:
+            first_line = next(
+                (
+                    line.strip()
+                    for line in hit.text.splitlines()
+                    if line.strip()
+                ),
+                "",
+            )
+            print(f"  #{hit.rank:<3} {hit.file_id:<12} {first_line[:60]}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     documents = _load_corpus(args.corpus)
     analyzer = Analyzer()
@@ -284,6 +381,47 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--keyword", required=True)
     search.add_argument("-k", "--top-k", type=int, default=10)
     search.set_defaults(handler=_cmd_search)
+
+    serve = commands.add_parser(
+        "serve",
+        help="host a deployment over TCP (multi-process shard workers)",
+    )
+    serve.add_argument("--deployment", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9530)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker process count (default: 4, or the stored shard "
+        "count for sharded deployments)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-worker ranked search cache",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="user: ranked top-k search against a repro serve"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=9530)
+    query.add_argument("--credentials", required=True)
+    query.add_argument("--keyword", required=True)
+    query.add_argument("-k", "--top-k", type=int, default=10)
+    query.add_argument(
+        "--scheme", choices=("rsse", "basic"), default="rsse"
+    )
+    query.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help="wire codec for every request (responses mirror it)",
+    )
+    query.add_argument("--timeout", type=float, default=10.0)
+    query.set_defaults(handler=_cmd_query)
 
     stats = commands.add_parser(
         "stats", help="collection statistics + range recommendation"

@@ -6,7 +6,10 @@
 * :class:`~repro.cloud.network.Channel` — accounted transport;
 * :class:`~repro.cloud.cluster.ClusterServer` — sharded concurrent
   front end over per-shard :class:`~repro.cloud.server.CloudServer`
-  workers.
+  workers;
+* :class:`~repro.cloud.netserve.NetServer` /
+  :class:`~repro.cloud.netserve.NetworkChannel` — the same cluster
+  over real TCP sockets with one worker *process* per shard.
 """
 
 from repro.cloud.abac import (
@@ -43,11 +46,13 @@ from repro.cloud.faults import (
     FaultStats,
     FaultyChannel,
 )
+from repro.cloud.netserve import NetServer, NetworkChannel
 from repro.cloud.network import (
     Channel,
     ChannelSnapshot,
     ChannelStats,
     LinkModel,
+    Transport,
 )
 from repro.cloud.retry import (
     BreakerConfig,
@@ -58,6 +63,7 @@ from repro.cloud.retry import (
 )
 from repro.cloud.owner import DataOwner, Outsourcing, UserCredentials
 from repro.cloud.protocol import (
+    ErrorResponse,
     FileRequest,
     RankedFilesResponse,
     SearchRequest,
@@ -96,6 +102,7 @@ __all__ = [
     "DEFAULT_SHARD_SEED",
     "DataOwner",
     "DataUser",
+    "ErrorResponse",
     "FaultPlan",
     "FaultSchedule",
     "FaultStats",
@@ -103,6 +110,8 @@ __all__ = [
     "FileRequest",
     "LinkModel",
     "LruCache",
+    "NetServer",
+    "NetworkChannel",
     "Outsourcing",
     "PartialResult",
     "PolicyCiphertext",
@@ -120,6 +129,7 @@ __all__ = [
     "ServerLog",
     "ShardedIndex",
     "Threshold",
+    "Transport",
     "UpdateListRequest",
     "UserCredentials",
     "UserKeySet",

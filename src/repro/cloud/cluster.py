@@ -74,6 +74,37 @@ DEFAULT_SHARD_SEED = b"repro-shard-placement-v1"
 DEFAULT_NUM_SHARDS = 4
 
 
+def routing_address(request_bytes: bytes) -> bytes:
+    """The bytes that decide which shard owns one request.
+
+    Addressed requests (search, update-list) route by the index
+    address they touch.  Blob requests carry no index address; they
+    route by their file id so blob traffic spreads deterministically
+    (any worker can serve them — the blob store is shared in-process
+    and replicated per worker over the network).  Shared by
+    :class:`ClusterServer` and the socket front end
+    (:class:`~repro.cloud.netserve.NetServer`), so the two deployments
+    route every request identically.
+    """
+    kind = peek_kind(request_bytes)
+    if kind == "search":
+        request = SearchRequest.from_bytes(request_bytes)
+        return Trapdoor.deserialize(request.trapdoor_bytes).address
+    if kind == "update-list":
+        return UpdateListRequest.from_bytes(request_bytes).address
+    if kind == "put-blob":
+        return PutBlobRequest.from_bytes(request_bytes).file_id.encode(
+            "utf-8"
+        )
+    if kind == "remove-blob":
+        return RemoveBlobRequest.from_bytes(request_bytes).file_id.encode(
+            "utf-8"
+        )
+    if kind == "fetch":
+        return request_bytes
+    raise ProtocolError(f"unknown request kind {kind!r}")
+
+
 def shard_for_address(
     address: bytes, num_shards: int, seed: bytes = DEFAULT_SHARD_SEED
 ) -> int:
@@ -578,26 +609,10 @@ class ClusterServer:
         shard workers deterministically — the blob store itself is
         shared, so any worker can serve them.
         """
-        kind = peek_kind(request_bytes)
-        if kind == "search":
-            request = SearchRequest.from_bytes(request_bytes)
-            address = Trapdoor.deserialize(request.trapdoor_bytes).address
-        elif kind == "update-list":
-            address = UpdateListRequest.from_bytes(request_bytes).address
-        elif kind == "put-blob":
-            address = PutBlobRequest.from_bytes(request_bytes).file_id.encode(
-                "utf-8"
-            )
-        elif kind == "remove-blob":
-            address = RemoveBlobRequest.from_bytes(
-                request_bytes
-            ).file_id.encode("utf-8")
-        elif kind == "fetch":
-            address = request_bytes
-        else:
-            raise ProtocolError(f"unknown request kind {kind!r}")
         return shard_for_address(
-            address, self._sharded.num_shards, self._sharded.shard_seed
+            routing_address(request_bytes),
+            self._sharded.num_shards,
+            self._sharded.shard_seed,
         )
 
     def _call_shard(

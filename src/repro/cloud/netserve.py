@@ -1,0 +1,1153 @@
+"""Real network serving: sockets, processes, and the binary codec.
+
+Everything below the wire in PRs 1–5 — the sharded cluster, retry and
+breakers, the ranked cache, the dual codec — ran behind the in-process
+:class:`~repro.cloud.network.Channel`, which means one Python process
+and the GIL capping a "4-shard" cluster at one core.  This module is
+the deployment shape the codec was designed for:
+
+* :class:`NetServer` — an asyncio TCP front end speaking
+  length-prefixed frames (:func:`~repro.cloud.protocol.encode_frame`)
+  whose payloads are the PR-5 codec messages.  Dispatch is
+  :func:`~repro.cloud.protocol.peek_kind` (one byte for the binary
+  codec); JSON clients work unchanged via
+  :func:`~repro.cloud.protocol.detect_codec`, and every response
+  mirrors its request's codec.
+* **Pre-forked shard workers** — one OS *process* per shard
+  (``multiprocessing`` fork context), each owning a full
+  :class:`~repro.cloud.server.CloudServer` over its index partition
+  plus its own ranked cache, so shards rank and decrypt on separate
+  cores.  The parent talks to each worker over a duplex pipe with
+  request-id multiplexing, so one worker serves pipelined requests
+  from many connections.
+* **Backpressure, twice** — a per-connection in-flight window (the
+  reader simply stops consuming the socket, letting TCP flow control
+  push back on the client) and a global queue-depth high-water mark
+  that *sheds* load with an explicit
+  :class:`~repro.cloud.protocol.ErrorResponse` carrying
+  ``ServerOverloadedError`` rather than queueing without bound.
+* :class:`NetworkChannel` — the client side: a drop-in
+  :class:`~repro.cloud.network.Transport`, so
+  :class:`~repro.cloud.user.DataUser`,
+  :class:`~repro.cloud.retry.RetryingChannel`, and
+  :class:`~repro.cloud.updates.RemoteIndexMaintainer` run unmodified
+  over real sockets, plus pipelined batch calls mirroring the cluster
+  fan-out (:meth:`NetworkChannel.call_many_resilient` returns the
+  same :class:`~repro.cloud.cluster.PartialResult` contract).
+
+Routing is byte-identical to :class:`~repro.cloud.cluster.ClusterServer`
+(shared :func:`~repro.cloud.cluster.routing_address`), with one
+deployment difference: the blob store is *replicated* per worker
+process (fork copy-on-write), so ``put-blob``/``remove-blob`` are
+broadcast to every worker while addressed requests go only to their
+owning shard.  The in-process cluster remains the deterministic
+reference; the loopback suite asserts the two produce byte-identical
+responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import socket
+import threading
+import time
+from collections import deque
+from typing import Iterable, Sequence
+
+import repro.errors
+from repro.cloud.cluster import (
+    DEFAULT_NUM_SHARDS,
+    DEFAULT_SHARD_SEED,
+    PartialResult,
+    ShardedIndex,
+    routing_address,
+    shard_for_address,
+)
+from repro.cloud.network import ChannelStats
+from repro.cloud.protocol import (
+    MAX_FRAME_BYTES,
+    ErrorResponse,
+    StreamDecoder,
+    detect_codec,
+    encode_frame,
+    peek_kind,
+)
+from repro.cloud.retry import BreakerConfig, BreakerSnapshot, CircuitBreaker
+from repro.cloud.server import CloudServer
+from repro.cloud.storage import BlobStore
+from repro.core.secure_index import SecureIndex
+from repro.errors import (
+    CallDroppedError,
+    CallTimeoutError,
+    CorruptedResponseError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    ServerOverloadedError,
+    ShardDownError,
+    TransportError,
+)
+from repro.obs.trace import NOOP_TRACER
+
+#: Default per-connection in-flight window (requests admitted but not
+#: yet answered before the server stops reading that socket).
+DEFAULT_MAX_INFLIGHT_PER_CONN = 32
+
+#: Default global queue-depth high-water mark: requests in flight
+#: across all connections beyond which new arrivals are shed with an
+#: explicit overload response.
+DEFAULT_MAX_QUEUE_DEPTH = 128
+
+#: Blob mutations are broadcast to every worker (replicated stores).
+_BROADCAST_KINDS = ("put-blob", "remove-blob")
+
+_STATUS_OK = 0x00
+_STATUS_ERROR = 0x01
+
+_RID_BYTES = 8
+
+
+def _pack_strs(*values: str) -> bytes:
+    parts = []
+    for value in values:
+        data = value.encode("utf-8")
+        parts.append(len(data).to_bytes(4, "big"))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def _unpack_strs(data: bytes, count: int) -> list[str]:
+    values = []
+    offset = 0
+    for _ in range(count):
+        length = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        values.append(data[offset:offset + length].decode("utf-8"))
+        offset += length
+    return values
+
+
+def _worker_main(
+    conn,
+    shard_index: SecureIndex,
+    blob_store: BlobStore,
+    can_rank: bool,
+    cache_searches: bool,
+    cache_capacity: int | None,
+    update_token: bytes | None,
+    delay_s: float,
+) -> None:
+    """One shard worker: a CloudServer behind a request pipe.
+
+    Runs in the forked child.  The shard index and blob store arrive
+    via fork copy-on-write (never pickled), so the worker starts with
+    an exact snapshot of the parent's deployment.  The loop is
+    deliberately single-threaded — a shard is the unit of
+    serialization, exactly the guarantee the in-process cluster gets
+    from its shard lock — and exits when the parent closes its pipe
+    end.  SIGINT is ignored so an interactive Ctrl-C reaches only the
+    parent, which then shuts workers down via the pipes.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    server = CloudServer(
+        shard_index,
+        blob_store,
+        can_rank,
+        cache_searches=cache_searches,
+        update_token=update_token,
+        **(
+            {"cache_capacity": cache_capacity}
+            if cache_capacity is not None
+            else {}
+        ),
+    )
+    while True:
+        try:
+            envelope = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        rid = envelope[:_RID_BYTES]
+        request = envelope[_RID_BYTES:]
+        if delay_s:
+            time.sleep(delay_s)
+        started = time.perf_counter()
+        try:
+            response = server.handle(request)
+        except Exception as exc:  # noqa: BLE001 — workers must not die
+            reply = (
+                rid
+                + bytes([_STATUS_ERROR])
+                + _pack_strs(type(exc).__name__, str(exc))
+            )
+        else:
+            elapsed_us = min(
+                int((time.perf_counter() - started) * 1e6), 2**32 - 1
+            )
+            reply = (
+                rid
+                + bytes([_STATUS_OK])
+                + elapsed_us.to_bytes(4, "big")
+                + response
+            )
+        try:
+            conn.send_bytes(reply)
+        except (OSError, BrokenPipeError):
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side view of one shard worker process.
+
+    Multiplexes pipelined requests over the worker pipe with 8-byte
+    request ids; a dedicated reader thread resolves the matching
+    asyncio futures via ``call_soon_threadsafe``.  When the pipe dies
+    (worker crashed or killed), every pending call — and every future
+    call — fails with :class:`~repro.errors.ShardDownError`, which is
+    what the front end's per-worker circuit breaker counts.
+    """
+
+    def __init__(self, shard: int, process, conn, breaker: CircuitBreaker):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.breaker = breaker
+        self.alive = True
+        self._lock = threading.Lock()
+        self._pending: dict[bytes, asyncio.Future] = {}
+        self._next_rid = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._reader: threading.Thread | None = None
+
+    def start_reader(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"netserve-worker-{self.shard}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+
+    @staticmethod
+    def _resolve(future: asyncio.Future, result) -> None:
+        if not future.done():
+            future.set_result(result)
+
+    @staticmethod
+    def _fail(future: asyncio.Future, exc: Exception) -> None:
+        if not future.done():
+            future.set_exception(exc)
+
+    def _read_loop(self) -> None:
+        assert self._loop is not None
+        while True:
+            try:
+                data = self.conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            rid = bytes(data[:_RID_BYTES])
+            with self._lock:
+                future = self._pending.pop(rid, None)
+            if future is None:
+                continue
+            status = data[_RID_BYTES]
+            body = bytes(data[_RID_BYTES + 1:])
+            if status == _STATUS_OK:
+                elapsed_us = int.from_bytes(body[:4], "big")
+                outcome = (True, body[4:], elapsed_us, "")
+            else:
+                code, detail = _unpack_strs(body, 2)
+                outcome = (False, b"", 0, f"{code}\x00{detail}")
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._resolve, future, outcome
+                )
+            except RuntimeError:  # loop already closed during shutdown
+                break
+        with self._lock:
+            self.alive = False
+            orphans = list(self._pending.values())
+            self._pending.clear()
+        for future in orphans:
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._fail,
+                    future,
+                    ShardDownError(f"shard {self.shard}: worker died"),
+                )
+            except RuntimeError:  # loop already closed during shutdown
+                break
+
+    def _send(self, envelope: bytes) -> None:
+        with self._lock:
+            if not self.alive:
+                raise ShardDownError(
+                    f"shard {self.shard}: worker is not running"
+                )
+            self.conn.send_bytes(envelope)
+
+    async def call(self, request: bytes) -> tuple[bool, bytes, int, str]:
+        """One pipelined worker round trip.
+
+        Returns ``(ok, response, worker_us, packed_error)``; raises
+        :class:`~repro.errors.ShardDownError` when the worker (or its
+        pipe) is gone.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        with self._lock:
+            if not self.alive:
+                raise ShardDownError(
+                    f"shard {self.shard}: worker is not running"
+                )
+            rid = self._next_rid.to_bytes(_RID_BYTES, "big")
+            self._next_rid += 1
+            self._pending[rid] = future
+        try:
+            await loop.run_in_executor(None, self._send, rid + request)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            with self._lock:
+                self._pending.pop(rid, None)
+            raise ShardDownError(
+                f"shard {self.shard}: worker pipe failed ({exc})"
+            ) from exc
+        return await future
+
+    def shutdown(self, timeout_s: float) -> None:
+        # Stop the worker *before* touching the pipe: the reader
+        # thread is blocked in ``recv_bytes``, and on POSIX closing a
+        # file descriptor does not wake a thread already blocked on
+        # it — but the worker's death closes the far end, which does
+        # (EOF).
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=timeout_s)
+        if self.process.is_alive():  # pragma: no cover — last resort
+            self.process.kill()
+            self.process.join(timeout=timeout_s)
+        if self._reader is not None:
+            self._reader.join(timeout=timeout_s)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class NetServer:
+    """A multi-process TCP front end for the sharded index.
+
+    Accepts persistent connections carrying length-prefixed codec
+    frames, routes each request to the worker process owning its shard
+    (broadcasting blob mutations to all workers — the blob store is
+    replicated per process), and writes responses back *in request
+    order* per connection, so clients may pipeline freely.
+
+    Failure semantics are explicit bytes, never silence: a request
+    whose shard is down, whose handler rejected it, or which was shed
+    at the admission-control limit comes back as an
+    :class:`~repro.cloud.protocol.ErrorResponse` in the request's own
+    codec, carrying the exception class name and the shard id when one
+    is known.  Per-worker circuit breakers (same
+    :class:`~repro.cloud.retry.CircuitBreaker` as the in-process
+    cluster) stop hammering a dead worker after
+    ``failure_threshold`` consecutive pipe failures.
+
+    Parameters
+    ----------
+    index:
+        A pre-partitioned :class:`~repro.cloud.cluster.ShardedIndex`,
+        or a plain :class:`~repro.core.secure_index.SecureIndex` to
+        partition on construction.
+    blob_store:
+        The encrypted collection; each worker inherits a fork-time
+        copy, kept consistent by broadcasting blob mutations.
+    can_rank:
+        Forwarded to every worker's CloudServer.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    num_shards / shard_seed:
+        Partition geometry when ``index`` is unsharded.
+    cache_searches / cache_capacity / update_token:
+        Per-worker CloudServer knobs (each worker owns a private
+        ranked cache over its shard).
+    max_inflight_per_conn:
+        Per-connection admission window; past it the server stops
+        reading the socket (TCP pushes back on the client).
+    max_queue_depth:
+        Global in-flight high-water mark; past it new requests are
+        shed with ``ServerOverloadedError`` responses.
+    max_frame_bytes:
+        Per-frame size cap enforced at the length prefix.
+    breaker:
+        Per-worker circuit-breaker tuning (defaults when omitted).
+    worker_delay_s:
+        Artificial per-request service delay inside each worker —
+        a test/bench knob for provoking overload deterministically.
+    obs:
+        Optional :class:`repro.obs.Obs` bundle.  The front end keeps a
+        connection gauge (``repro_net_connections``), an in-flight
+        histogram (``repro_net_inflight``), request and
+        overload-rejection counters, and per-request spans whose
+        ``worker_us`` attribute bridges the worker's measured handling
+        time across the process boundary (worker processes cannot
+        share the parent's registry).
+    """
+
+    def __init__(
+        self,
+        index: SecureIndex | ShardedIndex,
+        blob_store: BlobStore,
+        can_rank: bool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_shards: int | None = None,
+        shard_seed: bytes = DEFAULT_SHARD_SEED,
+        cache_searches: bool = False,
+        cache_capacity: int | None = None,
+        update_token: bytes | None = None,
+        max_inflight_per_conn: int = DEFAULT_MAX_INFLIGHT_PER_CONN,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        breaker: BreakerConfig | None = None,
+        worker_delay_s: float = 0.0,
+        obs=None,
+    ):
+        if max_inflight_per_conn < 1:
+            raise ParameterError(
+                f"max_inflight_per_conn must be >= 1, got "
+                f"{max_inflight_per_conn}"
+            )
+        if max_queue_depth < 1:
+            raise ParameterError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if worker_delay_s < 0:
+            raise ParameterError(
+                f"worker_delay_s must be >= 0, got {worker_delay_s}"
+            )
+        if isinstance(index, ShardedIndex):
+            if num_shards is not None and num_shards != index.num_shards:
+                raise ParameterError(
+                    f"index has {index.num_shards} shards but num_shards="
+                    f"{num_shards} was requested"
+                )
+            self._sharded = index
+        else:
+            self._sharded = ShardedIndex.from_secure_index(
+                index,
+                num_shards if num_shards is not None else DEFAULT_NUM_SHARDS,
+                shard_seed=shard_seed,
+            )
+        try:
+            self._mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover — POSIX only
+            raise ParameterError(
+                "NetServer requires the fork start method (POSIX)"
+            ) from exc
+        shards = self._sharded.num_shards
+        if cache_capacity is not None and cache_capacity < 1:
+            raise ParameterError(
+                f"cache capacity must be >= 1, got {cache_capacity}"
+            )
+        self._per_shard_capacity = (
+            max(1, cache_capacity // shards)
+            if cache_capacity is not None
+            else None
+        )
+        self._blobs = blob_store
+        self._can_rank = can_rank
+        self._cache_searches = cache_searches
+        self._update_token = update_token
+        self._worker_delay_s = worker_delay_s
+        self._breaker_config = breaker
+        self._host = host
+        self._requested_port = port
+        self._bound_port: int | None = None
+        self._max_inflight = max_inflight_per_conn
+        self._max_depth = max_queue_depth
+        self._max_frame = max_frame_bytes
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else NOOP_TRACER
+        self._workers: tuple[_WorkerHandle, ...] = ()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._started = False
+        self._closed = False
+        self._start_error: BaseException | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "NetServer":
+        """Fork the workers, bind the socket, begin serving.
+
+        Returns ``self`` so tests can write
+        ``with NetServer(...).start() as server``.  The front-end
+        event loop runs on a background thread; this call returns once
+        the listening port is bound and every worker's reader is live.
+        """
+        if self._started:
+            raise ParameterError("server is already started")
+        self._started = True
+        handles = []
+        for shard, shard_index in enumerate(self._sharded.shards):
+            parent_conn, child_conn = self._mp.Pipe(duplex=True)
+            process = self._mp.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    shard_index,
+                    self._blobs,
+                    self._can_rank,
+                    self._cache_searches,
+                    self._per_shard_capacity,
+                    self._update_token,
+                    self._worker_delay_s,
+                ),
+                name=f"netserve-shard-{shard}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            handles.append(
+                _WorkerHandle(
+                    shard,
+                    process,
+                    parent_conn,
+                    CircuitBreaker(self._breaker_config),
+                )
+            )
+        self._workers = tuple(handles)
+        ready = threading.Event()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop,
+            args=(ready,),
+            name="netserve-frontend",
+            daemon=True,
+        )
+        self._loop_thread.start()
+        ready.wait()
+        if self._start_error is not None:
+            error = self._start_error
+            self.close()
+            raise ParameterError(
+                f"could not start network server: {error}"
+            ) from error
+        return self
+
+    def _run_loop(self, ready: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve(ready))
+        except BaseException as exc:  # pragma: no cover — defensive
+            self._start_error = exc
+        finally:
+            ready.set()
+            loop.close()
+
+    async def _serve(self, ready: threading.Event) -> None:
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_conn, self._host, self._requested_port
+            )
+        except OSError as exc:
+            self._start_error = exc
+            return
+        self._bound_port = server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        for handle in self._workers:
+            handle.start_reader(loop)
+        ready.set()
+        async with server:
+            await self._stop_event.wait()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        # In-flight request tasks may still be parked on worker
+        # futures; cancel them so the loop closes without orphans.
+        current = asyncio.current_task()
+        leftovers = [
+            task for task in asyncio.all_tasks() if task is not current
+        ]
+        for task in leftovers:
+            task.cancel()
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
+
+    def close(self) -> None:
+        """Stop serving and reap every worker process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # pragma: no cover — loop already gone
+                pass
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=10.0)
+        for handle in self._workers:
+            handle.shutdown(timeout_s=10.0)
+
+    def __enter__(self) -> "NetServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """The bind address."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._bound_port is None:
+            raise ParameterError("server has not been started")
+        return self._bound_port
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard worker processes."""
+        return self._sharded.num_shards
+
+    @property
+    def worker_processes(self) -> tuple:
+        """The shard worker process handles (for liveness assertions)."""
+        return tuple(handle.process for handle in self._workers)
+
+    @property
+    def worker_health(self) -> tuple[BreakerSnapshot, ...]:
+        """Per-worker circuit-breaker views, in shard order."""
+        return tuple(handle.breaker.snapshot() for handle in self._workers)
+
+    def kill_worker(self, shard: int) -> None:
+        """Kill one shard worker process (fault-injection helper).
+
+        SIGKILL, not a clean shutdown — the parent finds out the same
+        way it would about a real crash: the worker pipe goes dead and
+        in-flight calls fail with
+        :class:`~repro.errors.ShardDownError`.
+        """
+        handle = self._workers[shard]
+        handle.process.kill()
+        handle.process.join(timeout=10.0)
+
+    # -- request path -------------------------------------------------------
+
+    def _observe_conn(self, delta: int) -> None:
+        if self._obs is not None:
+            self._obs.metrics.gauge("repro_net_connections").add(delta)
+
+    def _observe_admitted(self, kind: str) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            "repro_net_requests_total", kind=kind
+        ).inc()
+        self._obs.metrics.histogram(
+            "repro_net_inflight",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        ).observe(float(self._inflight))
+
+    def _observe_overload(self) -> None:
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_net_overload_rejections_total"
+            ).inc()
+
+    async def _handle_conn(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        self._observe_conn(+1)
+        decoder = StreamDecoder(self._max_frame)
+        window = asyncio.Semaphore(self._max_inflight)
+        responses: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_loop(responses, writer)
+        )
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                try:
+                    frames = decoder.feed(chunk)
+                except ProtocolError:
+                    # A framing violation poisons the whole stream
+                    # (there is no resynchronization point); drop the
+                    # connection rather than guess at boundaries.
+                    break
+                for frame in frames:
+                    # The admission window: waiting here stops the
+                    # read loop, which stops ACKing the socket, which
+                    # is TCP backpressure on the client.
+                    await window.acquire()
+                    await responses.put(
+                        asyncio.get_running_loop().create_task(
+                            self._serve_one(frame, window)
+                        )
+                    )
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            await responses.put(None)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._observe_conn(-1)
+            self._conn_tasks.discard(task)
+
+    async def _write_loop(
+        self, responses: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        """Drain response tasks in admission order (pipelining)."""
+        while True:
+            task = await responses.get()
+            if task is None:
+                return
+            payload = await task
+            try:
+                writer.write(encode_frame(payload, self._max_frame))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+
+    async def _serve_one(
+        self, frame: bytes, window: asyncio.Semaphore
+    ) -> bytes:
+        """Serve one admitted frame; always returns response bytes."""
+        try:
+            try:
+                codec = detect_codec(frame)
+                kind = peek_kind(frame)
+            except ProtocolError as exc:
+                return ErrorResponse(
+                    code="ProtocolError", detail=str(exc)
+                ).to_bytes()
+            if self._inflight >= self._max_depth:
+                self._observe_overload()
+                return ErrorResponse(
+                    code="ServerOverloadedError",
+                    detail=(
+                        f"queue depth {self._inflight} at its high-water "
+                        f"mark ({self._max_depth}); retry with backoff"
+                    ),
+                ).to_bytes(codec)
+            self._inflight += 1
+            self._observe_admitted(kind)
+            try:
+                with self._tracer.span("net.request", kind=kind) as span:
+                    if kind in _BROADCAST_KINDS:
+                        response = await self._broadcast(frame, codec, span)
+                    else:
+                        try:
+                            shard = shard_for_address(
+                                routing_address(frame),
+                                self._sharded.num_shards,
+                                self._sharded.shard_seed,
+                            )
+                        except ReproError as exc:
+                            return ErrorResponse(
+                                code=type(exc).__name__, detail=str(exc)
+                            ).to_bytes(codec)
+                        response = await self._dispatch(
+                            shard, frame, codec, span
+                        )
+                return response
+            finally:
+                self._inflight -= 1
+        finally:
+            window.release()
+
+    async def _dispatch(
+        self, shard: int, frame: bytes, codec: str, span
+    ) -> bytes:
+        """One breaker-guarded worker call; failures become bytes."""
+        handle = self._workers[shard]
+        if self._tracer.enabled:
+            span.set(shard=shard)
+        if not handle.breaker.allow():
+            return ErrorResponse(
+                code="ShardDownError",
+                detail=(
+                    f"shard {shard}: circuit open "
+                    "(awaiting half-open probe)"
+                ),
+                shard=shard,
+            ).to_bytes(codec)
+        try:
+            ok, response, worker_us, packed = await handle.call(frame)
+        except ShardDownError as exc:
+            handle.breaker.record_failure()
+            return ErrorResponse(
+                code="ShardDownError", detail=str(exc), shard=shard
+            ).to_bytes(codec)
+        # A server-side error means the worker *served* the request
+        # (the request was bad, not the shard): breaker success.
+        handle.breaker.record_success()
+        if not ok:
+            code, _, detail = packed.partition("\x00")
+            return ErrorResponse(
+                code=code, detail=detail, shard=shard
+            ).to_bytes(codec)
+        if self._tracer.enabled:
+            span.set(worker_us=worker_us)
+        return response
+
+    async def _broadcast(self, frame: bytes, codec: str, span) -> bytes:
+        """Apply a blob mutation on every worker (replicated stores).
+
+        The response returned to the client is the *owning* shard's
+        (the same shard the in-process cluster would route to), so a
+        networked ack is byte-identical to the reference.  Handlers
+        are deterministic, so live workers all produce that same ack;
+        dead workers are already failing their own searches and are
+        skipped by their breakers.
+        """
+        owner = shard_for_address(
+            routing_address(frame),
+            self._sharded.num_shards,
+            self._sharded.shard_seed,
+        )
+        results = await asyncio.gather(
+            *(
+                self._dispatch(shard, frame, codec, span)
+                for shard in range(self._sharded.num_shards)
+            )
+        )
+        return results[owner]
+
+
+#: ``ErrorResponse.code`` values that a NetworkChannel re-raises as the
+#: matching :mod:`repro.errors` class (anything else degrades to
+#: :class:`~repro.errors.TransportError`).
+def _exception_for(code: str, detail: str) -> ReproError:
+    candidate = getattr(repro.errors, code, None)
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        return candidate(detail or code)
+    return TransportError(f"{code}: {detail}")
+
+
+class NetworkChannel:
+    """A real-socket drop-in for :class:`~repro.cloud.network.Channel`.
+
+    Satisfies :class:`~repro.cloud.network.Transport` — one blocking
+    :meth:`call` per round trip plus the standard
+    :class:`~repro.cloud.network.ChannelStats` accounting — so
+    :class:`~repro.cloud.user.DataUser`,
+    :class:`~repro.cloud.retry.RetryingChannel`, and
+    :class:`~repro.cloud.updates.RemoteIndexMaintainer` work over
+    loopback (or a LAN) without modification.  The connection is
+    persistent and lazily established; any socket-level failure tears
+    it down and surfaces as the matching
+    :class:`~repro.errors.TransportError` subclass, and the next call
+    reconnects from a clean frame boundary.
+
+    :class:`~repro.cloud.protocol.ErrorResponse` payloads are
+    *protocol*, not data: they re-raise client-side as the exception
+    class they name, so error semantics match the in-process channel
+    (a dead shard raises :class:`~repro.errors.ShardDownError` either
+    way).
+
+    Parameters
+    ----------
+    host / port:
+        The :class:`NetServer` to dial.
+    timeout_s:
+        Socket timeout per blocking operation; an expiry raises
+        :class:`~repro.errors.CallTimeoutError` (retryable).
+    codec:
+        Optional descriptive codec label (mirrors ``Channel``).
+    max_frame_bytes:
+        Frame-size cap for both directions.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 10.0,
+        codec: str | None = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        if timeout_s <= 0:
+            raise ParameterError(
+                f"timeout_s must be positive, got {timeout_s}"
+            )
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._codec = codec
+        self._max_frame = max_frame_bytes
+        self._stats = ChannelStats()
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._decoder: StreamDecoder | None = None
+        # Responses decoded but not yet consumed: one socket read may
+        # complete several pipelined frames at once.
+        self._frames: deque[bytes] = deque()
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Traffic counters since construction or last reset."""
+        return self._stats
+
+    @property
+    def codec(self) -> str | None:
+        """The declared wire-codec label (None when unspecified)."""
+        return self._codec
+
+    def close(self) -> None:
+        """Drop the connection (idempotent; next call reconnects)."""
+        with self._lock:
+            self._disconnect()
+
+    def __enter__(self) -> "NetworkChannel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing (all under the channel lock) -------------------------------
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._decoder = None
+        self._frames.clear()
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout_s
+                )
+            except socket.timeout as exc:
+                raise CallTimeoutError(
+                    f"connect to {self._host}:{self._port} timed out"
+                ) from exc
+            except OSError as exc:
+                raise CallDroppedError(
+                    f"connect to {self._host}:{self._port} failed: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._decoder = StreamDecoder(self._max_frame)
+        return self._sock
+
+    def _send_frames(self, requests: Sequence[bytes]) -> None:
+        sock = self._ensure_connected()
+        try:
+            sock.sendall(
+                b"".join(
+                    encode_frame(request, self._max_frame)
+                    for request in requests
+                )
+            )
+        except socket.timeout as exc:
+            self._disconnect()
+            raise CallTimeoutError("send timed out") from exc
+        except OSError as exc:
+            self._disconnect()
+            raise CallDroppedError(f"send failed: {exc}") from exc
+
+    def _recv_frame(self) -> bytes:
+        if self._frames:
+            return self._frames.popleft()
+        sock = self._sock
+        decoder = self._decoder
+        assert sock is not None and decoder is not None
+        while not self._frames:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout as exc:
+                self._disconnect()
+                raise CallTimeoutError(
+                    f"no response within {self._timeout_s}s"
+                ) from exc
+            except OSError as exc:
+                self._disconnect()
+                raise CallDroppedError(f"receive failed: {exc}") from exc
+            if not chunk:
+                self._disconnect()
+                raise CallDroppedError("server closed the connection")
+            try:
+                self._frames.extend(decoder.feed(chunk))
+            except ProtocolError as exc:
+                # The stream is desynchronized; only a fresh
+                # connection restores a frame boundary.
+                self._disconnect()
+                raise CorruptedResponseError(
+                    f"response framing violated: {exc}"
+                ) from exc
+        return self._frames.popleft()
+
+    @staticmethod
+    def _raise_if_error(response: bytes) -> bytes:
+        try:
+            is_error = peek_kind(response) == "error"
+        except ProtocolError:
+            is_error = False
+        if is_error:
+            error = ErrorResponse.from_bytes(response)
+            raise _exception_for(error.code, error.detail)
+        return response
+
+    # -- Transport surface ---------------------------------------------------
+
+    def call(self, request: bytes) -> bytes:
+        """Send ``request``, return the server's response (one RTT).
+
+        Accounting mirrors the in-process channel exactly: a call that
+        raises (socket failure *or* an error response) counts as a
+        ``failed_calls`` tick and never as response traffic.
+        """
+        with self._lock:
+            self._stats.record_request(len(request))
+            try:
+                self._send_frames([request])
+                response = self._raise_if_error(self._recv_frame())
+            except Exception:
+                self._stats.record_failure()
+                raise
+            self._stats.record_response(len(response))
+            return response
+
+    def call_many(self, requests: Iterable[bytes]) -> list[bytes]:
+        """Serve a batch over one pipelined exchange.
+
+        All requests go out back-to-back before the first response is
+        read — one flush, one queue transit per direction — and the
+        server's per-connection ordering guarantee puts responses back
+        in request order.  If any request failed, the whole batch is
+        still drained (keeping the stream synchronized) and the
+        earliest-position exception is raised, matching
+        :meth:`~repro.cloud.cluster.ClusterServer.handle_many`.
+        """
+        batch = list(requests)
+        if not batch:
+            return []
+        with self._lock:
+            outcomes = self._pipelined(batch)
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+        return [
+            outcome for outcome in outcomes if isinstance(outcome, bytes)
+        ]
+
+    def call_many_resilient(
+        self, requests: Iterable[bytes]
+    ) -> PartialResult:
+        """Pipelined batch with the cluster's graceful-degradation contract.
+
+        Transport failures (a dead shard's
+        :class:`~repro.cloud.protocol.ErrorResponse`, an overload
+        rejection) are reported per-position in a
+        :class:`~repro.cloud.cluster.PartialResult` — shard ids taken
+        from the error payload (``-1`` when the server could not name
+        one) — while healthy responses come back normally.
+        Non-transport failures (socket loss mid-batch, protocol
+        violations) still raise: they cannot be attributed to a shard.
+        """
+        batch = list(requests)
+        with self._lock:
+            outcomes = self._pipelined(batch, keep_shards=True)
+        responses: list[bytes | None] = []
+        failures: list[tuple[int, int, str]] = []
+        for position, outcome in enumerate(outcomes):
+            if isinstance(outcome, bytes):
+                responses.append(outcome)
+                continue
+            if isinstance(outcome, tuple):
+                exc, shard = outcome
+                responses.append(None)
+                failures.append((position, shard, type(exc).__name__))
+                continue
+            raise outcome
+        return PartialResult(
+            responses=tuple(responses),
+            missing_shards=tuple(
+                sorted({shard for _, shard, _ in failures})
+            ),
+            failures=tuple(failures),
+        )
+
+    def _pipelined(
+        self, batch: Sequence[bytes], keep_shards: bool = False
+    ) -> list:
+        """Send a batch, collect per-position outcomes in order.
+
+        Each outcome is response bytes, an exception, or (with
+        ``keep_shards``, for transport failures only)
+        ``(exception, shard id)``.  Socket-level failures abort the
+        exchange: every unanswered position gets the same exception,
+        and the connection is already torn down for reconnection.
+        """
+        for request in batch:
+            self._stats.record_request(len(request))
+        outcomes: list = []
+        try:
+            self._send_frames(batch)
+        except TransportError as exc:
+            self._stats.record_failure()
+            return [exc] * len(batch)
+        for _ in batch:
+            try:
+                response = self._recv_frame()
+            except TransportError as exc:
+                # The stream is gone; everything unanswered fails the
+                # same way.
+                failed = len(batch) - len(outcomes)
+                for _ in range(failed):
+                    self._stats.record_failure()
+                outcomes.extend([exc] * failed)
+                break
+            try:
+                is_error = peek_kind(response) == "error"
+            except ProtocolError:
+                is_error = False
+            if not is_error:
+                self._stats.record_response(len(response))
+                outcomes.append(response)
+                continue
+            self._stats.record_failure()
+            error = ErrorResponse.from_bytes(response)
+            exc = _exception_for(error.code, error.detail)
+            if keep_shards and isinstance(exc, TransportError):
+                outcomes.append(
+                    (exc, error.shard if error.shard is not None else -1)
+                )
+            else:
+                outcomes.append(exc)
+        return outcomes

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.errors import ParameterError
 from repro.obs.base import StatsBase
@@ -123,6 +123,29 @@ class LinkModel:
             stats.round_trips * self.rtt_seconds
             + stats.total_bytes / self.bandwidth_bytes_per_second
         )
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the client stack requires of a request/response channel.
+
+    :class:`~repro.cloud.user.DataUser`,
+    :class:`~repro.cloud.updates.RemoteIndexMaintainer`, and
+    :class:`~repro.cloud.retry.RetryingChannel` only ever send one
+    request and read one response, plus consult traffic counters —
+    so anything with this shape slots in: the in-process
+    :class:`Channel`, a retrying wrapper around one, or the real
+    socket :class:`~repro.cloud.netserve.NetworkChannel`.
+    """
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Traffic counters for this transport."""
+        ...
+
+    def call(self, request: bytes) -> bytes:
+        """Send ``request``, return the response (one round trip)."""
+        ...
 
 
 class Channel:

@@ -52,6 +52,7 @@ BINARY_TAGS = {
     "put-blob": 0xB2,
     "remove-blob": 0xB3,
     "ack": 0xB4,
+    "error": 0xBF,
 }
 
 _KIND_FOR_TAG = {tag: kind for kind, tag in BINARY_TAGS.items()}
@@ -78,6 +79,94 @@ def detect_codec(data: bytes) -> str:
     raise ProtocolError(
         f"unrecognized message leading byte 0x{first:02x}"
     )
+
+
+# -- stream framing (messages over a byte stream) --------------------------
+
+#: Default upper bound on one framed message.  Large enough for any
+#: realistic search response (matches + encrypted files); small enough
+#: that a corrupted or hostile length prefix cannot make a server
+#: buffer gigabytes before noticing.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(
+    payload: bytes, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Frame one codec message for a byte stream: ``u32 length || payload``.
+
+    TCP gives a byte stream, not message boundaries; every message the
+    network layer (:mod:`repro.cloud.netserve`) moves is wrapped in
+    this length prefix so the receiver can reassemble it regardless of
+    how the kernel chunked it.  The payload itself is any
+    ``to_bytes()`` encoding (either codec) — the prefix is codec-blind.
+    """
+    if not payload:
+        raise ProtocolError("cannot frame an empty payload")
+    if len(payload) > max_frame_bytes:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the frame limit "
+            f"of {max_frame_bytes}"
+        )
+    return len(payload).to_bytes(4, "big") + payload
+
+
+class StreamDecoder:
+    """Incremental reassembly of length-prefixed frames from a stream.
+
+    Feed arbitrary chunks (a 1-byte dribble, several coalesced frames,
+    a read that ends mid-header — whatever the socket hands back) and
+    collect complete message payloads as they materialize.  The
+    length prefix is validated the moment its 4 bytes are available:
+    a zero or oversized length raises :class:`~repro.errors.ProtocolError`
+    *before* any body byte is read or buffered, so a hostile prefix
+    cannot make the receiver allocate or wait for a body that will
+    never legitimately arrive.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        if max_frame_bytes < 1:
+            raise ProtocolError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self._max = max_frame_bytes
+        self._buffer = bytearray()
+        self._needed: int | None = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    @property
+    def at_boundary(self) -> bool:
+        """True when no partial frame is buffered (a clean cut point)."""
+        return self._needed is None and not self._buffer
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb ``chunk``; return every payload it completed, in order."""
+        self._buffer.extend(chunk)
+        frames: list[bytes] = []
+        while True:
+            if self._needed is None:
+                if len(self._buffer) < 4:
+                    break
+                length = int.from_bytes(self._buffer[:4], "big")
+                if length == 0:
+                    raise ProtocolError("zero-length frame")
+                if length > self._max:
+                    raise ProtocolError(
+                        f"frame length {length} exceeds the limit of "
+                        f"{self._max}"
+                    )
+                del self._buffer[:4]
+                self._needed = length
+            if len(self._buffer) < self._needed:
+                break
+            frames.append(bytes(self._buffer[: self._needed]))
+            del self._buffer[: self._needed]
+            self._needed = None
+        return frames
 
 
 # -- json codec helpers ----------------------------------------------------
@@ -209,7 +298,10 @@ def peek_kind(request_bytes: bytes) -> str:
         raise ProtocolError(f"malformed request: {exc}") from exc
     if not isinstance(payload, dict):
         raise ProtocolError("request is not a JSON object")
-    return payload.get("kind", "")
+    kind = payload.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("JSON message lacks a string 'kind' tag")
+    return kind
 
 
 @dataclass(frozen=True)
@@ -385,4 +477,70 @@ class RankedFilesResponse:
                 (file_id, bytes.fromhex(blob_hex))
                 for file_id, blob_hex in payload["files"]
             )
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Server -> user: a request failed; here is why.
+
+    The in-process :class:`~repro.cloud.network.Channel` propagates
+    exceptions natively, but over a real socket a failure must travel
+    as bytes.  ``code`` names the exception class
+    (:mod:`repro.errors` names round-trip back to the original type on
+    the client), ``detail`` is the human-readable message, and
+    ``shard`` identifies which shard failed when the server knows —
+    the cluster client needs it to fill
+    :class:`~repro.cloud.cluster.PartialResult.missing_shards`.
+    """
+
+    code: str
+    detail: str = ""
+    shard: int | None = None
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "error",
+                [
+                    self.code.encode("utf-8"),
+                    self.detail.encode("utf-8"),
+                    b""
+                    if self.shard is None
+                    else _pack_count(self.shard),
+                ],
+            )
+        return _encode(
+            "error",
+            {
+                "code": self.code,
+                "detail": self.detail,
+                "shard": self.shard,
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ErrorResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "error")
+            code = reader.take_str()
+            detail = reader.take_str()
+            shard_field = reader.take()
+            if shard_field and len(shard_field) != 4:
+                raise ProtocolError("malformed shard field")
+            reader.expect_end()
+            return cls(
+                code=code,
+                detail=detail,
+                shard=(
+                    int.from_bytes(shard_field, "big")
+                    if shard_field
+                    else None
+                ),
+            )
+        payload = _decode(data, "error")
+        return cls(
+            code=payload["code"],
+            detail=payload["detail"],
+            shard=payload["shard"],
         )

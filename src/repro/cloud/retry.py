@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.cloud.network import Channel, ChannelStats
+from repro.cloud.network import ChannelStats, Transport
 from repro.cloud.protocol import peek_kind
 from repro.errors import (
     CallTimeoutError,
@@ -221,7 +221,7 @@ class RetryingChannel:
 
     def __init__(
         self,
-        inner: Channel,
+        inner: Transport,
         policy: RetryPolicy,
         sleep: Callable[[float], None] = time.sleep,
         validate: Callable[[bytes], bool] = response_is_well_formed,
@@ -243,7 +243,7 @@ class RetryingChannel:
         self._tracer = obs.tracer if obs is not None else NOOP_TRACER
 
     @property
-    def inner(self) -> Channel:
+    def inner(self) -> Transport:
         """The wrapped channel."""
         return self._inner
 

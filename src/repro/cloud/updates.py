@@ -24,7 +24,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.cloud.network import Channel
+from repro.cloud.network import Transport
 from repro.cloud.owner import DataOwner
 from repro.cloud.protocol import (
     CODEC_BINARY,
@@ -270,7 +270,8 @@ class RemoteIndexMaintainer:
         (must use the efficient scheme; setup must have run, so the
         quantizer scale is fixed).
     channel:
-        Channel to the update-accepting server.
+        Transport to the update-accepting server (the in-process
+        channel or a :class:`~repro.cloud.netserve.NetworkChannel`).
     update_token:
         The write-authorization secret shared with the server.
     retry_policy:
@@ -304,7 +305,7 @@ class RemoteIndexMaintainer:
     def __init__(
         self,
         owner: DataOwner,
-        channel: Channel,
+        channel: Transport,
         update_token: bytes,
         retry_policy: RetryPolicy | None = None,
         queue_on_failure: bool = False,
@@ -323,7 +324,7 @@ class RemoteIndexMaintainer:
             raise ParameterError("update token must be non-empty")
         self._owner = owner
         self._scheme: EfficientRSSE = owner._scheme
-        self._channel: Channel | RetryingChannel = (
+        self._channel: Transport = (
             RetryingChannel(channel, retry_policy, obs=obs)
             if retry_policy is not None
             else channel

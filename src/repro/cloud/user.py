@@ -19,7 +19,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.cloud.network import Channel
+from repro.cloud.network import Transport
 from repro.cloud.owner import UserCredentials
 from repro.cloud.protocol import (
     CODEC_JSON,
@@ -69,14 +69,14 @@ class DataUser:
         self,
         scheme: BasicRankedSSE | EfficientRSSE,
         credentials: UserCredentials,
-        channel: Channel,
+        channel: Transport,
         analyzer: Analyzer | None = None,
         retry_policy: RetryPolicy | None = None,
         codec: str = CODEC_JSON,
     ):
         self._scheme = scheme
         self._credentials = credentials
-        self._channel: Channel | RetryingChannel = (
+        self._channel: Transport = (
             RetryingChannel(channel, retry_policy)
             if retry_policy is not None
             else channel

@@ -87,6 +87,15 @@ class ShardDownError(TransportError):
     """The target shard is crashed or its circuit breaker is open."""
 
 
+class ServerOverloadedError(TransportError):
+    """The server shed this request at its admission-control limit.
+
+    Returned explicitly (never by stalling) when a network server's
+    in-flight queue is at its high-water mark.  Retryable: backing off
+    and re-sending is exactly the intended client response.
+    """
+
+
 class RetryExhaustedError(TransportError):
     """Every attempt a :class:`~repro.cloud.retry.RetryPolicy` allows
     failed; the last underlying failure is chained as ``__cause__``."""

@@ -16,6 +16,7 @@ from repro.cloud.protocol import (
     BINARY_TAGS,
     CODEC_BINARY,
     CODEC_JSON,
+    ErrorResponse,
     FileRequest,
     RankedFilesResponse,
     SearchRequest,
@@ -199,3 +200,94 @@ class TestRoundtripProperties:
             data = message.to_bytes(codec)
             assert peek_kind(data) == "ack"
             assert AckResponse.from_bytes(data) == message
+
+
+class TestDispatchEdgeCases:
+    """Pin the single-byte dispatch path against degenerate payloads.
+
+    ``detect_codec`` and ``peek_kind`` are the very first thing the
+    network front end runs on every frame, so their behavior on empty,
+    one-byte, and tag-colliding inputs is part of the wire contract.
+    """
+
+    def test_empty_payload_rejected_everywhere(self):
+        with pytest.raises(ProtocolError):
+            detect_codec(b"")
+        with pytest.raises(ProtocolError):
+            peek_kind(b"")
+
+    def test_single_tag_byte_is_enough_to_peek(self):
+        # A one-byte payload carrying a known tag dispatches — the
+        # rest of the message is someone else's problem.
+        for kind, tag in BINARY_TAGS.items():
+            assert detect_codec(bytes([tag])) == CODEC_BINARY
+            assert peek_kind(bytes([tag])) == kind
+
+    def test_single_unknown_byte_rejected(self):
+        for first in (0x00, 0x41, 0x7A, 0x7C, 0xA0, 0xFF):
+            with pytest.raises(ProtocolError):
+                detect_codec(bytes([first]))
+            with pytest.raises(ProtocolError):
+                peek_kind(bytes([first]))
+
+    def test_tag_colliding_first_byte_detects_binary(self):
+        # Garbage that merely *starts* with a registered tag byte is
+        # classified binary by the one-byte rule; rejecting it is the
+        # full parser's job, never the dispatcher's.
+        garbage = bytes([BINARY_TAGS["search"]]) + b"\xde\xad\xbe\xef"
+        assert detect_codec(garbage) == CODEC_BINARY
+        assert peek_kind(garbage) == "search"
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_bytes(garbage)
+
+    def test_json_payload_must_carry_string_kind(self):
+        with pytest.raises(ProtocolError):
+            peek_kind(b"{}")
+        with pytest.raises(ProtocolError):
+            peek_kind(b'{"kind": 7}')
+        with pytest.raises(ProtocolError):
+            peek_kind(b'{"kind": null}')
+        with pytest.raises(ProtocolError):
+            peek_kind(b"{not json")
+        assert peek_kind(b'{"kind": "search"}') == "search"
+
+    def test_json_array_rejected(self):
+        # '[' is not '{': arrays never reach the JSON kind probe.
+        with pytest.raises(ProtocolError):
+            detect_codec(b'["kind", "search"]')
+
+
+class TestErrorResponseRoundtrip:
+    @settings(max_examples=50)
+    @given(
+        code=st.text(
+            alphabet=st.characters(codec="utf-8"), min_size=1, max_size=40
+        ),
+        detail=st.text(max_size=80),
+        shard=st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+    )
+    def test_roundtrip_both_codecs(self, code, detail, shard):
+        message = ErrorResponse(code=code, detail=detail, shard=shard)
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert detect_codec(data) == codec
+            assert peek_kind(data) == "error"
+            assert ErrorResponse.from_bytes(data) == message
+
+    def test_shard_none_survives(self):
+        message = ErrorResponse(code="TransportError")
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            restored = ErrorResponse.from_bytes(message.to_bytes(codec))
+            assert restored.shard is None
+            assert restored.detail == ""
+
+    def test_malformed_shard_field_rejected(self):
+        good = ErrorResponse(
+            code="ShardDownError", shard=3
+        ).to_bytes(CODEC_BINARY)
+        # Stretch the shard field to an invalid width (must be 0 or 4
+        # bytes): the last field is length-prefixed, so rewrite it.
+        bad = good[:-4] + (5).to_bytes(4, "big")[-4:]
+        truncated = bad[: len(bad) - 4] + (2).to_bytes(4, "big") + b"\x00\x01"
+        with pytest.raises(ProtocolError):
+            ErrorResponse.from_bytes(truncated)

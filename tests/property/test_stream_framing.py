@@ -1,0 +1,186 @@
+"""Stream-reassembly properties for the network framing layer.
+
+The TCP wire format is ``u32 length || payload`` per message
+(:func:`~repro.cloud.protocol.encode_frame`), reassembled by
+:class:`~repro.cloud.protocol.StreamDecoder`.  A byte stream carries
+no message boundaries, so the decoder must produce the exact same
+payload sequence no matter how the kernel chunked the bytes: one-byte
+dribbles, frames coalesced into a single read, reads that end in the
+middle of a length header.  Hostile or corrupted length prefixes
+(zero, oversized) must be rejected the moment the header is complete
+— before any body byte is consumed.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    ErrorResponse,
+    FileRequest,
+    RankedFilesResponse,
+    SearchRequest,
+    SearchResponse,
+    StreamDecoder,
+    encode_frame,
+)
+from repro.cloud.updates import (
+    AckResponse,
+    PutBlobRequest,
+    RemoveBlobRequest,
+    UpdateListRequest,
+)
+from repro.errors import ProtocolError
+
+# One representative instance of every message type that crosses the
+# socket, so reassembly is exercised against real payload shapes
+# (including multi-field binary messages and hex-heavy JSON ones).
+MESSAGES = [
+    SearchRequest(trapdoor_bytes=b"\x00\x10" + b"\xaa" * 32, top_k=5),
+    SearchRequest(
+        trapdoor_bytes=b"\x00\x08" + b"\xbb" * 16, entries_only=True
+    ),
+    SearchResponse(
+        matches=(("doc1", b"\x01\x02"), ("doc2", b"\x03\x04")),
+        files=(("doc1", b"blob-one"),),
+    ),
+    FileRequest(file_ids=("doc1", "doc2", "doc3")),
+    RankedFilesResponse(files=(("doc9", b"\xff" * 40),)),
+    UpdateListRequest(
+        token=b"tok", address=b"\xcd" * 16, entries=(b"e1", b"e2"),
+        mode="append",
+    ),
+    PutBlobRequest(token=b"tok", file_id="doc5", blob=b"\x00\x01" * 64),
+    RemoveBlobRequest(token=b"tok", file_id="doc5"),
+    AckResponse(ok=True, detail="applied"),
+    ErrorResponse(code="ShardDownError", detail="shard 2 died", shard=2),
+]
+
+PAYLOADS = [
+    message.to_bytes(codec)
+    for message in MESSAGES
+    for codec in (CODEC_JSON, CODEC_BINARY)
+]
+
+
+def chunked(data: bytes, cut_points: list[int]) -> list[bytes]:
+    """Split ``data`` at the given sorted positions."""
+    cuts = sorted({point % (len(data) + 1) for point in cut_points})
+    pieces = []
+    previous = 0
+    for cut in cuts:
+        pieces.append(data[previous:cut])
+        previous = cut
+    pieces.append(data[previous:])
+    return [piece for piece in pieces if piece]
+
+
+def reassemble(stream: bytes, chunks: list[bytes]) -> list[bytes]:
+    decoder = StreamDecoder()
+    frames = []
+    for chunk in chunks:
+        frames.extend(decoder.feed(chunk))
+    assert decoder.at_boundary, "stream fully consumed but decoder mid-frame"
+    return frames
+
+
+class TestReassemblyEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=len(PAYLOADS) - 1),
+            min_size=1,
+            max_size=6,
+        ),
+        cut_points=st.lists(
+            st.integers(min_value=0, max_value=100_000), max_size=40
+        ),
+    )
+    def test_any_chunking_equals_whole_buffer_decode(
+        self, picks, cut_points
+    ):
+        payloads = [PAYLOADS[pick] for pick in picks]
+        stream = b"".join(encode_frame(payload) for payload in payloads)
+        whole = reassemble(stream, [stream])
+        assert whole == payloads
+        assert reassemble(stream, chunked(stream, cut_points)) == payloads
+
+    def test_one_byte_dribble(self):
+        stream = b"".join(encode_frame(payload) for payload in PAYLOADS)
+        dribbled = reassemble(
+            stream, [bytes([value]) for value in stream]
+        )
+        assert dribbled == PAYLOADS
+
+    def test_coalesced_frames_in_one_chunk(self):
+        stream = b"".join(encode_frame(payload) for payload in PAYLOADS)
+        assert reassemble(stream, [stream]) == PAYLOADS
+
+    def test_mid_header_truncation_holds_state(self):
+        payload = PAYLOADS[0]
+        frame = encode_frame(payload)
+        decoder = StreamDecoder()
+        # Feed only 3 of the 4 header bytes: nothing decodes, nothing
+        # is lost, and the boundary flag reports the partial frame.
+        assert decoder.feed(frame[:3]) == []
+        assert not decoder.at_boundary
+        assert decoder.feed(frame[3:]) == [payload]
+        assert decoder.at_boundary
+
+
+class TestHostilePrefixes:
+    def test_zero_length_rejected(self):
+        decoder = StreamDecoder()
+        with pytest.raises(ProtocolError, match="zero-length"):
+            decoder.feed(b"\x00\x00\x00\x00")
+
+    def test_oversized_length_rejected_without_body(self):
+        decoder = StreamDecoder(max_frame_bytes=1024)
+        # Only the 4 header bytes arrive; the decoder must reject at
+        # header time instead of waiting for (or buffering) 2 GiB.
+        with pytest.raises(ProtocolError, match="exceeds the limit"):
+            decoder.feed((2**31).to_bytes(4, "big"))
+
+    def test_oversized_length_rejected_even_split_across_chunks(self):
+        decoder = StreamDecoder(max_frame_bytes=1024)
+        header = (4096).to_bytes(4, "big")
+        assert decoder.feed(header[:2]) == []
+        with pytest.raises(ProtocolError, match="exceeds the limit"):
+            decoder.feed(header[2:])
+
+    @settings(max_examples=60, deadline=None)
+    @given(length=st.integers(min_value=1025, max_value=2**32 - 1))
+    def test_any_over_limit_prefix_rejected(self, length):
+        decoder = StreamDecoder(max_frame_bytes=1024)
+        with pytest.raises(ProtocolError):
+            decoder.feed(length.to_bytes(4, "big"))
+
+    def test_pending_bytes_never_exceeds_frame_limit(self):
+        limit = 64
+        decoder = StreamDecoder(max_frame_bytes=limit)
+        payload = b"\xa1" + b"x" * 59
+        for value in encode_frame(payload, limit):
+            decoder.feed(bytes([value]))
+            assert decoder.pending_bytes <= limit
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ProtocolError):
+            StreamDecoder(max_frame_bytes=0)
+
+
+class TestEncodeFrame:
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            encode_frame(b"")
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(b"x" * 11, max_frame_bytes=10)
+
+    @settings(max_examples=60, deadline=None)
+    @given(payload=st.binary(min_size=1, max_size=512))
+    def test_round_trips_any_payload(self, payload):
+        decoder = StreamDecoder()
+        assert decoder.feed(encode_frame(payload)) == [payload]
+        assert decoder.at_boundary
