@@ -70,7 +70,7 @@ def _cmd_setup(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     outsourcing = owner.setup(documents)
     elapsed = time.perf_counter() - started
-    save_outsourcing(args.out, outsourcing, args.scheme)
+    save_outsourcing(args.out, outsourcing, args.scheme, store=args.store)
     save_credentials(args.credentials, owner.authorize_user())
     print(
         f"indexed {len(documents)} documents in {elapsed:.1f}s: "
@@ -84,7 +84,7 @@ def _cmd_setup(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    outsourcing, kind = load_outsourcing(args.deployment)
+    outsourcing, kind = load_outsourcing(args.deployment, store=args.store)
     scheme = _scheme_for(kind)
     credentials = load_credentials(args.credentials)
     server = CloudServer(
@@ -117,12 +117,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_deployment(root: str):
+def _load_deployment(root: str, store: str | None = None):
     """Load a deployment directory, sharded or not.
 
     Returns ``(index, blob_store, scheme kind)`` where ``index`` is a
-    :class:`~repro.core.secure_index.SecureIndex` or a pre-partitioned
-    :class:`~repro.cloud.cluster.ShardedIndex`.
+    :class:`~repro.core.secure_index.SecureIndex`, a lazy packed
+    store, or a pre-partitioned
+    :class:`~repro.cloud.cluster.ShardedIndex`.  ``store`` picks the
+    view (``dict`` / ``mmap``); the default honours the manifest.
     """
     import json
 
@@ -137,16 +139,25 @@ def _load_deployment(root: str):
             f"{root} is not a deployment directory: {exc}"
         ) from exc
     if manifest.get("sharded"):
-        return load_sharded_outsourcing(root)
-    outsourcing, kind = load_outsourcing(root)
+        return load_sharded_outsourcing(root, store=store)
+    outsourcing, kind = load_outsourcing(root, store=store)
     return outsourcing.secure_index, outsourcing.blob_store, kind
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    """Convert a json-store deployment to the packed mmap store."""
+    from repro.cloud.persistence import pack_deployment
+
+    pack_deployment(args.deployment)
+    print(f"packed deployment: {args.deployment}")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a deployment directory over TCP until interrupted."""
     from repro.cloud import NetServer
 
-    index, blobs, kind = _load_deployment(args.deployment)
+    index, blobs, kind = _load_deployment(args.deployment, store=args.store)
     server = NetServer(
         index,
         blobs,
@@ -371,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
     setup.add_argument(
         "--scheme", choices=("rsse", "basic"), default="rsse"
     )
+    setup.add_argument(
+        "--store",
+        choices=("json", "packed"),
+        default="json",
+        help="on-disk index format (packed = mmap-ready .rpk file)",
+    )
     setup.set_defaults(handler=_cmd_setup)
 
     search = commands.add_parser(
@@ -380,7 +397,20 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--credentials", required=True)
     search.add_argument("--keyword", required=True)
     search.add_argument("-k", "--top-k", type=int, default=10)
+    search.add_argument(
+        "--store",
+        choices=("auto", "dict", "mmap"),
+        default="auto",
+        help="index view: lazy mmap or eager dict (auto = manifest)",
+    )
     search.set_defaults(handler=_cmd_search)
+
+    pack = commands.add_parser(
+        "pack",
+        help="convert a json-store deployment to the packed mmap store",
+    )
+    pack.add_argument("deployment")
+    pack.set_defaults(handler=_cmd_pack)
 
     serve = commands.add_parser(
         "serve",
@@ -400,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the per-worker ranked search cache",
+    )
+    serve.add_argument(
+        "--store",
+        choices=("auto", "dict", "mmap"),
+        default="auto",
+        help="index view: lazy mmap or eager dict (auto = manifest)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

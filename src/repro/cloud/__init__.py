@@ -71,6 +71,14 @@ from repro.cloud.protocol import (
 )
 from repro.cloud.server import CloudServer, SearchObservation, ServerLog
 from repro.cloud.storage import BlobStore
+from repro.cloud.store import (
+    PackedIndexStore,
+    PackedIndexWriter,
+    PackedStore,
+    SpillingPackWriter,
+    load_packed_index,
+    pack_index,
+)
 from repro.cloud.updates import (
     AckResponse,
     PutBlobRequest,
@@ -113,6 +121,9 @@ __all__ = [
     "NetServer",
     "NetworkChannel",
     "Outsourcing",
+    "PackedIndexStore",
+    "PackedIndexWriter",
+    "PackedStore",
     "PartialResult",
     "PolicyCiphertext",
     "PolicyDecryptor",
@@ -128,6 +139,7 @@ __all__ = [
     "SearchResponse",
     "ServerLog",
     "ShardedIndex",
+    "SpillingPackWriter",
     "Threshold",
     "Transport",
     "UpdateListRequest",
@@ -135,6 +147,8 @@ __all__ = [
     "UserKeySet",
     "and_of",
     "k_of",
+    "load_packed_index",
     "or_of",
+    "pack_index",
     "shard_for_address",
 ]

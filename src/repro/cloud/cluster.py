@@ -219,6 +219,49 @@ class ShardedIndex:
                 sharded._shards[shard_id].add_list(address, list(entries))
         return sharded
 
+    @classmethod
+    def from_stores(
+        cls,
+        stores: Sequence,
+        shard_seed: bytes = DEFAULT_SHARD_SEED,
+    ) -> "ShardedIndex":
+        """Wrap per-shard *store* objects without copying their lists.
+
+        The packed-deployment load path: each element is any object
+        with the shard-side index surface (``layout`` /
+        ``padded_length`` / ``lookup`` / ``items`` / ``addresses`` /
+        ``num_lists`` / ``size_bytes``) — e.g. a lazy
+        :class:`~repro.cloud.store.PackedStore` — and is served *as
+        is*, so an ``mmap``-backed shard stays lazy instead of being
+        materialized the way :meth:`from_shards` does.  Placement is
+        validated from ``addresses()`` alone: no posting block is
+        decoded to prove the routing is right.
+        """
+        if not stores:
+            raise ParameterError("at least one store is required")
+        first = stores[0]
+        sharded = cls(
+            first.layout,
+            len(stores),
+            padded_length=first.padded_length,
+            shard_seed=shard_seed,
+        )
+        for shard_id, store in enumerate(stores):
+            if store.layout != first.layout:
+                raise ParameterError("shards disagree on entry layout")
+            for address in store.addresses():
+                expected = shard_for_address(
+                    address, len(stores), sharded._seed
+                )
+                if expected != shard_id:
+                    raise ParameterError(
+                        f"address {address.hex()} stored in shard "
+                        f"{shard_id} but hashes to shard {expected} "
+                        "(wrong seed or shard order?)"
+                    )
+        sharded._shards = tuple(stores)
+        return sharded
+
     # -- partition geometry ------------------------------------------------
 
     @property
@@ -276,6 +319,10 @@ class ShardedIndex:
             *(shard.items() for shard in self._shards),
             key=lambda item: item[0],
         )
+
+    def addresses(self) -> Iterator[bytes]:
+        """All addresses across shards, merged into ascending order."""
+        return heapq.merge(*(shard.addresses() for shard in self._shards))
 
     @property
     def num_lists(self) -> int:

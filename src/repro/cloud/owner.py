@@ -46,7 +46,13 @@ class UserCredentials:
 
 @dataclass(frozen=True)
 class Outsourcing:
-    """The owner's upload: index + encrypted collection."""
+    """The owner's upload: index + encrypted collection.
+
+    ``secure_index`` is typed as the in-memory reference index, but
+    the loaders in :mod:`repro.cloud.persistence` may populate it with
+    any object carrying the same server surface — packed deployments
+    come back as a lazy :class:`~repro.cloud.store.PackedStore`.
+    """
 
     secure_index: SecureIndex
     blob_store: BlobStore

@@ -7,8 +7,20 @@ CLI uses it):
 
     <root>/
       manifest.json      scheme kind + parameters + counts
-      index.bin          serialized SecureIndex
+      index.bin          serialized SecureIndex       (store "json")
+      index.rpk          packed posting-list file     (store "packed")
+      index.rpk.delta    append-only mutation log     (store "packed")
       blobs/<doc_id>     encrypted file payloads
+
+Two index stores share the directory layout.  ``"json"`` (the
+deterministic reference) serializes the whole dict index and loads it
+eagerly; ``"packed"`` writes the :mod:`repro.cloud.store` format and
+loads it as a lazy ``mmap``-backed :class:`~repro.cloud.store.PackedStore`
+whose resident memory tracks the queried working set, with updates
+captured in the sibling delta log.  The manifest records which store a
+deployment uses; loaders honour it by default and can force either
+view of a packed deployment (``store="dict"`` re-materializes the
+bytes in memory — the equivalence-checking path).
 
 Keys are *not* stored in the deployment directory (they belong to the
 owner/users, not the server); :func:`save_key` / :func:`load_key`
@@ -23,14 +35,47 @@ from pathlib import Path
 from repro.cloud.cluster import ShardedIndex
 from repro.cloud.owner import Outsourcing, UserCredentials
 from repro.cloud.storage import BlobStore
+from repro.cloud.store import PackedStore, load_packed_index, pack_index
 from repro.core.secure_index import SecureIndex
 from repro.crypto.keys import SchemeKey
 from repro.errors import ProtocolError
 
 _MANIFEST = "manifest.json"
 _INDEX = "index.bin"
+_PACKED = "index.rpk"
 _BLOBS = "blobs"
 _SHARDS = "shards"
+
+#: Valid ``store=`` arguments to the save functions.
+SAVE_STORES = ("json", "packed")
+
+#: Valid ``store=`` arguments to the load functions (None = manifest).
+LOAD_STORES = (None, "auto", "dict", "mmap")
+
+
+def _check_save_store(store: str) -> None:
+    if store not in SAVE_STORES:
+        raise ProtocolError(
+            f"unknown store {store!r} (expected one of {SAVE_STORES})"
+        )
+
+
+def _resolve_load_store(store: str | None, manifest: dict) -> str:
+    """Map a ``store=`` request + manifest to ``"dict"`` or ``"mmap"``."""
+    if store not in LOAD_STORES:
+        raise ProtocolError(
+            f"unknown store {store!r} (expected one of {LOAD_STORES})"
+        )
+    saved = str(manifest.get("store", "json"))
+    if store is None or store == "auto":
+        return "mmap" if saved == "packed" else "dict"
+    if store == "mmap" and saved != "packed":
+        raise ProtocolError(
+            "deployment was saved with the json store; repack it "
+            "(`repro pack <root>` or save with store='packed') before "
+            "requesting the mmap view"
+        )
+    return store
 
 
 def _safe_blob_name(doc_id: str) -> str:
@@ -43,12 +88,27 @@ def _blob_id_from_name(name: str) -> str:
 
 
 def save_outsourcing(
-    root: str | Path, outsourcing: Outsourcing, scheme_kind: str
+    root: str | Path,
+    outsourcing: Outsourcing,
+    scheme_kind: str,
+    store: str = "json",
 ) -> None:
-    """Write a deployment directory (overwrites existing contents)."""
+    """Write a deployment directory (overwrites existing contents).
+
+    ``store="json"`` keeps the deterministic reference encoding;
+    ``store="packed"`` writes the index in the
+    :mod:`repro.cloud.store` packed format instead, so loading can
+    ``mmap`` it lazily.
+    """
+    _check_save_store(store)
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
-    (root / _INDEX).write_bytes(outsourcing.secure_index.serialize())
+    if store == "packed":
+        pack_index(outsourcing.secure_index, root / _PACKED)
+        (root / _INDEX).unlink(missing_ok=True)
+    else:
+        (root / _INDEX).write_bytes(outsourcing.secure_index.serialize())
+        (root / _PACKED).unlink(missing_ok=True)
     blob_dir = root / _BLOBS
     blob_dir.mkdir(exist_ok=True)
     for doc_id in outsourcing.blob_store.ids():
@@ -57,6 +117,7 @@ def save_outsourcing(
         )
     manifest = {
         "scheme": scheme_kind,
+        "store": store,
         "num_lists": outsourcing.secure_index.num_lists,
         "num_blobs": len(outsourcing.blob_store),
         "index_bytes": outsourcing.secure_index.size_bytes(),
@@ -64,9 +125,7 @@ def save_outsourcing(
     (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
 
 
-def load_outsourcing(root: str | Path) -> tuple[Outsourcing, str]:
-    """Load a deployment directory; returns (outsourcing, scheme kind)."""
-    root = Path(root)
+def _load_manifest(root: Path) -> dict:
     manifest_path = root / _MANIFEST
     if not manifest_path.is_file():
         raise ProtocolError(f"no deployment manifest under {root}")
@@ -76,12 +135,10 @@ def load_outsourcing(root: str | Path) -> tuple[Outsourcing, str]:
         raise ProtocolError(f"corrupt manifest: {exc}") from exc
     if not isinstance(manifest, dict):
         raise ProtocolError("manifest is not a JSON object")
-    if manifest.get("sharded"):
-        raise ProtocolError(
-            f"{root} holds a sharded deployment; load it with "
-            "load_sharded_outsourcing()"
-        )
-    secure_index = SecureIndex.deserialize((root / _INDEX).read_bytes())
+    return manifest
+
+
+def _load_blobs(root: Path, manifest: dict) -> BlobStore:
     blob_store = BlobStore()
     blob_dir = root / _BLOBS
     if blob_dir.is_dir():
@@ -94,6 +151,41 @@ def load_outsourcing(root: str | Path) -> tuple[Outsourcing, str]:
         raise ProtocolError(
             f"manifest expects {expected} blobs, found {len(blob_store)}"
         )
+    return blob_store
+
+
+def _load_index(root: Path, manifest: dict, resolved: str):
+    """One deployment index under the requested view."""
+    saved = str(manifest.get("store", "json"))
+    if saved == "packed":
+        if resolved == "mmap":
+            return PackedStore(root / _PACKED)
+        return load_packed_index(root / _PACKED)
+    return SecureIndex.deserialize((root / _INDEX).read_bytes())
+
+
+def load_outsourcing(
+    root: str | Path, store: str | None = None
+) -> tuple[Outsourcing, str]:
+    """Load a deployment directory; returns (outsourcing, scheme kind).
+
+    ``store=None`` (or ``"auto"``) honours the manifest: packed
+    deployments come back as a lazy
+    :class:`~repro.cloud.store.PackedStore`, json deployments as the
+    in-memory :class:`SecureIndex`.  ``store="dict"`` forces eager
+    materialization of either; ``store="mmap"`` requires a packed
+    deployment.
+    """
+    root = Path(root)
+    manifest = _load_manifest(root)
+    if manifest.get("sharded"):
+        raise ProtocolError(
+            f"{root} holds a sharded deployment; load it with "
+            "load_sharded_outsourcing()"
+        )
+    resolved = _resolve_load_store(store, manifest)
+    secure_index = _load_index(root, manifest, resolved)
+    blob_store = _load_blobs(root, manifest)
     return (
         Outsourcing(secure_index=secure_index, blob_store=blob_store),
         str(manifest.get("scheme", "rsse")),
@@ -105,6 +197,7 @@ def save_sharded_outsourcing(
     sharded_index: ShardedIndex,
     blob_store: BlobStore,
     scheme_kind: str,
+    store: str = "json",
 ) -> None:
     """Write a sharded deployment directory.
 
@@ -114,18 +207,28 @@ def save_sharded_outsourcing(
         <root>/
           manifest.json            (``"sharded": true`` + placement seed)
           shards/shard-<i>.bin     one serialized SecureIndex per shard
+          shards/shard-<i>.rpk     packed shard file (store "packed")
           blobs/<doc_id>           encrypted file payloads
 
     The placement seed lands in the manifest so a reload routes every
-    address to the same shard; :meth:`ShardedIndex.from_shards`
+    address to the same shard; :meth:`ShardedIndex.from_shards` (or
+    :meth:`ShardedIndex.from_stores` for packed deployments)
     revalidates placement at load time.
     """
+    _check_save_store(store)
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     shard_dir = root / _SHARDS
     shard_dir.mkdir(exist_ok=True)
     for shard_id, shard in enumerate(sharded_index.shards):
-        (shard_dir / f"shard-{shard_id}.bin").write_bytes(shard.serialize())
+        bin_path = shard_dir / f"shard-{shard_id}.bin"
+        rpk_path = shard_dir / f"shard-{shard_id}.rpk"
+        if store == "packed":
+            pack_index(shard, rpk_path)
+            bin_path.unlink(missing_ok=True)
+        else:
+            bin_path.write_bytes(shard.serialize())
+            rpk_path.unlink(missing_ok=True)
     blob_dir = root / _BLOBS
     blob_dir.mkdir(exist_ok=True)
     for doc_id in blob_store.ids():
@@ -134,6 +237,7 @@ def save_sharded_outsourcing(
         )
     manifest = {
         "scheme": scheme_kind,
+        "store": store,
         "sharded": True,
         "num_shards": sharded_index.num_shards,
         "shard_seed": sharded_index.shard_seed.hex(),
@@ -145,50 +249,81 @@ def save_sharded_outsourcing(
 
 
 def load_sharded_outsourcing(
-    root: str | Path,
+    root: str | Path, store: str | None = None
 ) -> tuple[ShardedIndex, BlobStore, str]:
-    """Load a sharded deployment; returns (index, blobs, scheme kind)."""
+    """Load a sharded deployment; returns (index, blobs, scheme kind).
+
+    ``store`` selects the per-shard view exactly as in
+    :func:`load_outsourcing`; packed shards load as lazy
+    :class:`~repro.cloud.store.PackedStore` objects wrapped via
+    :meth:`ShardedIndex.from_stores` (placement validated from
+    addresses alone, no posting block decoded).
+    """
     root = Path(root)
-    manifest_path = root / _MANIFEST
-    if not manifest_path.is_file():
-        raise ProtocolError(f"no deployment manifest under {root}")
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ProtocolError(f"corrupt manifest: {exc}") from exc
-    if not isinstance(manifest, dict):
-        raise ProtocolError("manifest is not a JSON object")
+    manifest = _load_manifest(root)
     if not manifest.get("sharded"):
         raise ProtocolError(
             f"{root} holds an unsharded deployment; load it with "
             "load_outsourcing()"
         )
+    resolved = _resolve_load_store(store, manifest)
+    saved = str(manifest.get("store", "json"))
     try:
         num_shards = int(manifest["num_shards"])
         seed = bytes.fromhex(manifest["shard_seed"])
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed sharded manifest: {exc}") from exc
     shard_dir = root / _SHARDS
-    shards = []
+    shards: list = []
     for shard_id in range(num_shards):
-        shard_path = shard_dir / f"shard-{shard_id}.bin"
+        suffix = "rpk" if saved == "packed" else "bin"
+        shard_path = shard_dir / f"shard-{shard_id}.{suffix}"
         if not shard_path.is_file():
             raise ProtocolError(f"missing shard file {shard_path}")
-        shards.append(SecureIndex.deserialize(shard_path.read_bytes()))
-    sharded_index = ShardedIndex.from_shards(shards, shard_seed=seed)
-    blob_store = BlobStore()
-    blob_dir = root / _BLOBS
-    if blob_dir.is_dir():
-        for blob_path in sorted(blob_dir.iterdir()):
-            blob_store.put(
-                _blob_id_from_name(blob_path.name), blob_path.read_bytes()
-            )
-    expected = manifest.get("num_blobs")
-    if expected is not None and expected != len(blob_store):
-        raise ProtocolError(
-            f"manifest expects {expected} blobs, found {len(blob_store)}"
-        )
+        if saved == "packed":
+            if resolved == "mmap":
+                shards.append(PackedStore(shard_path))
+            else:
+                shards.append(load_packed_index(shard_path))
+        else:
+            shards.append(SecureIndex.deserialize(shard_path.read_bytes()))
+    sharded_index = ShardedIndex.from_stores(shards, shard_seed=seed)
+    blob_store = _load_blobs(root, manifest)
     return sharded_index, blob_store, str(manifest.get("scheme", "rsse"))
+
+
+def pack_deployment(root: str | Path) -> None:
+    """Convert a json-store deployment directory to the packed store.
+
+    Reads the serialized index (or per-shard indexes), writes the
+    packed ``.rpk`` files beside them, removes the ``.bin`` encodings,
+    and flips the manifest's ``"store"`` field — the CLI's
+    ``repro pack`` command.  Packing an already-packed deployment is a
+    no-op.
+    """
+    root = Path(root)
+    manifest = _load_manifest(root)
+    if str(manifest.get("store", "json")) == "packed":
+        return
+    if manifest.get("sharded"):
+        shard_dir = root / _SHARDS
+        num_shards = int(manifest["num_shards"])
+        for shard_id in range(num_shards):
+            bin_path = shard_dir / f"shard-{shard_id}.bin"
+            if not bin_path.is_file():
+                raise ProtocolError(f"missing shard file {bin_path}")
+            shard = SecureIndex.deserialize(bin_path.read_bytes())
+            pack_index(shard, shard_dir / f"shard-{shard_id}.rpk")
+            bin_path.unlink()
+    else:
+        index_path = root / _INDEX
+        if not index_path.is_file():
+            raise ProtocolError(f"missing index file {index_path}")
+        index = SecureIndex.deserialize(index_path.read_bytes())
+        pack_index(index, root / _PACKED)
+        index_path.unlink()
+    manifest["store"] = "packed"
+    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
 
 
 def save_key(path: str | Path, key: SchemeKey) -> None:

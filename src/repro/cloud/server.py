@@ -159,7 +159,14 @@ class CloudServer:
     Parameters
     ----------
     secure_index:
-        The outsourced index ``I``.
+        The outsourced index ``I`` — an in-memory
+        :class:`SecureIndex` or any object with the same server-side
+        surface (``layout`` / ``padded_length`` / ``lookup`` /
+        ``add_list`` / ``replace_list`` / ``items`` / ``num_lists`` /
+        ``size_bytes``), e.g. a lazy ``mmap``-backed
+        :class:`~repro.cloud.store.PackedStore` whose cold lookups
+        touch only the queried posting block before feeding the same
+        ranked warm cache.
     blob_store:
         The encrypted collection ``C``.
     can_rank:

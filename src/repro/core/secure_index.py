@@ -172,6 +172,10 @@ class AddressTree:
         for address in self._sorted_keys:
             yield address, self._values[address]
 
+    def addresses(self) -> Iterator[bytes]:
+        """Iterate addresses in ascending order (no entries touched)."""
+        return iter(self._sorted_keys)
+
 
 class SecureIndex:
     """The outsourced encrypted index ``I``.
@@ -249,6 +253,16 @@ class SecureIndex:
     def items(self) -> Iterator[tuple[bytes, list[bytes]]]:
         """All lists in address order (used by leakage analysis)."""
         return self._tree.items()
+
+    def addresses(self) -> Iterator[bytes]:
+        """All addresses in ascending order (cheap: no entry bytes).
+
+        Part of the shared store read surface — packed stores
+        (:mod:`repro.cloud.store`) implement the same method without
+        decoding any posting blocks, so placement validation at load
+        time stays proportional to the keyword count, not the corpus.
+        """
+        return self._tree.addresses()
 
     # -- measurements -----------------------------------------------------
 

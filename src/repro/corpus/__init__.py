@@ -9,6 +9,7 @@ from repro.corpus.generator import (
     CORE_VOCABULARY,
     RfcCorpusGenerator,
     generate_corpus,
+    stream_corpus,
     synthetic_vocabulary,
 )
 from repro.corpus.loader import Document, iter_texts, load_directory
@@ -22,6 +23,7 @@ __all__ = [
     "generate_corpus",
     "iter_texts",
     "load_directory",
+    "stream_corpus",
     "synthetic_vocabulary",
     "zipf_sample_words",
 ]

@@ -22,6 +22,7 @@ Generation is fully deterministic given the seed.
 from __future__ import annotations
 
 import random
+from typing import Iterator
 
 from repro.corpus.loader import Document
 from repro.corpus.zipf import ZipfSampler
@@ -188,14 +189,27 @@ class RfcCorpusGenerator:
             text="\n".join(lines),
         )
 
-    def generate(self, count: int, start_number: int = 1) -> list[Document]:
-        """Generate ``count`` documents numbered consecutively."""
+    def iter_documents(
+        self, count: int, start_number: int = 1
+    ) -> Iterator[Document]:
+        """Lazily generate ``count`` documents numbered consecutively.
+
+        The streaming-build path: one document is materialized at a
+        time, so corpora of millions of documents flow through an
+        indexing pipeline (e.g. into a
+        :class:`~repro.cloud.store.SpillingPackWriter`-backed build)
+        in constant memory.  Yields the exact documents
+        :meth:`generate` would return for the same arguments — the
+        generator state advances identically either way.
+        """
         if count < 1:
             raise ParameterError(f"count must be >= 1, got {count}")
-        return [
-            self.generate_document(start_number + offset)
-            for offset in range(count)
-        ]
+        for offset in range(count):
+            yield self.generate_document(start_number + offset)
+
+    def generate(self, count: int, start_number: int = 1) -> list[Document]:
+        """Generate ``count`` documents numbered consecutively."""
+        return list(self.iter_documents(count, start_number=start_number))
 
 
 def generate_corpus(
@@ -212,3 +226,20 @@ def generate_corpus(
         vocabulary_size=vocabulary_size, seed=seed
     )
     return generator.generate(num_documents)
+
+
+def stream_corpus(
+    num_documents: int = 1000,
+    seed: int = 2010,
+    vocabulary_size: int = 2000,
+) -> Iterator[Document]:
+    """Lazy sibling of :func:`generate_corpus` (same documents).
+
+    Yields one :class:`Document` at a time so arbitrarily large
+    synthetic corpora (1M+ docs) can feed a constant-memory index
+    build without ever materializing the document list.
+    """
+    generator = RfcCorpusGenerator(
+        vocabulary_size=vocabulary_size, seed=seed
+    )
+    return generator.iter_documents(num_documents)

@@ -7,11 +7,14 @@ from repro.cloud.persistence import (
     load_credentials,
     load_key,
     load_outsourcing,
+    pack_deployment,
     save_credentials,
     save_key,
     save_outsourcing,
 )
+from repro.cloud.store import PackedStore
 from repro.core import EfficientRSSE, TEST_PARAMETERS
+from repro.core.secure_index import SecureIndex
 from repro.corpus import generate_corpus
 from repro.crypto import generate_key, keygen
 from repro.errors import ProtocolError
@@ -84,6 +87,68 @@ class TestOutsourcingRoundtrip:
         blob.unlink()
         with pytest.raises(ProtocolError):
             load_outsourcing(tmp_path / "dep")
+
+
+class TestPackedStoreDeployments:
+    def search_ids(self, owner, index, keyword="network"):
+        scheme = EfficientRSSE(TEST_PARAMETERS)
+        trapdoor = scheme.trapdoor(owner.key, keyword)
+        return [
+            r.file_id for r in scheme.search_ranked(index, trapdoor)
+        ]
+
+    def test_packed_roundtrip_loads_mmap_store(self, outsourcing, tmp_path):
+        owner, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse", store="packed")
+        restored, kind = load_outsourcing(tmp_path / "dep")
+        assert kind == "rsse"
+        assert isinstance(restored.secure_index, PackedStore)
+        assert self.search_ids(owner, restored.secure_index) == (
+            self.search_ids(owner, original.secure_index)
+        )
+        restored.secure_index.close()
+
+    def test_dict_view_of_packed_deployment(self, outsourcing, tmp_path):
+        owner, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse", store="packed")
+        restored, _ = load_outsourcing(tmp_path / "dep", store="dict")
+        assert isinstance(restored.secure_index, SecureIndex)
+        assert dict(restored.secure_index.items()) == dict(
+            original.secure_index.items()
+        )
+
+    def test_mmap_view_of_json_deployment_rejected(
+        self, outsourcing, tmp_path
+    ):
+        _, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse", store="json")
+        with pytest.raises(ProtocolError, match="repack"):
+            load_outsourcing(tmp_path / "dep", store="mmap")
+
+    def test_invalid_store_values_rejected(self, outsourcing, tmp_path):
+        _, original = outsourcing
+        with pytest.raises(ProtocolError, match="sqlite"):
+            save_outsourcing(
+                tmp_path / "dep", original, "rsse", store="sqlite"
+            )
+        save_outsourcing(tmp_path / "dep", original, "rsse")
+        with pytest.raises(ProtocolError, match="lazy"):
+            load_outsourcing(tmp_path / "dep", store="lazy")
+
+    def test_pack_deployment_converts_in_place(self, outsourcing, tmp_path):
+        owner, original = outsourcing
+        save_outsourcing(tmp_path / "dep", original, "rsse", store="json")
+        before = self.search_ids(owner, original.secure_index)
+        pack_deployment(tmp_path / "dep")
+        assert not (tmp_path / "dep" / "index.bin").exists()
+        assert (tmp_path / "dep" / "index.rpk").is_file()
+        restored, _ = load_outsourcing(tmp_path / "dep")
+        assert isinstance(restored.secure_index, PackedStore)
+        assert self.search_ids(owner, restored.secure_index) == before
+        restored.secure_index.close()
+        pack_deployment(tmp_path / "dep")  # idempotent no-op
+        restored, _ = load_outsourcing(tmp_path / "dep", store="dict")
+        assert self.search_ids(owner, restored.secure_index) == before
 
 
 class TestKeyFiles:

@@ -6,6 +6,7 @@ from repro.corpus.generator import (
     CORE_VOCABULARY,
     RfcCorpusGenerator,
     generate_corpus,
+    stream_corpus,
     synthetic_vocabulary,
 )
 from repro.errors import ParameterError
@@ -123,3 +124,29 @@ class TestGenerateCorpus:
         documents = generate_corpus(10)
         assert len(documents) == 10
         assert all(document.size_bytes > 500 for document in documents)
+
+
+class TestStreamingGeneration:
+    def test_stream_equals_batch(self):
+        batch = generate_corpus(8, seed=19, vocabulary_size=120)
+        streamed = list(stream_corpus(8, seed=19, vocabulary_size=120))
+        assert streamed == batch
+
+    def test_iter_documents_is_lazy(self):
+        generator = RfcCorpusGenerator(seed=7, vocabulary_size=100)
+        iterator = generator.iter_documents(10**9)
+        first = next(iterator)
+        second = next(iterator)
+        assert first.doc_id != second.doc_id
+
+    def test_iter_documents_matches_generate(self):
+        generator = RfcCorpusGenerator(seed=7, vocabulary_size=100)
+        batch = generator.generate(5, start_number=3)
+        generator = RfcCorpusGenerator(seed=7, vocabulary_size=100)
+        streamed = list(generator.iter_documents(5, start_number=3))
+        assert streamed == batch
+
+    def test_iter_documents_rejects_bad_count(self):
+        generator = RfcCorpusGenerator(seed=7, vocabulary_size=100)
+        with pytest.raises(ParameterError):
+            next(generator.iter_documents(0))
