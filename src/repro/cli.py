@@ -83,6 +83,38 @@ def _cmd_setup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_search(
+    user: DataUser, kind: str, args: argparse.Namespace
+) -> list:
+    """Dispatch one query: single keyword or one-round multi-keyword."""
+    keywords = args.keyword
+    if len(keywords) == 1:
+        if kind == "rsse":
+            return user.search_ranked_topk(keywords[0], args.top_k)
+        return user.search_two_round_topk(keywords[0], args.top_k)
+    if kind != "rsse":
+        raise ReproError(
+            "multi-keyword search requires the efficient scheme (rsse)"
+        )
+    return user.search_multi_topk(keywords, args.top_k, mode=args.mode)
+
+
+def _query_label(args: argparse.Namespace) -> str:
+    if len(args.keyword) == 1:
+        return repr(args.keyword[0])
+    joiner = " AND " if args.mode == "conjunctive" else " OR "
+    return joiner.join(repr(keyword) for keyword in args.keyword)
+
+
+def _print_hits(hits: list) -> None:
+    for hit in hits:
+        first_line = next(
+            (line.strip() for line in hit.text.splitlines() if line.strip()),
+            "",
+        )
+        print(f"  #{hit.rank:<3} {hit.file_id:<12} {first_line[:60]}")
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     outsourcing, kind = load_outsourcing(args.deployment, store=args.store)
     scheme = _scheme_for(kind)
@@ -94,26 +126,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     channel = Channel(server.handle)
     user = DataUser(scheme, credentials, channel, Analyzer())
+    label = _query_label(args)
     started = time.perf_counter()
-    if kind == "rsse":
-        hits = user.search_ranked_topk(args.keyword, args.top_k)
-    else:
-        hits = user.search_two_round_topk(args.keyword, args.top_k)
+    hits = _run_search(user, kind, args)
     elapsed = time.perf_counter() - started
     if not hits:
-        print(f"no files match {args.keyword!r}")
+        print(f"no files match {label}")
         return 1
     print(
-        f"top-{len(hits)} for {args.keyword!r} "
+        f"top-{len(hits)} for {label} "
         f"({channel.stats.round_trips} round trip(s), "
         f"{channel.stats.total_bytes // 1024} KB, {elapsed * 1000:.0f} ms):"
     )
-    for hit in hits:
-        first_line = next(
-            (line.strip() for line in hit.text.splitlines() if line.strip()),
-            "",
-        )
-        print(f"  #{hit.rank:<3} {hit.file_id:<12} {first_line[:60]}")
+    _print_hits(hits)
     return 0
 
 
@@ -196,32 +221,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
         user = DataUser(
             scheme, credentials, channel, Analyzer(), codec=args.codec
         )
+        label = _query_label(args)
         started = time.perf_counter()
-        if args.scheme == "rsse":
-            hits = user.search_ranked_topk(args.keyword, args.top_k)
-        else:
-            hits = user.search_two_round_topk(args.keyword, args.top_k)
+        hits = _run_search(user, args.scheme, args)
         elapsed = time.perf_counter() - started
         stats = channel.stats
         if not hits:
-            print(f"no files match {args.keyword!r}")
+            print(f"no files match {label}")
             return 1
         print(
-            f"top-{len(hits)} for {args.keyword!r} via "
+            f"top-{len(hits)} for {label} via "
             f"{args.host}:{args.port} ({stats.round_trips} round "
             f"trip(s), {stats.total_bytes // 1024} KB, "
             f"{elapsed * 1000:.0f} ms):"
         )
-        for hit in hits:
-            first_line = next(
-                (
-                    line.strip()
-                    for line in hit.text.splitlines()
-                    if line.strip()
-                ),
-                "",
-            )
-            print(f"  #{hit.rank:<3} {hit.file_id:<12} {first_line[:60]}")
+        _print_hits(hits)
     return 0
 
 
@@ -395,7 +409,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--deployment", required=True)
     search.add_argument("--credentials", required=True)
-    search.add_argument("--keyword", required=True)
+    search.add_argument(
+        "--keyword",
+        required=True,
+        nargs="+",
+        help="one or more query keywords; several keywords run the "
+        "one-round multi-keyword path (rsse only)",
+    )
+    search.add_argument(
+        "--mode",
+        choices=("conjunctive", "disjunctive"),
+        default="conjunctive",
+        help="multi-keyword semantics: AND (conjunctive) or OR "
+        "(disjunctive); ignored for a single keyword",
+    )
     search.add_argument("-k", "--top-k", type=int, default=10)
     search.add_argument(
         "--store",
@@ -445,7 +472,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=9530)
     query.add_argument("--credentials", required=True)
-    query.add_argument("--keyword", required=True)
+    query.add_argument(
+        "--keyword",
+        required=True,
+        nargs="+",
+        help="one or more query keywords; several keywords run the "
+        "one-round multi-keyword path (rsse only)",
+    )
+    query.add_argument(
+        "--mode",
+        choices=("conjunctive", "disjunctive"),
+        default="conjunctive",
+        help="multi-keyword semantics: AND (conjunctive) or OR "
+        "(disjunctive); ignored for a single keyword",
+    )
     query.add_argument("-k", "--top-k", type=int, default=10)
     query.add_argument(
         "--scheme", choices=("rsse", "basic"), default="rsse"

@@ -40,7 +40,17 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.cloud.faults import FaultPlan, FaultStats, FaultyChannel
 from repro.cloud.network import Channel, ChannelStats, LinkModel
-from repro.cloud.protocol import SearchRequest, peek_kind
+from repro.cloud.protocol import (
+    MODE_CONJUNCTIVE,
+    MultiSearchRequest,
+    MultiSearchResponse,
+    SearchRequest,
+    detect_codec,
+    pack_multi_score,
+    pack_partial_score,
+    peek_kind,
+    unpack_partial_score,
+)
 from repro.cloud.retry import (
     BreakerConfig,
     BreakerSnapshot,
@@ -63,6 +73,7 @@ from repro.errors import (
     ShardDownError,
     TransportError,
 )
+from repro.ir.topk import rank_pairs
 from repro.obs.trace import NOOP_TRACER
 
 #: Default keyed-hash seed for shard placement.  Any deployment-chosen
@@ -121,6 +132,88 @@ def shard_for_address(
         raise ParameterError("shard seed must be 1..64 bytes")
     digest = hashlib.blake2b(address, key=seed, digest_size=8).digest()
     return int.from_bytes(digest, "big") % num_shards
+
+
+def split_multi_request(
+    request: MultiSearchRequest, num_shards: int, seed: bytes
+) -> dict[int, MultiSearchRequest]:
+    """Partition a multi-search into per-shard partial sub-requests.
+
+    Each shard gets *one* sub-request carrying every trapdoor it owns
+    (in query order), flagged ``partial=True`` with no top-k bound:
+    the shard must return its complete local aggregates, because a
+    locally low-scoring file can still land in the global top-k once
+    the other shards' contributions are added.  Shared by the
+    in-process coordinator (:class:`ClusterServer`) and the socket
+    front end (:class:`~repro.cloud.netserve.NetServer`), so both
+    deployments fan out identically.
+    """
+    groups: dict[int, list[bytes]] = {}
+    for trapdoor_bytes in request.trapdoors:
+        address = Trapdoor.deserialize(trapdoor_bytes).address
+        shard = shard_for_address(address, num_shards, seed)
+        groups.setdefault(shard, []).append(trapdoor_bytes)
+    return {
+        shard: MultiSearchRequest(
+            trapdoors=tuple(trapdoors),
+            mode=request.mode,
+            top_k=None,
+            partial=True,
+        )
+        for shard, trapdoors in groups.items()
+    }
+
+
+def merge_partial_matches(
+    partials: Sequence[tuple[tuple[str, bytes], ...]],
+    mode: str,
+    total_terms: int,
+) -> list[tuple[str, int, int]]:
+    """Merge per-shard partial aggregates into global candidates.
+
+    ``partials`` is one ``matches`` tuple per shard (partial score
+    fields: sum || matched-term count).  Conjunctive mode keeps only
+    files present in *every* shard's local intersection whose matched
+    counts add up to ``total_terms``; disjunctive mode sums across all
+    shards.  Returns ``(file_id, opm_sum, matched_terms)`` in
+    ascending file-id order — the same candidate order a single
+    server's aggregation produces, so the coordinator's final
+    :func:`repro.ir.topk.rank_pairs` cut breaks ties identically.
+    """
+    per_shard: list[dict[str, tuple[int, int]]] = [
+        {
+            file_id: unpack_partial_score(score_field)
+            for file_id, score_field in matches
+        }
+        for matches in partials
+    ]
+    if not per_shard:
+        return []
+    if mode == MODE_CONJUNCTIVE:
+        smallest = min(per_shard, key=len)
+        others = [m for m in per_shard if m is not smallest]
+        merged: list[tuple[str, int, int]] = []
+        for file_id in sorted(smallest):
+            total, count = smallest[file_id]
+            for shard_map in others:
+                entry = shard_map.get(file_id)
+                if entry is None:
+                    break
+                total += entry[0]
+                count += entry[1]
+            else:
+                if count == total_terms:
+                    merged.append((file_id, total, count))
+        return merged
+    sums: dict[str, tuple[int, int]] = {}
+    for shard_map in per_shard:
+        for file_id, (total, count) in shard_map.items():
+            sum_so_far, count_so_far = sums.get(file_id, (0, 0))
+            sums[file_id] = (sum_so_far + total, count_so_far + count)
+    return [
+        (file_id, total, count)
+        for file_id, (total, count) in sorted(sums.items())
+    ]
 
 
 class ShardedIndex:
@@ -721,27 +814,143 @@ class ClusterServer:
         subclass; use :meth:`handle_resilient` for the non-raising
         degraded contract.
         """
+        if peek_kind(request_bytes) == "multi-search":
+            return self._handle_multi_search(request_bytes)
         shard = self.shard_id_for(request_bytes)
         with self._tracer.span("cluster.handle", shard=shard) as span:
             response = self._call_shard(shard, request_bytes)
         self._observe_request("handle", span)
         return response
 
+    # -- multi-keyword fan-out ---------------------------------------------
+
+    def _multi_fanout(
+        self, request_bytes: bytes, parent=None
+    ) -> tuple[bytes | None, list[tuple[int, Exception]]]:
+        """Serve one multi-search across shards; never raises transport.
+
+        A query whose terms all live on one shard is forwarded whole —
+        that shard aggregates, ranks, and attaches files exactly like
+        a single server.  Otherwise each owning shard gets one partial
+        sub-request (all of its terms in one call) on the thread pool,
+        and the coordinator merges the partial aggregates, re-ranks
+        under the identical tie-break, and attaches blobs from the
+        shared store.  Returns ``(response_bytes, [])`` on success or
+        ``(None, [(shard, error), ...])`` when any shard fails — the
+        conjunctive intersection (and the disjunctive sum) is unsound
+        with a shard missing, so a lost shard fails the whole query
+        rather than silently dropping its terms.
+        """
+        codec = detect_codec(request_bytes)
+        request = MultiSearchRequest.from_bytes(request_bytes)
+        sub_requests = split_multi_request(
+            request, self._sharded.num_shards, self._sharded.shard_seed
+        )
+        if len(sub_requests) == 1:
+            shard = next(iter(sub_requests))
+            try:
+                return (
+                    self._call_shard(shard, request_bytes, parent=parent),
+                    [],
+                )
+            except TransportError as exc:
+                return None, [(shard, exc)]
+        futures = {
+            shard: self._executor.submit(
+                self._call_shard,
+                shard,
+                sub_request.to_bytes(codec),
+                parent,
+            )
+            for shard, sub_request in sorted(sub_requests.items())
+        }
+        partials: list[tuple[tuple[str, bytes], ...]] = []
+        failures: list[tuple[int, Exception]] = []
+        for shard, future in futures.items():
+            try:
+                partials.append(
+                    MultiSearchResponse.from_bytes(future.result()).matches
+                )
+            except TransportError as exc:
+                failures.append((shard, exc))
+        if failures:
+            return None, failures
+        merged = merge_partial_matches(
+            partials, request.mode, len(request.trapdoors)
+        )
+        if request.partial:
+            response = MultiSearchResponse(
+                matches=tuple(
+                    (file_id, pack_partial_score(total, count))
+                    for file_id, total, count in merged
+                ),
+                files=(),
+            )
+            return response.to_bytes(codec), []
+        ranked = rank_pairs(
+            [(file_id, total) for file_id, total, _ in merged],
+            request.top_k,
+        )
+        matches = []
+        payloads = []
+        for file_id, total in ranked:
+            # Same removed-blob tolerance as a single server.
+            blob = self._blobs.get_optional(file_id)
+            if blob is None:
+                continue
+            matches.append((file_id, pack_multi_score(total)))
+            payloads.append((file_id, blob))
+        response = MultiSearchResponse(
+            matches=tuple(matches), files=tuple(payloads)
+        )
+        return response.to_bytes(codec), []
+
+    def _handle_multi_search(
+        self, request_bytes: bytes, parent=None
+    ) -> bytes:
+        """Raising flavour of the multi-search fan-out (handle path)."""
+        with self._tracer.span(
+            "cluster.multi_search", parent=parent
+        ) as span:
+            inner = span if self._tracer.enabled else None
+            response, failures = self._multi_fanout(
+                request_bytes, parent=inner
+            )
+            if self._tracer.enabled:
+                span.set(failed_shards=len(failures))
+        if failures:
+            raise failures[0][1]
+        assert response is not None
+        self._observe_request("multi_search", span)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_cluster_multi_requests_total",
+                mode=MultiSearchRequest.from_bytes(request_bytes).mode,
+            ).inc()
+        return response
+
     def _group_by_shard(
         self, batch: Sequence[bytes]
-    ) -> dict[int, list[int]]:
+    ) -> tuple[dict[int, list[int]], list[int]]:
         """Request positions per owning shard, in request order.
 
         The batch fan-out unit: one pooled task per *shard* per batch
         (not per request), amortizing thread-pool dispatch and breaker
-        bookkeeping across every request a shard owns.
+        bookkeeping across every request a shard owns.  Multi-search
+        requests have no single owning shard; their positions come
+        back separately and are fanned out by the coordinator itself
+        (each one already parallelizes internally across shards).
         """
         groups: dict[int, list[int]] = {}
+        multi_positions: list[int] = []
         for position, request_bytes in enumerate(batch):
+            if peek_kind(request_bytes) == "multi-search":
+                multi_positions.append(position)
+                continue
             groups.setdefault(self.shard_id_for(request_bytes), []).append(
                 position
             )
-        return groups
+        return groups, multi_positions
 
     def _observe_batch(self, batch_size: int, groups: int, kind: str) -> None:
         """Record one batch fan-out in the metrics registry."""
@@ -773,8 +982,10 @@ class ClusterServer:
         batch = list(requests)
         if not batch:
             return []
-        groups = self._group_by_shard(batch)
-        self._observe_batch(len(batch), len(groups), "handle_many")
+        groups, multi_positions = self._group_by_shard(batch)
+        self._observe_batch(
+            len(batch), len(groups) + len(multi_positions), "handle_many"
+        )
         responses: list[bytes | None] = [None] * len(batch)
         errors: list[tuple[int, Exception]] = []
         errors_lock = threading.Lock()
@@ -797,6 +1008,18 @@ class ClusterServer:
             self._executor.submit(run_group, shard, positions)
             for shard, positions in groups.items()
         ]
+        # Multi-searches run from the coordinator thread (each fans
+        # its per-shard sub-requests out on the pool itself, so a
+        # pooled wrapper task would just hold a worker hostage while
+        # waiting on other workers).
+        for position in multi_positions:
+            try:
+                responses[position] = self._handle_multi_search(
+                    batch[position]
+                )
+            except Exception as exc:
+                with errors_lock:
+                    errors.append((position, exc))
         for future in futures:
             future.result()
         if errors:
@@ -839,8 +1062,12 @@ class ClusterServer:
             # The root span is passed explicitly: pool workers run in
             # other threads, where thread-local parenting cannot see it.
             parent = root if self._tracer.enabled else None
-            groups = self._group_by_shard(batch)
-            self._observe_batch(len(batch), len(groups), "handle_resilient")
+            groups, multi_positions = self._group_by_shard(batch)
+            self._observe_batch(
+                len(batch),
+                len(groups) + len(multi_positions),
+                "handle_resilient",
+            )
 
             def run_group(
                 shard: int, positions: list[int]
@@ -856,24 +1083,30 @@ class ClusterServer:
                 self._executor.submit(run_group, shard, positions)
                 for shard, positions in groups.items()
             ]
-            outcomes_by_position: dict[
-                int, tuple[int, bytes | None, int, str | None]
-            ] = {}
+            responses_by_position: dict[int, bytes | None] = {}
+            failure_entries: list[tuple[int, int, str]] = []
+            # Coordinator-side multi-search fan-out (see handle_many);
+            # a multi that loses shards yields None at its position
+            # plus one failure entry per lost shard.
+            for position in multi_positions:
+                response, shard_failures = self._multi_fanout(
+                    batch[position], parent=parent
+                )
+                responses_by_position[position] = response
+                failure_entries.extend(
+                    (position, shard, type(exc).__name__)
+                    for shard, exc in shard_failures
+                )
             for future in futures:
-                for outcome in future.result():
-                    outcomes_by_position[outcome[0]] = outcome
-            outcomes = [
-                outcomes_by_position[position]
-                for position in range(len(batch))
-            ]
-            failures = tuple(
-                (position, shard, error)
-                for position, _, shard, error in outcomes
-                if error is not None
-            )
+                for position, response, shard, error in future.result():
+                    responses_by_position[position] = response
+                    if error is not None:
+                        failure_entries.append((position, shard, error))
+            failures = tuple(sorted(failure_entries))
             result = PartialResult(
                 responses=tuple(
-                    response for _, response, _, _ in outcomes
+                    responses_by_position[position]
+                    for position in range(len(batch))
                 ),
                 missing_shards=tuple(
                     sorted({shard for _, shard, _ in failures})

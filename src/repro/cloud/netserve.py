@@ -62,16 +62,22 @@ from repro.cloud.cluster import (
     DEFAULT_SHARD_SEED,
     PartialResult,
     ShardedIndex,
+    merge_partial_matches,
     routing_address,
     shard_for_address,
+    split_multi_request,
 )
 from repro.cloud.network import ChannelStats
 from repro.cloud.protocol import (
     MAX_FRAME_BYTES,
     ErrorResponse,
+    MultiSearchRequest,
+    MultiSearchResponse,
     StreamDecoder,
     detect_codec,
     encode_frame,
+    pack_multi_score,
+    pack_partial_score,
     peek_kind,
 )
 from repro.cloud.retry import BreakerConfig, BreakerSnapshot, CircuitBreaker
@@ -89,6 +95,7 @@ from repro.errors import (
     ShardDownError,
     TransportError,
 )
+from repro.ir.topk import rank_pairs
 from repro.obs.trace import NOOP_TRACER
 
 #: Default per-connection in-flight window (requests admitted but not
@@ -763,7 +770,9 @@ class NetServer:
             self._observe_admitted(kind)
             try:
                 with self._tracer.span("net.request", kind=kind) as span:
-                    if kind in _BROADCAST_KINDS:
+                    if kind == "multi-search":
+                        response = await self._multi(frame, codec, span)
+                    elif kind in _BROADCAST_KINDS:
                         response = await self._broadcast(frame, codec, span)
                     else:
                         try:
@@ -820,6 +829,99 @@ class NetServer:
             span.set(worker_us=worker_us)
         return response
 
+    async def _multi(self, frame: bytes, codec: str, span) -> bytes:
+        """Coordinate one multi-search across shard workers.
+
+        Mirrors :meth:`ClusterServer._multi_fanout` over pipes: a
+        query owned by one shard is forwarded whole; otherwise every
+        owning shard gets its partial sub-request concurrently
+        (``asyncio.gather``), the partial aggregates are merged under
+        the identical tie-break, and blobs come from the front end's
+        replica of the store (kept current by :meth:`_broadcast`).
+        A failed shard fails the whole query — its error travels back
+        as the response, shard id included, because a conjunctive
+        intersection (or disjunctive sum) missing a shard's terms
+        would be silently wrong rather than merely partial.
+        """
+        try:
+            request = MultiSearchRequest.from_bytes(frame)
+            sub_requests = split_multi_request(
+                request, self._sharded.num_shards, self._sharded.shard_seed
+            )
+        except ReproError as exc:
+            return ErrorResponse(
+                code=type(exc).__name__, detail=str(exc)
+            ).to_bytes(codec)
+        if self._tracer.enabled:
+            span.set(
+                mode=request.mode,
+                terms=len(request.trapdoors),
+                fanout=len(sub_requests),
+            )
+        if len(sub_requests) == 1:
+            shard = next(iter(sub_requests))
+            return await self._dispatch(shard, frame, codec, span)
+        ordered = sorted(sub_requests.items())
+        responses = await asyncio.gather(
+            *(
+                self._dispatch(
+                    shard, sub_request.to_bytes(codec), codec, span
+                )
+                for shard, sub_request in ordered
+            )
+        )
+        partials = []
+        for response in responses:
+            if peek_kind(response) == "error":
+                return response
+            partials.append(MultiSearchResponse.from_bytes(response).matches)
+        merged = merge_partial_matches(
+            partials, request.mode, len(request.trapdoors)
+        )
+        if request.partial:
+            return MultiSearchResponse(
+                matches=tuple(
+                    (file_id, pack_partial_score(total, count))
+                    for file_id, total, count in merged
+                ),
+                files=(),
+            ).to_bytes(codec)
+        ranked = rank_pairs(
+            [(file_id, total) for file_id, total, _ in merged],
+            request.top_k,
+        )
+        matches = []
+        payloads = []
+        for file_id, total in ranked:
+            blob = self._blobs.get_optional(file_id)
+            if blob is None:
+                continue
+            matches.append((file_id, pack_multi_score(total)))
+            payloads.append((file_id, blob))
+        return MultiSearchResponse(
+            matches=tuple(matches), files=tuple(payloads)
+        ).to_bytes(codec)
+
+    def _apply_blob_mutation(self, frame: bytes) -> None:
+        """Mirror an acked blob mutation into the front end's store.
+
+        Workers hold fork-time replicas that broadcasts keep current;
+        the parent's copy must track them too, because the
+        multi-search coordinator attaches blobs from it.  Idempotent,
+        like the worker-side handlers.
+        """
+        from repro.cloud.updates import PutBlobRequest, RemoveBlobRequest
+
+        kind = peek_kind(frame)
+        if kind == "put-blob":
+            put = PutBlobRequest.from_bytes(frame)
+            if self._blobs.get_optional(put.file_id) is None:
+                self._blobs.put(put.file_id, put.blob)
+        else:
+            remove = RemoveBlobRequest.from_bytes(frame)
+            if remove.file_id in self._blobs:
+                self._blobs.delete(remove.file_id)
+
     async def _broadcast(self, frame: bytes, codec: str, span) -> bytes:
         """Apply a blob mutation on every worker (replicated stores).
 
@@ -841,6 +943,8 @@ class NetServer:
                 for shard in range(self._sharded.num_shards)
             )
         )
+        if peek_kind(results[owner]) == "ack":
+            self._apply_blob_mutation(frame)
         return results[owner]
 
 

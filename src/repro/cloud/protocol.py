@@ -48,6 +48,8 @@ BINARY_TAGS = {
     "search-response": 0xA2,
     "fetch": 0xA3,
     "files": 0xA4,
+    "multi-search": 0xA5,
+    "multi-search-response": 0xA6,
     "update-list": 0xB1,
     "put-blob": 0xB2,
     "remove-blob": 0xB3,
@@ -56,6 +58,70 @@ BINARY_TAGS = {
 }
 
 _KIND_FOR_TAG = {tag: kind for kind, tag in BINARY_TAGS.items()}
+
+#: Multi-keyword aggregation: a file must match every term.
+MODE_CONJUNCTIVE = "conjunctive"
+
+#: Multi-keyword aggregation: a file may match any subset of terms.
+MODE_DISJUNCTIVE = "disjunctive"
+
+#: Every supported multi-keyword mode.
+MULTI_MODES = (MODE_CONJUNCTIVE, MODE_DISJUNCTIVE)
+
+#: Width of the aggregated OPM-sum score field in a final
+#: multi-search response.  Single-term OPM fields are at most 6 bytes
+#: (``range_size`` ~ 2^46), so even a 64-term sum fits in 8.
+MULTI_SCORE_BYTES = 8
+
+#: Width of the per-shard partial score field: the 8-byte running sum
+#: followed by a 4-byte count of how many of the shard's terms the
+#: file matched (the coordinator's conjunctive completeness check).
+PARTIAL_SCORE_BYTES = MULTI_SCORE_BYTES + 4
+
+
+def pack_multi_score(total: int) -> bytes:
+    """Encode an aggregated OPM sum as a fixed-width score field."""
+    if total < 0:
+        raise ProtocolError(f"negative aggregate score {total}")
+    try:
+        return total.to_bytes(MULTI_SCORE_BYTES, "big")
+    except OverflowError:
+        raise ProtocolError(
+            f"aggregate score {total} exceeds "
+            f"{MULTI_SCORE_BYTES} bytes"
+        ) from None
+
+
+def unpack_multi_score(score_field: bytes) -> int:
+    """Decode a final multi-search score field back to its OPM sum."""
+    if len(score_field) != MULTI_SCORE_BYTES:
+        raise ProtocolError(
+            f"malformed multi-search score field of "
+            f"{len(score_field)} bytes"
+        )
+    return int.from_bytes(score_field, "big")
+
+
+def pack_partial_score(total: int, terms_matched: int) -> bytes:
+    """Encode one shard's partial aggregate: sum || matched-term count."""
+    if terms_matched < 1:
+        raise ProtocolError(
+            f"terms_matched must be >= 1, got {terms_matched}"
+        )
+    return pack_multi_score(total) + terms_matched.to_bytes(4, "big")
+
+
+def unpack_partial_score(score_field: bytes) -> tuple[int, int]:
+    """Decode a partial score field to ``(sum, terms_matched)``."""
+    if len(score_field) != PARTIAL_SCORE_BYTES:
+        raise ProtocolError(
+            f"malformed partial score field of "
+            f"{len(score_field)} bytes"
+        )
+    return (
+        int.from_bytes(score_field[:MULTI_SCORE_BYTES], "big"),
+        int.from_bytes(score_field[MULTI_SCORE_BYTES:], "big"),
+    )
 
 
 def require_codec(codec: str) -> str:
@@ -407,6 +473,148 @@ class SearchResponse:
             reader.expect_end()
             return cls(matches=matches, files=files)
         payload = _decode(data, "search-response")
+        return cls(
+            matches=tuple(
+                (file_id, bytes.fromhex(score_hex))
+                for file_id, score_hex in payload["matches"]
+            ),
+            files=tuple(
+                (file_id, bytes.fromhex(blob_hex))
+                for file_id, blob_hex in payload["files"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class MultiSearchRequest:
+    """A one-round multi-keyword search: k trapdoors, one response.
+
+    ``mode`` selects conjunctive (files must match every term) or
+    disjunctive (any term) aggregation of the per-term OPM scores.
+    ``top_k=None`` asks for the full aggregated ranking.
+    ``partial=True`` is the shard-internal flavour: the server returns
+    its complete local aggregates (sum || matched-term count fields,
+    no file payloads) for a coordinator to merge — tie-breaks at the
+    coordinator then match a single server's exactly.
+    """
+
+    trapdoors: tuple[bytes, ...]
+    mode: str = MODE_CONJUNCTIVE
+    top_k: int | None = None
+    partial: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.trapdoors:
+            raise ProtocolError(
+                "multi-search requires at least one trapdoor"
+            )
+        if self.mode not in MULTI_MODES:
+            raise ProtocolError(
+                f"unknown multi-search mode {self.mode!r}; "
+                f"expected one of {MULTI_MODES}"
+            )
+        if self.top_k is not None and self.top_k < 1:
+            raise ProtocolError(
+                f"top_k must be >= 1 or None, got {self.top_k}"
+            )
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            fields = [_pack_count(len(self.trapdoors))]
+            fields += list(self.trapdoors)
+            fields += [
+                self.mode.encode("utf-8"),
+                b"" if self.top_k is None else _pack_count(self.top_k),
+                b"\x01" if self.partial else b"\x00",
+            ]
+            return pack_frames("multi-search", fields)
+        return _encode(
+            "multi-search",
+            {
+                "trapdoors": [t.hex() for t in self.trapdoors],
+                "mode": self.mode,
+                "top_k": self.top_k,
+                "partial": self.partial,
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MultiSearchRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "multi-search")
+            count = reader.take_count()
+            trapdoors = tuple(reader.take() for _ in range(count))
+            mode = reader.take_str()
+            top_k_field = reader.take()
+            if top_k_field and len(top_k_field) != 4:
+                raise ProtocolError("malformed top_k field")
+            partial = reader.take() == b"\x01"
+            reader.expect_end()
+            return cls(
+                trapdoors=trapdoors,
+                mode=mode,
+                top_k=(
+                    int.from_bytes(top_k_field, "big")
+                    if top_k_field
+                    else None
+                ),
+                partial=partial,
+            )
+        payload = _decode(data, "multi-search")
+        return cls(
+            trapdoors=tuple(
+                bytes.fromhex(t) for t in payload["trapdoors"]
+            ),
+            mode=payload["mode"],
+            top_k=payload["top_k"],
+            partial=bool(payload["partial"]),
+        )
+
+
+@dataclass(frozen=True)
+class MultiSearchResponse:
+    """Server -> user: the aggregated multi-keyword ranking.
+
+    ``matches`` carries ``(file_id, score_field)`` pairs in final
+    rank order (descending OPM sum, ascending file id on ties); the
+    score field is the 8-byte aggregated sum (:func:`pack_multi_score`)
+    or, for ``partial=True`` requests, the 12-byte
+    sum-plus-matched-count field (:func:`pack_partial_score`) in
+    ascending file-id order.  ``files`` carries the encrypted blobs in
+    rank order (always empty for partial responses).
+    """
+
+    matches: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
+    files: tuple[tuple[str, bytes], ...] = field(default_factory=tuple)
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "multi-search-response",
+                _pack_pairs(self.matches) + _pack_pairs(self.files),
+            )
+        return _encode(
+            "multi-search-response",
+            {
+                "matches": [
+                    [file_id, score_field.hex()]
+                    for file_id, score_field in self.matches
+                ],
+                "files": [
+                    [file_id, blob.hex()] for file_id, blob in self.files
+                ],
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MultiSearchResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "multi-search-response")
+            matches = _take_pairs(reader)
+            files = _take_pairs(reader)
+            reader.expect_end()
+            return cls(matches=matches, files=files)
+        payload = _decode(data, "multi-search-response")
         return cls(
             matches=tuple(
                 (file_id, bytes.fromhex(score_hex))

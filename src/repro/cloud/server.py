@@ -21,11 +21,16 @@ from typing import MutableSequence
 
 from repro.cloud.cache import DEFAULT_CACHE_CAPACITY, LruCache
 from repro.cloud.protocol import (
+    MODE_CONJUNCTIVE,
     FileRequest,
+    MultiSearchRequest,
+    MultiSearchResponse,
     RankedFilesResponse,
     SearchRequest,
     SearchResponse,
     detect_codec,
+    pack_multi_score,
+    pack_partial_score,
     peek_kind,
 )
 from repro.cloud.storage import BlobStore
@@ -33,7 +38,14 @@ from repro.core.results import ServerMatch
 from repro.core.secure_index import SecureIndex, decrypt_posting_list
 from repro.core.trapdoor import Trapdoor
 from repro.errors import ParameterError, ProtocolError
-from repro.ir.topk import rank_all, top_k, top_of_ranked
+from repro.ir.topk import (
+    intersect_sums,
+    rank_all,
+    rank_pairs,
+    top_k,
+    top_of_ranked,
+    union_sums,
+)
 from repro.obs.trace import NOOP_TRACER
 
 
@@ -145,6 +157,11 @@ class CachedPostings:
 
     matches: tuple[ServerMatch, ...]
     ranked: tuple[ServerMatch, ...] | None
+    #: ``file_id -> decoded OPM value``, built at fill time alongside
+    #: ``ranked`` so a warm multi-keyword aggregation probes a dict
+    #: instead of re-decoding score fields.  ``None`` when the server
+    #: cannot rank or caching is off.
+    by_file: dict[str, int] | None = None
 
 
 class CloudServer:
@@ -254,6 +271,10 @@ class CloudServer:
                 if kind == "search":
                     return self._handle_search(
                         SearchRequest.from_bytes(request_bytes)
+                    ).to_bytes(codec)
+                if kind == "multi-search":
+                    return self._handle_multi_search(
+                        MultiSearchRequest.from_bytes(request_bytes)
                     ).to_bytes(codec)
                 if kind == "fetch":
                     return self._handle_fetch(
@@ -398,6 +419,7 @@ class CloudServer:
                 )
             )
         ranked: tuple[ServerMatch, ...] | None = None
+        by_file: dict[str, int] | None = None
         if self._cache is not None and self._can_rank:
             # rank_all's tie-break (toward earlier items) matches
             # top_k's, so slicing this pre-sorted list reproduces the
@@ -405,7 +427,12 @@ class CloudServer:
             ranked = tuple(
                 rank_all(matches, key=ServerMatch.opm_value)
             )
-        posting = CachedPostings(matches=matches, ranked=ranked)
+            by_file = {
+                match.file_id: match.opm_value() for match in matches
+            }
+        posting = CachedPostings(
+            matches=matches, ranked=ranked, by_file=by_file
+        )
         if self._cache is not None:
             self._cache.put(trapdoor.address, posting)
         return posting
@@ -514,6 +541,159 @@ class CloudServer:
             (match.file_id, match.score_field) for match in ordered
         )
         return SearchResponse(matches=response_matches, files=files)
+
+    def _score_map(self, posting: CachedPostings) -> dict[str, int]:
+        """``file_id -> OPM value`` for one posting list.
+
+        Warm path: the dict was built once at cache-fill time.  Cold
+        (or cache-off) path: decode the score fields now — same values
+        either way, so responses are byte-identical cache on/off.
+        """
+        if posting.by_file is not None:
+            return posting.by_file
+        return {
+            match.file_id: match.opm_value()
+            for match in posting.matches
+        }
+
+    def _handle_multi_search(
+        self, request: MultiSearchRequest
+    ) -> MultiSearchResponse:
+        """One-round multi-keyword top-k: aggregate OPM sums server-side.
+
+        Looks up every trapdoor through the same ranked warm cache the
+        single-keyword path uses (so only queried terms are decoded,
+        also under the packed mmap store), sums per-file OPM values
+        across terms — intersecting for conjunctive mode, merging for
+        disjunctive — and selects the top-k with a bounded heap under
+        the canonical tie-break (descending sum, ascending file id).
+
+        ``partial=True`` (the cluster-internal flavour) skips the
+        top-k cut and file fetch and returns every local aggregate
+        with its matched-term count, in ascending file-id order.
+        """
+        if not self._can_rank:
+            raise ProtocolError(
+                "multi-keyword search requires rankable score fields "
+                "(the efficient scheme); the basic scheme cannot "
+                "aggregate semantically secure scores server-side"
+            )
+        with self._tracer.span(
+            "search.trapdoor", terms=len(request.trapdoors)
+        ):
+            trapdoors = [
+                Trapdoor.deserialize(t) for t in request.trapdoors
+            ]
+        hits_before = self.cache_hits
+        postings: list[CachedPostings] = []
+        per_term: list[dict[str, int]] = []
+        with self._tracer.span("search.postings") as span:
+            for trapdoor in trapdoors:
+                posting = self._postings_for(trapdoor)
+                postings.append(posting)
+                per_term.append(self._score_map(posting))
+            span.set(
+                postings=sum(len(p.matches) for p in postings),
+                cache_hits=self.cache_hits - hits_before,
+            )
+
+        rank_counters: dict[str, int] | None = (
+            {} if self._tracer.enabled else None
+        )
+        with self._tracer.span(
+            "search.aggregate",
+            mode=request.mode,
+            terms=len(trapdoors),
+            k=request.top_k,
+            partial=request.partial,
+        ) as span:
+            if request.mode == MODE_CONJUNCTIVE:
+                pairs = intersect_sums(per_term)
+            else:
+                pairs = union_sums(per_term)
+            span.set(candidates=len(pairs))
+            if request.partial:
+                if request.mode == MODE_CONJUNCTIVE:
+                    # Every survivor matched all local terms.
+                    counts = {
+                        file_id: len(per_term) for file_id, _ in pairs
+                    }
+                else:
+                    counts = {
+                        file_id: sum(
+                            1 for scores in per_term if file_id in scores
+                        )
+                        for file_id, _ in pairs
+                    }
+                ranked = pairs  # already ascending file id
+            else:
+                ranked = rank_pairs(
+                    pairs, request.top_k, counters=rank_counters
+                )
+            if rank_counters:
+                span.set(**rank_counters)
+
+        with self._tracer.span("search.files") as span:
+            if request.partial:
+                returned_pairs = ranked
+                files: tuple[tuple[str, bytes], ...] = ()
+                matches = tuple(
+                    (file_id, pack_partial_score(total, counts[file_id]))
+                    for file_id, total in returned_pairs
+                )
+            else:
+                # Same tolerance as the single-keyword path: a blob
+                # removed since the index read drops out of both lists.
+                returned_pairs = []
+                payloads = []
+                for file_id, total in ranked:
+                    blob = self._blobs.get_optional(file_id)
+                    if blob is None:
+                        continue
+                    returned_pairs.append((file_id, total))
+                    payloads.append((file_id, blob))
+                files = tuple(payloads)
+                matches = tuple(
+                    (file_id, pack_multi_score(total))
+                    for file_id, total in returned_pairs
+                )
+            span.set(files=len(files))
+
+        returned_ids = tuple(file_id for file_id, _ in returned_pairs)
+        for trapdoor, posting in zip(trapdoors, postings):
+            self._log.record(
+                SearchObservation(
+                    address=trapdoor.address,
+                    matched_file_ids=tuple(
+                        match.file_id for match in posting.matches
+                    ),
+                    score_fields=tuple(
+                        match.score_field for match in posting.matches
+                    ),
+                    returned_file_ids=returned_ids,
+                )
+            )
+        if self._obs is not None:
+            current = self._tracer.current()
+            for trapdoor, posting in zip(trapdoors, postings):
+                self._obs.leakage.record(
+                    trapdoor.address,
+                    matched_file_ids=tuple(
+                        match.file_id for match in posting.matches
+                    ),
+                    returned_file_ids=returned_ids,
+                    trace_id=(
+                        current.trace_id if current is not None else 0
+                    ),
+                )
+            self._obs.metrics.counter(
+                "repro_server_multi_searches_total", mode=request.mode
+            ).inc()
+            if self._cache is not None:
+                self._obs.metrics.gauge(
+                    "repro_server_cache_hit_ratio"
+                ).set(self._cache.hit_ratio)
+        return MultiSearchResponse(matches=matches, files=files)
 
     def _handle_fetch(self, request: FileRequest) -> RankedFilesResponse:
         """Second round of the basic top-k protocol.

@@ -23,7 +23,11 @@ from repro.cloud.network import Transport
 from repro.cloud.owner import UserCredentials
 from repro.cloud.protocol import (
     CODEC_JSON,
+    MODE_CONJUNCTIVE,
+    MULTI_MODES,
     FileRequest,
+    MultiSearchRequest,
+    MultiSearchResponse,
     RankedFilesResponse,
     SearchRequest,
     SearchResponse,
@@ -36,7 +40,13 @@ from repro.core.results import RankedFile, as_ranking
 from repro.crypto.symmetric import SymmetricCipher
 from repro.errors import ParameterError
 from repro.ir.analyzer import Analyzer
-from repro.ir.topk import rank_all, top_k
+from repro.ir.topk import (
+    intersect_sums,
+    rank_all,
+    rank_pairs,
+    top_k,
+    union_sums,
+)
 
 
 @dataclass(frozen=True)
@@ -120,6 +130,107 @@ class DataUser:
             self._channel.call(request.to_bytes(self._codec))
         )
         return self._decrypt_files(response.files)
+
+    # -- efficient scheme: one-round multi-keyword retrieval ---------------
+
+    def _multi_trapdoors(self, keywords: list[str]) -> tuple[bytes, ...]:
+        """Batch trapdoor generation: normalize, de-duplicate, serialize.
+
+        The duplicate check runs on *normalized* terms — "Cloud" and
+        "cloud" are the same keyword, and sending its trapdoor twice
+        would double-count its OPM contribution in every sum.
+        """
+        if not keywords:
+            raise ParameterError("keywords must be non-empty")
+        terms = [
+            self._analyzer.analyze_query(keyword) for keyword in keywords
+        ]
+        if len(set(terms)) != len(terms):
+            raise ParameterError(
+                "duplicate query keywords are not allowed "
+                "(after normalization)"
+            )
+        key = self._credentials.scheme_key
+        return tuple(
+            self._scheme.trapdoor(key, term).serialize() for term in terms
+        )
+
+    def _require_multi(self, k: int, mode: str) -> None:
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if mode not in MULTI_MODES:
+            raise ParameterError(
+                f"unknown multi-search mode {mode!r}; "
+                f"expected one of {MULTI_MODES}"
+            )
+        if not isinstance(self._scheme, EfficientRSSE):
+            raise ParameterError(
+                "multi-keyword server-side ranking requires the "
+                "efficient scheme"
+            )
+
+    def search_multi_topk(
+        self,
+        keywords: list[str],
+        k: int,
+        mode: str = MODE_CONJUNCTIVE,
+    ) -> list[RetrievedFile]:
+        """One-round multi-keyword top-k: all trapdoors in one call.
+
+        The server aggregates per-term OPM scores (conjunctive
+        intersection or disjunctive union) and returns the top-k files
+        in one round trip — a k-term query costs ~one single-keyword
+        query instead of k (see ``benchmarks/bench_multi_keyword.py``).
+        """
+        self._require_multi(k, mode)
+        request = MultiSearchRequest(
+            trapdoors=self._multi_trapdoors(keywords), mode=mode, top_k=k
+        )
+        response = MultiSearchResponse.from_bytes(
+            self._channel.call(request.to_bytes(self._codec))
+        )
+        return self._decrypt_files(response.files)
+
+    def search_multi_topk_legacy(
+        self,
+        keywords: list[str],
+        k: int,
+        mode: str = MODE_CONJUNCTIVE,
+    ) -> list[RetrievedFile]:
+        """The pre-aggregation shape: k round trips, client-side merge.
+
+        One full (unbounded) single-keyword search per term, then
+        intersect-and-sum on the client.  Kept as the latency and
+        bandwidth baseline the one-round path is measured against,
+        and as the equivalence oracle — both paths use the canonical
+        tie-break, so their rankings must agree file for file.
+        """
+        self._require_multi(k, mode)
+        per_term: list[dict[str, int]] = []
+        blobs: dict[str, bytes] = {}
+        for trapdoor_bytes in self._multi_trapdoors(keywords):
+            request = SearchRequest(trapdoor_bytes=trapdoor_bytes)
+            response = SearchResponse.from_bytes(
+                self._channel.call(request.to_bytes(self._codec))
+            )
+            per_term.append(
+                {
+                    file_id: int.from_bytes(score_field, "big")
+                    for file_id, score_field in response.matches
+                }
+            )
+            blobs.update(response.files)
+        if mode == MODE_CONJUNCTIVE:
+            pairs = intersect_sums(per_term)
+        else:
+            pairs = union_sums(per_term)
+        ranked = rank_pairs(pairs, k)
+        files = tuple(
+            (file_id, blobs[file_id])
+            for file_id, _ in ranked
+            if file_id in blobs
+        )
+        return self._decrypt_files(files)
 
     # -- basic scheme: one-round, client ranks everything ---------------------
 

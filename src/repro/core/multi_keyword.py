@@ -38,9 +38,10 @@ from repro.core.secure_index import SecureIndex
 from repro.core.trapdoor import Trapdoor
 from repro.crypto.keys import SchemeKey
 from repro.errors import ParameterError
+from repro.ir.analyzer import Analyzer
 from repro.ir.inverted_index import InvertedIndex
 from repro.ir.scoring import query_score
-from repro.ir.topk import rank_all, top_k
+from repro.ir.topk import intersect_sums, rank_all, rank_pairs, union_sums
 
 
 @dataclass(frozen=True)
@@ -55,68 +56,72 @@ class MultiKeywordQuery:
 
 
 class MultiKeywordSearcher:
-    """Conjunctive ranked search on top of the efficient scheme."""
+    """Conjunctive ranked search on top of the efficient scheme.
 
-    def __init__(self, scheme: EfficientRSSE):
+    All rankings use the canonical multi-keyword tie-break (descending
+    OPM sum, then ascending file id — see :func:`repro.ir.topk.rank_pairs`),
+    the same rule the one-round server path and the cluster
+    coordinator apply, so every path produces identical orderings
+    regardless of dict iteration order.
+    """
+
+    def __init__(
+        self, scheme: EfficientRSSE, analyzer: Analyzer | None = None
+    ):
         self._scheme = scheme
+        self._analyzer = analyzer if analyzer is not None else Analyzer()
 
     def make_query(
         self, key: SchemeKey, terms: list[str]
     ) -> MultiKeywordQuery:
-        """Build a query: one trapdoor per analyzer-normalized term."""
+        """Build a query: one trapdoor per analyzer-normalized term.
+
+        Terms are normalized *before* the duplicate check: "Cloud" and
+        "cloud" reduce to the same term, and letting both through
+        would issue the same trapdoor twice and double-count that
+        keyword's OPM contribution in every sum.
+        """
         if not terms:
             raise ParameterError("terms must be non-empty")
-        if len(set(terms)) != len(terms):
-            raise ParameterError("duplicate query terms are not allowed")
+        normalized = [
+            self._analyzer.analyze_query(term) for term in terms
+        ]
+        if len(set(normalized)) != len(normalized):
+            raise ParameterError(
+                "duplicate query terms are not allowed "
+                "(after normalization)"
+            )
         return MultiKeywordQuery(
-            trapdoors=tuple(self._scheme.trapdoor(key, term) for term in terms)
+            trapdoors=tuple(
+                self._scheme.trapdoor(key, term) for term in normalized
+            )
         )
 
-    def _intersect(
+    def _score_maps(
         self, secure_index: SecureIndex, query: MultiKeywordQuery
-    ) -> dict[str, list[int]]:
-        """Server side: intersect posting lists, collect OPM values.
-
-        Returns ``file_id -> [opm value per keyword]`` for files
-        matching *all* keywords.
-        """
-        per_keyword = []
-        for trapdoor in query.trapdoors:
-            matches = self._scheme.search(secure_index, trapdoor)
-            per_keyword.append(
-                {match.file_id: match.opm_value() for match in matches}
-            )
-        if not per_keyword:
-            return {}
-        common = set(per_keyword[0])
-        for matches in per_keyword[1:]:
-            common &= set(matches)
-        return {
-            file_id: [matches[file_id] for matches in per_keyword]
-            for file_id in common
-        }
+    ) -> list[dict[str, int]]:
+        """Server side: one ``file_id -> OPM value`` map per keyword."""
+        return [
+            {
+                match.file_id: match.opm_value()
+                for match in self._scheme.search(secure_index, trapdoor)
+            }
+            for trapdoor in query.trapdoors
+        ]
 
     def search_ranked(
         self, secure_index: SecureIndex, query: MultiKeywordQuery
     ) -> list[RankedFile]:
         """Server-side approximate ranking by summed OPM values."""
-        merged = self._intersect(secure_index, query)
-        scored = [
-            (file_id, sum(values)) for file_id, values in merged.items()
-        ]
-        ordered = rank_all(scored, key=lambda pair: pair[1])
-        return as_ranking(ordered)
+        pairs = intersect_sums(self._score_maps(secure_index, query))
+        return as_ranking(rank_pairs(pairs, None))
 
     def search_top_k(
         self, secure_index: SecureIndex, query: MultiKeywordQuery, k: int
     ) -> list[RankedFile]:
         """Server-side approximate top-k by summed OPM values."""
-        merged = self._intersect(secure_index, query)
-        scored = [
-            (file_id, sum(values)) for file_id, values in merged.items()
-        ]
-        best = top_k(scored, k, key=lambda pair: pair[1])
-        return as_ranking(best)
+        pairs = intersect_sums(self._score_maps(secure_index, query))
+        return as_ranking(rank_pairs(pairs, k))
 
     def search_ranked_disjunctive(
         self, secure_index: SecureIndex, query: MultiKeywordQuery
@@ -133,18 +138,15 @@ class MultiKeywordSearcher:
         about.  Files missing a keyword simply contribute nothing for
         that keyword.
         """
-        per_keyword = []
-        for trapdoor in query.trapdoors:
-            matches = self._scheme.search(secure_index, trapdoor)
-            per_keyword.append(
-                {match.file_id: match.opm_value() for match in matches}
-            )
-        union: dict[str, int] = {}
-        for matches in per_keyword:
-            for file_id, value in matches.items():
-                union[file_id] = union.get(file_id, 0) + value
-        ordered = rank_all(list(union.items()), key=lambda pair: pair[1])
-        return as_ranking(ordered)
+        pairs = union_sums(self._score_maps(secure_index, query))
+        return as_ranking(rank_pairs(pairs, None))
+
+    def search_top_k_disjunctive(
+        self, secure_index: SecureIndex, query: MultiKeywordQuery, k: int
+    ) -> list[RankedFile]:
+        """OR semantics, bounded: top-k files by summed OPM values."""
+        pairs = union_sums(self._score_maps(secure_index, query))
+        return as_ranking(rank_pairs(pairs, k))
 
 
 class ExactMultiKeywordClient:

@@ -14,7 +14,14 @@ Implementation: a bounded min-heap giving ``O(n log k)`` time and
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, MutableMapping, Sequence, TypeVar
+from typing import (
+    Callable,
+    Iterable,
+    Mapping,
+    MutableMapping,
+    Sequence,
+    TypeVar,
+)
 
 from repro.errors import ParameterError
 
@@ -112,3 +119,77 @@ def rank_all(
     if counters is not None:
         counters["scanned"] = counters.get("scanned", 0) + len(indexed)
     return [item for (_, item) in indexed]
+
+
+# -- multi-keyword score aggregation ---------------------------------------
+#
+# The one-round multi-keyword path (PR 8) aggregates per-term score
+# maps server-side.  These helpers are shared by the in-process
+# searcher (repro.core.multi_keyword), the cloud server's aggregation
+# handler, and the cluster coordinator's partial-result merge, so all
+# three produce bit-identical rankings under one tie-break rule:
+# descending aggregate score, then ascending id — an ordering that is
+# independent of dict/set iteration order (and therefore of
+# PYTHONHASHSEED).
+
+
+def intersect_sums(
+    per_term: Sequence[Mapping[str, int]],
+) -> list[tuple[str, int]]:
+    """Conjunctive aggregation: ids present in *every* map, summed.
+
+    Iterates the smallest map and probes the rest, so the cost is
+    ``O(min_len * terms)`` — the sorted-posting-intersection shape —
+    rather than the size of the largest posting list.  Returns
+    ``(id, sum)`` pairs in ascending-id order.
+    """
+    if not per_term:
+        raise ParameterError("need at least one score map")
+    smallest = min(per_term, key=len)
+    others = [m for m in per_term if m is not smallest]
+    pairs: list[tuple[str, int]] = []
+    for item_id in sorted(smallest):
+        total = smallest[item_id]
+        for scores in others:
+            value = scores.get(item_id)
+            if value is None:
+                break
+            total += value
+        else:
+            pairs.append((item_id, total))
+    return pairs
+
+
+def union_sums(
+    per_term: Sequence[Mapping[str, int]],
+) -> list[tuple[str, int]]:
+    """Disjunctive aggregation: every id in any map, scores summed.
+
+    A k-way merge-accumulate over the per-term maps.  Returns
+    ``(id, sum)`` pairs in ascending-id order.
+    """
+    if not per_term:
+        raise ParameterError("need at least one score map")
+    totals: dict[str, int] = {}
+    for scores in per_term:
+        for item_id, value in scores.items():
+            totals[item_id] = totals.get(item_id, 0) + value
+    return sorted(totals.items())
+
+
+def rank_pairs(
+    pairs: Iterable[tuple[str, int]],
+    k: int | None,
+    counters: MutableMapping[str, int] | None = None,
+) -> list[tuple[str, int]]:
+    """Canonically rank ``(id, score)`` pairs, optionally bounded.
+
+    Descending score; ties broken by ascending id, regardless of the
+    order pairs arrive in.  ``k=None`` returns the full ranking;
+    otherwise a bounded heap keeps the selection at ``O(n log k)``
+    without materializing a full score-sorted ranking.
+    """
+    ordered = sorted(pairs, key=lambda pair: pair[0])
+    if k is None:
+        return rank_all(ordered, key=lambda pair: pair[1], counters=counters)
+    return top_k(ordered, k, key=lambda pair: pair[1], counters=counters)

@@ -16,14 +16,21 @@ from repro.cloud.protocol import (
     BINARY_TAGS,
     CODEC_BINARY,
     CODEC_JSON,
+    MULTI_MODES,
     ErrorResponse,
     FileRequest,
+    MultiSearchRequest,
+    MultiSearchResponse,
     RankedFilesResponse,
     SearchRequest,
     SearchResponse,
     detect_codec,
+    pack_multi_score,
+    pack_partial_score,
     peek_kind,
     require_codec,
+    unpack_multi_score,
+    unpack_partial_score,
 )
 from repro.cloud.updates import (
     AckResponse,
@@ -193,6 +200,42 @@ class TestRoundtripProperties:
             assert RemoveBlobRequest.from_bytes(data) == message
 
     @settings(max_examples=50)
+    @given(
+        trapdoors=st.lists(
+            st.binary(min_size=1, max_size=64), min_size=1, max_size=6
+        ),
+        mode=st.sampled_from(sorted(MULTI_MODES)),
+        top_k=st.one_of(st.none(), st.integers(1, 2**32 - 1)),
+        partial=st.booleans(),
+    )
+    def test_multi_search_request(self, trapdoors, mode, top_k, partial):
+        message = MultiSearchRequest(
+            trapdoors=tuple(trapdoors),
+            mode=mode,
+            top_k=top_k,
+            partial=partial,
+        )
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert detect_codec(data) == codec
+            assert peek_kind(data) == "multi-search"
+            assert MultiSearchRequest.from_bytes(data) == message
+
+    @settings(max_examples=50)
+    @given(
+        matches=st.lists(pairs, max_size=8),
+        files=st.lists(pairs, max_size=8),
+    )
+    def test_multi_search_response(self, matches, files):
+        message = MultiSearchResponse(
+            matches=tuple(matches), files=tuple(files)
+        )
+        for codec in (CODEC_JSON, CODEC_BINARY):
+            data = message.to_bytes(codec)
+            assert peek_kind(data) == "multi-search-response"
+            assert MultiSearchResponse.from_bytes(data) == message
+
+    @settings(max_examples=50)
     @given(ok=st.booleans(), detail=st.text(max_size=40))
     def test_ack_response(self, ok, detail):
         message = AckResponse(ok=ok, detail=detail)
@@ -255,6 +298,77 @@ class TestDispatchEdgeCases:
         # '[' is not '{': arrays never reach the JSON kind probe.
         with pytest.raises(ProtocolError):
             detect_codec(b'["kind", "search"]')
+
+
+class TestMultiSearchValidation:
+    """Construction and framing rules for the multi-keyword messages."""
+
+    def test_empty_trapdoors_rejected(self):
+        with pytest.raises(ProtocolError):
+            MultiSearchRequest(trapdoors=())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ProtocolError):
+            MultiSearchRequest(trapdoors=(b"\x01",), mode="xor")
+
+    def test_bad_top_k_rejected(self):
+        with pytest.raises(ProtocolError):
+            MultiSearchRequest(trapdoors=(b"\x01",), top_k=0)
+        with pytest.raises(ProtocolError):
+            MultiSearchRequest(trapdoors=(b"\x01",), top_k=-3)
+
+    def test_truncated_binary_frame_rejected(self):
+        data = MultiSearchRequest(
+            trapdoors=(b"\x01" * 8, b"\x02" * 8), top_k=4
+        ).to_bytes(CODEC_BINARY)
+        with pytest.raises(ProtocolError):
+            MultiSearchRequest.from_bytes(data[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        data = MultiSearchRequest(trapdoors=(b"\x01",)).to_bytes(
+            CODEC_BINARY
+        )
+        with pytest.raises(ProtocolError):
+            MultiSearchRequest.from_bytes(data + b"\x00")
+
+    def test_cross_kind_rejected(self):
+        data = SearchRequest(trapdoor_bytes=b"\x01").to_bytes(CODEC_BINARY)
+        with pytest.raises(ProtocolError):
+            MultiSearchRequest.from_bytes(data)
+        multi = MultiSearchRequest(trapdoors=(b"\x01",)).to_bytes(
+            CODEC_BINARY
+        )
+        with pytest.raises(ProtocolError):
+            SearchRequest.from_bytes(multi)
+
+    @settings(max_examples=50)
+    @given(total=st.integers(0, 2**64 - 1))
+    def test_multi_score_roundtrip(self, total):
+        packed = pack_multi_score(total)
+        assert len(packed) == 8
+        assert unpack_multi_score(packed) == total
+
+    @settings(max_examples=50)
+    @given(
+        total=st.integers(0, 2**64 - 1),
+        terms=st.integers(1, 2**32 - 1),
+    )
+    def test_partial_score_roundtrip(self, total, terms):
+        packed = pack_partial_score(total, terms)
+        assert len(packed) == 12
+        assert unpack_partial_score(packed) == (total, terms)
+
+    def test_score_packing_rejects_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            pack_multi_score(-1)
+        with pytest.raises(ProtocolError):
+            pack_multi_score(2**64)
+        with pytest.raises(ProtocolError):
+            pack_partial_score(1, 0)
+        with pytest.raises(ProtocolError):
+            unpack_multi_score(b"\x00" * 7)
+        with pytest.raises(ProtocolError):
+            unpack_partial_score(b"\x00" * 8)
 
 
 class TestErrorResponseRoundtrip:

@@ -52,6 +52,21 @@ class TestQueryConstruction:
         with pytest.raises(ParameterError):
             searcher.make_query(key, ["net", "net"])
 
+    def test_rejects_duplicates_after_normalization(self, searchable):
+        """"Net" and "net" are the same keyword once analyzed — letting
+        both through would double-count its OPM score in every sum."""
+        _, key, _, _, searcher = searchable
+        with pytest.raises(ParameterError, match="normalization"):
+            searcher.make_query(key, ["Net", "net"])
+        with pytest.raises(ParameterError, match="normalization"):
+            searcher.make_query(key, ["net", "NET", "sec"])
+
+    def test_terms_are_normalized_before_trapdooring(self, searchable):
+        _, key, _, _, searcher = searchable
+        cased = searcher.make_query(key, ["Net", "SEC"])
+        plain = searcher.make_query(key, ["net", "sec"])
+        assert cased == plain
+
     def test_query_validates_trapdoors(self):
         with pytest.raises(ParameterError):
             MultiKeywordQuery(trapdoors=())
