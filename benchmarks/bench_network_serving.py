@@ -54,16 +54,20 @@ from repro.cloud.protocol import CODEC_BINARY, CODEC_JSON, SearchRequest
 from repro.cloud.storage import BlobStore
 from repro.core import TEST_PARAMETERS, EfficientRSSE
 from repro.ir.inverted_index import InvertedIndex
+from repro.obs import Obs
+from repro.obs.export import load_jsonl, validate_records
 
 NUM_SHARDS = 4
 TOP_K = 10
 BLOB_BYTES = 2048
 DOCS_PER_KEYWORD = 20
 BASELINE_TOLERANCE = 0.30
+TELEMETRY_QUERIES = 24
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BASELINE_PATH = RESULTS_DIR / "BENCH_network_baseline.json"
 REPORT_PATH = RESULTS_DIR / "BENCH_network.json"
+TELEMETRY_PATH = RESULTS_DIR / "obs_network_cluster.jsonl"
 
 
 def available_cores() -> int:
@@ -163,6 +167,47 @@ def time_threaded_clients(
     return len(requests) / (time.perf_counter() - start)
 
 
+def dump_cluster_telemetry(secure_index, blobs, workload) -> dict:
+    """Post-timing telemetry pass: the merged cluster artifact.
+
+    Served on a *separate*, obs-enabled server so the timed cells
+    above keep measuring the obs-free path (the overhead guard for
+    obs lives in the test suite, not here).  Dumps the merged
+    frontend + per-worker JSONL to ``obs_network_cluster.jsonl`` and
+    schema-checks it before returning a summary for the report.
+    """
+    obs = Obs.enabled()
+    with NetServer(
+        secure_index, blobs, can_rank=True, num_shards=NUM_SHARDS, obs=obs
+    ) as server, NetworkChannel(server.host, server.port) as channel:
+        for request_bytes in workload[:TELEMETRY_QUERIES]:
+            channel.call(request_bytes)
+        artifact = server.export_cluster_jsonl()
+    problems = validate_records(artifact)
+    if problems:
+        raise AssertionError(
+            f"merged cluster artifact failed schema check: {problems}"
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    TELEMETRY_PATH.write_text(artifact)
+    dump = load_jsonl(artifact)
+    workers = sorted(
+        {
+            str(span.attrs["worker"])
+            for span in dump.spans
+            if "worker" in span.attrs
+        }
+    )
+    return {
+        "path": str(TELEMETRY_PATH.relative_to(RESULTS_DIR.parent)),
+        "queries": TELEMETRY_QUERIES,
+        "spans": len(dump.spans),
+        "metric_points": len(dump.metrics),
+        "leakage_events": len(dump.leakage),
+        "workers": workers,
+    }
+
+
 def run_benchmark(
     keywords: int, queries: int, batch_size: int = 32
 ) -> dict:
@@ -200,6 +245,8 @@ def run_benchmark(
             cluster.handle_many, workload, batch_size
         )
 
+    telemetry = dump_cluster_telemetry(secure_index, blobs, workload)
+
     cores = available_cores()
     network_best = max(
         cells["network_pipelined_qps"], cells["network_threads_qps"]
@@ -223,6 +270,7 @@ def run_benchmark(
         "inprocess_best_qps": inprocess_best,
         "network_speedup": network_best / inprocess_best,
         "required_speedup": required_speedup(cores),
+        "telemetry": telemetry,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -287,6 +335,12 @@ def format_report(report: dict) -> str:
             f"  network vs in-process: {report['network_speedup']:.2f}x "
             f"(gate {report['required_speedup']:.2f}x "
             f"at {report['cores']} core(s))",
+            "  cluster telemetry:   "
+            f"{report['telemetry']['spans']} spans, "
+            f"{report['telemetry']['metric_points']} metric points, "
+            f"{report['telemetry']['leakage_events']} leakage events "
+            f"from workers {report['telemetry']['workers']} "
+            f"-> {report['telemetry']['path']}",
         ]
     )
 

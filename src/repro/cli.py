@@ -181,6 +181,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a deployment directory over TCP until interrupted."""
     from repro.cloud import NetServer
+    from repro.obs import Obs
 
     index, blobs, kind = _load_deployment(args.deployment, store=args.store)
     server = NetServer(
@@ -191,6 +192,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         num_shards=args.shards,
         cache_searches=not args.no_cache,
+        obs=Obs.enabled() if args.obs else None,
     )
     server.start()
     try:
@@ -200,6 +202,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"shard worker process(es); Ctrl-C to stop",
             flush=True,
         )
+        if args.obs:
+            print(
+                "observability on: `repro top` for the live view, "
+                "`repro query` admin sections prometheus/jsonl/health "
+                "for scrapes",
+                flush=True,
+            )
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
@@ -282,43 +291,15 @@ def _cmd_obs_demo(args: argparse.Namespace) -> int:
     a fake clock, making the artifact byte-identical across runs —
     what the CI obs-smoke step diffs and schema-checks.
     """
-    import hashlib
-    import random
-
     from repro.cloud.cluster import ClusterServer
     from repro.cloud.faults import FaultPlan
     from repro.cloud.protocol import SearchRequest
     from repro.cloud.retry import RetryPolicy
-    from repro.cloud.storage import BlobStore
-    from repro.core import TEST_PARAMETERS
-    from repro.crypto.keys import SchemeKey
-    from repro.ir.inverted_index import InvertedIndex
     from repro.obs import FakeClock, Obs
 
-    vocabulary = [f"term{i:02d}" for i in range(16)]
-    scheme = EfficientRSSE(TEST_PARAMETERS)
-    # Key pinned to the seed (not keygen()): leakage digests hash the
-    # trapdoor addresses, so a random key would break the byte-level
-    # determinism that --deterministic promises.
-    seed_tag = f"obs-demo-{args.seed}".encode()
-    key = SchemeKey(
-        x=hashlib.blake2b(seed_tag + b"|x", digest_size=16).digest(),
-        y=hashlib.blake2b(seed_tag + b"|y", digest_size=16).digest(),
-        z=hashlib.blake2b(seed_tag + b"|z", digest_size=16).digest(),
-        domain_size=TEST_PARAMETERS.score_levels,
-        range_size=TEST_PARAMETERS.range_size,
+    vocabulary, scheme, key, built, blobs = _demo_deployment(
+        args.seed, args.docs
     )
-    index = InvertedIndex()
-    rng = random.Random(args.seed)
-    for doc in range(args.docs):
-        index.add_document(
-            f"doc{doc}", [rng.choice(vocabulary) for _ in range(30)]
-        )
-    built = scheme.build_index(key, index)
-    blobs = BlobStore()
-    for doc in range(args.docs):
-        blobs.put(f"doc{doc}", b"cipher-" + str(doc).encode())
-
     obs = Obs.enabled(
         clock=FakeClock() if args.deterministic else None
     )
@@ -368,6 +349,198 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     dump = load_jsonl(Path(args.trace).read_text())
     print(render_report(dump))
     return 0
+
+
+def _demo_deployment(seed: int, docs: int):
+    """Seeded scheme/key/index/blobs shared by the obs demo commands.
+
+    The key is pinned to the seed (not ``keygen()``): leakage digests
+    hash the trapdoor addresses, so a random key would break the
+    byte-level determinism the CI smoke jobs diff.
+    """
+    import hashlib
+    import random
+
+    from repro.cloud.storage import BlobStore
+    from repro.core import TEST_PARAMETERS
+    from repro.crypto.keys import SchemeKey
+    from repro.ir.inverted_index import InvertedIndex
+
+    vocabulary = [f"term{i:02d}" for i in range(16)]
+    scheme = EfficientRSSE(TEST_PARAMETERS)
+    seed_tag = f"obs-demo-{seed}".encode()
+    key = SchemeKey(
+        x=hashlib.blake2b(seed_tag + b"|x", digest_size=16).digest(),
+        y=hashlib.blake2b(seed_tag + b"|y", digest_size=16).digest(),
+        z=hashlib.blake2b(seed_tag + b"|z", digest_size=16).digest(),
+        domain_size=TEST_PARAMETERS.score_levels,
+        range_size=TEST_PARAMETERS.range_size,
+    )
+    index = InvertedIndex()
+    rng = random.Random(seed)
+    for doc in range(docs):
+        index.add_document(
+            f"doc{doc}", [rng.choice(vocabulary) for _ in range(30)]
+        )
+    built = scheme.build_index(key, index)
+    blobs = BlobStore()
+    for doc in range(docs):
+        blobs.put(f"doc{doc}", b"cipher-" + str(doc).encode())
+    return vocabulary, scheme, key, built, blobs
+
+
+def _render_top(health: dict) -> str:
+    """``repro top``-style text rendering of one admin health frame."""
+    lines = [
+        f"repro top — {health['num_shards']} shard(s), "
+        f"{health['connections']:.0f} connection(s), "
+        f"{health['inflight']} in flight, "
+        f"{health['overload_rejections']:.0f} shed"
+    ]
+    lines.append(
+        f"  {'shard':>5}  {'alive':<5}  {'breaker':<9}  {'fails':>5}  "
+        f"{'opened':>6}  {'probes':>6}  {'suppressed':>10}"
+    )
+    for shard in sorted(health["workers"], key=int):
+        worker = health["workers"][shard]
+        breaker = worker["breaker"]
+        lines.append(
+            f"  {shard:>5}  {'yes' if worker['alive'] else 'NO':<5}  "
+            f"{breaker['state']:<9}  "
+            f"{breaker['consecutive_failures']:>5}  "
+            f"{breaker['times_opened']:>6}  {breaker['probes']:>6}  "
+            f"{breaker['suppressed_calls']:>10}"
+        )
+    slow = health.get("slow_queries", [])
+    if slow:
+        lines.append("  slow queries (most recent last):")
+        for entry in slow:
+            phases = " ".join(
+                f"{name}={seconds * 1000:.1f}ms"
+                for name, seconds in entry["phases"]
+            )
+            worker = entry.get("worker", "")
+            tags = f" worker={worker}" if worker else ""
+            tags += " (sampled)" if entry.get("sampled") else ""
+            lines.append(
+                f"    trace {entry['trace_id']} {entry['kind']} "
+                f"{entry['total_s'] * 1000:.1f}ms{tags} [{phases}]"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live shard/breaker/slow-query view of a running ``repro serve``.
+
+    Polls the admin ``health`` section — served out of band, so the
+    view works even while the server sheds load.  ``--once`` prints a
+    single frame and exits (what CI captures); the default refreshes
+    in place until interrupted.
+    """
+    import json
+
+    from repro.cloud import NetworkChannel
+
+    with NetworkChannel(
+        args.host, args.port, timeout_s=args.timeout
+    ) as channel:
+        while True:
+            health = json.loads(channel.admin("health"))
+            frame = _render_top(health)
+            if args.once:
+                print(frame)
+                return 0
+            # ANSI clear-screen + home, then the frame: a poor
+            # man's ``top`` without a curses dependency.
+            print(f"\x1b[2J\x1b[H{frame}", flush=True)
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+
+
+def _cmd_obs_net_demo(args: argparse.Namespace) -> int:
+    """Run a deterministic loopback NetServer workload; dump telemetry.
+
+    The distributed twin of ``repro obs demo``: a seeded deployment is
+    served by real worker processes with observability on (fake clocks
+    everywhere), a fixed query sequence runs over a real socket in the
+    binary codec, and the admin endpoint is scraped twice.  Writes
+    ``scrape.txt``/``scrape2.txt`` (byte-identical by construction),
+    ``cluster.jsonl`` (the merged cluster artifact: one stitched span
+    tree per query), and ``top.txt`` (the rendered health frame) into
+    ``--out-dir`` — exactly what the CI obs-net-smoke job diffs across
+    two full runs.
+    """
+    import json
+
+    from repro.cloud import NetServer, NetworkChannel
+    from repro.cloud.protocol import (
+        CODEC_BINARY,
+        MultiSearchRequest,
+        SearchRequest,
+    )
+    from repro.obs import FakeClock, Obs, SlowQueryLog, validate_records
+
+    vocabulary, scheme, key, built, blobs = _demo_deployment(
+        args.seed, args.docs
+    )
+    # Threshold 0 turns the slow-query log into a full per-phase
+    # latency log — under fake clocks every query is "slow", which is
+    # the point of a demo artifact.
+    obs = Obs.enabled(
+        clock=FakeClock(), slowlog=SlowQueryLog(threshold_s=0.0)
+    )
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with NetServer(
+        built.secure_index,
+        blobs,
+        can_rank=True,
+        num_shards=args.shards,
+        obs=obs,
+        deterministic_obs=True,
+    ) as server:
+        with NetworkChannel(server.host, server.port) as channel:
+            for keyword in vocabulary[: args.queries]:
+                channel.call(
+                    SearchRequest(
+                        trapdoor_bytes=scheme.trapdoor(
+                            key, keyword
+                        ).serialize(),
+                        top_k=3,
+                    ).to_bytes(CODEC_BINARY)
+                )
+            channel.call(
+                MultiSearchRequest(
+                    trapdoors=tuple(
+                        scheme.trapdoor(key, keyword).serialize()
+                        for keyword in vocabulary[:2]
+                    ),
+                    mode="disjunctive",
+                    top_k=3,
+                ).to_bytes(CODEC_BINARY)
+            )
+            scrape = channel.admin("prometheus").decode("utf-8")
+            scrape2 = channel.admin("prometheus").decode("utf-8")
+            artifact = channel.admin("jsonl").decode("utf-8")
+            health = json.loads(channel.admin("health"))
+    validate_records(artifact)
+    (out_dir / "scrape.txt").write_text(scrape)
+    (out_dir / "scrape2.txt").write_text(scrape2)
+    (out_dir / "cluster.jsonl").write_text(artifact)
+    top = _render_top(health)
+    (out_dir / "top.txt").write_text(top + "\n")
+    print(
+        f"wrote {len(artifact.splitlines())} merged records and "
+        f"{len(scrape.splitlines())} metric lines to {out_dir}"
+    )
+    print(
+        "back-to-back scrapes identical:"
+        f" {'yes' if scrape == scrape2 else 'NO'}"
+    )
+    print(top)
+    return 0 if scrape == scrape2 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -464,7 +637,33 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="index view: lazy mmap or eager dict (auto = manifest)",
     )
+    serve.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the telemetry plane: traced workers, the admin "
+        "scrape endpoint, and `repro top`",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    top = commands.add_parser(
+        "top",
+        help="live shard/breaker/slow-query view of a repro serve --obs",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=9530)
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (scriptable / CI)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period in seconds",
+    )
+    top.add_argument("--timeout", type=float, default=10.0)
+    top.set_defaults(handler=_cmd_top)
 
     query = commands.add_parser(
         "query", help="user: ranked top-k search against a repro serve"
@@ -524,6 +723,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="fake clock: byte-identical artifact across runs",
     )
     demo.set_defaults(handler=_cmd_obs_demo)
+    net_demo = obs_commands.add_parser(
+        "net-demo",
+        help="deterministic loopback NetServer workload: merged "
+        "cluster telemetry artifacts",
+    )
+    net_demo.add_argument("--seed", type=int, default=2010)
+    net_demo.add_argument("--docs", type=int, default=12)
+    net_demo.add_argument("--queries", type=int, default=4)
+    net_demo.add_argument("--shards", type=int, default=2)
+    net_demo.add_argument(
+        "--out-dir",
+        default="obs_net_demo",
+        help="directory for scrape.txt / scrape2.txt / cluster.jsonl "
+        "/ top.txt",
+    )
+    net_demo.set_defaults(handler=_cmd_obs_net_demo)
     report = obs_commands.add_parser(
         "report", help="render an exported JSONL trace artifact"
     )

@@ -52,6 +52,7 @@ from repro.cloud.protocol import (
     unpack_partial_score,
 )
 from repro.cloud.retry import (
+    BREAKER_STATE_VALUES,
     BreakerConfig,
     BreakerSnapshot,
     CircuitBreaker,
@@ -74,6 +75,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.ir.topk import rank_pairs
+from repro.obs.export import render_prometheus
 from repro.obs.trace import NOOP_TRACER
 
 #: Default keyed-hash seed for shard placement.  Any deployment-chosen
@@ -1157,6 +1159,43 @@ class ClusterServer:
     def shard_health(self) -> tuple[BreakerSnapshot, ...]:
         """Per-shard circuit-breaker views, in shard order."""
         return tuple(breaker.snapshot() for breaker in self._breakers)
+
+    def publish_breaker_gauges(self) -> None:
+        """Refresh ``repro_net_breaker_state{worker=...}`` gauges.
+
+        The same series the networked front end publishes
+        (:meth:`repro.cloud.netserve.NetServer.scrape`), so one
+        dashboard watches breaker health across both deployment
+        shapes.  Published at scrape time — the breakers hold the
+        authoritative state; a per-call mirror would just be a second
+        copy to keep coherent.  No-op without an obs bundle.
+        """
+        if self._obs is None:
+            return
+        for shard, breaker in enumerate(self._breakers):
+            snapshot = breaker.snapshot()
+            self._obs.metrics.gauge(
+                "repro_net_breaker_state", worker=str(shard)
+            ).set(BREAKER_STATE_VALUES[snapshot.state])
+
+    def scrape(self) -> str:
+        """Prometheus exposition text for this in-process cluster.
+
+        Parity with :meth:`repro.cloud.netserve.NetServer.scrape`:
+        breaker-state gauges and per-shard channel-traffic gauges are
+        refreshed first, so the text covers serving counters, breaker
+        health, and wire bytes in one scrape.  Raises
+        :class:`~repro.errors.ParameterError` when the cluster runs
+        with observability disabled.
+        """
+        if self._obs is None:
+            raise ParameterError(
+                "observability is disabled on this cluster (obs=None)"
+            )
+        self.publish_breaker_gauges()
+        for shard, stats in enumerate(self.shard_stats):
+            stats.publish(self._obs.metrics, channel=str(shard))
+        return render_prometheus(self._obs.metrics.snapshot())
 
     @property
     def fault_stats(self) -> tuple[FaultStats, ...] | None:

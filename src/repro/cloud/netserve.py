@@ -48,13 +48,14 @@ responses.
 from __future__ import annotations
 
 import asyncio
+import json
 import multiprocessing
 import signal
 import socket
 import threading
 import time
 from collections import deque
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import repro.errors
 from repro.cloud.cluster import (
@@ -69,18 +70,29 @@ from repro.cloud.cluster import (
 )
 from repro.cloud.network import ChannelStats
 from repro.cloud.protocol import (
+    CODEC_BINARY,
     MAX_FRAME_BYTES,
+    AdminRequest,
+    AdminResponse,
     ErrorResponse,
     MultiSearchRequest,
     MultiSearchResponse,
+    ObsSnapshotRequest,
+    ObsSnapshotResponse,
     StreamDecoder,
+    TracedRequest,
     detect_codec,
     encode_frame,
     pack_multi_score,
     pack_partial_score,
     peek_kind,
 )
-from repro.cloud.retry import BreakerConfig, BreakerSnapshot, CircuitBreaker
+from repro.cloud.retry import (
+    BREAKER_STATE_VALUES,
+    BreakerConfig,
+    BreakerSnapshot,
+    CircuitBreaker,
+)
 from repro.cloud.server import CloudServer
 from repro.cloud.storage import BlobStore
 from repro.core.secure_index import SecureIndex
@@ -96,7 +108,19 @@ from repro.errors import (
     TransportError,
 )
 from repro.ir.topk import rank_pairs
-from repro.obs.trace import NOOP_TRACER
+from repro.obs import (
+    LeakageLog,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Obs,
+    ObsDump,
+    SlowQueryLog,
+    dump_jsonl,
+    load_jsonl,
+    merge_dumps,
+    render_prometheus,
+)
+from repro.obs.trace import NOOP_TRACER, FakeClock, Tracer
 
 #: Default per-connection in-flight window (requests admitted but not
 #: yet answered before the server stops reading that socket).
@@ -114,6 +138,16 @@ _STATUS_OK = 0x00
 _STATUS_ERROR = 0x01
 
 _RID_BYTES = 8
+
+#: Span/trace-id stride between processes of one deployment: worker
+#: ``i`` counts ids from ``(i + 1) * stride``, the front end from 0,
+#: so a merged cluster artifact never collides on ids.  2^48 ids per
+#: process outlasts any run; 2^16 processes fit below the wire's
+#: 8-byte id fields.
+_WORKER_ID_STRIDE = 1 << 48
+
+#: Slow-query entries surfaced in the admin ``health`` section.
+_HEALTH_SLOW_QUERIES = 10
 
 
 def _pack_strs(*values: str) -> bytes:
@@ -145,6 +179,8 @@ def _worker_main(
     cache_capacity: int | None,
     update_token: bytes | None,
     delay_s: float,
+    obs=None,
+    clock: Callable[[], float] | None = None,
 ) -> None:
     """One shard worker: a CloudServer behind a request pipe.
 
@@ -156,6 +192,14 @@ def _worker_main(
     from its shard lock — and exits when the parent closes its pipe
     end.  SIGINT is ignored so an interactive Ctrl-C reaches only the
     parent, which then shuts workers down via the pipes.
+
+    ``obs`` is this worker's *own* bundle (processes cannot share a
+    registry): the parent builds it pre-fork with a disjoint tracer
+    id range and fetches its contents over the pipe via
+    ``obs-snapshot`` requests.  ``clock`` overrides the per-request
+    elapsed-time source (a worker-local
+    :class:`~repro.obs.trace.FakeClock` in deterministic deployments,
+    so ``worker_us`` attributes are byte-stable too).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     server = CloudServer(
@@ -164,12 +208,14 @@ def _worker_main(
         can_rank,
         cache_searches=cache_searches,
         update_token=update_token,
+        obs=obs,
         **(
             {"cache_capacity": cache_capacity}
             if cache_capacity is not None
             else {}
         ),
     )
+    timer = clock if clock is not None else time.perf_counter
     while True:
         try:
             envelope = conn.recv_bytes()
@@ -179,7 +225,7 @@ def _worker_main(
         request = envelope[_RID_BYTES:]
         if delay_s:
             time.sleep(delay_s)
-        started = time.perf_counter()
+        started = timer()
         try:
             response = server.handle(request)
         except Exception as exc:  # noqa: BLE001 — workers must not die
@@ -190,7 +236,7 @@ def _worker_main(
             )
         else:
             elapsed_us = min(
-                int((time.perf_counter() - started) * 1e6), 2**32 - 1
+                int((timer() - started) * 1e6), 2**32 - 1
             )
             reply = (
                 rid
@@ -397,10 +443,25 @@ class NetServer:
         Optional :class:`repro.obs.Obs` bundle.  The front end keeps a
         connection gauge (``repro_net_connections``), an in-flight
         histogram (``repro_net_inflight``), request and
-        overload-rejection counters, and per-request spans whose
-        ``worker_us`` attribute bridges the worker's measured handling
-        time across the process boundary (worker processes cannot
-        share the parent's registry).
+        overload-rejection counters, breaker-state gauges
+        (``repro_net_breaker_state{worker=...}``), and per-request
+        spans whose ``worker_us`` attribute bridges the worker's
+        measured handling time across the process boundary.  When set,
+        each worker additionally gets its *own* pre-fork bundle (a
+        registry cannot be shared across processes) with a disjoint
+        tracer id range, worker-bound frames travel inside
+        :class:`~repro.cloud.protocol.TracedRequest` envelopes so
+        worker spans stitch under the front end's ``net.request``
+        root, and the ``admin`` request kind serves merged
+        cluster-wide Prometheus/JSONL/health views (see
+        :meth:`scrape`).
+    deterministic_obs:
+        Give every worker a private
+        :class:`~repro.obs.trace.FakeClock` driving both its span
+        timings and its ``worker_us`` measurements, so exported
+        cluster artifacts are a pure function of the request sequence
+        (the CI smoke job diffs two full runs byte-for-byte).  Only
+        meaningful with ``obs``.
     """
 
     def __init__(
@@ -421,6 +482,7 @@ class NetServer:
         breaker: BreakerConfig | None = None,
         worker_delay_s: float = 0.0,
         obs=None,
+        deterministic_obs: bool = False,
     ):
         if max_inflight_per_conn < 1:
             raise ParameterError(
@@ -477,6 +539,7 @@ class NetServer:
         self._max_depth = max_queue_depth
         self._max_frame = max_frame_bytes
         self._obs = obs
+        self._deterministic_obs = deterministic_obs
         self._tracer = obs.tracer if obs is not None else NOOP_TRACER
         self._workers: tuple[_WorkerHandle, ...] = ()
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -487,6 +550,33 @@ class NetServer:
         self._started = False
         self._closed = False
         self._start_error: BaseException | None = None
+
+    def _worker_obs(self, shard: int):
+        """Build one worker's private obs bundle (pre-fork).
+
+        The tracer counts ids from ``(shard + 1) * _WORKER_ID_STRIDE``
+        so merged cluster artifacts never collide with the front end's
+        (or another worker's) span ids; the slow-query knobs mirror the
+        front end's.  Returns ``(None, None)`` when observability is
+        off — the worker then runs the exact pre-obs code path.
+        """
+        if self._obs is None:
+            return None, None
+        clock = FakeClock() if self._deterministic_obs else None
+        template = self._obs.slowlog
+        obs = Obs(
+            tracer=Tracer(
+                clock=clock, id_base=(shard + 1) * _WORKER_ID_STRIDE
+            ),
+            metrics=MetricsRegistry(),
+            leakage=LeakageLog(),
+            slowlog=SlowQueryLog(
+                threshold_s=template.threshold_s,
+                sample_every=template.sample_every,
+                capacity=template.capacity,
+            ),
+        )
+        return obs, clock
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -504,6 +594,7 @@ class NetServer:
         handles = []
         for shard, shard_index in enumerate(self._sharded.shards):
             parent_conn, child_conn = self._mp.Pipe(duplex=True)
+            worker_obs, worker_clock = self._worker_obs(shard)
             process = self._mp.Process(
                 target=_worker_main,
                 args=(
@@ -515,6 +606,8 @@ class NetServer:
                     self._per_shard_capacity,
                     self._update_token,
                     self._worker_delay_s,
+                    worker_obs,
+                    worker_clock,
                 ),
                 name=f"netserve-shard-{shard}",
                 daemon=True,
@@ -686,6 +779,22 @@ class NetServer:
         assert task is not None
         self._conn_tasks.add(task)
         self._observe_conn(+1)
+        # The gauge decrement lives in its own outermost ``finally``:
+        # teardown below awaits twice (the writer task, then
+        # ``wait_closed``), and a cancellation or surprise exception
+        # landing between them must not leave a phantom connection in
+        # ``repro_net_connections`` forever.
+        try:
+            await self._conn_loop(reader, writer)
+        finally:
+            self._observe_conn(-1)
+            self._conn_tasks.discard(task)
+
+    async def _conn_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         decoder = StreamDecoder(self._max_frame)
         window = asyncio.Semaphore(self._max_inflight)
         responses: asyncio.Queue = asyncio.Queue()
@@ -717,7 +826,11 @@ class NetServer:
         except (asyncio.CancelledError, ConnectionError):
             pass
         finally:
-            await responses.put(None)
+            # The queue is unbounded, so the sentinel cannot block —
+            # and ``put_nowait`` cannot be interrupted by a second
+            # cancellation the way ``await put`` could, which would
+            # orphan the writer task.
+            responses.put_nowait(None)
             try:
                 await writer_task
             except asyncio.CancelledError:
@@ -727,8 +840,6 @@ class NetServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-            self._observe_conn(-1)
-            self._conn_tasks.discard(task)
 
     async def _write_loop(
         self, responses: asyncio.Queue, writer: asyncio.StreamWriter
@@ -757,6 +868,13 @@ class NetServer:
                 return ErrorResponse(
                     code="ProtocolError", detail=str(exc)
                 ).to_bytes()
+            if kind == "admin":
+                # Out-of-band: no admission control, no request
+                # counters, no tracing.  A scrape must work *during*
+                # overload, and observing the server must not perturb
+                # what it observes (two back-to-back scrapes of an
+                # idle server are byte-identical).
+                return await self._admin(frame, codec)
             if self._inflight >= self._max_depth:
                 self._observe_overload()
                 return ErrorResponse(
@@ -810,8 +928,22 @@ class NetServer:
                 ),
                 shard=shard,
             ).to_bytes(codec)
+        payload = frame
+        if self._tracer.enabled:
+            # Cross-process trace propagation: the worker unwraps the
+            # envelope and parents its ``server.handle`` span under
+            # this request's span, so the merged cluster artifact
+            # shows one stitched tree per query.  Responses travel
+            # unwrapped (ids only flow down), and with obs off the
+            # worker sees the exact client frame — byte-identity
+            # between obs on/off is asserted by the loopback suite.
+            payload = TracedRequest(
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+                payload=frame,
+            ).to_bytes(CODEC_BINARY)
         try:
-            ok, response, worker_us, packed = await handle.call(frame)
+            ok, response, worker_us, packed = await handle.call(payload)
         except ShardDownError as exc:
             handle.breaker.record_failure()
             return ErrorResponse(
@@ -946,6 +1078,173 @@ class NetServer:
         if peek_kind(results[owner]) == "ack":
             self._apply_blob_mutation(frame)
         return results[owner]
+
+    # -- telemetry plane ----------------------------------------------------
+
+    async def _admin(self, frame: bytes, codec: str) -> bytes:
+        """Serve one ``admin`` request (already exempt from admission)."""
+        try:
+            request = AdminRequest.from_bytes(frame)
+        except ReproError as exc:
+            return ErrorResponse(
+                code=type(exc).__name__, detail=str(exc)
+            ).to_bytes(codec)
+        if self._obs is None:
+            return ErrorResponse(
+                code="ParameterError",
+                detail="observability is disabled on this server",
+            ).to_bytes(codec)
+        if request.section == "prometheus":
+            payload = (await self._cluster_dump_text()).encode("utf-8")
+        elif request.section == "jsonl":
+            payload = (await self._cluster_jsonl_text()).encode("utf-8")
+        else:
+            payload = json.dumps(
+                await self._health_view(), sort_keys=True, indent=2
+            ).encode("utf-8")
+        return AdminResponse(payload=payload).to_bytes(codec)
+
+    async def _collect_worker_dumps(self) -> list[tuple[str, ObsDump]]:
+        """Fetch each live worker's obs artifact over its pipe.
+
+        Sequential in shard order — scrapes are rare, and determinism
+        beats latency here — and via :meth:`_WorkerHandle.call`
+        *directly*: no breaker interaction, no span, no request
+        counter, so a scrape never perturbs the state it reports.
+        (The worker side serves ``obs-snapshot`` before its own
+        span/counter instrumentation for the same reason.)  Dead
+        workers are skipped; their absence shows in the breaker
+        gauges, not as a scrape failure.
+        """
+        request = ObsSnapshotRequest().to_bytes(CODEC_BINARY)
+        dumps: list[tuple[str, ObsDump]] = []
+        for handle in self._workers:
+            try:
+                ok, response, _, _ = await handle.call(request)
+            except ShardDownError:
+                continue
+            if not ok:
+                continue
+            artifact = ObsSnapshotResponse.from_bytes(response).artifact
+            dumps.append(
+                (str(handle.shard), load_jsonl(artifact.decode("utf-8")))
+            )
+        return dumps
+
+    def _publish_breaker_gauges(self) -> None:
+        """Refresh ``repro_net_breaker_state{worker=...}`` gauges.
+
+        Published at scrape time (breakers already hold their own
+        authoritative state; mirroring it on every call would just be
+        a second copy to keep coherent).  Encoding: closed=0,
+        half-open=1, open=2.
+        """
+        assert self._obs is not None
+        for handle in self._workers:
+            snapshot = handle.breaker.snapshot()
+            self._obs.metrics.gauge(
+                "repro_net_breaker_state", worker=str(handle.shard)
+            ).set(BREAKER_STATE_VALUES[snapshot.state])
+
+    async def _cluster_dump(self) -> ObsDump:
+        """The merged cluster-wide view: front end plus every worker.
+
+        Front-end records carry ``worker="frontend"``; each shard's
+        carry its shard number.  Span ids are already disjoint by
+        construction (:data:`_WORKER_ID_STRIDE`), so the merged trace
+        section holds one stitched tree per query.
+        """
+        assert self._obs is not None
+        self._publish_breaker_gauges()
+        labeled: list[tuple[str, ObsDump]] = [
+            ("frontend", load_jsonl(self._obs.export_jsonl()))
+        ]
+        labeled.extend(await self._collect_worker_dumps())
+        return merge_dumps(labeled)
+
+    async def _health_view(self) -> dict:
+        """JSON health section: shard/breaker state plus slow queries.
+
+        Deliberately excludes anything host- or run-specific (pids,
+        ports, clock readings) so two scrapes of the same logical
+        state are byte-identical.
+        """
+        assert self._obs is not None
+        workers = {}
+        for handle in self._workers:
+            snapshot = handle.breaker.snapshot()
+            workers[str(handle.shard)] = {
+                "alive": handle.alive,
+                "breaker": {
+                    "state": snapshot.state,
+                    "consecutive_failures": snapshot.consecutive_failures,
+                    "times_opened": snapshot.times_opened,
+                    "probes": snapshot.probes,
+                    "suppressed_calls": snapshot.suppressed_calls,
+                },
+            }
+        metrics = self._obs.metrics.snapshot()
+        dump = await self._cluster_dump()
+        slow = [
+            entry.as_dict() for entry in dump.slow[-_HEALTH_SLOW_QUERIES:]
+        ]
+        return {
+            "num_shards": self._sharded.num_shards,
+            "connections": metrics.value("repro_net_connections"),
+            "inflight": self._inflight,
+            "overload_rejections": metrics.value(
+                "repro_net_overload_rejections_total"
+            ),
+            "workers": workers,
+            "slow_queries": slow,
+        }
+
+    def _run_admin(self, factory):
+        """Run one admin coroutine on the serving loop, synchronously.
+
+        Takes a factory (not a coroutine) so the guard clauses below
+        can reject before anything awaitable is created.
+        """
+        if self._obs is None:
+            raise ParameterError(
+                "observability is disabled on this server (obs=None)"
+            )
+        if self._loop is None or not self._started or self._closed:
+            raise ParameterError("server is not running")
+        future = asyncio.run_coroutine_threadsafe(factory(), self._loop)
+        return future.result(timeout=30.0)
+
+    def scrape(self) -> str:
+        """Merged cluster-wide Prometheus exposition text.
+
+        Covers the front end's instruments (connections, in-flight,
+        request/overload counters, breaker-state gauges) *and* every
+        worker's (search counters, cache hits, leakage totals), the
+        latter labeled ``worker="<shard>"`` — the same text the
+        ``admin``/``prometheus`` wire request returns.
+        """
+        return self._run_admin(self._cluster_dump_text)
+
+    async def _cluster_dump_text(self) -> str:
+        dump = await self._cluster_dump()
+        return render_prometheus(MetricsSnapshot(points=dump.metrics))
+
+    def export_cluster_jsonl(self) -> str:
+        """Merged cluster-wide JSONL artifact (spans/metrics/leakage).
+
+        One stitched span tree per query across the process boundary;
+        every record labeled with its originating process.  The text
+        round-trips through :func:`repro.obs.load_jsonl` and passes
+        ``scripts/check_trace_schema.py``.
+        """
+        return self._run_admin(self._cluster_jsonl_text)
+
+    async def _cluster_jsonl_text(self) -> str:
+        return dump_jsonl(await self._cluster_dump())
+
+    def health(self) -> dict:
+        """The admin ``health`` section as a dict (see :meth:`_health_view`)."""
+        return self._run_admin(self._health_view)
 
 
 #: ``ErrorResponse.code`` values that a NetworkChannel re-raises as the
@@ -1146,6 +1445,22 @@ class NetworkChannel:
                 raise
             self._stats.record_response(len(response))
             return response
+
+    def admin(self, section: str) -> bytes:
+        """Fetch one admin section over the wire (binary codec).
+
+        ``section`` is one of
+        :data:`~repro.cloud.protocol.ADMIN_SECTIONS` —
+        ``"prometheus"`` (exposition text), ``"jsonl"`` (the merged
+        cluster artifact), or ``"health"`` (a JSON document).  The
+        server answers out of band — no admission control, no tracing
+        — so a scrape works even while data requests are being shed.
+        Raises :class:`~repro.errors.ParameterError` when the server
+        runs with observability disabled.
+        """
+        request = AdminRequest(section=section).to_bytes(CODEC_BINARY)
+        response = self.call(request)
+        return AdminResponse.from_bytes(response).payload
 
     def call_many(self, requests: Iterable[bytes]) -> list[bytes]:
         """Serve a batch over one pipelined exchange.

@@ -90,6 +90,32 @@ class ChannelStats(StatsBase):
         with self.lock:
             self.failed_calls += 1
 
+    def publish(self, metrics, **labels: object) -> None:
+        """Mirror these counters into a metrics registry.
+
+        ``metrics`` is duck-typed as
+        :class:`~repro.obs.metrics.MetricsRegistry` (kept nominal-free
+        so this module stays import-light).  Values land as gauges set
+        from one internally consistent snapshot — the stats object
+        stays authoritative; the registry copy exists so channel
+        traffic shows up in Prometheus scrapes next to the serving
+        metrics, labeled per shard by the caller
+        (``channel="2"``).
+        """
+        snap = self.snapshot()
+        metrics.gauge("repro_channel_round_trips", **labels).set(
+            snap.round_trips
+        )
+        metrics.gauge("repro_channel_bytes_to_server", **labels).set(
+            snap.bytes_to_server
+        )
+        metrics.gauge("repro_channel_bytes_to_user", **labels).set(
+            snap.bytes_to_user
+        )
+        metrics.gauge("repro_channel_failed_calls", **labels).set(
+            snap.failed_calls
+        )
+
 
 @dataclass(frozen=True)
 class LinkModel:

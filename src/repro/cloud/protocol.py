@@ -55,6 +55,11 @@ BINARY_TAGS = {
     "remove-blob": 0xB3,
     "ack": 0xB4,
     "error": 0xBF,
+    "traced": 0xC1,
+    "obs-snapshot": 0xC2,
+    "obs-snapshot-response": 0xC3,
+    "admin": 0xC4,
+    "admin-response": 0xC5,
 }
 
 _KIND_FOR_TAG = {tag: kind for kind, tag in BINARY_TAGS.items()}
@@ -752,3 +757,201 @@ class ErrorResponse:
             detail=payload["detail"],
             shard=payload["shard"],
         )
+
+
+# -- distributed observability messages ------------------------------------
+
+#: Width of a trace/span id on the wire (matches the tracer's plain
+#: counters; 2^64 ids outlast any deployment).
+TRACE_ID_BYTES = 8
+
+#: Admin endpoint sections a front end serves.
+ADMIN_SECTIONS = ("prometheus", "jsonl", "health")
+
+
+def _pack_id(value: int) -> bytes:
+    if value < 0 or value >= 1 << (8 * TRACE_ID_BYTES):
+        raise ProtocolError(f"trace/span id {value} out of range")
+    return value.to_bytes(TRACE_ID_BYTES, "big")
+
+
+def _take_id(reader: FrameReader) -> int:
+    data = reader.take()
+    if len(data) != TRACE_ID_BYTES:
+        raise ProtocolError("malformed trace/span id field")
+    return int.from_bytes(data, "big")
+
+
+@dataclass(frozen=True)
+class TracedRequest:
+    """A request wrapped with its caller's trace context.
+
+    The front end wraps worker-bound frames in this envelope when
+    tracing is on, so the worker's ``server.handle`` span can take the
+    front end's ``net.request`` span as an explicit remote parent —
+    one stitched span tree per query across the process boundary.
+    ``payload`` is any ordinary request in either codec; responses
+    travel back *unwrapped* (the reply pipe already correlates them).
+    Servers unwrap the envelope even with tracing off, so enabling obs
+    never changes response bytes.
+    """
+
+    trace_id: int
+    span_id: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise ProtocolError("traced envelope requires a payload")
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames(
+                "traced",
+                [
+                    _pack_id(self.trace_id),
+                    _pack_id(self.span_id),
+                    self.payload,
+                ],
+            )
+        return _encode(
+            "traced",
+            {
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "payload": self.payload.hex(),
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TracedRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "traced")
+            trace_id = _take_id(reader)
+            span_id = _take_id(reader)
+            payload = reader.take()
+            reader.expect_end()
+            return cls(
+                trace_id=trace_id, span_id=span_id, payload=payload
+            )
+        payload = _decode(data, "traced")
+        return cls(
+            trace_id=int(payload["trace_id"]),
+            span_id=int(payload["span_id"]),
+            payload=bytes.fromhex(payload["payload"]),
+        )
+
+
+@dataclass(frozen=True)
+class ObsSnapshotRequest:
+    """Front end -> worker: ship me your telemetry.
+
+    The control-channel message behind cluster-wide scrapes: each
+    worker answers with its full JSONL artifact (spans, metrics
+    snapshot, leakage events, slow queries).  Handled outside the
+    worker's request span/counters so a scrape observes state without
+    perturbing it.
+    """
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames("obs-snapshot", [])
+        return _encode("obs-snapshot", {})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ObsSnapshotRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "obs-snapshot")
+            reader.expect_end()
+            return cls()
+        _decode(data, "obs-snapshot")
+        return cls()
+
+
+@dataclass(frozen=True)
+class ObsSnapshotResponse:
+    """Worker -> front end: one JSONL telemetry artifact, as bytes.
+
+    ``artifact`` is UTF-8 ``repro.obs.export`` JSONL (empty artifact
+    when the worker runs without obs); the front end labels it with
+    the worker's shard id and merges it into the cluster view.
+    """
+
+    artifact: bytes
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames("obs-snapshot-response", [self.artifact])
+        return _encode(
+            "obs-snapshot-response", {"artifact": self.artifact.hex()}
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ObsSnapshotResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "obs-snapshot-response")
+            artifact = reader.take()
+            reader.expect_end()
+            return cls(artifact=artifact)
+        payload = _decode(data, "obs-snapshot-response")
+        return cls(artifact=bytes.fromhex(payload["artifact"]))
+
+
+@dataclass(frozen=True)
+class AdminRequest:
+    """Client -> front end: serve one admin section.
+
+    Sections (:data:`ADMIN_SECTIONS`): ``prometheus`` (merged
+    cluster metrics in exposition format), ``jsonl`` (the merged
+    cluster telemetry artifact), ``health`` (JSON shard/breaker
+    status plus recent slow queries — what ``repro top`` renders).
+    Admin requests bypass admission control and request accounting so
+    an operator can scrape an overloaded server, and so two
+    back-to-back scrapes are byte-identical.
+    """
+
+    section: str
+
+    def __post_init__(self) -> None:
+        if self.section not in ADMIN_SECTIONS:
+            raise ProtocolError(
+                f"unknown admin section {self.section!r}; "
+                f"expected one of {ADMIN_SECTIONS}"
+            )
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames("admin", [self.section.encode("utf-8")])
+        return _encode("admin", {"section": self.section})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AdminRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "admin")
+            section = reader.take_str()
+            reader.expect_end()
+            return cls(section=section)
+        payload = _decode(data, "admin")
+        return cls(section=str(payload["section"]))
+
+
+@dataclass(frozen=True)
+class AdminResponse:
+    """Front end -> client: one admin section's rendering, as bytes."""
+
+    payload: bytes
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames("admin-response", [self.payload])
+        return _encode("admin-response", {"payload": self.payload.hex()})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AdminResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "admin-response")
+            payload = reader.take()
+            reader.expect_end()
+            return cls(payload=payload)
+        payload = _decode(data, "admin-response")
+        return cls(payload=bytes.fromhex(payload["payload"]))

@@ -427,6 +427,12 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
 
+#: Gauge encoding of breaker states for Prometheus scrapes
+#: (``repro_net_breaker_state{worker=...}``); shared by the in-process
+#: cluster and the networked front end so dashboards watch one series
+#: name across both deployment shapes.
+BREAKER_STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
 
 @dataclass(frozen=True)
 class BreakerSnapshot:

@@ -25,9 +25,12 @@ from repro.cloud.protocol import (
     FileRequest,
     MultiSearchRequest,
     MultiSearchResponse,
+    ObsSnapshotRequest,
+    ObsSnapshotResponse,
     RankedFilesResponse,
     SearchRequest,
     SearchResponse,
+    TracedRequest,
     detect_codec,
     pack_multi_score,
     pack_partial_score,
@@ -46,7 +49,8 @@ from repro.ir.topk import (
     top_of_ranked,
     union_sums,
 )
-from repro.obs.trace import NOOP_TRACER
+from repro.obs.export import export_jsonl
+from repro.obs.trace import NOOP_TRACER, RemoteParent, Span
 
 
 @dataclass(frozen=True)
@@ -259,10 +263,33 @@ class CloudServer:
         The response mirrors the request's wire codec: a binary-framed
         request gets a binary-framed response, a JSON request a JSON
         one, so clients never need to negotiate.
+
+        A request may arrive wrapped in a
+        :class:`~repro.cloud.protocol.TracedRequest` envelope carrying
+        the caller's trace context; the envelope is unwrapped
+        unconditionally (so enabling tracing on either side never
+        changes response bytes), and when this server's tracer is live
+        the ``server.handle`` span adopts the remote caller's span as
+        its parent — one stitched tree per query across the process
+        boundary.  ``obs-snapshot`` requests are answered outside the
+        span and metric instrumentation entirely: a telemetry scrape
+        observes the server without perturbing what it observes.
         """
         kind = peek_kind(request_bytes)
+        parent: RemoteParent | None = None
+        if kind == "traced":
+            envelope = TracedRequest.from_bytes(request_bytes)
+            request_bytes = envelope.payload
+            kind = peek_kind(request_bytes)
+            if self._tracer.enabled:
+                parent = RemoteParent(
+                    envelope.trace_id, envelope.span_id
+                )
         codec = detect_codec(request_bytes)
-        with self._tracer.span("server.handle", kind=kind):
+        if kind == "obs-snapshot":
+            ObsSnapshotRequest.from_bytes(request_bytes)
+            return self._handle_obs_snapshot().to_bytes(codec)
+        with self._tracer.span("server.handle", parent=parent, kind=kind):
             with self._lock:
                 if self._obs is not None:
                     self._obs.metrics.counter(
@@ -361,6 +388,44 @@ class CloudServer:
         self._blobs.delete(remove.file_id)
         return AckResponse(ok=True)
 
+    def _handle_obs_snapshot(self) -> ObsSnapshotResponse:
+        """Ship this server's telemetry (spans, metrics, leakage, slow).
+
+        Runs outside the request span and counters so back-to-back
+        scrapes are byte-identical; a server without an obs bundle
+        answers with the minimal (header-only) artifact rather than an
+        error, so a mixed deployment still scrapes cleanly.
+        """
+        with self._lock:
+            if self._obs is None:
+                artifact = export_jsonl()
+            else:
+                artifact = self._obs.export_jsonl()
+        return ObsSnapshotResponse(artifact=artifact.encode("utf-8"))
+
+    def _record_slow(
+        self,
+        kind: str,
+        phase_spans: tuple[tuple[str, Span], ...],
+    ) -> None:
+        """Feed one served query's phase spans to the slow-query log.
+
+        Phase durations come straight from the handler's own spans
+        (decode -> postings -> aggregate/rank -> respond), so a kept
+        entry arrives already attributed; with tracing off the spans
+        are no-ops and nothing is recorded.
+        """
+        if self._obs is None or not self._tracer.enabled:
+            return
+        current = self._tracer.current()
+        self._obs.slowlog.record(
+            kind,
+            current.trace_id if current is not None else 0,
+            tuple(
+                (name, span.duration_s) for name, span in phase_spans
+            ),
+        )
+
     @property
     def cache_hits(self) -> int:
         """Searches answered from the decrypted-list cache."""
@@ -438,13 +503,13 @@ class CloudServer:
         return posting
 
     def _handle_search(self, request: SearchRequest) -> SearchResponse:
-        with self._tracer.span("search.trapdoor"):
+        with self._tracer.span("search.trapdoor") as decode_span:
             trapdoor = Trapdoor.deserialize(request.trapdoor_bytes)
         hits_before = self.cache_hits
-        with self._tracer.span("search.postings") as span:
+        with self._tracer.span("search.postings") as postings_span:
             posting = self._postings_for(trapdoor)
             matches = posting.matches
-            span.set(
+            postings_span.set(
                 postings=len(matches),
                 cache_hit=self.cache_hits > hits_before,
             )
@@ -456,7 +521,7 @@ class CloudServer:
             "search.rank",
             can_rank=self._can_rank,
             k=request.top_k,
-        ) as span:
+        ) as rank_span:
             if not self._can_rank:
                 # Semantically secure score fields: no server-side
                 # ranking possible; a top-k bound cannot be honoured
@@ -469,7 +534,7 @@ class CloudServer:
                 ordered = top_of_ranked(
                     posting.ranked, request.top_k, counters=rank_counters
                 )
-                span.set(ranked_cache=True)
+                rank_span.set(ranked_cache=True)
             elif request.top_k is not None:
                 # Honesty mode (no cache): one bounded-heap pass.
                 ordered = top_k(
@@ -485,9 +550,9 @@ class CloudServer:
                     counters=rank_counters,
                 )
             if rank_counters:
-                span.set(**rank_counters)
+                rank_span.set(**rank_counters)
 
-        with self._tracer.span("search.files") as span:
+        with self._tracer.span("search.files") as files_span:
             if request.entries_only:
                 returned: list[ServerMatch] = []
                 files: tuple[tuple[str, bytes], ...] = ()
@@ -506,7 +571,7 @@ class CloudServer:
                     payloads.append((match.file_id, blob))
                 ordered = returned
                 files = tuple(payloads)
-            span.set(files=len(files))
+            files_span.set(files=len(files))
 
         self._log.record(
             SearchObservation(
@@ -537,6 +602,15 @@ class CloudServer:
                 self._obs.metrics.gauge(
                     "repro_server_cache_hit_ratio"
                 ).set(self._cache.hit_ratio)
+        self._record_slow(
+            "search",
+            (
+                ("decode", decode_span),
+                ("postings", postings_span),
+                ("rank", rank_span),
+                ("respond", files_span),
+            ),
+        )
         response_matches = tuple(
             (match.file_id, match.score_field) for match in ordered
         )
@@ -580,19 +654,19 @@ class CloudServer:
             )
         with self._tracer.span(
             "search.trapdoor", terms=len(request.trapdoors)
-        ):
+        ) as decode_span:
             trapdoors = [
                 Trapdoor.deserialize(t) for t in request.trapdoors
             ]
         hits_before = self.cache_hits
         postings: list[CachedPostings] = []
         per_term: list[dict[str, int]] = []
-        with self._tracer.span("search.postings") as span:
+        with self._tracer.span("search.postings") as postings_span:
             for trapdoor in trapdoors:
                 posting = self._postings_for(trapdoor)
                 postings.append(posting)
                 per_term.append(self._score_map(posting))
-            span.set(
+            postings_span.set(
                 postings=sum(len(p.matches) for p in postings),
                 cache_hits=self.cache_hits - hits_before,
             )
@@ -606,12 +680,12 @@ class CloudServer:
             terms=len(trapdoors),
             k=request.top_k,
             partial=request.partial,
-        ) as span:
+        ) as aggregate_span:
             if request.mode == MODE_CONJUNCTIVE:
                 pairs = intersect_sums(per_term)
             else:
                 pairs = union_sums(per_term)
-            span.set(candidates=len(pairs))
+            aggregate_span.set(candidates=len(pairs))
             if request.partial:
                 if request.mode == MODE_CONJUNCTIVE:
                     # Every survivor matched all local terms.
@@ -631,9 +705,9 @@ class CloudServer:
                     pairs, request.top_k, counters=rank_counters
                 )
             if rank_counters:
-                span.set(**rank_counters)
+                aggregate_span.set(**rank_counters)
 
-        with self._tracer.span("search.files") as span:
+        with self._tracer.span("search.files") as files_span:
             if request.partial:
                 returned_pairs = ranked
                 files: tuple[tuple[str, bytes], ...] = ()
@@ -657,7 +731,7 @@ class CloudServer:
                     (file_id, pack_multi_score(total))
                     for file_id, total in returned_pairs
                 )
-            span.set(files=len(files))
+            files_span.set(files=len(files))
 
         returned_ids = tuple(file_id for file_id, _ in returned_pairs)
         for trapdoor, posting in zip(trapdoors, postings):
@@ -693,6 +767,15 @@ class CloudServer:
                 self._obs.metrics.gauge(
                     "repro_server_cache_hit_ratio"
                 ).set(self._cache.hit_ratio)
+        self._record_slow(
+            "multi-search",
+            (
+                ("decode", decode_span),
+                ("postings", postings_span),
+                ("aggregate", aggregate_span),
+                ("respond", files_span),
+            ),
+        )
         return MultiSearchResponse(matches=matches, files=files)
 
     def _handle_fetch(self, request: FileRequest) -> RankedFilesResponse:

@@ -33,8 +33,10 @@ from repro.obs.events import LeakageEvent, LeakageLog, trapdoor_digest
 from repro.obs.export import (
     ObsDump,
     SpanRecord,
+    dump_jsonl,
     export_jsonl,
     load_jsonl,
+    merge_dumps,
     render_prometheus,
     render_report,
     validate_records,
@@ -47,10 +49,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from repro.obs.slowlog import SlowQuery, SlowQueryLog
 from repro.obs.trace import (
     NOOP_TRACER,
     FakeClock,
     NoopTracer,
+    RemoteParent,
     Span,
     Tracer,
 )
@@ -69,12 +73,17 @@ __all__ = [
     "NoopTracer",
     "Obs",
     "ObsDump",
+    "RemoteParent",
+    "SlowQuery",
+    "SlowQueryLog",
     "Span",
     "SpanRecord",
     "StatsBase",
     "Tracer",
+    "dump_jsonl",
     "export_jsonl",
     "load_jsonl",
+    "merge_dumps",
     "render_prometheus",
     "render_report",
     "trapdoor_digest",
@@ -86,24 +95,29 @@ __all__ = [
 class Obs:
     """The observability bundle instrumented classes accept.
 
-    One tracer + one metrics registry + one leakage log, created
-    together so a deployment has exactly one of each.  Construct via
-    :meth:`enabled` (or directly, to share components).
+    One tracer + one metrics registry + one leakage log + one
+    slow-query log, created together so a deployment has exactly one
+    of each.  Construct via :meth:`enabled` (or directly, to share
+    components).
     """
 
     tracer: Tracer
     metrics: MetricsRegistry
     leakage: LeakageLog = _field(default_factory=LeakageLog)
+    slowlog: SlowQueryLog = _field(default_factory=SlowQueryLog)
 
     @classmethod
     def enabled(
-        cls, clock: Callable[[], float] | None = None
+        cls,
+        clock: Callable[[], float] | None = None,
+        slowlog: SlowQueryLog | None = None,
     ) -> "Obs":
         """A fully live bundle (optionally on an injected clock)."""
         return cls(
             tracer=Tracer(clock=clock),
             metrics=MetricsRegistry(),
             leakage=LeakageLog(),
+            slowlog=slowlog if slowlog is not None else SlowQueryLog(),
         )
 
     def export_jsonl(self) -> str:
@@ -112,6 +126,7 @@ class Obs:
             tracer=self.tracer,
             metrics=self.metrics.snapshot(),
             leakage=self.leakage.events,
+            slow=self.slowlog.entries,
         )
 
     def report(self) -> str:

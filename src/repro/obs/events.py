@@ -51,6 +51,10 @@ class LeakageEvent:
         What was actually sent back (top-k subset).
     trace_id:
         The trace tree this query was served under (0 untraced).
+    worker:
+        Shard label once merged into a cluster artifact ("" locally;
+        omitted from the JSON encoding when empty, so single-process
+        artifacts are byte-identical to before the field existed).
     """
 
     query_id: int
@@ -58,16 +62,20 @@ class LeakageEvent:
     matched_file_ids: tuple[str, ...]
     returned_file_ids: tuple[str, ...]
     trace_id: int = 0
+    worker: str = ""
 
     def as_dict(self) -> dict[str, object]:
         """JSON-ready encoding (used by the JSONL exporter)."""
-        return {
+        record: dict[str, object] = {
             "query_id": self.query_id,
             "trapdoor": self.trapdoor,
             "matched_file_ids": list(self.matched_file_ids),
             "returned_file_ids": list(self.returned_file_ids),
             "trace_id": self.trace_id,
         }
+        if self.worker:
+            record["worker"] = self.worker
+        return record
 
     @classmethod
     def from_dict(cls, record: dict) -> "LeakageEvent":
@@ -78,6 +86,7 @@ class LeakageEvent:
             matched_file_ids=tuple(record["matched_file_ids"]),
             returned_file_ids=tuple(record["returned_file_ids"]),
             trace_id=int(record.get("trace_id", 0)),
+            worker=str(record.get("worker", "")),
         )
 
 

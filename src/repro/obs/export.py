@@ -9,17 +9,26 @@ per line, ``type``-tagged):
   id, parent id, name, start/end seconds, attrs);
 * ``{"type": "metric", ...}`` — one per metric point of a registry
   snapshot;
-* ``{"type": "leakage", ...}`` — one per leakage event.
+* ``{"type": "leakage", ...}`` — one per leakage event;
+* ``{"type": "slowquery", ...}`` — one per kept slow-query entry
+  (per-phase latency attribution).
 
 :func:`validate_records` is the schema check CI runs over exported
 artifacts (``scripts/check_trace_schema.py`` is a thin wrapper), and
 :func:`render_report` is what ``repro obs report`` prints.
+
+Multi-process deployments produce one artifact per process;
+:func:`merge_dumps` labels and combines them into a single cluster
+artifact (re-serialized by :func:`dump_jsonl`).  A span whose parent
+lives in another process carries a ``remote_parent`` attribute, which
+exempts it from the parent-resolvability check when its process-local
+dump is validated on its own.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ParameterError
 from repro.obs.events import LeakageEvent
@@ -29,6 +38,7 @@ from repro.obs.metrics import (
     MetricPoint,
     MetricsSnapshot,
 )
+from repro.obs.slowlog import SlowQuery
 from repro.obs.trace import Span, Tracer
 
 #: Artifact format tag and version written to the meta line.
@@ -57,8 +67,9 @@ def export_jsonl(
     tracer: Tracer | None = None,
     metrics: MetricsSnapshot | None = None,
     leakage: tuple[LeakageEvent, ...] = (),
+    slow: tuple[SlowQuery, ...] = (),
 ) -> str:
-    """Serialize traces + metrics + leakage events to JSONL text."""
+    """Serialize traces + metrics + leakage + slow queries to JSONL."""
     lines = [
         json.dumps(
             {"type": "meta", "format": FORMAT, "version": VERSION},
@@ -74,6 +85,9 @@ def export_jsonl(
             lines.append(json.dumps(record, sort_keys=True))
     for event in leakage:
         record = {"type": "leakage", **event.as_dict()}
+        lines.append(json.dumps(record, sort_keys=True))
+    for entry in slow:
+        record = {"type": "slowquery", **entry.as_dict()}
         lines.append(json.dumps(record, sort_keys=True))
     return "\n".join(lines) + "\n"
 
@@ -98,6 +112,19 @@ class SpanRecord:
         """Elapsed seconds."""
         return self.end_s - self.start_s
 
+    def as_record(self) -> dict[str, object]:
+        """JSON-ready encoding (for re-serializing a loaded dump)."""
+        return {
+            "type": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": dict(self.attrs),
+        }
+
 
 @dataclass(frozen=True)
 class ObsDump:
@@ -106,6 +133,7 @@ class ObsDump:
     spans: tuple[SpanRecord, ...]
     metrics: tuple[MetricPoint, ...]
     leakage: tuple[LeakageEvent, ...]
+    slow: tuple[SlowQuery, ...] = ()
 
     def roots(self) -> tuple[SpanRecord, ...]:
         """Root spans (no parent), in trace order."""
@@ -134,6 +162,7 @@ def load_jsonl(text: str) -> ObsDump:
     spans: list[SpanRecord] = []
     metrics: list[MetricPoint] = []
     leakage: list[LeakageEvent] = []
+    slow: list[SlowQuery] = []
     for line in text.splitlines():
         if not line.strip():
             continue
@@ -170,11 +199,95 @@ def load_jsonl(text: str) -> ObsDump:
             )
         elif kind == "leakage":
             leakage.append(LeakageEvent.from_dict(record))
+        elif kind == "slowquery":
+            slow.append(SlowQuery.from_dict(record))
     spans.sort(key=lambda span: (span.trace_id, span.span_id))
     return ObsDump(
         spans=tuple(spans),
         metrics=tuple(metrics),
         leakage=tuple(leakage),
+        slow=tuple(slow),
+    )
+
+
+def dump_jsonl(dump: ObsDump) -> str:
+    """Re-serialize a loaded (or merged) dump back to JSONL text."""
+    lines = [
+        json.dumps(
+            {"type": "meta", "format": FORMAT, "version": VERSION},
+            sort_keys=True,
+        )
+    ]
+    for span in dump.spans:
+        lines.append(json.dumps(span.as_record(), sort_keys=True))
+    for point in dump.metrics:
+        record = {"type": "metric", **point.as_dict()}
+        lines.append(json.dumps(record, sort_keys=True))
+    for event in dump.leakage:
+        record = {"type": "leakage", **event.as_dict()}
+        lines.append(json.dumps(record, sort_keys=True))
+    for entry in dump.slow:
+        record = {"type": "slowquery", **entry.as_dict()}
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def merge_dumps(
+    labeled: list[tuple[str, ObsDump]],
+) -> ObsDump:
+    """Combine per-process dumps into one labeled cluster dump.
+
+    Each ``(label, dump)`` pair contributes its spans (tagged with a
+    ``worker`` attribute), its metric points (relabeled with
+    ``worker=label`` then merged via
+    :meth:`~repro.obs.metrics.MetricsSnapshot.merged`, so per-process
+    series stay distinct), and its leakage/slow-query records (tagged
+    with the label in their ``worker`` field).  Tagging never
+    overwrites: a record already carrying a ``worker``
+    label/attribute/field keeps it — that is how a front end
+    publishing per-shard breaker gauges
+    (``repro_net_breaker_state{worker="2"}``) contributes them
+    without having them collapsed under its own label.  An empty
+    label leaves records untagged.  Cross-process trace ids are shared — the traced
+    wire envelope propagates the front end's — so the merged span set
+    forms complete trees where every worker-side remote parent now
+    resolves.
+    """
+    spans: list[SpanRecord] = []
+    snapshots: list[MetricsSnapshot] = []
+    leakage: list[LeakageEvent] = []
+    slow: list[SlowQuery] = []
+    for label, dump in labeled:
+        for span in dump.spans:
+            if label and "worker" not in span.attrs:
+                span = replace(
+                    span, attrs={**span.attrs, "worker": label}
+                )
+            spans.append(span)
+        points = []
+        for point in dump.metrics:
+            if label and "worker" not in dict(point.labels):
+                combined = dict(point.labels)
+                combined["worker"] = label
+                point = replace(
+                    point, labels=tuple(sorted(combined.items()))
+                )
+            points.append(point)
+        snapshots.append(MetricsSnapshot(points=tuple(points)))
+        for event in dump.leakage:
+            if label and not event.worker:
+                event = replace(event, worker=label)
+            leakage.append(event)
+        for entry in dump.slow:
+            if label and not entry.worker:
+                entry = replace(entry, worker=label)
+            slow.append(entry)
+    spans.sort(key=lambda span: (span.trace_id, span.span_id))
+    return ObsDump(
+        spans=tuple(spans),
+        metrics=MetricsSnapshot.merged(snapshots).points,
+        leakage=tuple(leakage),
+        slow=tuple(slow),
     )
 
 
@@ -195,6 +308,12 @@ _LEAKAGE_FIELDS = {
     "matched_file_ids": list,
     "returned_file_ids": list,
 }
+_SLOWQUERY_FIELDS = {
+    "trace_id": int,
+    "kind": str,
+    "total_s": (int, float),
+    "phases": list,
+}
 
 
 def validate_records(text: str) -> list[str]:
@@ -203,7 +322,8 @@ def validate_records(text: str) -> list[str]:
     An empty list means the artifact is well-formed: a valid meta
     header, every line a known ``type`` with required typed fields,
     span times monotonic, and every span parent resolvable within its
-    trace.
+    trace — except spans flagged ``remote_parent``, whose parent lives
+    in another process's dump (they resolve once dumps are merged).
     """
     problems: list[str] = []
     lines = [line for line in text.splitlines() if line.strip()]
@@ -243,6 +363,8 @@ def validate_records(text: str) -> list[str]:
             required = _METRIC_FIELDS
         elif kind == "leakage":
             required = _LEAKAGE_FIELDS
+        elif kind == "slowquery":
+            required = _SLOWQUERY_FIELDS
         elif kind == "meta":
             problems.append(f"line {number}: duplicate meta line")
             continue
@@ -273,7 +395,9 @@ def validate_records(text: str) -> list[str]:
             span_ids.setdefault(record["trace_id"], set()).add(
                 record["span_id"]
             )
-            if record.get("parent_id") is not None:
+            if record.get("parent_id") is not None and not record[
+                "attrs"
+            ].get("remote_parent"):
                 parents.append(
                     (number, record["trace_id"], record["parent_id"])
                 )
@@ -399,5 +523,20 @@ def render_report(dump: ObsDump) -> str:
                 f"  q{event.query_id}  trapdoor={event.trapdoor[:12]}… "
                 f"matched={len(event.matched_file_ids)} "
                 f"returned={len(event.returned_file_ids)}"
+            )
+    if dump.slow:
+        lines.append("")
+        lines.append(f"== slow queries ({len(dump.slow)} kept) ==")
+        for entry in dump.slow:
+            breakdown = " ".join(
+                f"{name}={seconds * 1000:.3f}ms"
+                for name, seconds in entry.phases
+            )
+            origin = f" worker={entry.worker}" if entry.worker else ""
+            tag = " (sampled)" if entry.sampled else ""
+            lines.append(
+                f"  trace {entry.trace_id}  {entry.kind}  "
+                f"{entry.total_s * 1000:.3f} ms{origin}{tag}  "
+                f"[{breakdown}]"
             )
     return "\n".join(lines) + "\n"

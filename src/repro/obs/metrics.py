@@ -216,6 +216,34 @@ class MetricsSnapshot:
         point = self.get(name, **labels)
         return point.value if point is not None else 0.0
 
+    def with_labels(self, **labels: object) -> "MetricsSnapshot":
+        """A copy with ``labels`` merged into every point.
+
+        New labels win on key collision.  This is how a coordinator
+        tags each process's snapshot (``worker="2"``) before
+        :meth:`merged`, so identically named per-worker series stay
+        distinct instead of summing into one anonymous aggregate.
+        """
+        relabeled = []
+        for point in self.points:
+            combined = dict(point.labels)
+            combined.update(
+                (str(k), str(v)) for k, v in labels.items()
+            )
+            relabeled.append(
+                MetricPoint(
+                    name=point.name,
+                    kind=point.kind,
+                    labels=tuple(sorted(combined.items())),
+                    value=point.value,
+                    buckets=point.buckets,
+                    bucket_counts=point.bucket_counts,
+                    count=point.count,
+                )
+            )
+        relabeled.sort(key=lambda point: (point.name, point.labels))
+        return MetricsSnapshot(points=tuple(relabeled))
+
     def as_dict(self) -> dict[str, object]:
         """JSON-ready encoding of every point."""
         return {"metrics": [point.as_dict() for point in self.points]}

@@ -1,0 +1,189 @@
+"""The sampled slow-query log: per-phase latency attribution.
+
+A production search tier cares about two kinds of query: the slow
+ones (kept whenever their total phase time crosses a threshold) and a
+representative sample of everything else (kept every ``sample_every``
+queries, counter-based so sampling is a pure function of query order —
+deterministic under :class:`~repro.obs.trace.FakeClock`, no RNG, no
+wall clock).  Each kept entry records where the time went, phase by
+phase (decode -> cache/postings -> aggregate -> rank -> respond),
+derived from the server's own spans, so a slow query arrives already
+attributed.
+
+Entries live in a bounded ring (oldest dropped first) and ride along
+in the standard JSONL artifact as ``{"type": "slowquery", ...}``
+records, which the admin endpoint's ``health`` section also surfaces
+for ``repro top``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+#: Default threshold above which a query is always kept (seconds).
+DEFAULT_SLOW_THRESHOLD_S = 0.1
+
+#: Default ring capacity.
+DEFAULT_SLOWLOG_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One kept query with its per-phase latency breakdown.
+
+    Attributes
+    ----------
+    trace_id:
+        The trace tree the query was served under (0 untraced).
+    kind:
+        The request kind (``search`` / ``multi-search``).
+    total_s:
+        Sum of the phase durations (the measured handler time).
+    phases:
+        ``(phase name, seconds)`` pairs in execution order.
+    sampled:
+        True when the entry was kept by the sampling counter rather
+        than by crossing the slow threshold.
+    worker:
+        Shard label once merged into a cluster artifact ("" locally).
+    """
+
+    trace_id: int
+    kind: str
+    total_s: float
+    phases: tuple[tuple[str, float], ...]
+    sampled: bool = False
+    worker: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready encoding (used by the JSONL exporter)."""
+        # Phases are a *list* of pairs, not a mapping: the exporter
+        # serializes with sort_keys, and execution order (decode
+        # before rank) is the information a latency breakdown exists
+        # to convey.
+        record: dict[str, object] = {
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "total_s": self.total_s,
+            "phases": [
+                [name, seconds] for name, seconds in self.phases
+            ],
+            "sampled": self.sampled,
+        }
+        if self.worker:
+            record["worker"] = self.worker
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SlowQuery":
+        """Parse one exporter record."""
+        return cls(
+            trace_id=int(record["trace_id"]),
+            kind=str(record["kind"]),
+            total_s=float(record["total_s"]),
+            phases=tuple(
+                (str(name), float(seconds))
+                for name, seconds in (
+                    record["phases"].items()
+                    if isinstance(record["phases"], dict)
+                    else record["phases"]
+                )
+            ),
+            sampled=bool(record.get("sampled", False)),
+            worker=str(record.get("worker", "")),
+        )
+
+
+class SlowQueryLog:
+    """Thread-safe bounded ring of :class:`SlowQuery` entries.
+
+    Parameters
+    ----------
+    threshold_s:
+        Queries whose phase total meets or exceeds this are always
+        kept.  ``0.0`` keeps everything (the deterministic-demo
+        setting).
+    sample_every:
+        Additionally keep every Nth query regardless of duration
+        (``0`` disables sampling).  The counter covers *all* recorded
+        queries, so the sample is unbiased toward fast ones.
+    capacity:
+        Ring size; the oldest entries fall out first.
+    """
+
+    def __init__(
+        self,
+        threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+        sample_every: int = 0,
+        capacity: int = DEFAULT_SLOWLOG_CAPACITY,
+    ):
+        if threshold_s < 0:
+            raise ParameterError(
+                f"threshold_s must be >= 0, got {threshold_s}"
+            )
+        if sample_every < 0:
+            raise ParameterError(
+                f"sample_every must be >= 0, got {sample_every}"
+            )
+        if capacity < 1:
+            raise ParameterError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self.threshold_s = threshold_s
+        self.sample_every = sample_every
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: deque[SlowQuery] = deque(maxlen=capacity)
+        self._seen = 0
+
+    def record(
+        self,
+        kind: str,
+        trace_id: int,
+        phases: tuple[tuple[str, float], ...],
+    ) -> SlowQuery | None:
+        """Consider one served query; returns the entry if kept."""
+        total_s = sum(seconds for _, seconds in phases)
+        with self._lock:
+            self._seen += 1
+            slow = total_s >= self.threshold_s
+            sampled = (
+                self.sample_every > 0
+                and self._seen % self.sample_every == 0
+            )
+            if not slow and not sampled:
+                return None
+            entry = SlowQuery(
+                trace_id=trace_id,
+                kind=kind,
+                total_s=total_s,
+                phases=tuple(phases),
+                sampled=sampled and not slow,
+            )
+            self._entries.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> tuple[SlowQuery, ...]:
+        """Kept entries, oldest first."""
+        with self._lock:
+            return tuple(self._entries)
+
+    @property
+    def seen(self) -> int:
+        """Total queries considered (kept or not)."""
+        with self._lock:
+            return self._seen
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def reset(self) -> None:
+        """Drop kept entries (the sampling counter keeps counting)."""
+        with self._lock:
+            self._entries.clear()

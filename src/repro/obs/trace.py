@@ -21,7 +21,11 @@ Two properties the test suites depend on:
 Parenting is thread-local: ``tracer.span(name)`` nests under the
 span currently open *in the calling thread*; a fan-out boundary (the
 cluster's thread pool) passes ``parent=`` explicitly to bridge
-threads.
+threads.  A *process* boundary passes a :class:`RemoteParent` — the
+(trace id, span id) pair carried on the wire by the network layer's
+traced envelope — and disjoint ``id_base`` ranges keep each worker
+process's span ids from colliding with the front end's when their
+artifacts are merged into one cluster trace.
 """
 
 from __future__ import annotations
@@ -131,6 +135,34 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class RemoteParent:
+    """A parent span that lives in another process.
+
+    Carries just the (trace id, span id) pair a traced wire envelope
+    ships across a process boundary; pass it as ``parent=`` to adopt
+    the remote caller's trace.  Spans opened under a remote parent are
+    marked with a ``remote_parent`` attribute so artifact validation
+    knows their parent resolves in the *caller's* dump, not the local
+    one.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int):
+        if trace_id < 1 or span_id < 1:
+            raise ParameterError(
+                "remote parent ids must be >= 1, got "
+                f"trace {trace_id} / span {span_id}"
+            )
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RemoteParent(trace={self.trace_id}, id={self.span_id})"
+        )
+
+
 class NoopTracer:
     """The off switch: same surface as :class:`Tracer`, zero work.
 
@@ -180,6 +212,12 @@ class Tracer:
         Retention cap: once this many spans are recorded, the oldest
         are dropped (a tracer left on in a long-lived server must not
         grow without bound).
+    id_base:
+        Starting offset for span and trace ids (ids count up from
+        ``id_base + 1``).  Give each process of a distributed
+        deployment a disjoint base so merged cluster artifacts never
+        collide on ids; the default 0 keeps single-process traces
+        (and their golden artifacts) unchanged.
     """
 
     enabled = True
@@ -188,17 +226,22 @@ class Tracer:
         self,
         clock: Callable[[], float] | None = None,
         max_spans: int = 100_000,
+        id_base: int = 0,
     ):
         if max_spans < 1:
             raise ParameterError(
                 f"max_spans must be >= 1, got {max_spans}"
             )
+        if id_base < 0:
+            raise ParameterError(
+                f"id_base must be >= 0, got {id_base}"
+            )
         self._clock = clock if clock is not None else time.perf_counter
         self._max_spans = max_spans
         self._lock = threading.Lock()
         self._finished: list[Span] = []
-        self._next_span_id = 1
-        self._next_trace_id = 1
+        self._next_span_id = id_base + 1
+        self._next_trace_id = id_base + 1
         self._local = threading.local()
 
     # -- span lifecycle ----------------------------------------------------
@@ -206,18 +249,22 @@ class Tracer:
     def span(
         self,
         name: str,
-        parent: Span | _NoopSpan | None = None,
+        parent: "Span | _NoopSpan | RemoteParent | None" = None,
         **attrs: Any,
     ) -> Span:
         """Open a span (use as a context manager).
 
         With no explicit ``parent``, nests under the calling thread's
         current span; with neither, starts a new trace (a root span).
-        A ``parent`` argument bridges thread boundaries: pass the root
-        span into pool workers.
+        A ``parent`` argument bridges thread boundaries (pass the root
+        span into pool workers) or process boundaries (pass the
+        :class:`RemoteParent` a traced wire envelope carried in).
         """
         if not name:
             raise ParameterError("span name must be non-empty")
+        attrs = dict(attrs)
+        if isinstance(parent, RemoteParent):
+            attrs["remote_parent"] = True
         if parent is None:
             parent = self.current()
         if isinstance(parent, _NoopSpan):

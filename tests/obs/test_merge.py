@@ -1,0 +1,167 @@
+"""Unit tests for cross-process merging: labels, dumps, remote parents."""
+
+import pytest
+
+from repro.obs import (
+    LeakageLog,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Obs,
+    RemoteParent,
+    SlowQueryLog,
+    dump_jsonl,
+    load_jsonl,
+    merge_dumps,
+    render_prometheus,
+    validate_records,
+)
+from repro.obs.trace import FakeClock, Tracer
+
+STRIDE = 1 << 48
+
+
+def worker_bundle(shard: int, parent: RemoteParent | None = None) -> Obs:
+    """One worker-shaped bundle with a disjoint tracer id range."""
+    obs = Obs(
+        tracer=Tracer(clock=FakeClock(), id_base=(shard + 1) * STRIDE),
+        metrics=MetricsRegistry(),
+        leakage=LeakageLog(),
+        slowlog=SlowQueryLog(threshold_s=0.0),
+    )
+    with obs.tracer.span("server.handle", parent=parent, kind="search"):
+        pass
+    obs.metrics.counter("repro_server_searches_total").inc()
+    obs.leakage.record(b"addr", ("d1",), ("d1",), trace_id=1)
+    obs.slowlog.record("search", 1, (("decode", 0.01),))
+    return obs
+
+
+class TestWithLabels:
+    def test_adds_label_to_every_point(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", kind="a").inc()
+        registry.gauge("repro_y").set(2.0)
+        labeled = registry.snapshot().with_labels(worker="3")
+        assert all(
+            dict(point.labels)["worker"] == "3" for point in labeled
+        )
+
+    def test_new_labels_win_on_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", worker="original").inc(5)
+        labeled = registry.snapshot().with_labels(worker="override")
+        (point,) = labeled.points
+        assert dict(point.labels) == {"worker": "override"}
+        assert point.value == 5.0
+
+
+class TestMergedAcrossProcesses:
+    def test_identical_series_stay_distinct_under_labels(self):
+        snapshots = []
+        for shard in ("0", "1"):
+            registry = MetricsRegistry()
+            registry.counter("repro_server_searches_total").inc(int(shard) + 1)
+            snapshots.append(registry.snapshot().with_labels(worker=shard))
+        merged = MetricsSnapshot.merged(snapshots)
+        assert merged.value(
+            "repro_server_searches_total", worker="0"
+        ) == 1.0
+        assert merged.value(
+            "repro_server_searches_total", worker="1"
+        ) == 2.0
+
+    def test_unlabeled_collision_sums(self):
+        snapshots = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            registry.counter("repro_server_searches_total").inc(3)
+            snapshots.append(registry.snapshot())
+        merged = MetricsSnapshot.merged(snapshots)
+        assert merged.value("repro_server_searches_total") == 6.0
+
+
+class TestMergeDumps:
+    def merged_cluster(self):
+        frontend = Obs.enabled(clock=FakeClock())
+        with frontend.tracer.span("net.request", kind="search") as span:
+            parent = RemoteParent(span.trace_id, span.span_id)
+        frontend.metrics.gauge(
+            "repro_net_breaker_state", worker="0"
+        ).set(0.0)
+        frontend.metrics.gauge(
+            "repro_net_breaker_state", worker="1"
+        ).set(2.0)
+        workers = [worker_bundle(0, parent), worker_bundle(1)]
+        labeled = [("frontend", load_jsonl(frontend.export_jsonl()))]
+        labeled.extend(
+            (str(shard), load_jsonl(obs.export_jsonl()))
+            for shard, obs in enumerate(workers)
+        )
+        return merge_dumps(labeled)
+
+    def test_spans_tagged_and_id_disjoint(self):
+        dump = self.merged_cluster()
+        workers = {
+            span.attrs.get("worker") for span in dump.spans
+        }
+        assert workers == {"frontend", "0", "1"}
+        assert len({span.span_id for span in dump.spans}) == len(
+            dump.spans
+        )
+
+    def test_remote_parent_stitches_across_processes(self):
+        dump = self.merged_cluster()
+        (root,) = [
+            span for span in dump.spans if span.name == "net.request"
+        ]
+        stitched = [
+            span
+            for span in dump.spans
+            if span.parent_id == root.span_id and span is not root
+        ]
+        assert len(stitched) == 1
+        assert stitched[0].attrs["worker"] == "0"
+        assert stitched[0].trace_id == root.trace_id
+
+    def test_leakage_and_slow_tagged_without_overwrite(self):
+        dump = self.merged_cluster()
+        assert sorted(event.worker for event in dump.leakage) == ["0", "1"]
+        assert sorted(entry.worker for entry in dump.slow) == ["0", "1"]
+
+    def test_existing_worker_labels_survive_the_merge(self):
+        # The front end publishes per-shard breaker gauges; its own
+        # "frontend" label must not clobber them into one series.
+        dump = self.merged_cluster()
+        merged = MetricsSnapshot(points=dump.metrics)
+        assert merged.value("repro_net_breaker_state", worker="0") == 0.0
+        assert merged.value("repro_net_breaker_state", worker="1") == 2.0
+
+    def test_merged_dump_round_trips_through_jsonl(self):
+        dump = self.merged_cluster()
+        text = dump_jsonl(dump)
+        assert validate_records(text) == []
+        reloaded = load_jsonl(text)
+        assert reloaded.spans == dump.spans
+        assert reloaded.metrics == dump.metrics
+        assert reloaded.leakage == dump.leakage
+        assert reloaded.slow == dump.slow
+        assert dump_jsonl(reloaded) == text
+
+    def test_merged_prometheus_has_worker_series(self):
+        dump = self.merged_cluster()
+        text = render_prometheus(MetricsSnapshot(points=dump.metrics))
+        assert 'repro_server_searches_total{worker="0"}' in text
+        assert 'repro_server_searches_total{worker="1"}' in text
+
+
+class TestRemoteParentValidation:
+    def test_worker_local_dump_validates_despite_unresolved_parent(self):
+        # A worker's own artifact contains spans whose parent lives in
+        # another process; the remote_parent attr exempts them from
+        # the parent-resolvability check.
+        obs = worker_bundle(0, RemoteParent(12345, 67890))
+        assert validate_records(obs.export_jsonl()) == []
+
+    def test_remote_parent_rejects_unset_ids(self):
+        with pytest.raises(Exception):
+            RemoteParent(0, 1)

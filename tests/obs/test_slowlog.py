@@ -1,0 +1,123 @@
+"""Unit tests for the sampled slow-query log."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import SlowQuery, SlowQueryLog
+
+
+def phases(*pairs):
+    return tuple(pairs)
+
+
+class TestThreshold:
+    def test_slow_queries_are_kept(self):
+        log = SlowQueryLog(threshold_s=0.1)
+        log.record("search", 7, phases(("decode", 0.05), ("rank", 0.06)))
+        (entry,) = log.entries
+        assert entry.trace_id == 7
+        assert entry.kind == "search"
+        assert entry.total_s == pytest.approx(0.11)
+        assert not entry.sampled
+
+    def test_fast_queries_are_dropped(self):
+        log = SlowQueryLog(threshold_s=0.1)
+        log.record("search", 1, phases(("decode", 0.01)))
+        assert len(log) == 0
+        assert log.seen == 1
+
+    def test_zero_threshold_keeps_everything(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        for trace in range(5):
+            log.record("search", trace, phases(("decode", 0.0)))
+        assert len(log) == 5
+
+    def test_total_is_sum_of_phases(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.record(
+            "multi-search",
+            3,
+            phases(("decode", 1.0), ("aggregate", 2.0), ("respond", 4.0)),
+        )
+        (entry,) = log.entries
+        assert entry.total_s == pytest.approx(7.0)
+        assert dict(entry.phases)["aggregate"] == pytest.approx(2.0)
+
+
+class TestSampling:
+    def test_every_nth_fast_query_is_sampled(self):
+        log = SlowQueryLog(threshold_s=10.0, sample_every=3)
+        for trace in range(1, 10):
+            log.record("search", trace, phases(("decode", 0.001)))
+        # Counter-based: the 3rd, 6th, and 9th arrivals are kept.
+        assert [entry.trace_id for entry in log.entries] == [3, 6, 9]
+        assert all(entry.sampled for entry in log.entries)
+
+    def test_sampling_is_deterministic(self):
+        def run():
+            log = SlowQueryLog(threshold_s=10.0, sample_every=4)
+            for trace in range(1, 13):
+                log.record("search", trace, phases(("rank", 0.002)))
+            return [entry.trace_id for entry in log.entries]
+
+        assert run() == run()
+
+    def test_slow_entries_are_not_marked_sampled(self):
+        log = SlowQueryLog(threshold_s=0.0, sample_every=1)
+        log.record("search", 1, phases(("decode", 1.0)))
+        (entry,) = log.entries
+        assert not entry.sampled
+
+    def test_sampling_disabled_by_default(self):
+        log = SlowQueryLog(threshold_s=10.0)
+        for trace in range(50):
+            log.record("search", trace, phases(("decode", 0.001)))
+        assert len(log) == 0
+
+
+class TestCapacityAndReset:
+    def test_ring_keeps_most_recent(self):
+        log = SlowQueryLog(threshold_s=0.0, capacity=3)
+        for trace in range(1, 8):
+            log.record("search", trace, phases(("decode", 1.0)))
+        assert [entry.trace_id for entry in log.entries] == [5, 6, 7]
+        assert log.seen == 7
+
+    def test_reset_drops_entries_but_not_the_counter(self):
+        log = SlowQueryLog(threshold_s=0.0)
+        log.record("search", 1, phases(("decode", 1.0)))
+        log.reset()
+        assert len(log) == 0
+        assert log.seen == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            SlowQueryLog(threshold_s=-0.1)
+        with pytest.raises(ParameterError):
+            SlowQueryLog(sample_every=-1)
+        with pytest.raises(ParameterError):
+            SlowQueryLog(capacity=0)
+
+
+class TestSlowQueryRecord:
+    def test_dict_round_trip(self):
+        entry = SlowQuery(
+            trace_id=9,
+            kind="search",
+            total_s=0.25,
+            phases=phases(("decode", 0.05), ("rank", 0.2)),
+            sampled=True,
+            worker="2",
+        )
+        assert SlowQuery.from_dict(entry.as_dict()) == entry
+
+    def test_worker_omitted_when_empty(self):
+        entry = SlowQuery(
+            trace_id=1,
+            kind="search",
+            total_s=0.2,
+            phases=phases(("decode", 0.2)),
+        )
+        record = entry.as_dict()
+        assert "worker" not in record
+        assert SlowQuery.from_dict(record) == entry
