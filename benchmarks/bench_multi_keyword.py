@@ -77,6 +77,7 @@ from repro.core.multi_keyword import (
     true_conjunctive_ranking,
 )
 from repro.core.results import as_ranking
+from repro.corpus.workload import zipf_multi_queries
 from repro.ir import stem
 from repro.ir.inverted_index import InvertedIndex
 from repro.ir.topk import intersect_sums, rank_pairs
@@ -157,9 +158,16 @@ def build_deployment(num_documents: int, vocabulary_size: int, seed: int):
 
 
 def sample_queries(vocabulary, terms_count: int, count: int, seed: int):
-    rng = random.Random(seed)
+    """Zipf-weighted multi-keyword workloads (shared generator).
+
+    Hot terms co-occur across queries, matching the skew the other
+    serving benches use (:mod:`repro.corpus.workload`).
+    """
     return [
-        rng.sample(vocabulary, terms_count) for _ in range(count)
+        list(terms)
+        for terms in zipf_multi_queries(
+            vocabulary, count, terms_count, seed=seed
+        )
     ]
 
 

@@ -57,6 +57,7 @@ from repro.core import TEST_PARAMETERS, EfficientRSSE
 from repro.core.results import ServerMatch
 from repro.core.secure_index import decrypt_posting_list
 from repro.core.trapdoor import Trapdoor
+from repro.corpus.workload import zipf_queries
 from repro.ir.inverted_index import InvertedIndex
 from repro.ir.topk import rank_all, top_k
 
@@ -160,16 +161,25 @@ def build_deployment(posting_length: int, cold_keywords: int):
     return scheme, key, built.secure_index, blobs
 
 
-def encode_requests(scheme, key, keywords, codec, repeats):
-    """Pre-encode ``repeats`` search requests cycling the keywords."""
-    encoded = [
-        SearchRequest(
+def encode_requests(scheme, key, keywords, codec, repeats, seed=2010):
+    """Pre-encode ``repeats`` search requests over a Zipfian draw.
+
+    Uses the shared deterministic workload generator
+    (:func:`repro.corpus.workload.zipf_queries`), so the keyword
+    popularity skew matches the other serving benches and two runs see
+    the identical sequence.
+    """
+    encoded = {
+        keyword: SearchRequest(
             trapdoor_bytes=scheme.trapdoor(key, keyword).serialize(),
             top_k=TOP_K,
         ).to_bytes(codec)
         for keyword in keywords
+    }
+    return [
+        encoded[keyword]
+        for keyword in zipf_queries(keywords, repeats, seed=seed)
     ]
-    return [encoded[i % len(encoded)] for i in range(repeats)]
 
 
 def percentile(sorted_latencies: list[float], q: float) -> float:
@@ -266,7 +276,7 @@ def run_benchmark(
             cache_searches=True,
             log_capacity=256,
         )
-        for request_bytes in warm_requests[: len(hot)]:  # prime
+        for request_bytes in dict.fromkeys(warm_requests):  # prime
             server.handle(request_bytes)
         server_cells["warm"][codec] = time_handler(
             server.handle, warm_requests
@@ -290,7 +300,7 @@ def run_benchmark(
     legacy_requests = encode_requests(
         scheme, key, hot, CODEC_JSON, warm_queries
     )
-    for request_bytes in legacy_requests[: len(hot)]:  # prime
+    for request_bytes in dict.fromkeys(legacy_requests):  # prime
         legacy.handle(request_bytes)
     server_cells["warm"]["legacy_json"] = time_handler(
         legacy.handle, legacy_requests
@@ -316,7 +326,7 @@ def run_benchmark(
                     log_capacity=256,
                 ) as cluster:
                     if cached:
-                        cluster.handle_many(requests[: len(keywords)])
+                        cluster.handle_many(list(dict.fromkeys(requests)))
                     cell = time_handler(cluster.handle, requests)
                     cell["batch_qps"] = time_batches(
                         cluster, requests, batch_size

@@ -192,6 +192,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         num_shards=args.shards,
         cache_searches=not args.no_cache,
+        result_cache_bytes=(
+            args.result_cache_bytes if args.result_cache else None
+        ),
         obs=Obs.enabled() if args.obs else None,
     )
     server.start()
@@ -410,6 +413,16 @@ def _render_top(health: dict) -> str:
             f"{breaker['consecutive_failures']:>5}  "
             f"{breaker['times_opened']:>6}  {breaker['probes']:>6}  "
             f"{breaker['suppressed_calls']:>10}"
+        )
+    result_cache = health.get("result_cache", {})
+    if result_cache.get("enabled"):
+        lines.append(
+            f"  result cache: {result_cache['hits']} hit(s), "
+            f"{result_cache['misses']} miss(es), "
+            f"{result_cache['coalesced']} coalesced, "
+            f"{result_cache['invalidations']} invalidation(s), "
+            f"{result_cache['entries']} entries / "
+            f"{result_cache['resident_bytes'] / 1024:.1f} KiB resident"
         )
     slow = health.get("slow_queries", [])
     if slow:
@@ -630,6 +643,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the per-worker ranked search cache",
+    )
+    serve.add_argument(
+        "--result-cache",
+        action="store_true",
+        help="enable the hot-query fast lane: a front-end cache of "
+        "encoded response frames with single-flight coalescing",
+    )
+    serve.add_argument(
+        "--result-cache-bytes",
+        type=int,
+        default=8 << 20,
+        help="byte budget for --result-cache (default: 8 MiB, split "
+        "proportionally with the per-worker response memos)",
     )
     serve.add_argument(
         "--store",

@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.cloud.cache import ResultCache
 from repro.cloud.faults import FaultPlan, FaultStats, FaultyChannel
 from repro.cloud.network import Channel, ChannelStats, LinkModel
 from repro.cloud.protocol import (
@@ -59,7 +60,7 @@ from repro.cloud.retry import (
     RetryPolicy,
     RetryingChannel,
 )
-from repro.cloud.server import CloudServer, ServerLog
+from repro.cloud.server import CloudServer, SearchObservation, ServerLog
 from repro.cloud.storage import BlobStore
 from repro.cloud.updates import (
     PutBlobRequest,
@@ -558,6 +559,19 @@ class ClusterServer:
         each shard runs its own LRU of ``capacity / N`` entries (at
         least one), and :meth:`invalidate_cache` routes to the owning
         shard.
+    result_cache_bytes:
+        Optional byte budget for a front-end cache of fully-encoded
+        search response frames keyed by ``(codec, request-frame
+        digest)``.  A hit answers without touching the owning shard
+        (its stored observations are replayed into the shard's
+        curious-server log, so search/access-pattern accounting stays
+        exact) and is byte-identical to the uncached answer; updates
+        bump the owning shard's epoch (blob mutations bump all), so a
+        post-update query always re-executes.  Only single-keyword
+        ``search`` frames are cached at this layer — multi-search
+        fan-outs are cached by the socket front end
+        (:class:`~repro.cloud.netserve.NetServer`).  ``None`` (the
+        default) disables the cache.
     update_token:
         Write-authorization secret, forwarded to every shard.
     log_capacity:
@@ -621,6 +635,7 @@ class ClusterServer:
         retry_sleep: Callable[[float], None] = time.sleep,
         obs=None,
         log_capacity: int | None = None,
+        result_cache_bytes: int | None = None,
     ):
         self._obs = obs
         self._tracer = obs.tracer if obs is not None else NOOP_TRACER
@@ -699,6 +714,11 @@ class ClusterServer:
         self._serving = serving
         self._breakers = tuple(
             CircuitBreaker(breaker) for _ in range(shards)
+        )
+        self._result_cache: ResultCache | None = (
+            ResultCache(result_cache_bytes, shards)
+            if result_cache_bytes is not None
+            else None
         )
         self._shard_locks = tuple(threading.Lock() for _ in range(shards))
         self._executor = ThreadPoolExecutor(
@@ -794,6 +814,43 @@ class ClusterServer:
                 breaker.record_success()
                 return response
 
+    def _call_shard_observed(
+        self, shard: int, request_bytes: bytes, parent=None
+    ) -> tuple[bytes, tuple[SearchObservation, ...]]:
+        """:meth:`_call_shard` plus the observations the call appended.
+
+        The capture happens under the shard lock, so the log delta is
+        exactly this call's appends — the raw material the result
+        cache replays into the shard log on every later hit.  Under
+        fault injection a retried call may append more than one
+        observation; the delta keeps them all, matching what the shard
+        actually logged.
+        """
+        server_log = self._servers[shard].log
+        with self._tracer.span(
+            "shard.dispatch", parent=parent, shard=shard
+        ) as span:
+            with self._shard_locks[shard]:
+                breaker = self._breakers[shard]
+                if not breaker.allow():
+                    span.set(breaker="open")
+                    raise ShardDownError(
+                        f"shard {shard}: circuit open "
+                        f"(awaiting half-open probe)"
+                    )
+                if self._tracer.enabled:
+                    span.set(breaker=breaker.state)
+                recorded_before = server_log.total_recorded
+                try:
+                    response = self._serving[shard].call(request_bytes)
+                except TransportError:
+                    breaker.record_failure()
+                    raise
+                breaker.record_success()
+                return response, server_log.tail(
+                    server_log.total_recorded - recorded_before
+                )
+
     def _observe_request(self, kind: str, span) -> None:
         """Count one served root request + its traced duration."""
         if self._obs is None:
@@ -816,12 +873,82 @@ class ClusterServer:
         subclass; use :meth:`handle_resilient` for the non-raising
         degraded contract.
         """
-        if peek_kind(request_bytes) == "multi-search":
+        kind = peek_kind(request_bytes)
+        if kind == "multi-search":
             return self._handle_multi_search(request_bytes)
+        if self._result_cache is not None:
+            if kind == "search":
+                return self._handle_search_cached(request_bytes)
+            self._note_mutation(kind, request_bytes)
         shard = self.shard_id_for(request_bytes)
         with self._tracer.span("cluster.handle", shard=shard) as span:
             response = self._call_shard(shard, request_bytes)
         self._observe_request("handle", span)
+        return response
+
+    def _note_mutation(self, kind: str, request_bytes: bytes) -> None:
+        """Bump result-cache epochs for one mutating request.
+
+        Bumped on *receipt* (before the shard applies the update): a
+        redundant bump only costs a refill, while a missed one would
+        serve stale bytes.  ``update-list`` touches exactly one
+        shard's state; blob mutations touch the shared store every
+        cached response may embed, so they bump every shard.
+        """
+        if self._result_cache is None:
+            return
+        if kind == "update-list":
+            self._result_cache.bump(self.shard_id_for(request_bytes))
+        elif kind in ("put-blob", "remove-blob"):
+            self._result_cache.bump(None)
+
+    def _observe_result_cache(self, outcome: str) -> None:
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            f"repro_result_cache_{outcome}_total", layer="cluster"
+        ).inc()
+        if self._result_cache is not None:
+            self._obs.metrics.gauge(
+                "repro_result_cache_resident_bytes", layer="cluster"
+            ).set(float(self._result_cache.resident_bytes))
+
+    def _handle_search_cached(self, request_bytes: bytes) -> bytes:
+        """Serve one search through the front-end result cache.
+
+        A hit returns the stored frame and replays its observations
+        into the owning shard's log (search/access-pattern exactness);
+        a miss stamps the owning shard's epoch *before* dispatching,
+        fills the cache, and returns the fresh frame — so a mutation
+        racing the fill invalidates the entry rather than losing the
+        race.
+        """
+        assert self._result_cache is not None
+        codec = detect_codec(request_bytes)
+        key = ResultCache.key_for(codec, request_bytes)
+        entry = self._result_cache.get(key)
+        if entry is not None:
+            shard, observations = entry.payload
+            server = self._servers[shard]
+            for observation in observations:
+                server.record_replayed_observation(observation)
+            self._observe_result_cache("hits")
+            if self._obs is not None:
+                self._obs.metrics.counter(
+                    "repro_cluster_requests_total", kind="handle"
+                ).inc()
+            return entry.frame
+        shard = self.shard_id_for(request_bytes)
+        stamps = self._result_cache.stamp((shard,))
+        with self._tracer.span("cluster.handle", shard=shard) as span:
+            response, captured = self._call_shard_observed(
+                shard, request_bytes
+            )
+        self._observe_request("handle", span)
+        self._result_cache.put(
+            key, stamps, response, payload=(shard, captured)
+        )
+        self._observe_result_cache("misses")
         return response
 
     # -- multi-keyword fan-out ---------------------------------------------
@@ -984,6 +1111,9 @@ class ClusterServer:
         batch = list(requests)
         if not batch:
             return []
+        if self._result_cache is not None:
+            for request_bytes in batch:
+                self._note_mutation(peek_kind(request_bytes), request_bytes)
         groups, multi_positions = self._group_by_shard(batch)
         self._observe_batch(
             len(batch), len(groups) + len(multi_positions), "handle_many"
@@ -1058,6 +1188,9 @@ class ClusterServer:
         batch is served normally.  Responses stay in request order.
         """
         batch = list(requests)
+        if self._result_cache is not None:
+            for request_bytes in batch:
+                self._note_mutation(peek_kind(request_bytes), request_bytes)
         with self._tracer.span(
             "cluster.handle_resilient", requests=len(batch)
         ) as root:
@@ -1130,15 +1263,23 @@ class ClusterServer:
         """Searches answered from shard caches, cluster-wide."""
         return sum(server.cache_hits for server in self._servers)
 
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The front-end encoded-response cache (None when disabled)."""
+        return self._result_cache
+
     def invalidate_cache(self, address: bytes | None = None) -> None:
         """Drop cached decrypted lists (all shards, or one address)."""
         if address is None:
             for server in self._servers:
                 server.invalidate_cache()
+            if self._result_cache is not None:
+                self._result_cache.bump(None)
         else:
-            self._servers[self._sharded.shard_id(address)].invalidate_cache(
-                address
-            )
+            shard = self._sharded.shard_id(address)
+            self._servers[shard].invalidate_cache(address)
+            if self._result_cache is not None:
+                self._result_cache.bump(shard)
 
     # -- observability -----------------------------------------------------
 

@@ -68,6 +68,7 @@ from repro.cloud.cluster import (
     shard_for_address,
     split_multi_request,
 )
+from repro.cloud.cache import ResultCache
 from repro.cloud.network import ChannelStats
 from repro.cloud.protocol import (
     CODEC_BINARY,
@@ -77,6 +78,8 @@ from repro.cloud.protocol import (
     ErrorResponse,
     MultiSearchRequest,
     MultiSearchResponse,
+    ObservedRequest,
+    ObservedResponse,
     ObsSnapshotRequest,
     ObsSnapshotResponse,
     StreamDecoder,
@@ -181,6 +184,7 @@ def _worker_main(
     delay_s: float,
     obs=None,
     clock: Callable[[], float] | None = None,
+    result_cache_bytes: int | None = None,
 ) -> None:
     """One shard worker: a CloudServer behind a request pipe.
 
@@ -209,6 +213,7 @@ def _worker_main(
         cache_searches=cache_searches,
         update_token=update_token,
         obs=obs,
+        result_cache_bytes=result_cache_bytes,
         **(
             {"cache_capacity": cache_capacity}
             if cache_capacity is not None
@@ -426,6 +431,24 @@ class NetServer:
     cache_searches / cache_capacity / update_token:
         Per-worker CloudServer knobs (each worker owns a private
         ranked cache over its shard).
+    result_cache_bytes:
+        Byte budget for the hot-query fast lane.  When set, the front
+        end keeps a :class:`~repro.cloud.cache.ResultCache` of fully
+        encoded response frames keyed by ``(codec, frame digest)`` —
+        a repeated query is answered from the asyncio loop with zero
+        worker IPC and zero re-encode — and concurrent identical
+        requests are *coalesced* into one shared worker round trip
+        via an asyncio future map (single-flight).  Each worker's
+        CloudServer additionally gets a proportional slice as its own
+        encoded-response memo.  Mutations invalidate by epoch:
+        ``update-list`` bumps its owning shard, blob broadcasts bump
+        every shard, and error/partial responses are never cached, so
+        responses are byte-identical with the cache on or off.  Cache
+        hits still record their search/access-pattern observations
+        (captured at fill time via
+        :class:`~repro.cloud.protocol.ObservedRequest` envelopes and
+        replayed into the front end's leakage log), so the merged
+        cluster artifact keeps exact leakage counts.
     max_inflight_per_conn:
         Per-connection admission window; past it the server stops
         reading the socket (TCP pushes back on the client).
@@ -475,6 +498,7 @@ class NetServer:
         shard_seed: bytes = DEFAULT_SHARD_SEED,
         cache_searches: bool = False,
         cache_capacity: int | None = None,
+        result_cache_bytes: int | None = None,
         update_token: bytes | None = None,
         max_inflight_per_conn: int = DEFAULT_MAX_INFLIGHT_PER_CONN,
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
@@ -526,6 +550,26 @@ class NetServer:
             if cache_capacity is not None
             else None
         )
+        if result_cache_bytes is not None and result_cache_bytes < 1:
+            raise ParameterError(
+                f"result_cache_bytes must be >= 1, got {result_cache_bytes}"
+            )
+        self._result_cache = (
+            ResultCache(result_cache_bytes, shards)
+            if result_cache_bytes is not None
+            else None
+        )
+        self._per_shard_result_bytes = (
+            max(1, result_cache_bytes // shards)
+            if result_cache_bytes is not None
+            else None
+        )
+        #: Single-flight map: key -> future resolving to
+        #: ``(response bytes, wire observations)``.  Touched only on
+        #: the event-loop thread.
+        self._single_flight: dict[
+            tuple[str, bytes], asyncio.Future
+        ] = {}
         self._blobs = blob_store
         self._can_rank = can_rank
         self._cache_searches = cache_searches
@@ -608,6 +652,7 @@ class NetServer:
                     self._worker_delay_s,
                     worker_obs,
                     worker_clock,
+                    self._per_shard_result_bytes,
                 ),
                 name=f"netserve-shard-{shard}",
                 daemon=True,
@@ -724,6 +769,11 @@ class NetServer:
     def num_shards(self) -> int:
         """Number of shard worker processes."""
         return self._sharded.num_shards
+
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The front-end result cache (``None`` when the fast lane is off)."""
+        return self._result_cache
 
     @property
     def worker_processes(self) -> tuple:
@@ -888,29 +938,259 @@ class NetServer:
             self._observe_admitted(kind)
             try:
                 with self._tracer.span("net.request", kind=kind) as span:
-                    if kind == "multi-search":
-                        response = await self._multi(frame, codec, span)
-                    elif kind in _BROADCAST_KINDS:
-                        response = await self._broadcast(frame, codec, span)
-                    else:
-                        try:
-                            shard = shard_for_address(
-                                routing_address(frame),
-                                self._sharded.num_shards,
-                                self._sharded.shard_seed,
-                            )
-                        except ReproError as exc:
-                            return ErrorResponse(
-                                code=type(exc).__name__, detail=str(exc)
-                            ).to_bytes(codec)
-                        response = await self._dispatch(
-                            shard, frame, codec, span
-                        )
+                    response = await self._route(frame, codec, kind, span)
                 return response
             finally:
                 self._inflight -= 1
         finally:
             window.release()
+
+    async def _route(
+        self, frame: bytes, codec: str, kind: str, span
+    ) -> bytes:
+        """Route one admitted frame, through the fast lane when on."""
+        if self._result_cache is not None:
+            self._note_mutation(kind, frame)
+            shards = self._cacheable_shards(frame, kind)
+            if shards is not None:
+                return await self._serve_cached(
+                    frame, codec, kind, span, shards
+                )
+        if kind == "multi-search":
+            return await self._multi(frame, codec, span)
+        if kind in _BROADCAST_KINDS:
+            return await self._broadcast(frame, codec, span)
+        try:
+            shard = shard_for_address(
+                routing_address(frame),
+                self._sharded.num_shards,
+                self._sharded.shard_seed,
+            )
+        except ReproError as exc:
+            return ErrorResponse(
+                code=type(exc).__name__, detail=str(exc)
+            ).to_bytes(codec)
+        return await self._dispatch(shard, frame, codec, span)
+
+    # -- hot-query fast lane -------------------------------------------------
+
+    def _note_mutation(self, kind: str, frame: bytes) -> None:
+        """Bump result-cache epochs for a mutating frame, pre-dispatch.
+
+        Bump-on-receipt over-invalidates (the mutation might still
+        fail validation worker-side) but can never serve stale bytes:
+        a racing fill stamped with the old epoch lands dead on
+        arrival.  Blob mutations are broadcast to every worker, so
+        they bump every shard's epoch.
+        """
+        assert self._result_cache is not None
+        if kind in _BROADCAST_KINDS:
+            self._result_cache.bump(None)
+        elif kind == "update-list":
+            try:
+                shard = shard_for_address(
+                    routing_address(frame),
+                    self._sharded.num_shards,
+                    self._sharded.shard_seed,
+                )
+            except ReproError:
+                self._result_cache.bump(None)
+            else:
+                self._result_cache.bump(shard)
+
+    def _cacheable_shards(
+        self, frame: bytes, kind: str
+    ) -> tuple[int, ...] | None:
+        """The shard set a cache entry for ``frame`` depends on.
+
+        ``None`` means the frame is not cacheable: only ``search``
+        and non-partial ``multi-search`` qualify (a ``partial``
+        multi-search returns unranked aggregates meant for client-side
+        merging, and anything malformed gets its error from the
+        normal path).
+        """
+        if kind == "search":
+            try:
+                return (
+                    shard_for_address(
+                        routing_address(frame),
+                        self._sharded.num_shards,
+                        self._sharded.shard_seed,
+                    ),
+                )
+            except ReproError:
+                return None
+        if kind == "multi-search":
+            try:
+                request = MultiSearchRequest.from_bytes(frame)
+                if request.partial:
+                    return None
+                sub_requests = split_multi_request(
+                    request,
+                    self._sharded.num_shards,
+                    self._sharded.shard_seed,
+                )
+            except ReproError:
+                return None
+            return tuple(sorted(sub_requests))
+        return None
+
+    def _observe_result_cache(self, outcome: str) -> None:
+        assert self._result_cache is not None
+        if self._obs is None:
+            return
+        self._obs.metrics.counter(
+            f"repro_result_cache_{outcome}_total", layer="frontend"
+        ).inc()
+        self._obs.metrics.gauge(
+            "repro_result_cache_resident_bytes", layer="frontend"
+        ).set(float(self._result_cache.resident_bytes))
+
+    def _emit_cached_observations(self, observations, span) -> None:
+        """Replay fill-time observations for a front-end cache hit.
+
+        A hit never reaches a worker, so the worker's leakage log
+        cannot see it; the front end records the same search/access
+        pattern tuples into its own log instead, keeping the merged
+        cluster artifact's counts exact (every answered query is one
+        observation, coalesced followers included).
+        """
+        if self._obs is None:
+            return
+        trace_id = span.trace_id if self._tracer.enabled else 0
+        for address, matched, returned in observations:
+            self._obs.leakage.record(
+                address,
+                matched_file_ids=matched,
+                returned_file_ids=returned,
+                trace_id=trace_id,
+            )
+
+    async def _serve_cached(
+        self,
+        frame: bytes,
+        codec: str,
+        kind: str,
+        span,
+        shards: tuple[int, ...],
+    ) -> bytes:
+        """The fast lane: cache lookup, then single-flight, then fill."""
+        cache = self._result_cache
+        assert cache is not None
+        key = ResultCache.key_for(codec, frame)
+        # Single-flight first: while a leader is in flight the cache
+        # holds no fresh entry for this key (the leader writes the
+        # entry and leaves the map with no ``await`` in between), so
+        # a follower never misses a hit by checking here, and a
+        # follower's lookup never skews the cache's miss counter.
+        leader = self._single_flight.get(key)
+        if leader is not None:
+            # Single-flight: an identical request is already in
+            # flight; await its shared round trip instead of adding
+            # another.  ``shield`` keeps a follower's cancellation
+            # from killing the leader's future mid-fill.
+            cache.note_coalesced()
+            self._observe_result_cache("coalesced")
+            try:
+                response, observations = await asyncio.shield(leader)
+            except asyncio.CancelledError:
+                if not leader.cancelled():
+                    raise  # this follower itself was cancelled
+                # The leader was torn down without a result (its
+                # connection died); serve independently.
+                return await self._fill(
+                    frame, codec, kind, span, shards, key, None
+                )
+            except Exception:  # noqa: BLE001 — degrade to own dispatch
+                return await self._fill(
+                    frame, codec, kind, span, shards, key, None
+                )
+            self._emit_cached_observations(observations, span)
+            if self._tracer.enabled:
+                span.set(cache="coalesced")
+            return response
+        entry = cache.get(key)
+        if entry is not None:
+            self._observe_result_cache("hits")
+            self._emit_cached_observations(entry.payload, span)
+            if self._tracer.enabled:
+                span.set(cache="hit")
+            return entry.frame
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._single_flight[key] = future
+        try:
+            return await self._fill(
+                frame, codec, kind, span, shards, key, future
+            )
+        finally:
+            if self._single_flight.get(key) is future:
+                del self._single_flight[key]
+            if not future.done():
+                future.cancel()
+
+    async def _fill(
+        self,
+        frame: bytes,
+        codec: str,
+        kind: str,
+        span,
+        shards: tuple[int, ...],
+        key: tuple[str, bytes],
+        future: asyncio.Future | None,
+    ) -> bytes:
+        """One worker round trip that (on success) populates the cache.
+
+        Epoch stamps are taken *before* dispatch, so a mutation racing
+        this fill invalidates the entry before it is even written.
+        Error responses are never cached and never resolve followers
+        (the leader's future is cancelled instead, and each follower
+        retries independently).
+        """
+        cache = self._result_cache
+        assert cache is not None
+        self._observe_result_cache("misses")
+        stamps = cache.stamp(shards)
+        if kind == "multi-search":
+            response, observations = await self._multi_impl(
+                frame, codec, span, observe=True
+            )
+        else:
+            response, observations = await self._dispatch_observed(
+                shards[0], frame, codec, span
+            )
+        try:
+            failed = peek_kind(response) == "error"
+        except ProtocolError:  # pragma: no cover — defensive
+            failed = True
+        if not failed:
+            cache.put(key, stamps, response, payload=observations)
+            if future is not None and not future.done():
+                future.set_result((response, observations))
+        return response
+
+    async def _dispatch_observed(
+        self, shard: int, frame: bytes, codec: str, span
+    ) -> tuple[bytes, tuple]:
+        """A worker call that also captures its leakage observations.
+
+        Wraps the frame in an :class:`ObservedRequest` envelope
+        (inside the tracing envelope, when tracing is on); the worker
+        answers with an :class:`ObservedResponse` carrying the inner
+        response plus the observations the request appended to its
+        server log.  Error bytes pass through unwrapped with no
+        observations.
+        """
+        wrapped = ObservedRequest(payload=frame).to_bytes(CODEC_BINARY)
+        response = await self._dispatch(shard, wrapped, codec, span)
+        try:
+            if peek_kind(response) == "observed-response":
+                envelope = ObservedResponse.from_bytes(response)
+                return envelope.payload, envelope.observations
+        except ProtocolError:  # pragma: no cover — defensive
+            pass
+        return response, ()
 
     async def _dispatch(
         self, shard: int, frame: bytes, codec: str, span
@@ -975,15 +1255,34 @@ class NetServer:
         intersection (or disjunctive sum) missing a shard's terms
         would be silently wrong rather than merely partial.
         """
+        response, _ = await self._multi_impl(
+            frame, codec, span, observe=False
+        )
+        return response
+
+    async def _multi_impl(
+        self, frame: bytes, codec: str, span, observe: bool
+    ) -> tuple[bytes, tuple]:
+        """Multi-search fan-out, optionally capturing observations.
+
+        With ``observe`` the per-shard calls go through
+        :meth:`_dispatch_observed` and the concatenated observations
+        (sorted shard order, worker order within a shard) ride back
+        for the result cache to replay on later hits.  The merged
+        response bytes are identical either way.
+        """
         try:
             request = MultiSearchRequest.from_bytes(frame)
             sub_requests = split_multi_request(
                 request, self._sharded.num_shards, self._sharded.shard_seed
             )
         except ReproError as exc:
-            return ErrorResponse(
-                code=type(exc).__name__, detail=str(exc)
-            ).to_bytes(codec)
+            return (
+                ErrorResponse(
+                    code=type(exc).__name__, detail=str(exc)
+                ).to_bytes(codec),
+                (),
+            )
         if self._tracer.enabled:
             span.set(
                 mode=request.mode,
@@ -992,32 +1291,56 @@ class NetServer:
             )
         if len(sub_requests) == 1:
             shard = next(iter(sub_requests))
-            return await self._dispatch(shard, frame, codec, span)
-        ordered = sorted(sub_requests.items())
-        responses = await asyncio.gather(
-            *(
-                self._dispatch(
-                    shard, sub_request.to_bytes(codec), codec, span
+            if observe:
+                return await self._dispatch_observed(
+                    shard, frame, codec, span
                 )
-                for shard, sub_request in ordered
+            return await self._dispatch(shard, frame, codec, span), ()
+        ordered = sorted(sub_requests.items())
+        observations: tuple = ()
+        if observe:
+            outcomes = await asyncio.gather(
+                *(
+                    self._dispatch_observed(
+                        shard, sub_request.to_bytes(codec), codec, span
+                    )
+                    for shard, sub_request in ordered
+                )
             )
-        )
+            responses = [response for response, _ in outcomes]
+            observations = tuple(
+                observation
+                for _, captured in outcomes
+                for observation in captured
+            )
+        else:
+            responses = await asyncio.gather(
+                *(
+                    self._dispatch(
+                        shard, sub_request.to_bytes(codec), codec, span
+                    )
+                    for shard, sub_request in ordered
+                )
+            )
         partials = []
         for response in responses:
             if peek_kind(response) == "error":
-                return response
+                return response, ()
             partials.append(MultiSearchResponse.from_bytes(response).matches)
         merged = merge_partial_matches(
             partials, request.mode, len(request.trapdoors)
         )
         if request.partial:
-            return MultiSearchResponse(
-                matches=tuple(
-                    (file_id, pack_partial_score(total, count))
-                    for file_id, total, count in merged
-                ),
-                files=(),
-            ).to_bytes(codec)
+            return (
+                MultiSearchResponse(
+                    matches=tuple(
+                        (file_id, pack_partial_score(total, count))
+                        for file_id, total, count in merged
+                    ),
+                    files=(),
+                ).to_bytes(codec),
+                observations,
+            )
         ranked = rank_pairs(
             [(file_id, total) for file_id, total, _ in merged],
             request.top_k,
@@ -1030,9 +1353,12 @@ class NetServer:
                 continue
             matches.append((file_id, pack_multi_score(total)))
             payloads.append((file_id, blob))
-        return MultiSearchResponse(
-            matches=tuple(matches), files=tuple(payloads)
-        ).to_bytes(codec)
+        return (
+            MultiSearchResponse(
+                matches=tuple(matches), files=tuple(payloads)
+            ).to_bytes(codec),
+            observations,
+        )
 
     def _apply_blob_mutation(self, frame: bytes) -> None:
         """Mirror an acked blob mutation into the front end's store.
@@ -1188,6 +1514,9 @@ class NetServer:
         slow = [
             entry.as_dict() for entry in dump.slow[-_HEALTH_SLOW_QUERIES:]
         ]
+        result_cache: dict = {"enabled": self._result_cache is not None}
+        if self._result_cache is not None:
+            result_cache.update(self._result_cache.stats())
         return {
             "num_shards": self._sharded.num_shards,
             "connections": metrics.value("repro_net_connections"),
@@ -1195,6 +1524,7 @@ class NetServer:
             "overload_rejections": metrics.value(
                 "repro_net_overload_rejections_total"
             ),
+            "result_cache": result_cache,
             "workers": workers,
             "slow_queries": slow,
         }

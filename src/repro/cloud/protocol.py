@@ -60,6 +60,8 @@ BINARY_TAGS = {
     "obs-snapshot-response": 0xC3,
     "admin": 0xC4,
     "admin-response": 0xC5,
+    "observed": 0xC6,
+    "observed-response": 0xC7,
 }
 
 _KIND_FOR_TAG = {tag: kind for kind, tag in BINARY_TAGS.items()}
@@ -839,6 +841,115 @@ class TracedRequest:
             trace_id=int(payload["trace_id"]),
             span_id=int(payload["span_id"]),
             payload=bytes.fromhex(payload["payload"]),
+        )
+
+
+@dataclass(frozen=True)
+class ObservedRequest:
+    """Front end -> worker: serve this and report what you observed.
+
+    When the front end's result cache is on it must know, per response
+    it may later replay, which leakage observations the execution
+    produced — a cache hit answers without worker IPC, yet the leakage
+    log's search/access-pattern counts must stay exact.  This envelope
+    asks the worker to capture the :class:`~repro.analysis.leakage.ServerLog`
+    delta its dispatch appended and ship it back alongside the response
+    (:class:`ObservedResponse`).  ``payload`` is any ordinary request in
+    either codec; when tracing is also on the traced envelope wraps
+    *this* one (traced is always outermost).
+    """
+
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise ProtocolError("observed envelope requires a payload")
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            return pack_frames("observed", [self.payload])
+        return _encode("observed", {"payload": self.payload.hex()})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ObservedRequest":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "observed")
+            payload = reader.take()
+            reader.expect_end()
+            return cls(payload=payload)
+        payload = _decode(data, "observed")
+        return cls(payload=bytes.fromhex(payload["payload"]))
+
+
+@dataclass(frozen=True)
+class ObservedResponse:
+    """Worker -> front end: the response plus its leakage observations.
+
+    ``payload`` is the byte-exact response the unwrapped request would
+    have produced (the front end strips this envelope before caching or
+    replying, so clients never see it).  ``observations`` carries one
+    ``(address, matched_file_ids, returned_file_ids)`` tuple per
+    :class:`~repro.analysis.leakage.SearchObservation` the execution
+    appended — enough to replay the search- and access-pattern record
+    on every cache hit (score fields are never replayed; the leakage
+    log does not keep them).
+    """
+
+    payload: bytes
+    observations: tuple[tuple[bytes, tuple[str, ...], tuple[str, ...]], ...] = field(
+        default_factory=tuple
+    )
+
+    def __post_init__(self) -> None:
+        if not self.payload:
+            raise ProtocolError("observed-response envelope requires a payload")
+
+    def to_bytes(self, codec: str = CODEC_JSON) -> bytes:
+        if require_codec(codec) == CODEC_BINARY:
+            fields = [self.payload, _pack_count(len(self.observations))]
+            for address, matched, returned in self.observations:
+                fields.append(address)
+                fields.append(_pack_count(len(matched)))
+                fields.extend(file_id.encode("utf-8") for file_id in matched)
+                fields.append(_pack_count(len(returned)))
+                fields.extend(file_id.encode("utf-8") for file_id in returned)
+            return pack_frames("observed-response", fields)
+        return _encode(
+            "observed-response",
+            {
+                "payload": self.payload.hex(),
+                "observations": [
+                    [address.hex(), list(matched), list(returned)]
+                    for address, matched, returned in self.observations
+                ],
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ObservedResponse":
+        if detect_codec(data) == CODEC_BINARY:
+            reader = FrameReader(data, "observed-response")
+            payload = reader.take()
+            count = reader.take_count()
+            observations = []
+            for _ in range(count):
+                address = reader.take()
+                matched = tuple(
+                    reader.take_str() for _ in range(reader.take_count())
+                )
+                returned = tuple(
+                    reader.take_str() for _ in range(reader.take_count())
+                )
+                observations.append((address, matched, returned))
+            reader.expect_end()
+            return cls(payload=payload, observations=tuple(observations))
+        decoded = _decode(data, "observed-response")
+        return cls(
+            payload=bytes.fromhex(decoded["payload"]),
+            observations=tuple(
+                (bytes.fromhex(address_hex), tuple(matched), tuple(returned))
+                for address_hex, matched, returned in decoded["observations"]
+            ),
         )
 
 

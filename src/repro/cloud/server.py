@@ -14,6 +14,8 @@ paper's threat model.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import threading
 from collections import Counter, deque
 from dataclasses import dataclass, field
@@ -21,10 +23,13 @@ from typing import MutableSequence
 
 from repro.cloud.cache import DEFAULT_CACHE_CAPACITY, LruCache
 from repro.cloud.protocol import (
+    CODEC_BINARY,
     MODE_CONJUNCTIVE,
     FileRequest,
     MultiSearchRequest,
     MultiSearchResponse,
+    ObservedRequest,
+    ObservedResponse,
     ObsSnapshotRequest,
     ObsSnapshotResponse,
     RankedFilesResponse,
@@ -110,11 +115,33 @@ class ServerLog:
         self._pattern: Counter[bytes] = Counter(
             observation.address for observation in self.observations
         )
+        self._recorded = len(self.observations)
 
     def record(self, observation: SearchObservation) -> None:
         """Append one observation, keeping the pattern counter exact."""
         self.observations.append(observation)
         self._pattern[observation.address] += 1
+        self._recorded += 1
+
+    @property
+    def total_recorded(self) -> int:
+        """Lifetime observations recorded (monotone; survives bounded
+        logs dropping old entries, so callers can count appends by
+        differencing)."""
+        return self._recorded
+
+    def tail(self, count: int) -> tuple[SearchObservation, ...]:
+        """The most recent ``count`` retained observations, in order."""
+        if count <= 0:
+            return ()
+        observations = self.observations
+        count = min(count, len(observations))
+        if isinstance(observations, deque):
+            start = len(observations) - count
+            return tuple(
+                itertools.islice(observations, start, len(observations))
+            )
+        return tuple(observations[-count:])
 
     def search_pattern(self) -> dict[bytes, int]:
         """Address -> times queried (the search pattern).
@@ -200,6 +227,14 @@ class CloudServer:
         pattern the scheme already leaks) in a bounded LRU cache.
     cache_capacity:
         Maximum decrypted lists resident when caching is enabled.
+    result_cache_bytes:
+        Optional byte budget for a memo of fully-encoded
+        ``SearchResponse`` frames keyed by ``(codec, request-frame
+        digest)`` — i.e. per ``(trapdoor, k, codec)``, since trapdoor
+        generation is deterministic.  A memo hit skips decode, rank
+        *and* re-encode while still recording the search in the
+        observation log and leakage stream (the cache must never blind
+        the curious server).  ``None`` (the default) disables the memo.
     log_capacity:
         Optional bound on the curious server's observation log (see
         :class:`ServerLog`).  ``None`` (the default) keeps the full
@@ -224,6 +259,7 @@ class CloudServer:
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         obs=None,
         log_capacity: int | None = None,
+        result_cache_bytes: int | None = None,
     ):
         self._index = secure_index
         self._blobs = blob_store
@@ -232,6 +268,16 @@ class CloudServer:
         self._cache: LruCache | None = (
             LruCache(cache_capacity) if cache_searches else None
         )
+        self._response_memo: LruCache | None = (
+            LruCache(
+                capacity=None,
+                capacity_bytes=result_cache_bytes,
+                size_of=lambda entry: len(entry[0]),
+            )
+            if result_cache_bytes is not None
+            else None
+        )
+        self._memo_keys_by_address: dict[bytes, set[tuple[str, bytes]]] = {}
         self._update_token = update_token
         self._lock = threading.RLock()
         self._obs = obs
@@ -285,36 +331,78 @@ class CloudServer:
                 parent = RemoteParent(
                     envelope.trace_id, envelope.span_id
                 )
+        observe = False
+        if kind == "observed":
+            request_bytes = ObservedRequest.from_bytes(request_bytes).payload
+            kind = peek_kind(request_bytes)
+            observe = True
         codec = detect_codec(request_bytes)
         if kind == "obs-snapshot":
             ObsSnapshotRequest.from_bytes(request_bytes)
             return self._handle_obs_snapshot().to_bytes(codec)
         with self._tracer.span("server.handle", parent=parent, kind=kind):
             with self._lock:
-                if self._obs is not None:
-                    self._obs.metrics.counter(
-                        "repro_server_requests_total", codec=codec
-                    ).inc()
-                if kind == "search":
-                    return self._handle_search(
-                        SearchRequest.from_bytes(request_bytes)
-                    ).to_bytes(codec)
-                if kind == "multi-search":
-                    return self._handle_multi_search(
-                        MultiSearchRequest.from_bytes(request_bytes)
-                    ).to_bytes(codec)
-                if kind == "fetch":
-                    return self._handle_fetch(
-                        FileRequest.from_bytes(request_bytes)
-                    ).to_bytes(codec)
-                if kind in ("update-list", "put-blob", "remove-blob"):
-                    response = self._handle_update(kind, request_bytes)
-                    if self._obs is not None:
-                        self._obs.metrics.counter(
-                            "repro_server_updates_total", kind=kind
-                        ).inc()
-                    return response.to_bytes(codec)
+                recorded_before = self._log.total_recorded
+                response_bytes = self._dispatch_locked(
+                    kind, request_bytes, codec
+                )
+                if response_bytes is not None:
+                    if observe:
+                        return ObservedResponse(
+                            payload=response_bytes,
+                            observations=self._captured_observations(
+                                self._log.total_recorded - recorded_before
+                            ),
+                        ).to_bytes(CODEC_BINARY)
+                    return response_bytes
         raise ProtocolError(f"unknown request kind {kind!r}")
+
+    def _dispatch_locked(
+        self, kind: str, request_bytes: bytes, codec: str
+    ) -> bytes | None:
+        """Serve one unwrapped request (caller holds the lock and span)."""
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_server_requests_total", codec=codec
+            ).inc()
+        if kind == "search":
+            request = SearchRequest.from_bytes(request_bytes)
+            if self._response_memo is not None:
+                return self._memoized_search(request, request_bytes, codec)
+            return self._handle_search(request).to_bytes(codec)
+        if kind == "multi-search":
+            return self._handle_multi_search(
+                MultiSearchRequest.from_bytes(request_bytes)
+            ).to_bytes(codec)
+        if kind == "fetch":
+            return self._handle_fetch(
+                FileRequest.from_bytes(request_bytes)
+            ).to_bytes(codec)
+        if kind in ("update-list", "put-blob", "remove-blob"):
+            response = self._handle_update(kind, request_bytes)
+            if self._obs is not None:
+                self._obs.metrics.counter(
+                    "repro_server_updates_total", kind=kind
+                ).inc()
+            return response.to_bytes(codec)
+        return None
+
+    def _captured_observations(
+        self, appended: int
+    ) -> tuple[tuple[bytes, tuple[str, ...], tuple[str, ...]], ...]:
+        """Wire form of the observations the current dispatch appended.
+
+        Score fields are deliberately excluded: the leakage-event
+        stream the front end replays into never carries them.
+        """
+        return tuple(
+            (
+                observation.address,
+                observation.matched_file_ids,
+                observation.returned_file_ids,
+            )
+            for observation in self._log.tail(appended)
+        )
 
     def _handle_update(self, kind: str, request_bytes: bytes):
         """Apply one authenticated update, idempotently.
@@ -380,12 +468,16 @@ class CloudServer:
                     "different contents"
                 )
             self._blobs.put(put.file_id, put.blob)
+            # Any memoized response may embed (or have skipped) this
+            # blob; there is no per-blob reverse map, so drop them all.
+            self._clear_response_memo()
             return AckResponse(ok=True)
         remove = RemoveBlobRequest.from_bytes(request_bytes)
         check_token(self._update_token, remove.token)
         if remove.file_id not in self._blobs:
             return AckResponse(ok=True, detail="already removed")
         self._blobs.delete(remove.file_id)
+        self._clear_response_memo()
         return AckResponse(ok=True)
 
     def _handle_obs_snapshot(self) -> ObsSnapshotResponse:
@@ -436,21 +528,122 @@ class CloudServer:
         """The bounded decrypted-list cache (None when disabled)."""
         return self._cache
 
+    @property
+    def result_cache(self) -> LruCache | None:
+        """The encoded-response memo (None when disabled)."""
+        return self._response_memo
+
     def invalidate_cache(self, address: bytes | None = None) -> None:
-        """Drop cached decrypted lists (all, or one address).
+        """Drop cached decrypted lists and memoized responses.
 
         An owner pushing index updates must call this (or deploy with
         ``cache_searches=False``); the update protocol of
         :mod:`repro.cloud.updates` does it on every list it touches,
         and the simulated deployment gives the owner a direct handle
-        too.
+        too.  With an address, only that posting list and the response
+        frames built from it are dropped; without one, everything goes.
         """
-        if self._cache is None:
+        with self._lock:
+            if address is None:
+                if self._cache is not None:
+                    self._cache.clear()
+                self._clear_response_memo()
+                return
+            if self._cache is not None:
+                self._cache.pop(address)
+            if self._response_memo is not None:
+                for key in self._memo_keys_by_address.pop(address, ()):
+                    self._response_memo.pop(key)
+
+    def _clear_response_memo(self) -> None:
+        if self._response_memo is None:
             return
-        if address is None:
-            self._cache.clear()
-        else:
-            self._cache.pop(address)
+        self._response_memo.clear()
+        self._memo_keys_by_address.clear()
+
+    def record_replayed_observation(
+        self, observation: SearchObservation
+    ) -> None:
+        """Log one search served from a cache in front of this server.
+
+        The cluster's result cache answers repeat queries without
+        touching the owning shard, yet the shard's curious-server log
+        must still count every logical search (search- and
+        access-pattern exactness is a correctness property of the
+        leakage analysis).  The front end replays the stored
+        observation here on every hit.
+        """
+        with self._lock:
+            self._log.record(observation)
+            if self._obs is not None:
+                self._obs.leakage.record(
+                    observation.address,
+                    matched_file_ids=observation.matched_file_ids,
+                    returned_file_ids=observation.returned_file_ids,
+                )
+                self._obs.metrics.counter(
+                    "repro_server_searches_total"
+                ).inc()
+
+    def _memoized_search(
+        self, request: SearchRequest, request_bytes: bytes, codec: str
+    ) -> bytes:
+        """Serve one search through the encoded-response memo.
+
+        The key digests the raw request frame, which covers trapdoor,
+        top-k bound, entries-only flag *and* codec framing — any two
+        byte-identical frames are the same logical query and get the
+        byte-identical response.  A hit still records the observation
+        and leakage event the uncached execution would have produced
+        (stored alongside the frame at fill time), so the memo speeds
+        up the curious server without blinding it.
+        """
+        key = (
+            codec,
+            hashlib.blake2b(request_bytes, digest_size=16).digest(),
+        )
+        assert self._response_memo is not None
+        with self._tracer.span("search.cache") as cache_span:
+            memoized = self._response_memo.get(key)
+        if memoized is not None:
+            response_bytes, observation = memoized
+            self._log.record(observation)
+            if self._obs is not None:
+                current = self._tracer.current()
+                self._obs.leakage.record(
+                    observation.address,
+                    matched_file_ids=observation.matched_file_ids,
+                    returned_file_ids=observation.returned_file_ids,
+                    trace_id=(
+                        current.trace_id if current is not None else 0
+                    ),
+                )
+                self._obs.metrics.counter(
+                    "repro_server_searches_total"
+                ).inc()
+                self._obs.metrics.histogram(
+                    "repro_server_postings_scanned",
+                    buckets=(1.0, 10.0, 100.0, 1000.0, 10000.0),
+                ).observe(float(len(observation.matched_file_ids)))
+                self._obs.metrics.counter(
+                    "repro_result_cache_hits_total", layer="server"
+                ).inc()
+            self._record_slow("search", (("cache", cache_span),))
+            return response_bytes
+        response_bytes = self._handle_search(request).to_bytes(codec)
+        observation = self._log.observations[-1]
+        self._response_memo.put(key, (response_bytes, observation))
+        self._memo_keys_by_address.setdefault(
+            observation.address, set()
+        ).add(key)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_result_cache_misses_total", layer="server"
+            ).inc()
+            self._obs.metrics.gauge(
+                "repro_result_cache_resident_bytes", layer="server"
+            ).set(float(self._response_memo.resident_bytes))
+        return response_bytes
 
     def _postings_for(self, trapdoor: Trapdoor) -> CachedPostings:
         """``SearchIndex``: locate, decrypt, drop dummies.

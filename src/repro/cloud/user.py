@@ -19,6 +19,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from repro.cloud.cache import LruCache
 from repro.cloud.network import Transport
 from repro.cloud.owner import UserCredentials
 from repro.cloud.protocol import (
@@ -73,7 +74,17 @@ class DataUser:
     :data:`~repro.cloud.protocol.CODEC_BINARY`, the length-prefixed
     fast framing); the server mirrors the request codec in its
     responses, so no other party needs configuring.
+
+    ``trapdoor_cache_size`` bounds a per-user memo of serialized
+    trapdoors keyed by normalized term (``None`` disables it).
+    Trapdoor generation is a deterministic PRF of the key and term, so
+    the memo changes no bytes on the wire — it only skips the
+    recomputation, and it is what makes a hot keyword's request frame
+    byte-stable, which the server-side result cache keys on.
     """
+
+    #: Default per-user trapdoor memo size (distinct normalized terms).
+    DEFAULT_TRAPDOOR_CACHE_SIZE = 512
 
     def __init__(
         self,
@@ -83,6 +94,7 @@ class DataUser:
         analyzer: Analyzer | None = None,
         retry_policy: RetryPolicy | None = None,
         codec: str = CODEC_JSON,
+        trapdoor_cache_size: int | None = DEFAULT_TRAPDOOR_CACHE_SIZE,
     ):
         self._scheme = scheme
         self._credentials = credentials
@@ -94,11 +106,26 @@ class DataUser:
         self._analyzer = analyzer if analyzer is not None else Analyzer()
         self._file_cipher = SymmetricCipher(credentials.file_key)
         self._codec = require_codec(codec)
+        self._trapdoor_memo: LruCache | None = (
+            LruCache(capacity=trapdoor_cache_size)
+            if trapdoor_cache_size is not None
+            else None
+        )
+
+    def _trapdoor_for_term(self, term: str) -> bytes:
+        if self._trapdoor_memo is not None:
+            cached = self._trapdoor_memo.get(term)
+            if cached is not None:
+                return cached
+        serialized = self._scheme.trapdoor(
+            self._credentials.scheme_key, term
+        ).serialize()
+        if self._trapdoor_memo is not None:
+            self._trapdoor_memo.put(term, serialized)
+        return serialized
 
     def _trapdoor_bytes(self, keyword: str) -> bytes:
-        term = self._analyzer.analyze_query(keyword)
-        trapdoor = self._scheme.trapdoor(self._credentials.scheme_key, term)
-        return trapdoor.serialize()
+        return self._trapdoor_for_term(self._analyzer.analyze_query(keyword))
 
     def _decrypt_files(
         self, files: tuple[tuple[str, bytes], ...]
@@ -150,10 +177,7 @@ class DataUser:
                 "duplicate query keywords are not allowed "
                 "(after normalization)"
             )
-        key = self._credentials.scheme_key
-        return tuple(
-            self._scheme.trapdoor(key, term).serialize() for term in terms
-        )
+        return tuple(self._trapdoor_for_term(term) for term in terms)
 
     def _require_multi(self, k: int, mode: str) -> None:
         if k < 1:

@@ -1,0 +1,120 @@
+"""Deterministic Zipfian *query* workloads for benchmarks.
+
+The corpus side of Zipf's law (:mod:`repro.corpus.zipf`) shapes what
+documents contain; this module shapes what users *ask*.  Real query
+logs are heavily skewed — a small hot set of keywords absorbs most of
+the traffic — which is exactly the regime the hot-query fast lane
+(result caching + single-flight coalescing) is built for, and exactly
+what a uniform workload would fail to exercise.
+
+Every generator takes an explicit seed and draws from its own
+:class:`random.Random`, so two benchmark runs (or a benchmark and the
+test asserting on it) see the identical query sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.corpus.zipf import ZipfSampler
+from repro.errors import ParameterError
+
+#: Default Zipf exponent for query popularity; web query logs sit
+#: near 1.0, like natural text.
+DEFAULT_QUERY_EXPONENT = 1.0
+
+
+def zipf_queries(
+    keywords: Sequence[str],
+    count: int,
+    exponent: float = DEFAULT_QUERY_EXPONENT,
+    seed: int = 0,
+) -> list[str]:
+    """Draw ``count`` single-keyword queries, Zipf-weighted by position.
+
+    ``keywords[0]`` is the hottest term; with ``exponent`` near 1.0 a
+    handful of head keywords dominate the stream.  Deterministic for a
+    given ``(keywords, count, exponent, seed)`` tuple.
+    """
+    if not keywords:
+        raise ParameterError("keywords must be non-empty")
+    if count < 0:
+        raise ParameterError(f"count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    sampler = ZipfSampler(len(keywords), exponent, rng)
+    return [keywords[rank] for rank in sampler.sample_many(count)]
+
+
+def zipf_multi_queries(
+    keywords: Sequence[str],
+    count: int,
+    terms_per_query: int,
+    exponent: float = DEFAULT_QUERY_EXPONENT,
+    seed: int = 0,
+) -> list[tuple[str, ...]]:
+    """Draw ``count`` multi-keyword queries of ``terms_per_query`` terms.
+
+    Each query's terms are distinct (multi-search rejects duplicate
+    trapdoors) but drawn Zipf-weighted, so hot terms co-occur across
+    queries — repeated identical term sets emerge naturally at
+    realistic exponents, which is what exercises result caching of
+    multi-search frames.  Terms within a query keep their draw order
+    deduplicated, so the same set always serializes the same way.
+    """
+    if not keywords:
+        raise ParameterError("keywords must be non-empty")
+    if count < 0:
+        raise ParameterError(f"count must be >= 0, got {count}")
+    if not 1 <= terms_per_query <= len(keywords):
+        raise ParameterError(
+            f"terms_per_query must be in [1, {len(keywords)}], got "
+            f"{terms_per_query}"
+        )
+    rng = random.Random(seed)
+    sampler = ZipfSampler(len(keywords), exponent, rng)
+    queries = []
+    for _ in range(count):
+        chosen: list[str] = []
+        seen: set[int] = set()
+        while len(chosen) < terms_per_query:
+            rank = sampler.sample()
+            if rank in seen:
+                continue
+            seen.add(rank)
+            chosen.append(keywords[rank])
+        queries.append(tuple(chosen))
+    return queries
+
+
+def hot_set(
+    keywords: Sequence[str],
+    workload: Sequence[str],
+    fraction: float = 0.9,
+) -> list[str]:
+    """The smallest popularity prefix covering ``fraction`` of a workload.
+
+    Benchmarks report hot-set latency separately from the long tail;
+    this derives the hot set from the *observed* workload rather than
+    assuming the generator's ordering, so it stays honest for any
+    exponent.
+    """
+    if not 0 < fraction <= 1:
+        raise ParameterError(
+            f"fraction must be in (0, 1], got {fraction}"
+        )
+    counts: dict[str, int] = {}
+    for keyword in workload:
+        counts[keyword] = counts.get(keyword, 0) + 1
+    ordered = sorted(
+        counts, key=lambda keyword: (-counts[keyword], keyword)
+    )
+    needed = fraction * len(workload)
+    covered = 0
+    chosen = []
+    for keyword in ordered:
+        if covered >= needed:
+            break
+        chosen.append(keyword)
+        covered += counts[keyword]
+    return chosen

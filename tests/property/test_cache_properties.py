@@ -11,6 +11,13 @@ that tracks recency explicitly.  The invariants:
   consistent (``hits + misses`` equals the number of ``get`` calls,
   evictions equals insertions beyond capacity minus explicit pops);
 * ``clear`` empties the cache but preserves lifetime counters.
+
+A second machine drives **bytes mode** (the hot-query result cache's
+configuration): residency is bounded by the byte budget instead of an
+entry count, ``resident_bytes`` always equals the sum of resident
+value sizes and never exceeds the budget, over-budget values are
+refused (dropping any stale entry they meant to replace), and
+evictions still leave in strict LRU order.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -101,6 +108,86 @@ class LruModelMachine(RuleBasedStateMachine):
 
 TestLruModel = LruModelMachine.TestCase
 TestLruModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+
+
+byte_values = st.binary(min_size=0, max_size=12)
+
+
+class LruBytesModelMachine(RuleBasedStateMachine):
+    """Drive a bytes-budgeted LruCache against a dict reference."""
+
+    @initialize(budget=st.integers(min_value=1, max_value=32))
+    def set_up(self, budget):
+        self.cache = LruCache(capacity=None, capacity_bytes=budget)
+        self.budget = budget
+        self.model: dict[bytes, bytes] = {}
+        self.expected_evictions = 0
+        self.expected_rejections = 0
+
+    def _resident_total(self) -> int:
+        return sum(len(value) for value in self.model.values())
+
+    @rule(key=keys, value=byte_values)
+    def put(self, key, value):
+        self.cache.put(key, value)
+        if len(value) > self.budget:
+            # Refused outright; a stale entry under the key must go too.
+            self.model.pop(key, None)
+            self.expected_rejections += 1
+            return
+        if key in self.model:
+            del self.model[key]  # refresh recency
+        self.model[key] = value
+        while self._resident_total() > self.budget:
+            oldest = next(iter(self.model))
+            del self.model[oldest]
+            self.expected_evictions += 1
+
+    @rule(key=keys)
+    def get(self, key):
+        result = self.cache.get(key)
+        if key in self.model:
+            value = self.model.pop(key)
+            self.model[key] = value  # refresh recency
+            assert result == value
+        else:
+            assert result is None
+
+    @rule(key=keys)
+    def pop(self, key):
+        result = self.cache.pop(key)
+        if key in self.model:
+            assert result == self.model.pop(key)
+        else:
+            assert result is None
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        self.model.clear()
+
+    @invariant()
+    def budget_never_exceeded(self):
+        assert self.cache.resident_bytes <= self.budget
+
+    @invariant()
+    def resident_bytes_is_sum_of_sizes(self):
+        assert self.cache.resident_bytes == self._resident_total()
+
+    @invariant()
+    def same_residents_in_same_order(self):
+        assert list(self.cache.keys()) == list(self.model.keys())
+
+    @invariant()
+    def counters_match_reference(self):
+        assert self.cache.evictions == self.expected_evictions
+        assert self.cache.oversize_rejections == self.expected_rejections
+
+
+TestLruBytesModel = LruBytesModelMachine.TestCase
+TestLruBytesModel.settings = settings(
     max_examples=60, stateful_step_count=40, deadline=None
 )
 
